@@ -1,0 +1,47 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+One :class:`ExperimentContext` is shared across the whole benchmark
+session so levels referenced by several figures are simulated once.
+Every benchmark writes its rendered table to ``benchmarks/out/`` (and
+prints it, visible with ``pytest -s``), so a full
+``pytest benchmarks/ --benchmark-only`` run leaves the complete set of
+reproduced tables/figures on disk.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.experiments import Experiment, ExperimentContext
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    return ExperimentContext()
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture()
+def publish(out_dir):
+    """Write an experiment's table to disk and echo it."""
+
+    def _publish(exp: Experiment, name: str) -> None:
+        import json
+
+        text = exp.format()
+        (out_dir / f"{name}.txt").write_text(text + "\n")
+        (out_dir / f"{name}.json").write_text(
+            json.dumps(exp.to_dict(), indent=2) + "\n"
+        )
+        print("\n" + text)
+
+    return _publish

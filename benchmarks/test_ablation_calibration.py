@@ -1,0 +1,82 @@
+"""Ablation: how much of the result shape survives without the fitted
+timing constants?
+
+The speedup *magnitudes* come from the calibrated model, but the paper's
+qualitative story should not hinge on the fit. This bench re-times the
+measured counters under perturbed calibrations and asserts the orderings
+that must be calibration-robust — and documents the ones that are not
+(D vs E hinges on the divergence penalty; that is the paper's own
+razor-thin 85-vs-86 comparison).
+"""
+
+import pytest
+
+from repro.bench.harness import PAPER_SCALE, extrapolate
+from repro.gpusim.calibration import DEFAULT_CALIBRATION
+
+
+def _speedups(ctx, calibration):
+    out = {}
+    for level in "ABCDEF":
+        r = ctx.run(level)
+        _, total = extrapolate(
+            r.report, PAPER_SCALE, calibration=calibration,
+            warmup_launches=ctx.warmup,
+        )
+        out[level] = r.cpu_time / total
+    return out
+
+
+PERTURBATIONS = {
+    "default": DEFAULT_CALIBRATION,
+    "half divergence penalty": DEFAULT_CALIBRATION.replace(
+        divergence_penalty_cycles=DEFAULT_CALIBRATION.divergence_penalty_cycles / 2
+    ),
+    "double compute scale": DEFAULT_CALIBRATION.replace(
+        compute_scale=DEFAULT_CALIBRATION.compute_scale * 2
+    ),
+    "half MLP": DEFAULT_CALIBRATION.replace(
+        memory_level_parallelism=DEFAULT_CALIBRATION.memory_level_parallelism / 2
+    ),
+    "no coalesce floor": DEFAULT_CALIBRATION.replace(coalesce_floor=0.05),
+}
+
+
+def test_orderings_robust_to_calibration(benchmark, ctx, publish):
+    def run():
+        return {name: _speedups(ctx, cal) for name, cal in PERTURBATIONS.items()}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    from repro.bench.experiments import Experiment
+
+    rows = [
+        [name] + [f"{sp[l]:.0f}x" for l in "ABCDEF"]
+        for name, sp in results.items()
+    ]
+    publish(
+        Experiment(
+            "Ablation", "Speedups under perturbed calibrations",
+            ["calibration", *"ABCDEF"], rows,
+        ),
+        "ablation_calibration",
+    )
+
+    for name, sp in results.items():
+        # The load-bearing orderings must hold under every perturbation:
+        assert sp["A"] < sp["B"], name          # coalescing always wins
+        assert sp["B"] < sp["C"], name          # overlap always wins
+        assert sp["C"] < sp["D"], name          # de-sorting always wins
+        assert sp["C"] < sp["F"], name          # alg-specific block wins
+        # A stays an order of magnitude off the rest:
+        assert sp["A"] * 2.5 < sp["C"], name
+
+
+def test_d_vs_e_depends_on_divergence_penalty(ctx):
+    """The paper's D-vs-E comparison (85x vs 86x) is genuinely
+    borderline: it flips if divergent branches were cheap."""
+    sp_default = _speedups(ctx, DEFAULT_CALIBRATION)
+    cheap_div = DEFAULT_CALIBRATION.replace(divergence_penalty_cycles=0.0)
+    sp_cheap = _speedups(ctx, cheap_div)
+    assert sp_default["E"] >= sp_default["D"] * 0.97
+    assert sp_cheap["E"] < sp_cheap["D"]  # predication's extra math loses

@@ -1,0 +1,129 @@
+"""Ablation: shared-memory tiling (paper level G) vs register-resident
+frame groups (the design the paper did not explore)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import Experiment
+from repro.bench.harness import PAPER_BENCH_PARAMS, PAPER_SCALE
+from repro.errors import LaunchError
+from repro.gpusim import SimtEngine
+from repro.gpusim.counters import KernelCounters
+from repro.gpusim.occupancy import occupancy
+from repro.gpusim.registers import pinned_registers
+from repro.gpusim.timing import TimingModel
+from repro.kernels import KernelConfig
+from repro.kernels.mog_tiled import make_tiled_kernel
+from repro.kernels.mog_tiled_registers import (
+    make_register_tiled_kernel,
+    registers_for_group_residency,
+)
+from repro.layout import SoALayout
+from repro.mog import MixtureState
+from repro.video.scenes import evaluation_scene
+
+SHAPE = (64, 128)
+GROUP = 8
+FRAMES = 32
+
+
+def _run(kernel_kind):
+    video = evaluation_scene(height=SHAPE[0], width=SHAPE[1])
+    frames = [video.frame(t) for t in range(FRAMES)]
+    engine = SimtEngine()
+    n = SHAPE[0] * SHAPE[1]
+    cfg = KernelConfig.from_params(PAPER_BENCH_PARAMS, "double")
+    layout = SoALayout(cfg.num_gaussians, n, np.float64)
+    layout.allocate(engine.memory)
+    layout.upload(
+        MixtureState.from_first_frame(frames[0], PAPER_BENCH_PARAMS, "double")
+    )
+    masks = []
+    for start in range(0, FRAMES, GROUP):
+        grp = frames[start:start + GROUP]
+        fbufs = [
+            engine.memory.alloc_like(f"f{start}_{i}", f.reshape(-1))
+            for i, f in enumerate(grp)
+        ]
+        gbufs = [
+            engine.memory.alloc(f"g{start}_{i}", n, np.uint8)
+            for i in range(len(grp))
+        ]
+        if kernel_kind == "shared":
+            kern = make_tiled_kernel(layout, cfg, fbufs, gbufs, tile_pixels=640)
+            engine.launch(kern, n, 640)
+        else:
+            kern = make_register_tiled_kernel(layout, cfg, fbufs, gbufs)
+            engine.launch(kern, n, 128)
+        masks.extend([(b.data != 0).reshape(SHAPE) for b in gbufs])
+    counters = KernelCounters()
+    for launch in engine.launches[2:]:  # steady-state groups
+        counters.add(launch.counters)
+    counters = counters.scaled(1.0 / max(len(engine.launches) - 2, 1))
+    return np.stack(masks), counters
+
+
+def test_register_residency_beats_shared_for_3g(benchmark, publish):
+    masks_shared, c_shared = _run("shared")
+    masks_regs, c_regs = benchmark.pedantic(
+        lambda: _run("registers"), rounds=1, iterations=1
+    )
+
+    # Functionally identical designs.
+    assert np.array_equal(masks_shared, masks_regs)
+
+    tm = TimingModel()
+    ratio = PAPER_SCALE.num_pixels / (SHAPE[0] * SHAPE[1])
+    cfg = KernelConfig.from_params(PAPER_BENCH_PARAMS, "double")
+    occ_shared = occupancy(
+        TimingModel().device, 640, pinned_registers("G"), 640 * 9 * 8
+    )
+    regs_resident = registers_for_group_residency(cfg)
+    occ_regs = occupancy(TimingModel().device, 128, regs_resident)
+    t_shared = tm.kernel_timing(c_shared.scaled(ratio), occ_shared).total
+    t_regs = tm.kernel_timing(c_regs.scaled(ratio), occ_regs).total
+
+    publish(
+        Experiment(
+            "Ablation: group residency",
+            "Shared-memory tile vs register residency (3G double, group 8)",
+            ["variant", "regs/thread", "occupancy", "shared acc/group",
+             "kernel/group (full HD)"],
+            [
+                ["shared tile (paper G)", pinned_registers("G"),
+                 f"{occ_shared.occupancy * 100:.0f}%",
+                 int(c_shared.shared_accesses),
+                 f"{t_shared * 1e3:.1f} ms"],
+                ["register resident", regs_resident,
+                 f"{occ_regs.occupancy * 100:.0f}%",
+                 int(c_regs.shared_accesses),
+                 f"{t_regs * 1e3:.1f} ms"],
+            ],
+            notes=(
+                "At 3 Gaussians the register file can hold the group's "
+                "parameters: no staging and no shared traffic at equal "
+                "occupancy — the register variant wins. At 5 Gaussians "
+                "it cannot exist (register ceiling), which justifies "
+                "the paper's shared-memory design for configurable K."
+            ),
+        ),
+        "ablation_register_tiling",
+    )
+
+    assert c_regs.shared_accesses == 0
+    assert c_shared.shared_accesses > 0
+    assert occ_regs.occupancy >= occ_shared.occupancy
+    assert t_regs < t_shared
+
+
+def test_register_residency_impossible_for_5g():
+    """15 persistent doubles + the working set exceed the CC 2.0
+    register ceiling: the occupancy model rejects the launch, as nvcc
+    would spill it to local memory."""
+    cfg5 = KernelConfig.from_params(
+        PAPER_BENCH_PARAMS.replace(num_gaussians=5), "double"
+    )
+    regs = registers_for_group_residency(cfg5)
+    assert regs > 63
+    with pytest.raises(LaunchError):
+        occupancy(TimingModel().device, 128, regs)

@@ -1,0 +1,62 @@
+"""Ablation: tile size for the level-G kernel (DESIGN.md §5).
+
+The paper fixes the tile at 640 pixels because that fills the SM's
+48 KB of shared memory with one block (3 components x 3 params x 8 B x
+640 px = 45 KB). Smaller tiles change both the block size and the
+blocks-per-SM packing; larger tiles do not fit at all.
+"""
+
+import pytest
+
+from repro.bench.experiments import ExperimentContext
+from repro.bench.harness import PAPER_BENCH_PARAMS, run_level
+from repro.config import RunConfig
+from repro.core.pipeline import max_tile_pixels
+from repro.errors import ConfigError
+from repro.gpusim.device import TESLA_C2075
+
+
+def test_tile_size_sweep(benchmark, publish, ctx: ExperimentContext):
+    tiles = (128, 256, 512, 640)
+
+    def run():
+        out = {}
+        for tile in tiles:
+            rc = RunConfig(
+                height=ctx.shape[0], width=ctx.shape[1],
+                tile_pixels=tile, frame_group=8,
+            )
+            out[tile] = run_level(
+                "G", ctx.frames(48), ctx.shape,
+                params=PAPER_BENCH_PARAMS, run_config=rc, warmup_frames=24,
+            )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    from repro.bench.reporting import format_table
+
+    rows = [
+        [t, f"{r.speedup:.1f}x", f"{r.report.occupancy * 100:.0f}%"]
+        for t, r in results.items()
+    ]
+    print("\n" + format_table(["tile px", "speedup", "occupancy"], rows,
+                              title="Ablation: tile size (group 8)"))
+
+    # The paper's 640-pixel tile is (near-)optimal: no smaller tile
+    # beats it by more than a few percent.
+    best = max(r.speedup for r in results.values())
+    assert results[640].speedup >= best * 0.95
+
+
+def test_tile_limit_is_640_for_paper_config():
+    assert max_tile_pixels(PAPER_BENCH_PARAMS, "double", TESLA_C2075) == 672 // 32 * 32
+
+
+def test_oversized_tile_rejected(ctx):
+    rc = RunConfig(
+        height=ctx.shape[0], width=ctx.shape[1],
+        tile_pixels=1024, frame_group=8,
+    )
+    with pytest.raises(ConfigError):
+        run_level("G", ctx.frames(8), ctx.shape,
+                  params=PAPER_BENCH_PARAMS, run_config=rc)

@@ -1,0 +1,98 @@
+"""§I's motivating claim, measured: "For scenes with static camera
+position, Mixture of Gaussians (MoG) is most frequently used thanks to
+its high quality ... in capturing multi-modal background scenes."
+
+We pit MoG against the history-based baselines (running average with
+adaptive threshold, frame differencing) on matched scenes with and
+without per-pixel multi-modality. The baselines are fine — even
+competitive — on the unimodal scene; on the multi-modal one they
+collapse while MoG does not blink. This is the quality argument that
+justifies MoG's compute cost, i.e. the whole paper.
+"""
+
+from repro.baselines import FrameDifference, RunningAverage
+from repro.bench.experiments import Experiment
+from repro.bench.harness import PAPER_BENCH_PARAMS
+from repro.metrics.foreground import score_sequence
+from repro.mog import MoGVectorized
+from repro.video.objects import Sprite, SpriteTrack, bounce_path
+from repro.video.synthetic import SceneConfig, SyntheticVideo
+
+SHAPE = (96, 128)
+FRAMES = 40
+WARMUP = 28
+
+
+def _scene(bimodal: bool) -> SyntheticVideo:
+    cfg = SceneConfig(
+        height=SHAPE[0], width=SHAPE[1], noise_sd=3.0, seed=5,
+        bimodal_fraction=0.9 if bimodal else 0.0, bimodal_delta=25.0,
+    )
+    sprite = Sprite.textured(16, 6, base=215.0, seed=5)
+    tracks = [
+        SpriteTrack(
+            sprite,
+            bounce_path((48.0, 0.0), (0.14, 1.6), SHAPE, sprite.shape),
+        )
+    ]
+    return SyntheticVideo(cfg, tracks=tracks)
+
+
+def _f1(model, pairs) -> float:
+    masks = model.apply_sequence([f for f, _ in pairs])
+    return score_sequence(
+        list(masks[WARMUP:]), [t for _, t in pairs][WARMUP:]
+    ).f1
+
+
+def test_mog_survives_multimodality_baselines_do_not(benchmark, publish):
+    def run():
+        out = {}
+        for bimodal in (False, True):
+            pairs = [
+                _scene(bimodal).frame_with_truth(t) for t in range(FRAMES)
+            ]
+            out[bimodal] = {
+                "MoG": _f1(
+                    MoGVectorized(SHAPE, PAPER_BENCH_PARAMS, variant="nosort"),
+                    pairs,
+                ),
+                "running average": _f1(
+                    RunningAverage(SHAPE, learning_rate=0.05), pairs
+                ),
+                "frame difference": _f1(FrameDifference(SHAPE), pairs),
+            }
+        return out
+
+    scores = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [algo, f"{scores[False][algo]:.2f}", f"{scores[True][algo]:.2f}"]
+        for algo in ("MoG", "running average", "frame difference")
+    ]
+    publish(
+        Experiment(
+            "Baseline quality (§I)",
+            "F1 on matched scenes: unimodal vs multi-modal background",
+            ["algorithm", "unimodal F1", "multi-modal F1"],
+            rows,
+            notes=(
+                "MoG's mixture absorbs the second background mode; the "
+                "single-model baselines turn it into a flood of false "
+                "positives — the quality that justifies MoG's cost."
+            ),
+        ),
+        "baseline_quality",
+    )
+
+    # The claim, quantified:
+    assert scores[True]["MoG"] > 0.6
+    assert scores[True]["MoG"] > scores[True]["running average"] + 0.4
+    assert scores[True]["MoG"] > scores[True]["frame difference"] + 0.4
+    # MoG barely moves between the scenes...
+    assert abs(scores[True]["MoG"] - scores[False]["MoG"]) < 0.1
+    # ...while the baselines crater.
+    assert (
+        scores[False]["running average"] - scores[True]["running average"]
+        > 0.3
+    )

@@ -1,0 +1,19 @@
+"""Extension: the fixed-camera assumption, quantified."""
+
+from repro.bench.experiments import camera_jitter_study
+
+
+def test_camera_jitter_study(benchmark, publish, ctx):
+    exp = benchmark.pedantic(
+        camera_jitter_study, args=(ctx,), rounds=1, iterations=1
+    )
+    publish(exp, "camera_jitter")
+    rates = {row[0]: float(row[1].rstrip("%")) for row in exp.rows}
+
+    # Fixed camera: essentially clean.
+    assert rates["0 px"] < 0.5
+    # Mild shake is (mostly) absorbed into the multimodal background.
+    assert rates["1 px"] < rates["4 px"] / 3
+    # Serious shake floods the mask: monotone degradation.
+    assert rates["0 px"] <= rates["1 px"] <= rates["2 px"] <= rates["4 px"]
+    assert rates["4 px"] > 1.0

@@ -1,0 +1,47 @@
+"""The CPU baseline numbers quoted in §IV-A and §V-C of the paper,
+plus a real timed run of our vectorized CPU implementation and of the
+simulated GPU base port."""
+
+import pytest
+
+from repro.bench.experiments import cpu_baselines
+from repro.bench.harness import PAPER_BENCH_PARAMS
+from repro.cpu.model import CpuMode, CpuTimeModel
+from repro.cpu.runner import run_cpu_reference
+from repro.video.scenes import evaluation_scene
+
+
+def test_cpu_baseline_model(benchmark, publish):
+    exp = benchmark.pedantic(cpu_baselines, rounds=1, iterations=1)
+    publish(exp, "cpu_baselines")
+    for row in exp.rows:
+        got = float(row[1].rstrip("s"))
+        paper = float(row[2].rstrip("s"))
+        assert got == pytest.approx(paper, rel=1e-6), row
+
+
+def test_cpu_model_scaling_shapes():
+    model = CpuTimeModel()
+    base = model.paper_reference_time(3, "double", CpuMode.SCALAR)
+    # More components cost more, float costs less, parallel modes less.
+    assert model.paper_reference_time(5) > base
+    assert model.paper_reference_time(3, "float") < base
+    assert model.paper_reference_time(mode=CpuMode.SIMD) < base
+    assert (
+        model.paper_reference_time(mode=CpuMode.THREADS_8)
+        < model.paper_reference_time(mode=CpuMode.SIMD)
+    )
+
+
+def test_cpu_vectorized_throughput(benchmark):
+    """Wall-clock throughput of the practical (NumPy) CPU path on this
+    machine — the library's fast path, measured for real."""
+    video = evaluation_scene(height=120, width=160)
+    frames = [video.frame(t) for t in range(10)]
+
+    def run():
+        return run_cpu_reference(frames, params=PAPER_BENCH_PARAMS)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.masks.shape == (10, 120, 160)
+    assert result.megapixels_per_second > 0.5

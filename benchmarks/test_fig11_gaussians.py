@@ -1,0 +1,36 @@
+"""Figure 11: effect of the number of Gaussian components (3 vs 5)."""
+
+import pytest
+
+from repro.bench.experiments import fig11
+
+
+def test_fig11_gaussian_components(benchmark, publish, ctx):
+    exp = benchmark.pedantic(fig11, args=(ctx,), rounds=1, iterations=1)
+    publish(exp, "fig11")
+    rows = {row[0]: row for row in exp.rows}
+    s3 = {l: float(rows[l][1].rstrip("x")) for l in "ABCDEF"}
+    s5 = {l: float(rows[l][2].rstrip("x")) for l in "ABCDEF"}
+
+    # Paper: 5-Gaussian speedups are lower than 3-Gaussian. In our
+    # model this holds strictly at the kernel-dominated levels; at B
+    # and D the fixed transfer costs amortise against the 1.79x larger
+    # CPU baseline and the two curves nearly touch (documented
+    # deviation, EXPERIMENTS.md).
+    for level in "ACF":
+        assert s5[level] < s3[level], level
+    for level in "ABCDEF":
+        assert s5[level] < s3[level] * 1.15, level
+
+    # Paper anchors: ~44x after the general optimizations, ~92x after
+    # the algorithm-specific ones.
+    assert s5["C"] == pytest.approx(44.0, rel=0.35)
+    assert s5["F"] == pytest.approx(92.0, rel=0.25)
+
+    # The optimization story still holds with 5 components.
+    assert s5["A"] < s5["B"] < s5["C"] < s5["D"]
+
+    # 5G occupancy is lower than the 3G runs' (paper Fig 11b).
+    occ5 = float(rows["F"][5].rstrip("%"))
+    occ3 = ctx.run("F", num_gaussians=3).metrics()["occupancy"] * 100
+    assert occ5 < occ3

@@ -1,0 +1,30 @@
+"""Figure 12: effect of the data type (double vs single precision)."""
+
+import pytest
+
+from repro.bench.experiments import fig12
+from repro.gpusim.device import TESLA_C2075
+from repro.gpusim.occupancy import occupancy
+from repro.gpusim.registers import pinned_registers
+
+
+def test_fig12_precision(benchmark, publish, ctx):
+    exp = benchmark.pedantic(fig12, args=(ctx,), rounds=1, iterations=1)
+    publish(exp, "fig12")
+    rows = {row[0]: row for row in exp.rows}
+    sd = {l: float(rows[l][1].rstrip("x")) for l in "ABCDEF"}
+    sf = {l: float(rows[l][2].rstrip("x")) for l in "ABCDEF"}
+
+    # Paper: float tracks double's trend, ending slightly faster
+    # (105x vs 97x at the end).
+    assert sf["A"] < sf["B"] < sf["C"] < sf["D"] < sf["E"]
+    assert sf["F"] > sd["F"]
+
+    # Paper: "register usage reduction does not show an impact" for
+    # float — halving register width already un-limits occupancy.
+    assert sf["F"] == pytest.approx(sf["E"], rel=0.05)
+    regs_e = pinned_registers("E", 3, "float")
+    regs_f = pinned_registers("F", 3, "float")
+    occ_e = occupancy(TESLA_C2075, 128, regs_e).occupancy
+    occ_f = occupancy(TESLA_C2075, 128, regs_f).occupancy
+    assert occ_e == occ_f, "float occupancy should not be register-limited"

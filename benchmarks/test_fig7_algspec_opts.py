@@ -1,0 +1,28 @@
+"""Figure 7: architectural impact of the algorithm-specific
+optimizations (branch reduction, predication, register reduction)."""
+
+from repro.bench.experiments import fig7
+
+
+def test_fig7_algorithm_specific_optimizations(benchmark, publish, ctx):
+    exp = benchmark.pedantic(fig7, args=(ctx,), rounds=1, iterations=1)
+    publish(exp, "fig7")
+    rows = {row[0]: row for row in exp.rows}
+
+    # 7a: removing the sort reduces executed branches (paper 6.7M->6.2M)
+    # and branch efficiency rises monotonically C -> D -> E.
+    branches = [float(rows[l][1].rstrip("M")) for l in "CDEF"]
+    assert branches[0] > branches[1] > branches[2]
+    beff = [float(rows[l][2].rstrip("%")) for l in "CDEF"]
+    assert beff[0] < beff[1] < beff[2], beff
+    assert beff[2] == beff[3]  # F changes no control flow vs E
+
+    # 7b: transactions and memory efficiency are unchanged by the
+    # algorithm-specific steps (all SoA, same traffic).
+    tx = {rows[l][4] for l in "CDEF"}
+    assert len(tx) == 1
+
+    # 7c: the paper's register counts and the occupancy staircase they
+    # cause (32 regs -> 8 blocks, 33 regs -> 7 blocks at 128 thr/blk).
+    assert [rows[l][5] for l in "CDEF"] == [36, 32, 33, 31]
+    assert [rows[l][6] for l in "CDEF"] == ["58%", "67%", "58%", "67%"]

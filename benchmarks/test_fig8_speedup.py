@@ -1,0 +1,29 @@
+"""Figure 8: speedup over the serial CPU for every optimization level,
+plus the efficiency summary."""
+
+import pytest
+
+from repro.bench.experiments import PAPER_SPEEDUPS, fig8
+
+
+def test_fig8_speedup(benchmark, publish, ctx):
+    exp = benchmark.pedantic(fig8, args=(ctx,), rounds=1, iterations=1)
+    publish(exp, "fig8")
+    speedups = {row[0]: float(row[1].rstrip("x")) for row in exp.rows}
+
+    # The headline result: every optimization group helps, in order.
+    assert speedups["A"] < speedups["B"] < speedups["C"] < speedups["D"]
+    assert speedups["D"] <= speedups["E"] * 1.05  # paper: 85 vs 86 (flat)
+    assert speedups["E"] < speedups["F"]
+
+    # Rough-factor agreement with the paper (calibrated model; the
+    # assertion tolerance is generous on purpose — shape, not seconds).
+    for level, paper in PAPER_SPEEDUPS.items():
+        if level == "G":
+            continue
+        assert speedups[level] == pytest.approx(paper, rel=0.25), level
+
+    # The general optimizations alone give an order of magnitude over
+    # the base GPU port; algorithm-specific roughly doubles again.
+    assert speedups["C"] / speedups["A"] > 3.0
+    assert speedups["F"] / speedups["C"] > 1.4

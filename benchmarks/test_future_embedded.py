@@ -1,0 +1,41 @@
+"""The paper's §VI future work, realised: MoG on an embedded GPU.
+
+'As a future work, we plan to realize MoG on an embedded GPU ...
+achieving real-time performance will require to trade off quality for
+speed.' This bench runs the fully-optimized kernel on a Tegra-K1-class
+device model and asserts that prediction's shape.
+"""
+
+from repro.bench.experiments import embedded_study
+from repro.gpusim.device import TEGRA_K1, TESLA_C2075
+
+
+def test_embedded_study(benchmark, publish, ctx):
+    exp = benchmark.pedantic(embedded_study, args=(ctx,), rounds=1, iterations=1)
+    publish(exp, "embedded")
+    fps = {(row[0], row[1]): float(row[2]) for row in exp.rows}
+
+    # Full HD is out of reach on the embedded part, in either precision.
+    assert fps[("1080p", "double")] < 30.0
+    assert fps[("1080p", "float")] < 30.0
+
+    # Real time is reachable by trading resolution (and helped by
+    # trading precision): the paper's predicted quality/speed trade.
+    assert fps[("VGA 640x480", "float")] >= 60.0
+    assert fps[("720p", "float")] >= 30.0
+    # 720p sits on the 30 Hz edge; 60 Hz needs the precision trade too.
+    assert fps[("720p", "double")] < 60.0 <= fps[("VGA 640x480", "double")]
+
+    # fps scales roughly inversely with pixel count.
+    assert fps[("QVGA 320x240", "float")] > 3 * fps[("720p", "float")]
+
+    # Monotone: float never slower than double at equal resolution.
+    for res in ("QVGA 320x240", "VGA 640x480", "720p", "1080p"):
+        assert fps[(res, "float")] >= fps[(res, "double")]
+
+
+def test_embedded_device_is_weaker():
+    """Sanity of the device model vs the discrete card."""
+    assert TEGRA_K1.mem_bandwidth < TESLA_C2075.mem_bandwidth / 5
+    assert TEGRA_K1.num_sms == 1
+    assert TEGRA_K1.flops_dp < TESLA_C2075.flops_dp / 10

@@ -1,0 +1,172 @@
+"""The paper's §II related-work argument, measured.
+
+Azmat et al. [18] speed up background modeling on low-power GPUs by
+using a *variable* number of components per pixel (multimodal mean,
+[19]) — eliminating standard deviations and early-exiting after the
+matching component. The paper argues this is a CPU-bound optimization:
+"parallel threads in a GPU execute in lock-step mode ... the thread
+with the most Gaussian components determines the latency of all
+parallel threads". This bench runs the baseline and quantifies both
+sides of that argument.
+"""
+
+from repro.bench.experiments import Experiment
+from repro.bench.harness import PAPER_BENCH_PARAMS
+from repro.baselines import MultimodalMeanVectorized
+from repro.mog import MoGVectorized
+from repro.video.scenes import evaluation_scene
+
+SHAPE = (96, 128)
+FRAMES = 40
+
+
+def test_variable_components_help_cpu_not_gpu(benchmark, publish):
+    def run():
+        video = evaluation_scene(height=SHAPE[0], width=SHAPE[1])
+        frames = [video.frame(t) for t in range(FRAMES)]
+        mmm = MultimodalMeanVectorized(SHAPE)
+        mog = MoGVectorized(SHAPE, PAPER_BENCH_PARAMS, variant="nosort")
+        for f in frames:
+            mmm.apply(f)
+            mog.apply(f)
+        return mmm
+
+    mmm = benchmark.pedantic(run, rounds=1, iterations=1)
+    pixels_frames = mmm.num_pixels * FRAMES
+    k_max = mmm.params.max_cells
+
+    # CPU view: cells examined per pixel (early exit after the match).
+    cpu_cells = mmm.thread_scan_cells / pixels_frames
+    # GPU view: lane-slots executed per pixel (warps pay the max lane).
+    gpu_cells = mmm.warp_scan_cells / pixels_frames
+    fixed_cells = float(k_max)  # a fixed-K kernel examines every cell
+
+    cpu_saving = 1.0 - cpu_cells / fixed_cells
+    gpu_saving = 1.0 - gpu_cells / fixed_cells
+
+    publish(
+        Experiment(
+            "Related work (§II)",
+            "Variable-component multimodal mean: CPU vs SIMT cost",
+            ["view", "cells/pixel", f"saving vs fixed K={k_max}"],
+            [
+                ["per-thread (CPU)", f"{cpu_cells:.2f}", f"{cpu_saving * 100:.0f}%"],
+                ["per-warp (GPU)", f"{gpu_cells:.2f}", f"{gpu_saving * 100:.0f}%"],
+            ],
+            notes=(
+                "The variable component count saves the CPU a large "
+                "share of the scan; lock-step warps keep most of the "
+                "cost — the paper's reason to optimize the fixed-K "
+                "algorithm for GPUs instead."
+            ),
+        ),
+        "related_work_multimodal",
+    )
+
+    # The paper's claim, quantitatively: a real CPU saving...
+    assert cpu_saving > 0.30
+    # ...substantially eroded under lock-step execution: the warp pays
+    # ~1.5x the useful work and loses a large slice of the saving.
+    assert gpu_saving < cpu_saving - 0.15
+    assert gpu_cells > 1.3 * cpu_cells
+
+
+def test_simulated_kernel_time_erases_the_algorithmic_saving(benchmark, publish):
+    """Run both algorithms through the GPU simulator: multimodal mean
+    executes a fraction of MoG's floating-point work and moves fewer
+    bytes, yet its kernel is NOT correspondingly faster — divergence
+    and partially-filled warp requests eat the saving. This is the §II
+    claim end to end."""
+    from repro.bench.harness import PAPER_SCALE, steady_state_counters
+    from repro.core.pipeline import HostPipeline
+    from repro.gpusim.counters import KernelCounters
+    from repro.gpusim.device import TESLA_C2075
+    from repro.gpusim.occupancy import occupancy
+    from repro.gpusim.timing import TimingModel
+    from repro.kernels.multimodal import MultimodalMeanGpu
+
+    def run():
+        video = evaluation_scene(height=SHAPE[0], width=SHAPE[1])
+        frames = [video.frame(t) for t in range(FRAMES)]
+        hp = HostPipeline(SHAPE, PAPER_BENCH_PARAMS, "F")
+        hp.process(frames)
+        c_mog, occ_mog = steady_state_counters(hp.report(), 24)
+
+        gpu = MultimodalMeanGpu(SHAPE)
+        gpu.apply_sequence(frames)
+        launches = [
+            l for l in gpu.engine.launches if l.name.startswith("mmm[")
+        ][24:]
+        c_mmm = KernelCounters()
+        for launch in launches:
+            c_mmm.add(launch.counters)
+        c_mmm = c_mmm.scaled(1.0 / len(launches))
+        # The lean kernel needs few registers; occupancy is block-capped.
+        occ_mmm = occupancy(TESLA_C2075, 128, 18)
+        return c_mog, occ_mog, c_mmm, occ_mmm
+
+    c_mog, occ_mog, c_mmm, occ_mmm = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    tm = TimingModel()
+    ratio = PAPER_SCALE.num_pixels / (SHAPE[0] * SHAPE[1])
+    t_mog = tm.kernel_timing(c_mog.scaled(ratio), occ_mog).total
+    t_mmm = tm.kernel_timing(c_mmm.scaled(ratio), occ_mmm).total
+
+    publish(
+        Experiment(
+            "Related work (§II), simulated",
+            "Multimodal mean vs MoG level F on the simulated C2075",
+            ["algorithm", "fp64/warp-frame", "branch eff", "mem eff",
+             "kernel/frame (full HD)"],
+            [
+                ["MoG level F",
+                 int(c_mog.warp_issues["fp64"] / (SHAPE[0] * SHAPE[1] / 32)),
+                 f"{c_mog.branch_efficiency * 100:.1f}%",
+                 f"{c_mog.memory_access_efficiency * 100:.1f}%",
+                 f"{t_mog * 1e3:.2f} ms"],
+                ["multimodal mean",
+                 int(c_mmm.warp_issues["fp64"] / (SHAPE[0] * SHAPE[1] / 32)),
+                 f"{c_mmm.branch_efficiency * 100:.1f}%",
+                 f"{c_mmm.memory_access_efficiency * 100:.1f}%",
+                 f"{t_mmm * 1e3:.2f} ms"],
+            ],
+        ),
+        "related_work_simulated",
+    )
+
+    # A third of the arithmetic...
+    assert c_mmm.warp_issues["fp64"] < 0.5 * c_mog.warp_issues["fp64"]
+    # ...and fewer bytes moved...
+    assert c_mmm.bytes_moved < c_mog.bytes_moved
+    # ...yet no commensurate speedup (here: none at all).
+    assert t_mmm > 0.8 * t_mog
+    # The causes, visible in the counters:
+    assert c_mmm.branch_efficiency < c_mog.branch_efficiency - 0.1
+    assert c_mmm.memory_access_efficiency < c_mog.memory_access_efficiency - 0.2
+
+
+def test_multimodal_mean_is_cheaper_but_coarser(benchmark):
+    """[18]'s trade: no sd, no sqrt/divide -> cheaper per cell; but the
+    fixed match half-width is a coarser model than MoG's adaptive
+    2.5-sigma band. Both detect the scene's objects; MoG's masks agree
+    better with itself over reruns (determinism sanity) and the two
+    stay broadly consistent."""
+    from repro.metrics.foreground import score_sequence
+
+    def run():
+        video = evaluation_scene(height=SHAPE[0], width=SHAPE[1])
+        pairs = [video.frame_with_truth(t) for t in range(FRAMES)]
+        mmm = MultimodalMeanVectorized(SHAPE)
+        mog = MoGVectorized(SHAPE, PAPER_BENCH_PARAMS, variant="nosort")
+        mmm_masks = [mmm.apply(f) for f, _ in pairs]
+        mog_masks = [mog.apply(f) for f, _ in pairs]
+        truths = [t for _, t in pairs]
+        return (
+            score_sequence(mmm_masks[30:], truths[30:]),
+            score_sequence(mog_masks[30:], truths[30:]),
+        )
+
+    mmm_score, mog_score = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert mmm_score.recall > 0.4
+    assert mog_score.f1 >= mmm_score.f1 - 0.1

@@ -1,0 +1,110 @@
+"""Wall-clock throughput of the library's two execution paths on this
+machine (not a paper figure — regression guard for the repo itself)."""
+
+import numpy as np
+
+from repro import BackgroundSubtractor
+from repro.bench.harness import PAPER_BENCH_PARAMS
+from repro.video.scenes import evaluation_scene
+
+SHAPE = (120, 160)
+
+
+def _frames(n):
+    video = evaluation_scene(height=SHAPE[0], width=SHAPE[1])
+    return [video.frame(t) for t in range(n)]
+
+
+def test_simulated_kernel_throughput(benchmark):
+    """Simulator path: frames/s through the level-F kernel."""
+    frames = _frames(6)
+    bs = BackgroundSubtractor(SHAPE, params=PAPER_BENCH_PARAMS, level="F")
+    bs.apply(frames[0])  # initialisation outside the timed region
+
+    def run():
+        for f in frames[1:]:
+            bs.apply(f)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_cpu_backend_throughput(benchmark):
+    """Practical path: frames/s through the vectorized CPU backend."""
+    frames = _frames(12)
+    bs = BackgroundSubtractor(SHAPE, params=PAPER_BENCH_PARAMS,
+                              level="F", backend="cpu")
+    bs.apply(frames[0])
+
+    def run():
+        for f in frames[1:]:
+            bs.apply(f)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_scalar_reference_throughput(benchmark):
+    """The deliberately naive scalar reference, at a tiny frame — the
+    'single-threaded CPU implementation' of the paper in spirit."""
+    from repro.mog.reference import MoGReference
+
+    video = evaluation_scene(height=24, width=32)
+    frames = [video.frame(t) for t in range(4)]
+    ref = MoGReference((24, 32), PAPER_BENCH_PARAMS)
+    ref.apply(frames[0])
+
+    def run():
+        for f in frames[1:]:
+            ref.apply(f)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_backends_agree(benchmark):
+    """The two paths must produce identical masks (also benchmarked so
+    it participates in --benchmark-only runs)."""
+    frames = _frames(8)
+
+    def run():
+        sim = BackgroundSubtractor(SHAPE, params=PAPER_BENCH_PARAMS, level="F")
+        cpu = BackgroundSubtractor(
+            SHAPE, params=PAPER_BENCH_PARAMS, level="F", backend="cpu"
+        )
+        a, _ = sim.process(frames)
+        b, _ = cpu.process(frames)
+        return a, b
+
+    a, b = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert np.array_equal(a, b)
+
+
+def test_fast_path_speedup(benchmark):
+    """The allocation-free FastMoG must beat the clear implementation
+    (same bits, fewer temporaries — the scientific-Python optimization
+    playbook, measured)."""
+    import time
+
+    from repro.mog import MoGVectorized
+    from repro.mog.fast import FastMoG
+
+    shape = (240, 320)
+    video = evaluation_scene(height=shape[0], width=shape[1])
+    frames = [video.frame(t) for t in range(10)]
+
+    def timed(factory):
+        mog = factory()
+        mog.apply(frames[0])
+        start = time.perf_counter()
+        for f in frames[1:]:
+            mog.apply(f)
+        return time.perf_counter() - start
+
+    def run():
+        clear = timed(lambda: MoGVectorized(
+            shape, PAPER_BENCH_PARAMS, variant="nosort"
+        ))
+        fast = timed(lambda: FastMoG(shape, PAPER_BENCH_PARAMS))
+        return clear, fast
+
+    clear_s, fast_s = benchmark.pedantic(run, rounds=3, iterations=1)
+    # Conservative bound (CI noise); typically ~1.5-2x.
+    assert fast_s < clear_s * 0.9

@@ -1,0 +1,14 @@
+"""Table I: the HW configuration description (static)."""
+
+from repro.bench.experiments import table1
+from repro.gpusim.device import TESLA_C2075, XEON_E5_2620
+
+
+def test_table1_hw_config(benchmark, publish):
+    exp = benchmark.pedantic(table1, rounds=1, iterations=1)
+    publish(exp, "table1")
+    rows = {row[0]: row[1:] for row in exp.rows}
+    assert rows["Cores"] == ["6", "448"]
+    assert TESLA_C2075.num_sms * TESLA_C2075.cores_per_sm == 448
+    assert XEON_E5_2620.cores == 6
+    assert "144" in rows["Mem. BW"][1]

@@ -1,0 +1,21 @@
+"""Tables II & III: the cumulative optimization-level definitions."""
+
+from repro.bench.experiments import table2, table3
+
+
+def test_table2_general_levels(benchmark, publish):
+    exp = benchmark.pedantic(table2, rounds=1, iterations=1)
+    publish(exp, "table2")
+    rows = {row[0]: row[1:] for row in exp.rows}
+    assert rows["Base Implementation"] == ["x", "x", "x"]
+    assert rows["Memory Coalescing"] == ["", "x", "x"]
+    assert rows["Overlapped Execution"] == ["", "", "x"]
+
+
+def test_table3_algorithm_specific_levels(benchmark, publish):
+    exp = benchmark.pedantic(table3, rounds=1, iterations=1)
+    publish(exp, "table3")
+    rows = {row[0]: row[1:] for row in exp.rows}
+    assert rows["Branch Reduction"] == ["x", "x", "x"]
+    assert rows["Predicated Execution"] == ["", "x", "x"]
+    assert rows["Register Reduction"] == ["", "", "x"]

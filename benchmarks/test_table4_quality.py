@@ -1,0 +1,25 @@
+"""Table IV: MS-SSIM output quality of every optimization level against
+the double-precision CPU ground truth."""
+
+from repro.bench.experiments import table4
+
+
+def _pct(cell: str) -> float:
+    return float(cell.rstrip("%"))
+
+
+def test_table4_quality(benchmark, publish, ctx):
+    exp = benchmark.pedantic(table4, args=(ctx,), rounds=1, iterations=1)
+    publish(exp, "table4")
+    bg = [_pct(c) for c in exp.rows[0][1:]]
+    fg = [_pct(c) for c in exp.rows[2][1:]]
+
+    # Paper headline: the optimizations have practically no impact on
+    # quality (all readings >= 95%). In this reproduction the claim
+    # holds *exactly* — every restructuring is decision-preserving
+    # (repro.mog.update step 6 note), so every level scores 100%; the
+    # paper's 95-97% foreground readings are platform FP/compiler
+    # artifacts it could not explain either.
+    assert all(v >= 95.0 for v in bg), bg
+    assert all(v >= 95.0 for v in fg), fg
+    assert all(v == 100.0 for v in fg), fg

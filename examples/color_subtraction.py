@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Color background subtraction (library extension beyond the paper):
+run the spherical-covariance RGB MoG on colorized synthetic footage and
+show the case grayscale subtraction cannot handle — an object whose
+*luminance* matches the background but whose *hue* does not.
+
+Run:  python examples/color_subtraction.py
+"""
+
+import numpy as np
+
+from repro import MoGParams
+from repro.metrics import foreground_score
+from repro.mog import MoGVectorized
+from repro.mog.color import ColorMoGVectorized
+from repro.post import MaskCleaner
+from repro.video.color import ColorizedVideo
+from repro.video.scenes import evaluation_scene
+
+SHAPE = (96, 128)
+
+
+def isoluminant_demo() -> None:
+    """A hue flip invisible to grayscale."""
+    params = MoGParams(learning_rate=0.1)
+    red = np.zeros((*SHAPE, 3), dtype=np.uint8)
+    red[..., 0] = 150
+    blue = np.zeros((*SHAPE, 3), dtype=np.uint8)
+    blue[..., 2] = 150
+
+    color = ColorMoGVectorized(SHAPE, params)
+    gray = MoGVectorized(SHAPE, params, variant="nosort")
+    for _ in range(8):
+        color.apply(red)
+        gray.apply(np.full(SHAPE, 50, dtype=np.uint8))  # equal luminance
+    color_hits = color.apply(blue).mean()
+    gray_hits = gray.apply(np.full(SHAPE, 50, dtype=np.uint8)).mean()
+    print(
+        f"isoluminant hue flip:  color model flags {color_hits * 100:.0f}% "
+        f"of pixels, grayscale flags {gray_hits * 100:.0f}%"
+    )
+
+
+def main() -> None:
+    isoluminant_demo()
+
+    params = MoGParams(learning_rate=0.08, initial_sd=8.0)
+    video = ColorizedVideo(evaluation_scene(height=SHAPE[0], width=SHAPE[1]))
+    mog = ColorMoGVectorized(SHAPE, params)
+    cleaner = MaskCleaner(open_radius=0, close_radius=2, min_area=6)
+
+    raw_score = clean_score = None
+    for t in range(40):
+        frame, truth = video.frame_with_truth(t)
+        mask = mog.apply(frame)
+        if t >= 25:
+            s = foreground_score(mask, truth)
+            raw_score = s if raw_score is None else raw_score + s
+            s2 = foreground_score(cleaner(mask), truth)
+            clean_score = s2 if clean_score is None else clean_score + s2
+
+    print(
+        f"\ncolorized surveillance scene (frames 25-39):\n"
+        f"  raw masks     : precision={raw_score.precision:.2f} "
+        f"recall={raw_score.recall:.2f} F1={raw_score.f1:.2f}\n"
+        f"  after cleanup : precision={clean_score.precision:.2f} "
+        f"recall={clean_score.recall:.2f} F1={clean_score.f1:.2f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""The paper's optimization story, end to end: run every level A..G on
+the same clip, print the profiler metrics and the extrapolated full-HD
+speedup after each step (the living version of Figures 6-8 and 10).
+
+Run:  python examples/optimization_tour.py
+"""
+
+from repro.bench.experiments import ExperimentContext
+from repro.bench.reporting import format_table
+from repro.core.variants import OptimizationLevel
+
+STEP_NOTES = {
+    "A": "direct CUDA port: AoS layout wastes 8 of 9 fetched bytes",
+    "B": "SoA layout coalesces warp accesses (18 -> 2 transactions)",
+    "C": "DMA overlaps kernel execution, hiding the PCIe time",
+    "D": "rank/sort removed: the scan's OR needs no order",
+    "E": "predicated updates: all lanes run one instruction stream",
+    "F": "diff[] recomputed, not stored: occupancy 58% -> 67%",
+    "G": "tile parameters in shared memory, reuse across 8 frames",
+}
+
+
+def main() -> None:
+    ctx = ExperimentContext()
+    rows = []
+    for level in OptimizationLevel:
+        result = ctx.run(level.letter)
+        m = result.metrics()
+        rows.append(
+            [
+                level.letter,
+                level.spec.title,
+                f"{result.speedup:.1f}x",
+                f"{level.spec.paper_speedup:.0f}x",
+                f"{m['memory_access_efficiency'] * 100:.0f}%",
+                f"{m['branch_efficiency'] * 100:.1f}%",
+                f"{m['occupancy'] * 100:.0f}%",
+            ]
+        )
+    print(
+        format_table(
+            ["lvl", "optimization", "speedup", "paper", "mem eff",
+             "branch eff", "occ"],
+            rows,
+            title="Step-wise optimization of MoG on the simulated C2075",
+        )
+    )
+    print()
+    for letter, note in STEP_NOTES.items():
+        print(f"  {letter}: {note}")
+
+
+if __name__ == "__main__":
+    main()

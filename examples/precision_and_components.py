@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Section V of the paper: how the data type (double vs float) and the
+number of Gaussian components (3 vs 5) shift the speed/quality balance.
+
+Run:  python examples/precision_and_components.py
+"""
+
+import numpy as np
+
+from repro import BackgroundSubtractor, MoGParams
+from repro.bench.experiments import ExperimentContext
+from repro.bench.reporting import format_table
+from repro.video.scenes import evaluation_scene
+
+SHAPE = (120, 160)
+
+
+def quality_vs_double(params: MoGParams, dtype: str) -> float:
+    """Mask agreement of a dtype run against the double ground truth."""
+    video = evaluation_scene(height=SHAPE[0], width=SHAPE[1])
+    frames = [video.frame(t) for t in range(30)]
+    ref = BackgroundSubtractor(SHAPE, params, level="F", backend="cpu")
+    ref_masks, _ = ref.process(frames)
+    from repro.config import RunConfig
+
+    rc = RunConfig(height=SHAPE[0], width=SHAPE[1], dtype=dtype)
+    test = BackgroundSubtractor(
+        SHAPE, params, level="F", backend="cpu", run_config=rc
+    )
+    test_masks, _ = test.process(frames)
+    return float(np.mean(ref_masks[20:] == test_masks[20:]))
+
+
+def main() -> None:
+    ctx = ExperimentContext(shape=SHAPE)
+    params = ctx.params
+
+    rows = []
+    for dtype in ("double", "float"):
+        for k in (3, 5):
+            r = ctx.run("F", num_gaussians=k, dtype=dtype)
+            rows.append(
+                [
+                    dtype, k,
+                    f"{r.speedup:.1f}x",
+                    f"{r.report.registers_per_thread}",
+                    f"{r.report.occupancy * 100:.0f}%",
+                    f"{r.kernel_time_per_frame * 1e3:.2f} ms",
+                ]
+            )
+    print(
+        format_table(
+            ["dtype", "K", "speedup", "regs", "occupancy", "kernel/frame"],
+            rows,
+            title="Level F across precision and component count (full-HD extrapolated)",
+        )
+    )
+
+    agreement = quality_vs_double(params, "float")
+    print(
+        f"\nfloat32 vs float64 mask agreement: {agreement * 100:.2f}% "
+        "(the paper reports ~5% MS-SSIM loss and recommends float for "
+        "its ~8% performance edge)"
+    )
+    print(
+        "5 components cost ~1.7x CPU time and ~1.6x GPU kernel time, and\n"
+        "their extra registers depress occupancy — use them only for\n"
+        "scenes whose backgrounds genuinely have >2 modes per pixel."
+    )
+
+
+if __name__ == "__main__":
+    main()

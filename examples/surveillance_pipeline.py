@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""The full application the paper's introduction motivates: a
+surveillance pipeline — background subtraction feeding mask cleanup
+feeding multi-object tracking — over a synthetic scene with ground
+truth, with the subtraction stage running on the simulated GPU.
+
+Run:  python examples/surveillance_pipeline.py
+"""
+
+from repro import BackgroundSubtractor, MoGParams
+from repro.post import MaskCleaner, connected_components
+from repro.track import CentroidTracker, TrackerParams
+from repro.video.scenes import evaluation_scene
+
+SHAPE = (120, 160)
+FRAMES = 60
+WARMUP = 20
+
+
+def main() -> None:
+    video = evaluation_scene(height=SHAPE[0], width=SHAPE[1])
+    subtractor = BackgroundSubtractor(
+        SHAPE, MoGParams(learning_rate=0.08, initial_sd=8.0), level="F"
+    )
+    cleaner = MaskCleaner(open_radius=0, close_radius=2, min_area=8)
+    tracker = CentroidTracker(
+        TrackerParams(max_distance=22.0, min_hits=3, min_area=8)
+    )
+
+    detections_per_frame = []
+    for t in range(FRAMES):
+        mask = cleaner(subtractor.apply(video.frame(t)))
+        if t >= WARMUP:
+            tracker.update(mask, frame_index=t)
+            detections_per_frame.append(len(connected_components(mask)))
+
+    print(tracker.summary())
+    avg_det = sum(detections_per_frame) / len(detections_per_frame)
+    print(f"\naverage detections per frame: {avg_det:.1f}")
+
+    report = subtractor.report()
+    print(
+        f"\nsubtraction stage (simulated C2075, level F): "
+        f"{report.kernel_time_per_frame * 1e3:.3f} ms kernel/frame, "
+        f"{report.memory_access_efficiency * 100:.0f}% memory efficiency, "
+        f"{report.branch_efficiency * 100:.1f}% branch efficiency"
+    )
+    print(
+        "At full HD the paper's optimized kernel leaves ~11 ms of the "
+        "16.7 ms frame budget\nfor exactly this kind of downstream "
+        "cleanup and tracking."
+    )
+
+
+if __name__ == "__main__":
+    main()

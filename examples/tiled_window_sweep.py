@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Shared-memory tiling study (the paper's Figure 10): sweep the frame
+group size of the level-G kernel and watch the trade-off between
+parameter-traffic amortisation and memory-efficiency/latency costs.
+
+Run:  python examples/tiled_window_sweep.py
+"""
+
+from repro.bench.experiments import ExperimentContext, fig10
+from repro.bench.harness import PAPER_BENCH_PARAMS
+from repro.config import RunConfig
+from repro.core.pipeline import max_tile_pixels
+from repro.gpusim.device import TESLA_C2075
+
+
+def main() -> None:
+    tile_limit = max_tile_pixels(PAPER_BENCH_PARAMS, "double", TESLA_C2075)
+    shared_kb = RunConfig().tile_pixels * 3 * 3 * 8 / 1024
+    print(
+        f"tile budget: {tile_limit} px max per 48 KB SM; the paper's "
+        f"640-px tile uses {shared_kb:.0f} KB\n"
+    )
+    ctx = ExperimentContext()
+    exp = fig10(ctx)
+    print(exp.format())
+    print(
+        "\nReading the sweep: parameters travel DRAM<->shared once per\n"
+        "group, so their traffic falls as 1/group; but the remaining\n"
+        "traffic (frames in, masks out) is byte-packed and poorly\n"
+        "coalesced, so measured memory efficiency decays, and each\n"
+        "frame's result is delayed until its whole group completes.\n"
+        "The sweet spot sits around a group of 8 frames - the paper's\n"
+        "101x configuration."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Competing background-subtraction algorithms from the paper's §I/§II."""
+
+from .multimodal_mean import MultimodalMeanParams, MultimodalMeanVectorized
+from .running_average import FrameDifference, RunningAverage
+
+__all__ = [
+    "MultimodalMeanParams",
+    "MultimodalMeanVectorized",
+    "FrameDifference",
+    "RunningAverage",
+]

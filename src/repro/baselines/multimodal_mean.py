@@ -1,0 +1,193 @@
+"""Multimodal-mean background modeling — the paper's §II counterpoint.
+
+The paper's related work ([18] Azmat et al., built on [19] Apewokin et
+al.) accelerates adaptive background modeling by *simplifying the
+algorithm*: standard deviations (and their sqrt/divide) are eliminated,
+each pixel keeps a handful of "mean cells" with hit counts, and the
+number of *live* cells varies per pixel. That variable component count
+is a genuine CPU win (most pixels stop after one cell) — and, the paper
+argues, nearly worthless on a GPU, where lock-step warps pay the
+maximum live-cell count of their 32 lanes and unbalanced memory access
+degrades coalescing.
+
+This module implements the algorithm (with the simplifications
+documented below) so that argument can be *measured* instead of taken
+on faith — see ``benchmarks/test_related_work_multimodal.py``.
+
+Algorithm (per pixel, per frame)
+--------------------------------
+Each pixel owns up to ``max_cells`` cells of ``(sum, count)``; a cell's
+mean is ``sum / count`` and a cell is *live* while ``count > 0``.
+
+1. Scan live cells in order; the first with ``|x - mean| < epsilon``
+   *matches*: ``sum += x; count += 1``. The scan stops there (the
+   variable-cost early exit).
+2. No match: the cell with the smallest count is replaced by
+   ``(x, 1)``.
+3. Background iff the matched cell's count is at least
+   ``background_fraction`` of the pixel's total count.
+4. Every ``decay_period`` frames all sums/counts are halved (integer
+   floor), so stale modes age out; cells decayed to zero count die.
+
+Simplifications vs [19]: grayscale (not RGB), and the recency term is
+folded into the decay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class MultimodalMeanParams:
+    """Knobs of the multimodal-mean model."""
+
+    max_cells: int = 4
+    epsilon: float = 12.0           # match half-width in intensity units
+    background_fraction: float = 0.25
+    decay_period: int = 32
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.max_cells <= 8:
+            raise ConfigError(
+                f"max_cells must be in [1, 8], got {self.max_cells}"
+            )
+        if self.epsilon <= 0:
+            raise ConfigError(f"epsilon must be positive, got {self.epsilon}")
+        if not 0.0 < self.background_fraction < 1.0:
+            raise ConfigError(
+                "background_fraction must be in (0, 1), got "
+                f"{self.background_fraction}"
+            )
+        if self.decay_period < 1:
+            raise ConfigError(
+                f"decay_period must be >= 1, got {self.decay_period}"
+            )
+
+
+class MultimodalMeanVectorized:
+    """Vectorized multimodal-mean processor with cost accounting.
+
+    Besides the masks, it records the two cost proxies the §II argument
+    turns on, per frame:
+
+    * ``thread_scan_cells`` — cells examined summed over pixels (the
+      CPU's cost: early exit after the matching cell);
+    * ``warp_scan_cells`` — per 32-pixel warp, the *maximum* lane scan
+      length, summed (the SIMT cost: the warp retires only when its
+      slowest lane does).
+    """
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        params: MultimodalMeanParams | None = None,
+    ) -> None:
+        self.shape = tuple(shape)
+        if len(self.shape) != 2 or min(self.shape) <= 0:
+            raise ConfigError(f"invalid frame shape {shape}")
+        self.params = params or MultimodalMeanParams()
+        n = self.num_pixels
+        k = self.params.max_cells
+        self.sums = np.zeros((k, n), dtype=np.float64)
+        self.counts = np.zeros((k, n), dtype=np.int64)
+        self.frames_processed = 0
+        self.thread_scan_cells = 0
+        self.warp_scan_cells = 0
+
+    @property
+    def num_pixels(self) -> int:
+        return self.shape[0] * self.shape[1]
+
+    def live_cells(self) -> np.ndarray:
+        """Number of live cells per pixel (the 'variable K')."""
+        return (self.counts > 0).sum(axis=0)
+
+    def apply(self, frame: np.ndarray) -> np.ndarray:
+        """Process one frame; returns the boolean foreground mask."""
+        frame = np.asarray(frame)
+        if frame.shape != self.shape:
+            raise ConfigError(
+                f"frame shape {frame.shape} != configured {self.shape}"
+            )
+        x = frame.reshape(-1).astype(np.float64)
+        p = self.params
+        n = self.num_pixels
+
+        if self.frames_processed == 0:
+            self.sums[0] = x
+            self.counts[0] = 1
+
+        # Step 1: first-match scan over live cells, recording per-pixel
+        # scan length (cells examined until the match, or all live).
+        matched_cell = np.full(n, -1, dtype=np.int64)
+        scan_len = np.zeros(n, dtype=np.int64)
+        unresolved = np.ones(n, dtype=bool)
+        with np.errstate(invalid="ignore"):
+            for k in range(p.max_cells):
+                live = self.counts[k] > 0
+                consider = unresolved & live
+                scan_len[consider] += 1
+                mean = np.divide(
+                    self.sums[k], self.counts[k],
+                    out=np.zeros(n), where=live,
+                )
+                hit = consider & (np.abs(x - mean) < p.epsilon)
+                matched_cell[hit] = k
+                unresolved &= ~hit
+        self.thread_scan_cells += int(scan_len.sum())
+        padded = np.zeros(-(-n // 32) * 32, dtype=np.int64)
+        padded[:n] = scan_len
+        # A warp's scan costs its slowest lane times the warp width.
+        self.warp_scan_cells += int(
+            (padded.reshape(-1, 32).max(axis=1) * 32).sum()
+        )
+
+        # Step 1b: accumulate into the matched cells.
+        cols = np.flatnonzero(matched_cell >= 0)
+        rows = matched_cell[cols]
+        self.sums[rows, cols] += x[cols]
+        self.counts[rows, cols] += 1
+
+        # Step 2: replace the weakest cell on a total miss.
+        miss = np.flatnonzero(matched_cell < 0)
+        if miss.size:
+            weakest = np.argmin(self.counts[:, miss], axis=0)
+            self.sums[weakest, miss] = x[miss]
+            self.counts[weakest, miss] = 1
+            matched_cell[miss] = weakest
+
+        # Step 3: background decision.
+        total = self.counts.sum(axis=0)
+        hit_count = self.counts[matched_cell, np.arange(n)]
+        background = hit_count >= p.background_fraction * total
+        # A cell just created (count 1 of many) is foreground unless the
+        # pixel history is trivially short — which the fraction handles.
+
+        # Step 4: periodic decay.
+        self.frames_processed += 1
+        if self.frames_processed % p.decay_period == 0:
+            self.sums //= 2
+            self.counts //= 2
+
+        return (~background).reshape(self.shape)
+
+    def apply_sequence(self, frames) -> np.ndarray:
+        masks = [self.apply(f) for f in frames]
+        if not masks:
+            raise ConfigError("empty frame sequence")
+        return np.stack(masks)
+
+    def background_image(self) -> np.ndarray:
+        """Mean of each pixel's highest-count cell."""
+        if self.frames_processed == 0:
+            raise ConfigError("no frame processed yet")
+        best = np.argmax(self.counts, axis=0)
+        idx = np.arange(self.num_pixels)
+        counts = np.maximum(self.counts[best, idx], 1)
+        img = self.sums[best, idx] / counts
+        return np.clip(img, 0.0, 255.0).reshape(self.shape)

@@ -1,0 +1,136 @@
+"""History-based background subtraction baselines.
+
+The paper's introduction spans the design space: "Background
+subtraction algorithms range from history-based realizations to
+adaptive learning algorithms", and picks MoG because it "offers a very
+good quality and efficiency in capturing multi-modal background
+scenes". These two classical history-based baselines make that claim
+testable:
+
+* :class:`FrameDifference` — foreground = pixels that changed more
+  than a threshold since the previous frame. Trivially cheap; detects
+  only *motion*, so slow or briefly-stationary objects vanish.
+* :class:`RunningAverage` — a single exponentially-weighted background
+  image (optionally with a matching running variance for an adaptive
+  threshold). The unimodal assumption is exactly what breaks on
+  flickering/multi-modal pixels — which is where MoG earns its cost
+  (see ``benchmarks/test_baseline_quality.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+class FrameDifference:
+    """Two-frame differencing."""
+
+    def __init__(self, shape: tuple[int, int], threshold: float = 25.0) -> None:
+        self.shape = tuple(shape)
+        if len(self.shape) != 2 or min(self.shape) <= 0:
+            raise ConfigError(f"invalid frame shape {shape}")
+        if threshold <= 0:
+            raise ConfigError(f"threshold must be positive, got {threshold}")
+        self.threshold = threshold
+        self._previous: np.ndarray | None = None
+        self.frames_processed = 0
+
+    def apply(self, frame: np.ndarray) -> np.ndarray:
+        frame = np.asarray(frame)
+        if frame.shape != self.shape:
+            raise ConfigError(
+                f"frame shape {frame.shape} != configured {self.shape}"
+            )
+        current = frame.astype(np.float64)
+        if self._previous is None:
+            mask = np.zeros(self.shape, dtype=bool)
+        else:
+            mask = np.abs(current - self._previous) > self.threshold
+        self._previous = current
+        self.frames_processed += 1
+        return mask
+
+    def apply_sequence(self, frames) -> np.ndarray:
+        masks = [self.apply(f) for f in frames]
+        if not masks:
+            raise ConfigError("empty frame sequence")
+        return np.stack(masks)
+
+
+class RunningAverage:
+    """Exponential running-average background with adaptive threshold.
+
+    Background estimate ``B`` and variance ``V`` update only from
+    pixels currently classified background (selective update), the
+    standard trick to keep foreground objects from bleeding into the
+    model::
+
+        fg   = |x - B|  >  k * sqrt(V)
+        B   += a * (x - B)      (background pixels)
+        V   += a * ((x-B)^2 - V)
+
+    One mode per pixel: a bimodal background pushes ``B`` between the
+    modes and inflates ``V`` until either everything is foreground or
+    nothing is — the failure MoG's mixture fixes.
+    """
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        learning_rate: float = 0.05,
+        k: float = 2.5,
+        initial_sd: float = 10.0,
+        sd_floor: float = 4.0,
+    ) -> None:
+        self.shape = tuple(shape)
+        if len(self.shape) != 2 or min(self.shape) <= 0:
+            raise ConfigError(f"invalid frame shape {shape}")
+        if not 0.0 < learning_rate < 1.0:
+            raise ConfigError(
+                f"learning_rate must be in (0, 1), got {learning_rate}"
+            )
+        if k <= 0 or initial_sd <= 0 or sd_floor <= 0:
+            raise ConfigError("k, initial_sd and sd_floor must be positive")
+        self.learning_rate = learning_rate
+        self.k = k
+        self.initial_sd = initial_sd
+        self.sd_floor = sd_floor
+        self._mean: np.ndarray | None = None
+        self._var: np.ndarray | None = None
+        self.frames_processed = 0
+
+    def apply(self, frame: np.ndarray) -> np.ndarray:
+        frame = np.asarray(frame)
+        if frame.shape != self.shape:
+            raise ConfigError(
+                f"frame shape {frame.shape} != configured {self.shape}"
+            )
+        x = frame.astype(np.float64)
+        if self._mean is None:
+            self._mean = x.copy()
+            self._var = np.full(self.shape, self.initial_sd**2)
+        delta = x - self._mean
+        sd = np.sqrt(np.maximum(self._var, self.sd_floor**2))
+        foreground = np.abs(delta) > self.k * sd
+
+        a = self.learning_rate
+        background = ~foreground
+        self._mean[background] += a * delta[background]
+        self._var[background] += a * (
+            delta[background] ** 2 - self._var[background]
+        )
+        self.frames_processed += 1
+        return foreground
+
+    def apply_sequence(self, frames) -> np.ndarray:
+        masks = [self.apply(f) for f in frames]
+        if not masks:
+            raise ConfigError("empty frame sequence")
+        return np.stack(masks)
+
+    def background_image(self) -> np.ndarray:
+        if self._mean is None:
+            raise ConfigError("no frame processed yet")
+        return np.clip(self._mean, 0.0, 255.0)

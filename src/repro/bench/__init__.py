@@ -1,0 +1,13 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+:mod:`repro.bench.harness` runs optimization levels on a scene and
+extrapolates the measured per-frame counters to the paper's workload
+(450 full-HD frames); :mod:`repro.bench.experiments` packages one
+function per paper table/figure; :mod:`repro.bench.reporting` renders
+them as text tables.
+"""
+
+from .harness import LevelResult, PAPER_SCALE, WorkloadScale, run_level
+from .reporting import format_table
+
+__all__ = ["LevelResult", "WorkloadScale", "PAPER_SCALE", "run_level", "format_table"]

@@ -1,0 +1,118 @@
+"""Parameter sweeps: tune MoG against ground truth.
+
+The paper fixes its algorithmic parameters; a downstream user has to
+pick them. These helpers sweep one :class:`~repro.config.MoGParams`
+field across a value list, score each setting against a synthetic
+scene's exact masks, and report the curve — the quality-side companion
+to the performance experiments.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from ..config import MoGParams
+from ..errors import ConfigError
+from ..metrics.foreground import ForegroundScore, score_sequence
+from ..mog.vectorized import MoGVectorized
+from ..video.scenes import evaluation_scene
+
+#: MoGParams fields that make sense to sweep.
+SWEEPABLE = (
+    "num_gaussians",
+    "learning_rate",
+    "match_threshold",
+    "background_weight",
+    "initial_sd",
+    "initial_weight",
+    "sd_floor",
+)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One setting's outcome."""
+
+    value: float
+    score: ForegroundScore
+    foreground_rate: float  # mean share of pixels flagged
+
+    @property
+    def f1(self) -> float:
+        return self.score.f1
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A full parameter curve."""
+
+    parameter: str
+    points: tuple[SweepPoint, ...]
+
+    @property
+    def best(self) -> SweepPoint:
+        return max(self.points, key=lambda p: p.f1)
+
+    def rows(self) -> list[list[str]]:
+        return [
+            [
+                f"{p.value:g}",
+                f"{p.score.precision:.3f}",
+                f"{p.score.recall:.3f}",
+                f"{p.f1:.3f}",
+                f"{p.foreground_rate * 100:.2f}%",
+                "<- best" if p is self.best else "",
+            ]
+            for p in self.points
+        ]
+
+
+def sweep_parameter(
+    parameter: str,
+    values,
+    base_params: MoGParams | None = None,
+    shape: tuple[int, int] = (96, 128),
+    num_frames: int = 36,
+    warmup: int = 24,
+    variant: str = "nosort",
+    scene_builder=evaluation_scene,
+    seed: int = 5,
+) -> SweepResult:
+    """Sweep one MoG parameter and score against ground truth.
+
+    ``scene_builder`` must accept ``height``/``width``/``seed`` and
+    produce frames with truth (any of :mod:`repro.video.scenes`).
+    """
+    if parameter not in SWEEPABLE:
+        raise ConfigError(
+            f"cannot sweep {parameter!r}; choose one of {SWEEPABLE}"
+        )
+    values = list(values)
+    if not values:
+        raise ConfigError("no values to sweep")
+    if not 0 <= warmup < num_frames:
+        raise ConfigError(
+            f"need 0 <= warmup < num_frames, got {warmup}, {num_frames}"
+        )
+    base_params = base_params or MoGParams(learning_rate=0.08, initial_sd=8.0)
+
+    video = scene_builder(height=shape[0], width=shape[1], seed=seed)
+    pairs = [video.frame_with_truth(t) for t in range(num_frames)]
+    frames = [f for f, _ in pairs]
+    truths = [t for _, t in pairs]
+
+    points = []
+    for value in values:
+        params = dataclasses.replace(base_params, **{parameter: value})
+        mog = MoGVectorized(shape, params, variant=variant)
+        masks = mog.apply_sequence(frames)
+        score = score_sequence(list(masks[warmup:]), truths[warmup:])
+        points.append(
+            SweepPoint(
+                value=float(value),
+                score=score,
+                foreground_rate=float(masks[warmup:].mean()),
+            )
+        )
+    return SweepResult(parameter=parameter, points=tuple(points))

@@ -1,0 +1,263 @@
+"""Command-line interface.
+
+Four subcommands cover the end-to-end workflow without writing Python:
+
+* ``repro synthesize`` — render a synthetic scene (with ground truth)
+  to a compressed ``.npz`` sequence;
+* ``repro subtract`` — run background subtraction over a sequence and
+  save the masks (optionally printing the simulated-GPU run report);
+* ``repro evaluate`` — score saved masks against a sequence's ground
+  truth;
+* ``repro experiments`` — print any of the paper's reproduced
+  tables/figures.
+
+Installed as the ``repro`` console script; also runnable as
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from . import __version__
+from .config import MoGParams, RunConfig
+from .core.subtractor import BackgroundSubtractor
+from .errors import ReproError
+from .metrics.foreground import score_sequence
+from .video import io as video_io
+from .video import scenes
+
+SCENES = {
+    "evaluation": scenes.evaluation_scene,
+    "surveillance": scenes.surveillance_scene,
+    "traffic": scenes.traffic_scene,
+    "patient-room": scenes.patient_room_scene,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MoG background subtraction (ICPP 2014 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    syn = sub.add_parser("synthesize", help="render a synthetic sequence")
+    syn.add_argument("output", help="output .npz path")
+    syn.add_argument("--scene", choices=sorted(SCENES), default="surveillance")
+    syn.add_argument("--frames", type=int, default=60)
+    syn.add_argument("--height", type=int, default=240)
+    syn.add_argument("--width", type=int, default=320)
+    syn.add_argument("--seed", type=int, default=None)
+
+    subx = sub.add_parser("subtract", help="run background subtraction")
+    subx.add_argument("input", help="input .npz sequence")
+    subx.add_argument("output", help="output .npz masks")
+    subx.add_argument("--level", default="F", help="optimization level A..G")
+    subx.add_argument(
+        "--backend", choices=("cpu", "sim"), default="cpu",
+        help="cpu: fastest; sim: simulated C2075 with profiling",
+    )
+    subx.add_argument("--dtype", choices=("double", "float"), default="double")
+    subx.add_argument("--gaussians", type=int, default=3)
+    subx.add_argument("--learning-rate", type=float, default=0.01)
+    subx.add_argument("--report", action="store_true",
+                      help="print the run report (sim backend)")
+    subx.add_argument("--dump-dir", default=None,
+                      help="also write frames/masks/background as PGM "
+                      "images for visual inspection")
+    subx.add_argument("--dump-stride", type=int, default=5,
+                      help="dump every Nth frame (default 5)")
+    subx.add_argument("--report-json", default=None,
+                      help="write the run report as JSON (sim backend)")
+
+    ev = sub.add_parser("evaluate", help="score masks against ground truth")
+    ev.add_argument("masks", help=".npz produced by `repro subtract`")
+    ev.add_argument("sequence", help=".npz with ground truth")
+    ev.add_argument("--skip", type=int, default=0,
+                    help="warm-up frames to exclude from scoring")
+
+    tr = sub.add_parser("track", help="run the full pipeline with tracking")
+    tr.add_argument("input", help="input .npz sequence")
+    tr.add_argument("--level", default="F")
+    tr.add_argument("--learning-rate", type=float, default=0.08)
+    tr.add_argument("--warmup", type=int, default=15)
+    tr.add_argument("--min-area", type=int, default=6)
+
+    cu = sub.add_parser(
+        "export-cuda",
+        help="emit real CUDA sources for the configured kernels",
+    )
+    cu.add_argument("directory", help="output directory")
+    cu.add_argument("--height", type=int, default=1080)
+    cu.add_argument("--width", type=int, default=1920)
+    cu.add_argument("--dtype", choices=("double", "float"), default="double")
+    cu.add_argument("--gaussians", type=int, default=3)
+
+    ex = sub.add_parser("experiments", help="print reproduced paper results")
+    ex.add_argument(
+        "names", nargs="*", default=["fig8"],
+        help="experiment ids (table1..4, fig6..12, cpu_baselines, "
+        "embedded); default fig8",
+    )
+    return parser
+
+
+def _cmd_synthesize(args) -> int:
+    builder = SCENES[args.scene]
+    kwargs = dict(height=args.height, width=args.width)
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    video = builder(**kwargs)
+    frames = []
+    truths = []
+    for t in range(args.frames):
+        frame, truth = video.frame_with_truth(t)
+        frames.append(frame)
+        truths.append(truth)
+    video_io.save_sequence(args.output, np.stack(frames), np.stack(truths))
+    print(f"wrote {args.frames} {args.height}x{args.width} frames "
+          f"({args.scene}) to {args.output}")
+    return 0
+
+
+def _cmd_subtract(args) -> int:
+    source, _, _ = video_io.load_sequence(args.input)
+    shape = source.shape
+    params = MoGParams(
+        num_gaussians=args.gaussians, learning_rate=args.learning_rate
+    )
+    run_config = RunConfig(height=shape[0], width=shape[1], dtype=args.dtype)
+    bs = BackgroundSubtractor(
+        shape, params, level=args.level, backend=args.backend,
+        run_config=run_config,
+    )
+    frames = [source.frame(t) for t in range(source.num_frames)]
+    masks, report = bs.process(frames)
+    video_io.save_sequence(args.output, masks.astype(np.uint8) * 255)
+    if args.dump_dir:
+        from .video.images import dump_run
+
+        written = dump_run(
+            args.dump_dir, frames, masks,
+            background=bs.background_image(), stride=args.dump_stride,
+        )
+        print(f"dumped {len(written)} images to {args.dump_dir}")
+    print(f"wrote {masks.shape[0]} masks to {args.output} "
+          f"(foreground share {masks.mean() * 100:.2f}%)")
+    if args.report:
+        if report is None:
+            print("(no report: the cpu backend does not profile; "
+                  "use --backend sim)")
+        else:
+            print(report.summary())
+    if args.report_json:
+        if report is None:
+            print("(no report to save: use --backend sim)", file=sys.stderr)
+            return 2
+        report.save_json(args.report_json)
+        print(f"wrote report to {args.report_json}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    masks_src, _, _ = video_io.load_sequence(args.masks)
+    _, truth, _ = video_io.load_sequence(args.sequence)
+    if truth is None:
+        print("error: the sequence file has no ground truth", file=sys.stderr)
+        return 2
+    n = min(masks_src.num_frames, truth.shape[0])
+    skip = min(args.skip, max(n - 1, 0))
+    preds = [masks_src.frame(t) for t in range(skip, n)]
+    score = score_sequence(preds, list(truth[skip:n]))
+    print(
+        f"frames scored : {n - skip} (skipped {skip})\n"
+        f"precision     : {score.precision:.3f}\n"
+        f"recall        : {score.recall:.3f}\n"
+        f"F1            : {score.f1:.3f}\n"
+        f"IoU           : {score.iou:.3f}"
+    )
+    return 0
+
+
+def _cmd_track(args) -> int:
+    from .core.stream import SurveillancePipeline
+    from .post.morphology import MaskCleaner
+    from .track.tracker import TrackerParams
+
+    source, _, _ = video_io.load_sequence(args.input)
+    pipe = SurveillancePipeline(
+        source.shape,
+        MoGParams(learning_rate=args.learning_rate),
+        level=args.level,
+        cleaner=MaskCleaner(open_radius=0, close_radius=2,
+                            min_area=args.min_area),
+        tracker_params=TrackerParams(min_area=args.min_area),
+        warmup_frames=args.warmup,
+    )
+    for t in range(source.num_frames):
+        pipe.step(source.frame(t))
+    print(pipe.summary())
+    return 0
+
+
+def _cmd_export_cuda(args) -> int:
+    from .config import MoGParams as _MoGParams
+    from .cudagen import generate_project
+
+    written = generate_project(
+        args.directory,
+        params=_MoGParams(num_gaussians=args.gaussians),
+        run_config=RunConfig(
+            height=args.height, width=args.width, dtype=args.dtype
+        ),
+    )
+    print(f"wrote {len(written)} files to {args.directory}:")
+    for path in written:
+        print(f"  {path.name}")
+    print("build with: make  (requires nvcc; see Makefile)")
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    from .bench.experiments import ALL_EXPERIMENTS, ExperimentContext
+
+    unknown = [n for n in args.names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(
+            f"unknown experiment(s) {unknown}; available: "
+            f"{sorted(ALL_EXPERIMENTS)}", file=sys.stderr,
+        )
+        return 2
+    ctx = ExperimentContext()
+    for name in args.names:
+        fn = ALL_EXPERIMENTS[name]
+        exp = fn(ctx) if fn.__code__.co_argcount else fn()
+        print(exp.format())
+        print()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handler = {
+        "synthesize": _cmd_synthesize,
+        "subtract": _cmd_subtract,
+        "evaluate": _cmd_evaluate,
+        "track": _cmd_track,
+        "export-cuda": _cmd_export_cuda,
+        "experiments": _cmd_experiments,
+    }[args.command]
+    try:
+        return handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,134 @@
+"""OpenCV-style compatibility layer.
+
+OpenCV users know background subtraction as::
+
+    mog = cv2.bgsegm.createBackgroundSubtractorMOG()
+    mask = mog.apply(frame)          # uint8, 255 = foreground
+
+This module provides the same call shape on top of this library, so
+existing pipelines can swap in the reproduction (and its simulated-GPU
+profiling) with a one-line import change::
+
+    from repro.compat import createBackgroundSubtractorMOG
+
+Parameter mapping (documented approximations):
+
+* ``history`` — OpenCV's adaptation horizon; maps to
+  ``learning_rate = 1 / history``.
+* ``nmixtures`` — components per pixel (``num_gaussians``).
+* ``backgroundRatio`` — OpenCV thresholds the *cumulative* weight of
+  the top-ranked components; this library (like the paper) thresholds
+  each component's own weight. We map ``Gamma2 =
+  (1 - backgroundRatio) / 2``, which agrees for the common case of one
+  dominant background mode and stays permissive for multi-modal
+  pixels.
+* ``noiseSigma`` — initial standard deviation of new components
+  (OpenCV's 0 means "use the default", ours too).
+
+Grayscale ``(H, W)`` input runs the paper's model; color ``(H, W, 3)``
+input transparently runs the RGB extension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .config import MoGParams
+from .errors import ConfigError
+from .mog.color import ColorMoGVectorized
+from .mog.vectorized import MoGVectorized
+
+
+class BackgroundSubtractorMOG:
+    """cv2-shaped adapter over the library's MoG implementations."""
+
+    def __init__(self, params: MoGParams) -> None:
+        self._params = params
+        self._impl: MoGVectorized | ColorMoGVectorized | None = None
+        self._color: bool | None = None
+
+    def _ensure_impl(self, image: np.ndarray) -> None:
+        if image.ndim == 2:
+            color = False
+        elif image.ndim == 3 and image.shape[2] == 3:
+            color = True
+        else:
+            raise ConfigError(
+                f"expected (H, W) or (H, W, 3) input, got shape {image.shape}"
+            )
+        if self._impl is None:
+            shape = image.shape[:2]
+            self._impl = (
+                ColorMoGVectorized(shape, self._params)
+                if color
+                else MoGVectorized(shape, self._params, variant="nosort")
+            )
+            self._color = color
+        elif color != self._color:
+            raise ConfigError(
+                "input switched between grayscale and color mid-stream"
+            )
+
+    def apply(self, image: np.ndarray, learningRate: float = -1.0) -> np.ndarray:
+        """Process one frame; returns a uint8 mask (255 = foreground).
+
+        ``learningRate`` follows OpenCV: negative = keep the configured
+        rate; ``0`` freezes the model (classification only, no update)
+        is *not* supported and raises; values in (0, 1] override the
+        rate from this frame on.
+        """
+        image = np.asarray(image)
+        self._ensure_impl(image)
+        if learningRate == 0.0:
+            raise ConfigError(
+                "learningRate=0 (frozen model) is not supported by the "
+                "underlying Algorithm-1 implementation"
+            )
+        if learningRate > 0.0:
+            if learningRate > 1.0:
+                raise ConfigError(
+                    f"learningRate must be <= 1, got {learningRate}"
+                )
+            if learningRate != self._impl.params.learning_rate:
+                self._impl.params = self._impl.params.replace(
+                    learning_rate=float(learningRate)
+                )
+        mask = self._impl.apply(image)
+        return mask.astype(np.uint8) * np.uint8(255)
+
+    def getBackgroundImage(self) -> np.ndarray:
+        """The current background estimate as uint8 (cv2 semantics)."""
+        if self._impl is None:
+            raise ConfigError("no frame processed yet")
+        return np.rint(self._impl.background_image()).astype(np.uint8)
+
+    # cv2-style getters (the subset with direct equivalents).
+    def getHistory(self) -> int:
+        return round(1.0 / self._params.learning_rate)
+
+    def getNMixtures(self) -> int:
+        return self._params.num_gaussians
+
+
+def createBackgroundSubtractorMOG(
+    history: int = 200,
+    nmixtures: int = 3,
+    backgroundRatio: float = 0.7,
+    noiseSigma: float = 0.0,
+) -> BackgroundSubtractorMOG:
+    """Create a MOG subtractor with cv2.bgsegm-compatible parameters."""
+    if history < 1:
+        raise ConfigError(f"history must be >= 1, got {history}")
+    if not 0.0 < backgroundRatio < 1.0:
+        raise ConfigError(
+            f"backgroundRatio must be in (0, 1), got {backgroundRatio}"
+        )
+    if noiseSigma < 0.0:
+        raise ConfigError(f"noiseSigma must be >= 0, got {noiseSigma}")
+    params = MoGParams(
+        num_gaussians=nmixtures,
+        learning_rate=min(max(1.0 / history, 1e-6), 0.9999),
+        background_weight=max((1.0 - backgroundRatio) / 2.0, 0.01),
+        initial_sd=noiseSigma if noiseSigma > 0.0 else 30.0,
+    )
+    return BackgroundSubtractorMOG(params)

@@ -1,0 +1,205 @@
+"""Configuration objects shared across the library.
+
+Two dataclasses describe a run:
+
+* :class:`MoGParams` — the *algorithmic* knobs of the Mixture-of-Gaussians
+  model (number of components, learning rate, match threshold, ...).
+  These are the symbols used in Algorithm 1 of the paper:
+  ``Gamma1`` (match / closeness threshold, in standard deviations) and
+  ``Gamma2`` (minimum weight for a component to count as background).
+
+* :class:`RunConfig` — the *execution* knobs: frame geometry, data type,
+  optimization level, tiling parameters.
+
+Both are immutable; derived quantities are exposed as properties so a
+config can be passed around freely without defensive copying.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from .errors import ConfigError
+
+#: Data types accepted for Gaussian parameters, keyed by their CUDA names.
+SUPPORTED_DTYPES = {
+    "double": np.float64,
+    "float": np.float32,
+}
+
+
+def resolve_dtype(dtype: str | type | np.dtype) -> np.dtype:
+    """Normalise ``dtype`` to a NumPy dtype.
+
+    Accepts the CUDA-style names ``"double"`` / ``"float"`` as well as
+    anything NumPy itself understands, but restricts the result to the
+    two floating-point widths the paper studies.
+    """
+    if isinstance(dtype, str) and dtype in SUPPORTED_DTYPES:
+        out = np.dtype(SUPPORTED_DTYPES[dtype])
+    else:
+        try:
+            out = np.dtype(dtype)
+        except TypeError as exc:  # e.g. dtype=object()
+            raise ConfigError(f"unsupported dtype: {dtype!r}") from exc
+    if out not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise ConfigError(
+            f"Gaussian parameters must be float32 or float64, got {out}"
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class MoGParams:
+    """Algorithmic parameters of the Stauffer-Grimson mixture model.
+
+    Attributes
+    ----------
+    num_gaussians:
+        Components per pixel. The paper evaluates 3 (default) and 5.
+    learning_rate:
+        The ``alpha`` in the exponential weight update
+        ``w <- (1-alpha)*w + alpha*match``. The paper's Algorithm 4/5
+        writes the complementary form; see :mod:`repro.mog.update`.
+    match_threshold:
+        ``Gamma1``: a component matches when
+        ``|pixel - mean| < Gamma1 * sd``.
+    background_weight:
+        ``Gamma2``: minimum weight for a matched component to classify
+        the pixel as background (Algorithm 1, line 24).
+    initial_sd:
+        Standard deviation assigned to freshly created (virtual)
+        components.
+    initial_weight:
+        Weight assigned to freshly created components (before
+        renormalisation).
+    sd_floor:
+        Lower clamp on standard deviations, preventing a perfectly
+        static pixel from collapsing a component to sd = 0 (which would
+        make every subsequent pixel a foreground outlier).
+    """
+
+    num_gaussians: int = 3
+    learning_rate: float = 0.01
+    match_threshold: float = 2.5
+    background_weight: float = 0.15
+    initial_sd: float = 30.0
+    initial_weight: float = 0.05
+    sd_floor: float = 4.0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.num_gaussians <= 8:
+            raise ConfigError(
+                f"num_gaussians must be in [1, 8], got {self.num_gaussians}"
+            )
+        if not 0.0 < self.learning_rate < 1.0:
+            raise ConfigError(
+                f"learning_rate must be in (0, 1), got {self.learning_rate}"
+            )
+        if self.match_threshold <= 0.0:
+            raise ConfigError(
+                f"match_threshold must be positive, got {self.match_threshold}"
+            )
+        if not 0.0 < self.background_weight < 1.0:
+            raise ConfigError(
+                "background_weight must be in (0, 1), got "
+                f"{self.background_weight}"
+            )
+        if self.initial_sd <= 0.0 or self.sd_floor <= 0.0:
+            raise ConfigError("initial_sd and sd_floor must be positive")
+        if not 0.0 < self.initial_weight <= 1.0:
+            raise ConfigError(
+                f"initial_weight must be in (0, 1], got {self.initial_weight}"
+            )
+
+    def replace(self, **kwargs) -> "MoGParams":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **kwargs)
+
+
+#: Geometry of the paper's evaluation video.
+FULL_HD = (1080, 1920)
+#: Frames processed in the paper's timing runs.
+PAPER_NUM_FRAMES = 450
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Execution configuration for a background-subtraction run.
+
+    Attributes
+    ----------
+    height, width:
+        Frame geometry in pixels. The paper uses full HD (1080 x 1920);
+        simulator-backed runs default to smaller frames and the bench
+        harness extrapolates per-pixel counters (see
+        :mod:`repro.bench.harness`).
+    dtype:
+        ``"double"`` or ``"float"`` — precision of the Gaussian
+        parameters (Section V-C of the paper).
+    threads_per_block:
+        CUDA block size used for the non-tiled kernels (paper: 128).
+    tile_pixels:
+        Tile size for the level-G (shared memory) kernel. 640 pixels is
+        the paper's choice: 640 px * 3 components * 3 params * 8 B =
+        45 KiB, filling the 48 KiB shared memory of one Fermi SM.
+    frame_group:
+        Frames per group for level G (the paper sweeps 1..32, best = 8).
+    """
+
+    height: int = 240
+    width: int = 320
+    dtype: str = "double"
+    threads_per_block: int = 128
+    tile_pixels: int = 640
+    frame_group: int = 8
+
+    def __post_init__(self) -> None:
+        if self.height <= 0 or self.width <= 0:
+            raise ConfigError(
+                f"frame geometry must be positive, got {self.height}x{self.width}"
+            )
+        resolve_dtype(self.dtype)  # validates
+        if self.threads_per_block <= 0 or self.threads_per_block % 32:
+            raise ConfigError(
+                "threads_per_block must be a positive multiple of the warp "
+                f"size (32), got {self.threads_per_block}"
+            )
+        if self.tile_pixels <= 0 or self.tile_pixels % 32:
+            raise ConfigError(
+                f"tile_pixels must be a positive multiple of 32, got {self.tile_pixels}"
+            )
+        if self.frame_group <= 0:
+            raise ConfigError(
+                f"frame_group must be positive, got {self.frame_group}"
+            )
+
+    @property
+    def num_pixels(self) -> int:
+        """Pixels per frame."""
+        return self.height * self.width
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        """The NumPy dtype of the Gaussian parameters."""
+        return resolve_dtype(self.dtype)
+
+    @property
+    def itemsize(self) -> int:
+        """Bytes per Gaussian parameter (8 for double, 4 for float)."""
+        return self.np_dtype.itemsize
+
+    def gaussian_bytes(self, num_gaussians: int) -> int:
+        """Bytes of Gaussian state for a whole frame.
+
+        The paper quotes 149 MB for full HD, 3 components, double
+        precision (Section IV-D): ``1080*1920*3*3*8``.
+        """
+        return self.num_pixels * num_gaussians * 3 * self.itemsize
+
+    def replace(self, **kwargs) -> "RunConfig":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **kwargs)

@@ -1,0 +1,28 @@
+"""Public API: the background subtractor and the optimization levels.
+
+Typical use::
+
+    from repro import BackgroundSubtractor, OptimizationLevel
+
+    bs = BackgroundSubtractor((240, 320), level="F")
+    masks, report = bs.process(frames)
+    print(report.summary())
+"""
+
+from .pipeline import HostPipeline
+from .results import RunReport
+from .stream import StreamResult, SurveillancePipeline
+from .subtractor import BackgroundSubtractor
+from .variants import LEVELS, OptimizationLevel, table_ii_rows, table_iii_rows
+
+__all__ = [
+    "BackgroundSubtractor",
+    "OptimizationLevel",
+    "LEVELS",
+    "RunReport",
+    "HostPipeline",
+    "SurveillancePipeline",
+    "StreamResult",
+    "table_ii_rows",
+    "table_iii_rows",
+]

@@ -1,0 +1,299 @@
+"""Host-side pipeline driving the simulated GPU.
+
+Owns the device objects of one run — engine, parameter layout, frame /
+foreground buffers — launches the per-frame (or, for level G, per-group)
+kernels, and finally replays the DMA schedule to obtain the end-to-end
+time with or without transfer/kernel overlap (the level-C optimization).
+
+Gaussian parameters live in GPU global memory for the whole run and are
+never transferred per frame (all levels follow the paper here): only
+the input frame travels host->device and the foreground mask
+device->host.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import MoGParams, RunConfig
+from ..errors import ConfigError
+from ..gpusim.calibration import DEFAULT_CALIBRATION, Calibration
+from ..gpusim.device import TESLA_C2075, DeviceSpec
+from ..gpusim.dma import StreamScheduler
+from ..gpusim.engine import SimtEngine
+from ..gpusim.profiler import Profiler
+from ..gpusim.registers import pinned_registers
+from ..kernels import KernelConfig, make_tiled_kernel
+from ..kernels.mog_tiled import shared_bytes_for_tile
+from ..layout import AoSLayout, SoALayout
+from ..layout.base import NUM_PARAMS
+from ..mog.params import MixtureState
+from .results import RunReport
+from .variants import OptimizationLevel
+
+
+def max_tile_pixels(
+    params: MoGParams, dtype, device: DeviceSpec = TESLA_C2075
+) -> int:
+    """Largest warp-multiple tile whose parameters fit shared memory
+    (and whose threads fit one block). 640 for the paper's 3-Gaussian
+    double-precision configuration on the C2075."""
+    itemsize = np.dtype(np.float64).itemsize if str(dtype) in ("double", "float64") else 4
+    per_pixel = params.num_gaussians * NUM_PARAMS * itemsize
+    tile = device.shared_mem_per_sm // per_pixel
+    tile = min(tile, device.max_threads_per_block)
+    return max((tile // device.warp_size) * device.warp_size, device.warp_size)
+
+
+class HostPipeline:
+    """Simulated-GPU execution of one background-subtraction run."""
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        params: MoGParams | None = None,
+        level: OptimizationLevel | str = OptimizationLevel.F,
+        run_config: RunConfig | None = None,
+        device: DeviceSpec = TESLA_C2075,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        registers: str | int = "pinned",
+    ) -> None:
+        self.shape = tuple(shape)
+        self.params = params or MoGParams()
+        self.level = OptimizationLevel.parse(level)
+        self.run_config = run_config or RunConfig(
+            height=self.shape[0], width=self.shape[1]
+        )
+        if (self.run_config.height, self.run_config.width) != self.shape:
+            raise ConfigError(
+                f"run_config geometry {self.run_config.height}x"
+                f"{self.run_config.width} != shape {self.shape}"
+            )
+        self.device = device
+        self.engine = SimtEngine(device)
+        self.profiler = Profiler(device, calibration)
+        self.registers_mode = registers
+
+        spec = self.level.spec
+        n = self.run_config.num_pixels
+        dtype = self.run_config.np_dtype
+        layout_cls = AoSLayout if spec.layout == "aos" else SoALayout
+        self.layout = layout_cls(self.params.num_gaussians, n, dtype)
+        self.layout.allocate(self.engine.memory)
+        self.kernel_config = KernelConfig.from_params(self.params, dtype)
+
+        if self.level is OptimizationLevel.G:
+            tile = self.run_config.tile_pixels
+            limit = max_tile_pixels(self.params, self.run_config.dtype, device)
+            if shared_bytes_for_tile(tile, self.kernel_config) > device.shared_mem_per_sm:
+                raise ConfigError(
+                    f"tile_pixels={tile} needs more shared memory than the SM "
+                    f"has; maximum for this configuration is {limit}"
+                )
+            group = self.run_config.frame_group
+            self._frame_bufs = [
+                self.engine.memory.alloc(f"frame_in_{i}", n, np.uint8)
+                for i in range(group)
+            ]
+            self._fg_bufs = [
+                self.engine.memory.alloc(f"fg_out_{i}", n, np.uint8)
+                for i in range(group)
+            ]
+            self._kernel = None  # built per group (group tail may be short)
+        else:
+            self._frame_bufs = [self.engine.memory.alloc("frame_in", n, np.uint8)]
+            self._fg_bufs = [self.engine.memory.alloc("fg_out", n, np.uint8)]
+            self._kernel = spec.kernel_factory(
+                self.layout, self.kernel_config, self._frame_bufs[0], self._fg_bufs[0]
+            )
+
+        self._initialised = False
+        self._pending: list[np.ndarray] = []
+        self._masks: list[np.ndarray] = []
+        self._launch_reports = []
+        self.frames_processed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def registers_per_thread(self) -> int:
+        if isinstance(self.registers_mode, int):
+            return self.registers_mode
+        if self.registers_mode == "pinned":
+            return pinned_registers(
+                self.level.letter,
+                self.params.num_gaussians,
+                self.run_config.dtype,
+            )
+        if self.registers_mode == "estimated":
+            if not self.engine.launches:
+                raise ConfigError("no launch yet to estimate registers from")
+            return self.engine.launches[-1].estimated_registers
+        raise ConfigError(
+            f"registers must be 'pinned', 'estimated' or an int, got "
+            f"{self.registers_mode!r}"
+        )
+
+    def _check_frame(self, frame: np.ndarray) -> np.ndarray:
+        frame = np.asarray(frame)
+        if frame.shape != self.shape:
+            raise ConfigError(
+                f"frame shape {frame.shape} != configured {self.shape}"
+            )
+        return frame.reshape(-1).astype(np.uint8)
+
+    def _ensure_state(self, frame: np.ndarray) -> None:
+        if not self._initialised:
+            state = MixtureState.from_first_frame(
+                frame.reshape(self.shape), self.params, self.run_config.dtype
+            )
+            self.layout.upload(state)
+            self._initialised = True
+
+    def _report_for(self, launch) -> None:
+        regs = (
+            launch.estimated_registers
+            if self.registers_mode == "estimated"
+            else self.registers_per_thread
+        )
+        self._launch_reports.append(self.profiler.report(launch, regs))
+
+    # ------------------------------------------------------------------
+    def apply(self, frame: np.ndarray) -> np.ndarray:
+        """Process one frame; returns the boolean foreground mask.
+
+        Level G processes whole frame groups and cannot return per-frame
+        results eagerly — use :meth:`process` (or feed groups manually
+        via :meth:`apply_group`).
+        """
+        if self.level is OptimizationLevel.G:
+            raise ConfigError(
+                "level G is group-structured; use process() or apply_group()"
+            )
+        flat = self._check_frame(frame)
+        self._ensure_state(flat)
+        self._frame_bufs[0].data[:] = flat
+        launch = self.engine.launch(
+            self._kernel,
+            grid_threads=self.run_config.num_pixels,
+            threads_per_block=self.run_config.threads_per_block,
+            name=f"{self._kernel.__name__}[{self.frames_processed}]",
+        )
+        self._report_for(launch)
+        self.frames_processed += 1
+        mask = (self._fg_bufs[0].data != 0).reshape(self.shape)
+        self._masks.append(mask)
+        return mask
+
+    def apply_group(self, frames: list[np.ndarray]) -> list[np.ndarray]:
+        """Process one frame group through the tiled kernel (level G)."""
+        if self.level is not OptimizationLevel.G:
+            raise ConfigError("apply_group is only meaningful for level G")
+        if not frames:
+            raise ConfigError("empty frame group")
+        if len(frames) > self.run_config.frame_group:
+            raise ConfigError(
+                f"group of {len(frames)} exceeds configured frame_group="
+                f"{self.run_config.frame_group}"
+            )
+        flats = [self._check_frame(f) for f in frames]
+        self._ensure_state(flats[0])
+        for buf, flat in zip(self._frame_bufs, flats):
+            buf.data[:] = flat
+        kernel = make_tiled_kernel(
+            self.layout,
+            self.kernel_config,
+            self._frame_bufs[: len(flats)],
+            self._fg_bufs[: len(flats)],
+            tile_pixels=self.run_config.tile_pixels,
+        )
+        launch = self.engine.launch(
+            kernel,
+            grid_threads=self.run_config.num_pixels,
+            threads_per_block=self.run_config.tile_pixels,
+            name=f"mog_tiled[{self.frames_processed}+{len(flats)}]",
+        )
+        self._report_for(launch)
+        self.frames_processed += len(flats)
+        masks = [
+            (buf.data != 0).reshape(self.shape)
+            for buf in self._fg_bufs[: len(flats)]
+        ]
+        self._masks.extend(masks)
+        return masks
+
+    def process(self, frames) -> tuple[np.ndarray, RunReport]:
+        """Process an iterable of frames; returns masks and the report."""
+        frames = list(frames)
+        if not frames:
+            raise ConfigError("empty frame sequence")
+        if self.level is OptimizationLevel.G:
+            group = self.run_config.frame_group
+            for start in range(0, len(frames), group):
+                self.apply_group(frames[start : start + group])
+            masks = self._masks[-len(frames):]
+        else:
+            masks = [self.apply(f) for f in frames]
+        return np.stack(masks), self.report()
+
+    # ------------------------------------------------------------------
+    def report(self) -> RunReport:
+        """Build the run report (including the DMA pipeline schedule)."""
+        n_bytes = self.run_config.num_pixels  # uint8 frame and mask
+        spec = self.level.spec
+        scheduler = StreamScheduler(self.device, overlapped=spec.overlapped)
+        if self.level is OptimizationLevel.G:
+            # One pipeline slot per frame *group*: the group's frames are
+            # transferred in, the tiled kernel runs, the group's masks
+            # are transferred out.
+            kernel_times = [rep.timing.total for rep in self._launch_reports]
+            group = self.run_config.frame_group
+            remaining = self.frames_processed
+            sizes = []
+            for _ in kernel_times:
+                g = min(group, remaining)
+                sizes.append(g)
+                remaining -= g
+            pipeline = (
+                scheduler.run(
+                    kernel_times,
+                    bytes_in=[n_bytes * g for g in sizes],
+                    bytes_out=[n_bytes * g for g in sizes],
+                )
+                if kernel_times
+                else None
+            )
+        else:
+            pipeline = scheduler.run(
+                [rep.timing.total for rep in self._launch_reports],
+                bytes_in=n_bytes,
+                bytes_out=n_bytes,
+            ) if self._launch_reports else None
+        report = RunReport(
+            level=self.level.letter,
+            num_frames=self.frames_processed,
+            num_pixels=self.run_config.num_pixels,
+            num_gaussians=self.params.num_gaussians,
+            dtype=self.run_config.dtype,
+            launches=list(self._launch_reports),
+            pipeline=pipeline,
+            bytes_in_per_frame=n_bytes,
+            bytes_out_per_frame=n_bytes,
+            registers_per_thread=(
+                self._launch_reports[-1].registers_per_thread
+                if self._launch_reports
+                else self.registers_per_thread
+            ),
+        )
+        return report
+
+    def background_image(self) -> np.ndarray:
+        """Most-probable background estimate from device state."""
+        if not self._initialised:
+            raise ConfigError("no frame processed yet")
+        return self.layout.download().background_image(self.shape)
+
+    def state(self) -> MixtureState:
+        """Download the mixture state from simulated device memory."""
+        if not self._initialised:
+            raise ConfigError("no frame processed yet")
+        return self.layout.download()

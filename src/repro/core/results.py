@@ -1,0 +1,150 @@
+"""Run-level result containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..gpusim.counters import KernelCounters
+from ..gpusim.dma import PipelineResult
+from ..gpusim.profiler import LaunchReport
+
+
+@dataclass
+class RunReport:
+    """Everything measured about one simulated background-subtraction run.
+
+    Attributes
+    ----------
+    level:
+        The optimization level letter ("A".."G").
+    num_frames, num_pixels:
+        Workload size.
+    launches:
+        One :class:`LaunchReport` per kernel launch (per frame for
+        levels A-F, per frame *group* for level G).
+    pipeline:
+        The host-side schedule (transfers + kernels) for the whole run.
+    bytes_in_per_frame, bytes_out_per_frame:
+        DMA volume per frame (input frame, foreground mask).
+    registers_per_thread:
+        The value used for occupancy (pinned by default).
+    """
+
+    level: str
+    num_frames: int
+    num_pixels: int
+    num_gaussians: int
+    dtype: str
+    launches: list[LaunchReport] = field(default_factory=list)
+    pipeline: PipelineResult | None = None
+    bytes_in_per_frame: int = 0
+    bytes_out_per_frame: int = 0
+    registers_per_thread: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def counters(self) -> KernelCounters:
+        """Aggregate counters over all launches."""
+        total = KernelCounters()
+        for launch in self.launches:
+            total.add(launch.counters)
+        return total
+
+    @property
+    def counters_per_frame(self) -> KernelCounters:
+        return self.counters.scaled(1.0 / max(self.num_frames, 1))
+
+    @property
+    def kernel_time(self) -> float:
+        """Total kernel execution time."""
+        return sum(l.timing.total for l in self.launches)
+
+    @property
+    def kernel_time_per_frame(self) -> float:
+        return self.kernel_time / max(self.num_frames, 1)
+
+    @property
+    def total_time(self) -> float:
+        """End-to-end time including transfers (pipeline schedule)."""
+        if self.pipeline is None:
+            return self.kernel_time
+        return self.pipeline.total_time
+
+    @property
+    def time_per_frame(self) -> float:
+        return self.total_time / max(self.num_frames, 1)
+
+    @property
+    def occupancy(self) -> float:
+        if not self.launches:
+            return 0.0
+        return float(np.mean([l.occupancy.occupancy for l in self.launches]))
+
+    @property
+    def branch_efficiency(self) -> float:
+        return self.counters.branch_efficiency
+
+    @property
+    def memory_access_efficiency(self) -> float:
+        return self.counters.memory_access_efficiency
+
+    # ------------------------------------------------------------------
+    def metrics(self) -> dict[str, float]:
+        """Flat metric dict (the per-figure benches consume this)."""
+        c = self.counters_per_frame
+        return {
+            "level": self.level,
+            "branches_per_frame": float(c.branches_total),
+            "branch_efficiency": self.branch_efficiency,
+            "memory_access_efficiency": self.memory_access_efficiency,
+            "load_transactions_per_frame": float(c.load_transactions),
+            "store_transactions_per_frame": float(c.store_transactions),
+            "transactions_per_frame": float(c.transactions),
+            "registers_per_thread": float(self.registers_per_thread),
+            "occupancy": self.occupancy,
+            "kernel_time_per_frame": self.kernel_time_per_frame,
+            "time_per_frame": self.time_per_frame,
+            "total_time": self.total_time,
+        }
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable view of the report (config, aggregate
+        metrics, per-launch profiler rows)."""
+        return {
+            "level": self.level,
+            "num_frames": self.num_frames,
+            "num_pixels": self.num_pixels,
+            "num_gaussians": self.num_gaussians,
+            "dtype": self.dtype,
+            "registers_per_thread": self.registers_per_thread,
+            "metrics": {
+                k: v for k, v in self.metrics().items() if k != "level"
+            },
+            "launches": [
+                {"name": l.name, **l.metrics()} for l in self.launches
+            ],
+        }
+
+    def save_json(self, path) -> None:
+        """Write :meth:`to_dict` to ``path`` as indented JSON."""
+        import json
+        from pathlib import Path
+
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+    def summary(self) -> str:
+        """Human-readable one-run summary."""
+        m = self.metrics()
+        lines = [
+            f"level {self.level}: {self.num_frames} frames x "
+            f"{self.num_pixels} px, {self.num_gaussians} Gaussians, {self.dtype}",
+            f"  time/frame        : {self.time_per_frame * 1e3:.3f} ms "
+            f"(kernel {self.kernel_time_per_frame * 1e3:.3f} ms)",
+            f"  memory efficiency : {m['memory_access_efficiency'] * 100:.1f}%",
+            f"  branch efficiency : {m['branch_efficiency'] * 100:.1f}%",
+            f"  registers/thread  : {self.registers_per_thread}",
+            f"  SM occupancy      : {self.occupancy * 100:.1f}%",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,130 @@
+"""The paper's optimization levels A..G and their properties.
+
+Tables II and III of the paper define the levels cumulatively; each
+:class:`OptimizationLevel` member records what is enabled, which kernel
+implements it, which memory layout it uses, whether the host pipeline
+overlaps transfers with execution, and which vectorized variant it is
+functionally equivalent to (enforced by tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import ConfigError
+from ..kernels import (
+    make_base_kernel,
+    make_coalesced_kernel,
+    make_nosort_kernel,
+    make_predicated_kernel,
+    make_regopt_kernel,
+)
+
+
+@dataclass(frozen=True)
+class LevelSpec:
+    """Static description of one optimization level."""
+
+    letter: str
+    title: str
+    group: str  # "base" | "general" | "algorithm-specific" | "shared-memory"
+    layout: str  # "aos" | "soa"
+    overlapped: bool  # host pipeline overlaps DMA with kernels
+    mog_variant: str  # functionally equivalent repro.mog.vectorized variant
+    kernel_factory: object  # None for the tiled level (group-structured)
+    paper_speedup: float  # the speedup the paper reports (Fig 8a / Fig 10a)
+    enables: tuple[str, ...]  # cumulative optimizations switched on
+
+
+class OptimizationLevel(Enum):
+    """Levels A..G; values are :class:`LevelSpec` descriptions."""
+
+    A = LevelSpec(
+        "A", "base implementation", "base", "aos", False, "sorted",
+        make_base_kernel, 13.0, ("base",),
+    )
+    B = LevelSpec(
+        "B", "memory coalescing", "general", "soa", False, "sorted",
+        make_coalesced_kernel, 41.0, ("base", "coalescing"),
+    )
+    C = LevelSpec(
+        "C", "overlapped execution", "general", "soa", True, "sorted",
+        make_coalesced_kernel, 57.0, ("base", "coalescing", "overlap"),
+    )
+    D = LevelSpec(
+        "D", "branch reduction", "algorithm-specific", "soa", True, "nosort",
+        make_nosort_kernel, 85.0,
+        ("base", "coalescing", "overlap", "no-sort"),
+    )
+    E = LevelSpec(
+        "E", "predicated execution", "algorithm-specific", "soa", True,
+        "predicated", make_predicated_kernel, 86.0,
+        ("base", "coalescing", "overlap", "no-sort", "predication"),
+    )
+    F = LevelSpec(
+        "F", "register reduction", "algorithm-specific", "soa", True,
+        "regopt", make_regopt_kernel, 97.0,
+        ("base", "coalescing", "overlap", "no-sort", "predication",
+         "register-reduction"),
+    )
+    G = LevelSpec(
+        "G", "tiled shared memory", "shared-memory", "soa", True, "regopt",
+        None, 101.0,
+        ("base", "coalescing", "overlap", "no-sort", "predication",
+         "register-reduction", "tiling"),
+    )
+
+    @property
+    def spec(self) -> LevelSpec:
+        return self.value
+
+    @property
+    def letter(self) -> str:
+        return self.value.letter
+
+    @classmethod
+    def parse(cls, level: "OptimizationLevel | str") -> "OptimizationLevel":
+        """Accept a member, a letter ('F') or a name ('regopt'-ish title)."""
+        if isinstance(level, cls):
+            return level
+        key = str(level).strip().upper()
+        try:
+            return cls[key]
+        except KeyError:
+            raise ConfigError(
+                f"unknown optimization level {level!r}; expected one of "
+                f"{[m.name for m in cls]}"
+            ) from None
+
+
+#: All levels in paper order.
+LEVELS = tuple(OptimizationLevel)
+
+
+def table_ii_rows() -> list[tuple[str, list[str]]]:
+    """The paper's Table II: general optimization levels."""
+    cols = [OptimizationLevel.A, OptimizationLevel.B, OptimizationLevel.C]
+    features = [
+        ("Base Implementation", "base"),
+        ("Memory Coalescing", "coalescing"),
+        ("Overlapped Execution", "overlap"),
+    ]
+    return [
+        (name, ["x" if key in lv.spec.enables else "" for lv in cols])
+        for name, key in features
+    ]
+
+
+def table_iii_rows() -> list[tuple[str, list[str]]]:
+    """The paper's Table III: algorithm-specific optimization levels."""
+    cols = [OptimizationLevel.D, OptimizationLevel.E, OptimizationLevel.F]
+    features = [
+        ("Branch Reduction", "no-sort"),
+        ("Predicated Execution", "predication"),
+        ("Register Reduction", "register-reduction"),
+    ]
+    return [
+        (name, ["x" if key in lv.spec.enables else "" for lv in cols])
+        for name, key in features
+    ]

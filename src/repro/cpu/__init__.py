@@ -1,0 +1,12 @@
+"""CPU baselines: analytic timing model + real timed execution."""
+
+from .model import CpuMode, CpuTimeModel, PAPER_BASELINES
+from .runner import TimedCpuRun, run_cpu_reference
+
+__all__ = [
+    "CpuMode",
+    "CpuTimeModel",
+    "PAPER_BASELINES",
+    "TimedCpuRun",
+    "run_cpu_reference",
+]

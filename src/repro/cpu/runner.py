@@ -1,0 +1,64 @@
+"""Real, timed CPU execution of the vectorized MoG.
+
+Complements the analytic model with measurements on *this* machine —
+useful in examples and for the sort-ablation bench (the paper's claim
+that sorting + early exit helps CPUs but hurts GPUs).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import MoGParams
+from ..errors import ConfigError
+from ..mog.vectorized import VARIANTS, MoGVectorized
+
+
+@dataclass(frozen=True)
+class TimedCpuRun:
+    """Outcome of a timed CPU run."""
+
+    variant: str
+    dtype: str
+    num_frames: int
+    num_pixels: int
+    elapsed_s: float
+    masks: np.ndarray
+
+    @property
+    def time_per_frame(self) -> float:
+        return self.elapsed_s / self.num_frames
+
+    @property
+    def megapixels_per_second(self) -> float:
+        return self.num_pixels * self.num_frames / self.elapsed_s / 1e6
+
+
+def run_cpu_reference(
+    frames,
+    params: MoGParams | None = None,
+    variant: str = "sorted",
+    dtype: str = "double",
+) -> TimedCpuRun:
+    """Run the vectorized CPU MoG over ``frames``, timed."""
+    if variant not in VARIANTS:
+        raise ConfigError(f"unknown variant {variant!r}; expected {VARIANTS}")
+    frames = list(frames)
+    if not frames:
+        raise ConfigError("empty frame sequence")
+    shape = np.asarray(frames[0]).shape
+    mog = MoGVectorized(shape, params or MoGParams(), variant=variant, dtype=dtype)
+    start = time.perf_counter()
+    masks = mog.apply_sequence(frames)
+    elapsed = time.perf_counter() - start
+    return TimedCpuRun(
+        variant=variant,
+        dtype=dtype,
+        num_frames=len(frames),
+        num_pixels=int(np.prod(shape)),
+        elapsed_s=elapsed,
+        masks=masks,
+    )

@@ -1,0 +1,5 @@
+"""CUDA-C source generation for users who do have a GPU."""
+
+from .generator import CudaGenConfig, generate_kernel, generate_project
+
+__all__ = ["CudaGenConfig", "generate_kernel", "generate_project"]

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by this package derive from :class:`ReproError`, so
+callers can catch everything from the library with one ``except`` clause
+while still letting genuine programming errors (``TypeError`` etc.)
+propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all exceptions raised by :mod:`repro`."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid configuration value was supplied."""
+
+
+class LaunchError(ReproError):
+    """A simulated kernel launch was malformed (grid/block mismatch,
+    missing buffers, over-subscribed shared memory, ...)."""
+
+
+class MemoryModelError(ReproError):
+    """An access fell outside an allocated simulated buffer, or an
+    allocation could not be satisfied."""
+
+
+class KernelDivergenceError(ReproError):
+    """The kernel DSL was used outside a kernel context, or control-flow
+    contexts were closed out of order."""
+
+
+class VideoError(ReproError):
+    """A frame source produced inconsistent frames (shape/dtype drift),
+    or a scene configuration is unsatisfiable."""
+
+
+class MetricError(ReproError, ValueError):
+    """Inputs to a quality metric were unusable (wrong shape, too small
+    for the requested number of scales, ...)."""

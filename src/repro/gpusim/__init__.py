@@ -1,0 +1,47 @@
+"""Fermi-class SIMT GPU functional + performance simulator.
+
+This package is the substitution for the paper's Nvidia Tesla C2075
+(see DESIGN.md §2). It executes kernels written in a small DSL
+(:mod:`repro.gpusim.dsl`) vectorized over all threads with NumPy, so a
+kernel's *output* is real, while per-warp execution is modeled exactly
+enough to measure the architectural quantities the paper reports:
+
+* lock-step warps of 32 threads with divergence handling — both sides
+  of a divergent branch are executed under active masks, and issue
+  counters charge a warp for every path it participates in
+  (:mod:`repro.gpusim.engine`);
+* 128-byte global-memory transaction coalescing
+  (:mod:`repro.gpusim.memory`);
+* per-SM shared memory with capacity accounting and bank-conflict
+  detection (:mod:`repro.gpusim.sharedmem`);
+* the CUDA occupancy calculation for compute capability 2.0
+  (:mod:`repro.gpusim.occupancy`);
+* a PCIe DMA engine with stream overlap (:mod:`repro.gpusim.dma`);
+* an analytic cycles→seconds model (:mod:`repro.gpusim.timing`) with
+  calibrated constants (:mod:`repro.gpusim.calibration`).
+"""
+
+from .counters import KernelCounters
+from .device import TESLA_C2075, XEON_E5_2620, CpuSpec, DeviceSpec
+from .dsl import KernelContext
+from .engine import LaunchResult, SimtEngine
+from .memory import GlobalBuffer, GlobalMemory
+from .occupancy import OccupancyResult, occupancy
+from .profiler import LaunchReport, Profiler
+
+__all__ = [
+    "KernelCounters",
+    "DeviceSpec",
+    "CpuSpec",
+    "TESLA_C2075",
+    "XEON_E5_2620",
+    "KernelContext",
+    "SimtEngine",
+    "LaunchResult",
+    "GlobalBuffer",
+    "GlobalMemory",
+    "OccupancyResult",
+    "occupancy",
+    "LaunchReport",
+    "Profiler",
+]

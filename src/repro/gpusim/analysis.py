@@ -1,0 +1,131 @@
+"""Post-hoc analysis of launches and pipeline schedules.
+
+Two views the raw counters don't give directly:
+
+* :func:`cost_breakdown` — where a kernel's modelled cycles go
+  (instruction classes, divergence, bank conflicts) and how the
+  compute/memory bounds compare — the "why is this level this fast"
+  view behind the paper's per-optimization narrative;
+* :func:`render_timeline` — an ASCII Gantt chart of a
+  :class:`~repro.gpusim.dma.PipelineResult`, the living version of the
+  paper's Figure 5 (serial vs overlapped transfers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .calibration import DEFAULT_CALIBRATION, Calibration
+from .counters import KernelCounters
+from .dma import PipelineResult
+
+
+@dataclass(frozen=True)
+class CostSlice:
+    """One contributor to a kernel's compute cycles."""
+
+    name: str
+    cycles: float
+    share: float  # of total compute cycles
+
+
+def cost_breakdown(
+    counters: KernelCounters,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+) -> list[CostSlice]:
+    """Attribute modelled compute cycles to their sources, largest first.
+
+    Covers the per-class issue costs plus the divergence penalty and
+    bank-conflict serialisation (the compute-scale factor and
+    occupancy starvation multiply everything equally, so they do not
+    change shares and are left out).
+    """
+    slices: list[tuple[str, float]] = [
+        (klass, count * calibration.issue_cost(klass))
+        for klass, count in counters.warp_issues.items()
+        if count
+    ]
+    if counters.branches_divergent:
+        slices.append(
+            (
+                "divergence penalty",
+                counters.branches_divergent
+                * calibration.divergence_penalty_cycles,
+            )
+        )
+    if counters.bank_conflict_extra_cycles:
+        slices.append(
+            ("bank conflicts", float(counters.bank_conflict_extra_cycles))
+        )
+    total = sum(c for _, c in slices)
+    if total == 0.0:
+        return []
+    out = [CostSlice(name, cycles, cycles / total) for name, cycles in slices]
+    out.sort(key=lambda s: s.cycles, reverse=True)
+    return out
+
+
+def format_cost_breakdown(
+    counters: KernelCounters,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    bar_width: int = 40,
+) -> str:
+    """Text rendering of :func:`cost_breakdown` with proportional bars."""
+    slices = cost_breakdown(counters, calibration)
+    if not slices:
+        return "(no compute activity)"
+    name_w = max(len(s.name) for s in slices)
+    lines = []
+    for s in slices:
+        bar = "#" * max(1, round(s.share * bar_width))
+        lines.append(f"{s.name.ljust(name_w)}  {s.share * 100:5.1f}%  {bar}")
+    return "\n".join(lines)
+
+
+def render_timeline(
+    result: PipelineResult,
+    max_slots: int = 6,
+    width: int = 64,
+) -> str:
+    """ASCII Gantt chart of the first ``max_slots`` pipeline slots.
+
+    Three rows per run — host->device copies, kernels, device->host
+    copies — with each slot labelled by its index, e.g.::
+
+        H2D  |000|111|222|
+        KERN     |000000|111111|222222|
+        D2H             |000|   |111|
+
+    Overlap (level C+) shows as copies sitting under the previous
+    kernel; serial mode (levels A/B) shows strict staircases.
+    """
+    slots = result.frames[:max_slots]
+    if not slots:
+        return "(empty pipeline)"
+    t_end = slots[-1].copy_out_end
+    t0 = slots[0].copy_in_start
+    span = max(t_end - t0, 1e-12)
+
+    def col(t: float) -> int:
+        return round((t - t0) / span * (width - 1))
+
+    rows = {"H2D ": [" "] * width, "KERN": [" "] * width, "D2H ": [" "] * width}
+    phases = [
+        ("H2D ", lambda f: (f.copy_in_start, f.copy_in_end)),
+        ("KERN", lambda f: (f.kernel_start, f.kernel_end)),
+        ("D2H ", lambda f: (f.copy_out_start, f.copy_out_end)),
+    ]
+    for i, frame in enumerate(slots):
+        glyph = str(i % 10)
+        for row, phase in phases:
+            a, b = phase(frame)
+            ca, cb = col(a), max(col(b), col(a) + 1)
+            for c in range(ca, min(cb, width)):
+                rows[row][c] = glyph
+    lines = [f"{name} |{''.join(cells)}|" for name, cells in rows.items()]
+    lines.append(
+        f"span: {span * 1e3:.2f} ms over {len(slots)} slots "
+        f"(kernel util {result.kernel_utilisation * 100:.0f}%, "
+        f"copy util {result.copy_utilisation * 100:.0f}%)"
+    )
+    return "\n".join(lines)

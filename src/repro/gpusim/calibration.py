@@ -1,0 +1,86 @@
+"""Calibrated constants of the analytic timing model.
+
+Provenance
+----------
+The *structure* of the timing model (:mod:`repro.gpusim.timing`) is
+first-principles: per-class issue throughput with a divergence
+reconvergence penalty, a DRAM roofline with a row-locality factor, and
+a Little's-law latency bound scaled by resident warps. The *free
+constants* below were fitted once (``tools/fit_calibration.py``)
+against the seven end-to-end anchors the paper publishes — the speedups
+of levels A-F and the tiled level G at group size 8 over the 227.3 s
+CPU baseline — using the counters the simulator measures on the
+canonical evaluation scene. They are deliberately global: differences
+*between* optimization levels come only from measured counters and
+occupancy, never from per-level fudge factors.
+
+Fermi anchors that are NOT fitted: fp64 executes at half the fp32 rate
+on the C2075, and SFU operations (division, sqrt) are roughly an order
+of magnitude slower, their double-precision forms slower still.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def _default_issue_cycles() -> dict[str, float]:
+    # Fitted 2026-07-06 by tools/fit_calibration.py (residual 5.8e-4
+    # in squared log-speedup over the seven paper anchors). The fitted
+    # fp64 cost sits near the issue rate rather than the DP-throughput
+    # limit: with the divergence penalty and latency terms carrying the
+    # level differences, DP throughput is not the binding resource in
+    # any level, matching the paper's finding that MoG runs far from
+    # the C2075's 515 GFLOPS roofline.
+    return {
+        "int32": 1.0,
+        "fp32": 0.6399,
+        "fp64": 1.2799,
+        "sfu32": 11.1695,
+        "sfu64": 22.3391,  # DP divide/sqrt software-expanded on Fermi
+        "cvt": 1.0,
+        "mem": 1.8455,
+        "shared": 2.5565,  # 64-bit shared accesses take two phases
+        "branch": 6.4632,
+        "sync": 2.0,
+    }
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Free constants of the timing model (see module docstring)."""
+
+    #: Cycles one warp instruction of each class occupies an SM.
+    issue_cycles: dict[str, float] = field(default_factory=_default_issue_cycles)
+    #: Extra cycles a warp pays per *divergent* branch (both-path
+    #: serialisation, SSY/reconvergence bookkeeping, scheduler stalls).
+    divergence_penalty_cycles: float = 77.26
+    #: Global multiplier on compute cycles (fitted: scheduler
+    #: inefficiency, dependency stalls not modelled per-opcode).
+    compute_scale: float = 1.247
+    #: Occupancy at which the issue pipeline saturates; below this the
+    #: SM idles waiting for eligible warps.
+    compute_occupancy_sat: float = 0.628
+    #: Outstanding memory transactions a resident warp sustains (MLP)
+    #: in the Little's-law latency bound.
+    memory_level_parallelism: float = 1.030
+    #: DRAM row-locality penalty: effective bandwidth factor is
+    #: ``floor + (1 - floor) * efficiency ** gamma``.
+    coalesce_floor: float = 0.398
+    coalesce_gamma: float = 1.161
+
+    def issue_cost(self, klass: str) -> float:
+        try:
+            return self.issue_cycles[klass]
+        except KeyError:
+            raise KeyError(f"unknown issue class {klass!r}") from None
+
+    def replace(self, **kwargs) -> "Calibration":
+        import dataclasses
+
+        return dataclasses.replace(self, **kwargs)
+
+
+#: The constants used throughout the library (values fitted by
+#: tools/fit_calibration.py; see EXPERIMENTS.md for the fit residuals).
+DEFAULT_CALIBRATION = Calibration()

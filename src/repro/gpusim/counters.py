@@ -1,0 +1,142 @@
+"""Per-launch hardware counters.
+
+These mirror the Nvidia Visual Profiler metrics the paper reports:
+
+* *branch efficiency* — non-divergent branches / total branches
+  (Figure 7a);
+* *memory access efficiency* — bytes requested by active lanes /
+  bytes moved in 128-byte transactions (Figures 6a, 7b, 10);
+* *global store transactions* (Figure 6a) and total transactions
+  (Figure 7b).
+
+Issue counters are *warp-granular*: one "issue" is one warp executing
+one instruction, charged to every path of a divergent region the warp
+participates in — which is exactly how divergence costs time on SIMT
+hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Instruction classes distinguished by the timing model.
+ISSUE_CLASSES = (
+    "int32",   # integer ALU / address arithmetic / comparisons
+    "fp32",    # single-precision add/mul/fma/min/max/abs
+    "fp64",    # double-precision add/mul/fma/min/max/abs
+    "sfu32",   # single-precision division, sqrt, transcendental
+    "sfu64",   # double-precision division, sqrt (slow path on Fermi)
+    "cvt",     # dtype conversions
+    "mem",     # global load/store instruction issue
+    "shared",  # shared-memory load/store
+    "branch",  # branch / predicate-set instructions
+    "sync",    # barriers
+)
+
+
+@dataclass
+class KernelCounters:
+    """Counter state for one kernel launch (or an aggregate of many)."""
+
+    warp_issues: dict[str, int] = field(
+        default_factory=lambda: {c: 0 for c in ISSUE_CLASSES}
+    )
+    thread_instructions: int = 0
+    branches_total: int = 0
+    branches_divergent: int = 0
+    load_transactions: int = 0
+    store_transactions: int = 0
+    l1_load_hits: int = 0
+    load_bytes_useful: int = 0
+    store_bytes_useful: int = 0
+    shared_accesses: int = 0
+    bank_conflict_extra_cycles: int = 0
+    transaction_bytes: int = 128
+
+    # ------------------------------------------------------------------
+    # Derived metrics (the paper's profiler numbers)
+    # ------------------------------------------------------------------
+    @property
+    def transactions(self) -> int:
+        """Total global-memory transactions (loads + stores)."""
+        return self.load_transactions + self.store_transactions
+
+    @property
+    def bytes_moved(self) -> int:
+        """Bytes crossing the DRAM interface."""
+        return self.transactions * self.transaction_bytes
+
+    @property
+    def bytes_useful(self) -> int:
+        return self.load_bytes_useful + self.store_bytes_useful
+
+    @property
+    def memory_access_efficiency(self) -> float:
+        """Useful bytes / moved bytes; 1.0 = perfectly coalesced."""
+        moved = self.bytes_moved
+        return self.bytes_useful / moved if moved else 1.0
+
+    @property
+    def branch_efficiency(self) -> float:
+        """Non-divergent branches / total branches; 1.0 = uniform."""
+        if self.branches_total == 0:
+            return 1.0
+        return 1.0 - self.branches_divergent / self.branches_total
+
+    @property
+    def total_warp_issues(self) -> int:
+        return sum(self.warp_issues.values())
+
+    # ------------------------------------------------------------------
+    # Composition
+    # ------------------------------------------------------------------
+    def add(self, other: "KernelCounters") -> "KernelCounters":
+        """Accumulate another launch's counters in place."""
+        for cls, count in other.warp_issues.items():
+            self.warp_issues[cls] = self.warp_issues.get(cls, 0) + count
+        self.thread_instructions += other.thread_instructions
+        self.branches_total += other.branches_total
+        self.branches_divergent += other.branches_divergent
+        self.load_transactions += other.load_transactions
+        self.store_transactions += other.store_transactions
+        self.l1_load_hits += other.l1_load_hits
+        self.load_bytes_useful += other.load_bytes_useful
+        self.store_bytes_useful += other.store_bytes_useful
+        self.shared_accesses += other.shared_accesses
+        self.bank_conflict_extra_cycles += other.bank_conflict_extra_cycles
+        return self
+
+    def __add__(self, other: "KernelCounters") -> "KernelCounters":
+        out = self.copy()
+        return out.add(other)
+
+    def copy(self) -> "KernelCounters":
+        out = KernelCounters(transaction_bytes=self.transaction_bytes)
+        out.add(self)
+        return out
+
+    def scaled(self, factor: float) -> "KernelCounters":
+        """Counters for a proportionally larger/smaller grid.
+
+        MoG is embarrassingly parallel with statistically identical
+        per-warp behaviour, so extrapolating a small simulated frame to
+        full HD is a linear scaling of every count (DESIGN.md §6). The
+        derived *ratios* (efficiencies) are unchanged by construction.
+        """
+        out = KernelCounters(transaction_bytes=self.transaction_bytes)
+        out.warp_issues = {
+            c: int(round(v * factor)) for c, v in self.warp_issues.items()
+        }
+        out.thread_instructions = int(round(self.thread_instructions * factor))
+        out.branches_total = int(round(self.branches_total * factor))
+        out.branches_divergent = int(round(self.branches_divergent * factor))
+        out.load_transactions = int(round(self.load_transactions * factor))
+        out.store_transactions = int(round(self.store_transactions * factor))
+        out.l1_load_hits = int(round(self.l1_load_hits * factor))
+        out.load_bytes_useful = int(round(self.load_bytes_useful * factor))
+        out.store_bytes_useful = int(round(self.store_bytes_useful * factor))
+        out.shared_accesses = int(round(self.shared_accesses * factor))
+        out.bank_conflict_extra_cycles = int(
+            round(self.bank_conflict_extra_cycles * factor)
+        )
+        return out

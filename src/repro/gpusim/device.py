@@ -1,0 +1,153 @@
+"""Hardware descriptions (the paper's Table I).
+
+:data:`TESLA_C2075` mirrors the Nvidia Tesla C2075 (Fermi, compute
+capability 2.0) the paper targets; :data:`XEON_E5_2620` the Intel Xeon
+E5-2620 used for the CPU baselines. Both are plain frozen dataclasses so
+experiments can explore hypothetical hardware by ``replace``-ing fields.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A Fermi-like GPU.
+
+    The occupancy-related limits follow the CUDA occupancy calculator
+    for compute capability 2.0; the performance-related fields feed the
+    timing model (:mod:`repro.gpusim.timing`).
+    """
+
+    name: str = "Nvidia Tesla C2075"
+    # --- organisation -------------------------------------------------
+    num_sms: int = 14
+    cores_per_sm: int = 32
+    warp_size: int = 32
+    schedulers_per_sm: int = 2
+    # --- occupancy limits (CC 2.0) -------------------------------------
+    max_threads_per_sm: int = 1536
+    max_warps_per_sm: int = 48
+    max_blocks_per_sm: int = 8
+    max_threads_per_block: int = 1024
+    registers_per_sm: int = 32768
+    register_alloc_unit: int = 64  # registers, allocated per warp
+    max_registers_per_thread: int = 63
+    shared_mem_per_sm: int = 48 * 1024
+    shared_alloc_unit: int = 128  # bytes
+    shared_banks: int = 32
+    #: L1 reuse window per warp, in 128-byte lines: the 16 KB L1 (128
+    #: lines) divided among the ~8 warps with loads in flight. Loads
+    #: hitting a line their warp touched recently are served without a
+    #: DRAM transaction; stores bypass (Fermi's L1 is write-evict for
+    #: global stores). This is what lifts the AoS layout's measured
+    #: efficiency to the paper's ~17% (adjacent w/m/sd fields share
+    #: lines) without helping SoA, whose planes are far apart.
+    l1_window_segments: int = 16
+    # --- performance ----------------------------------------------------
+    clock_hz: float = 1.15e9
+    mem_bandwidth: float = 144e9  # bytes/s, GDDR5 peak
+    mem_latency_cycles: float = 600.0
+    transaction_bytes: int = 128
+    pcie_bandwidth: float = 1.164e9  # bytes/s, effective host<->device
+    # (fitted with the timing model; pageable-memory transfers on the
+    # paper's platform were far below the PCIe 2.0 peak)
+    pcie_latency_s: float = 10e-6  # per-transfer setup cost
+    kernel_launch_overhead_s: float = 8e-6
+    flops_sp: float = 1.03e12
+    flops_dp: float = 515e9
+
+    def __post_init__(self) -> None:
+        if self.warp_size <= 0 or self.num_sms <= 0:
+            raise ConfigError("device must have positive warp size and SM count")
+        if self.max_warps_per_sm * self.warp_size < self.max_threads_per_sm:
+            raise ConfigError(
+                "max_threads_per_sm exceeds warp capacity "
+                f"({self.max_warps_per_sm} warps x {self.warp_size})"
+            )
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_sms * self.cores_per_sm
+
+    def replace(self, **kwargs) -> "DeviceSpec":
+        return dataclasses.replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """The CPU baseline host (paper Table I)."""
+
+    name: str = "Intel Xeon E5-2620"
+    cores: int = 6
+    threads: int = 12
+    clock_hz: float = 2.5e9  # the paper's Table I frequency
+    simd_width_bytes: int = 32  # AVX
+    mem_bandwidth: float = 12.8e9  # DDR3
+    flops_sp: float = 120.3e9
+
+    def replace(self, **kwargs) -> "CpuSpec":
+        return dataclasses.replace(self, **kwargs)
+
+
+#: The paper's GPU.
+TESLA_C2075 = DeviceSpec()
+
+#: The paper's CPU.
+XEON_E5_2620 = CpuSpec()
+
+#: An embedded GPU in the class the paper's conclusion targets as
+#: future work ("realize MoG on an embedded GPU ... achieving real-time
+#: performance will require to trade off quality for speed"): a
+#: Tegra-K1-like integrated part — one big SM, a fraction of the
+#: discrete card's bandwidth, DRAM shared with the CPU (so host
+#: "transfers" are cheap zero-copy mappings), and nearly useless double
+#: precision. Occupancy limits follow CC 3.x.
+TEGRA_K1 = DeviceSpec(
+    name="Nvidia Tegra K1 (embedded)",
+    num_sms=1,
+    cores_per_sm=192,
+    schedulers_per_sm=4,
+    max_threads_per_sm=2048,
+    max_warps_per_sm=64,
+    max_blocks_per_sm=16,
+    max_threads_per_block=1024,
+    registers_per_sm=65536,
+    register_alloc_unit=256,
+    max_registers_per_thread=255,
+    shared_mem_per_sm=48 * 1024,
+    clock_hz=0.852e9,
+    mem_bandwidth=14.9e9,       # LPDDR3, shared with the CPU
+    mem_latency_cycles=500.0,
+    pcie_bandwidth=8.0e9,        # zero-copy through the shared DRAM
+    pcie_latency_s=2e-6,
+    kernel_launch_overhead_s=15e-6,
+    flops_sp=365e9,
+    flops_dp=11.4e9,             # 1/32 rate: avoid double precision here
+)
+
+
+def hw_config_table() -> list[tuple[str, str, str]]:
+    """Rows of the paper's Table I: (feature, CPU value, GPU value)."""
+    cpu, gpu = XEON_E5_2620, TESLA_C2075
+    return [
+        ("Processor", cpu.name, gpu.name),
+        ("Cores", str(cpu.cores), str(gpu.total_cores)),
+        ("Frequency", f"{cpu.clock_hz / 1e9:.1f} GHz", f"{gpu.clock_hz / 1e9:.2f} GHz"),
+        ("FLOPS (single)", f"{cpu.flops_sp / 1e9:.1f} GFLOPS", f"{gpu.flops_sp / 1e12:.2f} TFLOPS"),
+        ("FLOPS (double)", "(unavailable)", f"{gpu.flops_dp / 1e9:.0f} GFLOPS"),
+        (
+            "Cache",
+            "L2 (256K), L3 (15M)",
+            "L1 (16/48K), L2 (768K)",
+        ),
+        (
+            "Mem. BW",
+            f"{cpu.mem_bandwidth / 1e9:.1f}GB/s (DDR3)",
+            f"{gpu.mem_bandwidth / 1e9:.0f}GB/s (GDDR5)",
+        ),
+    ]

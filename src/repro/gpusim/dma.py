@@ -1,0 +1,144 @@
+"""PCIe transfers and the host-side stream schedule (paper Figure 5).
+
+A discrete GPU cannot touch host memory: every frame must be DMA'd in
+and every foreground mask DMA'd out. :func:`transfer_time` models one
+transfer; :class:`StreamScheduler` replays the per-frame schedule either
+*serially* (copy-in, kernel, copy-out — levels A and B) or *overlapped*
+(double-buffered: while the kernel processes frame *i*, the copy engine
+moves frame *i+1* in and mask *i-1* out — level C onward).
+
+The scheduler is a tiny three-resource event simulation: the C2075's
+two copy engines (one per direction) and the compute engine, with the
+double-buffer dependencies between them (copy-in of frame *i* reuses
+the input buffer of frame *i-2*, so it waits for that kernel). It
+reports both the total time and the per-frame timeline so the
+pipeline-fill cost is visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from .device import TESLA_C2075, DeviceSpec
+
+
+def transfer_time(num_bytes: int, device: DeviceSpec = TESLA_C2075) -> float:
+    """Host<->device DMA time for one transfer."""
+    if num_bytes < 0:
+        raise ConfigError(f"transfer size must be non-negative, got {num_bytes}")
+    if num_bytes == 0:
+        return 0.0
+    return device.pcie_latency_s + num_bytes / device.pcie_bandwidth
+
+
+@dataclass(frozen=True)
+class FrameSchedule:
+    """When one frame's phases ran (all times in seconds)."""
+
+    copy_in_start: float
+    copy_in_end: float
+    kernel_start: float
+    kernel_end: float
+    copy_out_start: float
+    copy_out_end: float
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Outcome of scheduling a whole run."""
+
+    total_time: float
+    frames: tuple[FrameSchedule, ...]
+    copy_busy: float
+    kernel_busy: float
+
+    @property
+    def copy_utilisation(self) -> float:
+        return self.copy_busy / self.total_time if self.total_time else 0.0
+
+    @property
+    def kernel_utilisation(self) -> float:
+        return self.kernel_busy / self.total_time if self.total_time else 0.0
+
+
+class StreamScheduler:
+    """Schedules per-frame (copy-in, kernel, copy-out) phases."""
+
+    def __init__(self, device: DeviceSpec = TESLA_C2075, overlapped: bool = True):
+        self.device = device
+        self.overlapped = overlapped
+
+    def run(
+        self,
+        kernel_times: list[float],
+        bytes_in: int | list[int],
+        bytes_out: int | list[int],
+    ) -> PipelineResult:
+        """Schedule ``len(kernel_times)`` pipeline slots.
+
+        A slot is one kernel launch with its input and output transfer
+        (a frame for levels A-F, a whole frame group for level G).
+        ``bytes_in``/``bytes_out`` may be scalars (same size every slot)
+        or per-slot lists.
+        """
+        if not kernel_times:
+            raise ConfigError("no frames to schedule")
+        n = len(kernel_times)
+        ins = bytes_in if isinstance(bytes_in, list) else [bytes_in] * n
+        outs = bytes_out if isinstance(bytes_out, list) else [bytes_out] * n
+        if len(ins) != n or len(outs) != n:
+            raise ConfigError(
+                "per-slot transfer sizes must match the number of kernels"
+            )
+
+        frames: list[FrameSchedule] = []
+        in_free = 0.0    # host->device copy engine
+        out_free = 0.0   # device->host copy engine
+        kernel_free = 0.0
+        kernel_ends: list[float] = []
+        prev_out_end = 0.0
+        copy_busy = 0.0
+        kernel_busy = 0.0
+
+        for i, kt in enumerate(kernel_times):
+            if kt < 0:
+                raise ConfigError(f"kernel time for frame {i} is negative")
+            t_in = transfer_time(ins[i], self.device)
+            t_out = transfer_time(outs[i], self.device)
+            if self.overlapped:
+                # Double buffering: copy-in of frame i reuses the input
+                # buffer of frame i-2, so it additionally waits for that
+                # kernel to finish.
+                buffer_ready = kernel_ends[i - 2] if i >= 2 else 0.0
+                ci_start = max(in_free, buffer_ready)
+            else:
+                # Serial single-stream: wait for everything so far.
+                ci_start = max(in_free, prev_out_end)
+            ci_end = ci_start + t_in
+            in_free = ci_end
+            copy_busy += t_in
+
+            k_start = max(ci_end, kernel_free)
+            k_end = k_start + kt
+            kernel_free = k_end
+            kernel_ends.append(k_end)
+            kernel_busy += kt
+
+            co_start = max(k_end, out_free)
+            co_end = co_start + t_out
+            out_free = co_end
+            prev_out_end = co_end
+            copy_busy += t_out
+
+            frames.append(
+                FrameSchedule(ci_start, ci_end, k_start, k_end, co_start, co_end)
+            )
+
+        total = frames[-1].copy_out_end
+        return PipelineResult(
+            total_time=total,
+            frames=tuple(frames),
+            copy_busy=copy_busy,
+            kernel_busy=kernel_busy,
+        )

@@ -1,0 +1,548 @@
+"""Kernel DSL: write CUDA-like kernels in Python, executed vectorized.
+
+A kernel is a Python function ``kernel(ctx, *args)`` operating on
+:class:`Vec` values — per-thread scalars materialised as NumPy arrays
+over the whole grid. The :class:`KernelContext` tracks an active-mask
+stack (SIMT divergence), charges every operation to warp-granular issue
+counters, models global-memory coalescing per warp, and estimates
+register pressure from live values.
+
+Control flow::
+
+    with ctx.if_(cond):          # divergence is recorded per warp
+        v.set(expr)              # MutVar writes commit only on active lanes
+    with ctx.else_():
+        ...
+
+Assignments under divergent control flow must go through
+:meth:`KernelContext.var` / :meth:`MutVar.set`; plain Python rebinding
+of a :class:`Vec` would clobber inactive lanes. Plain rebinding is fine
+at top level (uniform flow).
+
+Loops with uniform trip counts are plain Python ``for`` loops (they are
+unrolled, exactly like ``#pragma unroll`` on a small constant bound).
+Early exit is expressed with a ``done`` flag and ``if_(~done)`` — the
+idiomatic CUDA pattern, and precisely the divergence source the paper's
+level-D optimization removes.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Union
+
+import numpy as np
+
+from ..errors import KernelDivergenceError, MemoryModelError
+from .memory import GlobalBuffer, count_transactions, count_transactions_with_l1
+from .sharedmem import SharedBuffer, bank_conflict_extra_cycles
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import SimtEngine
+
+Scalar = Union[int, float, bool, np.generic]
+Operand = Union["Vec", "MutVar", Scalar]
+
+
+def _issue_class(dtype: np.dtype, sfu: bool) -> str:
+    if dtype == np.float64:
+        return "sfu64" if sfu else "fp64"
+    if dtype == np.float32:
+        return "sfu32" if sfu else "fp32"
+    # bool / integer
+    return "sfu32" if sfu else "int32"
+
+
+def _register_slots(dtype: np.dtype) -> int:
+    """32-bit register slots a live value of this dtype occupies.
+
+    Doubles take two registers; everything else (including our int64
+    index values, which stand in for Fermi's 32-bit addresses) takes
+    one.
+    """
+    return 2 if dtype == np.float64 else 1
+
+
+class Vec:
+    """An immutable per-thread value (one virtual register)."""
+
+    __slots__ = ("ctx", "val", "_slots", "__weakref__")
+
+    def __init__(self, ctx: "KernelContext", val: np.ndarray) -> None:
+        self.ctx = ctx
+        self.val = val
+        self._slots = _register_slots(val.dtype)
+        ctx._acquire_registers(self._slots)
+
+    def __del__(self) -> None:
+        ctx = getattr(self, "ctx", None)
+        if ctx is not None:
+            ctx._release_registers(self._slots)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.val.dtype
+
+    # -- arithmetic ----------------------------------------------------
+    def __add__(self, other: Operand) -> "Vec":
+        return self.ctx._binary(self, other, np.add)
+
+    def __radd__(self, other: Operand) -> "Vec":
+        return self.ctx._binary(other, self, np.add)
+
+    def __sub__(self, other: Operand) -> "Vec":
+        return self.ctx._binary(self, other, np.subtract)
+
+    def __rsub__(self, other: Operand) -> "Vec":
+        return self.ctx._binary(other, self, np.subtract)
+
+    def __mul__(self, other: Operand) -> "Vec":
+        return self.ctx._binary(self, other, np.multiply)
+
+    def __rmul__(self, other: Operand) -> "Vec":
+        return self.ctx._binary(other, self, np.multiply)
+
+    def __truediv__(self, other: Operand) -> "Vec":
+        return self.ctx._binary(self, other, np.divide, sfu=True)
+
+    def __rtruediv__(self, other: Operand) -> "Vec":
+        return self.ctx._binary(other, self, np.divide, sfu=True)
+
+    def __floordiv__(self, other: Operand) -> "Vec":
+        return self.ctx._binary(self, other, np.floor_divide, sfu=True)
+
+    def __mod__(self, other: Operand) -> "Vec":
+        return self.ctx._binary(self, other, np.mod, sfu=True)
+
+    def __neg__(self) -> "Vec":
+        return self.ctx._unary(self, np.negative)
+
+    def __abs__(self) -> "Vec":
+        return self.ctx._unary(self, np.abs)
+
+    # -- comparisons (produce predicate Vecs) ---------------------------
+    def __lt__(self, other: Operand) -> "Vec":
+        return self.ctx._binary(self, other, np.less, result_class="int32")
+
+    def __le__(self, other: Operand) -> "Vec":
+        return self.ctx._binary(self, other, np.less_equal, result_class="int32")
+
+    def __gt__(self, other: Operand) -> "Vec":
+        return self.ctx._binary(self, other, np.greater, result_class="int32")
+
+    def __ge__(self, other: Operand) -> "Vec":
+        return self.ctx._binary(self, other, np.greater_equal, result_class="int32")
+
+    def eq(self, other: Operand) -> "Vec":
+        return self.ctx._binary(self, other, np.equal, result_class="int32")
+
+    def ne(self, other: Operand) -> "Vec":
+        return self.ctx._binary(self, other, np.not_equal, result_class="int32")
+
+    # -- logical (predicate registers) ----------------------------------
+    def __and__(self, other: Operand) -> "Vec":
+        return self.ctx._binary(self, other, np.logical_and, result_class="int32")
+
+    def __or__(self, other: Operand) -> "Vec":
+        return self.ctx._binary(self, other, np.logical_or, result_class="int32")
+
+    def __invert__(self) -> "Vec":
+        return self.ctx._unary(self, np.logical_not, result_class="int32")
+
+    def astype(self, dtype) -> "Vec":
+        """Type conversion (counts a cvt instruction)."""
+        dt = np.dtype(dtype)
+        self.ctx._count_issue("cvt")
+        return Vec(self.ctx, self.val.astype(dt))
+
+
+class MutVar:
+    """A mutable per-thread variable with predicated writes.
+
+    ``set`` only commits lanes active under the current mask — the
+    source-level equivalent of a predicated move, and the only correct
+    way to assign inside ``if_``/``else_`` bodies.
+    """
+
+    __slots__ = ("ctx", "_vec")
+
+    def __init__(self, ctx: "KernelContext", init: Vec) -> None:
+        self.ctx = ctx
+        self._vec = init
+
+    @property
+    def val(self) -> np.ndarray:
+        return self._vec.val
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._vec.dtype
+
+    def get(self) -> Vec:
+        return self._vec
+
+    def set(self, value: Operand) -> None:
+        new = self.ctx._coerce(value, like=self._vec)
+        mask = self.ctx._mask
+        merged = np.where(mask, new, self._vec.val).astype(self._vec.dtype)
+        self.ctx._count_issue(_issue_class(self._vec.dtype, sfu=False))
+        self._vec = Vec(self.ctx, merged)
+
+    # Allow MutVar to appear directly in expressions.
+    def __add__(self, o): return self.get() + o
+    def __radd__(self, o): return self.ctx._binary(o, self.get(), np.add)
+    def __sub__(self, o): return self.get() - o
+    def __rsub__(self, o): return self.ctx._binary(o, self.get(), np.subtract)
+    def __mul__(self, o): return self.get() * o
+    def __rmul__(self, o): return self.ctx._binary(o, self.get(), np.multiply)
+    def __truediv__(self, o): return self.get() / o
+    def __rtruediv__(self, o): return self.ctx._binary(o, self.get(), np.divide, sfu=True)
+    def __abs__(self): return abs(self.get())
+    def __neg__(self): return -self.get()
+    def __lt__(self, o): return self.get() < o
+    def __le__(self, o): return self.get() <= o
+    def __gt__(self, o): return self.get() > o
+    def __ge__(self, o): return self.get() >= o
+    def __and__(self, o): return self.get() & o
+    def __or__(self, o): return self.get() | o
+    def __invert__(self): return ~self.get()
+    def eq(self, o): return self.get().eq(o)
+    def ne(self, o): return self.get().ne(o)
+
+
+class KernelContext:
+    """Execution context of one simulated kernel launch."""
+
+    def __init__(
+        self,
+        engine: "SimtEngine",
+        grid_threads: int,
+        threads_per_block: int,
+        num_blocks: int,
+    ) -> None:
+        self.engine = engine
+        self.device = engine.device
+        self.counters = engine._fresh_counters()
+        self.grid_threads = grid_threads  # logical threads requested
+        self.threads_per_block = threads_per_block
+        self.num_blocks = num_blocks
+        self.padded_threads = num_blocks * threads_per_block
+        self.num_warps = self.padded_threads // self.device.warp_size
+
+        base = np.arange(self.padded_threads, dtype=np.int64)
+        self._tid_values = base
+        self._block_values = base // threads_per_block
+        self._lane_values = base % threads_per_block
+
+        root_mask = base < grid_threads
+        self._mask_stack: list[np.ndarray] = [root_mask]
+        self._mask = root_mask
+        self._warps_active = 0
+        self._lanes_active = 0
+        self._refresh_mask_cache()
+
+        self._pending_else: dict[int, np.ndarray] = {}
+        self._live_registers = 0
+        self.peak_registers = 0
+        self._shared_allocs: dict[str, SharedBuffer] = {}
+        self.shared_bytes_per_block = 0
+        # Per-warp L1 reuse window for loads (cold at launch).
+        self._l1_window = np.full(
+            (self.num_warps, max(self.device.l1_window_segments, 1)),
+            -1, dtype=np.int64,
+        )
+
+    # ------------------------------------------------------------------
+    # Mask management
+    # ------------------------------------------------------------------
+    def _refresh_mask_cache(self) -> None:
+        per_warp = self._mask.reshape(self.num_warps, self.device.warp_size)
+        self._warps_active = int(per_warp.any(axis=1).sum())
+        self._lanes_active = int(self._mask.sum())
+
+    def _push_mask(self, mask: np.ndarray) -> None:
+        self._mask_stack.append(mask)
+        self._mask = mask
+        self._refresh_mask_cache()
+
+    def _pop_mask(self) -> None:
+        if len(self._mask_stack) <= 1:
+            raise KernelDivergenceError("mask stack underflow (unbalanced if_)")
+        self._mask_stack.pop()
+        self._mask = self._mask_stack[-1]
+        self._refresh_mask_cache()
+
+    @property
+    def depth(self) -> int:
+        return len(self._mask_stack)
+
+    # ------------------------------------------------------------------
+    # Counting
+    # ------------------------------------------------------------------
+    def _count_issue(self, klass: str, times: int = 1) -> None:
+        self.counters.warp_issues[klass] += self._warps_active * times
+        self.counters.thread_instructions += self._lanes_active * times
+
+    def _acquire_registers(self, slots: int) -> None:
+        self._live_registers += slots
+        if self._live_registers > self.peak_registers:
+            self.peak_registers = self._live_registers
+
+    def _release_registers(self, slots: int) -> None:
+        self._live_registers -= slots
+
+    # ------------------------------------------------------------------
+    # Value construction
+    # ------------------------------------------------------------------
+    def _coerce(self, value: Operand, like: Vec | None = None) -> np.ndarray:
+        if isinstance(value, MutVar):
+            value = value.get()
+        if isinstance(value, Vec):
+            return value.val
+        dtype = like.dtype if like is not None else None
+        if dtype is not None and not isinstance(value, np.generic):
+            return np.full(self.padded_threads, value, dtype=dtype)
+        return np.full(self.padded_threads, value)
+
+    def thread_id(self) -> Vec:
+        """Global thread index (``blockIdx.x * blockDim.x + threadIdx.x``)."""
+        self._count_issue("int32")
+        return Vec(self, self._tid_values.copy())
+
+    def block_id(self) -> Vec:
+        self._count_issue("int32")
+        return Vec(self, self._block_values.copy())
+
+    def lane_id(self) -> Vec:
+        """Thread index within its block (``threadIdx.x``)."""
+        self._count_issue("int32")
+        return Vec(self, self._lane_values.copy())
+
+    def full(self, value: Scalar, dtype) -> Vec:
+        """A per-thread constant (one mov)."""
+        dt = np.dtype(dtype)
+        self._count_issue(_issue_class(dt, sfu=False))
+        return Vec(self, np.full(self.padded_threads, value, dtype=dt))
+
+    def var(self, init: Operand, dtype=None) -> MutVar:
+        """Declare a mutable per-thread variable."""
+        if isinstance(init, MutVar):
+            init = init.get()
+        if isinstance(init, Vec):
+            vec = init if dtype is None else init.astype(dtype)
+        else:
+            vec = self.full(init, dtype if dtype is not None else np.float64)
+        return MutVar(self, vec)
+
+    # ------------------------------------------------------------------
+    # Arithmetic plumbing
+    # ------------------------------------------------------------------
+    def _binary(
+        self,
+        a: Operand,
+        b: Operand,
+        ufunc,
+        sfu: bool = False,
+        result_class: str | None = None,
+    ) -> Vec:
+        av = self._coerce(a)
+        bv = self._coerce(b)
+        with np.errstate(all="ignore"):
+            out = ufunc(av, bv)
+        klass = result_class or _issue_class(np.asarray(out).dtype, sfu)
+        self._count_issue(klass)
+        return Vec(self, out)
+
+    def _unary(self, a: Operand, ufunc, sfu: bool = False, result_class=None) -> Vec:
+        av = self._coerce(a)
+        with np.errstate(all="ignore"):
+            out = ufunc(av)
+        klass = result_class or _issue_class(np.asarray(out).dtype, sfu)
+        self._count_issue(klass)
+        return Vec(self, out)
+
+    def sqrt(self, a: Operand) -> Vec:
+        return self._unary(a, np.sqrt, sfu=True)
+
+    def floor(self, a: Operand) -> Vec:
+        return self._unary(a, np.floor)
+
+    def minimum(self, a: Operand, b: Operand) -> Vec:
+        return self._binary(a, b, np.minimum)
+
+    def maximum(self, a: Operand, b: Operand) -> Vec:
+        return self._binary(a, b, np.maximum)
+
+    def select(self, cond: Operand, a: Operand, b: Operand) -> Vec:
+        """Predicated select ``cond ? a : b`` (single instruction, no
+        divergence — what the compiler emits for short conditionals)."""
+        cv = self._coerce(cond).astype(bool)
+        av = self._coerce(a)
+        bv = self._coerce(b)
+        out = np.where(cv, av, bv)
+        self._count_issue(_issue_class(np.asarray(out).dtype, sfu=False))
+        return Vec(self, out)
+
+    # ------------------------------------------------------------------
+    # Control flow
+    # ------------------------------------------------------------------
+    @contextmanager
+    def if_(self, cond: Operand):
+        cv = self._coerce(cond).astype(bool)
+        parent = self._mask
+        ws = self.device.warp_size
+        per_warp_parent = parent.reshape(self.num_warps, ws)
+        participating = per_warp_parent.any(axis=1)
+        cond_active = (cv & parent).reshape(self.num_warps, ws)
+        not_taken_active = (~cv & parent).reshape(self.num_warps, ws)
+        divergent = cond_active.any(axis=1) & not_taken_active.any(axis=1)
+
+        self.counters.branches_total += int(participating.sum())
+        self.counters.branches_divergent += int(divergent.sum())
+        self._count_issue("branch")
+
+        depth = self.depth
+        self._push_mask(parent & cv)
+        try:
+            yield
+        finally:
+            self._pop_mask()
+            self._pending_else[depth] = parent & ~cv
+
+    @contextmanager
+    def else_(self):
+        depth = self.depth
+        mask = self._pending_else.pop(depth, None)
+        if mask is None:
+            raise KernelDivergenceError(
+                "else_ must immediately follow an if_ at the same nesting level"
+            )
+        self._push_mask(mask)
+        try:
+            yield
+        finally:
+            self._pop_mask()
+
+    def loop(self, iterations: int):
+        """A uniform counted loop (``for k in ctx.loop(K)``).
+
+        Functionally identical to ``range``, but charges the loop's
+        control overhead the way real hardware pays it: one (never
+        divergent) branch plus a counter increment per iteration and a
+        final exit branch. Without this, unrolled simulation would
+        undercount total branches and wildly overstate the *divergent
+        fraction* — the paper's branch-efficiency percentages include
+        these uniform loop branches in their denominator.
+        """
+        if iterations < 0:
+            raise KernelDivergenceError(
+                f"loop iterations must be non-negative, got {iterations}"
+            )
+        for i in range(iterations):
+            self.counters.branches_total += self._warps_active
+            self._count_issue("branch")
+            self._count_issue("int32")
+            yield i
+        self.counters.branches_total += self._warps_active
+        self._count_issue("branch")
+
+    def syncthreads(self) -> None:
+        """Block-level barrier (functionally a no-op here: the engine
+        executes whole launches in lock-step anyway)."""
+        self._count_issue("sync")
+
+    # ------------------------------------------------------------------
+    # Global memory
+    # ------------------------------------------------------------------
+    def _bounds_check(self, buf: GlobalBuffer, idx: np.ndarray) -> None:
+        active_idx = idx[self._mask]
+        if active_idx.size == 0:
+            return
+        lo = active_idx.min()
+        hi = active_idx.max()
+        if lo < 0 or hi >= buf.num_elements:
+            raise MemoryModelError(
+                f"out-of-bounds access to buffer {buf.name!r}: indices in "
+                f"[{lo}, {hi}], buffer has {buf.num_elements} elements"
+            )
+
+    def load(self, buf: GlobalBuffer, index: Operand) -> Vec:
+        """Global load: gather + coalescing accounting."""
+        idx = self._coerce(index).astype(np.int64)
+        self._bounds_check(buf, idx)
+        safe = np.where(self._mask, idx, 0)
+        values = buf.data[safe]
+        # Inactive lanes must not observe data (helps catch kernel bugs).
+        if values.dtype.kind == "f":
+            values = np.where(self._mask, values, np.nan)
+        tx, hits = count_transactions_with_l1(
+            buf.addresses(safe), self._mask, self.device.warp_size,
+            self.engine.memory.transaction_bytes, self._l1_window,
+        )
+        self.counters.load_transactions += tx
+        self.counters.l1_load_hits += hits
+        self.counters.load_bytes_useful += self._lanes_active * buf.itemsize
+        self._count_issue("mem")
+        return Vec(self, values)
+
+    def store(self, buf: GlobalBuffer, index: Operand, value: Operand) -> None:
+        """Global store: masked scatter + coalescing accounting."""
+        idx = self._coerce(index).astype(np.int64)
+        self._bounds_check(buf, idx)
+        val = self._coerce(value)
+        safe = np.where(self._mask, idx, 0)
+        cols = safe[self._mask]
+        buf.data[cols] = np.asarray(val, dtype=buf.data.dtype)[self._mask]
+        tx = count_transactions(
+            buf.addresses(safe), self._mask, self.device.warp_size,
+            self.engine.memory.transaction_bytes,
+        )
+        self.counters.store_transactions += tx
+        self.counters.store_bytes_useful += self._lanes_active * buf.itemsize
+        self._count_issue("mem")
+
+    # ------------------------------------------------------------------
+    # Shared memory
+    # ------------------------------------------------------------------
+    def shared_alloc(self, name: str, elems_per_block: int, dtype) -> SharedBuffer:
+        """Allocate per-block shared memory (counts toward occupancy)."""
+        if name in self._shared_allocs:
+            raise MemoryModelError(f"shared buffer {name!r} already allocated")
+        buf = SharedBuffer(name, self.num_blocks, elems_per_block, np.dtype(dtype))
+        self._shared_allocs[name] = buf
+        self.shared_bytes_per_block += buf.bytes_per_block
+        if self.shared_bytes_per_block > self.device.shared_mem_per_sm:
+            raise MemoryModelError(
+                f"shared memory request ({self.shared_bytes_per_block} B per "
+                f"block) exceeds the SM's {self.device.shared_mem_per_sm} B"
+            )
+        return buf
+
+    def shared_load(self, buf: SharedBuffer, local_index: Operand) -> Vec:
+        idx = self._coerce(local_index).astype(np.int64)
+        values = buf.gather(self._block_values, idx, self._mask)
+        if values.dtype.kind == "f":
+            values = np.where(self._mask, values, np.nan)
+        self._account_shared(buf, idx)
+        return Vec(self, values)
+
+    def shared_store(self, buf: SharedBuffer, local_index: Operand, value: Operand) -> None:
+        idx = self._coerce(local_index).astype(np.int64)
+        val = self._coerce(value)
+        buf.scatter(self._block_values, idx, np.asarray(val), self._mask)
+        self._account_shared(buf, idx)
+
+    def _account_shared(self, buf: SharedBuffer, idx: np.ndarray) -> None:
+        self.counters.shared_accesses += self._warps_active
+        self.counters.bank_conflict_extra_cycles += bank_conflict_extra_cycles(
+            idx, self._mask, buf.itemsize,
+            self.device.warp_size, self.device.shared_banks,
+        )
+        self._count_issue("shared")
+
+    # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        if self.depth != 1:
+            raise KernelDivergenceError(
+                f"kernel ended with {self.depth - 1} unclosed if_ blocks"
+            )

@@ -1,0 +1,96 @@
+"""The SIMT execution engine: launches kernels, collects results.
+
+One :class:`SimtEngine` owns a device spec and its global memory.
+:meth:`SimtEngine.launch` runs a DSL kernel over a grid and returns a
+:class:`LaunchResult` bundling the functional side effects (buffer
+contents) with the measured counters, the register-pressure estimate
+and the launch geometry — everything the profiler and timing model
+need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..errors import LaunchError
+from .counters import KernelCounters
+from .device import TESLA_C2075, DeviceSpec
+from .dsl import KernelContext
+from .memory import GlobalMemory
+
+
+@dataclass(frozen=True)
+class LaunchResult:
+    """Everything measured about one kernel launch."""
+
+    name: str
+    counters: KernelCounters
+    grid_threads: int
+    threads_per_block: int
+    num_blocks: int
+    shared_bytes_per_block: int
+    estimated_registers: int
+
+    @property
+    def num_warps(self) -> int:
+        ws = 32
+        return self.num_blocks * (-(-self.threads_per_block // ws))
+
+
+class SimtEngine:
+    """Simulated GPU: device + global memory + kernel launcher."""
+
+    def __init__(self, device: DeviceSpec = TESLA_C2075) -> None:
+        self.device = device
+        self.memory = GlobalMemory(device.transaction_bytes)
+        self.launches: list[LaunchResult] = []
+
+    def _fresh_counters(self) -> KernelCounters:
+        return KernelCounters(transaction_bytes=self.device.transaction_bytes)
+
+    def launch(
+        self,
+        kernel: Callable,
+        grid_threads: int,
+        threads_per_block: int,
+        args: tuple = (),
+        name: str | None = None,
+    ) -> LaunchResult:
+        """Execute ``kernel(ctx, *args)`` over ``grid_threads`` threads.
+
+        The grid is padded to whole blocks; padding threads are masked
+        inactive from the start (they execute nothing and access
+        nothing), matching the standard ``if (tid < n)`` CUDA idiom
+        without charging for it.
+        """
+        if grid_threads <= 0:
+            raise LaunchError(f"grid must be positive, got {grid_threads}")
+        if threads_per_block <= 0 or threads_per_block % self.device.warp_size:
+            raise LaunchError(
+                "threads_per_block must be a positive multiple of "
+                f"{self.device.warp_size}, got {threads_per_block}"
+            )
+        if threads_per_block > self.device.max_threads_per_block:
+            raise LaunchError(
+                f"threads_per_block {threads_per_block} exceeds device "
+                f"limit {self.device.max_threads_per_block}"
+            )
+        num_blocks = -(-grid_threads // threads_per_block)
+        ctx = KernelContext(self, grid_threads, threads_per_block, num_blocks)
+        with np.errstate(all="ignore"):
+            kernel(ctx, *args)
+        ctx.finalize()
+        result = LaunchResult(
+            name=name or getattr(kernel, "__name__", "kernel"),
+            counters=ctx.counters,
+            grid_threads=grid_threads,
+            threads_per_block=threads_per_block,
+            num_blocks=num_blocks,
+            shared_bytes_per_block=ctx.shared_bytes_per_block,
+            estimated_registers=ctx.peak_registers,
+        )
+        self.launches.append(result)
+        return result

@@ -1,0 +1,188 @@
+"""Simulated GPU global memory and the coalescing model.
+
+Buffers live in one flat byte-address space. When a warp executes a
+load or store, the engine maps each active lane's element index to a
+byte address and counts the *distinct 128-byte segments* touched — the
+number of memory transactions Fermi issues for that warp's request.
+Contiguous, aligned accesses by 32 lanes of a 4-byte type need 1
+transaction; the paper's AoS layout (72-byte pixel stride for 3 double
+Gaussians) needs 18, which is the whole story of Figure 6(a).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import MemoryModelError
+from .counters import KernelCounters
+
+#: Alignment of buffer base addresses (matches cudaMalloc's 256 B).
+BASE_ALIGNMENT = 256
+
+
+class GlobalBuffer:
+    """A device allocation: a NumPy array plus a base byte address."""
+
+    __slots__ = ("name", "data", "base", "itemsize")
+
+    def __init__(self, name: str, data: np.ndarray, base: int) -> None:
+        self.name = name
+        self.data = data
+        self.base = base
+        self.itemsize = data.dtype.itemsize
+
+    @property
+    def num_elements(self) -> int:
+        return self.data.size
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+    def addresses(self, index: np.ndarray) -> np.ndarray:
+        """Byte address of each element index."""
+        return self.base + index.astype(np.int64) * self.itemsize
+
+
+class GlobalMemory:
+    """The device's global-memory address space."""
+
+    def __init__(self, transaction_bytes: int = 128) -> None:
+        if transaction_bytes <= 0 or transaction_bytes & (transaction_bytes - 1):
+            raise MemoryModelError(
+                f"transaction size must be a power of two, got {transaction_bytes}"
+            )
+        self.transaction_bytes = transaction_bytes
+        self._next_base = BASE_ALIGNMENT
+        self._buffers: dict[str, GlobalBuffer] = {}
+
+    def alloc(self, name: str, shape, dtype) -> GlobalBuffer:
+        """Allocate a named buffer (zero-initialised)."""
+        if name in self._buffers:
+            raise MemoryModelError(f"buffer {name!r} already allocated")
+        data = np.zeros(shape, dtype=dtype).reshape(-1)
+        buf = GlobalBuffer(name, data, self._next_base)
+        self._next_base += -(-data.nbytes // BASE_ALIGNMENT) * BASE_ALIGNMENT
+        self._buffers[name] = buf
+        return buf
+
+    def alloc_like(self, name: str, array: np.ndarray) -> GlobalBuffer:
+        """Allocate a buffer holding a copy of ``array`` (flattened) —
+        the simulated equivalent of cudaMalloc + cudaMemcpy at setup."""
+        buf = self.alloc(name, array.size, array.dtype)
+        buf.data[:] = np.asarray(array).reshape(-1)
+        return buf
+
+    def free(self, name: str) -> None:
+        """Release a named buffer (addresses are not recycled)."""
+        if name not in self._buffers:
+            raise MemoryModelError(f"buffer {name!r} not allocated")
+        del self._buffers[name]
+
+    def get(self, name: str) -> GlobalBuffer:
+        try:
+            return self._buffers[name]
+        except KeyError:
+            raise MemoryModelError(f"buffer {name!r} not allocated") from None
+
+    @property
+    def bytes_allocated(self) -> int:
+        return sum(b.nbytes for b in self._buffers.values())
+
+
+def count_transactions(
+    addresses: np.ndarray,
+    active: np.ndarray,
+    warp_size: int,
+    transaction_bytes: int,
+) -> int:
+    """Transactions for one memory access by a whole grid.
+
+    ``addresses`` and ``active`` are per-thread arrays whose length is a
+    multiple of ``warp_size`` (the grid is padded). For each warp, the
+    number of distinct ``transaction_bytes``-sized segments addressed by
+    its active lanes is counted; inactive lanes contribute nothing.
+    """
+    if addresses.shape != active.shape:
+        raise MemoryModelError("addresses and active mask must align")
+    n = addresses.size
+    if n % warp_size:
+        raise MemoryModelError(
+            f"grid of {n} threads is not a multiple of warp size {warp_size}"
+        )
+    return int(_distinct_mask(
+        addresses, active, warp_size, transaction_bytes
+    )[1].sum())
+
+
+def _distinct_mask(
+    addresses: np.ndarray,
+    active: np.ndarray,
+    warp_size: int,
+    transaction_bytes: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per warp, the sorted segment matrix and a mask of its distinct
+    real entries. Returns ``(segments, distinct)`` of shape
+    ``(num_warps, warp_size)``; inactive lanes carry a -1 sentinel and
+    are never marked distinct."""
+    shift = int(transaction_bytes).bit_length() - 1
+    segments = (addresses >> shift).reshape(-1, warp_size)
+    lanes = active.reshape(-1, warp_size)
+    segments = np.where(lanes, segments, np.int64(-1))
+    segments = np.sort(segments, axis=1)
+    distinct = np.ones_like(segments, dtype=bool)
+    distinct[:, 1:] = segments[:, 1:] != segments[:, :-1]
+    distinct &= segments >= 0
+    return segments, distinct
+
+
+def count_transactions_with_l1(
+    addresses: np.ndarray,
+    active: np.ndarray,
+    warp_size: int,
+    transaction_bytes: int,
+    window: np.ndarray,
+) -> tuple[int, int]:
+    """Transactions for one *load* with a per-warp L1 reuse window.
+
+    ``window`` is the ``(num_warps, W)`` array of recently loaded
+    segments per warp (-1 = empty), updated in place most-recent-first.
+    Returns ``(dram_transactions, l1_hits)``. Distinct segments already
+    in the warp's window are L1 hits; the rest are DRAM transactions.
+    """
+    if addresses.shape != active.shape:
+        raise MemoryModelError("addresses and active mask must align")
+    if addresses.size % warp_size:
+        raise MemoryModelError(
+            f"grid of {addresses.size} threads is not a multiple of warp "
+            f"size {warp_size}"
+        )
+    segments, distinct = _distinct_mask(
+        addresses, active, warp_size, transaction_bytes
+    )
+    if window.shape[0] != segments.shape[0]:
+        raise MemoryModelError(
+            f"window has {window.shape[0]} warps, grid has {segments.shape[0]}"
+        )
+    # Membership test against the warp's window.
+    hit = (segments[:, :, None] == window[:, None, :]).any(axis=2) & distinct
+    misses = distinct & ~hit
+    tx = int(misses.sum())
+    hits = int(hit.sum())
+
+    # Update the window: this access's distinct segments move to the
+    # front (most recent), older entries shift out. Duplicated entries
+    # waste a slot — an acceptable LRU approximation.
+    num_warps, cap = window.shape
+    combined = np.concatenate(
+        [np.where(distinct, segments, np.int64(-1)), window], axis=1
+    )
+    valid = combined >= 0
+    pos = np.cumsum(valid, axis=1) - 1
+    take = valid & (pos < cap)
+    rows = np.broadcast_to(
+        np.arange(num_warps)[:, None], combined.shape
+    )[take]
+    window[:] = -1
+    window[rows, pos[take]] = combined[take]
+    return tx, hits

@@ -1,0 +1,115 @@
+"""CUDA occupancy calculation for compute capability 2.0 (Fermi).
+
+Occupancy — the ratio of resident warps to the SM's maximum — is the
+paper's central architectural lever: register usage per thread bounds
+how many blocks fit the register file, shared memory per block bounds
+how many blocks fit shared memory, and the hardware caps blocks and
+warps outright. This module reproduces the CUDA Occupancy Calculator's
+arithmetic for CC 2.0, where registers are allocated per *warp* in
+units of :attr:`DeviceSpec.register_alloc_unit`.
+
+The non-monotonic effects the paper relies on fall out of the
+granularity: e.g. at 128 threads/block, 32 registers/thread fits 8
+blocks (limited by the block cap) while 33 registers fits only 7 —
+Figure 7(c)'s drop from D to E.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import LaunchError
+from .device import DeviceSpec
+
+
+def _ceil_to(value: int, unit: int) -> int:
+    return ((value + unit - 1) // unit) * unit
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Outcome of the occupancy calculation for one launch shape."""
+
+    blocks_per_sm: int
+    warps_per_block: int
+    limiting_factor: str  # "warps" | "blocks" | "registers" | "shared"
+    max_warps_per_sm: int
+
+    @property
+    def warps_per_sm(self) -> int:
+        return self.blocks_per_sm * self.warps_per_block
+
+    @property
+    def occupancy(self) -> float:
+        """Theoretical occupancy: resident warps / max warps."""
+        return self.warps_per_sm / self.max_warps_per_sm
+
+
+def occupancy(
+    device: DeviceSpec,
+    threads_per_block: int,
+    registers_per_thread: int,
+    shared_bytes_per_block: int = 0,
+) -> OccupancyResult:
+    """Compute theoretical occupancy for a launch configuration.
+
+    Raises :class:`~repro.errors.LaunchError` if the configuration
+    cannot run at all (zero blocks fit an SM).
+    """
+    if threads_per_block <= 0:
+        raise LaunchError(f"threads_per_block must be positive, got {threads_per_block}")
+    if threads_per_block > device.max_threads_per_block:
+        raise LaunchError(
+            f"threads_per_block {threads_per_block} exceeds device limit "
+            f"{device.max_threads_per_block}"
+        )
+    if registers_per_thread < 0 or shared_bytes_per_block < 0:
+        raise LaunchError("resource requirements must be non-negative")
+    if registers_per_thread > device.max_registers_per_thread:
+        raise LaunchError(
+            f"registers_per_thread {registers_per_thread} exceeds the "
+            f"CC 2.0 limit of {device.max_registers_per_thread} "
+            "(a real compiler would spill to local memory)"
+        )
+
+    warps_per_block = -(-threads_per_block // device.warp_size)
+
+    limits: dict[str, int] = {}
+    limits["blocks"] = device.max_blocks_per_sm
+    limits["warps"] = device.max_warps_per_sm // warps_per_block
+
+    if registers_per_thread > 0:
+        regs_per_warp = _ceil_to(
+            registers_per_thread * device.warp_size, device.register_alloc_unit
+        )
+        warp_limit_by_regs = device.registers_per_sm // regs_per_warp
+        limits["registers"] = warp_limit_by_regs // warps_per_block
+
+    if shared_bytes_per_block > 0:
+        shared_alloc = _ceil_to(shared_bytes_per_block, device.shared_alloc_unit)
+        if shared_alloc > device.shared_mem_per_sm:
+            raise LaunchError(
+                f"shared memory request {shared_bytes_per_block} B exceeds "
+                f"the SM's {device.shared_mem_per_sm} B"
+            )
+        limits["shared"] = device.shared_mem_per_sm // shared_alloc
+
+    # The smallest limit wins; ties break toward the hardware caps so
+    # the report names the most fundamental constraint.
+    limiting = min(limits, key=lambda k: (limits[k], _TIE_ORDER[k]))
+    blocks = limits[limiting]
+    if blocks <= 0:
+        raise LaunchError(
+            f"launch shape cannot run: {limiting} limit allows zero "
+            f"blocks per SM (threads={threads_per_block}, "
+            f"regs={registers_per_thread}, shared={shared_bytes_per_block})"
+        )
+    return OccupancyResult(
+        blocks_per_sm=blocks,
+        warps_per_block=warps_per_block,
+        limiting_factor=limiting,
+        max_warps_per_sm=device.max_warps_per_sm,
+    )
+
+
+_TIE_ORDER = {"warps": 0, "blocks": 1, "shared": 2, "registers": 3}

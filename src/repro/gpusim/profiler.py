@@ -1,0 +1,126 @@
+"""Profiler facade: per-launch reports in Visual-Profiler style.
+
+The paper reads its architectural numbers off the Nvidia Visual
+Profiler; :class:`Profiler` plays that role here, combining a launch's
+measured counters with the occupancy calculation and the timing model
+into one :class:`LaunchReport`, and formatting collections of reports
+as text tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .calibration import DEFAULT_CALIBRATION, Calibration
+from .counters import KernelCounters
+from .device import TESLA_C2075, DeviceSpec
+from .engine import LaunchResult
+from .occupancy import OccupancyResult, occupancy
+from .timing import KernelTiming, TimingModel
+
+
+@dataclass(frozen=True)
+class LaunchReport:
+    """One kernel launch, fully characterised."""
+
+    name: str
+    counters: KernelCounters
+    occupancy: OccupancyResult
+    registers_per_thread: int
+    timing: KernelTiming
+
+    @property
+    def time(self) -> float:
+        return self.timing.total
+
+    def metrics(self) -> dict[str, float]:
+        """The profiler metrics the paper plots."""
+        c = self.counters
+        return {
+            "branches": float(c.branches_total),
+            "branch_efficiency": c.branch_efficiency,
+            "memory_access_efficiency": c.memory_access_efficiency,
+            "load_transactions": float(c.load_transactions),
+            "store_transactions": float(c.store_transactions),
+            "transactions": float(c.transactions),
+            "registers_per_thread": float(self.registers_per_thread),
+            "occupancy": self.occupancy.occupancy,
+            "time_s": self.timing.total,
+        }
+
+
+class Profiler:
+    """Builds :class:`LaunchReport` objects from raw launch results."""
+
+    def __init__(
+        self,
+        device: DeviceSpec = TESLA_C2075,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+    ) -> None:
+        self.device = device
+        self.timing_model = TimingModel(device, calibration)
+
+    def report(
+        self,
+        launch: LaunchResult,
+        registers_per_thread: int | None = None,
+    ) -> LaunchReport:
+        """Characterise a launch.
+
+        ``registers_per_thread`` defaults to the engine's live-value
+        estimate; MoG experiments pass the pinned per-level values
+        (:func:`repro.gpusim.registers.pinned_registers`).
+        """
+        regs = (
+            registers_per_thread
+            if registers_per_thread is not None
+            else launch.estimated_registers
+        )
+        occ = occupancy(
+            self.device,
+            launch.threads_per_block,
+            regs,
+            launch.shared_bytes_per_block,
+        )
+        timing = self.timing_model.kernel_timing(launch.counters, occ)
+        return LaunchReport(
+            name=launch.name,
+            counters=launch.counters,
+            occupancy=occ,
+            registers_per_thread=regs,
+            timing=timing,
+        )
+
+
+def format_reports(reports: list[LaunchReport]) -> str:
+    """Text table over launches: the profiler's summary view."""
+    headers = [
+        "kernel", "time(ms)", "bound", "mem_eff", "br_eff",
+        "ld_tx", "st_tx", "regs", "occ",
+    ]
+    rows = []
+    for r in reports:
+        rows.append(
+            [
+                r.name,
+                f"{r.timing.total * 1e3:.3f}",
+                r.timing.bound_by,
+                f"{r.counters.memory_access_efficiency * 100:.1f}%",
+                f"{r.counters.branch_efficiency * 100:.1f}%",
+                str(r.counters.load_transactions),
+                str(r.counters.store_transactions),
+                str(r.registers_per_thread),
+                f"{r.occupancy.occupancy * 100:.0f}%",
+            ]
+        )
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Registers-per-thread accounting.
+
+Register allocation is a compiler artifact that a trace-level simulator
+cannot derive exactly, so two sources are provided:
+
+* :func:`pinned_registers` — a small model calibrated so that the
+  paper's configuration (3 Gaussians, double precision, 128
+  threads/block) reproduces the nvcc/profiler numbers the paper
+  reports: A=30, B=C=36, D=32, E=33, F=31 (Figures 6b / 7c). The same
+  model extrapolates to 5 Gaussians and single precision: the
+  per-component live values (the ``diff[]`` array and the parameter
+  triple in flight) scale with the component count, and value width
+  scales with the dtype (doubles occupy two 32-bit registers).
+
+* the engine's live-value estimate
+  (:attr:`repro.gpusim.engine.LaunchResult.estimated_registers`), an
+  upper-bound-ish measurement from the executed trace used as a
+  cross-check and for ablations.
+
+The timing model uses the pinned values by default (DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import resolve_dtype
+from ..errors import ConfigError
+
+#: (integer/address registers, floating-point live values at K=3) per level.
+#: fp live values grow by one per extra Gaussian component (the diff[]
+#: entry plus in-flight parameter reuse); level F keeps no diff array but
+#: still stages one extra value per component during the update loop.
+_LEVEL_MODEL: dict[str, tuple[int, int, int]] = {
+    # level: (int_regs, fp_values_at_3G, fp_values_per_extra_gaussian)
+    # Two extra live values per extra component: its diff[] entry plus
+    # the in-flight parameter the update loop stages.
+    "A": (10, 10, 2),
+    "B": (12, 12, 2),
+    "C": (12, 12, 2),
+    "D": (12, 10, 2),
+    "E": (13, 10, 2),
+    "F": (13, 9, 2),
+    "G": (15, 9, 2),  # tiled: extra shared-memory index registers
+}
+
+
+def pinned_registers(
+    level: str, num_gaussians: int = 3, dtype: str | np.dtype = "double"
+) -> int:
+    """Registers per thread for a MoG kernel configuration."""
+    key = level.upper()
+    if key not in _LEVEL_MODEL:
+        raise ConfigError(
+            f"unknown optimization level {level!r}; expected one of "
+            f"{sorted(_LEVEL_MODEL)}"
+        )
+    if num_gaussians < 1:
+        raise ConfigError(f"num_gaussians must be >= 1, got {num_gaussians}")
+    int_regs, fp3, per_g = _LEVEL_MODEL[key]
+    fp_values = fp3 + per_g * (num_gaussians - 3)
+    width = 2 if resolve_dtype(dtype) == np.dtype(np.float64) else 1
+    return int_regs + width * max(fp_values, 1)

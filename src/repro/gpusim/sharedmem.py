@@ -1,0 +1,125 @@
+"""Per-block shared memory with bank-conflict accounting.
+
+Fermi shared memory has 32 banks of 4-byte words. A warp's access
+serialises when multiple lanes address *different words in the same
+bank*; 8-byte accesses are serviced as two 4-byte phases. The level-G
+tiled kernel stages Gaussian parameters here, so capacity (occupancy)
+and conflict behaviour both matter to Figure 10.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import MemoryModelError
+
+
+class SharedBuffer:
+    """A per-block shared allocation: ``(num_blocks, elems)`` storage."""
+
+    __slots__ = ("name", "data", "itemsize")
+
+    def __init__(
+        self, name: str, num_blocks: int, elems_per_block: int, dtype: np.dtype
+    ) -> None:
+        if elems_per_block <= 0:
+            raise MemoryModelError(
+                f"shared buffer {name!r} must have positive size"
+            )
+        self.name = name
+        self.data = np.zeros((num_blocks, elems_per_block), dtype=dtype)
+        self.itemsize = dtype.itemsize
+
+    @property
+    def elems_per_block(self) -> int:
+        return self.data.shape[1]
+
+    @property
+    def bytes_per_block(self) -> int:
+        return self.elems_per_block * self.itemsize
+
+    def _check(self, idx: np.ndarray, mask: np.ndarray) -> None:
+        active = idx[mask]
+        if active.size and (active.min() < 0 or active.max() >= self.elems_per_block):
+            raise MemoryModelError(
+                f"out-of-bounds shared access to {self.name!r}: indices in "
+                f"[{active.min()}, {active.max()}], size {self.elems_per_block}"
+            )
+
+    def gather(
+        self, block_ids: np.ndarray, idx: np.ndarray, mask: np.ndarray
+    ) -> np.ndarray:
+        self._check(idx, mask)
+        safe = np.where(mask, idx, 0)
+        return self.data[block_ids, safe]
+
+    def scatter(
+        self,
+        block_ids: np.ndarray,
+        idx: np.ndarray,
+        values: np.ndarray,
+        mask: np.ndarray,
+    ) -> None:
+        self._check(idx, mask)
+        self.data[block_ids[mask], idx[mask]] = values[mask].astype(
+            self.data.dtype
+        )
+
+
+def bank_conflict_extra_cycles(
+    local_index: np.ndarray,
+    active: np.ndarray,
+    itemsize: int,
+    warp_size: int,
+    num_banks: int,
+) -> int:
+    """Extra serialisation cycles due to bank conflicts for one access.
+
+    Requests are serviced in *groups*: a whole warp for accesses of up
+    to 4 bytes, a half-warp for 8-byte accesses (Fermi's 64-bit shared
+    path — which is why contiguous double accesses are conflict-free
+    despite each lane touching two words). Within a group, the conflict
+    degree is the maximum, over banks, of the number of *distinct*
+    words addressed in that bank; a broadcast (same word) is free. The
+    group costs ``degree`` cycles instead of 1; the summed extra
+    (``degree - 1``) cycles are returned.
+    """
+    n = local_index.size
+    if n % warp_size:
+        raise MemoryModelError("grid not a multiple of warp size")
+    idx = local_index.astype(np.int64)
+    if itemsize <= 4:
+        # One word (or a shared sub-word) per lane, full-warp groups.
+        words = ((idx * itemsize) // 4).reshape(-1, warp_size)
+        act = active.reshape(-1, warp_size)
+    else:
+        if itemsize != 8:
+            raise MemoryModelError(
+                f"unsupported shared access width {itemsize}"
+            )
+        # Two words per lane, half-warp groups: each group row holds
+        # the 2 x (warp_size/2) words one half-warp requests at once.
+        half = warp_size // 2
+        base = (idx * 2).reshape(-1, half)          # (groups, half)
+        words = np.concatenate([base, base + 1], axis=1)  # (groups, 2*half)
+        half_mask = active.reshape(-1, half)
+        act = np.concatenate([half_mask, half_mask], axis=1)
+
+    bank = words % num_banks
+    pair = np.where(act, bank * (1 << 40) + words, np.int64(-1))
+    pair = np.sort(pair, axis=1)
+    distinct_mask = np.ones_like(pair, dtype=bool)
+    distinct_mask[:, 1:] = pair[:, 1:] != pair[:, :-1]
+    distinct_mask &= pair >= 0
+    num_groups = pair.shape[0]
+    group_ids = np.broadcast_to(
+        np.arange(num_groups, dtype=np.int64)[:, None], pair.shape
+    )
+    banks_of_distinct = (pair >> 40)[distinct_mask]
+    groups_of_distinct = group_ids[distinct_mask]
+    counts = np.bincount(
+        groups_of_distinct * num_banks + banks_of_distinct,
+        minlength=num_groups * num_banks,
+    ).reshape(num_groups, num_banks)
+    degree = counts.max(axis=1)
+    return int(np.maximum(degree - 1, 0).sum())

@@ -1,0 +1,129 @@
+"""Counters -> seconds: the analytic kernel timing model.
+
+For one launch the model composes two serial parts (their partial
+overlap on real hardware is folded into the fitted constants):
+
+``T = T_compute + T_memory``
+
+*Compute* — every warp instruction occupies an SM for a class-dependent
+number of cycles (``Calibration.issue_cycles``); divergence is already
+inside the counters because warps are charged for every path they
+execute, and each *divergent* branch additionally pays a reconvergence
+penalty. Work spreads evenly over the SMs; below a saturation occupancy
+the SM idles between eligible warps (``starvation = max(1, occ_sat /
+occ)``).
+
+*Memory* — the larger of two bounds:
+
+* bandwidth: bytes actually moved (transactions x 128 B) over the GDDR5
+  peak derated by a row-locality factor that falls with coalescing
+  efficiency (scattered transactions pay DRAM row activations — the
+  reason level A is slower than B even beyond its 8.7x byte volume);
+* latency: transactions x latency spread over the warps resident per SM
+  (Little's law) — the term that rewards occupancy and punishes the
+  AoS layout's 18-transaction warp requests.
+
+The constants are in :mod:`repro.gpusim.calibration`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .calibration import DEFAULT_CALIBRATION, Calibration
+from .counters import KernelCounters
+from .device import TESLA_C2075, DeviceSpec
+from .occupancy import OccupancyResult
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Timing breakdown of one kernel launch."""
+
+    compute_time: float
+    memory_bandwidth_time: float
+    memory_latency_time: float
+    launch_overhead: float
+    coalesce_factor: float
+
+    @property
+    def memory_time(self) -> float:
+        return max(self.memory_bandwidth_time, self.memory_latency_time)
+
+    @property
+    def total(self) -> float:
+        return self.compute_time + self.memory_time + self.launch_overhead
+
+    @property
+    def bound_by(self) -> str:
+        if self.compute_time >= self.memory_time:
+            return "compute"
+        if self.memory_bandwidth_time >= self.memory_latency_time:
+            return "memory-bandwidth"
+        return "memory-latency"
+
+
+class TimingModel:
+    """Analytic timing for simulated launches on a device."""
+
+    def __init__(
+        self,
+        device: DeviceSpec = TESLA_C2075,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+    ) -> None:
+        self.device = device
+        self.calibration = calibration
+
+    # ------------------------------------------------------------------
+    def compute_time(self, counters: KernelCounters, occ: OccupancyResult) -> float:
+        dev, cal = self.device, self.calibration
+        cycles = sum(
+            count * cal.issue_cost(klass)
+            for klass, count in counters.warp_issues.items()
+        )
+        cycles += counters.bank_conflict_extra_cycles
+        cycles += counters.branches_divergent * cal.divergence_penalty_cycles
+        cycles *= cal.compute_scale
+        cycles_per_sm = cycles / dev.num_sms
+        starvation = max(
+            1.0, cal.compute_occupancy_sat / max(occ.occupancy, 1e-9)
+        )
+        return cycles_per_sm * starvation / dev.clock_hz
+
+    def coalesce_factor(self, counters: KernelCounters) -> float:
+        """DRAM row-locality derating from coalescing efficiency."""
+        cal = self.calibration
+        eff = counters.memory_access_efficiency
+        return cal.coalesce_floor + (1.0 - cal.coalesce_floor) * eff**cal.coalesce_gamma
+
+    def memory_bandwidth_time(self, counters: KernelCounters) -> float:
+        eff_bw = self.device.mem_bandwidth * self.coalesce_factor(counters)
+        return counters.bytes_moved / eff_bw if counters.bytes_moved else 0.0
+
+    def memory_latency_time(
+        self, counters: KernelCounters, occ: OccupancyResult
+    ) -> float:
+        dev, cal = self.device, self.calibration
+        if not counters.transactions:
+            return 0.0
+        concurrency = (
+            occ.warps_per_sm * dev.num_sms * cal.memory_level_parallelism
+        )
+        # Poor coalescing also inflates per-transaction latency (DRAM
+        # row misses), not just bandwidth — divide by the same
+        # row-locality factor.
+        return (
+            counters.transactions * dev.mem_latency_cycles
+            / concurrency / dev.clock_hz / self.coalesce_factor(counters)
+        )
+
+    def kernel_timing(
+        self, counters: KernelCounters, occ: OccupancyResult
+    ) -> KernelTiming:
+        return KernelTiming(
+            compute_time=self.compute_time(counters, occ),
+            memory_bandwidth_time=self.memory_bandwidth_time(counters),
+            memory_latency_time=self.memory_latency_time(counters, occ),
+            launch_overhead=self.device.kernel_launch_overhead_s,
+            coalesce_factor=self.coalesce_factor(counters),
+        )

@@ -1,0 +1,42 @@
+"""Simulated CUDA kernels for every optimization level of the paper.
+
+Each module holds a kernel *factory*: given a parameter layout, a
+kernel configuration and the device buffers, it returns a DSL kernel
+function for :meth:`repro.gpusim.engine.SimtEngine.launch`.
+
+=======  ====================  =====================================
+module   paper level           distinguishing property
+=======  ====================  =====================================
+mog_base        A              AoS layout, branchy, rank+sort+break
+mog_coalesced   B (and C)      SoA layout, otherwise identical to A
+mog_nosort      D              sort removed, flat foreground OR
+mog_predicated  E              Algorithm-5 predicated updates
+mog_regopt      F              no persistent diff[] array
+mog_tiled       G              F staged through shared memory,
+                               processing frame groups per tile
+=======  ====================  =====================================
+
+Level C uses the same kernel as B — overlapping transfers with
+execution is a host-side (pipeline) change, see
+:mod:`repro.core.pipeline`.
+"""
+
+from .common import KernelConfig
+from .mog_base import make_base_kernel
+from .mog_coalesced import make_coalesced_kernel
+from .mog_nosort import make_nosort_kernel
+from .mog_predicated import make_predicated_kernel
+from .mog_regopt import make_regopt_kernel
+from .mog_tiled import make_tiled_kernel
+from .mog_tiled_registers import make_register_tiled_kernel
+
+__all__ = [
+    "KernelConfig",
+    "make_base_kernel",
+    "make_coalesced_kernel",
+    "make_nosort_kernel",
+    "make_predicated_kernel",
+    "make_regopt_kernel",
+    "make_tiled_kernel",
+    "make_register_tiled_kernel",
+]

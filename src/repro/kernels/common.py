@@ -1,0 +1,294 @@
+"""Shared kernel building blocks.
+
+The helpers here are the kernel-side mirror of the pinned semantics in
+:mod:`repro.mog.update`; each mirrors the vectorized implementation
+expression-for-expression so that, in float64, the simulated GPU
+produces bit-identical foreground masks (tests enforce this).
+
+All numeric constants are pre-cast to the run dtype in
+:class:`KernelConfig` so float32 kernels agree with the float32
+vectorized path: e.g. ``1 - alpha`` must be computed *in float32*, not
+computed in double and then cast, or the two implementations drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import MoGParams, resolve_dtype
+from ..gpusim.dsl import KernelContext, MutVar, Vec
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """Immutable numeric configuration of a MoG kernel."""
+
+    num_gaussians: int
+    dtype: np.dtype
+    alpha: float       # retention factor (1 - learning rate), in run dtype
+    one_minus_alpha: float
+    gamma1: float
+    gamma2: float
+    initial_weight: float
+    initial_sd: float
+    sd_floor: float
+
+    @classmethod
+    def from_params(
+        cls, params: MoGParams, dtype: str | np.dtype = "double"
+    ) -> "KernelConfig":
+        dt = resolve_dtype(dtype)
+        t = dt.type
+        alpha = t(1.0 - params.learning_rate)
+        oma = t(1.0) - alpha  # computed in the run dtype (see module doc)
+        return cls(
+            num_gaussians=params.num_gaussians,
+            dtype=dt,
+            alpha=float(alpha),
+            one_minus_alpha=float(oma),
+            gamma1=float(t(params.match_threshold)),
+            gamma2=float(t(params.background_weight)),
+            initial_weight=float(t(params.initial_weight)),
+            initial_sd=float(t(params.initial_sd)),
+            sd_floor=float(t(params.sd_floor)),
+        )
+
+
+# ----------------------------------------------------------------------
+# Component update (steps 3-4 of repro.mog.update)
+# ----------------------------------------------------------------------
+def branchy_update_match(
+    ctx: KernelContext,
+    cfg: KernelConfig,
+    x: Vec,
+    w: MutVar,
+    m: MutVar,
+    sd: MutVar,
+    diff: MutVar,
+) -> None:
+    """The matched-component body of Algorithm 4 (runs under if_)."""
+    w.set(w * cfg.alpha + cfg.one_minus_alpha)
+    rho = ctx.minimum(cfg.one_minus_alpha / w.get(), 1.0)
+    m.set((1.0 - rho) * m.get() + rho * x)
+    var = (1.0 - rho) * (sd.get() * sd.get()) + rho * (diff.get() * diff.get())
+    sd.set(ctx.maximum(ctx.sqrt(var), cfg.sd_floor))
+
+
+def predicated_update(
+    ctx: KernelContext,
+    cfg: KernelConfig,
+    x: Vec,
+    w: MutVar,
+    m: MutVar,
+    sd: MutVar,
+    diff: Vec,
+    matchf: Vec,
+) -> None:
+    """Algorithm 5: unconditional arithmetic, blended assignments.
+
+    ``matchf`` is the match predicate as a 0/1 value in the run dtype.
+    """
+    w.set(w * cfg.alpha + matchf * cfg.one_minus_alpha)
+    rho = ctx.minimum(cfg.one_minus_alpha / w.get(), 1.0)
+    m_upd = (1.0 - rho) * m.get() + rho * x
+    var = (1.0 - rho) * (sd.get() * sd.get()) + rho * (diff * diff)
+    sd_upd = ctx.maximum(ctx.sqrt(var), cfg.sd_floor)
+    m.set((1.0 - matchf) * m.get() + matchf * m_upd)
+    sd.set((1.0 - matchf) * sd.get() + matchf * sd_upd)
+
+
+# ----------------------------------------------------------------------
+# Virtual component (step 5)
+# ----------------------------------------------------------------------
+def branchy_virtual_component(
+    ctx: KernelContext,
+    cfg: KernelConfig,
+    x: Vec,
+    w: list[MutVar],
+    m: list[MutVar],
+    sd: list[MutVar],
+    diff: list[MutVar],
+    any_match: MutVar,
+) -> None:
+    """Replace the weakest component with branches (levels A-D)."""
+    k_count = cfg.num_gaussians
+    with ctx.if_(~any_match):
+        min_w = ctx.var(w[0].get())
+        min_k = ctx.var(0, np.int64)
+        for k in ctx.loop(k_count - 1):
+            k = k + 1
+            with ctx.if_(w[k] < min_w):
+                min_w.set(w[k].get())
+                min_k.set(k)
+        for k in ctx.loop(k_count):
+            with ctx.if_(min_k.eq(k)):
+                w[k].set(cfg.initial_weight)
+                m[k].set(x)
+                sd[k].set(cfg.initial_sd)
+                diff[k].set(0.0)
+
+
+def predicated_virtual_component(
+    ctx: KernelContext,
+    cfg: KernelConfig,
+    x: Vec,
+    w: list[MutVar],
+    m: list[MutVar],
+    sd: list[MutVar],
+    diff: list[MutVar] | None,
+    any_match: MutVar,
+) -> None:
+    """Replace the weakest component with selects (levels E-G).
+
+    One divergent branch remains (the outer no-match test); the interior
+    is pure predicated arithmetic. ``diff`` may be ``None`` for the
+    regopt family, which keeps no diff array.
+    """
+    k_count = cfg.num_gaussians
+    with ctx.if_(~any_match):
+        min_w = ctx.var(w[0].get())
+        min_k = ctx.var(0, np.int64)
+        for k in ctx.loop(k_count - 1):
+            k = k + 1
+            is_min = w[k] < min_w
+            min_w.set(ctx.select(is_min, w[k].get(), min_w.get()))
+            min_k.set(ctx.select(is_min, np.int64(k), min_k.get()))
+        for k in ctx.loop(k_count):
+            repl = min_k.eq(k)
+            w[k].set(ctx.select(repl, cfg.initial_weight, w[k].get()))
+            m[k].set(ctx.select(repl, x, m[k].get()))
+            sd[k].set(ctx.select(repl, cfg.initial_sd, sd[k].get()))
+            if diff is not None:
+                diff[k].set(ctx.select(repl, 0.0, diff[k].get()))
+
+
+# ----------------------------------------------------------------------
+# Ranking & sorting (step 7, levels A-C)
+# ----------------------------------------------------------------------
+def rank_and_sort(
+    ctx: KernelContext,
+    w: list[MutVar],
+    m: list[MutVar],
+    sd: list[MutVar],
+    diff: list[MutVar],
+) -> None:
+    """Stable descending bubble sort by rank = w/sd (Algorithm 1,
+    lines 16-21). Every compare-and-swap is a divergent branch — the
+    control flow level D eliminates."""
+    k_count = len(w)
+    rank = [ctx.var(w[k].get() / sd[k].get()) for k in range(k_count)]
+
+    def swap(a: MutVar, b: MutVar) -> None:
+        ta, tb = a.get(), b.get()
+        a.set(tb)
+        b.set(ta)
+
+    for end in ctx.loop(k_count - 1):
+        end = k_count - 1 - end
+        for j in ctx.loop(end):
+            with ctx.if_(rank[j] < rank[j + 1]):
+                swap(rank[j], rank[j + 1])
+                swap(w[j], w[j + 1])
+                swap(m[j], m[j + 1])
+                swap(sd[j], sd[j + 1])
+                swap(diff[j], diff[j + 1])
+
+
+# ----------------------------------------------------------------------
+# Foreground decision (step 6)
+# ----------------------------------------------------------------------
+def foreground_scan_break(
+    ctx: KernelContext,
+    cfg: KernelConfig,
+    w: list[MutVar],
+    sd: list[MutVar],
+    diff: list[MutVar],
+) -> MutVar:
+    """Early-exit scan (Algorithm 2): CPU-friendly, GPU-divergent."""
+    background = ctx.var(False, np.bool_)
+    done = ctx.var(False, np.bool_)
+    for k in ctx.loop(cfg.num_gaussians):
+        with ctx.if_(~done):
+            hit = (w[k] >= cfg.gamma2) & (diff[k] < sd[k] * cfg.gamma1)
+            with ctx.if_(hit):
+                background.set(True)
+                done.set(True)
+    return background
+
+
+def foreground_scan_flat(
+    ctx: KernelContext,
+    cfg: KernelConfig,
+    w: list[MutVar],
+    sd: list[MutVar],
+    diff: list[MutVar],
+) -> MutVar:
+    """Unconditional scan of all components (Algorithm 3): the OR is
+    order-independent, so no branch is needed at all."""
+    background = ctx.var(False, np.bool_)
+    for k in ctx.loop(cfg.num_gaussians):
+        hit = (w[k] >= cfg.gamma2) & (diff[k] < sd[k] * cfg.gamma1)
+        background.set(background | hit)
+    return background
+
+
+def foreground_scan_recompute(
+    ctx: KernelContext,
+    cfg: KernelConfig,
+    x: Vec,
+    w: list[MutVar],
+    m: list[MutVar],
+    sd: list[MutVar],
+) -> MutVar:
+    """Level F: diff recomputed from the *updated* means instead of
+    kept live in registers — trading a register for a subtraction.
+    Provably decision-equivalent to the stored-diff scan under the
+    pinned update equations (see repro.mog.update, step 6 note)."""
+    background = ctx.var(False, np.bool_)
+    for k in ctx.loop(cfg.num_gaussians):
+        d = abs(x - m[k].get())
+        hit = (w[k] >= cfg.gamma2) & (d < sd[k] * cfg.gamma1)
+        background.set(background | hit)
+    return background
+
+
+def store_foreground(ctx: KernelContext, fg_buf, pixel, background: MutVar) -> None:
+    """Write the 0/255 foreground byte."""
+    value = ctx.select(background.get(), np.uint8(0), np.uint8(255))
+    ctx.store(fg_buf, pixel, value)
+
+
+# ----------------------------------------------------------------------
+# Parameter movement between global memory and registers
+# ----------------------------------------------------------------------
+from ..layout.base import PARAM_M, PARAM_SD, PARAM_W  # noqa: E402
+
+
+def load_components(
+    ctx: KernelContext, layout, cfg: KernelConfig, pixel
+) -> tuple[list[MutVar], list[MutVar], list[MutVar]]:
+    """Load all K components of a pixel into register variables."""
+    w, m, sd = [], [], []
+    for k in ctx.loop(cfg.num_gaussians):
+        w.append(ctx.var(ctx.load(layout.buffer, layout.index(ctx, k, PARAM_W, pixel))))
+        m.append(ctx.var(ctx.load(layout.buffer, layout.index(ctx, k, PARAM_M, pixel))))
+        sd.append(ctx.var(ctx.load(layout.buffer, layout.index(ctx, k, PARAM_SD, pixel))))
+    return w, m, sd
+
+
+def store_components(
+    ctx: KernelContext,
+    layout,
+    cfg: KernelConfig,
+    pixel,
+    w: list[MutVar],
+    m: list[MutVar],
+    sd: list[MutVar],
+) -> None:
+    """Write all K components of a pixel back to global memory."""
+    for k in ctx.loop(cfg.num_gaussians):
+        ctx.store(layout.buffer, layout.index(ctx, k, PARAM_W, pixel), w[k].get())
+        ctx.store(layout.buffer, layout.index(ctx, k, PARAM_M, pixel), m[k].get())
+        ctx.store(layout.buffer, layout.index(ctx, k, PARAM_SD, pixel), sd[k].get())

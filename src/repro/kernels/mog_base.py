@@ -1,0 +1,58 @@
+"""Level A: the base kernel — a direct CUDA translation of Algorithm 1.
+
+Array-of-Structures parameter layout (non-coalesced), branchy
+match/update classification, branchy virtual-component creation, rank +
+bubble sort, and the early-exit foreground scan. Every later level
+changes exactly one of these properties; this kernel is the 13x
+starting point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .common import (
+    KernelConfig,
+    branchy_update_match,
+    branchy_virtual_component,
+    foreground_scan_break,
+    load_components,
+    rank_and_sort,
+    store_components,
+    store_foreground,
+)
+
+
+def make_base_kernel(layout, cfg: KernelConfig, frame_buf, fg_buf):
+    """Build the level-A kernel over the given buffers.
+
+    ``layout`` is expected to be an :class:`~repro.layout.AoSLayout`
+    (the function itself is layout-agnostic; level B is this same body
+    over SoA — see :mod:`repro.kernels.mog_coalesced`).
+    """
+
+    def mog_base(ctx):
+        pixel = ctx.thread_id()
+        x = ctx.load(frame_buf, pixel).astype(cfg.dtype)
+
+        w, m, sd = load_components(ctx, layout, cfg, pixel)
+        diff = []
+        any_match = ctx.var(False, np.bool_)
+        for k in ctx.loop(cfg.num_gaussians):
+            dk = ctx.var(abs(x - m[k].get()))
+            matched = dk < sd[k] * cfg.gamma1
+            with ctx.if_(matched):
+                branchy_update_match(ctx, cfg, x, w[k], m[k], sd[k], dk)
+                any_match.set(True)
+            with ctx.else_():
+                w[k].set(w[k] * cfg.alpha)
+            diff.append(dk)
+
+        branchy_virtual_component(ctx, cfg, x, w, m, sd, diff, any_match)
+        rank_and_sort(ctx, w, m, sd, diff)
+        background = foreground_scan_break(ctx, cfg, w, sd, diff)
+
+        store_components(ctx, layout, cfg, pixel, w, m, sd)
+        store_foreground(ctx, fg_buf, pixel, background)
+
+    return mog_base

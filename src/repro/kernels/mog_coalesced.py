@@ -1,0 +1,20 @@
+"""Level B: memory coalescing — the level-A algorithm over SoA layout.
+
+The kernel body is byte-for-byte the algorithm of level A; the only
+change is the data layout behind ``layout.index``, turning every
+72-byte-stride warp request (18 transactions) into a contiguous one
+(2 transactions for doubles). Level C launches this same kernel and
+overlaps its transfers host-side.
+"""
+
+from __future__ import annotations
+
+from .common import KernelConfig
+from .mog_base import make_base_kernel
+
+
+def make_coalesced_kernel(layout, cfg: KernelConfig, frame_buf, fg_buf):
+    """Build the level-B kernel (expects an SoA layout)."""
+    kernel = make_base_kernel(layout, cfg, frame_buf, fg_buf)
+    kernel.__name__ = "mog_coalesced"
+    return kernel

@@ -1,0 +1,52 @@
+"""Level D: divergent-branch elimination.
+
+Ranking and sorting only exist to let a CPU exit the foreground scan
+early; on a GPU the scan's OR is order-independent, so the sort's
+compare-and-swap branches and the scan's early-exit branches are pure
+divergence. This kernel drops both: no rank, no sort, and a flat
+unconditional check of all components (the paper's Algorithm 3).
+Updates are still branchy (Algorithm 4) — that is level E's job.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .common import (
+    KernelConfig,
+    branchy_update_match,
+    branchy_virtual_component,
+    foreground_scan_flat,
+    load_components,
+    store_components,
+    store_foreground,
+)
+
+
+def make_nosort_kernel(layout, cfg: KernelConfig, frame_buf, fg_buf):
+    """Build the level-D kernel (expects an SoA layout)."""
+
+    def mog_nosort(ctx):
+        pixel = ctx.thread_id()
+        x = ctx.load(frame_buf, pixel).astype(cfg.dtype)
+
+        w, m, sd = load_components(ctx, layout, cfg, pixel)
+        diff = []
+        any_match = ctx.var(False, np.bool_)
+        for k in ctx.loop(cfg.num_gaussians):
+            dk = ctx.var(abs(x - m[k].get()))
+            matched = dk < sd[k] * cfg.gamma1
+            with ctx.if_(matched):
+                branchy_update_match(ctx, cfg, x, w[k], m[k], sd[k], dk)
+                any_match.set(True)
+            with ctx.else_():
+                w[k].set(w[k] * cfg.alpha)
+            diff.append(dk)
+
+        branchy_virtual_component(ctx, cfg, x, w, m, sd, diff, any_match)
+        background = foreground_scan_flat(ctx, cfg, w, sd, diff)
+
+        store_components(ctx, layout, cfg, pixel, w, m, sd)
+        store_foreground(ctx, fg_buf, pixel, background)
+
+    return mog_nosort

@@ -1,0 +1,56 @@
+"""Level E: source-level predicated execution (the paper's Algorithm 5).
+
+The per-component match/update branch of level D is replaced by
+unconditional arithmetic blended with the 0/1 match predicate::
+
+    w  = alpha*w + match*(1-alpha)
+    m  = (1-match)*m + match*f(tmp)
+    sd = (1-match)*sd + match*g(tmp)
+
+Every lane now executes the identical instruction sequence — branch
+efficiency soars to ~99.5% — at the cost of computing the update values
+for non-matching lanes too (and one extra live register for the
+predicate value). The remaining divergent branch is the rare
+virtual-component creation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .common import (
+    KernelConfig,
+    foreground_scan_flat,
+    load_components,
+    predicated_update,
+    predicated_virtual_component,
+    store_components,
+    store_foreground,
+)
+
+
+def make_predicated_kernel(layout, cfg: KernelConfig, frame_buf, fg_buf):
+    """Build the level-E kernel (expects an SoA layout)."""
+
+    def mog_predicated(ctx):
+        pixel = ctx.thread_id()
+        x = ctx.load(frame_buf, pixel).astype(cfg.dtype)
+
+        w, m, sd = load_components(ctx, layout, cfg, pixel)
+        diff = []
+        any_match = ctx.var(False, np.bool_)
+        for k in ctx.loop(cfg.num_gaussians):
+            dk = ctx.var(abs(x - m[k].get()))
+            matched = dk < sd[k] * cfg.gamma1
+            matchf = matched.astype(cfg.dtype)
+            predicated_update(ctx, cfg, x, w[k], m[k], sd[k], dk.get(), matchf)
+            any_match.set(any_match | matched)
+            diff.append(dk)
+
+        predicated_virtual_component(ctx, cfg, x, w, m, sd, diff, any_match)
+        background = foreground_scan_flat(ctx, cfg, w, sd, diff)
+
+        store_components(ctx, layout, cfg, pixel, w, m, sd)
+        store_foreground(ctx, fg_buf, pixel, background)
+
+    return mog_predicated

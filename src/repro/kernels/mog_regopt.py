@@ -1,0 +1,52 @@
+"""Level F: register-usage reduction.
+
+Level E keeps the per-component ``diff[]`` array live from the update
+loop all the way to the foreground scan — K doubles of register
+pressure per thread. This kernel recomputes ``|pixel - mean|`` at the
+scan from the *updated* means instead ("arithmetic is cheaper than
+occupying a register"). The freed registers raise SM occupancy
+(Figure 7c). The recomputation is provably decision-equivalent under
+the pinned update equations (see :mod:`repro.mog.update`, step 6 note)
+— the paper's small level-F quality reading was a compiler artifact its
+authors could not pin down either.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .common import (
+    KernelConfig,
+    foreground_scan_recompute,
+    load_components,
+    predicated_update,
+    predicated_virtual_component,
+    store_components,
+    store_foreground,
+)
+
+
+def make_regopt_kernel(layout, cfg: KernelConfig, frame_buf, fg_buf):
+    """Build the level-F kernel (expects an SoA layout)."""
+
+    def mog_regopt(ctx):
+        pixel = ctx.thread_id()
+        x = ctx.load(frame_buf, pixel).astype(cfg.dtype)
+
+        w, m, sd = load_components(ctx, layout, cfg, pixel)
+        any_match = ctx.var(False, np.bool_)
+        for k in ctx.loop(cfg.num_gaussians):
+            # diff is a loop-local temporary now, not a persistent array.
+            dk = abs(x - m[k].get())
+            matched = dk < sd[k] * cfg.gamma1
+            matchf = matched.astype(cfg.dtype)
+            predicated_update(ctx, cfg, x, w[k], m[k], sd[k], dk, matchf)
+            any_match.set(any_match | matched)
+
+        predicated_virtual_component(ctx, cfg, x, w, m, sd, None, any_match)
+        background = foreground_scan_recompute(ctx, cfg, x, w, m, sd)
+
+        store_components(ctx, layout, cfg, pixel, w, m, sd)
+        store_foreground(ctx, fg_buf, pixel, background)
+
+    return mog_regopt

@@ -1,0 +1,114 @@
+"""Level G: tiled / windowed MoG with shared-memory parameter staging.
+
+The Gaussian parameters of a whole frame (149 MB at full HD) dwarf the
+48 KB of SM shared memory, and within one frame each parameter is used
+exactly once — so shared memory only pays off if parameters are *reused*.
+This kernel creates that reuse by splitting the frame into tiles sized
+to fit shared memory (640 pixels x K x 3 doubles = 45 KB) and processing
+each tile across a *group* of consecutive frames before moving on
+(Figure 9): parameters travel global -> shared once per group instead of
+once per frame, dividing their DRAM traffic by the group size.
+
+The per-frame algorithm is exactly level F. The cost is occupancy —
+one 640-thread block with 45 KB of shared memory is all an SM can hold
+(20/48 warps = 42%) — and added latency: no frame of a group finishes
+before the whole group is processed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import LaunchError
+from ..layout.base import NUM_PARAMS, PARAM_M, PARAM_SD, PARAM_W
+from .common import (
+    KernelConfig,
+    predicated_update,
+    predicated_virtual_component,
+    store_foreground,
+)
+
+
+def shared_bytes_for_tile(tile_pixels: int, cfg: KernelConfig) -> int:
+    """Shared memory one tile's Gaussian parameters occupy."""
+    return tile_pixels * cfg.num_gaussians * NUM_PARAMS * cfg.dtype.itemsize
+
+
+def make_tiled_kernel(layout, cfg: KernelConfig, frame_bufs, fg_bufs, tile_pixels: int):
+    """Build the level-G kernel.
+
+    ``frame_bufs`` / ``fg_bufs`` are the buffers of one frame group
+    (the group size is their length). The kernel must be launched with
+    ``threads_per_block == tile_pixels``; each block owns one tile.
+    """
+    if len(frame_bufs) != len(fg_bufs):
+        raise LaunchError(
+            f"{len(frame_bufs)} frame buffers vs {len(fg_bufs)} foreground buffers"
+        )
+    if not frame_bufs:
+        raise LaunchError("empty frame group")
+
+    k_count = cfg.num_gaussians
+
+    def plane(k: int, param: int) -> int:
+        return (k * NUM_PARAMS + param) * tile_pixels
+
+    def mog_tiled(ctx):
+        if ctx.threads_per_block != tile_pixels:
+            raise LaunchError(
+                f"tiled kernel needs threads_per_block == tile_pixels "
+                f"({tile_pixels}), got {ctx.threads_per_block}"
+            )
+        pixel = ctx.thread_id()
+        lane = ctx.lane_id()
+        sh = ctx.shared_alloc(
+            "gaussians_tile", tile_pixels * k_count * NUM_PARAMS, cfg.dtype
+        )
+
+        # Stage this tile's parameters: global -> shared, once per group.
+        for k in ctx.loop(k_count):
+            for p in (PARAM_W, PARAM_M, PARAM_SD):
+                v = ctx.load(layout.buffer, layout.index(ctx, k, p, pixel))
+                ctx.shared_store(sh, lane + plane(k, p), v)
+        ctx.syncthreads()
+
+        # Process every frame of the group against the staged tile.
+        for f_idx in ctx.loop(len(frame_bufs)):
+            frame_buf, fg_buf = frame_bufs[f_idx], fg_bufs[f_idx]
+            x = ctx.load(frame_buf, pixel).astype(cfg.dtype)
+            w, m, sd = [], [], []
+            for k in ctx.loop(k_count):
+                w.append(ctx.var(ctx.shared_load(sh, lane + plane(k, PARAM_W))))
+                m.append(ctx.var(ctx.shared_load(sh, lane + plane(k, PARAM_M))))
+                sd.append(ctx.var(ctx.shared_load(sh, lane + plane(k, PARAM_SD))))
+
+            any_match = ctx.var(False, np.bool_)
+            for k in ctx.loop(k_count):
+                dk = abs(x - m[k].get())
+                matched = dk < sd[k] * cfg.gamma1
+                matchf = matched.astype(cfg.dtype)
+                predicated_update(ctx, cfg, x, w[k], m[k], sd[k], dk, matchf)
+                any_match.set(any_match | matched)
+
+            predicated_virtual_component(ctx, cfg, x, w, m, sd, None, any_match)
+
+            background = ctx.var(False, np.bool_)
+            for k in ctx.loop(k_count):
+                d = abs(x - m[k].get())
+                hit = (w[k] >= cfg.gamma2) & (d < sd[k] * cfg.gamma1)
+                background.set(background | hit)
+
+            for k in ctx.loop(k_count):
+                ctx.shared_store(sh, lane + plane(k, PARAM_W), w[k].get())
+                ctx.shared_store(sh, lane + plane(k, PARAM_M), m[k].get())
+                ctx.shared_store(sh, lane + plane(k, PARAM_SD), sd[k].get())
+            store_foreground(ctx, fg_buf, pixel, background)
+
+        # Write the tile's parameters back: shared -> global, once.
+        ctx.syncthreads()
+        for k in ctx.loop(k_count):
+            for p in (PARAM_W, PARAM_M, PARAM_SD):
+                v = ctx.shared_load(sh, lane + plane(k, p))
+                ctx.store(layout.buffer, layout.index(ctx, k, p, pixel), v)
+
+    return mog_tiled

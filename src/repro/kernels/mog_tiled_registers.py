@@ -1,0 +1,94 @@
+"""Design-space ablation: register-resident frame-group processing.
+
+The paper's level G creates parameter reuse by staging tiles in shared
+memory. There is an alternative it does not explore: since each thread
+owns one pixel for the whole frame group, the parameters could simply
+stay *in registers* across the group — no shared memory, no staging
+loads/stores per frame. This kernel implements that variant so the
+trade can be measured (``benchmarks/test_ablation_register_tiling.py``):
+
+* for 3 Gaussians in double precision, the persistent parameters cost
+  9 doubles = 18 extra registers per thread, which still fits the
+  63-register CC 2.0 ceiling — and beats the shared variant by
+  skipping ~18 shared accesses per frame;
+* for 5 Gaussians, 15 persistent doubles push the total past the
+  ceiling: the compiler would spill, which the occupancy model rejects
+  — shared memory becomes the *only* way to keep the group resident.
+  That asymmetry justifies the paper's shared-memory design for its
+  configurable-K goal.
+
+The per-frame algorithm is exactly level F; output is bit-identical to
+the shared tiled kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import LaunchError
+from ..layout.base import PARAM_M, PARAM_SD, PARAM_W
+from .common import (
+    KernelConfig,
+    load_components,
+    predicated_update,
+    predicated_virtual_component,
+    store_components,
+    store_foreground,
+)
+
+
+def registers_for_group_residency(cfg: KernelConfig) -> int:
+    """Pinned registers/thread for the register-resident variant: the
+    level-F working set plus the persistent parameter triple."""
+    from ..gpusim.registers import pinned_registers
+
+    dtype_name = "double" if cfg.dtype == np.dtype(np.float64) else "float"
+    width = 2 if dtype_name == "double" else 1
+    persistent = cfg.num_gaussians * 3 * width
+    return pinned_registers("F", cfg.num_gaussians, dtype_name) + persistent
+
+
+def make_register_tiled_kernel(layout, cfg: KernelConfig, frame_bufs, fg_bufs):
+    """Build the register-resident group kernel (SoA layout).
+
+    Launch with any block size; unlike the shared variant there is no
+    tile/block coupling.
+    """
+    if len(frame_bufs) != len(fg_bufs):
+        raise LaunchError(
+            f"{len(frame_bufs)} frame buffers vs {len(fg_bufs)} foreground buffers"
+        )
+    if not frame_bufs:
+        raise LaunchError("empty frame group")
+
+    k_count = cfg.num_gaussians
+
+    def mog_tiled_regs(ctx):
+        pixel = ctx.thread_id()
+        # Parameters live in registers for the whole group.
+        w, m, sd = load_components(ctx, layout, cfg, pixel)
+
+        for f_idx in ctx.loop(len(frame_bufs)):
+            frame_buf, fg_buf = frame_bufs[f_idx], fg_bufs[f_idx]
+            x = ctx.load(frame_buf, pixel).astype(cfg.dtype)
+
+            any_match = ctx.var(False, np.bool_)
+            for k in ctx.loop(k_count):
+                dk = abs(x - m[k].get())
+                matched = dk < sd[k] * cfg.gamma1
+                matchf = matched.astype(cfg.dtype)
+                predicated_update(ctx, cfg, x, w[k], m[k], sd[k], dk, matchf)
+                any_match.set(any_match | matched)
+
+            predicated_virtual_component(ctx, cfg, x, w, m, sd, None, any_match)
+
+            background = ctx.var(False, np.bool_)
+            for k in ctx.loop(k_count):
+                d = abs(x - m[k].get())
+                hit = (w[k] >= cfg.gamma2) & (d < sd[k] * cfg.gamma1)
+                background.set(background | hit)
+            store_foreground(ctx, fg_buf, pixel, background)
+
+        store_components(ctx, layout, cfg, pixel, w, m, sd)
+
+    return mog_tiled_regs

@@ -1,0 +1,161 @@
+"""Simulated GPU kernel for the multimodal-mean baseline (§II).
+
+A faithful SIMT mapping of the variable-component algorithm of
+:mod:`repro.baselines.multimodal_mean`: the early-exit cell scan is a
+``done``-masked loop (every iteration a data-dependent — hence
+divergent — branch), the per-cell loads happen under those masks
+(unbalanced, partially-filled warp requests), and the background
+decision still has to read *all* cell counts to form the total. This is
+exactly the structure the paper predicts will not pay off on a GPU; the
+bench ``benchmarks/test_related_work_multimodal.py`` measures it.
+
+State layout (SoA, coalesced within each plane):
+
+* ``sums``:   ``(max_cells, N)`` float64
+* ``counts``: ``(max_cells, N)`` float64 (whole numbers; float keeps
+  the kernel single-dtype)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.multimodal_mean import MultimodalMeanParams
+from ..errors import LaunchError
+
+
+def make_multimodal_kernel(
+    sums_buf, counts_buf, frame_buf, fg_buf, params: MultimodalMeanParams,
+    num_pixels: int,
+):
+    """Build the per-frame multimodal-mean kernel."""
+    k_cells = params.max_cells
+    eps = float(params.epsilon)
+    frac = float(params.background_fraction)
+
+    def mmm_kernel(ctx):
+        pix = ctx.thread_id()
+        x = ctx.load(frame_buf, pix).astype(np.float64)
+
+        done = ctx.var(False, np.bool_)
+        hit_count = ctx.var(0.0, np.float64)
+
+        # Early-exit scan: the CPU's win, the warp's divergence.
+        for k in ctx.loop(k_cells):
+            with ctx.if_(~done):
+                cnt = ctx.var(ctx.load(counts_buf, pix + k * num_pixels))
+                with ctx.if_(cnt > 0.0):
+                    s = ctx.var(ctx.load(sums_buf, pix + k * num_pixels))
+                    mean = s / cnt
+                    with ctx.if_(abs(x - mean) < eps):
+                        ctx.store(sums_buf, pix + k * num_pixels, s + x)
+                        ctx.store(counts_buf, pix + k * num_pixels, cnt + 1.0)
+                        hit_count.set(cnt + 1.0)
+                        done.set(True)
+
+        # Total miss: replace the weakest cell (fixed-K scan).
+        with ctx.if_(~done):
+            min_cnt = ctx.var(ctx.load(counts_buf, pix))
+            min_k = ctx.var(0, np.int64)
+            for k in ctx.loop(k_cells - 1):
+                k = k + 1
+                c = ctx.load(counts_buf, pix + k * num_pixels)
+                is_min = c < min_cnt
+                min_cnt.set(ctx.select(is_min, c, min_cnt.get()))
+                min_k.set(ctx.select(is_min, np.int64(k), min_k.get()))
+            for k in ctx.loop(k_cells):
+                with ctx.if_(min_k.eq(k)):
+                    ctx.store(sums_buf, pix + k * num_pixels, x)
+                    ctx.store(counts_buf, pix + k * num_pixels, 1.0)
+            hit_count.set(1.0)
+
+        # Background decision needs the total count: fixed-K traffic
+        # even for pixels that resolved at the first cell.
+        total = ctx.var(0.0, np.float64)
+        for k in ctx.loop(k_cells):
+            total.set(total + ctx.load(counts_buf, pix + k * num_pixels))
+
+        background = hit_count >= total * frac
+        ctx.store(
+            fg_buf, pix, ctx.select(background, np.uint8(0), np.uint8(255))
+        )
+
+    return mmm_kernel
+
+
+def make_decay_kernel(sums_buf, counts_buf, num_pixels: int, max_cells: int):
+    """Halve every cell's sum and count (uniform, fully coalesced)."""
+
+    def mmm_decay(ctx):
+        pix = ctx.thread_id()
+        for k in ctx.loop(max_cells):
+            s = ctx.load(sums_buf, pix + k * num_pixels)
+            c = ctx.load(counts_buf, pix + k * num_pixels)
+            # Floor-halving, mirroring the vectorized //= 2.
+            half_s = ctx.floor(s * 0.5)
+            half_c = ctx.floor(c * 0.5)
+            ctx.store(sums_buf, pix + k * num_pixels, half_s)
+            ctx.store(counts_buf, pix + k * num_pixels, half_c)
+
+    return mmm_decay
+
+
+class MultimodalMeanGpu:
+    """Host-side runner: the baseline on the simulated GPU."""
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        params: MultimodalMeanParams | None = None,
+        threads_per_block: int = 128,
+        device=None,
+    ) -> None:
+        from ..gpusim.device import TESLA_C2075
+        from ..gpusim.engine import SimtEngine
+
+        self.shape = tuple(shape)
+        self.params = params or MultimodalMeanParams()
+        self.threads_per_block = threads_per_block
+        self.engine = SimtEngine(device or TESLA_C2075)
+        n = self.num_pixels
+        k = self.params.max_cells
+        self.sums = self.engine.memory.alloc("mmm_sums", k * n, np.float64)
+        self.counts = self.engine.memory.alloc("mmm_counts", k * n, np.float64)
+        self.frame_buf = self.engine.memory.alloc("mmm_frame", n, np.uint8)
+        self.fg_buf = self.engine.memory.alloc("mmm_fg", n, np.uint8)
+        self.frames_processed = 0
+
+    @property
+    def num_pixels(self) -> int:
+        return self.shape[0] * self.shape[1]
+
+    def apply(self, frame: np.ndarray) -> np.ndarray:
+        frame = np.asarray(frame)
+        if frame.shape != self.shape:
+            raise LaunchError(
+                f"frame shape {frame.shape} != configured {self.shape}"
+            )
+        flat = frame.reshape(-1).astype(np.uint8)
+        n = self.num_pixels
+        if self.frames_processed == 0:
+            self.sums.data[:n] = flat.astype(np.float64)
+            self.counts.data[:n] = 1.0
+        self.frame_buf.data[:] = flat
+        kernel = make_multimodal_kernel(
+            self.sums, self.counts, self.frame_buf, self.fg_buf,
+            self.params, n,
+        )
+        self.engine.launch(
+            kernel, n, self.threads_per_block,
+            name=f"mmm[{self.frames_processed}]",
+        )
+        self.frames_processed += 1
+        if self.frames_processed % self.params.decay_period == 0:
+            decay = make_decay_kernel(
+                self.sums, self.counts, n, self.params.max_cells
+            )
+            self.engine.launch(decay, n, self.threads_per_block, name="mmm_decay")
+        return (self.fg_buf.data != 0).reshape(self.shape)
+
+    def apply_sequence(self, frames) -> np.ndarray:
+        return np.stack([self.apply(f) for f in frames])

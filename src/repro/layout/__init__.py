@@ -1,0 +1,24 @@
+"""Gaussian-parameter memory layouts for the simulated GPU.
+
+The paper's level-B optimization is purely a data-layout change:
+Array-of-Structures (all nine parameters of a pixel adjacent, 72-byte
+stride between neighbouring pixels' parameters) versus
+Structure-of-Arrays (one contiguous plane per parameter, so 32
+neighbouring threads read 32 adjacent elements — a coalesced access).
+A layout object owns the device buffer, the host<->device conversion,
+and the *index arithmetic*, which it emits through the kernel DSL so
+its instruction cost is measured like any other code.
+"""
+
+from .aos import AoSLayout
+from .base import GaussianLayout, PARAM_W, PARAM_M, PARAM_SD
+from .soa import SoALayout
+
+__all__ = [
+    "GaussianLayout",
+    "AoSLayout",
+    "SoALayout",
+    "PARAM_W",
+    "PARAM_M",
+    "PARAM_SD",
+]

@@ -1,0 +1,41 @@
+"""Array-of-Structures layout (the paper's base implementation).
+
+Element order: ``buffer[pixel * K * 3 + k * 3 + param]`` — a direct
+translation of a C ``struct Gaussian { double w, m, sd; } g[K]`` per
+pixel. Adjacent threads therefore access memory ``K * 3 * itemsize``
+bytes apart (72 B for 3 double components): a warp's request spans 18
+128-byte segments, which is Figure 4(a)'s non-coalesced pattern.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mog.params import MixtureState
+from .base import NUM_PARAMS, PARAM_M, PARAM_SD, PARAM_W, GaussianLayout
+
+
+class AoSLayout(GaussianLayout):
+    """Interleaved per-pixel parameter storage."""
+
+    def index(self, ctx, k: int, param: int, pixel):
+        stride = self.num_gaussians * NUM_PARAMS
+        # pixel * stride + (k*3 + param): one integer multiply-add.
+        return pixel * stride + (k * NUM_PARAMS + param)
+
+    def upload(self, state: MixtureState) -> None:
+        self._check_state(state)
+        buf = self._require_buffer()
+        view = buf.data.reshape(self.num_pixels, self.num_gaussians, NUM_PARAMS)
+        view[:, :, PARAM_W] = state.w.T.astype(self.dtype)
+        view[:, :, PARAM_M] = state.m.T.astype(self.dtype)
+        view[:, :, PARAM_SD] = state.sd.T.astype(self.dtype)
+
+    def download(self) -> MixtureState:
+        buf = self._require_buffer()
+        view = buf.data.reshape(self.num_pixels, self.num_gaussians, NUM_PARAMS)
+        return MixtureState(
+            np.ascontiguousarray(view[:, :, PARAM_W].T),
+            np.ascontiguousarray(view[:, :, PARAM_M].T),
+            np.ascontiguousarray(view[:, :, PARAM_SD].T),
+        )

@@ -1,0 +1,78 @@
+"""Layout interface shared by AoS and SoA."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..mog.params import MixtureState
+
+#: Parameter indices within a Gaussian component.
+PARAM_W = 0
+PARAM_M = 1
+PARAM_SD = 2
+NUM_PARAMS = 3
+
+
+class GaussianLayout(ABC):
+    """Maps ``(component k, parameter p, pixel)`` to buffer indices.
+
+    Concrete layouts allocate one device buffer holding all ``K * 3 * N``
+    Gaussian parameters and translate between it and the host-side
+    :class:`~repro.mog.params.MixtureState`.
+    """
+
+    def __init__(self, num_gaussians: int, num_pixels: int, dtype: np.dtype) -> None:
+        if num_gaussians <= 0 or num_pixels <= 0:
+            raise ConfigError("layout dimensions must be positive")
+        self.num_gaussians = num_gaussians
+        self.num_pixels = num_pixels
+        self.dtype = np.dtype(dtype)
+        self.buffer = None  # set by allocate()
+
+    @property
+    def num_elements(self) -> int:
+        return self.num_gaussians * NUM_PARAMS * self.num_pixels
+
+    def allocate(self, memory, name: str = "gaussians"):
+        """Allocate the device buffer in the simulated global memory."""
+        self.buffer = memory.alloc(name, self.num_elements, self.dtype)
+        return self.buffer
+
+    def _require_buffer(self):
+        if self.buffer is None:
+            raise ConfigError("layout buffer not allocated; call allocate() first")
+        return self.buffer
+
+    # -- index arithmetic (emitted through the DSL) ----------------------
+    @abstractmethod
+    def index(self, ctx, k: int, param: int, pixel):
+        """DSL expression for the element index of ``(k, param, pixel)``.
+
+        ``pixel`` is a per-thread ``Vec``; the returned value is a
+        ``Vec`` whose integer arithmetic has been charged to the launch
+        like any kernel instruction.
+        """
+
+    # -- host <-> device -------------------------------------------------
+    @abstractmethod
+    def upload(self, state: MixtureState) -> None:
+        """Write a host-side mixture state into the device buffer."""
+
+    @abstractmethod
+    def download(self) -> MixtureState:
+        """Read the device buffer back into a host-side mixture state."""
+
+    def _check_state(self, state: MixtureState) -> None:
+        if state.num_gaussians != self.num_gaussians:
+            raise ConfigError(
+                f"state has {state.num_gaussians} components, layout expects "
+                f"{self.num_gaussians}"
+            )
+        if state.num_pixels != self.num_pixels:
+            raise ConfigError(
+                f"state has {state.num_pixels} pixels, layout expects "
+                f"{self.num_pixels}"
+            )

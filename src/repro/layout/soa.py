@@ -1,0 +1,45 @@
+"""Structure-of-Arrays layout (the paper's memory-coalescing fix).
+
+Element order: ``buffer[(k * 3 + param) * N + pixel]`` — one contiguous
+plane of N elements per (component, parameter) pair. When a warp's 32
+threads read the same parameter of 32 neighbouring pixels the request
+covers two 128-byte segments (for doubles): Figure 4(b)'s coalesced
+pattern.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mog.params import MixtureState
+from .base import NUM_PARAMS, PARAM_M, PARAM_SD, PARAM_W, GaussianLayout
+
+
+class SoALayout(GaussianLayout):
+    """Plane-per-parameter storage."""
+
+    def index(self, ctx, k: int, param: int, pixel):
+        base = (k * NUM_PARAMS + param) * self.num_pixels
+        # pixel + plane base: one integer add.
+        return pixel + base
+
+    def plane_base(self, k: int, param: int) -> int:
+        """Host-side plane offset (used by the tiled kernel's staging)."""
+        return (k * NUM_PARAMS + param) * self.num_pixels
+
+    def upload(self, state: MixtureState) -> None:
+        self._check_state(state)
+        buf = self._require_buffer()
+        view = buf.data.reshape(self.num_gaussians, NUM_PARAMS, self.num_pixels)
+        view[:, PARAM_W, :] = state.w.astype(self.dtype)
+        view[:, PARAM_M, :] = state.m.astype(self.dtype)
+        view[:, PARAM_SD, :] = state.sd.astype(self.dtype)
+
+    def download(self) -> MixtureState:
+        buf = self._require_buffer()
+        view = buf.data.reshape(self.num_gaussians, NUM_PARAMS, self.num_pixels)
+        return MixtureState(
+            np.ascontiguousarray(view[:, PARAM_W, :]),
+            np.ascontiguousarray(view[:, PARAM_M, :]),
+            np.ascontiguousarray(view[:, PARAM_SD, :]),
+        )

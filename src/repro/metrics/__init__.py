@@ -1,0 +1,22 @@
+"""Image-quality and detection metrics.
+
+The paper validates every optimization level against the
+double-precision CPU output using MS-SSIM (its reference [24], Wang et
+al. 2003); this package implements SSIM and MS-SSIM from those papers
+plus standard detection metrics (precision / recall / F1 / IoU) against
+the synthetic ground truth.
+"""
+
+from .basic import mse, psnr
+from .foreground import ForegroundScore, foreground_score
+from .ms_ssim import ms_ssim
+from .ssim import ssim
+
+__all__ = [
+    "mse",
+    "psnr",
+    "ssim",
+    "ms_ssim",
+    "ForegroundScore",
+    "foreground_score",
+]

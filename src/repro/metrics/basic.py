@@ -1,0 +1,38 @@
+"""Pixelwise error metrics (MSE / PSNR).
+
+The paper contrasts MS-SSIM with "traditional methods such as mean
+squared error"; these are provided both for that comparison and as
+cheap sanity checks in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import MetricError
+
+
+def _validate_pair(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise MetricError(f"image shapes differ: {a.shape} vs {b.shape}")
+    if a.size == 0:
+        raise MetricError("images are empty")
+    return a, b
+
+
+def mse(a: np.ndarray, b: np.ndarray) -> float:
+    """Mean squared error between two images."""
+    a, b = _validate_pair(a, b)
+    return float(np.mean((a - b) ** 2))
+
+
+def psnr(a: np.ndarray, b: np.ndarray, data_range: float = 255.0) -> float:
+    """Peak signal-to-noise ratio in dB; ``inf`` for identical images."""
+    if data_range <= 0:
+        raise MetricError(f"data_range must be positive, got {data_range}")
+    err = mse(a, b)
+    if err == 0.0:
+        return float("inf")
+    return float(10.0 * np.log10(data_range**2 / err))

@@ -1,0 +1,103 @@
+"""Detection metrics for foreground masks against ground truth.
+
+The paper has no ground truth (real footage) and scores similarity to
+the CPU output instead; our synthetic scenes *do* have exact masks, so
+examples and tests can additionally report precision / recall / F1 /
+IoU — the metrics a downstream surveillance user actually cares about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import MetricError
+
+
+@dataclass(frozen=True)
+class ForegroundScore:
+    """Confusion-matrix summary of a predicted foreground mask."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    true_negatives: int
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); 1.0 when nothing was predicted."""
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 1.0
+
+    @property
+    def recall(self) -> float:
+        """TP / (TP + FN); 1.0 when there is no true foreground."""
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 1.0
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.precision, self.recall
+        return 2.0 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def iou(self) -> float:
+        """Intersection over union (Jaccard index); 1.0 when both masks
+        are empty."""
+        union = self.true_positives + self.false_positives + self.false_negatives
+        return self.true_positives / union if union else 1.0
+
+    @property
+    def accuracy(self) -> float:
+        total = (
+            self.true_positives
+            + self.false_positives
+            + self.false_negatives
+            + self.true_negatives
+        )
+        return (self.true_positives + self.true_negatives) / total
+
+    def __add__(self, other: "ForegroundScore") -> "ForegroundScore":
+        """Accumulate confusion counts across frames."""
+        return ForegroundScore(
+            self.true_positives + other.true_positives,
+            self.false_positives + other.false_positives,
+            self.false_negatives + other.false_negatives,
+            self.true_negatives + other.true_negatives,
+        )
+
+
+def foreground_score(predicted: np.ndarray, truth: np.ndarray) -> ForegroundScore:
+    """Score a predicted mask (any nonzero = foreground) against truth."""
+    pred = np.asarray(predicted) != 0
+    true = np.asarray(truth) != 0
+    if pred.shape != true.shape:
+        raise MetricError(
+            f"mask shapes differ: {pred.shape} vs {true.shape}"
+        )
+    if pred.size == 0:
+        raise MetricError("masks are empty")
+    tp = int(np.count_nonzero(pred & true))
+    fp = int(np.count_nonzero(pred & ~true))
+    fn = int(np.count_nonzero(~pred & true))
+    tn = int(np.count_nonzero(~pred & ~true))
+    return ForegroundScore(tp, fp, fn, tn)
+
+
+def score_sequence(
+    predicted: list[np.ndarray] | np.ndarray,
+    truth: list[np.ndarray] | np.ndarray,
+) -> ForegroundScore:
+    """Accumulate :func:`foreground_score` over aligned sequences."""
+    if len(predicted) != len(truth):
+        raise MetricError(
+            f"sequences have different lengths: {len(predicted)} vs {len(truth)}"
+        )
+    if len(predicted) == 0:
+        raise MetricError("sequences are empty")
+    total = ForegroundScore(0, 0, 0, 0)
+    for p, t in zip(predicted, truth):
+        total = total + foreground_score(p, t)
+    return total

@@ -1,0 +1,111 @@
+"""Multi-scale SSIM, Wang, Simoncelli & Bovik 2003 (paper reference [24]).
+
+The image pair is evaluated at five dyadic scales; the contrast and
+structure terms contribute at every scale, the luminance term only at
+the coarsest:
+
+    MS-SSIM = l_M(a,b)^w_M * prod_{j=1..M} cs_j(a,b)^w_j
+
+with the exponents from the original paper. Downsampling is a 2x2 box
+low-pass followed by decimation, as in the reference implementation.
+
+Binary foreground masks are valid inputs (the paper scores foreground
+masks this way); pass them as 0/255 uint8 images.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import MetricError
+from .ssim import WINDOW_SIZE, ssim_and_cs
+
+#: Scale exponents from Wang et al. 2003 (sum to 1).
+DEFAULT_WEIGHTS = (0.0448, 0.2856, 0.3001, 0.2363, 0.1333)
+
+
+def _downsample2(img: np.ndarray) -> np.ndarray:
+    """2x2 box filter + decimation (drop a trailing odd row/column)."""
+    hh = img.shape[0] - (img.shape[0] % 2)
+    ww = img.shape[1] - (img.shape[1] % 2)
+    img = img[:hh, :ww]
+    return 0.25 * (
+        img[0::2, 0::2] + img[1::2, 0::2] + img[0::2, 1::2] + img[1::2, 1::2]
+    )
+
+
+def min_side_for_scales(num_scales: int, window_size: int = WINDOW_SIZE) -> int:
+    """Smallest image side supporting ``num_scales`` scales: the image
+    at the coarsest scale must still hold an SSIM window."""
+    return window_size * 2 ** (num_scales - 1)
+
+
+def ms_ssim(
+    a: np.ndarray,
+    b: np.ndarray,
+    data_range: float = 255.0,
+    weights: tuple[float, ...] = DEFAULT_WEIGHTS,
+) -> float:
+    """Multi-scale SSIM between two grayscale images (1.0 = identical).
+
+    Raises :class:`~repro.errors.MetricError` when the images are too
+    small for the requested number of scales; callers wanting fewer
+    scales can pass a shorter ``weights`` tuple (it is renormalised to
+    sum to 1 so values stay comparable).
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise MetricError(f"image shapes differ: {a.shape} vs {b.shape}")
+    if not weights:
+        raise MetricError("weights must be non-empty")
+    num_scales = len(weights)
+    if min(a.shape) < min_side_for_scales(num_scales):
+        raise MetricError(
+            f"images of shape {a.shape} are too small for {num_scales} "
+            f"scales (need >= {min_side_for_scales(num_scales)} per side); "
+            "pass fewer weights"
+        )
+    w = np.asarray(weights, dtype=np.float64)
+    if np.any(w <= 0):
+        raise MetricError("weights must be positive")
+    w = w / w.sum()
+
+    # cs values can be marginally negative in pathological windows; the
+    # reference implementation clamps before exponentiation.
+    eps = np.finfo(np.float64).eps
+    value = 1.0
+    for scale in range(num_scales):
+        ssim_mean, cs_mean = ssim_and_cs(a, b, data_range=data_range)
+        if scale == num_scales - 1:
+            value *= max(ssim_mean, eps) ** w[scale]
+        else:
+            value *= max(cs_mean, eps) ** w[scale]
+            a = _downsample2(a)
+            b = _downsample2(b)
+    return float(value)
+
+
+def ms_ssim_sequence(
+    frames_a: list[np.ndarray] | np.ndarray,
+    frames_b: list[np.ndarray] | np.ndarray,
+    data_range: float = 255.0,
+    weights: tuple[float, ...] = DEFAULT_WEIGHTS,
+) -> float:
+    """Mean MS-SSIM over a sequence of frame pairs.
+
+    This is how Table IV of the paper scores a whole run: the
+    foreground (or background) frames of an optimized implementation
+    against the CPU double-precision ground truth, averaged over frames.
+    """
+    if len(frames_a) != len(frames_b):
+        raise MetricError(
+            f"sequences have different lengths: {len(frames_a)} vs {len(frames_b)}"
+        )
+    if len(frames_a) == 0:
+        raise MetricError("sequences are empty")
+    scores = [
+        ms_ssim(fa, fb, data_range=data_range, weights=weights)
+        for fa, fb in zip(frames_a, frames_b)
+    ]
+    return float(np.mean(scores))

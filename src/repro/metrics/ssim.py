@@ -1,0 +1,83 @@
+"""Structural similarity (SSIM), Wang, Bovik, Sheikh & Simoncelli 2004.
+
+Implements the reference formulation: local statistics under an 11x11
+Gaussian window with sigma = 1.5, stability constants
+``C1 = (K1 L)^2``, ``C2 = (K2 L)^2`` with ``K1 = 0.01``, ``K2 = 0.03``.
+
+:func:`ssim_and_cs` also returns the mean contrast-structure term,
+which is what MS-SSIM consumes at the intermediate scales.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+from ..errors import MetricError
+
+#: Reference window parameters from the SSIM paper.
+WINDOW_SIZE = 11
+WINDOW_SIGMA = 1.5
+K1 = 0.01
+K2 = 0.03
+
+
+def _gaussian_window(size: int = WINDOW_SIZE, sigma: float = WINDOW_SIGMA) -> np.ndarray:
+    """Normalised 2-D Gaussian window (separable, computed as outer
+    product of the 1-D kernel)."""
+    half = (size - 1) / 2.0
+    coords = np.arange(size) - half
+    g = np.exp(-(coords**2) / (2.0 * sigma**2))
+    g /= g.sum()
+    return np.outer(g, g)
+
+
+def _filter(img: np.ndarray, window: np.ndarray) -> np.ndarray:
+    # 'reflect' borders: every output pixel sees a full window, matching
+    # the common implementation choice for whole-image SSIM.
+    return ndimage.convolve(img, window, mode="reflect")
+
+
+def ssim_and_cs(
+    a: np.ndarray,
+    b: np.ndarray,
+    data_range: float = 255.0,
+    window_size: int = WINDOW_SIZE,
+    sigma: float = WINDOW_SIGMA,
+) -> tuple[float, float]:
+    """Return ``(mean SSIM, mean contrast-structure)`` for two images."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2:
+        raise MetricError("SSIM expects 2-D grayscale images")
+    if a.shape != b.shape:
+        raise MetricError(f"image shapes differ: {a.shape} vs {b.shape}")
+    if min(a.shape) < window_size:
+        raise MetricError(
+            f"images must be at least {window_size} pixels per side, got {a.shape}"
+        )
+    if data_range <= 0:
+        raise MetricError(f"data_range must be positive, got {data_range}")
+
+    window = _gaussian_window(window_size, sigma)
+    c1 = (K1 * data_range) ** 2
+    c2 = (K2 * data_range) ** 2
+
+    mu_a = _filter(a, window)
+    mu_b = _filter(b, window)
+    mu_aa = mu_a * mu_a
+    mu_bb = mu_b * mu_b
+    mu_ab = mu_a * mu_b
+    sigma_aa = _filter(a * a, window) - mu_aa
+    sigma_bb = _filter(b * b, window) - mu_bb
+    sigma_ab = _filter(a * b, window) - mu_ab
+
+    cs_map = (2.0 * sigma_ab + c2) / (sigma_aa + sigma_bb + c2)
+    luminance = (2.0 * mu_ab + c1) / (mu_aa + mu_bb + c1)
+    ssim_map = luminance * cs_map
+    return float(ssim_map.mean()), float(cs_map.mean())
+
+
+def ssim(a: np.ndarray, b: np.ndarray, data_range: float = 255.0) -> float:
+    """Mean SSIM index between two grayscale images (1.0 = identical)."""
+    return ssim_and_cs(a, b, data_range=data_range)[0]

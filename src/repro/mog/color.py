@@ -1,0 +1,138 @@
+"""Color (RGB) Mixture-of-Gaussians — an extension beyond the paper.
+
+The paper evaluates grayscale MoG; practical deployments usually run
+the Stauffer-Grimson color form: per component, a 3-channel mean with a
+*spherical* covariance (one scalar sd shared by the channels — the
+original paper's simplification to avoid a full matrix inverse).
+
+Semantics mirror :mod:`repro.mog.update` exactly, with the scalar
+``diff`` generalised to the RMS per-channel deviation::
+
+    diff = sqrt( sum_c (x_c - m_c)^2 / 3 )
+
+which reduces to ``|x - m|`` when all channels are equal — so on a gray
+input, the color model reproduces the grayscale model's decisions
+bit-for-bit modulo the sqrt rounding (tests pin a tolerance-free
+variant of this by feeding channel-equal frames).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import MoGParams, resolve_dtype
+from ..errors import ConfigError
+
+NUM_CHANNELS = 3
+
+
+class ColorMoGVectorized:
+    """Vectorized color MoG (CPU path; no simulated-kernel counterpart).
+
+    Parameters mirror :class:`~repro.mog.vectorized.MoGVectorized`;
+    frames are ``(H, W, 3)`` uint8.
+    """
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        params: MoGParams | None = None,
+        dtype: str | np.dtype = "double",
+    ) -> None:
+        self.shape = tuple(shape)
+        if len(self.shape) != 2 or min(self.shape) <= 0:
+            raise ConfigError(f"invalid frame shape {shape}")
+        self.params = params or MoGParams()
+        self.dtype = resolve_dtype(dtype)
+        self.w: np.ndarray | None = None   # (K, N)
+        self.m: np.ndarray | None = None   # (K, N, 3)
+        self.sd: np.ndarray | None = None  # (K, N)
+        self.frames_processed = 0
+
+    @property
+    def num_pixels(self) -> int:
+        return self.shape[0] * self.shape[1]
+
+    def _check_frame(self, frame: np.ndarray) -> np.ndarray:
+        frame = np.asarray(frame)
+        if frame.shape != (*self.shape, NUM_CHANNELS):
+            raise ConfigError(
+                f"expected frame of shape {(*self.shape, NUM_CHANNELS)}, "
+                f"got {frame.shape}"
+            )
+        return frame.reshape(-1, NUM_CHANNELS).astype(self.dtype)
+
+    def _init_state(self, x: np.ndarray) -> None:
+        k, n = self.params.num_gaussians, self.num_pixels
+        dt = self.dtype
+        self.w = np.zeros((k, n), dtype=dt)
+        self.m = np.zeros((k, n, NUM_CHANNELS), dtype=dt)
+        self.sd = np.full((k, n), dt.type(self.params.initial_sd), dtype=dt)
+        self.w[0] = dt.type(1.0)
+        self.m[0] = x
+        for j in range(1, k):
+            self.m[j] = dt.type(-1000.0 * j)
+
+    def apply(self, frame: np.ndarray) -> np.ndarray:
+        """Process one RGB frame; returns the boolean foreground mask."""
+        x = self._check_frame(frame)
+        if self.w is None:
+            self._init_state(x)
+        w, m, sd = self.w, self.m, self.sd
+        dt = self.dtype.type
+        alpha = dt(1.0 - self.params.learning_rate)
+        oma = dt(1.0) - alpha
+        gamma1 = dt(self.params.match_threshold)
+        gamma2 = dt(self.params.background_weight)
+        sd_floor = dt(self.params.sd_floor)
+        one = dt(1.0)
+        inv_c = dt(1.0 / NUM_CHANNELS)
+
+        # Steps 1-2: RMS channel deviation against pre-update state.
+        delta = x[None, :, :] - m                 # (K, N, 3)
+        dist2 = (delta * delta).sum(axis=2) * inv_c
+        diffs = np.sqrt(dist2)
+        match = diffs < gamma1 * sd
+        any_match = match.any(axis=0)
+
+        # Steps 3-4: updates (where-form, matching the gray variants).
+        w_new = np.where(match, alpha * w + oma, alpha * w)
+        with np.errstate(divide="ignore"):
+            rho = np.minimum(oma / w_new, one)
+        m_upd = m + rho[:, :, None] * delta
+        var = (one - rho) * (sd * sd) + rho * dist2
+        sd_upd = np.maximum(np.sqrt(var), sd_floor)
+        m_new = np.where(match[:, :, None], m_upd, m)
+        sd_new = np.where(match, sd_upd, sd)
+
+        # Step 5: virtual component on total miss.
+        no_match = ~any_match
+        if no_match.any():
+            weakest = np.argmin(w_new, axis=0)
+            cols = np.flatnonzero(no_match)
+            rows = weakest[cols]
+            w_new[rows, cols] = dt(self.params.initial_weight)
+            m_new[rows, cols] = x[cols]
+            sd_new[rows, cols] = dt(self.params.initial_sd)
+            diffs[rows, cols] = dt(0.0)
+
+        # Step 6: foreground decision.
+        background = ((w_new >= gamma2) & (diffs < gamma1 * sd_new)).any(axis=0)
+
+        self.w, self.m, self.sd = w_new, m_new, sd_new
+        self.frames_processed += 1
+        return (~background).reshape(self.shape)
+
+    def apply_sequence(self, frames) -> np.ndarray:
+        masks = [self.apply(f) for f in frames]
+        if not masks:
+            raise ConfigError("empty frame sequence")
+        return np.stack(masks)
+
+    def background_image(self) -> np.ndarray:
+        """Most-probable RGB background estimate, shape (H, W, 3)."""
+        if self.w is None:
+            raise ConfigError("no frame processed yet")
+        best = np.argmax(self.w, axis=0)
+        img = self.m[best, np.arange(self.num_pixels)]
+        return np.clip(img, 0.0, 255.0).reshape(*self.shape, NUM_CHANNELS)

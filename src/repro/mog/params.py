@@ -1,0 +1,125 @@
+"""Mixture state container and initialisation.
+
+The state of a MoG run is three ``(K, N)`` arrays — weight, mean and
+standard deviation per Gaussian component per pixel. The container is
+layout-agnostic (always structure-of-arrays in host memory); the
+:mod:`repro.layout` package maps it into the simulated GPU address
+space in either AoS or SoA order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import MoGParams, resolve_dtype
+from ..errors import ConfigError
+
+
+class MixtureState:
+    """Per-pixel Gaussian mixture parameters.
+
+    Attributes
+    ----------
+    w, m, sd:
+        ``(K, N)`` arrays of weights, means and standard deviations,
+        where ``K`` is the number of components and ``N`` the number of
+        pixels. All three share one dtype (float32 or float64).
+    """
+
+    __slots__ = ("w", "m", "sd")
+
+    def __init__(self, w: np.ndarray, m: np.ndarray, sd: np.ndarray) -> None:
+        if not (w.shape == m.shape == sd.shape):
+            raise ConfigError(
+                f"state arrays must share a shape, got {w.shape}, {m.shape}, {sd.shape}"
+            )
+        if w.ndim != 2:
+            raise ConfigError(f"state arrays must be (K, N), got shape {w.shape}")
+        if not (w.dtype == m.dtype == sd.dtype):
+            raise ConfigError("state arrays must share a dtype")
+        self.w = w
+        self.m = m
+        self.sd = sd
+
+    @property
+    def num_gaussians(self) -> int:
+        return self.w.shape[0]
+
+    @property
+    def num_pixels(self) -> int:
+        return self.w.shape[1]
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.w.dtype
+
+    @classmethod
+    def from_first_frame(
+        cls,
+        frame: np.ndarray,
+        params: MoGParams,
+        dtype: str | np.dtype = "double",
+    ) -> "MixtureState":
+        """Standard initialisation: component 0 is centred on the first
+        frame with full weight; the remaining components start empty
+        (zero weight, spread means) and are claimed by the
+        virtual-component mechanism as the scene evolves."""
+        dt = resolve_dtype(dtype)
+        pixels = np.asarray(frame, dtype=dt).reshape(-1)
+        n = pixels.shape[0]
+        k = params.num_gaussians
+        w = np.zeros((k, n), dtype=dt)
+        m = np.zeros((k, n), dtype=dt)
+        sd = np.full((k, n), dt.type(params.initial_sd), dtype=dt)
+        w[0] = dt.type(1.0)
+        m[0] = pixels
+        # Spread the unused components' means across the intensity range
+        # so they never accidentally match before being claimed.
+        for j in range(1, k):
+            m[j] = dt.type(-1000.0 * j)
+        return cls(w, m, sd)
+
+    def copy(self) -> "MixtureState":
+        return MixtureState(self.w.copy(), self.m.copy(), self.sd.copy())
+
+    def astype(self, dtype: str | np.dtype) -> "MixtureState":
+        dt = resolve_dtype(dtype)
+        return MixtureState(
+            self.w.astype(dt), self.m.astype(dt), self.sd.astype(dt)
+        )
+
+    def background_image(self, shape: tuple[int, int]) -> np.ndarray:
+        """The most-probable background image: per pixel, the mean of
+        the highest-weight component. Used for the 'Background' rows of
+        Table IV."""
+        if shape[0] * shape[1] != self.num_pixels:
+            raise ConfigError(
+                f"shape {shape} does not match {self.num_pixels} pixels"
+            )
+        best = np.argmax(self.w, axis=0)
+        img = self.m[best, np.arange(self.num_pixels)]
+        return np.clip(img, 0.0, 255.0).reshape(shape)
+
+    def permute(self, order: np.ndarray) -> None:
+        """Reorder components per pixel in place.
+
+        ``order`` is ``(K, N)``: ``order[j, p]`` is the source component
+        index stored into slot ``j`` of pixel ``p`` — exactly what the
+        sort step of Algorithm 1 (lines 19-21) does to the component
+        storage."""
+        if order.shape != self.w.shape:
+            raise ConfigError(
+                f"permutation shape {order.shape} != state shape {self.w.shape}"
+            )
+        cols = np.arange(self.num_pixels)
+        self.w = self.w[order, cols]
+        self.m = self.m[order, cols]
+        self.sd = self.sd[order, cols]
+
+    def allclose(self, other: "MixtureState", rtol: float = 1e-12) -> bool:
+        """Numerical comparison helper for tests."""
+        return (
+            np.allclose(self.w, other.w, rtol=rtol)
+            and np.allclose(self.m, other.m, rtol=rtol)
+            and np.allclose(self.sd, other.sd, rtol=rtol)
+        )

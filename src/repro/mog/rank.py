@@ -1,0 +1,45 @@
+"""Ranking, sorting and virtual-component helpers (Algorithm 1 lines
+12-21), vectorized over pixels.
+
+Rank is the Stauffer-Grimson fitness ``w / sd``: components that explain
+many recent pixels tightly rank highest. The sort is *stable descending*
+(ties keep the lower component index first) so the vectorized and
+scalar implementations agree exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rank_order(w: np.ndarray, sd: np.ndarray) -> np.ndarray:
+    """Return the ``(K, N)`` permutation sorting components by
+    descending ``w/sd`` per pixel (stable)."""
+    rank = w / sd
+    return np.argsort(-rank, axis=0, kind="stable")
+
+
+def replace_weakest(
+    w: np.ndarray,
+    m: np.ndarray,
+    sd: np.ndarray,
+    pixels: np.ndarray,
+    no_match: np.ndarray,
+    new_w: float,
+    new_sd: float,
+) -> np.ndarray:
+    """Replace the lowest-weight component with the virtual component
+    for every pixel in ``no_match`` (boolean, length N). Mutates the
+    state arrays in place and returns the replaced component index per
+    pixel (arbitrary where ``no_match`` is False).
+
+    ``argmin`` takes the first minimum, matching the scalar reference's
+    lowest-index tie-break.
+    """
+    weakest = np.argmin(w, axis=0)
+    cols = np.flatnonzero(no_match)
+    rows = weakest[cols]
+    w[rows, cols] = new_w
+    m[rows, cols] = pixels[cols]
+    sd[rows, cols] = new_sd
+    return weakest

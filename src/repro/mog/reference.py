@@ -1,0 +1,99 @@
+"""Scalar reference implementation of Algorithm 1.
+
+A literal per-pixel translation of the paper's pseudo-code (with the
+pinned semantics of :mod:`repro.mog.update`). It is deliberately
+written with plain Python loops and floats — the "single-threaded CPU
+implementation" of the paper in spirit — and is therefore only usable
+at small frame sizes; tests use it as the ground truth every other
+implementation must match.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import MoGParams
+from ..errors import ConfigError
+from .params import MixtureState
+from .update import ScalarComponent, update_pixel
+
+
+class MoGReference:
+    """Ground-truth MoG processor (float64, per-pixel loops)."""
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        params: MoGParams | None = None,
+        recompute_diff: bool = False,
+        sort: bool = True,
+    ) -> None:
+        self.shape = tuple(shape)
+        if len(self.shape) != 2 or min(self.shape) <= 0:
+            raise ConfigError(f"invalid frame shape {shape}")
+        self.params = params or MoGParams()
+        self.recompute_diff = recompute_diff
+        self.sort = sort
+        self._components: list[list[ScalarComponent]] | None = None
+
+    @property
+    def num_pixels(self) -> int:
+        return self.shape[0] * self.shape[1]
+
+    def _init_state(self, frame: np.ndarray) -> None:
+        state = MixtureState.from_first_frame(frame, self.params, "double")
+        self._components = [
+            [
+                ScalarComponent(
+                    float(state.w[k, p]), float(state.m[k, p]), float(state.sd[k, p])
+                )
+                for k in range(self.params.num_gaussians)
+            ]
+            for p in range(self.num_pixels)
+        ]
+
+    def apply(self, frame: np.ndarray) -> np.ndarray:
+        """Process one frame; returns the boolean foreground mask.
+
+        The first frame initialises the model (and, matching every
+        other implementation here, is still processed through the
+        update loop)."""
+        frame = np.asarray(frame)
+        if frame.shape != self.shape:
+            raise ConfigError(
+                f"frame shape {frame.shape} != configured {self.shape}"
+            )
+        flat = frame.reshape(-1).astype(np.float64)
+        if self._components is None:
+            self._init_state(frame)
+        assert self._components is not None
+        mask = np.zeros(self.num_pixels, dtype=bool)
+        for p in range(self.num_pixels):
+            mask[p] = update_pixel(
+                float(flat[p]),
+                self._components[p],
+                self.params,
+                recompute_diff=self.recompute_diff,
+                sort=self.sort,
+            )
+        return mask.reshape(self.shape)
+
+    def state(self) -> MixtureState:
+        """Snapshot of the mixture state as a :class:`MixtureState`."""
+        if self._components is None:
+            raise ConfigError("no frame processed yet")
+        k = self.params.num_gaussians
+        n = self.num_pixels
+        w = np.empty((k, n))
+        m = np.empty((k, n))
+        sd = np.empty((k, n))
+        for p, comps in enumerate(self._components):
+            for j, comp in enumerate(comps):
+                w[j, p] = comp.w
+                m[j, p] = comp.m
+                sd[j, p] = comp.sd
+        return MixtureState(w, m, sd)
+
+    def background_image(self) -> np.ndarray:
+        """Most-probable background estimate (see Table IV)."""
+        return self.state().background_image(self.shape)

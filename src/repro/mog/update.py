@@ -1,0 +1,143 @@
+"""The pinned update semantics of Algorithm 1.
+
+Every implementation in this repository — the scalar reference, the
+vectorized variants and the simulated GPU kernels — follows this exact
+sequence for one pixel ``x`` with state ``(w_k, m_k, sd_k)``:
+
+1. ``diff_k = |x - m_k|`` (pre-update means).
+2. ``matched_k = diff_k < Gamma1 * sd_k`` (pre-update sd).
+
+   *Deviation note*: the paper's pseudo-code writes ``diff[k] < Gamma1``
+   at line 5 but ``diff[k]/sd[k] < Gamma1`` at line 24; the original
+   Stauffer-Grimson test is "within ``Gamma1`` standard deviations" and
+   we use that consistently at both sites.
+3. Weight update (Algorithm 4/5 form, ``alpha`` = retention =
+   ``1 - learning_rate``)::
+
+       w_k' = alpha * w_k + (1 - alpha) * matched_k
+
+4. For matched components, mean/sd move toward the pixel with the
+   weight-normalised rate ``rho`` (clamped to 1)::
+
+       rho_k  = min((1 - alpha) / w_k', 1)
+       m_k'   = (1 - rho_k) * m_k + rho_k * x
+       sd_k'  = max(sqrt((1 - rho_k) * sd_k^2 + rho_k * diff_k^2), sd_floor)
+
+   Non-matched components keep ``m``/``sd`` unchanged (bit-exact).
+5. If no component matched: the component with the smallest ``w_k'``
+   (lowest index on ties) is replaced by the *virtual component*
+   ``(w, m, sd) = (initial_weight, x, initial_sd)`` and its ``diff`` is
+   taken as 0 for step 6.
+6. Foreground decision (Algorithm 1 lines 22-28)::
+
+       background  <=>  exists k:  w_k' >= Gamma2  and  diff_k < Gamma1 * sd_k'
+
+   using *post-update* ``w`` and ``sd`` but the *pre-update* ``diff``
+   (this is what storing ``diff[]`` in registers at line 4 means). The
+   ``regopt`` variant (paper level F) instead recomputes
+   ``diff_k = |x - m_k'|`` from the updated means.
+
+   *Note*: under these update equations the two rules are provably
+   equivalent. For a matched component, squaring
+   ``diff >= Gamma1 * sd'`` gives
+   ``d^2 (1 - Gamma1^2 rho) >= Gamma1^2 (1 - rho) s^2``, impossible
+   whenever ``d < Gamma1 s`` (the match condition) since
+   ``(1-rho)/(1-Gamma1^2 rho) > 1``; so a matched component always
+   passes the closeness test under either diff, and unmatched
+   components have identical diffs. The paper's small level-F quality
+   drop is therefore a compiler/assembly artifact (the authors say as
+   much: "to gain further insight assembly-level investigations would
+   be required"), and this reproduction's Table IV shows identical
+   output at every level — the paper's headline claim ("practically no
+   impact on quality") holds exactly. ``tests/test_mog_vectorized.py``
+   pins the equivalence.
+7. The ``sorted`` variant then computes ``rank_k = w_k'/sd_k'`` and
+   stably sorts the components by descending rank (Algorithm 1 lines
+   16-21), physically reordering storage. Sorting does not change the
+   decision in step 6 (an order-independent OR), so sorted and unsorted
+   variants emit identical masks — it changes *control flow*, which is
+   the point of optimization level D.
+
+This module provides the scalar update used by the reference
+implementation; the vectorized/kernel forms mirror it expression by
+expression so float64 results agree bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..config import MoGParams
+
+
+@dataclass
+class ScalarComponent:
+    """One Gaussian component of one pixel (reference implementation)."""
+
+    w: float
+    m: float
+    sd: float
+
+
+def update_pixel(
+    x: float,
+    components: list[ScalarComponent],
+    params: MoGParams,
+    recompute_diff: bool = False,
+    sort: bool = True,
+) -> bool:
+    """Process one pixel through Algorithm 1; returns True if foreground.
+
+    ``components`` is mutated in place (including the sort when
+    ``sort=True``). ``recompute_diff=True`` selects the level-F (regopt)
+    foreground test.
+    """
+    alpha = 1.0 - params.learning_rate
+    one_minus_alpha = 1.0 - alpha
+    gamma1 = params.match_threshold
+    gamma2 = params.background_weight
+
+    # Steps 1-4: classify and update every component.
+    diffs: list[float] = []
+    any_match = False
+    for comp in components:
+        diff = abs(x - comp.m)
+        diffs.append(diff)
+        matched = diff < gamma1 * comp.sd
+        if matched:
+            any_match = True
+            comp.w = alpha * comp.w + one_minus_alpha
+            rho = min(one_minus_alpha / comp.w, 1.0)
+            comp.m = (1.0 - rho) * comp.m + rho * x
+            var = (1.0 - rho) * (comp.sd * comp.sd) + rho * (diff * diff)
+            comp.sd = max(math.sqrt(var), params.sd_floor)
+        else:
+            comp.w = alpha * comp.w
+
+    # Step 5: virtual component replaces the weakest on total miss.
+    if not any_match:
+        weakest = min(range(len(components)), key=lambda k: (components[k].w, k))
+        components[weakest].w = params.initial_weight
+        components[weakest].m = x
+        components[weakest].sd = params.initial_sd
+        diffs[weakest] = 0.0
+
+    # Step 6: foreground decision.
+    foreground = True
+    for k, comp in enumerate(components):
+        diff = abs(x - comp.m) if recompute_diff else diffs[k]
+        if comp.w >= gamma2 and diff < gamma1 * comp.sd:
+            foreground = False
+            break
+
+    # Step 7: rank and sort (descending, stable).
+    if sort:
+        order = sorted(
+            range(len(components)),
+            key=lambda k: (-(components[k].w / components[k].sd), k),
+        )
+        reordered = [components[k] for k in order]
+        components[:] = reordered
+
+    return foreground

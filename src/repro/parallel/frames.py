@@ -1,0 +1,165 @@
+"""Data-parallel CPU MoG over row stripes, one process per stripe.
+
+The paper's multi-threaded baseline is an 8-thread OpenMP build; the
+Python equivalent is a process pool (the GIL rules out threads for
+NumPy-light per-pixel work). MoG is embarrassingly parallel across
+pixels, so the frame splits into horizontal stripes and each worker
+owns the mixture state of its stripe for the whole run — only the
+stripe's input pixels and output mask cross the process boundary, as
+buffer-typed (pickle-5 / out-of-band) payloads.
+
+This is a *real* measured implementation, used by the examples and the
+parallel tests; the paper-reproduction speedup numbers use the analytic
+:class:`~repro.cpu.model.CpuTimeModel` instead (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+
+import numpy as np
+
+from ..config import MoGParams
+from ..errors import ConfigError
+from ..mog.vectorized import VARIANTS, MoGVectorized
+
+# Worker-process state: one MoG per stripe, created by the initializer
+# and reused across frames (states must persist between apply calls).
+_WORKER_MOG: MoGVectorized | None = None
+
+
+def _init_worker(shape, params, variant, dtype) -> None:
+    global _WORKER_MOG
+    _WORKER_MOG = MoGVectorized(shape, params, variant=variant, dtype=dtype)
+
+
+def _apply_worker(stripe: np.ndarray) -> np.ndarray:
+    assert _WORKER_MOG is not None, "worker not initialised"
+    return _WORKER_MOG.apply(stripe)
+
+
+class ParallelMoG:
+    """MoG over ``workers`` processes, one row stripe each.
+
+    Produces masks identical to the serial implementation (pixels are
+    independent, and each stripe runs the same code on the same data).
+
+    Notes
+    -----
+    Each worker must process the stripes *in frame order*; the pool
+    maps one stripe per worker per frame, and chunk assignment is
+    pinned by splitting the frame into exactly ``workers`` stripes.
+    """
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        params: MoGParams | None = None,
+        workers: int = 4,
+        variant: str = "nosort",
+        dtype: str = "double",
+    ) -> None:
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+        if shape[0] < workers:
+            raise ConfigError(
+                f"cannot split {shape[0]} rows into {workers} stripes"
+            )
+        if variant not in VARIANTS:
+            raise ConfigError(f"unknown variant {variant!r}")
+        self.shape = tuple(shape)
+        self.params = params or MoGParams()
+        self.workers = workers
+        self.variant = variant
+        self.dtype = dtype
+        bounds = np.linspace(0, shape[0], workers + 1).astype(int)
+        self._stripes = list(zip(bounds[:-1], bounds[1:]))
+        # Prefer fork where available: no __main__ re-import (works from
+        # REPLs and piped scripts) and cheap worker start-up.
+        method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        ctx = mp.get_context(method)
+        # One single-stripe pool per worker keeps stripe->process
+        # affinity (each process owns exactly one stripe's state).
+        self._pools = [
+            ctx.Pool(
+                1,
+                initializer=_init_worker,
+                initargs=(
+                    (hi - lo, shape[1]), self.params, variant, dtype
+                ),
+            )
+            for lo, hi in self._stripes
+        ]
+        self._closed = False
+
+    def apply(self, frame: np.ndarray) -> np.ndarray:
+        """Process one frame in parallel; returns the foreground mask."""
+        if self._closed:
+            raise ConfigError("ParallelMoG is closed")
+        frame = np.asarray(frame)
+        if frame.shape != self.shape:
+            raise ConfigError(
+                f"frame shape {frame.shape} != configured {self.shape}"
+            )
+        async_results = [
+            pool.apply_async(_apply_worker, (frame[lo:hi],))
+            for pool, (lo, hi) in zip(self._pools, self._stripes)
+        ]
+        return np.concatenate([r.get() for r in async_results], axis=0)
+
+    def apply_sequence(self, frames) -> np.ndarray:
+        masks = [self.apply(f) for f in frames]
+        if not masks:
+            raise ConfigError("empty frame sequence")
+        return np.stack(masks)
+
+    def close(self) -> None:
+        if not self._closed:
+            for pool in self._pools:
+                pool.terminate()
+                pool.join()
+            self._closed = True
+
+    def __enter__(self) -> "ParallelMoG":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def parallel_speedup_probe(
+    shape: tuple[int, int] = (240, 320),
+    num_frames: int = 12,
+    workers: int = 4,
+    params: MoGParams | None = None,
+) -> dict[str, float]:
+    """Measure serial vs parallel wall-clock on synthetic frames.
+
+    Returns ``{"serial_s", "parallel_s", "speedup"}`` — this machine's
+    analogue of the paper's 227.3 s -> 99.8 s OpenMP row.
+    """
+    from ..video.scenes import evaluation_scene
+
+    video = evaluation_scene(height=shape[0], width=shape[1])
+    frames = [video.frame(t) for t in range(num_frames)]
+    params = params or MoGParams()
+
+    serial = MoGVectorized(shape, params, variant="nosort")
+    t0 = time.perf_counter()
+    serial_masks = serial.apply_sequence(frames)
+    serial_s = time.perf_counter() - t0
+
+    with ParallelMoG(shape, params, workers=workers) as par:
+        par.apply(frames[0])  # warm the pools outside the timed region
+        t0 = time.perf_counter()
+        for f in frames[1:]:
+            par.apply(f)
+        parallel_s = (time.perf_counter() - t0) * num_frames / (num_frames - 1)
+
+    del serial_masks
+    return {
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s if parallel_s else float("inf"),
+    }

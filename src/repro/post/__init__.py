@@ -1,0 +1,13 @@
+"""Foreground-mask post-processing (deployment-side cleanup)."""
+
+from .morphology import MaskCleaner, clean_mask, connected_components
+from .shadows import ShadowParams, detect_shadows, suppress_shadows
+
+__all__ = [
+    "MaskCleaner",
+    "clean_mask",
+    "connected_components",
+    "ShadowParams",
+    "detect_shadows",
+    "suppress_shadows",
+]

@@ -1,0 +1,97 @@
+"""Chromaticity-based shadow suppression for color subtraction.
+
+Cast shadows are the classic false positive of background subtraction:
+a shadowed pixel is a *darker version of the background color*, not a
+new object. With an RGB background estimate available (the color MoG's
+:meth:`~repro.mog.color.ColorMoGVectorized.background_image`), the
+standard test (Horprasert-style) projects the observed color onto the
+background color:
+
+    alpha = <f, b> / <b, b>          (brightness ratio)
+    dist  = || f - alpha * b ||      (chromatic distortion)
+
+A foreground pixel is reclassified as shadow when it is a dimmed
+(``alpha_low <= alpha < alpha_high``) and chromatically faithful
+(``dist < max_distortion``) copy of the background.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ShadowParams:
+    """Thresholds of the shadow test."""
+
+    alpha_low: float = 0.45
+    alpha_high: float = 0.95
+    max_distortion: float = 18.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha_low < self.alpha_high:
+            raise ConfigError(
+                f"need 0 < alpha_low < alpha_high, got "
+                f"{self.alpha_low}, {self.alpha_high}"
+            )
+        if self.alpha_high > 1.5:
+            raise ConfigError(
+                f"alpha_high {self.alpha_high} is not a shadow (must dim)"
+            )
+        if self.max_distortion <= 0:
+            raise ConfigError("max_distortion must be positive")
+
+
+def detect_shadows(
+    frame: np.ndarray,
+    background: np.ndarray,
+    mask: np.ndarray,
+    params: ShadowParams | None = None,
+) -> np.ndarray:
+    """Boolean map of foreground pixels that are actually shadows."""
+    params = params or ShadowParams()
+    frame = np.asarray(frame, dtype=np.float64)
+    background = np.asarray(background, dtype=np.float64)
+    mask = np.asarray(mask) != 0
+    if frame.ndim != 3 or frame.shape[2] != 3:
+        raise ConfigError(f"expected an (H, W, 3) frame, got {frame.shape}")
+    if background.shape != frame.shape:
+        raise ConfigError(
+            f"background shape {background.shape} != frame {frame.shape}"
+        )
+    if mask.shape != frame.shape[:2]:
+        raise ConfigError(
+            f"mask shape {mask.shape} != frame {frame.shape[:2]}"
+        )
+
+    bb = (background * background).sum(axis=2)
+    fb = (frame * background).sum(axis=2)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        alpha = np.where(bb > 0.0, fb / np.maximum(bb, 1e-12), 0.0)
+    residual = frame - alpha[:, :, None] * background
+    distortion = np.sqrt((residual * residual).sum(axis=2))
+    shadow = (
+        mask
+        & (alpha >= params.alpha_low)
+        & (alpha < params.alpha_high)
+        & (distortion < params.max_distortion)
+    )
+    return shadow
+
+
+def suppress_shadows(
+    frame: np.ndarray,
+    background: np.ndarray,
+    mask: np.ndarray,
+    params: ShadowParams | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Remove shadow pixels from a foreground mask.
+
+    Returns ``(cleaned_mask, shadow_mask)``.
+    """
+    shadow = detect_shadows(frame, background, mask, params)
+    return (np.asarray(mask) != 0) & ~shadow, shadow

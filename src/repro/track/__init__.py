@@ -1,0 +1,5 @@
+"""Object tracking over foreground masks (the downstream consumer)."""
+
+from .tracker import CentroidTracker, Track, TrackerParams
+
+__all__ = ["CentroidTracker", "Track", "TrackerParams"]

@@ -1,0 +1,6 @@
+"""Small shared helpers: array validation, deterministic RNG plumbing."""
+
+from .arrays import as_gray_frame, check_same_shape, to_uint8
+from .rng import rng_from_seed
+
+__all__ = ["as_gray_frame", "check_same_shape", "to_uint8", "rng_from_seed"]

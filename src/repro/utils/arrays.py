@@ -1,0 +1,46 @@
+"""Array validation helpers used at public API boundaries."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import VideoError
+
+
+def as_gray_frame(frame: np.ndarray) -> np.ndarray:
+    """Validate and normalise a single grayscale frame.
+
+    Accepts a 2-D ``uint8`` array, or a 2-D float array with values in
+    [0, 255] (converted to ``uint8`` by rounding). Anything else raises
+    :class:`~repro.errors.VideoError`.
+    """
+    arr = np.asarray(frame)
+    if arr.ndim != 2:
+        raise VideoError(f"expected a 2-D grayscale frame, got shape {arr.shape}")
+    if arr.size == 0:
+        raise VideoError("frame is empty")
+    if arr.dtype == np.uint8:
+        return arr
+    if np.issubdtype(arr.dtype, np.floating):
+        if arr.min() < 0.0 or arr.max() > 255.0:
+            raise VideoError(
+                "float frame values must lie in [0, 255], got "
+                f"[{arr.min()}, {arr.max()}]"
+            )
+        return np.rint(arr).astype(np.uint8)
+    if np.issubdtype(arr.dtype, np.integer):
+        if arr.min() < 0 or arr.max() > 255:
+            raise VideoError("integer frame values must lie in [0, 255]")
+        return arr.astype(np.uint8)
+    raise VideoError(f"unsupported frame dtype: {arr.dtype}")
+
+
+def check_same_shape(a: np.ndarray, b: np.ndarray, what: str = "arrays") -> None:
+    """Raise :class:`VideoError` unless ``a`` and ``b`` have equal shape."""
+    if a.shape != b.shape:
+        raise VideoError(f"{what} must have equal shapes: {a.shape} vs {b.shape}")
+
+
+def to_uint8(mask: np.ndarray) -> np.ndarray:
+    """Convert a boolean/0-1 mask to a 0/255 ``uint8`` image."""
+    return (np.asarray(mask) != 0).astype(np.uint8) * np.uint8(255)

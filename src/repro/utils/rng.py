@@ -1,0 +1,27 @@
+"""Deterministic RNG plumbing.
+
+Every stochastic component in the library takes either a seed or a
+``numpy.random.Generator``; this helper normalises the two so results
+are reproducible by default and composable when a caller wants to share
+one generator across components.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rng_from_seed(
+    seed: int | np.random.Generator | None, default: int = 0
+) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator`.
+
+    * ``None`` -> a generator seeded with ``default`` (deterministic).
+    * an ``int`` -> a generator seeded with it.
+    * a ``Generator`` -> returned unchanged (shared state).
+    """
+    if seed is None:
+        return np.random.default_rng(default)
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(int(seed))

@@ -1,0 +1,58 @@
+"""Synthetic video generation and frame I/O.
+
+The paper evaluates on 450 full-HD surveillance frames which we do not
+have; this package generates the closest synthetic equivalent: scenes
+whose *per-pixel statistics* are what MoG actually consumes — a
+stationary (possibly multi-modal) background distribution plus
+foreground outliers — and, unlike real footage, exact ground-truth
+foreground masks.
+
+Entry points
+------------
+:class:`~repro.video.synthetic.SceneConfig` /
+:class:`~repro.video.synthetic.SyntheticVideo`
+    Configurable generator: static background with Gaussian sensor
+    noise, optional flicker (bimodal) regions, optional periodic
+    dynamic-texture regions, moving sprites.
+:mod:`repro.video.scenes`
+    Prebuilt scenarios matching the application domains the paper's
+    introduction motivates (surveillance, traffic, patient monitoring).
+:mod:`repro.video.io`
+    ``FrameSource`` protocol, ``ArraySource``, npz round-tripping.
+"""
+
+from .color import ColorizedVideo
+from .images import dump_run, read_image, write_image
+from .io import ArraySource, FrameSource, load_sequence, record, save_sequence
+from .objects import Sprite, SpriteTrack
+from .scenes import (
+    evaluation_scene,
+    patient_room_scene,
+    surveillance_scene,
+    traffic_scene,
+)
+from .stats import SceneStats, estimate_modality, scene_stats
+from .synthetic import SceneConfig, SyntheticVideo
+
+__all__ = [
+    "ArraySource",
+    "ColorizedVideo",
+    "FrameSource",
+    "load_sequence",
+    "record",
+    "save_sequence",
+    "dump_run",
+    "read_image",
+    "write_image",
+    "Sprite",
+    "SpriteTrack",
+    "SceneConfig",
+    "SceneStats",
+    "scene_stats",
+    "estimate_modality",
+    "SyntheticVideo",
+    "evaluation_scene",
+    "surveillance_scene",
+    "traffic_scene",
+    "patient_room_scene",
+]

@@ -1,0 +1,93 @@
+"""Color video adapter: RGB frames from the grayscale scene machinery.
+
+A :class:`ColorizedVideo` wraps any grayscale frame source and applies
+a static per-pixel RGB tint to the *background* while rendering the
+foreground sprites in their own colors — producing deterministic color
+footage with the same exact ground-truth masks, for the color MoG
+extension (:mod:`repro.mog.color`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import VideoError
+from ..utils.rng import rng_from_seed
+from .synthetic import SyntheticVideo, _smooth_random_field
+
+
+class ColorizedVideo:
+    """RGB frames derived from a grayscale :class:`SyntheticVideo`.
+
+    The background tint is a smooth random RGB field (each channel a
+    multiplier in ``[low, high]``); sprite pixels get a per-track solid
+    color modulated by the underlying gray intensity.
+    """
+
+    def __init__(
+        self,
+        base: SyntheticVideo,
+        seed: int | None = None,
+        tint_low: float = 0.55,
+        tint_high: float = 1.0,
+        sprite_colors: list[tuple[float, float, float]] | None = None,
+    ) -> None:
+        if not 0.0 <= tint_low <= tint_high <= 1.0:
+            raise VideoError(
+                f"tints must satisfy 0 <= low <= high <= 1, got "
+                f"{tint_low}, {tint_high}"
+            )
+        self.base = base
+        rng = rng_from_seed(seed, default=base.config.seed + 101)
+        hh, ww = base.shape
+        span = tint_high - tint_low
+        self._tint = np.stack(
+            [
+                tint_low + span * _smooth_random_field((hh, ww), 20, rng)
+                for _ in range(3)
+            ],
+            axis=2,
+        )
+        default_colors = [
+            (1.0, 0.35, 0.3), (0.3, 0.5, 1.0), (0.35, 1.0, 0.4),
+            (1.0, 0.9, 0.3),
+        ]
+        self._sprite_colors = sprite_colors or default_colors
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.base.shape
+
+    @property
+    def num_frames(self) -> int | None:
+        return self.base.num_frames
+
+    def frame_with_truth(self, t: int) -> tuple[np.ndarray, np.ndarray]:
+        """RGB frame ``t`` as ``(uint8 (H,W,3), bool mask)``."""
+        gray, truth = self.base.frame_with_truth(t)
+        rgb = gray[:, :, None] * self._tint
+        # Recolor the foreground: per-track colors, ordered by track.
+        for i, track in enumerate(self.base.tracks):
+            if not track.active(t):
+                continue
+            r, c = track.position(t)
+            sh, sw = track.sprite.shape
+            hh, ww = self.shape
+            fr0, fc0 = max(r, 0), max(c, 0)
+            fr1, fc1 = min(r + sh, hh), min(c + sw, ww)
+            if fr0 >= fr1 or fc0 >= fc1:
+                continue
+            sup = track.sprite.support[fr0 - r:fr1 - r, fc0 - c:fc1 - c]
+            color = np.array(
+                self._sprite_colors[i % len(self._sprite_colors)]
+            )
+            region = rgb[fr0:fr1, fc0:fc1]
+            region[sup] = gray[fr0:fr1, fc0:fc1][sup, None] * color[None, :]
+        return np.clip(np.rint(rgb), 0, 255).astype(np.uint8), truth
+
+    def frame(self, t: int) -> np.ndarray:
+        return self.frame_with_truth(t)[0]
+
+    def frames(self, count: int, start: int = 0):
+        for t in range(start, start + count):
+            yield self.frame(t)

@@ -1,0 +1,118 @@
+"""Minimal image file I/O (PGM/PPM, binary variants).
+
+Netpbm formats need no third-party codecs, which keeps this library's
+dependency surface at numpy+scipy while still letting users *look* at
+frames, masks and background models (`eog out/mask_0042.pgm`, or any
+image viewer). Grayscale arrays become P5 (PGM), RGB arrays P6 (PPM).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import VideoError
+
+
+def write_image(path: str | Path, image: np.ndarray) -> Path:
+    """Write a uint8 image: (H, W) -> PGM, (H, W, 3) -> PPM.
+
+    Boolean arrays are accepted and rendered 0/255. The suffix is
+    corrected to match the format if needed; the final path is
+    returned.
+    """
+    arr = np.asarray(image)
+    if arr.dtype == np.bool_:
+        arr = arr.astype(np.uint8) * 255
+    if arr.dtype != np.uint8:
+        raise VideoError(f"images must be uint8 or bool, got {arr.dtype}")
+    path = Path(path)
+    if arr.ndim == 2:
+        magic, suffix = b"P5", ".pgm"
+    elif arr.ndim == 3 and arr.shape[2] == 3:
+        magic, suffix = b"P6", ".ppm"
+    else:
+        raise VideoError(
+            f"expected (H, W) or (H, W, 3), got shape {arr.shape}"
+        )
+    if arr.shape[0] == 0 or arr.shape[1] == 0:
+        raise VideoError("image is empty")
+    if path.suffix.lower() != suffix:
+        path = path.with_suffix(suffix)
+    header = b"%s\n%d %d\n255\n" % (magic, arr.shape[1], arr.shape[0])
+    path.write_bytes(header + np.ascontiguousarray(arr).tobytes())
+    return path
+
+
+def read_image(path: str | Path) -> np.ndarray:
+    """Read a binary PGM (P5) or PPM (P6) written by :func:`write_image`
+    (or any 8-bit Netpbm file with whitespace/comment headers)."""
+    data = Path(path).read_bytes()
+    if data[:2] not in (b"P5", b"P6"):
+        raise VideoError(f"{path}: not a binary PGM/PPM file")
+    channels = 1 if data[:2] == b"P5" else 3
+
+    # Parse header tokens: magic, width, height, maxval (comments allowed).
+    tokens: list[int] = []
+    pos = 2
+    while len(tokens) < 3:
+        while pos < len(data) and data[pos : pos + 1].isspace():
+            pos += 1
+        if pos < len(data) and data[pos : pos + 1] == b"#":
+            while pos < len(data) and data[pos : pos + 1] != b"\n":
+                pos += 1
+            continue
+        start = pos
+        while pos < len(data) and not data[pos : pos + 1].isspace():
+            pos += 1
+        if start == pos:
+            raise VideoError(f"{path}: truncated header")
+        tokens.append(int(data[start:pos]))
+    pos += 1  # the single whitespace after maxval
+    width, height, maxval = tokens
+    if maxval != 255:
+        raise VideoError(f"{path}: only 8-bit images supported, maxval={maxval}")
+    expected = width * height * channels
+    if len(data) - pos < expected:
+        raise VideoError(f"{path}: truncated pixel data")
+    pixels = np.frombuffer(data, dtype=np.uint8, count=expected, offset=pos)
+    shape = (height, width) if channels == 1 else (height, width, 3)
+    return pixels.reshape(shape).copy()
+
+
+def dump_run(
+    directory: str | Path,
+    frames,
+    masks,
+    background: np.ndarray | None = None,
+    stride: int = 1,
+    prefix: str = "",
+) -> list[Path]:
+    """Dump a run's frames and masks side by side for eyeballing.
+
+    Writes ``<prefix>frame_NNNN`` / ``<prefix>mask_NNNN`` every
+    ``stride`` frames (plus ``<prefix>background`` if given); returns
+    the written paths.
+    """
+    if stride < 1:
+        raise VideoError(f"stride must be >= 1, got {stride}")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    for t, (frame, mask) in enumerate(zip(frames, masks)):
+        if t % stride:
+            continue
+        written.append(
+            write_image(directory / f"{prefix}frame_{t:04d}", frame)
+        )
+        written.append(write_image(directory / f"{prefix}mask_{t:04d}", mask))
+    if background is not None:
+        written.append(
+            write_image(
+                directory / f"{prefix}background",
+                np.clip(np.rint(np.asarray(background, dtype=np.float64)),
+                        0, 255).astype(np.uint8),
+            )
+        )
+    return written

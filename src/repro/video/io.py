@@ -1,0 +1,125 @@
+"""Frame sources and sequence I/O.
+
+A *frame source* is anything with ``shape`` and ``frame(t)``;
+:class:`SyntheticVideo` satisfies it, and :class:`ArraySource` adapts a
+prerecorded ``(T, H, W)`` array. :func:`save_sequence` /
+:func:`load_sequence` round-trip sequences (with optional ground truth)
+through compressed ``.npz`` files so experiments can pin their inputs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from ..errors import VideoError
+from ..utils.arrays import as_gray_frame
+
+
+@runtime_checkable
+class FrameSource(Protocol):
+    """Minimal interface the pipeline consumes."""
+
+    @property
+    def shape(self) -> tuple[int, int]: ...
+
+    def frame(self, t: int) -> np.ndarray: ...
+
+
+class ArraySource:
+    """Adapt a prerecorded ``(T, H, W)`` uint8 array to ``FrameSource``.
+
+    Also accepts a list of 2-D frames (validated and stacked).
+    """
+
+    def __init__(self, frames: np.ndarray | list[np.ndarray]) -> None:
+        if isinstance(frames, list):
+            if not frames:
+                raise VideoError("frame list is empty")
+            frames = np.stack([as_gray_frame(f) for f in frames], axis=0)
+        arr = np.asarray(frames)
+        if arr.ndim != 3:
+            raise VideoError(
+                f"expected a (T, H, W) stack of frames, got shape {arr.shape}"
+            )
+        if arr.dtype != np.uint8:
+            arr = np.stack([as_gray_frame(f) for f in arr], axis=0)
+        self._frames = arr
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._frames.shape[1:]
+
+    def __len__(self) -> int:
+        return self._frames.shape[0]
+
+    @property
+    def num_frames(self) -> int:
+        return self._frames.shape[0]
+
+    def frame(self, t: int) -> np.ndarray:
+        if not 0 <= t < len(self):
+            raise VideoError(f"frame index {t} out of range [0, {len(self)})")
+        return self._frames[t]
+
+    def frames(self, count: int, start: int = 0):
+        for t in range(start, start + count):
+            yield self.frame(t)
+
+
+def record(source: FrameSource, num_frames: int, start: int = 0) -> ArraySource:
+    """Materialise ``num_frames`` frames of any source into memory."""
+    if num_frames <= 0:
+        raise VideoError(f"num_frames must be positive, got {num_frames}")
+    stack = np.stack(
+        [as_gray_frame(source.frame(t)) for t in range(start, start + num_frames)]
+    )
+    return ArraySource(stack)
+
+
+def save_sequence(
+    path: str | Path,
+    frames: np.ndarray,
+    truth: np.ndarray | None = None,
+    **metadata: float,
+) -> None:
+    """Save a ``(T, H, W)`` sequence (and optional truth masks) as npz."""
+    frames = np.asarray(frames)
+    if frames.ndim != 3:
+        raise VideoError(f"expected (T, H, W) frames, got shape {frames.shape}")
+    payload: dict[str, np.ndarray] = {"frames": frames.astype(np.uint8)}
+    if truth is not None:
+        truth = np.asarray(truth)
+        if truth.shape != frames.shape:
+            raise VideoError(
+                f"truth shape {truth.shape} != frames shape {frames.shape}"
+            )
+        payload["truth"] = truth.astype(bool)
+    if metadata:
+        payload["metadata_keys"] = np.array(sorted(metadata), dtype="U64")
+        payload["metadata_values"] = np.array(
+            [float(metadata[k]) for k in sorted(metadata)]
+        )
+    np.savez_compressed(Path(path), **payload)
+
+
+def load_sequence(
+    path: str | Path,
+) -> tuple[ArraySource, np.ndarray | None, dict[str, float]]:
+    """Load a sequence saved by :func:`save_sequence`.
+
+    Returns ``(source, truth_or_None, metadata)``.
+    """
+    with np.load(Path(path)) as data:
+        if "frames" not in data:
+            raise VideoError(f"{path} is not a saved frame sequence")
+        frames = data["frames"]
+        truth = data["truth"] if "truth" in data else None
+        metadata: dict[str, float] = {}
+        if "metadata_keys" in data:
+            metadata = dict(
+                zip(data["metadata_keys"].tolist(), data["metadata_values"].tolist())
+            )
+    return ArraySource(frames), truth, metadata

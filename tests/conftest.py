@@ -1,0 +1,35 @@
+"""Shared test fixtures: small deterministic scenes and frame sets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import MoGParams
+from repro.video.scenes import evaluation_scene
+
+#: Frame geometry used by most functional tests (tiny = fast).
+SMALL_SHAPE = (24, 64)
+
+
+@pytest.fixture(scope="session")
+def small_shape():
+    return SMALL_SHAPE
+
+
+@pytest.fixture(scope="session")
+def params():
+    """Fast-converging parameters for short test runs."""
+    return MoGParams(learning_rate=0.08, initial_sd=8.0)
+
+
+@pytest.fixture(scope="session")
+def small_frames():
+    """A dozen frames of the evaluation scene at the small geometry."""
+    video = evaluation_scene(height=SMALL_SHAPE[0], width=SMALL_SHAPE[1])
+    return [video.frame(t) for t in range(12)]
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(1234)

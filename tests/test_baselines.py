@@ -1,0 +1,123 @@
+"""The multimodal-mean related-work baseline (§II)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MultimodalMeanParams, MultimodalMeanVectorized
+from repro.errors import ConfigError
+from repro.video.scenes import evaluation_scene
+
+SHAPE = (24, 32)
+
+
+class TestParams:
+    @pytest.mark.parametrize("kw", [
+        {"max_cells": 0}, {"max_cells": 9}, {"epsilon": 0.0},
+        {"background_fraction": 0.0}, {"background_fraction": 1.0},
+        {"decay_period": 0},
+    ])
+    def test_validation(self, kw):
+        with pytest.raises(ConfigError):
+            MultimodalMeanParams(**kw)
+
+
+class TestAlgorithm:
+    def test_constant_scene_background(self):
+        mmm = MultimodalMeanVectorized(SHAPE)
+        frame = np.full(SHAPE, 80, dtype=np.uint8)
+        for _ in range(5):
+            mask = mmm.apply(frame)
+        assert not mask.any()
+
+    def test_step_change_foreground_then_absorbed(self):
+        mmm = MultimodalMeanVectorized(SHAPE)
+        a = np.full(SHAPE, 40, dtype=np.uint8)
+        b = np.full(SHAPE, 200, dtype=np.uint8)
+        for _ in range(6):
+            mmm.apply(a)
+        assert mmm.apply(b).all()
+        for _ in range(12):
+            last = mmm.apply(b)
+        assert not last.any()
+
+    def test_bimodal_pixels_grow_two_cells(self):
+        video = evaluation_scene(height=SHAPE[0], width=SHAPE[1])
+        mmm = MultimodalMeanVectorized(SHAPE)
+        for t in range(40):
+            mmm.apply(video.frame(t))
+        live = mmm.live_cells()
+        assert live.mean() > 1.3  # the bimodal 90% of pixels split
+        assert live.max() <= mmm.params.max_cells
+
+    def test_variable_cost_early_exit(self):
+        """Most pixels resolve at the first cell — the CPU advantage."""
+        video = evaluation_scene(height=SHAPE[0], width=SHAPE[1])
+        mmm = MultimodalMeanVectorized(SHAPE)
+        for t in range(30):
+            mmm.apply(video.frame(t))
+        per_pixel = mmm.thread_scan_cells / (30 * mmm.num_pixels)
+        assert per_pixel < mmm.params.max_cells * 0.6
+
+    def test_warp_cost_exceeds_thread_cost(self):
+        """...and the SIMT view erodes it: lane-slots executed per warp
+        exceed the useful per-thread work (the paper's §II argument)."""
+        video = evaluation_scene(height=SHAPE[0], width=SHAPE[1])
+        mmm = MultimodalMeanVectorized(SHAPE)
+        for t in range(30):
+            mmm.apply(video.frame(t))
+        assert mmm.warp_scan_cells > mmm.thread_scan_cells
+
+    def test_decay_ages_out_stale_modes(self):
+        p = MultimodalMeanParams(decay_period=4)
+        mmm = MultimodalMeanVectorized(SHAPE, p)
+        a = np.full(SHAPE, 40, dtype=np.uint8)
+        b = np.full(SHAPE, 200, dtype=np.uint8)
+        for _ in range(8):
+            mmm.apply(a)
+        for _ in range(30):
+            mmm.apply(b)
+        # The old mode's cell decays to low counts vs the new one's.
+        live = mmm.live_cells()
+        best = mmm.counts.max(axis=0)
+        total = mmm.counts.sum(axis=0)
+        assert (best / np.maximum(total, 1)).min() > 0.6
+
+    def test_counts_never_negative(self):
+        video = evaluation_scene(height=SHAPE[0], width=SHAPE[1])
+        mmm = MultimodalMeanVectorized(SHAPE, MultimodalMeanParams(decay_period=3))
+        for t in range(20):
+            mmm.apply(video.frame(t))
+        assert (mmm.counts >= 0).all()
+        assert np.isfinite(mmm.sums).all()
+
+    def test_background_image(self):
+        mmm = MultimodalMeanVectorized(SHAPE)
+        frame = np.full(SHAPE, 123, dtype=np.uint8)
+        for _ in range(4):
+            mmm.apply(frame)
+        assert np.allclose(mmm.background_image(), 123.0, atol=1.0)
+
+    def test_api_validation(self):
+        mmm = MultimodalMeanVectorized(SHAPE)
+        with pytest.raises(ConfigError):
+            mmm.apply(np.zeros((4, 4), dtype=np.uint8))
+        with pytest.raises(ConfigError):
+            mmm.apply_sequence([])
+        with pytest.raises(ConfigError):
+            MultimodalMeanVectorized(SHAPE).background_image()
+        with pytest.raises(ConfigError):
+            MultimodalMeanVectorized((0, 4))
+
+    def test_detects_objects_on_scene(self):
+        from repro.metrics import foreground_score
+
+        video = evaluation_scene(height=48, width=64)
+        mmm = MultimodalMeanVectorized((48, 64))
+        score = None
+        for t in range(40):
+            frame, truth = video.frame_with_truth(t)
+            mask = mmm.apply(frame)
+            if t >= 30:
+                s = foreground_score(mask, truth)
+                score = s if score is None else score + s
+        assert score.recall > 0.4

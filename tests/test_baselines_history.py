@@ -1,0 +1,101 @@
+"""The history-based baselines (frame differencing, running average)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FrameDifference, RunningAverage
+from repro.errors import ConfigError
+
+SHAPE = (16, 16)
+
+
+def const(value):
+    return np.full(SHAPE, value, dtype=np.uint8)
+
+
+class TestFrameDifference:
+    def test_first_frame_empty(self):
+        fd = FrameDifference(SHAPE)
+        assert not fd.apply(const(100)).any()
+
+    def test_detects_change(self):
+        fd = FrameDifference(SHAPE, threshold=25.0)
+        fd.apply(const(100))
+        assert fd.apply(const(180)).all()
+
+    def test_below_threshold_ignored(self):
+        fd = FrameDifference(SHAPE, threshold=25.0)
+        fd.apply(const(100))
+        assert not fd.apply(const(110)).any()
+
+    def test_stationary_object_vanishes(self):
+        """The classic frame-differencing failure: anything that stops
+        moving disappears immediately."""
+        fd = FrameDifference(SHAPE)
+        fd.apply(const(50))
+        frame = const(50)
+        frame[4:8, 4:8] = 200
+        assert fd.apply(frame)[5, 5]          # appears
+        assert not fd.apply(frame)[5, 5]      # gone while stationary
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            FrameDifference((0, 4))
+        with pytest.raises(ConfigError):
+            FrameDifference(SHAPE, threshold=0.0)
+        with pytest.raises(ConfigError):
+            FrameDifference(SHAPE).apply(np.zeros((4, 4), dtype=np.uint8))
+        with pytest.raises(ConfigError):
+            FrameDifference(SHAPE).apply_sequence([])
+
+
+class TestRunningAverage:
+    def test_constant_scene_background(self):
+        ra = RunningAverage(SHAPE)
+        for _ in range(5):
+            mask = ra.apply(const(90))
+        assert not mask.any()
+
+    def test_step_change_detected_then_persistent(self):
+        """Selective update: foreground does NOT bleed into the model,
+        so (unlike MoG) a parked object stays foreground forever."""
+        ra = RunningAverage(SHAPE, learning_rate=0.2)
+        for _ in range(5):
+            ra.apply(const(40))
+        for _ in range(30):
+            mask = ra.apply(const(200))
+        assert mask.all()
+
+    def test_slow_drift_absorbed(self):
+        ra = RunningAverage(SHAPE, learning_rate=0.3)
+        level = 60.0
+        for _ in range(40):
+            level += 1.0
+            mask = ra.apply(const(int(level)))
+        assert not mask.any()
+
+    def test_background_image_tracks_scene(self):
+        ra = RunningAverage(SHAPE)
+        for _ in range(10):
+            ra.apply(const(123))
+        assert np.allclose(ra.background_image(), 123.0, atol=1.0)
+
+    def test_bimodal_background_floods(self):
+        """The unimodal failure that motivates MoG: a two-mode pixel
+        keeps tripping the single-model detector."""
+        ra = RunningAverage(SHAPE, learning_rate=0.05)
+        fg_hits = 0
+        for t in range(60):
+            value = 60 if (t // 8) % 2 == 0 else 140
+            fg_hits += int(ra.apply(const(value)).any())
+        assert fg_hits > 5
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RunningAverage(SHAPE, learning_rate=0.0)
+        with pytest.raises(ConfigError):
+            RunningAverage(SHAPE, k=0.0)
+        with pytest.raises(ConfigError):
+            RunningAverage(SHAPE).background_image()
+        with pytest.raises(ConfigError):
+            RunningAverage(SHAPE).apply(np.zeros((4, 4), dtype=np.uint8))

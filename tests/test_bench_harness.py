@@ -1,0 +1,94 @@
+"""The experiment harness: extrapolation soundness and run_level."""
+
+import pytest
+
+from repro.bench.harness import (
+    PAPER_BENCH_PARAMS,
+    PAPER_SCALE,
+    WorkloadScale,
+    extrapolate,
+    run_level,
+    steady_state_counters,
+)
+from repro.config import RunConfig
+from repro.core.pipeline import HostPipeline
+from repro.errors import ConfigError
+from repro.video.scenes import evaluation_scene
+
+SHAPE = (32, 64)
+
+
+@pytest.fixture(scope="module")
+def frames():
+    video = evaluation_scene(height=SHAPE[0], width=SHAPE[1])
+    return [video.frame(t) for t in range(12)]
+
+
+@pytest.fixture(scope="module")
+def report_f(frames):
+    hp = HostPipeline(SHAPE, PAPER_BENCH_PARAMS, "F")
+    hp.process(frames)
+    return hp.report()
+
+
+class TestSteadyState:
+    def test_warmup_excluded(self, report_f):
+        all_counters, _ = steady_state_counters(report_f, 0)
+        tail_counters, _ = steady_state_counters(report_f, 8)
+        # Same per-frame magnitude (within divergence noise).
+        assert tail_counters.warp_issues["mem"] == all_counters.warp_issues["mem"]
+
+    def test_empty_report_rejected(self):
+        from repro.core.results import RunReport
+
+        with pytest.raises(ConfigError):
+            steady_state_counters(RunReport("F", 0, 0, 3, "double"), 0)
+
+
+class TestExtrapolation:
+    def test_kernel_time_scales_linearly_with_pixels(self, report_f):
+        small = WorkloadScale(SHAPE[0] * SHAPE[1] * 10, 100)
+        large = WorkloadScale(SHAPE[0] * SHAPE[1] * 20, 100)
+        kt_small, _ = extrapolate(report_f, small)
+        kt_large, _ = extrapolate(report_f, large)
+        # Minus the fixed launch overhead, kernel time is linear.
+        from repro.gpusim.device import TESLA_C2075
+
+        oh = TESLA_C2075.kernel_launch_overhead_s
+        assert (kt_large - oh) == pytest.approx(2 * (kt_small - oh), rel=0.01)
+
+    def test_total_time_scales_with_frames(self, report_f):
+        a = extrapolate(report_f, WorkloadScale(10**6, 100))[1]
+        b = extrapolate(report_f, WorkloadScale(10**6, 200))[1]
+        assert b == pytest.approx(2 * a, rel=0.05)
+
+    def test_identity_scale_close_to_measured(self, report_f):
+        """Extrapolating to the measured workload reproduces ~the
+        measured per-frame kernel time."""
+        scale = WorkloadScale(report_f.num_pixels, report_f.num_frames)
+        kt, _ = extrapolate(report_f, scale)
+        assert kt == pytest.approx(report_f.kernel_time_per_frame, rel=0.2)
+
+
+class TestRunLevel:
+    def test_result_fields(self, frames):
+        r = run_level("F", frames, SHAPE, params=PAPER_BENCH_PARAMS,
+                      warmup_frames=6)
+        assert r.level == "F"
+        assert r.scale == PAPER_SCALE
+        assert r.masks.shape == (len(frames), *SHAPE)
+        assert r.speedup == pytest.approx(r.cpu_time / r.total_time)
+        assert r.metrics()["speedup"] == pytest.approx(r.speedup)
+
+    def test_speedup_uses_matching_cpu_config(self, frames):
+        r3 = run_level("F", frames, SHAPE, params=PAPER_BENCH_PARAMS)
+        p5 = PAPER_BENCH_PARAMS.replace(num_gaussians=5)
+        r5 = run_level("F", frames, SHAPE, params=p5)
+        assert r5.cpu_time > r3.cpu_time  # 5G CPU baseline is slower
+
+    def test_tiled_level_runs(self, frames):
+        rc = RunConfig(height=SHAPE[0], width=SHAPE[1],
+                       tile_pixels=256, frame_group=4)
+        r = run_level("G", frames, SHAPE, params=PAPER_BENCH_PARAMS,
+                      run_config=rc, warmup_frames=4)
+        assert r.speedup > 0

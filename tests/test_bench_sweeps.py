@@ -1,0 +1,67 @@
+"""Parameter-sweep utilities."""
+
+import pytest
+
+from repro.bench.sweeps import SWEEPABLE, sweep_parameter
+from repro.config import MoGParams
+from repro.errors import ConfigError
+
+FAST = dict(shape=(48, 64), num_frames=20, warmup=12)
+
+
+class TestSweepParameter:
+    def test_returns_curve(self):
+        result = sweep_parameter("match_threshold", [2.0, 2.5, 3.0], **FAST)
+        assert result.parameter == "match_threshold"
+        assert len(result.points) == 3
+        assert [p.value for p in result.points] == [2.0, 2.5, 3.0]
+        for p in result.points:
+            assert 0.0 <= p.f1 <= 1.0
+            assert 0.0 <= p.foreground_rate <= 1.0
+
+    def test_best_is_max_f1(self):
+        result = sweep_parameter("background_weight", [0.1, 0.15, 0.3], **FAST)
+        assert result.best.f1 == max(p.f1 for p in result.points)
+
+    def test_rows_mark_best(self):
+        result = sweep_parameter("learning_rate", [0.05, 0.1], **FAST)
+        marks = [row[-1] for row in result.rows()]
+        assert marks.count("<- best") == 1
+
+    def test_num_gaussians_sweep_integer_values(self):
+        result = sweep_parameter("num_gaussians", [1, 3], **FAST)
+        assert len(result.points) == 2
+
+    def test_extreme_threshold_hurts(self):
+        """A wildly loose match band must cost recall (everything is
+        swallowed by the background), giving the curve a real shape."""
+        result = sweep_parameter("match_threshold", [2.5, 12.0], **FAST)
+        tight, loose = result.points
+        assert loose.score.recall < tight.score.recall
+
+    def test_unknown_parameter(self):
+        with pytest.raises(ConfigError):
+            sweep_parameter("warp_size", [1, 2], **FAST)
+
+    def test_empty_values(self):
+        with pytest.raises(ConfigError):
+            sweep_parameter("learning_rate", [], **FAST)
+
+    def test_warmup_bounds(self):
+        with pytest.raises(ConfigError):
+            sweep_parameter(
+                "learning_rate", [0.1], shape=(48, 64),
+                num_frames=10, warmup=10,
+            )
+
+    def test_base_params_respected(self):
+        base = MoGParams(num_gaussians=5, learning_rate=0.08, initial_sd=8.0)
+        result = sweep_parameter(
+            "match_threshold", [2.5], base_params=base, **FAST
+        )
+        assert len(result.points) == 1  # runs with K=5 without error
+
+    def test_sweepable_fields_exist(self):
+        params = MoGParams()
+        for name in SWEEPABLE:
+            assert hasattr(params, name)

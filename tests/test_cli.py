@@ -1,0 +1,137 @@
+"""The `repro` command-line interface, end to end on tmp files."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.video.io import load_sequence
+
+
+@pytest.fixture()
+def clip(tmp_path):
+    path = tmp_path / "clip.npz"
+    code = main([
+        "synthesize", str(path), "--scene", "surveillance",
+        "--frames", "12", "--height", "32", "--width", "48",
+    ])
+    assert code == 0
+    return path
+
+
+class TestSynthesize:
+    def test_writes_sequence_with_truth(self, clip):
+        source, truth, _ = load_sequence(clip)
+        assert source.num_frames == 12
+        assert source.shape == (32, 48)
+        assert truth is not None and truth.shape == (12, 32, 48)
+
+    def test_scene_choices(self, tmp_path, capsys):
+        for scene in ("evaluation", "traffic", "patient-room"):
+            path = tmp_path / f"{scene}.npz"
+            assert main([
+                "synthesize", str(path), "--scene", scene,
+                "--frames", "2", "--height", "24", "--width", "24",
+            ]) == 0
+
+    def test_seed_determinism(self, tmp_path):
+        a, b = tmp_path / "a.npz", tmp_path / "b.npz"
+        for path in (a, b):
+            main(["synthesize", str(path), "--frames", "3",
+                  "--height", "24", "--width", "24", "--seed", "9"])
+        fa, _, _ = load_sequence(a)
+        fb, _, _ = load_sequence(b)
+        assert np.array_equal(fa._frames, fb._frames)
+
+
+class TestSubtract:
+    def test_cpu_backend(self, clip, tmp_path, capsys):
+        out = tmp_path / "masks.npz"
+        code = main(["subtract", str(clip), str(out),
+                     "--learning-rate", "0.08"])
+        assert code == 0
+        masks, _, _ = load_sequence(out)
+        assert masks.num_frames == 12
+        assert "foreground share" in capsys.readouterr().out
+
+    def test_sim_backend_with_report(self, clip, tmp_path, capsys):
+        out = tmp_path / "masks.npz"
+        code = main([
+            "subtract", str(clip), str(out),
+            "--backend", "sim", "--level", "D", "--report",
+        ])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "level D" in text
+        assert "occupancy" in text
+
+    def test_cpu_report_notice(self, clip, tmp_path, capsys):
+        out = tmp_path / "masks.npz"
+        main(["subtract", str(clip), str(out), "--report"])
+        assert "no report" in capsys.readouterr().out
+
+    def test_backends_agree(self, clip, tmp_path):
+        out_cpu = tmp_path / "cpu.npz"
+        out_sim = tmp_path / "sim.npz"
+        main(["subtract", str(clip), str(out_cpu), "--level", "F"])
+        main(["subtract", str(clip), str(out_sim), "--level", "F",
+              "--backend", "sim"])
+        a, _, _ = load_sequence(out_cpu)
+        b, _, _ = load_sequence(out_sim)
+        assert np.array_equal(a._frames, b._frames)
+
+    def test_invalid_level_reports_error(self, clip, tmp_path, capsys):
+        code = main(["subtract", str(clip), str(tmp_path / "x.npz"),
+                     "--level", "Q"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestEvaluate:
+    def test_scores_masks(self, clip, tmp_path, capsys):
+        out = tmp_path / "masks.npz"
+        main(["subtract", str(clip), str(out), "--learning-rate", "0.08"])
+        code = main(["evaluate", str(out), str(clip), "--skip", "6"])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "precision" in text and "F1" in text
+
+    def test_missing_truth_is_error(self, clip, tmp_path, capsys):
+        masks = tmp_path / "masks.npz"
+        main(["subtract", str(clip), str(masks)])
+        # masks.npz itself has no truth channel:
+        code = main(["evaluate", str(masks), str(masks)])
+        assert code == 2
+        assert "ground truth" in capsys.readouterr().err
+
+
+class TestExperiments:
+    def test_static_tables(self, capsys):
+        assert main(["experiments", "table1", "table2"]) == 0
+        text = capsys.readouterr().out
+        assert "Tesla C2075" in text
+        assert "Memory Coalescing" in text
+
+    def test_unknown_name(self, capsys):
+        assert main(["experiments", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestTrack:
+    def test_prints_track_summary(self, clip, capsys):
+        code = main(["track", str(clip), "--warmup", "4",
+                     "--learning-rate", "0.1"])
+        assert code == 0
+        assert "confirmed tracks" in capsys.readouterr().out
+
+
+class TestExportCuda:
+    def test_writes_project(self, tmp_path, capsys):
+        out = tmp_path / "cuda"
+        code = main(["export-cuda", str(out), "--height", "240",
+                     "--width", "320", "--dtype", "float"])
+        assert code == 0
+        assert (out / "mog_kernel_F.cu").exists()
+        header = (out / "mog_common.cuh").read_text()
+        assert "typedef float scalar_t;" in header
+        assert "#define NUM_PIXELS 76800" in header
+        assert "Makefile" in capsys.readouterr().out

@@ -1,0 +1,110 @@
+"""The OpenCV-style compatibility layer."""
+
+import numpy as np
+import pytest
+
+from repro.compat import BackgroundSubtractorMOG, createBackgroundSubtractorMOG
+from repro.errors import ConfigError
+from repro.video.scenes import evaluation_scene
+
+
+def gray_frames(n=10, shape=(24, 32)):
+    video = evaluation_scene(height=shape[0], width=shape[1])
+    return [video.frame(t) for t in range(n)]
+
+
+class TestFactory:
+    def test_defaults(self):
+        mog = createBackgroundSubtractorMOG()
+        assert mog.getHistory() == 200
+        assert mog.getNMixtures() == 3
+
+    def test_parameter_mapping(self):
+        mog = createBackgroundSubtractorMOG(history=50, nmixtures=5)
+        assert mog.getHistory() == 50
+        assert mog.getNMixtures() == 5
+
+    @pytest.mark.parametrize("kw", [
+        {"history": 0}, {"backgroundRatio": 0.0},
+        {"backgroundRatio": 1.0}, {"noiseSigma": -1.0},
+    ])
+    def test_validation(self, kw):
+        with pytest.raises(ConfigError):
+            createBackgroundSubtractorMOG(**kw)
+
+
+class TestApply:
+    def test_returns_0_255_uint8(self):
+        mog = createBackgroundSubtractorMOG(history=12)
+        mask = mog.apply(gray_frames(1)[0])
+        assert mask.dtype == np.uint8
+        assert set(np.unique(mask)) <= {0, 255}
+
+    def test_converges_like_the_library(self):
+        mog = createBackgroundSubtractorMOG(history=12)
+        frame = np.full((16, 16), 90, dtype=np.uint8)
+        for _ in range(6):
+            mask = mog.apply(frame)
+        assert not mask.any()
+
+    def test_color_input_uses_rgb_model(self):
+        mog = createBackgroundSubtractorMOG(history=12)
+        frame = np.zeros((16, 16, 3), dtype=np.uint8)
+        frame[..., 1] = 120
+        for _ in range(5):
+            mask = mog.apply(frame)
+        assert not mask.any()
+        bg = mog.getBackgroundImage()
+        assert bg.shape == (16, 16, 3)
+        assert abs(int(bg[0, 0, 1]) - 120) <= 1
+
+    def test_mixed_modes_rejected(self):
+        mog = createBackgroundSubtractorMOG()
+        mog.apply(np.zeros((8, 8), dtype=np.uint8))
+        with pytest.raises(ConfigError):
+            mog.apply(np.zeros((8, 8, 3), dtype=np.uint8))
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ConfigError):
+            createBackgroundSubtractorMOG().apply(
+                np.zeros((8, 8, 4), dtype=np.uint8)
+            )
+
+    def test_learning_rate_override(self):
+        mog = createBackgroundSubtractorMOG(history=1000)  # very slow
+        a = np.full((8, 8), 10, dtype=np.uint8)
+        b = np.full((8, 8), 200, dtype=np.uint8)
+        for _ in range(3):
+            mog.apply(a)
+        # With the fast override the new scene is absorbed quickly.
+        for _ in range(40):
+            mask = mog.apply(b, learningRate=0.2)
+        assert not mask.any()
+
+    def test_frozen_model_unsupported(self):
+        mog = createBackgroundSubtractorMOG()
+        with pytest.raises(ConfigError):
+            mog.apply(np.zeros((8, 8), dtype=np.uint8), learningRate=0.0)
+
+    def test_overlarge_rate_rejected(self):
+        mog = createBackgroundSubtractorMOG()
+        with pytest.raises(ConfigError):
+            mog.apply(np.zeros((8, 8), dtype=np.uint8), learningRate=1.5)
+
+    def test_background_before_frames(self):
+        with pytest.raises(ConfigError):
+            createBackgroundSubtractorMOG().getBackgroundImage()
+
+    def test_detects_objects(self):
+        from repro.metrics import foreground_score
+
+        video = evaluation_scene(height=48, width=64)
+        mog = createBackgroundSubtractorMOG(history=12)
+        score = None
+        for t in range(30):
+            frame, truth = video.frame_with_truth(t)
+            mask = mog.apply(frame)
+            if t >= 20:
+                s = foreground_score(mask, truth)
+                score = s if score is None else score + s
+        assert score.recall > 0.5

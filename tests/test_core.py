@@ -1,0 +1,196 @@
+"""The public API layer: variants, pipeline, subtractor, reports."""
+
+import numpy as np
+import pytest
+
+from repro import BackgroundSubtractor, MoGParams, OptimizationLevel, RunConfig
+from repro.core.pipeline import HostPipeline, max_tile_pixels
+from repro.core.variants import LEVELS, table_ii_rows, table_iii_rows
+from repro.errors import ConfigError
+from repro.gpusim.device import TESLA_C2075
+from repro.video.scenes import evaluation_scene
+
+SHAPE = (16, 32)
+
+
+def _frames(n=6):
+    video = evaluation_scene(height=SHAPE[0], width=SHAPE[1])
+    return [video.frame(t) for t in range(n)]
+
+
+class TestOptimizationLevel:
+    def test_parse_letter(self):
+        assert OptimizationLevel.parse("f") is OptimizationLevel.F
+        assert OptimizationLevel.parse("A") is OptimizationLevel.A
+
+    def test_parse_member_passthrough(self):
+        assert OptimizationLevel.parse(OptimizationLevel.G) is OptimizationLevel.G
+
+    def test_parse_unknown(self):
+        with pytest.raises(ConfigError):
+            OptimizationLevel.parse("Z")
+
+    def test_levels_ordered(self):
+        assert [l.letter for l in LEVELS] == list("ABCDEFG")
+
+    def test_cumulative_enables(self):
+        for prev, cur in zip(LEVELS, LEVELS[1:]):
+            assert set(prev.spec.enables) <= set(cur.spec.enables)
+
+    def test_overlap_from_c_onward(self):
+        assert not OptimizationLevel.A.spec.overlapped
+        assert not OptimizationLevel.B.spec.overlapped
+        for level in "CDEFG":
+            assert OptimizationLevel.parse(level).spec.overlapped
+
+    def test_layouts(self):
+        assert OptimizationLevel.A.spec.layout == "aos"
+        for level in "BCDEFG":
+            assert OptimizationLevel.parse(level).spec.layout == "soa"
+
+    def test_tables_shape(self):
+        assert len(table_ii_rows()) == 3
+        assert len(table_iii_rows()) == 3
+
+
+class TestHostPipeline:
+    def test_apply_returns_mask(self, params):
+        hp = HostPipeline(SHAPE, params, "F")
+        mask = hp.apply(_frames(1)[0])
+        assert mask.shape == SHAPE and mask.dtype == np.bool_
+
+    def test_wrong_frame_shape(self, params):
+        hp = HostPipeline(SHAPE, params, "F")
+        with pytest.raises(ConfigError):
+            hp.apply(np.zeros((4, 4), dtype=np.uint8))
+
+    def test_apply_rejected_for_g(self, params):
+        rc = RunConfig(height=SHAPE[0], width=SHAPE[1], tile_pixels=256)
+        hp = HostPipeline(SHAPE, params, "G", run_config=rc)
+        with pytest.raises(ConfigError, match="group"):
+            hp.apply(_frames(1)[0])
+
+    def test_apply_group_rejected_for_f(self, params):
+        hp = HostPipeline(SHAPE, params, "F")
+        with pytest.raises(ConfigError):
+            hp.apply_group(_frames(2))
+
+    def test_apply_group_size_limits(self, params):
+        rc = RunConfig(
+            height=SHAPE[0], width=SHAPE[1], tile_pixels=256, frame_group=2
+        )
+        hp = HostPipeline(SHAPE, params, "G", run_config=rc)
+        with pytest.raises(ConfigError):
+            hp.apply_group([])
+        with pytest.raises(ConfigError):
+            hp.apply_group(_frames(3))
+
+    def test_geometry_mismatch_with_run_config(self, params):
+        with pytest.raises(ConfigError):
+            HostPipeline(SHAPE, params, "F", run_config=RunConfig(height=8, width=8))
+
+    def test_empty_process_rejected(self, params):
+        with pytest.raises(ConfigError):
+            HostPipeline(SHAPE, params, "F").process([])
+
+    def test_report_accumulates_launches(self, params):
+        hp = HostPipeline(SHAPE, params, "F")
+        hp.process(_frames(4))
+        rep = hp.report()
+        assert rep.num_frames == 4
+        assert len(rep.launches) == 4
+        assert rep.pipeline is not None
+
+    def test_state_before_frames_rejected(self, params):
+        hp = HostPipeline(SHAPE, params, "F")
+        with pytest.raises(ConfigError):
+            hp.state()
+        with pytest.raises(ConfigError):
+            hp.background_image()
+
+    def test_registers_modes(self, params):
+        pinned = HostPipeline(SHAPE, params, "F", registers="pinned")
+        assert pinned.registers_per_thread == 31
+        fixed = HostPipeline(SHAPE, params, "F", registers=40)
+        assert fixed.registers_per_thread == 40
+        bad = HostPipeline(SHAPE, params, "F", registers="wild-guess")
+        with pytest.raises(ConfigError):
+            _ = bad.registers_per_thread
+
+    def test_estimated_registers_mode(self, params):
+        hp = HostPipeline(SHAPE, params, "F", registers="estimated")
+        hp.apply(_frames(1)[0])
+        rep = hp.report()
+        assert rep.registers_per_thread == hp.engine.launches[-1].estimated_registers
+
+    def test_oversized_tile_rejected(self, params):
+        rc = RunConfig(height=SHAPE[0], width=SHAPE[1], tile_pixels=1024)
+        with pytest.raises(ConfigError, match="shared memory"):
+            HostPipeline(SHAPE, params, "G", run_config=rc)
+
+    def test_max_tile_pixels(self):
+        assert max_tile_pixels(MoGParams(), "double", TESLA_C2075) == 672
+        assert max_tile_pixels(MoGParams(num_gaussians=5), "double", TESLA_C2075) == 384
+
+
+class TestBackgroundSubtractor:
+    def test_backend_validation(self, params):
+        with pytest.raises(ConfigError):
+            BackgroundSubtractor(SHAPE, params, backend="tpu")
+
+    def test_cpu_backend_has_no_report(self, params):
+        bs = BackgroundSubtractor(SHAPE, params, backend="cpu")
+        bs.apply(_frames(1)[0])
+        with pytest.raises(ConfigError):
+            bs.report()
+
+    def test_process_returns_report_for_sim(self, params):
+        bs = BackgroundSubtractor(SHAPE, params, level="D")
+        masks, report = bs.process(_frames(4))
+        assert masks.shape == (4, *SHAPE)
+        assert report is not None
+        assert report.level == "D"
+
+    def test_process_cpu_returns_none_report(self, params):
+        bs = BackgroundSubtractor(SHAPE, params, backend="cpu")
+        masks, report = bs.process(_frames(3))
+        assert report is None
+
+    def test_background_image_both_backends(self, params):
+        frames = _frames(6)
+        sim = BackgroundSubtractor(SHAPE, params, level="F")
+        cpu = BackgroundSubtractor(SHAPE, params, level="F", backend="cpu")
+        sim.process(frames)
+        cpu.process(frames)
+        assert np.allclose(sim.background_image(), cpu.background_image())
+
+    def test_default_level_is_f(self, params):
+        bs = BackgroundSubtractor(SHAPE, params)
+        assert bs.level is OptimizationLevel.F
+
+
+class TestRunReport:
+    def test_metrics_and_summary(self, params):
+        bs = BackgroundSubtractor(SHAPE, params, level="C")
+        _, report = bs.process(_frames(4))
+        m = report.metrics()
+        assert m["level"] == "C"
+        assert 0 < m["time_per_frame"]
+        assert 0 <= m["branch_efficiency"] <= 1
+        text = report.summary()
+        assert "level C" in text
+        assert "occupancy" in text
+
+    def test_counters_per_frame_scaling(self, params):
+        bs = BackgroundSubtractor(SHAPE, params, level="C")
+        _, report = bs.process(_frames(4))
+        total = report.counters
+        per_frame = report.counters_per_frame
+        assert per_frame.transactions == pytest.approx(
+            total.transactions / 4, rel=0.01
+        )
+
+    def test_total_time_includes_transfers(self, params):
+        bs = BackgroundSubtractor(SHAPE, params, level="B")  # serial
+        _, report = bs.process(_frames(4))
+        assert report.total_time > report.kernel_time

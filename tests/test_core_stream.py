@@ -1,0 +1,75 @@
+"""The streaming surveillance pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.stream import SurveillancePipeline
+from repro.errors import ConfigError
+from repro.track import TrackerParams
+from repro.video.scenes import evaluation_scene
+
+SHAPE = (64, 96)
+
+
+class TestStep:
+    def test_result_fields(self, params):
+        video = evaluation_scene(height=SHAPE[0], width=SHAPE[1])
+        pipe = SurveillancePipeline(SHAPE, params, warmup_frames=2)
+        result = pipe.step(video.frame(0))
+        assert result.frame_index == 0
+        assert result.raw_mask.shape == SHAPE
+        assert result.mask.shape == SHAPE
+        assert result.tracks == []  # warm-up window
+        assert 0.0 <= result.foreground_rate <= 1.0
+
+    def test_tracker_gated_by_warmup(self, params):
+        video = evaluation_scene(height=SHAPE[0], width=SHAPE[1])
+        pipe = SurveillancePipeline(SHAPE, params, warmup_frames=5)
+        for t in range(5):
+            pipe.step(video.frame(t))
+        assert pipe.tracker.tracks == []  # nothing fed yet
+        pipe.step(video.frame(5))
+        # From frame 5 on the tracker sees blobs (tentative at least).
+        assert pipe.frame_index == 5
+
+    def test_cleanup_applied(self, params):
+        video = evaluation_scene(height=SHAPE[0], width=SHAPE[1])
+        pipe = SurveillancePipeline(SHAPE, params, warmup_frames=0)
+        for t in range(20):
+            result = pipe.step(video.frame(t))
+        # Cleaned mask never has isolated single pixels below min_area.
+        from repro.post import connected_components
+
+        comps = connected_components(result.mask)
+        assert all(c.area >= 6 for c in comps)
+
+    def test_run_and_summary(self, params):
+        video = evaluation_scene(height=SHAPE[0], width=SHAPE[1])
+        pipe = SurveillancePipeline(
+            SHAPE, params, warmup_frames=15,
+            tracker_params=TrackerParams(max_distance=20.0, min_hits=3,
+                                         min_area=6),
+        )
+        results = pipe.run(video.frames(40))
+        assert len(results) == 40
+        assert "confirmed tracks" in pipe.summary()
+        # The scene's walker is tracked.
+        confirmed = [t for t in pipe.tracker.tracks if t.confirmed]
+        assert confirmed
+
+    def test_empty_run_rejected(self, params):
+        with pytest.raises(ConfigError):
+            SurveillancePipeline(SHAPE, params).run([])
+
+    def test_negative_warmup_rejected(self, params):
+        with pytest.raises(ConfigError):
+            SurveillancePipeline(SHAPE, params, warmup_frames=-1)
+
+    def test_sim_backend_supported(self, params):
+        video = evaluation_scene(height=24, width=32)
+        pipe = SurveillancePipeline(
+            (24, 32), params, backend="sim", level="D", warmup_frames=0
+        )
+        pipe.step(video.frame(0))
+        report = pipe.subtractor.report()
+        assert report.num_frames == 1

@@ -1,0 +1,130 @@
+"""Structural tests of the CUDA source generator (no nvcc offline)."""
+
+import re
+
+import pytest
+
+from repro.config import MoGParams, RunConfig
+from repro.cudagen import CudaGenConfig, generate_kernel, generate_project
+from repro.errors import ConfigError
+
+
+def cfg(dtype="double", **kw):
+    return CudaGenConfig(
+        params=MoGParams(**{k: v for k, v in kw.items() if k in
+                            ("num_gaussians", "learning_rate")}),
+        run_config=RunConfig(dtype=dtype),
+    )
+
+
+def balanced(text: str) -> bool:
+    return text.count("{") == text.count("}") and text.count("(") == text.count(")")
+
+
+class TestGenerateKernel:
+    @pytest.mark.parametrize("level", list("ABCDEFG"))
+    def test_braces_and_parens_balanced(self, level):
+        assert balanced(generate_kernel(level, cfg())), level
+
+    def test_level_a_uses_aos(self):
+        src = generate_kernel("A", cfg())
+        assert "AOS_IDX" in src and "SOA_IDX" not in src
+
+    @pytest.mark.parametrize("level", list("BDEF"))
+    def test_soa_levels(self, level):
+        src = generate_kernel(level, cfg())
+        assert "SOA_IDX" in src and "AOS_IDX" not in src
+
+    def test_sorted_levels_have_sort_and_break(self):
+        src = generate_kernel("B", cfg())
+        assert "bubble sort" in src
+        assert "break;" in src
+
+    def test_level_d_drops_sort_keeps_branches(self):
+        src = generate_kernel("D", cfg())
+        assert "bubble sort" not in src
+        assert "if (d < GAMMA1 * sd)" in src
+        assert "Algorithm 3" in src
+
+    def test_level_e_predicated(self):
+        src = generate_kernel("E", cfg())
+        assert "matched * ONE_MINUS_ALPHA" in src
+        assert "if (d < GAMMA1 * sd)" not in src  # update is branchless
+
+    def test_level_f_has_no_diff_array(self):
+        src = generate_kernel("F", cfg())
+        assert "scalar_t diff[NUM_GAUSSIANS];" not in src
+        assert "fabs(x - g[SOA_IDX(k, P_M, pix)])" in src  # recomputed
+
+    def test_level_g_shared_memory(self):
+        src = generate_kernel("G", cfg())
+        assert "extern __shared__ scalar_t tile[];" in src
+        assert "__syncthreads();" in src
+        assert "SH_IDX" in src
+
+    def test_unknown_level(self):
+        with pytest.raises(ConfigError):
+            generate_kernel("Z", cfg())
+
+
+class TestParameterPropagation:
+    def test_dtype_double(self):
+        from repro.cudagen.generator import _header
+
+        header = _header(cfg("double"))
+        assert "typedef double scalar_t;" in header
+
+    def test_dtype_float_literals(self):
+        from repro.cudagen.generator import _header
+
+        header = _header(cfg("float"))
+        assert "typedef float scalar_t;" in header
+        assert re.search(r"#define GAMMA1 [\d.]+f", header)
+
+    def test_gaussian_count(self):
+        from repro.cudagen.generator import _header
+
+        header = _header(
+            CudaGenConfig(MoGParams(num_gaussians=5), RunConfig())
+        )
+        assert "#define NUM_GAUSSIANS 5" in header
+
+    def test_learning_rate_becomes_alpha(self):
+        from repro.cudagen.generator import _header
+
+        header = _header(
+            CudaGenConfig(MoGParams(learning_rate=0.25), RunConfig())
+        )
+        assert "#define ALPHA 0.75" in header
+
+
+class TestGenerateProject:
+    def test_writes_all_files(self, tmp_path):
+        written = generate_project(tmp_path / "cuda")
+        names = {p.name for p in written}
+        assert names == {
+            "mog_common.cuh", "mog_kernel_A.cu", "mog_kernel_B.cu",
+            "mog_kernel_D.cu", "mog_kernel_E.cu", "mog_kernel_F.cu",
+            "mog_kernel_G.cu", "main.cu", "Makefile",
+        }
+        for path in written:
+            assert path.exists() and path.stat().st_size > 0
+
+    def test_sources_balanced(self, tmp_path):
+        for path in generate_project(tmp_path / "cuda"):
+            if path.suffix in (".cu", ".cuh"):
+                assert balanced(path.read_text()), path.name
+
+    def test_host_driver_has_pipeline(self, tmp_path):
+        generate_project(tmp_path / "cuda")
+        main = (tmp_path / "cuda" / "main.cu").read_text()
+        assert "cudaMemcpyAsync" in main
+        assert "cudaMallocHost" in main          # pinned buffers
+        assert "copy_stream" in main and "exec_stream" in main
+        assert "init_gaussians" in main
+
+    def test_makefile_lists_all_kernels(self, tmp_path):
+        generate_project(tmp_path / "cuda")
+        mk = (tmp_path / "cuda" / "Makefile").read_text()
+        for level in "ABDEFG":
+            assert f"mog_kernel_{level}.cu" in mk

@@ -1,0 +1,25 @@
+"""The exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_derive_from_repro_error():
+    for name in (
+        "ConfigError", "LaunchError", "MemoryModelError",
+        "KernelDivergenceError", "VideoError", "MetricError",
+    ):
+        assert issubclass(getattr(errors, name), errors.ReproError), name
+
+
+def test_value_error_compatibility():
+    """Config and metric errors double as ValueError for idiomatic
+    catching by callers that do not know this library."""
+    assert issubclass(errors.ConfigError, ValueError)
+    assert issubclass(errors.MetricError, ValueError)
+
+
+def test_catchable_as_repro_error():
+    with pytest.raises(errors.ReproError):
+        raise errors.LaunchError("nope")

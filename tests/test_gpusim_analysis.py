@@ -1,0 +1,85 @@
+"""Cost attribution and the ASCII pipeline timeline."""
+
+import pytest
+
+from repro.gpusim.analysis import (
+    cost_breakdown,
+    format_cost_breakdown,
+    render_timeline,
+)
+from repro.gpusim.counters import KernelCounters
+from repro.gpusim.dma import StreamScheduler
+
+
+def counters_with(**kwargs):
+    c = KernelCounters()
+    for key, value in kwargs.items():
+        if key in c.warp_issues:
+            c.warp_issues[key] = value
+        else:
+            setattr(c, key, value)
+    return c
+
+
+class TestCostBreakdown:
+    def test_shares_sum_to_one(self):
+        c = counters_with(fp64=100, int32=50, branch=10, branches_divergent=5)
+        slices = cost_breakdown(c)
+        assert sum(s.share for s in slices) == pytest.approx(1.0)
+
+    def test_sorted_descending(self):
+        c = counters_with(fp64=1000, int32=1)
+        slices = cost_breakdown(c)
+        assert [s.cycles for s in slices] == sorted(
+            (s.cycles for s in slices), reverse=True
+        )
+
+    def test_divergence_and_conflicts_included(self):
+        c = counters_with(
+            fp64=10, branches_divergent=100, bank_conflict_extra_cycles=500
+        )
+        names = {s.name for s in cost_breakdown(c)}
+        assert "divergence penalty" in names
+        assert "bank conflicts" in names
+
+    def test_empty_counters(self):
+        assert cost_breakdown(KernelCounters()) == []
+        assert "(no compute activity)" in format_cost_breakdown(KernelCounters())
+
+    def test_format_has_bars(self):
+        c = counters_with(fp64=100, int32=100)
+        text = format_cost_breakdown(c, bar_width=10)
+        assert "#" in text
+        assert "fp64" in text and "int32" in text
+
+
+class TestRenderTimeline:
+    def _pipeline(self, overlapped):
+        sched = StreamScheduler(overlapped=overlapped)
+        return sched.run([0.002] * 4, bytes_in=500_000, bytes_out=500_000)
+
+    def test_contains_all_rows(self):
+        text = render_timeline(self._pipeline(True))
+        for row in ("H2D", "KERN", "D2H"):
+            assert row in text
+        assert "span:" in text
+
+    def test_slot_digits_present(self):
+        text = render_timeline(self._pipeline(False))
+        for digit in "0123":
+            assert digit in text
+
+    def test_max_slots_respected(self):
+        sched = StreamScheduler(overlapped=True)
+        result = sched.run([0.001] * 12, bytes_in=1000, bytes_out=1000)
+        text = render_timeline(result, max_slots=3)
+        assert "3" not in text.replace("span:", "").split("\n")[0]
+
+    def test_overlap_shorter_span(self):
+        serial = render_timeline(self._pipeline(False))
+        overlap = render_timeline(self._pipeline(True))
+        span_of = lambda text: float(
+            [l for l in text.splitlines() if l.startswith("span")][0]
+            .split()[1]
+        )
+        assert span_of(overlap) < span_of(serial)

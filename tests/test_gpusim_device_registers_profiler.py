@@ -1,0 +1,154 @@
+"""Device specs, the pinned register model, counters, and the profiler."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpusim import (
+    TESLA_C2075,
+    XEON_E5_2620,
+    KernelCounters,
+    Profiler,
+    SimtEngine,
+)
+from repro.gpusim.device import hw_config_table
+from repro.gpusim.profiler import format_reports
+from repro.gpusim.registers import pinned_registers
+
+
+class TestDeviceSpecs:
+    def test_c2075_headline_numbers(self):
+        dev = TESLA_C2075
+        assert dev.total_cores == 448
+        assert dev.num_sms == 14
+        assert dev.shared_mem_per_sm == 48 * 1024
+        assert dev.registers_per_sm == 32768
+        assert dev.mem_bandwidth == 144e9
+
+    def test_replace(self):
+        dev = TESLA_C2075.replace(num_sms=16)
+        assert dev.num_sms == 16
+        assert TESLA_C2075.num_sms == 14
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ConfigError):
+            TESLA_C2075.replace(num_sms=0)
+        with pytest.raises(ConfigError):
+            TESLA_C2075.replace(max_threads_per_sm=10_000)
+
+    def test_cpu_spec(self):
+        assert XEON_E5_2620.cores == 6
+        assert XEON_E5_2620.clock_hz == 2.5e9
+
+    def test_table_i_rows(self):
+        rows = dict((r[0], (r[1], r[2])) for r in hw_config_table())
+        assert rows["Cores"] == ("6", "448")
+        assert "GFLOPS" in rows["FLOPS (single)"][0]
+        assert "TFLOPS" in rows["FLOPS (single)"][1]
+
+
+class TestPinnedRegisters:
+    def test_paper_values_3g_double(self):
+        expected = {"A": 30, "B": 36, "C": 36, "D": 32, "E": 33, "F": 31}
+        for level, regs in expected.items():
+            assert pinned_registers(level, 3, "double") == regs, level
+
+    def test_float_halves_fp_width(self):
+        for level in "ABCDEF":
+            d = pinned_registers(level, 3, "double")
+            f = pinned_registers(level, 3, "float")
+            assert f < d
+
+    def test_more_gaussians_more_registers(self):
+        for level in "ABCDEF":
+            assert pinned_registers(level, 5) > pinned_registers(level, 3)
+
+    def test_unknown_level(self):
+        with pytest.raises(ConfigError):
+            pinned_registers("Z")
+
+    def test_bad_gaussians(self):
+        with pytest.raises(ConfigError):
+            pinned_registers("A", 0)
+
+
+class TestCounters:
+    def test_add_and_scaled(self):
+        a = KernelCounters()
+        a.warp_issues["fp64"] = 10
+        a.load_transactions = 4
+        a.load_bytes_useful = 256
+        a.branches_total = 8
+        a.branches_divergent = 2
+        b = a.copy()
+        b.add(a)
+        assert b.warp_issues["fp64"] == 20
+        assert b.load_transactions == 8
+        half = b.scaled(0.5)
+        assert half.warp_issues["fp64"] == 10
+        assert half.branches_divergent == 2
+
+    def test_scaling_preserves_ratios(self):
+        c = KernelCounters()
+        c.load_transactions = 100
+        c.load_bytes_useful = 6400
+        c.branches_total = 50
+        c.branches_divergent = 5
+        s = c.scaled(7.0)
+        assert s.memory_access_efficiency == pytest.approx(
+            c.memory_access_efficiency
+        )
+        assert s.branch_efficiency == pytest.approx(c.branch_efficiency)
+
+    def test_efficiencies_with_no_activity(self):
+        c = KernelCounters()
+        assert c.memory_access_efficiency == 1.0
+        assert c.branch_efficiency == 1.0
+
+    def test_plus_operator_fresh_object(self):
+        a = KernelCounters()
+        a.thread_instructions = 3
+        b = KernelCounters()
+        b.thread_instructions = 4
+        c = a + b
+        assert c.thread_instructions == 7
+        assert a.thread_instructions == 3
+
+
+class TestProfiler:
+    def _launch(self):
+        engine = SimtEngine()
+        buf = engine.memory.alloc_like("a", np.arange(256, dtype=np.float64))
+        out = engine.memory.alloc("o", 256, np.float64)
+
+        def kern(ctx, buf, out):
+            t = ctx.thread_id()
+            ctx.store(out, t, ctx.load(buf, t) * 2.0)
+
+        return engine.launch(kern, 256, 128, args=(buf, out))
+
+    def test_report_defaults_to_estimated_registers(self):
+        launch = self._launch()
+        rep = Profiler().report(launch)
+        assert rep.registers_per_thread == launch.estimated_registers
+
+    def test_report_with_pinned_registers(self):
+        rep = Profiler().report(self._launch(), registers_per_thread=31)
+        assert rep.registers_per_thread == 31
+        assert rep.occupancy.occupancy == pytest.approx(8 * 4 / 48)
+
+    def test_metrics_keys(self):
+        rep = Profiler().report(self._launch(), 31)
+        m = rep.metrics()
+        for key in ("branch_efficiency", "memory_access_efficiency",
+                    "occupancy", "time_s", "registers_per_thread"):
+            assert key in m
+
+    def test_format_reports(self):
+        rep = Profiler().report(self._launch(), 31)
+        text = format_reports([rep])
+        assert "kern" in text
+        assert "mem_eff" in text
+
+    def test_format_empty(self):
+        assert "kernel" in format_reports([])

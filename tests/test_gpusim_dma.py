@@ -1,0 +1,121 @@
+"""PCIe transfer model and the stream scheduler (paper Figure 5)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpusim.device import TESLA_C2075
+from repro.gpusim.dma import StreamScheduler, transfer_time
+
+DEV = TESLA_C2075
+
+
+class TestTransferTime:
+    def test_zero_bytes_free(self):
+        assert transfer_time(0) == 0.0
+
+    def test_linear_in_bytes_plus_latency(self):
+        small = transfer_time(1_000_000)
+        large = transfer_time(2_000_000)
+        assert large - small == pytest.approx(1_000_000 / DEV.pcie_bandwidth)
+        assert small > 1_000_000 / DEV.pcie_bandwidth  # latency included
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            transfer_time(-1)
+
+
+class TestSerialSchedule:
+    def test_total_is_sum_of_phases(self):
+        sched = StreamScheduler(DEV, overlapped=False)
+        kt = 0.005
+        n = 10
+        res = sched.run([kt] * n, bytes_in=2_000_000, bytes_out=2_000_000)
+        t_in = transfer_time(2_000_000)
+        expected = n * (t_in + kt + t_in)
+        assert res.total_time == pytest.approx(expected)
+
+    def test_phases_never_overlap(self):
+        sched = StreamScheduler(DEV, overlapped=False)
+        res = sched.run([0.01] * 4, bytes_in=1_000_000, bytes_out=1_000_000)
+        for prev, cur in zip(res.frames, res.frames[1:]):
+            assert cur.copy_in_start >= prev.copy_out_end
+
+
+class TestOverlappedSchedule:
+    def test_steady_state_is_max_of_engines(self):
+        """Paper Fig 5(b): once the pipeline fills, throughput is set by
+        the slowest engine — the kernel when compute-bound."""
+        sched = StreamScheduler(DEV, overlapped=True)
+        kt = 0.008
+        n = 50
+        res = sched.run([kt] * n, bytes_in=2_000_000, bytes_out=2_000_000)
+        # Total ~ fill + n * kt (kernel-bound since kt > transfer).
+        assert res.total_time == pytest.approx(n * kt, rel=0.15)
+
+    def test_transfer_bound_when_kernel_tiny(self):
+        sched = StreamScheduler(DEV, overlapped=True)
+        n = 50
+        res = sched.run([1e-6] * n, bytes_in=4_000_000, bytes_out=1000)
+        t_in = transfer_time(4_000_000)
+        assert res.total_time == pytest.approx(n * t_in, rel=0.15)
+
+    def test_overlap_beats_serial(self):
+        kt = [0.005] * 20
+        serial = StreamScheduler(DEV, overlapped=False).run(kt, 2_000_000, 2_000_000)
+        overlap = StreamScheduler(DEV, overlapped=True).run(kt, 2_000_000, 2_000_000)
+        assert overlap.total_time < serial.total_time * 0.75
+
+    def test_copy_in_overlaps_previous_kernel(self):
+        sched = StreamScheduler(DEV, overlapped=True)
+        res = sched.run([0.01] * 4, bytes_in=2_000_000, bytes_out=2_000_000)
+        f0, f1 = res.frames[0], res.frames[1]
+        assert f1.copy_in_start < f0.kernel_end  # genuine overlap
+
+    def test_double_buffer_dependency(self):
+        """Copy-in of frame i reuses frame i-2's buffer: with a slow
+        kernel, copy-in i cannot start before kernel i-2 ends."""
+        sched = StreamScheduler(DEV, overlapped=True)
+        res = sched.run([0.1] * 5, bytes_in=1000, bytes_out=1000)
+        for i in range(2, 5):
+            assert (
+                res.frames[i].copy_in_start
+                >= res.frames[i - 2].kernel_end - 1e-12
+            )
+
+    def test_kernel_waits_for_its_input(self):
+        sched = StreamScheduler(DEV, overlapped=True)
+        res = sched.run([0.001] * 6, bytes_in=3_000_000, bytes_out=1000)
+        for f in res.frames:
+            assert f.kernel_start >= f.copy_in_end - 1e-12
+
+    def test_per_slot_transfer_sizes(self):
+        sched = StreamScheduler(DEV, overlapped=True)
+        res = sched.run(
+            [0.001, 0.001], bytes_in=[1_000_000, 8_000_000], bytes_out=[0, 0]
+        )
+        d0 = res.frames[0].copy_in_end - res.frames[0].copy_in_start
+        d1 = res.frames[1].copy_in_end - res.frames[1].copy_in_start
+        assert d1 > d0 * 4
+
+    def test_size_list_length_validated(self):
+        sched = StreamScheduler(DEV)
+        with pytest.raises(ConfigError):
+            sched.run([0.001] * 3, bytes_in=[1, 2], bytes_out=0)
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            StreamScheduler(DEV).run([], 0, 0)
+
+    def test_negative_kernel_time_rejected(self):
+        with pytest.raises(ConfigError):
+            StreamScheduler(DEV).run([-0.1], 0, 0)
+
+    def test_utilisation_fields(self):
+        res = StreamScheduler(DEV, overlapped=True).run(
+            [0.01] * 5, bytes_in=1_000_000, bytes_out=1_000_000
+        )
+        assert 0.0 < res.kernel_utilisation <= 1.0
+        assert 0.0 < res.copy_utilisation <= 1.0
+        assert res.kernel_busy == pytest.approx(0.05)

@@ -1,0 +1,383 @@
+"""The kernel DSL and SIMT engine: functional semantics, divergence
+accounting, masking, register tracking, error handling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    KernelDivergenceError,
+    LaunchError,
+    MemoryModelError,
+)
+from repro.gpusim import SimtEngine
+
+
+@pytest.fixture()
+def engine():
+    return SimtEngine()
+
+
+def launch(engine, kernel, n=128, tpb=128, args=()):
+    return engine.launch(kernel, grid_threads=n, threads_per_block=tpb, args=args)
+
+
+class TestArithmetic:
+    def test_elementwise_ops(self, engine):
+        out = engine.memory.alloc("out", 64, np.float64)
+
+        def kern(ctx, out):
+            t = ctx.thread_id().astype(np.float64)
+            v = (t * 2.0 + 1.0 - 0.5) / 2.0
+            ctx.store(out, ctx.thread_id(), v)
+
+        launch(engine, kern, n=64, tpb=32, args=(out,))
+        t = np.arange(64)
+        assert np.allclose(out.data, (t * 2.0 + 0.5) / 2.0)
+
+    def test_sqrt_abs_min_max(self, engine):
+        out = engine.memory.alloc("out", 32, np.float64)
+
+        def kern(ctx, out):
+            t = ctx.thread_id().astype(np.float64)
+            v = ctx.sqrt(t) + abs(t - 16.0) + ctx.minimum(t, 4.0) + ctx.maximum(t, 30.0)
+            ctx.store(out, ctx.thread_id(), v)
+
+        launch(engine, kern, n=32, tpb=32, args=(out,))
+        t = np.arange(32.0)
+        expected = np.sqrt(t) + np.abs(t - 16) + np.minimum(t, 4) + np.maximum(t, 30)
+        assert np.allclose(out.data, expected)
+
+    def test_comparisons_and_logic(self, engine):
+        out = engine.memory.alloc("out", 32, np.uint8)
+
+        def kern(ctx, out):
+            t = ctx.thread_id()
+            p = (t < 10) | ((t >= 20) & ~(t.eq(25)))
+            ctx.store(out, t, ctx.select(p, np.uint8(1), np.uint8(0)))
+
+        launch(engine, kern, n=32, tpb=32, args=(out,))
+        t = np.arange(32)
+        expected = (t < 10) | ((t >= 20) & (t != 25))
+        assert np.array_equal(out.data.astype(bool), expected)
+
+    def test_select_is_lane_wise(self, engine):
+        out = engine.memory.alloc("out", 32, np.float64)
+
+        def kern(ctx, out):
+            t = ctx.thread_id()
+            ctx.store(out, t, ctx.select(t < 16, 1.0, 2.0))
+
+        launch(engine, kern, n=32, tpb=32, args=(out,))
+        assert (out.data[:16] == 1.0).all() and (out.data[16:] == 2.0).all()
+
+
+class TestControlFlow:
+    def test_if_else_masking(self, engine):
+        out = engine.memory.alloc("out", 64, np.float64)
+
+        def kern(ctx, out):
+            t = ctx.thread_id()
+            v = ctx.var(0.0, np.float64)
+            with ctx.if_(t < 20):
+                v.set(1.0)
+            with ctx.else_():
+                v.set(2.0)
+            ctx.store(out, t, v.get())
+
+        launch(engine, kern, n=64, tpb=32, args=(out,))
+        assert (out.data[:20] == 1.0).all() and (out.data[20:] == 2.0).all()
+
+    def test_nested_if(self, engine):
+        out = engine.memory.alloc("out", 64, np.int64)
+
+        def kern(ctx, out):
+            t = ctx.thread_id()
+            v = ctx.var(0, np.int64)
+            with ctx.if_(t < 32):
+                with ctx.if_(t < 16):
+                    v.set(1)
+                with ctx.else_():
+                    v.set(2)
+            with ctx.else_():
+                v.set(3)
+            ctx.store(out, t, v.get())
+
+        launch(engine, kern, n=64, tpb=32, args=(out,))
+        expected = np.where(np.arange(64) < 16, 1, np.where(np.arange(64) < 32, 2, 3))
+        assert np.array_equal(out.data, expected)
+
+    def test_mutvar_preserves_inactive_lanes(self, engine):
+        out = engine.memory.alloc("out", 32, np.float64)
+
+        def kern(ctx, out):
+            t = ctx.thread_id()
+            v = ctx.var(7.0, np.float64)
+            with ctx.if_(t < 4):
+                v.set(1.0)
+                v.set(v.get() + 1.0)  # two writes in the same branch
+            ctx.store(out, t, v.get())
+
+        launch(engine, kern, n=32, tpb=32, args=(out,))
+        assert (out.data[:4] == 2.0).all() and (out.data[4:] == 7.0).all()
+
+    def test_else_without_if_rejected(self, engine):
+        def kern(ctx):
+            with ctx.else_():
+                pass
+
+        with pytest.raises(KernelDivergenceError):
+            launch(engine, kern)
+
+    def test_else_binds_to_matching_depth(self, engine):
+        out = engine.memory.alloc("out", 32, np.int64)
+
+        def kern(ctx, out):
+            t = ctx.thread_id()
+            v = ctx.var(0, np.int64)
+            with ctx.if_(t < 16):
+                with ctx.if_(t < 8):
+                    v.set(1)
+                # no else for the inner if
+            with ctx.else_():  # must pair with the OUTER if
+                v.set(9)
+            ctx.store(out, t, v.get())
+
+        launch(engine, kern, n=32, tpb=32, args=(out,))
+        assert (out.data[16:] == 9).all()
+        assert (out.data[:8] == 1).all()
+        assert (out.data[8:16] == 0).all()
+
+    def test_loop_counts_match_range(self, engine):
+        seen = []
+
+        def kern(ctx):
+            for i in ctx.loop(4):
+                seen.append(i)
+
+        launch(engine, kern)
+        assert seen == [0, 1, 2, 3]
+
+    def test_negative_loop_rejected(self, engine):
+        def kern(ctx):
+            for _ in ctx.loop(-1):
+                pass
+
+        with pytest.raises(KernelDivergenceError):
+            launch(engine, kern)
+
+
+class TestDivergenceCounters:
+    def test_uniform_branch_not_divergent(self, engine):
+        def kern(ctx):
+            t = ctx.thread_id()
+            with ctx.if_(t < 64):  # whole warps either side
+                pass
+
+        res = launch(engine, kern, n=128, tpb=32)
+        assert res.counters.branches_total == 4
+        assert res.counters.branches_divergent == 0
+        assert res.counters.branch_efficiency == 1.0
+
+    def test_intra_warp_split_is_divergent(self, engine):
+        def kern(ctx):
+            t = ctx.thread_id()
+            with ctx.if_(t < 16):  # splits the first warp only
+                pass
+
+        res = launch(engine, kern, n=128, tpb=32)
+        assert res.counters.branches_total == 4
+        assert res.counters.branches_divergent == 1
+
+    def test_every_warp_divergent(self, engine):
+        def kern(ctx):
+            t = ctx.thread_id()
+            with ctx.if_((t % 2).eq(0)):
+                pass
+
+        res = launch(engine, kern, n=128, tpb=32)
+        assert res.counters.branches_divergent == 4
+
+    def test_issues_charged_per_participating_warp(self, engine):
+        def kern(ctx):
+            t = ctx.thread_id()
+            with ctx.if_(t < 32):  # only warp 0 enters
+                _ = t.astype(np.float64) * 2.0
+
+        res = launch(engine, kern, n=128, tpb=32)
+        # The multiply inside the branch is charged to one warp only.
+        assert res.counters.warp_issues["fp64"] == 1
+
+    def test_loop_branches_uniform(self, engine):
+        def kern(ctx):
+            for _ in ctx.loop(3):
+                pass
+
+        res = launch(engine, kern, n=64, tpb=32)
+        assert res.counters.branches_total == 2 * 4  # (3+1) per warp
+        assert res.counters.branches_divergent == 0
+
+
+class TestMemoryAccounting:
+    def test_load_store_efficiency(self, engine):
+        buf = engine.memory.alloc_like("a", np.arange(64, dtype=np.float64))
+        out = engine.memory.alloc("o", 64, np.float64)
+
+        def kern(ctx, buf, out):
+            t = ctx.thread_id()
+            ctx.store(out, t, ctx.load(buf, t))
+
+        res = launch(engine, kern, n=64, tpb=32, args=(buf, out))
+        c = res.counters
+        assert c.load_transactions == 4   # 2 per warp for doubles
+        assert c.store_transactions == 4
+        assert c.load_bytes_useful == 64 * 8
+        assert c.memory_access_efficiency == pytest.approx(1.0)
+
+    def test_strided_access_inefficient(self, engine):
+        buf = engine.memory.alloc("a", 64 * 9, np.float64)
+
+        def kern(ctx, buf):
+            t = ctx.thread_id()
+            _ = ctx.load(buf, t * 9)
+
+        res = launch(engine, kern, n=64, tpb=32, args=(buf,))
+        assert res.counters.memory_access_efficiency < 0.3
+
+    def test_out_of_bounds_load_rejected(self, engine):
+        buf = engine.memory.alloc("a", 10, np.float64)
+
+        def kern(ctx, buf):
+            _ = ctx.load(buf, ctx.thread_id())
+
+        with pytest.raises(MemoryModelError, match="out-of-bounds"):
+            launch(engine, kern, n=64, tpb=32, args=(buf,))
+
+    def test_masked_lanes_do_not_access(self, engine):
+        buf = engine.memory.alloc("a", 16, np.float64)
+
+        def kern(ctx, buf):
+            t = ctx.thread_id()
+            with ctx.if_(t < 16):
+                _ = ctx.load(buf, t)  # lanes >= 16 masked off: no OOB
+
+        launch(engine, kern, n=64, tpb=32, args=(buf,))
+
+    def test_padding_threads_inert(self, engine):
+        buf = engine.memory.alloc("a", 40, np.float64)
+        out = engine.memory.alloc("o", 40, np.float64)
+
+        def kern(ctx, buf, out):
+            t = ctx.thread_id()
+            ctx.store(out, t, ctx.load(buf, t) + 1.0)
+
+        # 40 threads pad to 64; tail lanes must neither fault nor store.
+        res = launch(engine, kern, n=40, tpb=32, args=(buf, out))
+        assert (out.data == 1.0).all()
+        assert res.counters.load_bytes_useful == 40 * 8
+
+    def test_store_respects_mask(self, engine):
+        out = engine.memory.alloc("o", 32, np.float64)
+
+        def kern(ctx, out):
+            t = ctx.thread_id()
+            with ctx.if_(t < 5):
+                ctx.store(out, t, 1.0)
+
+        launch(engine, kern, n=32, tpb=32, args=(out,))
+        assert out.data.sum() == 5.0
+
+
+class TestSharedMemory:
+    def test_roundtrip_within_block(self, engine):
+        out = engine.memory.alloc("o", 64, np.float64)
+
+        def kern(ctx, out):
+            lane = ctx.lane_id()
+            sh = ctx.shared_alloc("buf", 32, np.float64)
+            ctx.shared_store(sh, lane, lane.astype(np.float64) * 3.0)
+            ctx.syncthreads()
+            # Read the reversed lane within the same block.
+            ctx.store(out, ctx.thread_id(), ctx.shared_load(sh, 31 - lane))
+
+        launch(engine, kern, n=64, tpb=32, args=(out,))
+        expected = np.tile((31 - np.arange(32)) * 3.0, 2)
+        assert np.array_equal(out.data, expected)
+
+    def test_blocks_isolated(self, engine):
+        out = engine.memory.alloc("o", 64, np.float64)
+
+        def kern(ctx, out):
+            lane = ctx.lane_id()
+            blk = ctx.block_id()
+            sh = ctx.shared_alloc("buf", 32, np.float64)
+            ctx.shared_store(sh, lane, blk.astype(np.float64))
+            ctx.store(out, ctx.thread_id(), ctx.shared_load(sh, lane))
+
+        launch(engine, kern, n=64, tpb=32, args=(out,))
+        assert (out.data[:32] == 0.0).all() and (out.data[32:] == 1.0).all()
+
+    def test_capacity_enforced(self, engine):
+        def kern(ctx):
+            ctx.shared_alloc("big", 7000, np.float64)  # 56 KB > 48 KB
+
+        with pytest.raises(MemoryModelError, match="shared memory"):
+            launch(engine, kern, n=32, tpb=32)
+
+    def test_duplicate_name_rejected(self, engine):
+        def kern(ctx):
+            ctx.shared_alloc("x", 8, np.float64)
+            ctx.shared_alloc("x", 8, np.float64)
+
+        with pytest.raises(MemoryModelError):
+            launch(engine, kern, n=32, tpb=32)
+
+    def test_shared_oob_rejected(self, engine):
+        def kern(ctx):
+            sh = ctx.shared_alloc("x", 8, np.float64)
+            ctx.shared_store(sh, ctx.lane_id(), 0.0)
+
+        with pytest.raises(MemoryModelError):
+            launch(engine, kern, n=32, tpb=32)
+
+
+class TestRegistersAndLaunch:
+    def test_register_estimate_tracks_live_values(self, engine):
+        def lean(ctx):
+            t = ctx.thread_id().astype(np.float64)
+            _ = t + 1.0
+
+        def fat(ctx):
+            t = ctx.thread_id().astype(np.float64)
+            live = [t * float(i) for i in range(8)]  # 8 doubles live
+            _ = sum(live[1:], live[0])
+
+        lean_regs = launch(engine, lean).estimated_registers
+        fat_regs = launch(engine, fat).estimated_registers
+        assert fat_regs > lean_regs + 8
+
+    def test_unbalanced_if_detected(self, engine):
+        leaked = []  # keep the context manager alive past kernel return
+
+        def kern(ctx):
+            cm = ctx.if_(ctx.thread_id() < 4)
+            cm.__enter__()  # never exited
+            leaked.append(cm)
+
+        with pytest.raises(KernelDivergenceError, match="unclosed"):
+            launch(engine, kern)
+
+    @pytest.mark.parametrize("n,tpb", [(0, 32), (64, 0), (64, 33), (64, 2048)])
+    def test_launch_shape_validation(self, engine, n, tpb):
+        with pytest.raises(LaunchError):
+            engine.launch(lambda ctx: None, grid_threads=n, threads_per_block=tpb)
+
+    def test_launch_result_geometry(self, engine):
+        res = launch(engine, lambda ctx: None, n=100, tpb=32)
+        assert res.num_blocks == 4
+        assert res.grid_threads == 100
+        assert res.num_warps == 4
+
+    def test_launches_recorded(self, engine):
+        launch(engine, lambda ctx: None)
+        launch(engine, lambda ctx: None)
+        assert len(engine.launches) == 2

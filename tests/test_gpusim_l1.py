@@ -1,0 +1,145 @@
+"""The per-warp L1 reuse window (loads only)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MemoryModelError
+from repro.gpusim import SimtEngine
+from repro.gpusim.device import TESLA_C2075
+from repro.gpusim.memory import count_transactions, count_transactions_with_l1
+
+WARP = 32
+TX = 128
+
+
+def fresh_window(warps=1, cap=16):
+    return np.full((warps, cap), -1, dtype=np.int64)
+
+
+def addrs(stride, n=WARP):
+    return np.arange(n, dtype=np.int64) * stride
+
+
+ACTIVE = np.ones(WARP, dtype=bool)
+
+
+class TestL1Window:
+    def test_cold_miss_equals_plain_count(self):
+        window = fresh_window()
+        a = addrs(72)
+        tx, hits = count_transactions_with_l1(a, ACTIVE, WARP, TX, window)
+        assert tx == count_transactions(a, ACTIVE, WARP, TX)
+        assert hits == 0
+
+    def test_repeat_access_fully_hits(self):
+        window = fresh_window()
+        a = addrs(8)  # 2 segments
+        count_transactions_with_l1(a, ACTIVE, WARP, TX, window)
+        tx, hits = count_transactions_with_l1(a, ACTIVE, WARP, TX, window)
+        assert tx == 0 and hits == 2
+
+    def test_adjacent_field_access_hits(self):
+        """The AoS pattern: the +8-byte field lives in the same lines."""
+        window = fresh_window()
+        base = addrs(72)
+        tx1, _ = count_transactions_with_l1(base, ACTIVE, WARP, TX, window)
+        tx2, hits2 = count_transactions_with_l1(
+            base + 8, ACTIVE, WARP, TX, window
+        )
+        assert tx1 == 18
+        assert hits2 >= 16  # nearly all lines already resident
+
+    def test_capacity_evicts(self):
+        window = fresh_window(cap=2)
+        a = addrs(TX)  # 32 distinct segments >> capacity
+        count_transactions_with_l1(a, ACTIVE, WARP, TX, window)
+        tx, hits = count_transactions_with_l1(a, ACTIVE, WARP, TX, window)
+        assert hits <= 2
+        assert tx >= 30
+
+    def test_windows_are_per_warp(self):
+        window = fresh_window(warps=2)
+        a = np.concatenate([addrs(8), addrs(8)])  # both warps same segs
+        act = np.ones(2 * WARP, dtype=bool)
+        tx, hits = count_transactions_with_l1(a, act, WARP, TX, window)
+        # Warp 1 cannot hit on warp 0's lines within one access.
+        assert tx == 4 and hits == 0
+        tx2, hits2 = count_transactions_with_l1(a, act, WARP, TX, window)
+        assert tx2 == 0 and hits2 == 4
+
+    def test_inactive_lanes_do_not_touch_window(self):
+        window = fresh_window()
+        count_transactions_with_l1(
+            addrs(8), np.zeros(WARP, dtype=bool), WARP, TX, window
+        )
+        assert (window == -1).all()
+
+    def test_window_shape_validated(self):
+        with pytest.raises(MemoryModelError):
+            count_transactions_with_l1(
+                addrs(8), ACTIVE, WARP, TX, fresh_window(warps=3)
+            )
+
+    @given(st.lists(st.integers(0, 500), min_size=WARP, max_size=WARP))
+    @settings(max_examples=40, deadline=None)
+    def test_never_exceeds_plain_count(self, idx):
+        a = np.array(idx, dtype=np.int64) * 8
+        window = fresh_window()
+        count_transactions_with_l1(addrs(8), ACTIVE, WARP, TX, window)
+        tx, hits = count_transactions_with_l1(a, ACTIVE, WARP, TX, window)
+        plain = count_transactions(a, ACTIVE, WARP, TX)
+        assert tx + hits == plain
+        assert 0 <= tx <= plain
+
+
+class TestEngineIntegration:
+    def test_kernel_reload_is_free(self):
+        engine = SimtEngine()
+        buf = engine.memory.alloc_like("a", np.arange(64, dtype=np.float64))
+
+        def kern(ctx, buf):
+            t = ctx.thread_id()
+            _ = ctx.load(buf, t)
+            _ = ctx.load(buf, t)  # same lines: L1 hit
+
+        res = engine.launch(kern, 64, 32, args=(buf,))
+        assert res.counters.load_transactions == 4
+        assert res.counters.l1_load_hits == 4
+
+    def test_window_cold_per_launch(self):
+        engine = SimtEngine()
+        buf = engine.memory.alloc_like("a", np.arange(64, dtype=np.float64))
+
+        def kern(ctx, buf):
+            _ = ctx.load(buf, ctx.thread_id())
+
+        r1 = engine.launch(kern, 64, 32, args=(buf,))
+        r2 = engine.launch(kern, 64, 32, args=(buf,))
+        assert r1.counters.load_transactions == r2.counters.load_transactions
+        assert r2.counters.l1_load_hits == 0
+
+    def test_stores_bypass_l1(self):
+        engine = SimtEngine()
+        buf = engine.memory.alloc("a", 64, np.float64)
+
+        def kern(ctx, buf):
+            t = ctx.thread_id()
+            ctx.store(buf, t, 1.0)
+            ctx.store(buf, t, 2.0)  # write-evict: full price again
+
+        res = engine.launch(kern, 64, 32, args=(buf,))
+        assert res.counters.store_transactions == 8
+
+    def test_disabled_window_device(self):
+        device = TESLA_C2075.replace(l1_window_segments=1)
+        engine = SimtEngine(device)
+        buf = engine.memory.alloc_like("a", np.arange(64, dtype=np.float64))
+
+        def kern(ctx, buf):
+            t = ctx.thread_id()
+            _ = ctx.load(buf, t)
+
+        res = engine.launch(kern, 64, 32, args=(buf,))
+        assert res.counters.load_transactions == 4

@@ -1,0 +1,145 @@
+"""Global-memory model: allocation and the coalescing transaction count."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MemoryModelError
+from repro.gpusim.memory import GlobalMemory, count_transactions
+
+WARP = 32
+TX = 128
+
+
+def _tx(addresses, active=None):
+    addresses = np.asarray(addresses, dtype=np.int64)
+    if active is None:
+        active = np.ones(addresses.shape, dtype=bool)
+    return count_transactions(addresses, np.asarray(active), WARP, TX)
+
+
+class TestCountTransactions:
+    def test_contiguous_4byte_one_transaction(self):
+        addrs = np.arange(WARP) * 4
+        assert _tx(addrs) == 1
+
+    def test_contiguous_8byte_two_transactions(self):
+        addrs = np.arange(WARP) * 8
+        assert _tx(addrs) == 2
+
+    def test_aos_stride_72_is_18_segments(self):
+        """The paper's AoS pattern: 3 double Gaussians -> 72 B stride."""
+        addrs = np.arange(WARP) * 72
+        assert _tx(addrs) == 18
+
+    def test_broadcast_single_transaction(self):
+        addrs = np.zeros(WARP, dtype=np.int64)
+        assert _tx(addrs) == 1
+
+    def test_fully_scattered(self):
+        addrs = np.arange(WARP) * TX * 7  # every lane its own segment
+        assert _tx(addrs) == WARP
+
+    def test_unaligned_contiguous_crosses_boundary(self):
+        addrs = 64 + np.arange(WARP) * 4  # 128 B spanning two segments
+        assert _tx(addrs) == 2
+
+    def test_inactive_lanes_free(self):
+        addrs = np.arange(WARP) * TX
+        active = np.zeros(WARP, dtype=bool)
+        active[3] = True
+        assert _tx(addrs, active) == 1
+
+    def test_all_inactive_zero(self):
+        addrs = np.arange(WARP) * 4
+        assert _tx(addrs, np.zeros(WARP, dtype=bool)) == 0
+
+    def test_multiple_warps_summed(self):
+        addrs = np.concatenate([np.arange(WARP) * 4, np.arange(WARP) * 72])
+        assert _tx(addrs) == 1 + 18
+
+    def test_warp_boundary_not_shared(self):
+        """Two warps touching the same segment still pay twice."""
+        addrs = np.zeros(2 * WARP, dtype=np.int64)
+        assert _tx(addrs) == 2
+
+    def test_non_warp_multiple_rejected(self):
+        with pytest.raises(MemoryModelError):
+            _tx(np.zeros(33, dtype=np.int64))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(MemoryModelError):
+            count_transactions(
+                np.zeros(32, dtype=np.int64), np.ones(64, dtype=bool), WARP, TX
+            )
+
+    @given(st.integers(min_value=1, max_value=40))
+    @settings(max_examples=30, deadline=None)
+    def test_stride_formula(self, stride_bytes):
+        """For an aligned strided access, transactions per warp equal
+        the span in segments (ceil(32*stride/128) when stride<=128)."""
+        addrs = np.arange(WARP) * stride_bytes
+        expected = addrs[-1] // TX - addrs[0] // TX + 1
+        assert _tx(addrs) == expected
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=10_000),
+            min_size=WARP, max_size=WARP,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bounds(self, addr_list):
+        tx = _tx(np.array(addr_list))
+        assert 1 <= tx <= WARP
+        assert tx == len({a // TX for a in addr_list})
+
+
+class TestGlobalMemory:
+    def test_alloc_and_alignment(self):
+        mem = GlobalMemory()
+        a = mem.alloc("a", 100, np.float64)
+        b = mem.alloc("b", 10, np.uint8)
+        assert a.base % 256 == 0 and b.base % 256 == 0
+        assert b.base >= a.base + a.nbytes
+
+    def test_alloc_like_copies(self):
+        mem = GlobalMemory()
+        src = np.arange(6, dtype=np.float32)
+        buf = mem.alloc_like("x", src.reshape(2, 3))
+        assert np.array_equal(buf.data, src)
+        src[0] = 99  # original mutation must not leak in
+        assert buf.data[0] == 0
+
+    def test_duplicate_name_rejected(self):
+        mem = GlobalMemory()
+        mem.alloc("x", 4, np.uint8)
+        with pytest.raises(MemoryModelError):
+            mem.alloc("x", 4, np.uint8)
+
+    def test_get_and_free(self):
+        mem = GlobalMemory()
+        mem.alloc("x", 4, np.uint8)
+        assert mem.get("x").num_elements == 4
+        mem.free("x")
+        with pytest.raises(MemoryModelError):
+            mem.get("x")
+        with pytest.raises(MemoryModelError):
+            mem.free("x")
+
+    def test_bytes_allocated(self):
+        mem = GlobalMemory()
+        mem.alloc("x", 10, np.float64)
+        mem.alloc("y", 10, np.uint8)
+        assert mem.bytes_allocated == 80 + 10
+
+    def test_bad_transaction_size(self):
+        with pytest.raises(MemoryModelError):
+            GlobalMemory(transaction_bytes=100)
+
+    def test_addresses(self):
+        mem = GlobalMemory()
+        buf = mem.alloc("x", 8, np.float64)
+        idx = np.array([0, 2])
+        assert np.array_equal(buf.addresses(idx), buf.base + idx * 8)

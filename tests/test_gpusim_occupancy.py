@@ -1,0 +1,116 @@
+"""CC 2.0 occupancy calculator: known values, limits, properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LaunchError
+from repro.gpusim import TESLA_C2075, occupancy
+
+
+class TestPaperAnchors:
+    """The register staircase the paper's Figures 6b/7c rely on, at the
+    paper's 128 threads/block."""
+
+    @pytest.mark.parametrize("regs,blocks,occ", [
+        (30, 8, 8 * 4 / 48),   # A/B: block-count limited
+        (31, 8, 8 * 4 / 48),   # F
+        (32, 8, 8 * 4 / 48),   # D
+        (33, 7, 7 * 4 / 48),   # E: one register too many
+        (36, 7, 7 * 4 / 48),   # C
+        (40, 6, 6 * 4 / 48),
+    ])
+    def test_staircase(self, regs, blocks, occ):
+        r = occupancy(TESLA_C2075, 128, regs)
+        assert r.blocks_per_sm == blocks
+        assert r.occupancy == pytest.approx(occ)
+
+    def test_tiled_launch(self):
+        """640 threads + 45 KB shared -> one block, 20/48 warps."""
+        r = occupancy(TESLA_C2075, 640, 31, shared_bytes_per_block=640 * 9 * 8)
+        assert r.blocks_per_sm == 1
+        assert r.warps_per_sm == 20
+        assert r.occupancy == pytest.approx(20 / 48)
+        assert r.limiting_factor == "shared"
+
+
+class TestLimits:
+    def test_warp_limited_large_blocks(self):
+        r = occupancy(TESLA_C2075, 1024, 0)
+        assert r.warps_per_block == 32
+        assert r.limiting_factor in ("warps", "blocks")
+        assert r.warps_per_sm <= 48
+
+    def test_block_limited_small_blocks(self):
+        r = occupancy(TESLA_C2075, 32, 16)
+        assert r.limiting_factor == "blocks"
+        assert r.warps_per_sm == 8
+
+    def test_zero_registers_unlimited_by_registers(self):
+        r = occupancy(TESLA_C2075, 128, 0)
+        assert r.limiting_factor == "blocks"
+
+    def test_shared_memory_limits_blocks(self):
+        r = occupancy(TESLA_C2075, 128, 20, shared_bytes_per_block=24 * 1024)
+        assert r.blocks_per_sm == 2
+        assert r.limiting_factor == "shared"
+
+    def test_shared_allocation_granularity(self):
+        # 24 KB + 1 byte rounds up to beyond half the SM.
+        r = occupancy(TESLA_C2075, 128, 20, shared_bytes_per_block=24 * 1024 + 1)
+        assert r.blocks_per_sm == 1
+
+
+class TestErrors:
+    def test_zero_threads(self):
+        with pytest.raises(LaunchError):
+            occupancy(TESLA_C2075, 0, 16)
+
+    def test_too_many_threads(self):
+        with pytest.raises(LaunchError):
+            occupancy(TESLA_C2075, 2048, 16)
+
+    def test_negative_resources(self):
+        with pytest.raises(LaunchError):
+            occupancy(TESLA_C2075, 128, -1)
+
+    def test_register_ceiling(self):
+        with pytest.raises(LaunchError, match="spill"):
+            occupancy(TESLA_C2075, 128, 64)
+
+    def test_oversized_shared(self):
+        with pytest.raises(LaunchError):
+            occupancy(TESLA_C2075, 128, 16, shared_bytes_per_block=49 * 1024)
+
+
+class TestProperties:
+    @given(
+        st.integers(min_value=1, max_value=8),   # warps per block
+        st.integers(min_value=0, max_value=63),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_occupancy_in_unit_interval(self, wpb, regs):
+        r = occupancy(TESLA_C2075, wpb * 32, regs)
+        assert 0.0 < r.occupancy <= 1.0
+        assert r.warps_per_sm <= TESLA_C2075.max_warps_per_sm
+
+    @given(st.integers(min_value=1, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_monotone_in_registers(self, wpb):
+        prev = None
+        for regs in range(0, 64):
+            occ = occupancy(TESLA_C2075, wpb * 32, regs).occupancy
+            if prev is not None:
+                assert occ <= prev + 1e-12
+            prev = occ
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=0, max_value=48 * 1024),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_shared(self, wpb, regs, shared):
+        a = occupancy(TESLA_C2075, wpb * 32, regs, 0)
+        b = occupancy(TESLA_C2075, wpb * 32, regs, shared)
+        assert b.occupancy <= a.occupancy + 1e-12

@@ -1,0 +1,195 @@
+"""Property-based tests of the SIMT engine: for random data and random
+branch conditions, the DSL must compute exactly what NumPy computes,
+and its counters must respect structural invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.gpusim import SimtEngine
+
+N = 128  # grid size used by the random programs (4 warps)
+
+data_arrays = arrays(
+    np.float64, N,
+    elements=st.floats(min_value=-100, max_value=100, allow_nan=False),
+)
+thresholds = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+def run_kernel(kernel, buffers):
+    engine = SimtEngine()
+    handles = [engine.memory.alloc_like(f"buf{i}", arr) for i, arr in enumerate(buffers)]
+    out = engine.memory.alloc("out", N, np.float64)
+    res = engine.launch(kernel, N, 32, args=(*handles, out))
+    return out.data.copy(), res
+
+
+class TestFunctionalEquivalence:
+    @given(data_arrays, thresholds)
+    @settings(max_examples=50, deadline=None)
+    def test_if_else_equals_where(self, data, threshold):
+        def kern(ctx, a, out):
+            t = ctx.thread_id()
+            x = ctx.load(a, t)
+            v = ctx.var(0.0, np.float64)
+            with ctx.if_(x < threshold):
+                v.set(x * 2.0 + 1.0)
+            with ctx.else_():
+                v.set(x - 3.0)
+            ctx.store(out, t, v.get())
+
+        got, _ = run_kernel(kern, [data])
+        expected = np.where(data < threshold, data * 2.0 + 1.0, data - 3.0)
+        assert np.array_equal(got, expected)
+
+    @given(data_arrays, data_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_arithmetic_chain(self, a_data, b_data):
+        def kern(ctx, a, b, out):
+            t = ctx.thread_id()
+            x = ctx.load(a, t)
+            y = ctx.load(b, t)
+            v = abs(x - y) + ctx.minimum(x, y) * 0.5 - ctx.maximum(x, 0.0)
+            ctx.store(out, t, v)
+
+        got, _ = run_kernel(kern, [a_data, b_data])
+        expected = (
+            np.abs(a_data - b_data)
+            + np.minimum(a_data, b_data) * 0.5
+            - np.maximum(a_data, 0.0)
+        )
+        assert np.array_equal(got, expected)
+
+    @given(data_arrays, thresholds, thresholds)
+    @settings(max_examples=50, deadline=None)
+    def test_nested_branches(self, data, t1, t2):
+        lo, hi = min(t1, t2), max(t1, t2)
+
+        def kern(ctx, a, out):
+            t = ctx.thread_id()
+            x = ctx.load(a, t)
+            v = ctx.var(0.0, np.float64)
+            with ctx.if_(x < hi):
+                with ctx.if_(x < lo):
+                    v.set(1.0)
+                with ctx.else_():
+                    v.set(2.0)
+            with ctx.else_():
+                v.set(3.0)
+            ctx.store(out, t, v.get())
+
+        got, _ = run_kernel(kern, [data])
+        expected = np.where(data < lo, 1.0, np.where(data < hi, 2.0, 3.0))
+        assert np.array_equal(got, expected)
+
+    @given(data_arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_select_equals_branch(self, data):
+        """select() and if_/else_ must agree (predication soundness)."""
+        def with_select(ctx, a, out):
+            t = ctx.thread_id()
+            x = ctx.load(a, t)
+            ctx.store(out, t, ctx.select(x < 0.0, -x, x * 3.0))
+
+        def with_branch(ctx, a, out):
+            t = ctx.thread_id()
+            x = ctx.load(a, t)
+            v = ctx.var(0.0, np.float64)
+            with ctx.if_(x < 0.0):
+                v.set(-x)
+            with ctx.else_():
+                v.set(x * 3.0)
+            ctx.store(out, t, v.get())
+
+        a, _ = run_kernel(with_select, [data])
+        b, _ = run_kernel(with_branch, [data])
+        assert np.array_equal(a, b)
+
+
+class TestCounterInvariants:
+    @given(data_arrays, thresholds)
+    @settings(max_examples=50, deadline=None)
+    def test_divergent_never_exceeds_total(self, data, threshold):
+        def kern(ctx, a, out):
+            t = ctx.thread_id()
+            x = ctx.load(a, t)
+            with ctx.if_(x < threshold):
+                ctx.store(out, t, x)
+
+        _, res = run_kernel(kern, [data])
+        c = res.counters
+        assert 0 <= c.branches_divergent <= c.branches_total
+        assert 0.0 <= c.branch_efficiency <= 1.0
+
+    @given(data_arrays, thresholds)
+    @settings(max_examples=50, deadline=None)
+    def test_divergence_matches_ground_truth(self, data, threshold):
+        """The engine's divergent count must equal the analytic count:
+        warps whose condition is non-uniform."""
+        def kern(ctx, a, out):
+            t = ctx.thread_id()
+            x = ctx.load(a, t)
+            with ctx.if_(x < threshold):
+                pass
+
+        _, res = run_kernel(kern, [data])
+        cond = (data < threshold).reshape(-1, 32)
+        expected = int((cond.any(axis=1) & ~cond.all(axis=1)).sum())
+        assert res.counters.branches_divergent == expected
+
+    @given(arrays(np.int64, N, elements=st.integers(0, N - 1)))
+    @settings(max_examples=50, deadline=None)
+    def test_gather_transactions_bounded(self, indices):
+        """Arbitrary gathers: 1..32 transactions per warp and the
+        functional result equals a NumPy fancy-index."""
+        src = np.arange(N, dtype=np.float64) * 1.5
+
+        def kern(ctx, a, b, out):
+            t = ctx.thread_id()
+            idx = ctx.load(b, t)
+            ctx.store(out, t, ctx.load(a, idx))
+
+        engine = SimtEngine()
+        a = engine.memory.alloc_like("a", src)
+        b = engine.memory.alloc_like("b", indices)
+        out = engine.memory.alloc("out", N, np.float64)
+        res = engine.launch(kern, N, 32, args=(a, b, out))
+        assert np.array_equal(out.data, src[indices])
+        tx = res.counters.load_transactions
+        warps = N // 32
+        # idx load (2 tx/warp for int64) + gather (1..32) per warp.
+        assert 2 * warps + warps <= tx <= 2 * warps + 32 * warps
+
+    @given(data_arrays, thresholds)
+    @settings(max_examples=30, deadline=None)
+    def test_useful_bytes_track_active_lanes(self, data, threshold):
+        def kern(ctx, a, out):
+            t = ctx.thread_id()
+            x = ctx.load(a, t)
+            with ctx.if_(x < threshold):
+                ctx.store(out, t, x)
+
+        _, res = run_kernel(kern, [data])
+        active = int((data < threshold).sum())
+        assert res.counters.store_bytes_useful == active * 8
+        assert res.counters.load_bytes_useful == N * 8
+
+
+class TestRegisterInvariant:
+    @given(st.integers(min_value=1, max_value=12))
+    @settings(max_examples=12, deadline=None)
+    def test_estimate_scales_with_live_doubles(self, live):
+        def kern(ctx):
+            t = ctx.thread_id().astype(np.float64)
+            vals = [t + float(i) for i in range(live)]
+            total = vals[0]
+            for v in vals[1:]:
+                total = total + v
+            _ = total
+
+        engine = SimtEngine()
+        res = engine.launch(kern, N, 32)
+        assert res.estimated_registers >= 2 * live

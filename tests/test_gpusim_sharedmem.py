@@ -1,0 +1,102 @@
+"""Shared-memory buffer semantics and bank-conflict accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryModelError
+from repro.gpusim.sharedmem import SharedBuffer, bank_conflict_extra_cycles
+
+WARP = 32
+BANKS = 32
+
+
+def _extra(indices, itemsize=4, active=None):
+    indices = np.asarray(indices, dtype=np.int64)
+    if active is None:
+        active = np.ones(indices.shape, dtype=bool)
+    return bank_conflict_extra_cycles(indices, active, itemsize, WARP, BANKS)
+
+
+class TestBankConflicts:
+    def test_contiguous_4byte_conflict_free(self):
+        assert _extra(np.arange(WARP)) == 0
+
+    def test_broadcast_is_free(self):
+        """All lanes reading the SAME word is a broadcast, not a conflict."""
+        assert _extra(np.zeros(WARP, dtype=np.int64)) == 0
+
+    def test_stride_two_conflicts(self):
+        # stride 2 words: lanes pair up on 16 banks -> 2-way conflict.
+        assert _extra(np.arange(WARP) * 2) == 1
+
+    def test_stride_32_worst_case(self):
+        # Every lane hits bank 0 with a distinct word: 32-way serialised.
+        assert _extra(np.arange(WARP) * 32) == 31
+
+    def test_8byte_contiguous_two_phases_free(self):
+        # Doubles: two 4-byte phases, each contiguous -> no extra.
+        assert _extra(np.arange(WARP), itemsize=8) == 0
+
+    def test_8byte_stride_conflicts_counted_per_half_warp(self):
+        # Stride 16 doubles: each half-warp's 16 lanes hit banks {0, 1}
+        # with 16 distinct words each -> 16-way serialisation per group.
+        extra = _extra(np.arange(WARP) * 16, itemsize=8)
+        assert extra == 2 * 15
+
+    def test_unsupported_width_rejected(self):
+        with pytest.raises(MemoryModelError):
+            _extra(np.arange(WARP), itemsize=16)
+
+    def test_inactive_lanes_ignored(self):
+        idx = np.arange(WARP) * 32
+        active = np.zeros(WARP, dtype=bool)
+        active[:2] = True
+        assert _extra(idx, active=active) == 1
+
+    def test_multiple_warps_summed(self):
+        idx = np.concatenate([np.arange(WARP), np.arange(WARP) * 2])
+        assert _extra(idx) == 0 + 1
+
+    def test_non_warp_multiple_rejected(self):
+        with pytest.raises(MemoryModelError):
+            _extra(np.zeros(31, dtype=np.int64))
+
+
+class TestSharedBuffer:
+    def _buf(self, blocks=2, elems=8):
+        return SharedBuffer("x", blocks, elems, np.dtype(np.float64))
+
+    def test_properties(self):
+        buf = self._buf()
+        assert buf.elems_per_block == 8
+        assert buf.bytes_per_block == 64
+        assert buf.itemsize == 8
+
+    def test_gather_scatter_roundtrip(self):
+        buf = self._buf()
+        blocks = np.array([0, 0, 1, 1])
+        idx = np.array([0, 1, 0, 1])
+        mask = np.ones(4, dtype=bool)
+        buf.scatter(blocks, idx, np.array([1.0, 2.0, 3.0, 4.0]), mask)
+        out = buf.gather(blocks, idx, mask)
+        assert out.tolist() == [1.0, 2.0, 3.0, 4.0]
+
+    def test_scatter_respects_mask(self):
+        buf = self._buf()
+        blocks = np.zeros(2, dtype=np.int64)
+        idx = np.array([0, 1])
+        mask = np.array([True, False])
+        buf.scatter(blocks, idx, np.array([9.0, 9.0]), mask)
+        assert buf.data[0, 0] == 9.0 and buf.data[0, 1] == 0.0
+
+    def test_out_of_bounds_rejected(self):
+        buf = self._buf(elems=4)
+        with pytest.raises(MemoryModelError):
+            buf.gather(
+                np.zeros(2, dtype=np.int64), np.array([0, 4]),
+                np.ones(2, dtype=bool),
+            )
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(MemoryModelError):
+            SharedBuffer("x", 1, 0, np.dtype(np.float64))

@@ -1,0 +1,123 @@
+"""The analytic timing model: directional behaviour, not constants."""
+
+import pytest
+
+from repro.gpusim.calibration import DEFAULT_CALIBRATION
+from repro.gpusim.counters import KernelCounters
+from repro.gpusim.device import TESLA_C2075
+from repro.gpusim.occupancy import OccupancyResult, occupancy
+from repro.gpusim.timing import TimingModel
+
+
+def make_counters(fp64=0, transactions=0, useful_fraction=1.0, divergent=0,
+                  mem=0, branch=0):
+    c = KernelCounters()
+    c.warp_issues["fp64"] = fp64
+    c.warp_issues["mem"] = mem
+    c.warp_issues["branch"] = branch
+    c.load_transactions = transactions
+    c.load_bytes_useful = int(transactions * 128 * useful_fraction)
+    c.branches_total = max(branch, divergent)
+    c.branches_divergent = divergent
+    return c
+
+
+@pytest.fixture()
+def model():
+    return TimingModel()
+
+
+@pytest.fixture()
+def occ_full():
+    return occupancy(TESLA_C2075, 128, 30)  # 67%
+
+
+@pytest.fixture()
+def occ_low():
+    return occupancy(TESLA_C2075, 128, 40)  # 50%
+
+
+class TestComputeTime:
+    def test_linear_in_issues(self, model, occ_full):
+        t1 = model.compute_time(make_counters(fp64=1000), occ_full)
+        t2 = model.compute_time(make_counters(fp64=2000), occ_full)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_divergence_penalty(self, model, occ_full):
+        base = model.compute_time(make_counters(fp64=1000), occ_full)
+        div = model.compute_time(make_counters(fp64=1000, divergent=100), occ_full)
+        assert div > base
+        expected_extra = (
+            100 * DEFAULT_CALIBRATION.divergence_penalty_cycles
+            * DEFAULT_CALIBRATION.compute_scale
+            / TESLA_C2075.num_sms / TESLA_C2075.clock_hz
+        )
+        assert div - base == pytest.approx(expected_extra)
+
+    def test_low_occupancy_starves_issue(self, model):
+        c = make_counters(fp64=1000)
+        occ_tiled = occupancy(TESLA_C2075, 640, 31, 640 * 72)  # ~42%
+        occ_high = occupancy(TESLA_C2075, 128, 30)             # 67%
+        assert model.compute_time(c, occ_tiled) > model.compute_time(c, occ_high)
+
+    def test_saturated_occupancy_plateau(self, model):
+        """Above the saturation point extra occupancy gains nothing."""
+        c = make_counters(fp64=1000)
+        occ_a = occupancy(TESLA_C2075, 128, 30)  # 67%
+        occ_b = occupancy(TESLA_C2075, 128, 20)  # 67% too (blocks cap)
+        assert model.compute_time(c, occ_a) == model.compute_time(c, occ_b)
+
+
+class TestMemoryTime:
+    def test_linear_in_transactions(self, model, occ_full):
+        t1 = model.memory_bandwidth_time(make_counters(transactions=10_000))
+        t2 = model.memory_bandwidth_time(make_counters(transactions=20_000))
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_poor_coalescing_derates_bandwidth(self, model):
+        good = make_counters(transactions=10_000, useful_fraction=1.0)
+        bad = make_counters(transactions=10_000, useful_fraction=0.1)
+        assert model.memory_bandwidth_time(bad) > model.memory_bandwidth_time(good)
+
+    def test_coalesce_factor_monotone(self, model):
+        fractions = [0.1, 0.3, 0.6, 1.0]
+        factors = [
+            model.coalesce_factor(make_counters(transactions=100, useful_fraction=f))
+            for f in fractions
+        ]
+        assert factors == sorted(factors)
+        assert factors[-1] == pytest.approx(1.0)
+        assert factors[0] >= DEFAULT_CALIBRATION.coalesce_floor
+
+    def test_latency_rewards_occupancy(self, model, occ_full, occ_low):
+        c = make_counters(transactions=10_000)
+        assert model.memory_latency_time(c, occ_low) > model.memory_latency_time(
+            c, occ_full
+        )
+
+    def test_no_memory_no_time(self, model, occ_full):
+        c = make_counters(fp64=10)
+        assert model.memory_bandwidth_time(c) == 0.0
+        assert model.memory_latency_time(c, occ_full) == 0.0
+
+
+class TestKernelTiming:
+    def test_total_composition(self, model, occ_full):
+        c = make_counters(fp64=500, transactions=5_000, mem=100)
+        t = model.kernel_timing(c, occ_full)
+        assert t.total == pytest.approx(
+            t.compute_time + max(t.memory_bandwidth_time, t.memory_latency_time)
+            + t.launch_overhead
+        )
+
+    def test_bound_by_labels(self, model, occ_full):
+        heavy_compute = model.kernel_timing(make_counters(fp64=10**7), occ_full)
+        assert heavy_compute.bound_by == "compute"
+        heavy_mem = model.kernel_timing(
+            make_counters(transactions=10**7), occ_full
+        )
+        assert heavy_mem.bound_by.startswith("memory")
+
+    def test_empty_kernel_costs_launch_overhead(self, model, occ_full):
+        t = model.kernel_timing(make_counters(), occ_full)
+        assert t.total == pytest.approx(TESLA_C2075.kernel_launch_overhead_s)

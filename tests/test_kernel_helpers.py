@@ -1,0 +1,164 @@
+"""Direct unit tests for the shared kernel building blocks
+(repro.kernels.common) via tiny launches."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import PAPER_BENCH_PARAMS
+from repro.gpusim import SimtEngine
+from repro.kernels.common import (
+    KernelConfig,
+    branchy_update_match,
+    foreground_scan_break,
+    foreground_scan_flat,
+    predicated_update,
+    rank_and_sort,
+    store_foreground,
+)
+
+N = 32
+CFG = KernelConfig.from_params(PAPER_BENCH_PARAMS, "double")
+
+
+def launch(kernel, buffers=()):
+    engine = SimtEngine()
+    handles = [engine.memory.alloc_like(f"b{i}", a) for i, a in enumerate(buffers)]
+    out = engine.memory.alloc("out", N, np.float64)
+    res = engine.launch(
+        kernel, N, 32, args=(*handles, out) if buffers else (out,)
+    )
+    return out.data.copy(), res
+
+
+class TestKernelConfig:
+    def test_constants_cast_in_run_dtype(self):
+        cfg32 = KernelConfig.from_params(PAPER_BENCH_PARAMS, "float")
+        # 1 - alpha computed in float32 differs from the double value.
+        assert cfg32.one_minus_alpha != CFG.one_minus_alpha
+        assert cfg32.dtype == np.dtype(np.float32)
+
+    def test_retention_complement(self):
+        assert CFG.alpha + CFG.one_minus_alpha == pytest.approx(1.0)
+
+
+class TestUpdateHelpers:
+    def test_branchy_match_moves_mean(self):
+        x_host = np.full(N, 100.0)
+
+        def kern(ctx, xbuf, out):
+            t = ctx.thread_id()
+            x = ctx.load(xbuf, t)
+            w = ctx.var(1.0, np.float64)
+            m = ctx.var(90.0, np.float64)
+            sd = ctx.var(8.0, np.float64)
+            d = ctx.var(abs(x - m.get()))
+            branchy_update_match(ctx, CFG, x, w, m, sd, d)
+            ctx.store(out, t, m.get())
+
+        out, _ = launch(kern, [x_host])
+        assert ((out > 90.0) & (out < 100.0)).all()
+
+    def test_predicated_update_identity_when_unmatched(self):
+        x_host = np.full(N, 100.0)
+
+        def kern(ctx, xbuf, out):
+            t = ctx.thread_id()
+            x = ctx.load(xbuf, t)
+            w = ctx.var(0.5, np.float64)
+            m = ctx.var(90.0, np.float64)
+            sd = ctx.var(8.0, np.float64)
+            d = abs(x - m.get())
+            zero = ctx.full(0.0, np.float64)  # match predicate = 0
+            predicated_update(ctx, CFG, x, w, m, sd, d, zero)
+            # mean and sd untouched; weight decayed.
+            ctx.store(out, t, m.get() + sd.get() + w.get())
+
+        out, _ = launch(kern, [x_host])
+        assert np.allclose(out, 90.0 + 8.0 + 0.5 * CFG.alpha)
+
+    def test_predicated_no_branches_in_update(self):
+        x_host = np.full(N, 100.0)
+
+        def kern(ctx, xbuf, out):
+            t = ctx.thread_id()
+            x = ctx.load(xbuf, t)
+            w = ctx.var(1.0, np.float64)
+            m = ctx.var(99.0, np.float64)
+            sd = ctx.var(8.0, np.float64)
+            d = abs(x - m.get())
+            matchf = (d < sd * CFG.gamma1).astype(np.float64)
+            predicated_update(ctx, CFG, x, w, m, sd, d, matchf)
+            ctx.store(out, t, m.get())
+
+        _, res = launch(kern, [x_host])
+        assert res.counters.branches_divergent == 0
+
+
+class TestSortHelper:
+    def test_sorts_by_rank_descending(self):
+        # Pixel i gets component weights that reverse-rank; after the
+        # sort the first component must hold the highest rank.
+        def kern(ctx, out):
+            t = ctx.thread_id()
+            w = [ctx.var(0.1, np.float64), ctx.var(0.9, np.float64)]
+            m = [ctx.var(1.0, np.float64), ctx.var(2.0, np.float64)]
+            sd = [ctx.var(5.0, np.float64), ctx.var(5.0, np.float64)]
+            d = [ctx.var(0.0, np.float64), ctx.var(0.0, np.float64)]
+            rank_and_sort(ctx, w, m, sd, d)
+            ctx.store(out, t, w[0].get() * 10.0 + m[0].get())
+
+        out, _ = launch(kern)
+        assert np.allclose(out, 0.9 * 10 + 2.0)  # high-rank comp first
+
+    def test_data_dependent_sort_diverges(self):
+        def kern(ctx, xbuf, out):
+            t = ctx.thread_id()
+            x = ctx.load(xbuf, t)
+            w = [ctx.var(x, np.float64), ctx.var(0.5, np.float64)]
+            m = [ctx.var(0.0, np.float64), ctx.var(0.0, np.float64)]
+            sd = [ctx.var(5.0, np.float64), ctx.var(5.0, np.float64)]
+            d = [ctx.var(0.0, np.float64), ctx.var(0.0, np.float64)]
+            rank_and_sort(ctx, w, m, sd, d)
+            ctx.store(out, t, w[0].get())
+
+        # Alternating weights: half the lanes need a swap.
+        x_host = np.where(np.arange(N) % 2 == 0, 0.1, 0.9)
+        out, res = launch(kern, [x_host])
+        assert np.allclose(out, np.maximum(x_host, 0.5))
+        assert res.counters.branches_divergent > 0
+
+
+class TestForegroundScans:
+    def _components(self, ctx, w_val):
+        w = [ctx.var(w_val, np.float64)]
+        sd = [ctx.var(8.0, np.float64)]
+        d = [ctx.var(1.0, np.float64)]
+        return w, sd, d
+
+    def test_break_and_flat_agree(self):
+        results = {}
+        for name, scan in [("break", foreground_scan_break),
+                           ("flat", foreground_scan_flat)]:
+            def kern(ctx, out, scan=scan):
+                t = ctx.thread_id()
+                w, sd, d = self._components(ctx, 0.9)
+                bg = scan(ctx, KernelConfig.from_params(
+                    PAPER_BENCH_PARAMS.replace(num_gaussians=1), "double"
+                ), w, sd, d)
+                store_foreground(ctx, out, t, bg)
+            out, _ = launch(kern)
+            results[name] = out
+        assert np.array_equal(results["break"], results["flat"])
+        assert (results["flat"] == 0).all()  # background -> 0
+
+    def test_low_weight_is_foreground(self):
+        def kern(ctx, out):
+            t = ctx.thread_id()
+            w, sd, d = self._components(ctx, 0.05)
+            bg = foreground_scan_flat(ctx, KernelConfig.from_params(
+                PAPER_BENCH_PARAMS.replace(num_gaussians=1), "double"
+            ), w, sd, d)
+            store_foreground(ctx, out, t, bg)
+
+        out, _ = launch(kern)
+        assert (out == 255).all()

@@ -1,0 +1,103 @@
+"""Every simulated kernel must produce bit-identical output to its
+vectorized CPU variant — the library's central correctness contract."""
+
+import numpy as np
+import pytest
+
+from repro import BackgroundSubtractor
+from repro.config import RunConfig
+from repro.core.variants import OptimizationLevel
+from repro.video.scenes import evaluation_scene
+
+SHAPE = (16, 64)
+
+
+def _frames(n=8, seed=5):
+    video = evaluation_scene(height=SHAPE[0], width=SHAPE[1], seed=seed)
+    return [video.frame(t) for t in range(n)]
+
+
+@pytest.mark.parametrize("level", list("ABCDEFG"))
+class TestSimMatchesCpu:
+    def test_masks_identical(self, level, params):
+        frames = _frames()
+        rc = RunConfig(
+            height=SHAPE[0], width=SHAPE[1], tile_pixels=256, frame_group=4
+        )
+        sim = BackgroundSubtractor(SHAPE, params, level=level, run_config=rc)
+        cpu = BackgroundSubtractor(SHAPE, params, level=level, backend="cpu")
+        sim_masks, _ = sim.process(frames)
+        cpu_masks, _ = cpu.process(frames)
+        assert np.array_equal(sim_masks, cpu_masks), level
+
+    def test_state_identical(self, level, params):
+        frames = _frames()
+        rc = RunConfig(
+            height=SHAPE[0], width=SHAPE[1], tile_pixels=256, frame_group=4
+        )
+        sim = BackgroundSubtractor(SHAPE, params, level=level, run_config=rc)
+        sim.process(frames)
+        from repro.mog import MoGVectorized
+
+        variant = OptimizationLevel.parse(level).spec.mog_variant
+        cpu = MoGVectorized(SHAPE, params, variant=variant)
+        cpu.apply_sequence(frames)
+        st_sim = sim._pipeline.state()
+        assert np.array_equal(st_sim.w, cpu.state.w)
+        assert np.array_equal(st_sim.m, cpu.state.m)
+        assert np.array_equal(st_sim.sd, cpu.state.sd)
+
+
+@pytest.mark.parametrize("level", ["A", "D", "F"])
+@pytest.mark.parametrize("dtype", ["double", "float"])
+def test_dtypes_match_cpu(level, dtype, params):
+    frames = _frames(6)
+    rc = RunConfig(height=SHAPE[0], width=SHAPE[1], dtype=dtype)
+    sim = BackgroundSubtractor(SHAPE, params, level=level, run_config=rc)
+    cpu = BackgroundSubtractor(
+        SHAPE, params, level=level, backend="cpu", run_config=rc
+    )
+    a, _ = sim.process(frames)
+    b, _ = cpu.process(frames)
+    assert np.array_equal(a, b)
+
+
+@pytest.mark.parametrize("level", ["A", "F", "G"])
+def test_five_gaussians_match_cpu(level, params):
+    p5 = params.replace(num_gaussians=5)
+    frames = _frames(6)
+    rc = RunConfig(
+        height=SHAPE[0], width=SHAPE[1], tile_pixels=256, frame_group=3
+    )
+    sim = BackgroundSubtractor(SHAPE, p5, level=level, run_config=rc)
+    cpu = BackgroundSubtractor(SHAPE, p5, level=level, backend="cpu")
+    a, _ = sim.process(frames)
+    b, _ = cpu.process(frames)
+    assert np.array_equal(a, b)
+
+
+def test_partial_tile_handled(params):
+    """A frame size that does not divide into whole tiles must still be
+    processed exactly (tail block is partially masked)."""
+    shape = (10, 30)  # 300 px, tile 128 -> 2 full + 1 partial block
+    video = evaluation_scene(height=shape[0], width=shape[1])
+    frames = [video.frame(t) for t in range(5)]
+    rc = RunConfig(height=shape[0], width=shape[1], tile_pixels=128, frame_group=2)
+    sim = BackgroundSubtractor(shape, params, level="G", run_config=rc)
+    cpu = BackgroundSubtractor(shape, params, level="G", backend="cpu")
+    a, _ = sim.process(frames)
+    b, _ = cpu.process(frames)
+    assert np.array_equal(a, b)
+
+
+def test_group_tail_handled(params):
+    """Frame count not divisible by the group size: the tail group is
+    processed with a short kernel."""
+    frames = _frames(7)
+    rc = RunConfig(height=SHAPE[0], width=SHAPE[1], tile_pixels=256, frame_group=4)
+    sim = BackgroundSubtractor(SHAPE, params, level="G", run_config=rc)
+    cpu = BackgroundSubtractor(SHAPE, params, level="G", backend="cpu")
+    a, _ = sim.process(frames)
+    b, _ = cpu.process(frames)
+    assert a.shape[0] == 7
+    assert np.array_equal(a, b)

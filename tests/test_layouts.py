@@ -1,0 +1,125 @@
+"""AoS / SoA layouts: index math, host round-trips, coalescing contrast."""
+
+import numpy as np
+import pytest
+
+from repro.config import MoGParams
+from repro.errors import ConfigError
+from repro.gpusim import SimtEngine
+from repro.layout import AoSLayout, SoALayout
+from repro.layout.base import NUM_PARAMS, PARAM_M, PARAM_SD, PARAM_W
+from repro.mog import MixtureState
+
+
+def _state(k=3, n=10, dtype=np.float64):
+    rng = np.random.default_rng(0)
+    return MixtureState(
+        rng.random((k, n)).astype(dtype),
+        (rng.random((k, n)) * 255).astype(dtype),
+        (rng.random((k, n)) * 20 + 1).astype(dtype),
+    )
+
+
+@pytest.mark.parametrize("layout_cls", [AoSLayout, SoALayout])
+class TestRoundTrip:
+    def test_upload_download_identity(self, layout_cls):
+        engine = SimtEngine()
+        layout = layout_cls(3, 10, np.float64)
+        layout.allocate(engine.memory)
+        st = _state()
+        layout.upload(st)
+        back = layout.download()
+        assert np.array_equal(back.w, st.w)
+        assert np.array_equal(back.m, st.m)
+        assert np.array_equal(back.sd, st.sd)
+
+    def test_float32_roundtrip(self, layout_cls):
+        engine = SimtEngine()
+        layout = layout_cls(3, 10, np.float32)
+        layout.allocate(engine.memory)
+        st = _state(dtype=np.float32)
+        layout.upload(st)
+        assert np.array_equal(layout.download().m, st.m)
+
+    def test_state_shape_validated(self, layout_cls):
+        engine = SimtEngine()
+        layout = layout_cls(3, 10, np.float64)
+        layout.allocate(engine.memory)
+        with pytest.raises(ConfigError):
+            layout.upload(_state(k=2))
+        with pytest.raises(ConfigError):
+            layout.upload(_state(n=11))
+
+    def test_unallocated_rejected(self, layout_cls):
+        layout = layout_cls(3, 10, np.float64)
+        with pytest.raises(ConfigError):
+            layout.download()
+
+    def test_bad_dimensions(self, layout_cls):
+        with pytest.raises(ConfigError):
+            layout_cls(0, 10, np.float64)
+
+
+class TestIndexMath:
+    def test_aos_interleaved(self):
+        engine = SimtEngine()
+        layout = AoSLayout(3, 100, np.float64)
+        layout.allocate(engine.memory)
+        out = engine.memory.alloc("out", 100, np.float64)
+        st = _state(n=100)
+        layout.upload(st)
+
+        def kern(ctx, layout, out):
+            pix = ctx.thread_id()
+            v = ctx.load(layout.buffer, layout.index(ctx, 1, PARAM_SD, pix))
+            ctx.store(out, pix, v)
+
+        engine.launch(kern, 100, 32, args=(layout, out))
+        assert np.allclose(out.data, st.sd[1])
+
+    def test_soa_planes(self):
+        engine = SimtEngine()
+        layout = SoALayout(3, 100, np.float64)
+        layout.allocate(engine.memory)
+        st = _state(n=100)
+        layout.upload(st)
+        view = layout.buffer.data.reshape(3, NUM_PARAMS, 100)
+        assert np.array_equal(view[2, PARAM_M], st.m[2])
+        assert layout.plane_base(1, PARAM_W) == (1 * NUM_PARAMS + PARAM_W) * 100
+
+    def test_layouts_store_identical_content(self):
+        """Same state, different order: element multisets agree."""
+        engine = SimtEngine()
+        aos = AoSLayout(3, 10, np.float64)
+        soa = SoALayout(3, 10, np.float64)
+        aos.allocate(engine.memory, "aos")
+        soa.allocate(engine.memory, "soa")
+        st = _state()
+        aos.upload(st)
+        soa.upload(st)
+        assert np.allclose(
+            np.sort(aos.buffer.data), np.sort(soa.buffer.data)
+        )
+
+
+class TestCoalescingContrast:
+    """The microbenchmark behind the paper's Figure 4."""
+
+    def _transactions(self, layout_cls):
+        engine = SimtEngine()
+        layout = layout_cls(3, 128, np.float64)
+        layout.allocate(engine.memory)
+        layout.upload(_state(n=128))
+
+        def kern(ctx, layout):
+            pix = ctx.thread_id()
+            _ = ctx.load(layout.buffer, layout.index(ctx, 0, PARAM_W, pix))
+
+        engine.launch(kern, 128, 128, args=(layout,))
+        return engine.launches[-1].counters.load_transactions
+
+    def test_aos_18x_worse_than_soa(self):
+        aos_tx = self._transactions(AoSLayout)
+        soa_tx = self._transactions(SoALayout)
+        assert soa_tx == 8          # 2 segments per warp x 4 warps
+        assert aos_tx == 18 * 4     # 72-byte stride

@@ -1,0 +1,51 @@
+"""MSE / PSNR behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MetricError
+from repro.metrics import mse, psnr
+
+
+class TestMse:
+    def test_identical_is_zero(self, rng):
+        img = rng.random((8, 8)) * 255
+        assert mse(img, img) == 0.0
+
+    def test_known_value(self):
+        a = np.zeros((2, 2))
+        b = np.full((2, 2), 3.0)
+        assert mse(a, b) == 9.0
+
+    def test_symmetric(self, rng):
+        a, b = rng.random((6, 6)), rng.random((6, 6))
+        assert mse(a, b) == mse(b, a)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(MetricError):
+            mse(np.zeros((2, 2)), np.zeros((2, 3)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(MetricError):
+            mse(np.zeros((0, 2)), np.zeros((0, 2)))
+
+
+class TestPsnr:
+    def test_identical_is_inf(self):
+        img = np.full((4, 4), 7.0)
+        assert psnr(img, img) == float("inf")
+
+    def test_known_value(self):
+        a = np.zeros((2, 2))
+        b = np.full((2, 2), 255.0)
+        assert psnr(a, b) == pytest.approx(0.0, abs=1e-9)
+
+    def test_more_noise_lower_psnr(self, rng):
+        img = rng.random((16, 16)) * 255
+        small = img + rng.normal(0, 1, img.shape)
+        large = img + rng.normal(0, 10, img.shape)
+        assert psnr(img, small) > psnr(img, large)
+
+    def test_data_range_validated(self):
+        with pytest.raises(MetricError):
+            psnr(np.zeros((2, 2)), np.zeros((2, 2)), data_range=0.0)

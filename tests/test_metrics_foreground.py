@@ -1,0 +1,122 @@
+"""Foreground detection metrics, including hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import MetricError
+from repro.metrics import ForegroundScore, foreground_score
+from repro.metrics.foreground import score_sequence
+
+mask_pairs = st.tuples(
+    arrays(np.bool_, (8, 8)), arrays(np.bool_, (8, 8))
+)
+
+
+class TestForegroundScore:
+    def test_perfect_prediction(self):
+        truth = np.zeros((4, 4), dtype=bool)
+        truth[1:3, 1:3] = True
+        s = foreground_score(truth, truth)
+        assert s.precision == s.recall == s.f1 == s.iou == 1.0
+        assert s.true_positives == 4 and s.false_positives == 0
+
+    def test_all_wrong(self):
+        truth = np.zeros((2, 2), dtype=bool)
+        pred = np.ones((2, 2), dtype=bool)
+        s = foreground_score(pred, truth)
+        assert s.precision == 0.0
+        assert s.recall == 1.0  # nothing true to miss
+        assert s.iou == 0.0
+
+    def test_empty_prediction_empty_truth(self):
+        zeros = np.zeros((3, 3), dtype=bool)
+        s = foreground_score(zeros, zeros)
+        assert s.precision == 1.0 and s.recall == 1.0 and s.iou == 1.0
+        assert s.accuracy == 1.0
+
+    def test_half_overlap(self):
+        truth = np.array([[True, True, False, False]])
+        pred = np.array([[True, False, True, False]])
+        s = foreground_score(pred, truth)
+        assert (s.true_positives, s.false_positives, s.false_negatives,
+                s.true_negatives) == (1, 1, 1, 1)
+        assert s.precision == 0.5 and s.recall == 0.5 and s.f1 == 0.5
+        assert s.iou == pytest.approx(1 / 3)
+
+    def test_nonzero_means_foreground(self):
+        s = foreground_score(np.array([[0, 255]]), np.array([[0, 1]]))
+        assert s.true_positives == 1 and s.true_negatives == 1
+
+    def test_shape_mismatch(self):
+        with pytest.raises(MetricError):
+            foreground_score(np.zeros((2, 2)), np.zeros((2, 3)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(MetricError):
+            foreground_score(np.zeros((0,)), np.zeros((0,)))
+
+    def test_addition_accumulates(self):
+        a = ForegroundScore(1, 2, 3, 4)
+        b = ForegroundScore(10, 20, 30, 40)
+        c = a + b
+        assert (c.true_positives, c.false_positives,
+                c.false_negatives, c.true_negatives) == (11, 22, 33, 44)
+
+
+class TestScoreSequence:
+    def test_accumulates_frames(self):
+        truth = np.zeros((2, 2), dtype=bool)
+        truth[0, 0] = True
+        total = score_sequence([truth, truth], [truth, truth])
+        assert total.true_positives == 2
+        assert total.true_negatives == 6
+
+    def test_length_mismatch(self):
+        m = np.zeros((2, 2), dtype=bool)
+        with pytest.raises(MetricError):
+            score_sequence([m], [m, m])
+
+    def test_empty_rejected(self):
+        with pytest.raises(MetricError):
+            score_sequence([], [])
+
+
+class TestProperties:
+    @given(mask_pairs)
+    @settings(max_examples=50, deadline=None)
+    def test_counts_partition_pixels(self, masks):
+        pred, truth = masks
+        s = foreground_score(pred, truth)
+        assert (
+            s.true_positives + s.false_positives
+            + s.false_negatives + s.true_negatives
+        ) == pred.size
+
+    @given(mask_pairs)
+    @settings(max_examples=50, deadline=None)
+    def test_metrics_in_unit_interval(self, masks):
+        pred, truth = masks
+        s = foreground_score(pred, truth)
+        for value in (s.precision, s.recall, s.f1, s.iou, s.accuracy):
+            assert 0.0 <= value <= 1.0
+
+    @given(arrays(np.bool_, (8, 8)))
+    @settings(max_examples=50, deadline=None)
+    def test_self_is_perfect(self, mask):
+        s = foreground_score(mask, mask)
+        assert s.f1 == 1.0 and s.iou == 1.0
+
+    @given(mask_pairs)
+    @settings(max_examples=50, deadline=None)
+    def test_swap_transposes_precision_recall(self, masks):
+        pred, truth = masks
+        a = foreground_score(pred, truth)
+        b = foreground_score(truth, pred)
+        assert a.true_positives == b.true_positives
+        assert a.false_positives == b.false_negatives
+        # precision/recall swap roles except for empty-side conventions.
+        if pred.any() and truth.any():
+            assert a.precision == pytest.approx(b.recall)

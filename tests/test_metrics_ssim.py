@@ -1,0 +1,145 @@
+"""SSIM and MS-SSIM against their defining properties."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MetricError
+from repro.metrics import ms_ssim, ssim
+from repro.metrics.ms_ssim import (
+    DEFAULT_WEIGHTS,
+    min_side_for_scales,
+    ms_ssim_sequence,
+)
+from repro.metrics.ssim import _gaussian_window, ssim_and_cs
+
+
+def _test_image(rng, side=64):
+    base = np.linspace(30, 220, side)[None, :] * np.ones((side, 1))
+    return base + rng.normal(0, 8, (side, side))
+
+
+class TestGaussianWindow:
+    def test_normalised(self):
+        w = _gaussian_window()
+        assert w.sum() == pytest.approx(1.0)
+        assert w.shape == (11, 11)
+
+    def test_symmetric_peak_centre(self):
+        w = _gaussian_window()
+        assert np.array_equal(w, w.T)
+        assert w[5, 5] == w.max()
+
+
+class TestSsim:
+    def test_identical_is_one(self, rng):
+        img = _test_image(rng)
+        assert ssim(img, img) == pytest.approx(1.0)
+
+    def test_symmetric(self, rng):
+        a, b = _test_image(rng), _test_image(rng)
+        assert ssim(a, b) == pytest.approx(ssim(b, a))
+
+    def test_bounded(self, rng):
+        a = _test_image(rng)
+        b = 255.0 - a  # inverted: heavily dissimilar
+        value = ssim(a, b)
+        assert -1.0 <= value < 0.5
+
+    def test_monotone_in_noise(self, rng):
+        img = _test_image(rng)
+        scores = [
+            ssim(img, np.clip(img + rng.normal(0, sd, img.shape), 0, 255))
+            for sd in (2, 8, 32)
+        ]
+        assert scores[0] > scores[1] > scores[2]
+
+    def test_constant_shift_penalised_by_luminance_only(self, rng):
+        img = _test_image(rng)
+        shifted = np.clip(img + 20.0, 0, 255)
+        s, cs = ssim_and_cs(img, shifted)
+        assert cs > s  # structure preserved, luminance differs
+
+    def test_too_small_rejected(self):
+        with pytest.raises(MetricError):
+            ssim(np.zeros((8, 8)), np.zeros((8, 8)))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(MetricError):
+            ssim(np.zeros((16, 16)), np.zeros((16, 17)))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(MetricError):
+            ssim(np.zeros((4, 16, 16)), np.zeros((4, 16, 16)))
+
+    def test_data_range_validated(self, rng):
+        img = _test_image(rng, 16)
+        with pytest.raises(MetricError):
+            ssim(img, img, data_range=-1.0)
+
+
+class TestMsSsim:
+    def test_identical_is_one(self, rng):
+        img = _test_image(rng, 192)
+        assert ms_ssim(img, img) == pytest.approx(1.0)
+
+    def test_min_side(self):
+        assert min_side_for_scales(5) == 176
+        assert min_side_for_scales(1) == 11
+
+    def test_too_small_for_five_scales(self, rng):
+        img = _test_image(rng, 64)
+        with pytest.raises(MetricError, match="too small"):
+            ms_ssim(img, img)
+
+    def test_fewer_scales_for_small_images(self, rng):
+        img = _test_image(rng, 64)
+        value = ms_ssim(img, img, weights=DEFAULT_WEIGHTS[:3])
+        assert value == pytest.approx(1.0)
+
+    def test_monotone_in_noise(self, rng):
+        img = _test_image(rng, 96)
+        w = DEFAULT_WEIGHTS[:3]
+        a = ms_ssim(img, np.clip(img + rng.normal(0, 3, img.shape), 0, 255), weights=w)
+        b = ms_ssim(img, np.clip(img + rng.normal(0, 30, img.shape), 0, 255), weights=w)
+        assert a > b
+
+    def test_binary_mask_input(self, rng):
+        """Table IV's use case: 0/255 foreground masks."""
+        mask = (rng.random((96, 96)) < 0.2).astype(np.uint8) * 255
+        assert ms_ssim(mask, mask, weights=DEFAULT_WEIGHTS[:3]) == pytest.approx(1.0)
+        flipped = mask.copy()
+        flipped[:10] = 255 - flipped[:10]
+        assert ms_ssim(mask, flipped, weights=DEFAULT_WEIGHTS[:3]) < 0.99
+
+    def test_empty_weights_rejected(self, rng):
+        img = _test_image(rng, 32)
+        with pytest.raises(MetricError):
+            ms_ssim(img, img, weights=())
+
+    def test_negative_weights_rejected(self, rng):
+        img = _test_image(rng, 32)
+        with pytest.raises(MetricError):
+            ms_ssim(img, img, weights=(0.5, -0.5))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(MetricError):
+            ms_ssim(np.zeros((192, 192)), np.zeros((192, 191)))
+
+
+class TestMsSsimSequence:
+    def test_mean_over_frames(self, rng):
+        img = _test_image(rng, 96)
+        noisy = np.clip(img + rng.normal(0, 10, img.shape), 0, 255)
+        w = DEFAULT_WEIGHTS[:3]
+        seq = ms_ssim_sequence([img, img], [img, noisy], weights=w)
+        expected = (1.0 + ms_ssim(img, noisy, weights=w)) / 2.0
+        assert seq == pytest.approx(expected)
+
+    def test_length_mismatch(self, rng):
+        img = _test_image(rng, 96)
+        with pytest.raises(MetricError):
+            ms_ssim_sequence([img], [img, img])
+
+    def test_empty_rejected(self):
+        with pytest.raises(MetricError):
+            ms_ssim_sequence([], [])

@@ -1,0 +1,151 @@
+"""The RGB MoG extension and the color video adapter."""
+
+import numpy as np
+import pytest
+
+from repro.config import MoGParams
+from repro.errors import ConfigError, VideoError
+from repro.mog import MoGVectorized
+from repro.mog.color import ColorMoGVectorized
+from repro.video.color import ColorizedVideo
+from repro.video.scenes import evaluation_scene
+
+SHAPE = (24, 32)
+
+
+def _gray_as_rgb(frame: np.ndarray) -> np.ndarray:
+    return np.repeat(frame[:, :, None], 3, axis=2)
+
+
+class TestColorMoG:
+    def test_gray_input_matches_gray_model(self, params):
+        """Channel-equal input: the RMS deviation equals |x - m|, so the
+        color model must agree with the grayscale model."""
+        video = evaluation_scene(height=SHAPE[0], width=SHAPE[1])
+        gray = MoGVectorized(SHAPE, params, variant="nosort")
+        color = ColorMoGVectorized(SHAPE, params)
+        agree, total = 0, 0
+        for t in range(10):
+            frame = video.frame(t)
+            mg = gray.apply(frame)
+            mc = color.apply(_gray_as_rgb(frame))
+            agree += np.count_nonzero(mg == mc)
+            total += mg.size
+        assert agree / total > 0.999
+
+    def test_constant_color_scene_is_background(self, params):
+        mog = ColorMoGVectorized(SHAPE, params)
+        frame = np.zeros((*SHAPE, 3), dtype=np.uint8)
+        frame[..., 0], frame[..., 1], frame[..., 2] = 40, 90, 160
+        for _ in range(5):
+            mask = mog.apply(frame)
+        assert not mask.any()
+
+    def test_chromatic_change_detected(self, params):
+        """Same luminance, different hue: a color model must flag it
+        (the main advantage over grayscale subtraction)."""
+        mog = ColorMoGVectorized(SHAPE, params)
+        a = np.zeros((*SHAPE, 3), dtype=np.uint8)
+        a[..., 0] = 150  # red-ish
+        b = np.zeros((*SHAPE, 3), dtype=np.uint8)
+        b[..., 2] = 150  # blue-ish, same per-channel magnitude
+        for _ in range(6):
+            mog.apply(a)
+        assert mog.apply(b).all()
+        # Grayscale on the luminance-equal input would see nothing:
+        gray = MoGVectorized(SHAPE, params, variant="nosort")
+        for _ in range(6):
+            gray.apply(np.full(SHAPE, 50, dtype=np.uint8))
+        assert not gray.apply(np.full(SHAPE, 50, dtype=np.uint8)).any()
+
+    def test_new_color_absorbed_over_time(self, params):
+        p = params.replace(learning_rate=0.1)
+        mog = ColorMoGVectorized(SHAPE, p)
+        a = np.full((*SHAPE, 3), 30, dtype=np.uint8)
+        b = np.zeros((*SHAPE, 3), dtype=np.uint8)
+        b[..., 1] = 200
+        for _ in range(5):
+            mog.apply(a)
+        assert mog.apply(b).all()
+        for _ in range(50):
+            last = mog.apply(b)
+        assert not last.any()
+
+    def test_state_invariants(self, params):
+        video = evaluation_scene(height=SHAPE[0], width=SHAPE[1])
+        mog = ColorMoGVectorized(SHAPE, params)
+        for t in range(8):
+            mog.apply(_gray_as_rgb(video.frame(t)))
+        assert (mog.w >= 0).all() and (mog.w <= 1).all()
+        assert np.isfinite(mog.m).all()
+        assert (mog.sd >= min(params.sd_floor, params.initial_sd)).all()
+
+    def test_background_image_shape(self, params):
+        mog = ColorMoGVectorized(SHAPE, params)
+        mog.apply(np.zeros((*SHAPE, 3), dtype=np.uint8))
+        assert mog.background_image().shape == (*SHAPE, 3)
+
+    def test_frame_shape_validated(self, params):
+        mog = ColorMoGVectorized(SHAPE, params)
+        with pytest.raises(ConfigError):
+            mog.apply(np.zeros(SHAPE, dtype=np.uint8))  # missing channels
+
+    def test_empty_sequence_rejected(self, params):
+        with pytest.raises(ConfigError):
+            ColorMoGVectorized(SHAPE, params).apply_sequence([])
+
+    def test_background_before_frames_rejected(self, params):
+        with pytest.raises(ConfigError):
+            ColorMoGVectorized(SHAPE, params).background_image()
+
+    def test_float32_runs(self, params):
+        video = evaluation_scene(height=SHAPE[0], width=SHAPE[1])
+        mog = ColorMoGVectorized(SHAPE, params, dtype="float")
+        mog.apply(_gray_as_rgb(video.frame(0)))
+        assert mog.m.dtype == np.float32
+
+
+class TestColorizedVideo:
+    def test_frames_shape_and_determinism(self):
+        base = evaluation_scene(height=32, width=48)
+        a = ColorizedVideo(base, seed=3)
+        b = ColorizedVideo(evaluation_scene(height=32, width=48), seed=3)
+        fa, ta = a.frame_with_truth(4)
+        fb, tb = b.frame_with_truth(4)
+        assert fa.shape == (32, 48, 3) and fa.dtype == np.uint8
+        assert np.array_equal(fa, fb)
+        assert np.array_equal(ta, tb)
+
+    def test_truth_matches_base(self):
+        base = evaluation_scene(height=32, width=48)
+        color = ColorizedVideo(base)
+        _, truth_color = color.frame_with_truth(6)
+        _, truth_base = base.frame_with_truth(6)
+        assert np.array_equal(truth_color, truth_base)
+
+    def test_channels_differ(self):
+        color = ColorizedVideo(evaluation_scene(height=32, width=48))
+        frame = color.frame(0).astype(int)
+        assert (frame[..., 0] != frame[..., 2]).any()
+
+    def test_tint_validation(self):
+        base = evaluation_scene(height=16, width=16)
+        with pytest.raises(VideoError):
+            ColorizedVideo(base, tint_low=0.9, tint_high=0.5)
+
+    def test_end_to_end_detection(self, params):
+        """Color MoG on colorized footage still finds the objects."""
+        from repro.metrics import foreground_score
+
+        base = evaluation_scene(height=48, width=64)
+        color = ColorizedVideo(base)
+        mog = ColorMoGVectorized((48, 64), params)
+        score = None
+        for t in range(30):
+            frame, truth = color.frame_with_truth(t)
+            mask = mog.apply(frame)
+            if t >= 20:
+                s = foreground_score(mask, truth)
+                score = s if score is None else score + s
+        assert score.recall > 0.5
+        assert score.precision > 0.3

@@ -1,0 +1,111 @@
+"""MixtureState container behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.config import MoGParams
+from repro.errors import ConfigError
+from repro.mog import MixtureState
+
+
+def _state(k=3, n=8, dtype=np.float64):
+    w = np.linspace(0.1, 1.0, k * n).reshape(k, n).astype(dtype)
+    m = np.arange(k * n, dtype=dtype).reshape(k, n)
+    sd = np.full((k, n), 5.0, dtype=dtype)
+    return MixtureState(w, m, sd)
+
+
+class TestConstruction:
+    def test_properties(self):
+        st = _state()
+        assert st.num_gaussians == 3
+        assert st.num_pixels == 8
+        assert st.dtype == np.float64
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            MixtureState(np.zeros((3, 8)), np.zeros((3, 7)), np.zeros((3, 8)))
+
+    def test_rank_validated(self):
+        with pytest.raises(ConfigError):
+            MixtureState(np.zeros(8), np.zeros(8), np.zeros(8))
+
+    def test_dtype_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            MixtureState(
+                np.zeros((2, 4), dtype=np.float32),
+                np.zeros((2, 4)),
+                np.zeros((2, 4)),
+            )
+
+
+class TestFromFirstFrame:
+    def test_component_zero_owns_frame(self):
+        frame = np.arange(12, dtype=np.uint8).reshape(3, 4)
+        st = MixtureState.from_first_frame(frame, MoGParams())
+        assert np.array_equal(st.m[0], frame.reshape(-1))
+        assert (st.w[0] == 1.0).all()
+        assert (st.w[1:] == 0.0).all()
+
+    def test_unused_means_never_match(self):
+        """Spare components must not accidentally match 0..255 pixels."""
+        frame = np.zeros((2, 2), dtype=np.uint8)
+        p = MoGParams()
+        st = MixtureState.from_first_frame(frame, p)
+        for k in range(1, p.num_gaussians):
+            assert (np.abs(st.m[k]) > p.match_threshold * p.initial_sd).all()
+
+    def test_dtype_selection(self):
+        frame = np.zeros((2, 2), dtype=np.uint8)
+        st = MixtureState.from_first_frame(frame, MoGParams(), "float")
+        assert st.dtype == np.float32
+
+
+class TestOps:
+    def test_copy_is_deep(self):
+        st = _state()
+        cp = st.copy()
+        cp.w[0, 0] = 99.0
+        assert st.w[0, 0] != 99.0
+
+    def test_astype(self):
+        st = _state().astype("float")
+        assert st.dtype == np.float32
+
+    def test_background_image_picks_heaviest(self):
+        st = _state(k=2, n=4)
+        st.w[0] = [0.9, 0.1, 0.9, 0.1]
+        st.w[1] = [0.1, 0.9, 0.1, 0.9]
+        st.m[0] = [10, 20, 30, 40]
+        st.m[1] = [50, 60, 70, 80]
+        bg = st.background_image((2, 2))
+        assert bg.reshape(-1).tolist() == [10, 60, 30, 80]
+
+    def test_background_image_clipped(self):
+        st = _state(k=1, n=1)
+        st.m[0] = [400.0]
+        assert st.background_image((1, 1))[0, 0] == 255.0
+
+    def test_background_shape_validation(self):
+        with pytest.raises(ConfigError):
+            _state(n=8).background_image((3, 3))
+
+    def test_permute(self):
+        st = _state(k=3, n=2)
+        order = np.array([[2, 0], [0, 1], [1, 2]])
+        w0 = st.w.copy()
+        st.permute(order)
+        assert st.w[0, 0] == w0[2, 0]
+        assert st.w[0, 1] == w0[0, 1]
+        assert st.w[2, 1] == w0[2, 1]
+
+    def test_permute_shape_validation(self):
+        with pytest.raises(ConfigError):
+            _state().permute(np.zeros((2, 8), dtype=int))
+
+    def test_allclose(self):
+        st = _state()
+        other = st.copy()
+        assert st.allclose(other)
+        other.m[0, 0] += 1.0
+        assert not st.allclose(other)

@@ -1,0 +1,139 @@
+"""Property-based tests (hypothesis) for the core MoG invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.config import MoGParams
+from repro.mog import MoGVectorized
+from repro.mog.rank import rank_order, replace_weakest
+
+pixels = st.integers(min_value=0, max_value=255)
+frames_strategy = arrays(
+    np.uint8, (6, 8, 8), elements=st.integers(min_value=0, max_value=255)
+)
+
+PARAMS = MoGParams(learning_rate=0.1, initial_sd=8.0)
+
+
+class TestStateInvariants:
+    @given(frames_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_weights_bounded(self, frames):
+        mog = MoGVectorized((8, 8), PARAMS)
+        for frame in frames:
+            mog.apply(frame)
+        assert (mog.state.w >= 0.0).all()
+        assert (mog.state.w <= 1.0).all()
+
+    @given(frames_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_sd_floor_and_finite(self, frames):
+        mog = MoGVectorized((8, 8), PARAMS)
+        for frame in frames:
+            mog.apply(frame)
+        sd = mog.state.sd
+        assert np.isfinite(sd).all()
+        # Components that were ever matched or replaced respect the
+        # floor; untouched spares keep their initial sd (also >= floor
+        # since initial_sd >= sd_floor here).
+        assert (sd >= min(PARAMS.sd_floor, PARAMS.initial_sd) - 1e-12).all()
+
+    @given(frames_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_means_finite(self, frames):
+        mog = MoGVectorized((8, 8), PARAMS)
+        for frame in frames:
+            mog.apply(frame)
+        assert np.isfinite(mog.state.m).all()
+
+    @given(frames_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_variant_mask_equality(self, frames):
+        """sorted == nosort == predicated masks on arbitrary input."""
+        mogs = [
+            MoGVectorized((8, 8), PARAMS, variant=v)
+            for v in ("sorted", "nosort", "predicated")
+        ]
+        for frame in frames:
+            masks = [m.apply(frame) for m in mogs]
+            assert np.array_equal(masks[0], masks[1])
+            assert np.array_equal(masks[1], masks[2])
+
+    @given(st.integers(min_value=0, max_value=255))
+    @settings(max_examples=30, deadline=None)
+    def test_constant_scene_is_background(self, value):
+        mog = MoGVectorized((8, 8), PARAMS)
+        frame = np.full((8, 8), value, dtype=np.uint8)
+        for _ in range(5):
+            mask = mog.apply(frame)
+        assert not mask.any()
+
+    @given(
+        st.integers(min_value=0, max_value=100),
+        st.integers(min_value=150, max_value=255),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_step_change_is_foreground_then_absorbed(self, before, after):
+        mog = MoGVectorized((8, 8), PARAMS)
+        a = np.full((8, 8), before, dtype=np.uint8)
+        b = np.full((8, 8), after, dtype=np.uint8)
+        for _ in range(5):
+            mog.apply(a)
+        first = mog.apply(b)
+        assert first.all()  # a large jump is foreground...
+        for _ in range(60):
+            last = mog.apply(b)
+        assert not last.any()  # ...until the model adapts
+
+
+class TestRankHelpers:
+    @given(
+        arrays(np.float64, (3, 16), elements=st.floats(0.01, 1.0)),
+        arrays(np.float64, (3, 16), elements=st.floats(1.0, 30.0)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_rank_order_is_permutation_sorted_descending(self, w, sd):
+        order = rank_order(w, sd)
+        rank = w / sd
+        n = w.shape[1]
+        for p in range(n):
+            col = order[:, p]
+            assert sorted(col.tolist()) == [0, 1, 2]
+            ranked = rank[col, p]
+            assert (np.diff(ranked) <= 1e-15).all()
+
+    @given(arrays(np.float64, (3, 8), elements=st.floats(0.0, 1.0)))
+    @settings(max_examples=40, deadline=None)
+    def test_replace_weakest_targets_minimum(self, w):
+        m = np.zeros_like(w)
+        sd = np.ones_like(w)
+        pixels_arr = np.full(8, 42.0)
+        no_match = np.ones(8, dtype=bool)
+        w_before = w.copy()
+        weakest = replace_weakest(w, m, sd, pixels_arr, no_match, 0.05, 30.0)
+        for p in range(8):
+            k = weakest[p]
+            assert w_before[k, p] == w_before[:, p].min()
+            assert m[k, p] == 42.0 and sd[k, p] == 30.0 and w[k, p] == 0.05
+
+    def test_replace_weakest_respects_mask(self):
+        w = np.array([[0.1, 0.1], [0.9, 0.9]])
+        m = np.zeros_like(w)
+        sd = np.ones_like(w)
+        no_match = np.array([True, False])
+        replace_weakest(w, m, sd, np.array([7.0, 7.0]), no_match, 0.05, 30.0)
+        assert m[0, 0] == 7.0
+        assert (m[:, 1] == 0.0).all()  # pixel 1 untouched
+
+
+class TestDeterminism:
+    @given(frames_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_same_input_same_output(self, frames):
+        a = MoGVectorized((8, 8), PARAMS)
+        b = MoGVectorized((8, 8), PARAMS)
+        for frame in frames:
+            assert np.array_equal(a.apply(frame), b.apply(frame))

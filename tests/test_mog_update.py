@@ -1,0 +1,168 @@
+"""The pinned scalar update semantics (repro.mog.update) — the single
+source of truth every implementation mirrors."""
+
+import math
+
+import pytest
+
+from repro.config import MoGParams
+from repro.mog.update import ScalarComponent, update_pixel
+
+P = MoGParams()
+ALPHA = 1.0 - P.learning_rate
+
+
+def comp(w=1.0, m=100.0, sd=5.0):
+    return ScalarComponent(w, m, sd)
+
+
+def components(*cs):
+    return [ScalarComponent(c.w, c.m, c.sd) for c in cs]
+
+
+class TestMatch:
+    def test_exact_pixel_matches(self):
+        cs = [comp()]
+        fg = update_pixel(100.0, cs, P)
+        assert not fg
+        assert cs[0].w == pytest.approx(ALPHA * 1.0 + (1 - ALPHA))
+
+    def test_match_boundary_is_exclusive(self):
+        # diff == Gamma1 * sd exactly -> no match.
+        cs = [comp(m=100.0, sd=4.0)]
+        fg = update_pixel(110.0, cs, P)  # diff = 10 = 2.5 * 4
+        assert fg
+        assert cs[0].w < 1.0  # decayed, virtual component replaced it? (single comp)
+
+    def test_matched_mean_moves_toward_pixel(self):
+        cs = [comp(m=100.0)]
+        update_pixel(104.0, cs, P)
+        assert 100.0 < cs[0].m < 104.0
+
+    def test_nonmatch_decays_weight_only(self):
+        far = comp(w=0.5, m=100.0, sd=5.0)
+        near = comp(w=0.5, m=10.0, sd=5.0)
+        cs = [near, far]
+        update_pixel(10.0, cs, P, sort=False)
+        assert cs[1].w == pytest.approx(0.5 * ALPHA)
+        assert cs[1].m == 100.0 and cs[1].sd == 5.0  # untouched
+
+    def test_sd_floor_enforced(self):
+        cs = [comp(m=100.0, sd=P.sd_floor)]
+        for _ in range(50):
+            update_pixel(100.0, cs, P)
+        assert cs[0].sd >= P.sd_floor
+
+    def test_sd_grows_with_spread(self):
+        cs = [comp(m=100.0, sd=5.0)]
+        update_pixel(110.0, cs, P, sort=False)  # diff 10 < 12.5: match
+        assert cs[0].sd > 5.0
+
+
+class TestVirtualComponent:
+    def test_created_on_total_miss(self):
+        cs = components(comp(w=0.6, m=10.0), comp(w=0.3, m=50.0), comp(w=0.1, m=90.0))
+        fg = update_pixel(200.0, cs, P, sort=False)
+        assert fg  # fresh component has w < Gamma2
+        weakest = min(cs, key=lambda c: c.w)
+        # The weakest slot (index 2, after decay) was replaced.
+        assert cs[2].m == 200.0
+        assert cs[2].sd == P.initial_sd
+        assert cs[2].w == P.initial_weight
+        assert weakest is cs[2]
+
+    def test_tie_breaks_to_lowest_index(self):
+        cs = components(comp(w=0.1, m=10.0), comp(w=0.1, m=50.0))
+        update_pixel(200.0, cs, P, sort=False)
+        assert cs[0].m == 200.0  # first minimum wins
+        assert cs[1].m == 50.0
+
+    def test_repeated_pixel_becomes_background(self):
+        """A persistent new mode is absorbed within ~1/lr frames."""
+        p = MoGParams(learning_rate=0.1)
+        cs = components(comp(w=1.0, m=10.0, sd=5.0), comp(w=0.0, m=-1000.0), comp(w=0.0, m=-2000.0))
+        results = [update_pixel(200.0, cs, p, sort=False) for _ in range(40)]
+        assert results[0] is True
+        assert results[-1] is False
+
+
+class TestForegroundRule:
+    def test_low_weight_match_is_foreground(self):
+        cs = [comp(w=0.05, m=100.0)]
+        assert update_pixel(100.0, cs, P) is True
+
+    def test_uses_post_update_weight(self):
+        # Weight just below Gamma2 crosses it via the matched update.
+        w0 = (P.background_weight - (1 - ALPHA)) / ALPHA + 1e-6
+        cs = [comp(w=w0, m=100.0)]
+        assert update_pixel(100.0, cs, P) is False
+
+    @pytest.mark.parametrize("x_offset", [0.0, 5.0, 9.95, 10.05, 60.0])
+    def test_recompute_diff_never_changes_decision(self, x_offset):
+        """The regopt (level F) foreground rule is decision-equivalent
+        to the stored-diff rule (proof in repro.mog.update, step 6):
+        probe pixels straddling every regime — deep match, borderline
+        match (the threshold is 2.5 * 4 = 10 here), and total miss."""
+        p = MoGParams(learning_rate=0.3, sd_floor=1.0)
+        x = 100.0 + x_offset
+        plain = [comp(w=1.0, m=100.0, sd=4.0)]
+        reopt = [comp(w=1.0, m=100.0, sd=4.0)]
+        fg_plain = update_pixel(x, plain, p, recompute_diff=False, sort=False)
+        fg_reopt = update_pixel(x, reopt, p, recompute_diff=True, sort=False)
+        assert fg_plain == fg_reopt
+
+    def test_foreground_when_nothing_qualifies(self):
+        cs = components(comp(w=0.01, m=0.0), comp(w=0.01, m=50.0))
+        assert update_pixel(255.0, cs, P) is True
+
+
+class TestSort:
+    def test_sorted_by_rank_descending(self):
+        cs = components(
+            comp(w=0.2, m=10.0, sd=10.0),   # rank 0.02
+            comp(w=0.9, m=200.0, sd=5.0),   # rank 0.18
+        )
+        update_pixel(10.0, cs, P, sort=True)
+        ranks = [c.w / c.sd for c in cs]
+        assert ranks == sorted(ranks, reverse=True)
+
+    def test_sort_stable_on_ties(self):
+        cs = components(
+            comp(w=0.4, m=10.0, sd=4.0),
+            comp(w=0.4, m=20.0, sd=4.0),
+        )
+        # Pixel matches neither strongly; pick one far away so both decay
+        # equally and ranks stay tied.
+        update_pixel(200.0, cs, P, sort=True)
+        non_virtual = [c for c in cs if c.m in (10.0, 20.0)]
+        assert non_virtual  # tie survivors keep relative order
+        if len(non_virtual) == 2:
+            assert non_virtual[0].m == 10.0
+
+    def test_sort_false_keeps_order(self):
+        cs = components(
+            comp(w=0.1, m=10.0, sd=10.0),
+            comp(w=0.9, m=10.0, sd=5.0),
+        )
+        update_pixel(10.0, cs, P, sort=False)
+        assert cs[0].w < cs[1].w  # low-rank first, untouched order
+
+    def test_sort_does_not_change_decision(self):
+        for x in (10.0, 90.0, 200.0):
+            a = components(comp(w=0.5, m=10.0), comp(w=0.4, m=90.0), comp(w=0.1, m=170.0))
+            b = components(comp(w=0.5, m=10.0), comp(w=0.4, m=90.0), comp(w=0.1, m=170.0))
+            assert update_pixel(x, a, P, sort=True) == update_pixel(x, b, P, sort=False)
+
+
+class TestNumericalDetails:
+    def test_rho_clamped_for_tiny_weights(self):
+        cs = [comp(w=1e-12, m=100.0, sd=5.0)]
+        update_pixel(100.0, cs, P, sort=False)
+        assert math.isfinite(cs[0].m)
+        assert cs[0].m == pytest.approx(100.0)
+
+    def test_weight_stays_in_unit_interval(self):
+        cs = [comp(w=1.0, m=100.0, sd=5.0)]
+        for _ in range(100):
+            update_pixel(100.0, cs, P, sort=False)
+        assert 0.0 < cs[0].w <= 1.0

@@ -1,0 +1,83 @@
+"""The simulated multimodal-mean GPU kernel vs its vectorized CPU twin."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MultimodalMeanParams, MultimodalMeanVectorized
+from repro.errors import LaunchError
+from repro.kernels.multimodal import MultimodalMeanGpu
+from repro.video.scenes import evaluation_scene
+
+SHAPE = (16, 64)
+
+
+@pytest.fixture(scope="module")
+def frames():
+    video = evaluation_scene(height=SHAPE[0], width=SHAPE[1])
+    return [video.frame(t) for t in range(20)]
+
+
+class TestEquivalence:
+    def test_masks_and_state_identical(self, frames):
+        cpu = MultimodalMeanVectorized(SHAPE)
+        gpu = MultimodalMeanGpu(SHAPE)
+        for frame in frames:
+            assert np.array_equal(cpu.apply(frame), gpu.apply(frame))
+        assert np.array_equal(cpu.sums.reshape(-1), gpu.sums.data)
+        assert np.array_equal(
+            cpu.counts.reshape(-1).astype(np.float64), gpu.counts.data
+        )
+
+    def test_decay_kernel_matches(self, frames):
+        p = MultimodalMeanParams(decay_period=4)
+        cpu = MultimodalMeanVectorized(SHAPE, p)
+        gpu = MultimodalMeanGpu(SHAPE, p)
+        for frame in frames[:9]:  # crosses two decay boundaries
+            assert np.array_equal(cpu.apply(frame), gpu.apply(frame))
+        assert np.array_equal(
+            cpu.counts.reshape(-1).astype(np.float64), gpu.counts.data
+        )
+
+    def test_frame_shape_validated(self):
+        gpu = MultimodalMeanGpu(SHAPE)
+        with pytest.raises(LaunchError):
+            gpu.apply(np.zeros((4, 4), dtype=np.uint8))
+
+
+class TestSimtCosts:
+    """The §II argument as measured by the simulator."""
+
+    @pytest.fixture(scope="class")
+    def converged_gpu(self, frames):
+        gpu = MultimodalMeanGpu(SHAPE)
+        gpu.apply_sequence(frames)
+        return gpu
+
+    def _frame_launches(self, gpu):
+        return [l for l in gpu.engine.launches if l.name.startswith("mmm[")]
+
+    def test_scan_branches_divergent(self, converged_gpu):
+        launches = self._frame_launches(converged_gpu)[10:]
+        total = sum(l.counters.branches_total for l in launches)
+        divergent = sum(l.counters.branches_divergent for l in launches)
+        beff = 1 - divergent / total
+        # Far below the fixed-K predicated kernel's ~99.5%.
+        assert beff < 0.95
+
+    def test_masked_loads_hurt_coalescing(self, converged_gpu):
+        launches = self._frame_launches(converged_gpu)[10:]
+        eff = np.mean(
+            [l.counters.memory_access_efficiency for l in launches]
+        )
+        # Lanes drop out of the scan at different cells, so warp
+        # requests are partially filled.
+        assert eff < 0.8
+
+    def test_decay_kernel_is_uniform(self, frames):
+        gpu = MultimodalMeanGpu(SHAPE, MultimodalMeanParams(decay_period=6))
+        gpu.apply_sequence(frames)
+        decays = [l for l in gpu.engine.launches if l.name == "mmm_decay"]
+        assert decays, "decay kernel never ran"
+        for launch in decays:
+            assert launch.counters.branches_divergent == 0
+            assert launch.counters.memory_access_efficiency > 0.95

@@ -1,0 +1,61 @@
+"""Global paper-shape assertions (fast versions of the benchmark
+checks; see benchmarks/ for the full-size reproductions)."""
+
+import pytest
+
+from repro.bench.experiments import ExperimentContext
+
+# A smaller context than the benchmarks use: shapes, not precision.
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(shape=(96, 128), num_frames=32, warmup=20)
+
+
+def test_speedup_ordering(ctx):
+    speedups = {l: ctx.run(l).speedup for l in "ABCDEF"}
+    assert speedups["A"] < speedups["B"] < speedups["C"] < speedups["D"]
+    assert speedups["E"] < speedups["F"]
+    assert speedups["F"] > 2 * speedups["B"]
+
+
+def test_paper_magnitudes(ctx):
+    """Loose factor agreement at reduced scale."""
+    paper = {"A": 13, "B": 41, "C": 57, "D": 85, "E": 86, "F": 97}
+    for level, expected in paper.items():
+        got = ctx.run(level).speedup
+        assert expected * 0.6 < got < expected * 1.4, (level, got)
+
+
+def test_tiled_beats_flat_at_group_8(ctx):
+    assert ctx.run("G", frame_group=8).speedup > ctx.run("F").speedup
+
+
+def test_group_one_tiling_is_a_loss(ctx):
+    """Without reuse, staging through shared memory only costs."""
+    assert ctx.run("G", frame_group=1).speedup < ctx.run("F").speedup
+
+
+def test_memory_efficiency_shape(ctx):
+    assert ctx.run("A").metrics()["memory_access_efficiency"] < 0.2
+    assert ctx.run("B").metrics()["memory_access_efficiency"] > 0.8
+
+
+def test_branch_efficiency_shape(ctx):
+    beff = [ctx.run(l).metrics()["branch_efficiency"] for l in "CDE"]
+    assert beff[0] < beff[1] < beff[2]
+
+
+def test_float_matches_double_trend(ctx):
+    double_f = ctx.run("F", dtype="double").speedup
+    float_f = ctx.run("F", dtype="float").speedup
+    assert float_f > double_f * 0.95
+
+
+def test_five_gaussians_slower_absolute(ctx):
+    """In absolute kernel time, 5 components always cost more."""
+    for level in ("C", "F"):
+        t3 = ctx.run(level, num_gaussians=3).kernel_time_per_frame
+        t5 = ctx.run(level, num_gaussians=5).kernel_time_per_frame
+        assert t5 > 1.3 * t3

@@ -1,0 +1,114 @@
+"""Chromaticity-based shadow suppression."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.post import ShadowParams, detect_shadows, suppress_shadows
+
+H, W = 16, 16
+
+
+def scene():
+    """Background, frame with a shadow region and an object region."""
+    background = np.zeros((H, W, 3))
+    background[...] = (120.0, 100.0, 80.0)
+    frame = background.copy()
+    frame[2:6, 2:6] *= 0.7                       # cast shadow: dimmed bg
+    frame[10:14, 10:14] = (40.0, 60.0, 200.0)    # object: different hue
+    mask = np.zeros((H, W), dtype=bool)
+    mask[2:6, 2:6] = True
+    mask[10:14, 10:14] = True
+    return frame, background, mask
+
+
+class TestDetectShadows:
+    def test_shadow_region_found(self):
+        frame, bg, mask = scene()
+        shadow = detect_shadows(frame, bg, mask)
+        assert shadow[2:6, 2:6].all()
+
+    def test_object_region_kept(self):
+        frame, bg, mask = scene()
+        shadow = detect_shadows(frame, bg, mask)
+        assert not shadow[10:14, 10:14].any()
+
+    def test_only_within_mask(self):
+        frame, bg, mask = scene()
+        frame[0, 0] = bg[0, 0] * 0.7  # shadow-like but not foreground
+        shadow = detect_shadows(frame, bg, mask)
+        assert not shadow[0, 0]
+
+    def test_brightening_is_not_shadow(self):
+        frame, bg, mask = scene()
+        frame[2:6, 2:6] = bg[2:6, 2:6] * 1.2  # highlight, not shadow
+        shadow = detect_shadows(frame, bg, mask)
+        assert not shadow[2:6, 2:6].any()
+
+    def test_deep_darkness_is_not_shadow(self):
+        """A nearly black pixel (alpha below alpha_low) is an object —
+        e.g. a dark car — not a shadow."""
+        frame, bg, mask = scene()
+        frame[2:6, 2:6] = bg[2:6, 2:6] * 0.1
+        shadow = detect_shadows(frame, bg, mask)
+        assert not shadow[2:6, 2:6].any()
+
+    def test_chromatic_shift_is_not_shadow(self):
+        frame, bg, mask = scene()
+        frame[2:6, 2:6] = bg[2:6, 2:6] * 0.7
+        frame[2:6, 2:6, 2] += 60.0  # blue tint: distortion too large
+        shadow = detect_shadows(frame, bg, mask)
+        assert not shadow[2:6, 2:6].any()
+
+    def test_zero_background_safe(self):
+        frame, bg, mask = scene()
+        bg[2:6, 2:6] = 0.0
+        shadow = detect_shadows(frame, bg, mask)
+        assert not shadow[2:6, 2:6].any()  # no division blow-up
+
+    def test_validation(self):
+        frame, bg, mask = scene()
+        with pytest.raises(ConfigError):
+            detect_shadows(frame[..., :2], bg[..., :2], mask)
+        with pytest.raises(ConfigError):
+            detect_shadows(frame, bg[:8], mask)
+        with pytest.raises(ConfigError):
+            detect_shadows(frame, bg, mask[:8])
+
+
+class TestSuppressShadows:
+    def test_mask_split(self):
+        frame, bg, mask = scene()
+        cleaned, shadow = suppress_shadows(frame, bg, mask)
+        assert not cleaned[2:6, 2:6].any()
+        assert cleaned[10:14, 10:14].all()
+        assert not (cleaned & shadow).any()
+        assert ((cleaned | shadow) == mask).all()
+
+    def test_params_validation(self):
+        with pytest.raises(ConfigError):
+            ShadowParams(alpha_low=0.9, alpha_high=0.5)
+        with pytest.raises(ConfigError):
+            ShadowParams(alpha_high=2.0)
+        with pytest.raises(ConfigError):
+            ShadowParams(max_distortion=0.0)
+
+    def test_end_to_end_with_color_mog(self, params):
+        """Shadow suppression on the color MoG's own background model."""
+        from repro.mog.color import ColorMoGVectorized
+
+        background = np.zeros((H, W, 3), dtype=np.uint8)
+        background[...] = (140, 110, 90)
+        mog = ColorMoGVectorized((H, W), params.replace(learning_rate=0.2))
+        for _ in range(12):
+            mog.apply(background)
+        shadowed = background.astype(np.float64)
+        shadowed[4:12, 4:12] *= 0.65
+        frame = np.clip(shadowed, 0, 255).astype(np.uint8)
+        raw = mog.apply(frame)
+        assert raw[4:12, 4:12].any()  # MoG alone flags the shadow
+        cleaned, shadow = suppress_shadows(
+            frame, mog.background_image(), raw
+        )
+        assert shadow[5:11, 5:11].all()
+        assert not cleaned[5:11, 5:11].any()

@@ -1,0 +1,62 @@
+"""RunReport JSON serialisation and the CLI hook."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import BackgroundSubtractor
+from repro.cli import main
+from repro.video.scenes import evaluation_scene
+
+SHAPE = (16, 32)
+
+
+@pytest.fixture()
+def report(params):
+    video = evaluation_scene(height=SHAPE[0], width=SHAPE[1])
+    bs = BackgroundSubtractor(SHAPE, params, level="D")
+    _, report = bs.process([video.frame(t) for t in range(4)])
+    return report
+
+
+class TestToDict:
+    def test_round_trips_through_json(self, report):
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["level"] == "D"
+        assert payload["num_frames"] == 4
+        assert len(payload["launches"]) == 4
+        assert 0 <= payload["metrics"]["branch_efficiency"] <= 1
+
+    def test_launch_rows_named(self, report):
+        names = [l["name"] for l in report.to_dict()["launches"]]
+        assert all(name.startswith("mog_nosort") for name in names)
+
+    def test_save_json(self, report, tmp_path):
+        path = tmp_path / "report.json"
+        report.save_json(path)
+        payload = json.loads(path.read_text())
+        assert payload["dtype"] == "double"
+
+
+class TestCliReportJson:
+    def test_writes_file(self, tmp_path):
+        clip = tmp_path / "clip.npz"
+        main(["synthesize", str(clip), "--frames", "4",
+              "--height", "24", "--width", "24"])
+        out = tmp_path / "masks.npz"
+        rpt = tmp_path / "report.json"
+        code = main(["subtract", str(clip), str(out),
+                     "--backend", "sim", "--report-json", str(rpt)])
+        assert code == 0
+        payload = json.loads(rpt.read_text())
+        assert payload["num_frames"] == 4
+
+    def test_cpu_backend_errors(self, tmp_path, capsys):
+        clip = tmp_path / "clip.npz"
+        main(["synthesize", str(clip), "--frames", "3",
+              "--height", "24", "--width", "24"])
+        code = main(["subtract", str(clip), str(tmp_path / "m.npz"),
+                     "--report-json", str(tmp_path / "r.json")])
+        assert code == 2
+        assert "sim" in capsys.readouterr().err

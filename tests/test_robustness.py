@@ -1,0 +1,99 @@
+"""Long-run stability, adversarial inputs, and tiled-configuration
+property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import BackgroundSubtractor
+from repro.config import RunConfig
+from repro.mog import MoGVectorized
+from repro.video.scenes import evaluation_scene
+
+
+class TestLongRunStability:
+    def test_state_invariants_over_200_frames(self, params):
+        video = evaluation_scene(height=16, width=32, seed=13)
+        mog = MoGVectorized((16, 32), params)
+        for t in range(200):
+            mask = mog.apply(video.frame(t))
+        st_ = mog.state
+        assert (st_.w >= 0.0).all() and (st_.w <= 1.0).all()
+        assert np.isfinite(st_.m).all() and np.isfinite(st_.sd).all()
+        assert (st_.sd >= min(params.sd_floor, params.initial_sd)).all()
+        # Converged: the steady scene is mostly background.
+        assert mask.mean() < 0.2
+
+    def test_sim_backend_long_run_matches_cpu(self, params):
+        video = evaluation_scene(height=12, width=32, seed=13)
+        frames = [video.frame(t) for t in range(60)]
+        sim = BackgroundSubtractor((12, 32), params, level="F")
+        cpu = BackgroundSubtractor((12, 32), params, level="F", backend="cpu")
+        a, _ = sim.process(frames)
+        b, _ = cpu.process(frames)
+        assert np.array_equal(a, b)
+
+
+class TestAdversarialInputs:
+    def test_all_black_then_all_white(self, params):
+        mog = MoGVectorized((8, 8), params)
+        black = np.zeros((8, 8), dtype=np.uint8)
+        white = np.full((8, 8), 255, dtype=np.uint8)
+        for _ in range(5):
+            mog.apply(black)
+        assert mog.apply(white).all()
+        for _ in range(60):
+            last = mog.apply(white)
+        assert not last.any()
+        assert np.isfinite(mog.state.sd).all()
+
+    def test_alternating_extremes_stay_finite(self, params):
+        mog = MoGVectorized((8, 8), params)
+        for t in range(80):
+            v = 0 if t % 2 == 0 else 255
+            mog.apply(np.full((8, 8), v, dtype=np.uint8))
+        assert np.isfinite(mog.state.w).all()
+        assert np.isfinite(mog.state.m).all()
+        assert (mog.state.sd > 0).all()
+
+    def test_uniform_random_noise_input(self, params):
+        """Pure noise (no stable background at all): nothing blows up
+        and the model keeps producing valid masks."""
+        rng = np.random.default_rng(3)
+        mog = MoGVectorized((8, 8), params)
+        for _ in range(50):
+            frame = rng.integers(0, 256, (8, 8), dtype=np.uint8)
+            mask = mog.apply(frame)
+        assert mask.dtype == np.bool_
+        assert np.isfinite(mog.state.sd).all()
+
+    def test_single_pixel_frame(self, params):
+        mog = MoGVectorized((1, 1), params)
+        for _ in range(5):
+            mask = mog.apply(np.array([[128]], dtype=np.uint8))
+        assert mask.shape == (1, 1) and not mask[0, 0]
+
+
+class TestTiledConfigurations:
+    @given(
+        tile=st.sampled_from([32, 64, 96, 160, 256]),
+        group=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_any_tile_group_matches_cpu(self, tile, group):
+        from repro.config import MoGParams
+
+        params = MoGParams(learning_rate=0.08, initial_sd=8.0)
+        shape = (10, 32)  # 320 px: exercises partial tiles for most sizes
+        video = evaluation_scene(height=shape[0], width=shape[1])
+        frames = [video.frame(t) for t in range(group + 2)]
+        rc = RunConfig(
+            height=shape[0], width=shape[1],
+            tile_pixels=tile, frame_group=group,
+        )
+        sim = BackgroundSubtractor(shape, params, level="G", run_config=rc)
+        cpu = BackgroundSubtractor(shape, params, level="G", backend="cpu")
+        a, _ = sim.process(frames)
+        b, _ = cpu.process(frames)
+        assert np.array_equal(a, b)

@@ -1,0 +1,75 @@
+"""Smoke tests for the repo's tools (the fast-callable parts)."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+TOOLS = Path(__file__).parent.parent / "tools"
+sys.path.insert(0, str(TOOLS))
+
+
+class TestProfileRuntime:
+    def test_profiles_both_backends(self):
+        from profile_runtime import profile_run
+
+        from repro.video.scenes import evaluation_scene
+        from repro.bench.harness import BENCH_SHAPE
+
+        video = evaluation_scene(height=BENCH_SHAPE[0], width=BENCH_SHAPE[1])
+        frames = [video.frame(t) for t in range(2)]
+        for backend in ("cpu", "sim"):
+            text = profile_run(backend, frames, top=3)
+            assert "cumulative" in text
+            assert "apply" in text
+
+
+class TestReportHtml:
+    def test_table_html_escapes(self):
+        from make_report_html import table_html
+
+        from repro.bench.experiments import Experiment
+
+        exp = Experiment("X", "<b>", ["a<"], [["&"]], notes="<i>")
+        text = table_html(exp)
+        assert "&lt;b&gt;" in text
+        assert "&amp;" in text
+        assert "<i>" not in text
+
+    def test_speedup_chart_structure(self):
+        from make_report_html import speedup_chart
+
+        from repro.bench.experiments import PAPER_SPEEDUPS
+
+        svg = speedup_chart({k: v * 1.01 for k, v in PAPER_SPEEDUPS.items()})
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert svg.count("bar-measured") == len(PAPER_SPEEDUPS)
+        assert svg.count("bar-paper") == len(PAPER_SPEEDUPS)
+
+
+class TestFitCalibration:
+    def test_make_calibration_roundtrip(self):
+        from fit_calibration import BOUNDS, make_calibration
+
+        mid = [(lo + hi) / 2 for lo, hi in BOUNDS]
+        cal, pcie = make_calibration(mid)
+        assert cal.issue_cycles["fp64"] == mid[0]
+        assert cal.issue_cycles["sfu32"] == mid[1] / 2
+        assert pcie == mid[-1]
+
+    def test_paper_targets_match_experiments(self):
+        from fit_calibration import PAPER_SPEEDUPS as FIT_TARGETS
+
+        from repro.bench.experiments import PAPER_SPEEDUPS
+
+        assert FIT_TARGETS == PAPER_SPEEDUPS
+
+
+class TestExperimentsMdGenerator:
+    def test_notes_cover_every_experiment(self):
+        from make_experiments_md import PER_EXPERIMENT_NOTES
+
+        from repro.bench.experiments import ALL_EXPERIMENTS
+
+        assert set(PER_EXPERIMENT_NOTES) == set(ALL_EXPERIMENTS)

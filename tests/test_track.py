@@ -1,0 +1,153 @@
+"""The centroid tracker: association, lifecycle, end-to-end trajectories."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.track import CentroidTracker, TrackerParams
+
+
+def mask_with_blob(center, size=3, shape=(48, 64)):
+    mask = np.zeros(shape, dtype=bool)
+    r, c = center
+    mask[max(r - size // 2, 0):r + size // 2 + 1,
+         max(c - size // 2, 0):c + size // 2 + 1] = True
+    return mask
+
+
+class TestParams:
+    @pytest.mark.parametrize("kw", [
+        {"max_distance": 0.0}, {"max_misses": -1},
+        {"min_hits": 0}, {"min_area": -1},
+    ])
+    def test_validation(self, kw):
+        with pytest.raises(ConfigError):
+            TrackerParams(**kw)
+
+
+class TestLifecycle:
+    def test_track_confirmed_after_min_hits(self):
+        tracker = CentroidTracker(TrackerParams(min_hits=3))
+        for t in range(3):
+            active = tracker.update(mask_with_blob((10, 10 + 2 * t)))
+        assert len(active) == 1
+        assert active[0].confirmed
+        assert active[0].hits == 3
+
+    def test_tentative_track_not_reported(self):
+        tracker = CentroidTracker(TrackerParams(min_hits=3))
+        active = tracker.update(mask_with_blob((10, 10)))
+        assert active == []
+        assert len(tracker.tracks) == 1  # exists but tentative
+
+    def test_track_dies_after_misses(self):
+        tracker = CentroidTracker(TrackerParams(min_hits=1, max_misses=2))
+        tracker.update(mask_with_blob((10, 10)))
+        empty = np.zeros((48, 64), dtype=bool)
+        for _ in range(3):
+            tracker.update(empty)
+        assert not tracker.tracks[0].alive
+        assert tracker.active_tracks == []
+
+    def test_track_survives_short_occlusion(self):
+        tracker = CentroidTracker(TrackerParams(min_hits=1, max_misses=3))
+        tracker.update(mask_with_blob((10, 10)))
+        tracker.update(np.zeros((48, 64), dtype=bool))  # occluded
+        active = tracker.update(mask_with_blob((10, 12)))
+        assert len(active) == 1
+        assert active[0].track_id == 1  # same identity
+
+    def test_small_blobs_ignored(self):
+        tracker = CentroidTracker(TrackerParams(min_hits=1, min_area=10))
+        active = tracker.update(mask_with_blob((10, 10), size=2))  # 4 px
+        assert active == [] and tracker.tracks == []
+
+
+class TestAssociation:
+    def test_two_objects_two_tracks(self):
+        tracker = CentroidTracker(TrackerParams(min_hits=2))
+        for t in range(3):
+            mask = (
+                mask_with_blob((10, 10 + 2 * t))
+                | mask_with_blob((38, 50 - 2 * t))
+            )
+            active = tracker.update(mask)
+        assert len(active) == 2
+        ids = {t.track_id for t in active}
+        assert len(ids) == 2
+
+    def test_gate_prevents_teleport_association(self):
+        tracker = CentroidTracker(TrackerParams(min_hits=1, max_distance=5.0))
+        tracker.update(mask_with_blob((10, 10)))
+        tracker.update(mask_with_blob((40, 55)))  # far away: new object
+        assert len(tracker.tracks) == 2
+
+    def test_velocity_prediction_holds_identity(self):
+        """A fast mover is re-associated via its predicted position even
+        when the raw jump exceeds a naive static gate."""
+        tracker = CentroidTracker(TrackerParams(min_hits=1, max_distance=6.0))
+        for t in range(5):
+            tracker.update(mask_with_blob((10, 5 + 5 * t)))
+        confirmed = [t for t in tracker.tracks if t.alive]
+        assert len(confirmed) == 1
+        assert confirmed[0].length == 5
+
+    def test_greedy_prefers_closest(self):
+        tracker = CentroidTracker(TrackerParams(min_hits=1))
+        tracker.update(mask_with_blob((10, 10)) | mask_with_blob((10, 30)))
+        tracker.update(mask_with_blob((10, 12)) | mask_with_blob((10, 28)))
+        a, b = [t for t in tracker.tracks if t.alive]
+        assert a.positions[-1][1] < 20  # track 1 stayed left
+        assert b.positions[-1][1] > 20
+
+
+class TestTrackGeometry:
+    def test_velocity_and_prediction(self):
+        tracker = CentroidTracker(TrackerParams(min_hits=1))
+        tracker.update(mask_with_blob((10, 10)))
+        tracker.update(mask_with_blob((12, 14)))
+        track = tracker.tracks[0]
+        vr, vc = track.velocity
+        assert vr == pytest.approx(2.0)
+        assert vc == pytest.approx(4.0)
+        # Last observation was frame 1; predicting frame 3 is dt=2.
+        assert track.predict(3)[1] == pytest.approx(14 + 2 * 4.0)
+
+    def test_displacement(self):
+        tracker = CentroidTracker(TrackerParams(min_hits=1))
+        tracker.update(mask_with_blob((10, 10)))
+        tracker.update(mask_with_blob((10, 20)))
+        assert tracker.tracks[0].total_displacement() == pytest.approx(10.0)
+
+    def test_summary_text(self):
+        tracker = CentroidTracker(TrackerParams(min_hits=1))
+        tracker.update(mask_with_blob((10, 10)))
+        text = tracker.summary()
+        assert "1 confirmed tracks" in text
+        assert "track 1" in text
+
+
+class TestEndToEnd:
+    def test_tracks_scene_objects(self, params):
+        """Full pipeline: subtract -> clean -> track on the evaluation
+        scene; the two moving sprites become two long tracks."""
+        from repro.mog import MoGVectorized
+        from repro.post import MaskCleaner
+        from repro.video.scenes import evaluation_scene
+
+        shape = (96, 128)
+        video = evaluation_scene(height=shape[0], width=shape[1])
+        mog = MoGVectorized(shape, params, variant="nosort")
+        cleaner = MaskCleaner(open_radius=0, close_radius=2, min_area=6)
+        tracker = CentroidTracker(
+            TrackerParams(max_distance=20.0, min_hits=3, min_area=6)
+        )
+        for t in range(45):
+            mask = cleaner(mog.apply(video.frame(t)))
+            if t >= 18:  # let the model converge first
+                tracker.update(mask, frame_index=t)
+        long_tracks = [
+            t for t in tracker.tracks
+            if t.confirmed and t.length >= 10 and t.total_displacement() > 15
+        ]
+        assert len(long_tracks) >= 2, tracker.summary()

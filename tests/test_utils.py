@@ -1,0 +1,82 @@
+"""Array/RNG helper behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VideoError
+from repro.utils import as_gray_frame, check_same_shape, rng_from_seed, to_uint8
+
+
+class TestAsGrayFrame:
+    def test_uint8_passthrough(self):
+        frame = np.zeros((4, 4), dtype=np.uint8)
+        assert as_gray_frame(frame) is frame
+
+    def test_float_rounding(self):
+        frame = np.array([[0.4, 254.6]])
+        out = as_gray_frame(frame)
+        assert out.dtype == np.uint8
+        assert out.tolist() == [[0, 255]]
+
+    def test_integer_conversion(self):
+        out = as_gray_frame(np.array([[0, 255]], dtype=np.int64))
+        assert out.dtype == np.uint8
+
+    def test_rejects_3d(self):
+        with pytest.raises(VideoError):
+            as_gray_frame(np.zeros((2, 2, 3), dtype=np.uint8))
+
+    def test_rejects_empty(self):
+        with pytest.raises(VideoError):
+            as_gray_frame(np.zeros((0, 4), dtype=np.uint8))
+
+    def test_rejects_out_of_range_float(self):
+        with pytest.raises(VideoError):
+            as_gray_frame(np.array([[300.0]]))
+        with pytest.raises(VideoError):
+            as_gray_frame(np.array([[-1.0]]))
+
+    def test_rejects_out_of_range_int(self):
+        with pytest.raises(VideoError):
+            as_gray_frame(np.array([[256]], dtype=np.int32))
+
+    def test_rejects_bool(self):
+        with pytest.raises(VideoError):
+            as_gray_frame(np.array([[True]]))
+
+
+class TestCheckSameShape:
+    def test_ok(self):
+        check_same_shape(np.zeros((2, 3)), np.ones((2, 3)))
+
+    def test_mismatch(self):
+        with pytest.raises(VideoError, match="equal shapes"):
+            check_same_shape(np.zeros((2, 3)), np.zeros((3, 2)), "masks")
+
+
+class TestToUint8:
+    def test_bool_mask(self):
+        out = to_uint8(np.array([True, False]))
+        assert out.tolist() == [255, 0]
+        assert out.dtype == np.uint8
+
+    def test_nonzero_is_foreground(self):
+        assert to_uint8(np.array([0, 1, 7])).tolist() == [0, 255, 255]
+
+
+class TestRngFromSeed:
+    def test_none_is_deterministic(self):
+        a = rng_from_seed(None).random()
+        b = rng_from_seed(None).random()
+        assert a == b
+
+    def test_int_seed(self):
+        assert rng_from_seed(3).random() == rng_from_seed(3).random()
+        assert rng_from_seed(3).random() != rng_from_seed(4).random()
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert rng_from_seed(gen) is gen
+
+    def test_default_parameter(self):
+        assert rng_from_seed(None, default=9).random() == rng_from_seed(9).random()

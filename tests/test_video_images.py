@@ -1,0 +1,102 @@
+"""PGM/PPM image export/import and the run dumper."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VideoError
+from repro.video.images import dump_run, read_image, write_image
+
+
+class TestWriteRead:
+    def test_gray_roundtrip(self, tmp_path, rng):
+        img = (rng.random((12, 17)) * 255).astype(np.uint8)
+        path = write_image(tmp_path / "x.pgm", img)
+        assert path.suffix == ".pgm"
+        assert np.array_equal(read_image(path), img)
+
+    def test_rgb_roundtrip(self, tmp_path, rng):
+        img = (rng.random((8, 9, 3)) * 255).astype(np.uint8)
+        path = write_image(tmp_path / "x.ppm", img)
+        assert path.suffix == ".ppm"
+        assert np.array_equal(read_image(path), img)
+
+    def test_bool_becomes_0_255(self, tmp_path):
+        mask = np.array([[True, False]])
+        path = write_image(tmp_path / "m", mask)
+        assert read_image(path).tolist() == [[255, 0]]
+
+    def test_suffix_corrected(self, tmp_path):
+        path = write_image(tmp_path / "x.png", np.zeros((2, 2), np.uint8))
+        assert path.suffix == ".pgm"
+
+    def test_wrong_dtype_rejected(self, tmp_path):
+        with pytest.raises(VideoError):
+            write_image(tmp_path / "x", np.zeros((2, 2), np.float64))
+
+    def test_wrong_shape_rejected(self, tmp_path):
+        with pytest.raises(VideoError):
+            write_image(tmp_path / "x", np.zeros((2, 2, 4), np.uint8))
+        with pytest.raises(VideoError):
+            write_image(tmp_path / "x", np.zeros((0, 2), np.uint8))
+
+    def test_read_rejects_non_netpbm(self, tmp_path):
+        path = tmp_path / "bad.pgm"
+        path.write_bytes(b"JUNK")
+        with pytest.raises(VideoError):
+            read_image(path)
+
+    def test_read_handles_comments(self, tmp_path):
+        path = tmp_path / "c.pgm"
+        path.write_bytes(b"P5\n# a comment\n2 1\n255\n\x07\x09")
+        assert read_image(path).tolist() == [[7, 9]]
+
+    def test_read_rejects_truncated(self, tmp_path):
+        path = tmp_path / "t.pgm"
+        path.write_bytes(b"P5\n4 4\n255\nxx")
+        with pytest.raises(VideoError, match="truncated"):
+            read_image(path)
+
+    def test_read_rejects_16bit(self, tmp_path):
+        path = tmp_path / "w.pgm"
+        path.write_bytes(b"P5\n1 1\n65535\n\x00\x00")
+        with pytest.raises(VideoError, match="8-bit"):
+            read_image(path)
+
+
+class TestDumpRun:
+    def test_dumps_frames_and_masks(self, tmp_path):
+        frames = [np.full((4, 4), t, np.uint8) for t in range(6)]
+        masks = [np.zeros((4, 4), bool) for _ in range(6)]
+        written = dump_run(tmp_path / "out", frames, masks, stride=2)
+        names = sorted(p.name for p in written)
+        assert "frame_0000.pgm" in names and "mask_0004.pgm" in names
+        assert "frame_0001.pgm" not in names  # stride respected
+        assert len(written) == 6  # 3 dumped steps x 2 files
+
+    def test_background_included(self, tmp_path):
+        written = dump_run(
+            tmp_path, [np.zeros((4, 4), np.uint8)],
+            [np.zeros((4, 4), bool)],
+            background=np.full((4, 4), 7.6),
+        )
+        bg = [p for p in written if "background" in p.name]
+        assert bg and read_image(bg[0])[0, 0] == 8  # rounded
+
+    def test_stride_validated(self, tmp_path):
+        with pytest.raises(VideoError):
+            dump_run(tmp_path, [], [], stride=0)
+
+    def test_cli_dump_dir(self, tmp_path, capsys):
+        from repro.cli import main
+
+        clip = tmp_path / "clip.npz"
+        main(["synthesize", str(clip), "--frames", "6",
+              "--height", "24", "--width", "24"])
+        out = tmp_path / "masks.npz"
+        dump = tmp_path / "dump"
+        code = main(["subtract", str(clip), str(out),
+                     "--dump-dir", str(dump), "--dump-stride", "3"])
+        assert code == 0
+        assert (dump / "frame_0000.pgm").exists()
+        assert (dump / "mask_0003.pgm").exists()
+        assert (dump / "background.pgm").exists()

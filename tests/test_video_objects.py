@@ -1,0 +1,165 @@
+"""Sprites, paths, and ground-truth compositing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VideoError
+from repro.video.objects import (
+    Sprite,
+    SpriteTrack,
+    bounce_path,
+    linear_path,
+    render_tracks,
+    stationary_path,
+)
+
+
+class TestSprite:
+    def test_rectangle(self):
+        s = Sprite.rectangle(3, 5, intensity=120.0)
+        assert s.shape == (3, 5)
+        assert s.support.all()
+        assert (s.intensity == 120.0).all()
+
+    def test_disk_support_round(self):
+        s = Sprite.disk(3)
+        assert s.shape == (7, 7)
+        assert s.support[3, 3]          # centre opaque
+        assert not s.support[0, 0]      # corner transparent
+        # Symmetric support.
+        assert np.array_equal(s.support, s.support[::-1])
+        assert np.array_equal(s.support, s.support[:, ::-1])
+
+    def test_textured_range_and_determinism(self):
+        a = Sprite.textured(4, 6, seed=3)
+        b = Sprite.textured(4, 6, seed=3)
+        assert np.array_equal(a.intensity, b.intensity)
+        assert a.intensity.min() >= 0.0 and a.intensity.max() <= 255.0
+
+    @pytest.mark.parametrize("h,w", [(0, 3), (3, 0), (-1, 2)])
+    def test_bad_dimensions(self, h, w):
+        with pytest.raises(VideoError):
+            Sprite.rectangle(h, w)
+
+    def test_bad_radius(self):
+        with pytest.raises(VideoError):
+            Sprite.disk(0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(VideoError):
+            Sprite(np.zeros((2, 2)), np.ones((3, 3), dtype=bool))
+
+    def test_non_bool_support_rejected(self):
+        with pytest.raises(VideoError):
+            Sprite(np.zeros((2, 2)), np.ones((2, 2), dtype=np.uint8))
+
+
+class TestPaths:
+    def test_linear(self):
+        path = linear_path((1.0, 2.0), (0.5, -1.0))
+        assert path(0) == (1.0, 2.0)
+        assert path(4) == (3.0, -2.0)
+
+    def test_stationary(self):
+        path = stationary_path((5.0, 6.0))
+        assert path(0) == path(100) == (5.0, 6.0)
+
+    def test_bounce_stays_in_bounds(self):
+        path = bounce_path((0.0, 0.0), (3.0, 7.0), (40, 60), (8, 8))
+        for t in range(200):
+            r, c = path(t)
+            assert 0.0 <= r <= 32.0
+            assert 0.0 <= c <= 52.0
+
+    def test_bounce_reflects(self):
+        path = bounce_path((0.0, 0.0), (1.0, 0.0), (10, 10), (2, 2))
+        rows = [path(t)[0] for t in range(20)]
+        assert max(rows) == 8.0 and min(rows) == 0.0
+        assert rows[:9] == sorted(rows[:9])          # ascending leg
+        assert rows[8:17] == sorted(rows[8:17], reverse=True)  # descending
+
+
+class TestSpriteTrack:
+    def test_active_window(self):
+        track = SpriteTrack(
+            Sprite.rectangle(2, 2), stationary_path((0, 0)),
+            start_frame=3, end_frame=6,
+        )
+        assert not track.active(2)
+        assert track.active(3) and track.active(5)
+        assert not track.active(6)
+
+    def test_forever_active(self):
+        track = SpriteTrack(Sprite.rectangle(2, 2), stationary_path((0, 0)))
+        assert track.active(10**6)
+
+    def test_position_rounds(self):
+        track = SpriteTrack(Sprite.rectangle(1, 1), linear_path((0.6, 1.4), (0, 0)))
+        assert track.position(0) == (1, 1)
+
+
+class TestRenderTracks:
+    def test_composites_and_truth(self):
+        bg = np.full((10, 10), 50.0)
+        track = SpriteTrack(
+            Sprite.rectangle(2, 3, intensity=200.0), stationary_path((4, 5))
+        )
+        frame, truth = render_tracks(bg, [track], 0)
+        assert frame[4, 5] == 200.0 and frame[0, 0] == 50.0
+        assert truth.sum() == 6
+        assert truth[4:6, 5:8].all()
+
+    def test_background_not_mutated(self):
+        bg = np.full((6, 6), 10.0)
+        track = SpriteTrack(Sprite.rectangle(2, 2, 99.0), stationary_path((1, 1)))
+        render_tracks(bg, [track], 0)
+        assert (bg == 10.0).all()
+
+    def test_clipping_partial(self):
+        bg = np.zeros((8, 8))
+        track = SpriteTrack(
+            Sprite.rectangle(4, 4, 1.0), stationary_path((6, 6))
+        )
+        frame, truth = render_tracks(bg, [track], 0)
+        assert truth.sum() == 4  # only a 2x2 corner is inside
+
+    def test_fully_outside(self):
+        bg = np.zeros((8, 8))
+        track = SpriteTrack(
+            Sprite.rectangle(2, 2, 1.0), stationary_path((20, 20))
+        )
+        frame, truth = render_tracks(bg, [track], 0)
+        assert truth.sum() == 0
+        assert (frame == 0).all()
+
+    def test_negative_position_clipped(self):
+        bg = np.zeros((8, 8))
+        track = SpriteTrack(
+            Sprite.rectangle(4, 4, 1.0), stationary_path((-2, -2))
+        )
+        _, truth = render_tracks(bg, [track], 0)
+        assert truth.sum() == 4
+        assert truth[0:2, 0:2].all()
+
+    def test_inactive_track_skipped(self):
+        bg = np.zeros((8, 8))
+        track = SpriteTrack(
+            Sprite.rectangle(2, 2, 1.0), stationary_path((1, 1)), start_frame=5
+        )
+        _, truth = render_tracks(bg, [track], 0)
+        assert truth.sum() == 0
+
+    def test_disk_support_respected(self):
+        bg = np.zeros((12, 12))
+        track = SpriteTrack(Sprite.disk(2, 50.0), stationary_path((3, 3)))
+        frame, truth = render_tracks(bg, [track], 0)
+        assert not truth[3, 3]  # corner of the bounding box is transparent
+        assert truth[5, 5]      # centre is opaque
+
+    def test_overlapping_tracks_union(self):
+        bg = np.zeros((8, 8))
+        t1 = SpriteTrack(Sprite.rectangle(3, 3, 10.0), stationary_path((0, 0)))
+        t2 = SpriteTrack(Sprite.rectangle(3, 3, 20.0), stationary_path((1, 1)))
+        frame, truth = render_tracks(bg, [t1, t2], 0)
+        assert truth.sum() == 9 + 9 - 4
+        assert frame[1, 1] == 20.0  # later track paints on top

@@ -1,0 +1,128 @@
+"""Prebuilt scenes and sequence I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VideoError
+from repro.video.io import ArraySource, load_sequence, record, save_sequence
+from repro.video.scenes import (
+    evaluation_scene,
+    patient_room_scene,
+    surveillance_scene,
+    traffic_scene,
+)
+
+
+@pytest.mark.parametrize(
+    "builder",
+    [evaluation_scene, surveillance_scene, traffic_scene, patient_room_scene],
+)
+class TestPrebuiltScenes:
+    def test_produces_frames(self, builder):
+        video = builder(height=48, width=64)
+        frame, truth = video.frame_with_truth(8)
+        assert frame.shape == (48, 64)
+        assert frame.dtype == np.uint8
+
+    def test_has_moving_foreground(self, builder):
+        video = builder(height=48, width=64)
+        truths = [video.frame_with_truth(t)[1] for t in range(12)]
+        assert any(t.any() for t in truths), "scene never shows an object"
+        positions = {tuple(np.argwhere(t)[0]) for t in truths if t.any()}
+        assert len(positions) > 1, "objects never move"
+
+    def test_deterministic(self, builder):
+        a = builder(height=32, width=32)
+        b = builder(height=32, width=32)
+        assert np.array_equal(a.frame(5), b.frame(5))
+
+    def test_num_frames_forwarded(self, builder):
+        video = builder(height=32, width=32, num_frames=7)
+        assert len(video) == 7
+
+
+class TestArraySource:
+    def test_from_stack(self):
+        stack = np.zeros((3, 4, 5), dtype=np.uint8)
+        src = ArraySource(stack)
+        assert src.shape == (4, 5)
+        assert len(src) == 3 and src.num_frames == 3
+
+    def test_from_list(self):
+        src = ArraySource([np.zeros((4, 5), dtype=np.uint8)] * 2)
+        assert len(src) == 2
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(VideoError):
+            ArraySource([])
+
+    def test_wrong_ndim_rejected(self):
+        with pytest.raises(VideoError):
+            ArraySource(np.zeros((4, 5), dtype=np.uint8))
+
+    def test_index_bounds(self):
+        src = ArraySource(np.zeros((2, 4, 4), dtype=np.uint8))
+        src.frame(1)
+        with pytest.raises(VideoError):
+            src.frame(2)
+        with pytest.raises(VideoError):
+            src.frame(-1)
+
+    def test_float_frames_converted(self):
+        src = ArraySource(np.full((2, 4, 4), 5.4))
+        assert src.frame(0).dtype == np.uint8
+
+    def test_frames_generator(self):
+        src = ArraySource(np.arange(2 * 4 * 4, dtype=np.uint8).reshape(2, 4, 4))
+        frames = list(src.frames(2))
+        assert np.array_equal(frames[1], src.frame(1))
+
+
+class TestRecord:
+    def test_records_synthetic(self):
+        video = evaluation_scene(height=16, width=16)
+        src = record(video, 4, start=2)
+        assert len(src) == 4
+        assert np.array_equal(src.frame(0), video.frame(2))
+
+    def test_rejects_nonpositive(self):
+        video = evaluation_scene(height=16, width=16)
+        with pytest.raises(VideoError):
+            record(video, 0)
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        frames = np.arange(2 * 4 * 4, dtype=np.uint8).reshape(2, 4, 4)
+        truth = frames > 10
+        path = tmp_path / "seq.npz"
+        save_sequence(path, frames, truth, fps=30.0)
+        src, loaded_truth, meta = load_sequence(path)
+        assert np.array_equal(src._frames, frames)
+        assert np.array_equal(loaded_truth, truth)
+        assert meta == {"fps": 30.0}
+
+    def test_roundtrip_without_truth(self, tmp_path):
+        frames = np.zeros((2, 4, 4), dtype=np.uint8)
+        path = tmp_path / "seq.npz"
+        save_sequence(path, frames)
+        src, truth, meta = load_sequence(path)
+        assert truth is None and meta == {}
+
+    def test_truth_shape_mismatch(self, tmp_path):
+        with pytest.raises(VideoError):
+            save_sequence(
+                tmp_path / "x.npz",
+                np.zeros((2, 4, 4), dtype=np.uint8),
+                np.zeros((2, 4, 5), dtype=bool),
+            )
+
+    def test_wrong_rank_rejected(self, tmp_path):
+        with pytest.raises(VideoError):
+            save_sequence(tmp_path / "x.npz", np.zeros((4, 4), dtype=np.uint8))
+
+    def test_not_a_sequence_file(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, stuff=np.zeros(3))
+        with pytest.raises(VideoError):
+            load_sequence(path)

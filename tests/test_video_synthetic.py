@@ -1,0 +1,184 @@
+"""The synthetic scene generator: determinism, regions, multimodality."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VideoError
+from repro.video.objects import Sprite, SpriteTrack, stationary_path
+from repro.video.synthetic import (
+    DriftRegion,
+    FlickerRegion,
+    SceneConfig,
+    SyntheticVideo,
+)
+
+
+class TestSceneConfig:
+    @pytest.mark.parametrize("kw", [
+        {"height": 0}, {"width": -3}, {"noise_sd": -1.0},
+        {"background_smoothness": 0},
+        {"background_low": 100.0, "background_high": 50.0},
+        {"bimodal_fraction": 1.5}, {"bimodal_fraction": -0.1},
+    ])
+    def test_validation(self, kw):
+        with pytest.raises(VideoError):
+            SceneConfig(**kw)
+
+
+class TestDeterminism:
+    def test_same_config_same_frames(self):
+        a = SyntheticVideo(SceneConfig(height=32, width=32, seed=7))
+        b = SyntheticVideo(SceneConfig(height=32, width=32, seed=7))
+        for t in (0, 3, 11):
+            assert np.array_equal(a.frame(t), b.frame(t))
+
+    def test_different_seed_different_frames(self):
+        a = SyntheticVideo(SceneConfig(height=32, width=32, seed=7))
+        b = SyntheticVideo(SceneConfig(height=32, width=32, seed=8))
+        assert not np.array_equal(a.frame(0), b.frame(0))
+
+    def test_frame_independent_of_visit_order(self):
+        video = SyntheticVideo(SceneConfig(height=32, width=32))
+        f5_first = video.frame(5).copy()
+        video.frame(0)
+        video.frame(9)
+        assert np.array_equal(video.frame(5), f5_first)
+
+
+class TestFrames:
+    def test_dtype_and_shape(self):
+        video = SyntheticVideo(SceneConfig(height=20, width=30))
+        frame, truth = video.frame_with_truth(0)
+        assert frame.shape == (20, 30) and frame.dtype == np.uint8
+        assert truth.shape == (20, 30) and truth.dtype == np.bool_
+
+    def test_negative_index_rejected(self):
+        video = SyntheticVideo(SceneConfig(height=8, width=8))
+        with pytest.raises(VideoError):
+            video.frame(-1)
+
+    def test_num_frames_bound(self):
+        video = SyntheticVideo(SceneConfig(height=8, width=8), num_frames=3)
+        video.frame(2)
+        with pytest.raises(VideoError):
+            video.frame(3)
+
+    def test_len_and_iter(self):
+        video = SyntheticVideo(SceneConfig(height=8, width=8), num_frames=4)
+        assert len(video) == 4
+        assert len(list(video)) == 4
+
+    def test_unbounded_iteration_rejected(self):
+        video = SyntheticVideo(SceneConfig(height=8, width=8))
+        with pytest.raises(VideoError):
+            iter(video)
+        with pytest.raises(VideoError):
+            len(video)
+
+    def test_frames_generator(self):
+        video = SyntheticVideo(SceneConfig(height=8, width=8))
+        frames = list(video.frames(3, start=2))
+        assert len(frames) == 3
+        assert np.array_equal(frames[0], video.frame(2))
+
+    def test_noise_free_scene_is_static(self):
+        video = SyntheticVideo(SceneConfig(height=16, width=16, noise_sd=0.0))
+        assert np.array_equal(video.frame(0), video.frame(5))
+
+    def test_noise_level(self):
+        cfg = SceneConfig(height=64, width=64, noise_sd=5.0)
+        video = SyntheticVideo(cfg)
+        diff = video.frame(0).astype(float) - video.frame(1).astype(float)
+        # Two iid noise draws: std ~ sqrt(2) * 5.
+        assert 4.0 < diff.std() < 10.0
+
+
+class TestRegions:
+    def test_flicker_levels(self):
+        region = FlickerRegion(2, 2, 4, 4, level_a=10.0, level_b=200.0, period=3)
+        assert region.level(0) == 10.0
+        assert region.level(3) == 200.0
+        assert region.level(6) == 10.0
+
+    def test_flicker_applied(self):
+        region = FlickerRegion(0, 0, 4, 4, level_a=10.0, level_b=200.0, period=1)
+        video = SyntheticVideo(
+            SceneConfig(height=8, width=8, noise_sd=0.0), flicker=[region]
+        )
+        assert video.frame(0)[0, 0] == 10
+        assert video.frame(1)[0, 0] == 200
+
+    def test_drift_sinusoid(self):
+        region = DriftRegion(0, 0, 2, 2, amplitude=20.0, period=8)
+        assert region.offset(0) == pytest.approx(0.0)
+        assert region.offset(2) == pytest.approx(20.0)
+        assert region.offset(6) == pytest.approx(-20.0)
+
+    def test_region_out_of_bounds_rejected(self):
+        with pytest.raises(VideoError):
+            SyntheticVideo(
+                SceneConfig(height=8, width=8),
+                flicker=[FlickerRegion(6, 6, 4, 4)],
+            )
+
+    @pytest.mark.parametrize("kw", [{"height": 0}, {"period": 0}])
+    def test_region_validation(self, kw):
+        base = dict(top=0, left=0, height=2, width=2)
+        base.update(kw)
+        with pytest.raises(VideoError):
+            FlickerRegion(**base)
+
+
+class TestBimodal:
+    def test_bimodal_pixels_alternate(self):
+        cfg = SceneConfig(
+            height=32, width=32, noise_sd=0.0,
+            bimodal_fraction=1.0, bimodal_delta=40.0,
+        )
+        video = SyntheticVideo(cfg)
+        frames = np.stack([video.frame(t).astype(float) for t in range(30)])
+        spans = frames.max(axis=0) - frames.min(axis=0)
+        # Every pixel visits both modes within 30 frames (half-period
+        # is at most 12).
+        assert (spans >= 39).mean() > 0.99
+
+    def test_bimodal_runs_persist(self):
+        cfg = SceneConfig(
+            height=16, width=16, noise_sd=0.0,
+            bimodal_fraction=1.0, bimodal_delta=40.0,
+        )
+        video = SyntheticVideo(cfg)
+        series = np.stack([video.frame(t) for t in range(40)]).astype(float)
+        flips = (np.abs(np.diff(series, axis=0)) > 20).mean(axis=0)
+        # Modes hold for 6-12 frames: flip rate per frame ~ 1/6..1/12.
+        assert 0.05 < flips.mean() < 0.25
+
+    def test_zero_fraction_is_unimodal(self):
+        cfg = SceneConfig(height=16, width=16, noise_sd=0.0, bimodal_fraction=0.0)
+        video = SyntheticVideo(cfg)
+        assert np.array_equal(video.frame(0), video.frame(17))
+
+    def test_truth_unaffected_by_bimodal(self):
+        cfg = SceneConfig(
+            height=16, width=16, bimodal_fraction=1.0, bimodal_delta=30.0
+        )
+        video = SyntheticVideo(cfg)
+        _, truth = video.frame_with_truth(4)
+        assert not truth.any()  # bimodal background is still background
+
+
+class TestBackgroundImage:
+    def test_background_matches_static_scene(self):
+        video = SyntheticVideo(SceneConfig(height=16, width=16, noise_sd=0.0))
+        bg = video.background(0)
+        assert np.allclose(bg, video.frame(0), atol=1.0)
+
+    def test_sprites_not_in_background(self):
+        track = SpriteTrack(
+            Sprite.rectangle(4, 4, 250.0), stationary_path((4, 4))
+        )
+        video = SyntheticVideo(
+            SceneConfig(height=16, width=16, noise_sd=0.0), tracks=[track]
+        )
+        assert video.background(0)[5, 5] != 250.0
+        assert video.frame(0)[5, 5] == 250

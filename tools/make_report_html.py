@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Render the full reproduction as a single self-contained HTML page:
+every experiment table plus inline SVG bar charts for the headline
+figures (no JS, no external assets — opens anywhere).
+
+Run:  python tools/make_report_html.py [output.html]
+"""
+
+from __future__ import annotations
+
+import html
+import sys
+from datetime import date
+from pathlib import Path
+
+from repro.bench.experiments import (
+    ALL_EXPERIMENTS,
+    Experiment,
+    ExperimentContext,
+    PAPER_SPEEDUPS,
+)
+
+CSS = """
+body { font-family: Georgia, serif; max-width: 60rem; margin: 2rem auto;
+       color: #222; line-height: 1.45; padding: 0 1rem; }
+h1 { border-bottom: 3px solid #444; padding-bottom: .3rem; }
+h2 { margin-top: 2.2rem; border-bottom: 1px solid #bbb; }
+table { border-collapse: collapse; margin: 1rem 0; font-size: .95rem; }
+th, td { border: 1px solid #ccc; padding: .3rem .6rem; text-align: left; }
+th { background: #f0ede6; }
+.notes { font-style: italic; color: #555; max-width: 48rem; }
+svg { margin: 1rem 0; }
+.bar-paper { fill: #b8b2a7; }
+.bar-measured { fill: #4a6fa5; }
+text { font-family: Georgia, serif; font-size: 12px; fill: #222; }
+"""
+
+
+def table_html(exp: Experiment) -> str:
+    head = "".join(f"<th>{html.escape(str(h))}</th>" for h in exp.headers)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{html.escape(str(c))}</td>" for c in row) + "</tr>"
+        for row in exp.rows
+    )
+    notes = (
+        f'<p class="notes">{html.escape(exp.notes)}</p>' if exp.notes else ""
+    )
+    return (
+        f"<h2>{html.escape(exp.exp_id)}: {html.escape(exp.title)}</h2>"
+        f"<table><tr>{head}</tr>{body}</table>{notes}"
+    )
+
+
+def speedup_chart(measured: dict[str, float]) -> str:
+    """Grouped bar chart: paper vs measured speedups per level."""
+    levels = list(PAPER_SPEEDUPS)
+    width, height, pad = 640, 260, 36
+    max_v = max(max(PAPER_SPEEDUPS.values()), max(measured.values())) * 1.15
+    group_w = (width - 2 * pad) / len(levels)
+    bar_w = group_w * 0.32
+    parts = [
+        f'<svg width="{width}" height="{height}" '
+        'xmlns="http://www.w3.org/2000/svg">',
+        f'<text x="{pad}" y="16">Speedup over the serial CPU '
+        "(grey = paper, blue = this reproduction)</text>",
+    ]
+    base_y = height - pad
+    scale = (height - 2 * pad) / max_v
+    for i, level in enumerate(levels):
+        x0 = pad + i * group_w + group_w * 0.15
+        for j, (cls, value) in enumerate(
+            [("bar-paper", PAPER_SPEEDUPS[level]),
+             ("bar-measured", measured[level])]
+        ):
+            bh = value * scale
+            x = x0 + j * bar_w
+            parts.append(
+                f'<rect class="{cls}" x="{x:.1f}" y="{base_y - bh:.1f}" '
+                f'width="{bar_w:.1f}" height="{bh:.1f}"/>'
+            )
+            parts.append(
+                f'<text x="{x:.1f}" y="{base_y - bh - 4:.1f}">'
+                f"{value:.0f}</text>"
+            )
+        parts.append(
+            f'<text x="{x0 + bar_w * 0.7:.1f}" y="{base_y + 16}">'
+            f"{level}</text>"
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def main() -> None:
+    out_path = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("report.html")
+    ctx = ExperimentContext()
+    measured = {level: ctx.run(level).speedup for level in PAPER_SPEEDUPS}
+
+    sections = [
+        "<h1>MoG on a (simulated) GPU — reproduction report</h1>",
+        f"<p>Generated {date.today().isoformat()} by "
+        "<code>tools/make_report_html.py</code>. Paper: Zhang, Tabkhi, "
+        "Schirner — ICPP 2014, DOI 10.1109/ICPP.2014.27. See "
+        "<code>EXPERIMENTS.md</code> for methodology and deviations.</p>",
+        speedup_chart(measured),
+    ]
+    for name, fn in ALL_EXPERIMENTS.items():
+        print(f"running {name} ...", file=sys.stderr)
+        exp = fn(ctx) if fn.__code__.co_argcount else fn()
+        sections.append(table_html(exp))
+
+    out_path.write_text(
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        f"<title>MoG reproduction report</title><style>{CSS}</style>"
+        "</head><body>" + "".join(sections) + "</body></html>"
+    )
+    print(f"wrote {out_path}", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()
