@@ -28,7 +28,7 @@ Quickstart::
     print(report.summary())
 """
 
-from .config import MoGParams, RunConfig
+from .config import FaultPolicy, MoGParams, RunConfig, TelemetryConfig
 from .core import BackgroundSubtractor, OptimizationLevel, RunReport
 from .errors import ReproError
 
@@ -40,6 +40,8 @@ __all__ = [
     "RunReport",
     "MoGParams",
     "RunConfig",
+    "FaultPolicy",
+    "TelemetryConfig",
     "ReproError",
     "__version__",
 ]

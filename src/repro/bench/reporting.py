@@ -28,6 +28,44 @@ def format_table(
     return "\n".join(lines)
 
 
+def format_metrics(snapshot: dict, title: str = "Telemetry") -> str:
+    """Render a :meth:`repro.telemetry.MetricsRegistry.snapshot` as
+    text tables (counters/gauges, then per-stage latency histograms)."""
+    sections: list[str] = []
+    scalar_rows = [
+        [name, value]
+        for name, value in snapshot.get("counters", {}).items()
+    ] + [
+        [name, f"{value:g}"]
+        for name, value in snapshot.get("gauges", {}).items()
+    ]
+    if scalar_rows:
+        sections.append(
+            format_table(["metric", "value"], scalar_rows, title=title)
+        )
+    hist_rows = [
+        [
+            name,
+            h["count"],
+            f"{h['mean_s'] * 1e3:.2f}",
+            f"{h['p50_s'] * 1e3:.2f}",
+            f"{h['p95_s'] * 1e3:.2f}",
+            f"{h['max_s'] * 1e3:.2f}",
+        ]
+        for name, h in snapshot.get("histograms", {}).items()
+        if h.get("count")
+    ]
+    if hist_rows:
+        sections.append(format_table(
+            ["latency", "count", "mean ms", "p50 ms", "p95 ms", "max ms"],
+            hist_rows,
+            title=None if scalar_rows else title,
+        ))
+    if not sections:
+        return f"{title}\n{'=' * len(title)}\n(no metrics recorded)"
+    return "\n\n".join(sections)
+
+
 def pct(x: float) -> str:
     """Format a ratio as a percentage."""
     return f"{x * 100:.1f}%"

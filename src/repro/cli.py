@@ -87,6 +87,14 @@ def _build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--learning-rate", type=float, default=0.08)
     tr.add_argument("--warmup", type=int, default=15)
     tr.add_argument("--min-area", type=int, default=6)
+    tr.add_argument("--on-error", choices=("raise", "degrade"),
+                    default="raise",
+                    help="stage-failure policy: raise (default) or serve "
+                    "the last good mask and keep streaming")
+    tr.add_argument("--metrics", action="store_true",
+                    help="print per-stage telemetry after the run")
+    tr.add_argument("--metrics-json", default=None,
+                    help="write the telemetry snapshot as JSON")
 
     cu = sub.add_parser(
         "export-cuda",
@@ -198,10 +206,30 @@ def _cmd_track(args) -> int:
                             min_area=args.min_area),
         tracker_params=TrackerParams(min_area=args.min_area),
         warmup_frames=args.warmup,
+        on_error=args.on_error,
     )
+    degraded = 0
     for t in range(source.num_frames):
-        pipe.step(source.frame(t))
+        if pipe.step(source.frame(t)).degraded:
+            degraded += 1
     print(pipe.summary())
+    if degraded:
+        print(f"({degraded} degraded frames served the last good mask)")
+    if args.metrics:
+        from .bench.reporting import format_metrics
+
+        print()
+        print(format_metrics(pipe.telemetry.snapshot()))
+    if args.metrics_json:
+        import json
+
+        try:
+            with open(args.metrics_json, "w", encoding="utf-8") as fh:
+                json.dump(pipe.telemetry.snapshot(), fh, indent=2)
+        except OSError as exc:
+            print(f"error: cannot write metrics: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote metrics to {args.metrics_json}")
     return 0
 
 

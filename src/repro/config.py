@@ -203,3 +203,133 @@ class RunConfig:
     def replace(self, **kwargs) -> "RunConfig":
         """Return a copy with the given fields replaced."""
         return dataclasses.replace(self, **kwargs)
+
+
+#: Fault policies for the process-parallel path.
+FAULT_POLICIES = ("fail", "restart", "serial_fallback")
+#: Stage-error policies for the streaming pipeline.
+STAGE_ERROR_POLICIES = ("raise", "degrade")
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """How the serving path reacts to worker and stage failures.
+
+    Attributes
+    ----------
+    policy:
+        What :class:`~repro.parallel.ParallelMoG` does when a stripe
+        worker dies, hangs past ``timeout_s``, or raises:
+
+        * ``"fail"`` (default) — raise a typed
+          :class:`~repro.errors.WorkerError` naming the stripe;
+        * ``"restart"`` — spawn a replacement worker (restoring the
+          stripe's last checkpointed mixture state when
+          ``checkpoint=True``) and re-submit the stripe, up to
+          ``max_restarts`` times per stripe;
+        * ``"serial_fallback"`` — degrade the stripe to an in-process
+          :class:`~repro.mog.MoGVectorized` for the rest of the run.
+    timeout_s:
+        Upper bound on waiting for any single stripe result. This is
+        what turns a dead worker from an infinite hang into a handled
+        fault.
+    probe_timeout_s:
+        Upper bound on the startup handshake of each worker, so an
+        initializer failure surfaces at construction instead of as an
+        opaque hang on the first frame.
+    shutdown_timeout_s:
+        Grace period for workers to drain and exit on ``close()``
+        before escalating to a hard ``terminate()``.
+    max_restarts:
+        Per-stripe restart budget under ``policy="restart"``; once
+        exhausted the fault is raised as a ``WorkerError``.
+    checkpoint:
+        Ship the stripe's mixture state back with every result so a
+        restarted (or fallen-back) stripe resumes exactly where the
+        dead worker left off, keeping masks identical to the serial
+        implementation. Costs one extra state copy per stripe per
+        frame; only active when ``policy`` is not ``"fail"``.
+    stage_error:
+        What :class:`~repro.core.stream.SurveillancePipeline` does when
+        a stage raises mid-step: ``"raise"`` re-raises (leaving the
+        frame index uncommitted), ``"degrade"`` returns the last good
+        mask flagged as degraded.
+    """
+
+    policy: str = "fail"
+    timeout_s: float = 30.0
+    probe_timeout_s: float = 10.0
+    shutdown_timeout_s: float = 5.0
+    max_restarts: int = 3
+    checkpoint: bool = True
+    stage_error: str = "raise"
+
+    def __post_init__(self) -> None:
+        if self.policy not in FAULT_POLICIES:
+            raise ConfigError(
+                f"policy must be one of {FAULT_POLICIES}, got {self.policy!r}"
+            )
+        if self.stage_error not in STAGE_ERROR_POLICIES:
+            raise ConfigError(
+                "stage_error must be one of "
+                f"{STAGE_ERROR_POLICIES}, got {self.stage_error!r}"
+            )
+        for name in ("timeout_s", "probe_timeout_s", "shutdown_timeout_s"):
+            value = getattr(self, name)
+            if not value > 0.0:
+                raise ConfigError(f"{name} must be positive, got {value}")
+        if self.max_restarts < 0:
+            raise ConfigError(
+                f"max_restarts must be non-negative, got {self.max_restarts}"
+            )
+
+    @property
+    def wants_checkpoint(self) -> bool:
+        """Whether results should carry state back (no overhead under
+        ``"fail"``, where the state would never be used)."""
+        return self.checkpoint and self.policy != "fail"
+
+    def replace(self, **kwargs) -> "FaultPolicy":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **kwargs)
+
+
+#: Default latency-histogram bucket upper bounds, in seconds
+#: (1 ms .. 30 s, roughly x3 steps — spans a per-stage frame budget
+#: from real-time HD to a struggling debug run).
+DEFAULT_LATENCY_BUCKETS_S = (
+    0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0,
+)
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Observability knobs for the serving path.
+
+    Attributes
+    ----------
+    enabled:
+        When ``False``, registries hand out no-op instruments and
+        snapshots are empty — zero overhead on the hot path.
+    latency_buckets_s:
+        Ascending upper bounds (seconds) of the latency-histogram
+        buckets.
+    """
+
+    enabled: bool = True
+    latency_buckets_s: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_S
+
+    def __post_init__(self) -> None:
+        buckets = tuple(float(b) for b in self.latency_buckets_s)
+        if not buckets:
+            raise ConfigError("latency_buckets_s must not be empty")
+        if any(b <= 0 for b in buckets) or list(buckets) != sorted(set(buckets)):
+            raise ConfigError(
+                "latency_buckets_s must be positive and strictly "
+                f"ascending, got {self.latency_buckets_s}"
+            )
+        object.__setattr__(self, "latency_buckets_s", buckets)
+
+    def replace(self, **kwargs) -> "TelemetryConfig":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **kwargs)

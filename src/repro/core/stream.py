@@ -13,29 +13,52 @@ consume a single interface::
 Each stage is optional and injectable; the defaults are sensible for
 the synthetic scenes (no opening — see the post-processing tests on why
 opening is dangerous for small objects).
+
+The pipeline is written to run unattended (the serving-path regime):
+
+* frames are validated up front, so a malformed frame raises a clear
+  :class:`~repro.errors.ConfigError` before any state changes;
+* the frame index commits only when a step succeeds — an exception
+  mid-step leaves the index and the warm-up accounting exactly where
+  they were, and the same frame can be retried;
+* with ``on_error="degrade"`` a failing stage yields the last good
+  mask (flagged ``degraded``) instead of raising, so one bad frame
+  does not take the stream down;
+* every stage is timed into a :class:`~repro.telemetry.MetricsRegistry`
+  whose snapshot rides along on each :class:`StreamResult`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..config import MoGParams, RunConfig
+from ..config import STAGE_ERROR_POLICIES, MoGParams, RunConfig, TelemetryConfig
 from ..errors import ConfigError
 from ..post.morphology import MaskCleaner
+from ..telemetry import MetricsRegistry
 from ..track.tracker import CentroidTracker, Track, TrackerParams
 from .subtractor import BackgroundSubtractor
 
 
 @dataclass(frozen=True)
 class StreamResult:
-    """Outcome of one pipeline step."""
+    """Outcome of one pipeline step.
+
+    ``degraded`` marks a step that served the last good mask because a
+    stage failed (``error`` holds the failure's repr); ``telemetry`` is
+    the registry snapshot taken as the step completed.
+    """
 
     frame_index: int
     raw_mask: np.ndarray
     mask: np.ndarray
     tracks: list[Track]
+    degraded: bool = False
+    error: str | None = None
+    telemetry: dict = field(default_factory=dict)
 
     @property
     def foreground_rate(self) -> float:
@@ -43,7 +66,20 @@ class StreamResult:
 
 
 class SurveillancePipeline:
-    """Background subtraction + cleanup + tracking, streamed."""
+    """Background subtraction + cleanup + tracking, streamed.
+
+    Parameters
+    ----------
+    on_error:
+        ``"raise"`` (default) re-raises a stage failure without
+        committing the frame index; ``"degrade"`` serves the last good
+        mask instead (the first frames, before any mask succeeded,
+        still raise — there is nothing to degrade to).
+    telemetry:
+        Optional shared :class:`~repro.telemetry.MetricsRegistry`; one
+        is created if omitted (pass
+        ``MetricsRegistry(TelemetryConfig(enabled=False))`` to opt out).
+    """
 
     def __init__(
         self,
@@ -55,10 +91,17 @@ class SurveillancePipeline:
         cleaner: MaskCleaner | None = None,
         tracker_params: TrackerParams | None = None,
         warmup_frames: int = 15,
+        on_error: str = "raise",
+        telemetry: MetricsRegistry | None = None,
     ) -> None:
         if warmup_frames < 0:
             raise ConfigError(
                 f"warmup_frames must be non-negative, got {warmup_frames}"
+            )
+        if on_error not in STAGE_ERROR_POLICIES:
+            raise ConfigError(
+                f"on_error must be one of {STAGE_ERROR_POLICIES}, "
+                f"got {on_error!r}"
             )
         self.subtractor = BackgroundSubtractor(
             shape, params, level=level, backend=backend,
@@ -69,7 +112,42 @@ class SurveillancePipeline:
         )
         self.tracker = CentroidTracker(tracker_params)
         self.warmup_frames = warmup_frames
+        self.on_error = on_error
+        self.telemetry = telemetry or MetricsRegistry(TelemetryConfig())
         self.frame_index = -1
+        self._last_good_mask: np.ndarray | None = None
+
+    def _check_frame(self, frame) -> np.ndarray:
+        """Validate shape/dtype before any state is touched."""
+        frame = np.asarray(frame)
+        if frame.shape != self.subtractor.shape:
+            raise ConfigError(
+                f"frame shape {frame.shape} != configured "
+                f"{self.subtractor.shape}"
+            )
+        if frame.dtype.kind not in "uif" or frame.dtype.kind == "f" and not (
+            np.isfinite(frame).all()
+        ):
+            raise ConfigError(
+                f"frame must be numeric and finite, got dtype {frame.dtype}"
+            )
+        return frame
+
+    def _degraded_result(self, index: int, exc: BaseException) -> StreamResult:
+        """Serve the last good mask for a frame whose stage failed."""
+        tel = self.telemetry
+        tel.counter("stream.frames_degraded").inc()
+        self.frame_index = index  # the frame was consumed, count it
+        mask = self._last_good_mask
+        return StreamResult(
+            frame_index=index,
+            raw_mask=mask,
+            mask=mask,
+            tracks=[],
+            degraded=True,
+            error=repr(exc),
+            telemetry=tel.snapshot(),
+        )
 
     def step(self, frame: np.ndarray) -> StreamResult:
         """Process one frame through all stages.
@@ -78,18 +156,42 @@ class SurveillancePipeline:
         unconverged mask would spawn phantom tracks), but masks are
         still produced and returned.
         """
-        self.frame_index += 1
-        raw = self.subtractor.apply(frame)
-        mask = self.cleaner(raw)
-        if self.frame_index >= self.warmup_frames:
-            tracks = self.tracker.update(mask, frame_index=self.frame_index)
-        else:
-            tracks = []
+        frame = self._check_frame(frame)
+        tel = self.telemetry
+        index = self.frame_index + 1
+        t0 = time.perf_counter()
+        try:
+            with tel.time("stream.subtract_s"):
+                raw = self.subtractor.apply(frame)
+            with tel.time("stream.clean_s"):
+                mask = self.cleaner(raw)
+        except Exception as exc:
+            tel.counter("stream.stage_errors").inc()
+            if self.on_error == "degrade" and self._last_good_mask is not None:
+                return self._degraded_result(index, exc)
+            raise  # frame_index uncommitted: the frame can be retried
+        tracks: list[Track] = []
+        if index >= self.warmup_frames:
+            try:
+                with tel.time("stream.track_s"):
+                    tracks = self.tracker.update(mask, frame_index=index)
+            except Exception as exc:
+                tel.counter("stream.stage_errors").inc()
+                if self.on_error != "degrade":
+                    raise
+                tracks = []
+        # Commit point: all state updates happen together, after every
+        # stage either succeeded or was explicitly degraded.
+        self.frame_index = index
+        self._last_good_mask = mask
+        tel.counter("stream.frames_total").inc()
+        tel.histogram("stream.step_s").observe(time.perf_counter() - t0)
         return StreamResult(
-            frame_index=self.frame_index,
+            frame_index=index,
             raw_mask=raw,
             mask=mask,
             tracks=tracks,
+            telemetry=tel.snapshot(),
         )
 
     def run(self, frames) -> list[StreamResult]:

@@ -159,3 +159,40 @@ class MoGVectorized:
         if self.state is None:
             raise ConfigError("no frame processed yet")
         return self.state.background_image(self.shape)
+
+    # -- checkpoint / restore (the parallel path's fault tolerance) ----
+    def state_snapshot(self):
+        """Picklable snapshot ``(w, m, sd, frames_processed)`` or
+        ``None`` before the first frame.
+
+        The returned arrays are the live state, not copies: ``apply``
+        rebinds the state arrays each frame (it never mutates them in
+        place), so a snapshot taken between frames stays valid while
+        the model keeps running.
+        """
+        if self.state is None:
+            return None
+        return (
+            self.state.w, self.state.m, self.state.sd, self.frames_processed,
+        )
+
+    def restore_state(self, snapshot) -> None:
+        """Restore a :meth:`state_snapshot`, resuming the model exactly
+        where the snapshot was taken. ``None`` resets to pre-first-frame."""
+        if snapshot is None:
+            self.state = None
+            self.frames_processed = 0
+            return
+        w, m, sd, frames_processed = snapshot
+        for arr in (w, m, sd):
+            if np.asarray(arr).shape[-1] != self.num_pixels:
+                raise ConfigError(
+                    f"snapshot has {np.asarray(arr).shape[-1]} pixels, "
+                    f"model expects {self.num_pixels}"
+                )
+        self.state = MixtureState(
+            np.array(w, dtype=self.dtype),
+            np.array(m, dtype=self.dtype),
+            np.array(sd, dtype=self.dtype),
+        )
+        self.frames_processed = int(frames_processed)

@@ -1,12 +1,32 @@
-"""Data-parallel CPU MoG over row stripes, one process per stripe.
+"""Data-parallel CPU MoG over row stripes, one supervised process each.
 
 The paper's multi-threaded baseline is an 8-thread OpenMP build; the
-Python equivalent is a process pool (the GIL rules out threads for
-NumPy-light per-pixel work). MoG is embarrassingly parallel across
-pixels, so the frame splits into horizontal stripes and each worker
-owns the mixture state of its stripe for the whole run — only the
-stripe's input pixels and output mask cross the process boundary, as
-buffer-typed (pickle-5 / out-of-band) payloads.
+Python equivalent is a set of worker processes (the GIL rules out
+threads for NumPy-light per-pixel work). MoG is embarrassingly parallel
+across pixels, so the frame splits into horizontal stripes and each
+worker owns the mixture state of its stripe for the whole run — only
+the stripe's input pixels, output mask (and, when checkpointing, the
+stripe state) cross the process boundary.
+
+Unlike a bare ``multiprocessing.Pool``, every stripe worker here is
+*supervised* (the serving-path requirement — see
+docs/architecture.md, "Failure modes & telemetry"):
+
+* construction probes each worker with a ready handshake, so an
+  initializer failure raises :class:`~repro.errors.WorkerError`
+  immediately instead of hanging the first ``apply``;
+* every stripe result is collected with a bounded timeout — a worker
+  that died (e.g. OOM-killed under fork) or hangs becomes a typed
+  fault, never an infinite block;
+* faults are handled per :class:`~repro.config.FaultPolicy`:
+  ``fail`` raises, ``restart`` replaces the worker (restoring the
+  stripe's checkpointed state and re-submitting the frame, so masks
+  stay identical to the serial implementation), ``serial_fallback``
+  degrades the stripe to an in-process :class:`MoGVectorized`;
+* ``close()`` asks workers to drain and exit, escalating to
+  ``terminate`` only after ``shutdown_timeout_s``;
+* restarts, fallbacks, timeouts and latencies are recorded in a
+  :class:`~repro.telemetry.MetricsRegistry`.
 
 This is a *real* measured implementation, used by the examples and the
 parallel tests; the paper-reproduction speedup numbers use the analytic
@@ -16,40 +36,234 @@ parallel tests; the paper-reproduction speedup numbers use the analytic
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import time
 
 import numpy as np
 
-from ..config import MoGParams
-from ..errors import ConfigError
+from ..config import FaultPolicy, MoGParams
+from ..errors import ConfigError, WorkerError
 from ..mog.vectorized import VARIANTS, MoGVectorized
-
-# Worker-process state: one MoG per stripe, created by the initializer
-# and reused across frames (states must persist between apply calls).
-_WORKER_MOG: MoGVectorized | None = None
+from ..telemetry import MetricsRegistry
 
 
-def _init_worker(shape, params, variant, dtype) -> None:
-    global _WORKER_MOG
-    _WORKER_MOG = MoGVectorized(shape, params, variant=variant, dtype=dtype)
+def _worker_main(conn, shape, params, variant, dtype, snapshot, want_state):
+    """Stripe worker loop: build the model, handshake, serve requests.
+
+    Protocol (parent -> worker): ``("apply", stripe)`` or ``("stop",)``.
+    Worker -> parent: ``("ready", pid)`` once at startup (or
+    ``("init_error", repr)``), then ``("ok", mask, state_or_None)`` /
+    ``("error", repr)`` per apply.
+    """
+    try:
+        mog = MoGVectorized(shape, params, variant=variant, dtype=dtype)
+        if snapshot is not None:
+            mog.restore_state(snapshot)
+    except BaseException as exc:  # surface *any* init failure to the probe
+        try:
+            conn.send(("init_error", repr(exc)))
+        finally:
+            conn.close()
+        return
+    conn.send(("ready", os.getpid()))
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except EOFError:  # parent went away
+                break
+            if msg[0] == "stop":
+                break
+            try:
+                mask = mog.apply(msg[1])
+                state = mog.state_snapshot() if want_state else None
+                conn.send(("ok", mask, state))
+            except BaseException as exc:
+                conn.send(("error", repr(exc)))
+    finally:
+        conn.close()
 
 
-def _apply_worker(stripe: np.ndarray) -> np.ndarray:
-    assert _WORKER_MOG is not None, "worker not initialised"
-    return _WORKER_MOG.apply(stripe)
+class _StripeWorker:
+    """Parent-side handle supervising one stripe's worker process."""
+
+    def __init__(self, ctx, index, bounds, shape, params, variant, dtype,
+                 policy: FaultPolicy, telemetry: MetricsRegistry) -> None:
+        self._ctx = ctx
+        self.index = index
+        self.bounds = bounds  # (lo, hi) rows of the full frame
+        self._shape = shape   # stripe shape (rows, width)
+        self._params = params
+        self._variant = variant
+        self._dtype = dtype
+        self._policy = policy
+        self._telemetry = telemetry
+        self.pid: int | None = None
+        self.restarts = 0
+        self.fallback: MoGVectorized | None = None
+        self.last_state = None  # last checkpointed stripe state
+        self._conn = None
+        self._proc = None
+        self._start()
+
+    # -- lifecycle -----------------------------------------------------
+    def _start(self) -> None:
+        self.pid = None  # set again by the ready handshake
+        parent, child = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(child, self._shape, self._params, self._variant,
+                  self._dtype, self.last_state,
+                  self._policy.wants_checkpoint),
+            daemon=True,
+            name=f"repro-stripe-{self.index}",
+        )
+        proc.start()
+        child.close()  # parent keeps only its end
+        self._conn, self._proc = parent, proc
+        self._probe()
+
+    def _probe(self) -> None:
+        """Wait for the ready handshake; raise WorkerError on failure."""
+        try:
+            if self._conn.poll(self._policy.probe_timeout_s):
+                msg = self._conn.recv()
+                if msg[0] == "ready":
+                    self.pid = msg[1]
+                    return
+                detail = msg[1] if len(msg) > 1 else msg[0]
+                raise WorkerError(
+                    f"stripe {self.index} worker failed to initialise: "
+                    f"{detail}", stripe=self.index,
+                )
+            raise WorkerError(
+                f"stripe {self.index} worker did not come up within "
+                f"{self._policy.probe_timeout_s:g}s", stripe=self.index,
+            )
+        except (EOFError, OSError) as exc:
+            raise WorkerError(
+                f"stripe {self.index} worker died during startup: {exc!r}",
+                stripe=self.index,
+            ) from exc
+        finally:
+            if self.pid is None:
+                self.kill()
+
+    def restart(self) -> None:
+        """Replace a dead/hung worker, restoring the checkpointed state."""
+        self.kill()
+        self.restarts += 1
+        self._telemetry.counter("parallel.worker_restarts").inc()
+        self._start()
+
+    def to_fallback(self) -> MoGVectorized:
+        """Degrade this stripe to an in-process model (checkpoint-seeded)."""
+        self.kill()
+        self._telemetry.counter("parallel.serial_fallbacks").inc()
+        mog = MoGVectorized(
+            self._shape, self._params, variant=self._variant,
+            dtype=self._dtype,
+        )
+        mog.restore_state(self.last_state)
+        self.fallback = mog
+        return mog
+
+    # -- request/response ----------------------------------------------
+    def submit(self, stripe: np.ndarray) -> None:
+        """Send one stripe; raises WorkerError if the worker is gone."""
+        try:
+            self._conn.send(("apply", stripe))
+        except (BrokenPipeError, OSError) as exc:
+            raise WorkerError(
+                f"stripe {self.index} worker (pid {self.pid}) is dead: "
+                f"{exc!r}", stripe=self.index,
+            ) from exc
+
+    def collect(self, timeout_s: float) -> np.ndarray:
+        """Receive one stripe result within ``timeout_s``."""
+        try:
+            if not self._conn.poll(timeout_s):
+                self._telemetry.counter("parallel.timeouts").inc()
+                alive = self._proc.is_alive()
+                raise WorkerError(
+                    f"stripe {self.index} worker (pid {self.pid}) "
+                    f"{'is unresponsive' if alive else 'died'} "
+                    f"(no result within {timeout_s:g}s)",
+                    stripe=self.index,
+                )
+            msg = self._conn.recv()
+        except (EOFError, OSError) as exc:
+            self._telemetry.counter("parallel.worker_deaths").inc()
+            raise WorkerError(
+                f"stripe {self.index} worker (pid {self.pid}) died "
+                f"mid-frame: {exc!r}", stripe=self.index,
+            ) from exc
+        if msg[0] == "ok":
+            if msg[2] is not None:
+                self.last_state = msg[2]
+            return msg[1]
+        raise WorkerError(
+            f"stripe {self.index} worker raised: {msg[1]}",
+            stripe=self.index,
+        )
+
+    # -- shutdown ------------------------------------------------------
+    def request_stop(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass  # already gone; join/kill below deals with it
+
+    def join(self, timeout_s: float) -> bool:
+        """True if the process exited within ``timeout_s``."""
+        if self._proc is None:
+            return True
+        self._proc.join(timeout_s)
+        return not self._proc.is_alive()
+
+    def kill(self) -> None:
+        """Hard-stop the worker process and release its pipe."""
+        if self._proc is not None and self._proc.is_alive():
+            self._proc.terminate()
+            self._proc.join(1.0)
+            if self._proc.is_alive():
+                self._proc.kill()
+                self._proc.join(1.0)
+        if self._conn is not None:
+            self._conn.close()
+        self._conn = None
+        self._proc = None
 
 
 class ParallelMoG:
-    """MoG over ``workers`` processes, one row stripe each.
+    """MoG over ``workers`` supervised processes, one row stripe each.
 
     Produces masks identical to the serial implementation (pixels are
-    independent, and each stripe runs the same code on the same data).
+    independent, and each stripe runs the same code on the same data);
+    with ``fault_policy.policy="restart"`` and checkpointing (the
+    default), this holds even across worker crashes.
+
+    Parameters
+    ----------
+    shape, params, workers, variant, dtype:
+        As before: frame geometry, MoG parameters, stripe count and
+        algorithmic variant.
+    fault_policy:
+        :class:`~repro.config.FaultPolicy` governing timeouts and the
+        reaction to worker loss. The default policy is ``"fail"``
+        (raise a :class:`~repro.errors.WorkerError`), with a 30 s
+        per-stripe timeout.
+    telemetry:
+        Optional shared :class:`~repro.telemetry.MetricsRegistry`; one
+        is created if omitted. Exposed as :attr:`telemetry`.
 
     Notes
     -----
-    Each worker must process the stripes *in frame order*; the pool
-    maps one stripe per worker per frame, and chunk assignment is
-    pinned by splitting the frame into exactly ``workers`` stripes.
+    Each worker owns its stripe's mixture state for the whole run, so
+    stripes must be processed *in frame order*; the supervisor submits
+    one stripe per worker per frame and collects in stripe order with a
+    bounded timeout.
     """
 
     def __init__(
@@ -59,6 +273,8 @@ class ParallelMoG:
         workers: int = 4,
         variant: str = "nosort",
         dtype: str = "double",
+        fault_policy: FaultPolicy | None = None,
+        telemetry: MetricsRegistry | None = None,
     ) -> None:
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
@@ -73,28 +289,79 @@ class ParallelMoG:
         self.workers = workers
         self.variant = variant
         self.dtype = dtype
+        self.fault_policy = fault_policy or FaultPolicy()
+        self.telemetry = telemetry or MetricsRegistry()
         bounds = np.linspace(0, shape[0], workers + 1).astype(int)
-        self._stripes = list(zip(bounds[:-1], bounds[1:]))
+        self._stripes = [
+            (int(lo), int(hi)) for lo, hi in zip(bounds[:-1], bounds[1:])
+        ]
         # Prefer fork where available: no __main__ re-import (works from
         # REPLs and piped scripts) and cheap worker start-up.
         method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
         ctx = mp.get_context(method)
-        # One single-stripe pool per worker keeps stripe->process
-        # affinity (each process owns exactly one stripe's state).
-        self._pools = [
-            ctx.Pool(
-                1,
-                initializer=_init_worker,
-                initargs=(
-                    (hi - lo, shape[1]), self.params, variant, dtype
-                ),
-            )
-            for lo, hi in self._stripes
-        ]
+        self._workers: list[_StripeWorker] = []
+        try:
+            for i, (lo, hi) in enumerate(self._stripes):
+                self._workers.append(_StripeWorker(
+                    ctx, i, (lo, hi), (hi - lo, shape[1]), self.params,
+                    variant, dtype, self.fault_policy, self.telemetry,
+                ))
+        except BaseException:
+            for w in self._workers:
+                w.kill()
+            raise
         self._closed = False
 
+    # ------------------------------------------------------------------
+    def worker_pids(self) -> list[int | None]:
+        """Current worker PID per stripe (``None`` for fallen-back
+        stripes) — supervision/test hook."""
+        return [None if w.fallback is not None else w.pid
+                for w in self._workers]
+
+    def stripe_status(self) -> list[dict]:
+        """Per-stripe supervision view: mode, pid, restart count."""
+        return [
+            {
+                "stripe": w.index,
+                "rows": w.bounds,
+                "mode": "fallback" if w.fallback is not None else "worker",
+                "pid": None if w.fallback is not None else w.pid,
+                "restarts": w.restarts,
+            }
+            for w in self._workers
+        ]
+
+    # ------------------------------------------------------------------
+    def _handle_fault(
+        self, worker: _StripeWorker, stripe: np.ndarray, cause: WorkerError,
+    ) -> np.ndarray:
+        """Apply the fault policy to a failed stripe; returns its mask."""
+        policy = self.fault_policy
+        if policy.policy == "serial_fallback":
+            return worker.to_fallback().apply(stripe)
+        if policy.policy == "restart":
+            last = cause
+            while worker.restarts < policy.max_restarts:
+                worker.restart()
+                try:
+                    worker.submit(stripe)
+                    return worker.collect(policy.timeout_s)
+                except WorkerError as exc:
+                    last = exc
+            raise WorkerError(
+                f"stripe {worker.index} exhausted its restart budget "
+                f"({policy.max_restarts}): {last}", stripe=worker.index,
+            ) from last
+        worker.kill()  # policy == "fail": don't leave a zombie behind
+        raise cause
+
     def apply(self, frame: np.ndarray) -> np.ndarray:
-        """Process one frame in parallel; returns the foreground mask."""
+        """Process one frame in parallel; returns the foreground mask.
+
+        Never blocks longer than ``fault_policy.timeout_s`` per stripe
+        (plus restart turnaround when the policy retries).
+        """
         if self._closed:
             raise ConfigError("ParallelMoG is closed")
         frame = np.asarray(frame)
@@ -102,11 +369,42 @@ class ParallelMoG:
             raise ConfigError(
                 f"frame shape {frame.shape} != configured {self.shape}"
             )
-        async_results = [
-            pool.apply_async(_apply_worker, (frame[lo:hi],))
-            for pool, (lo, hi) in zip(self._pools, self._stripes)
-        ]
-        return np.concatenate([r.get() for r in async_results], axis=0)
+        t0 = time.perf_counter()
+        masks: list[np.ndarray | None] = [None] * self.workers
+        faults: list[tuple[_StripeWorker, WorkerError]] = []
+        # Phase 1: submit every live stripe (a send to a dead worker is
+        # itself a fault, handled after the healthy stripes finish).
+        for w in self._workers:
+            if w.fallback is None:
+                try:
+                    w.submit(frame[w.bounds[0]:w.bounds[1]])
+                except WorkerError as exc:
+                    self.telemetry.counter("parallel.worker_deaths").inc()
+                    faults.append((w, exc))
+        # Phase 2: fallen-back stripes compute in-process while the
+        # workers run in the background.
+        for w in self._workers:
+            if w.fallback is not None:
+                masks[w.index] = w.fallback.apply(
+                    frame[w.bounds[0]:w.bounds[1]]
+                )
+        # Phase 3: bounded-timeout collection, then fault handling.
+        for w in self._workers:
+            if masks[w.index] is not None or any(f[0] is w for f in faults):
+                continue
+            try:
+                masks[w.index] = w.collect(self.fault_policy.timeout_s)
+            except WorkerError as exc:
+                faults.append((w, exc))
+        for w, exc in faults:
+            masks[w.index] = self._handle_fault(
+                w, frame[w.bounds[0]:w.bounds[1]], exc
+            )
+        self.telemetry.counter("parallel.frames").inc()
+        self.telemetry.histogram("parallel.apply_s").observe(
+            time.perf_counter() - t0
+        )
+        return np.concatenate(masks, axis=0)
 
     def apply_sequence(self, frames) -> np.ndarray:
         masks = [self.apply(f) for f in frames]
@@ -114,12 +412,27 @@ class ParallelMoG:
             raise ConfigError("empty frame sequence")
         return np.stack(masks)
 
-    def close(self) -> None:
-        if not self._closed:
-            for pool in self._pools:
-                pool.terminate()
-                pool.join()
-            self._closed = True
+    def close(self, timeout_s: float | None = None) -> None:
+        """Shut the workers down gracefully.
+
+        Each worker is asked to drain its queue and exit; only workers
+        still alive after ``timeout_s`` (default
+        ``fault_policy.shutdown_timeout_s``) are terminated, and each
+        escalation is counted in ``parallel.forced_terminations``.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if timeout_s is None:
+            timeout_s = self.fault_policy.shutdown_timeout_s
+        live = [w for w in self._workers if w.fallback is None]
+        for w in live:
+            w.request_stop()
+        deadline = time.monotonic() + timeout_s
+        for w in live:
+            if not w.join(max(deadline - time.monotonic(), 0.0)):
+                self.telemetry.counter("parallel.forced_terminations").inc()
+            w.kill()  # no-op if already exited; releases the pipe
 
     def __enter__(self) -> "ParallelMoG":
         return self
@@ -151,7 +464,7 @@ def parallel_speedup_probe(
     serial_s = time.perf_counter() - t0
 
     with ParallelMoG(shape, params, workers=workers) as par:
-        par.apply(frames[0])  # warm the pools outside the timed region
+        par.apply(frames[0])  # warm the pipes outside the timed region
         t0 = time.perf_counter()
         for f in frames[1:]:
             par.apply(f)

@@ -1,0 +1,14 @@
+"""Serving-path observability: counters, gauges, latency histograms.
+
+See :mod:`repro.telemetry.registry` for the instrument semantics and
+:func:`repro.bench.reporting.format_metrics` for text rendering.
+"""
+
+from .registry import (
+    Counter,
+    Gauge,
+    LatencyHistogram,
+    MetricsRegistry,
+)
+
+__all__ = ["Counter", "Gauge", "LatencyHistogram", "MetricsRegistry"]

@@ -3,12 +3,27 @@
 import numpy as np
 import pytest
 
+from repro.config import TelemetryConfig
 from repro.core.stream import SurveillancePipeline
 from repro.errors import ConfigError
+from repro.telemetry import MetricsRegistry
 from repro.track import TrackerParams
 from repro.video.scenes import evaluation_scene
 
 SHAPE = (64, 96)
+
+
+class _Boom:
+    """A cleaner stand-in that fails on demand."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.armed = False
+
+    def __call__(self, mask):
+        if self.armed:
+            raise RuntimeError("morphology exploded")
+        return self.inner(mask)
 
 
 class TestStep:
@@ -73,3 +88,100 @@ class TestStep:
         pipe.step(video.frame(0))
         report = pipe.subtractor.report()
         assert report.num_frames == 1
+
+
+class TestStepFaultSafety:
+    def test_bad_shape_rejected_before_state_change(self, params):
+        pipe = SurveillancePipeline(SHAPE, params)
+        with pytest.raises(ConfigError):
+            pipe.step(np.zeros((8, 8), dtype=np.uint8))
+        assert pipe.frame_index == -1
+
+    def test_bad_dtype_rejected(self, params):
+        pipe = SurveillancePipeline(SHAPE, params)
+        with pytest.raises(ConfigError):
+            pipe.step(np.full(SHAPE, "x", dtype=object))
+        with pytest.raises(ConfigError):
+            pipe.step(np.full(SHAPE, np.nan))
+        assert pipe.frame_index == -1
+
+    def test_exception_mid_step_does_not_desync_index(self, params):
+        """The original bug: frame_index incremented before the stages
+        ran, so one mid-step exception permanently shifted the warm-up
+        window. The index must commit only on success."""
+        video = evaluation_scene(height=SHAPE[0], width=SHAPE[1])
+        pipe = SurveillancePipeline(SHAPE, params, warmup_frames=2)
+        pipe.step(video.frame(0))
+        pipe.cleaner = boom = _Boom(pipe.cleaner)
+        boom.armed = True
+        with pytest.raises(RuntimeError):
+            pipe.step(video.frame(1))
+        assert pipe.frame_index == 0  # uncommitted
+        boom.armed = False
+        result = pipe.step(video.frame(1))  # same frame retried
+        assert result.frame_index == 1
+        assert pipe.telemetry.counter("stream.stage_errors").value == 1
+
+    def test_degrade_serves_last_good_mask(self, params):
+        video = evaluation_scene(height=SHAPE[0], width=SHAPE[1])
+        pipe = SurveillancePipeline(
+            SHAPE, params, warmup_frames=0, on_error="degrade"
+        )
+        good = pipe.step(video.frame(0))
+        pipe.cleaner = boom = _Boom(pipe.cleaner)
+        boom.armed = True
+        result = pipe.step(video.frame(1))
+        assert result.degraded
+        assert result.error is not None and "exploded" in result.error
+        assert result.frame_index == 1  # the frame was consumed
+        assert np.array_equal(result.mask, good.mask)
+        assert result.tracks == []
+        snap = result.telemetry
+        assert snap["counters"]["stream.frames_degraded"] == 1
+        boom.armed = False
+        assert pipe.step(video.frame(2)).frame_index == 2
+
+    def test_degrade_without_good_mask_still_raises(self, params):
+        video = evaluation_scene(height=SHAPE[0], width=SHAPE[1])
+        pipe = SurveillancePipeline(SHAPE, params, on_error="degrade")
+        pipe.cleaner = boom = _Boom(pipe.cleaner)
+        boom.armed = True
+        with pytest.raises(RuntimeError):
+            pipe.step(video.frame(0))  # nothing to degrade to yet
+        assert pipe.frame_index == -1
+
+    def test_invalid_on_error_rejected(self, params):
+        with pytest.raises(ConfigError):
+            SurveillancePipeline(SHAPE, params, on_error="ignore")
+
+
+class TestStreamTelemetry:
+    def test_counters_and_stage_latencies(self, params):
+        video = evaluation_scene(height=SHAPE[0], width=SHAPE[1])
+        pipe = SurveillancePipeline(SHAPE, params, warmup_frames=2)
+        results = pipe.run(video.frames(5))
+        snap = results[-1].telemetry
+        assert snap["counters"]["stream.frames_total"] == 5
+        assert snap["histograms"]["stream.subtract_s"]["count"] == 5
+        assert snap["histograms"]["stream.clean_s"]["count"] == 5
+        # Tracker only runs after the 2-frame warm-up window.
+        assert snap["histograms"]["stream.track_s"]["count"] == 3
+        assert snap["histograms"]["stream.step_s"]["total_s"] > 0
+
+    def test_shared_registry(self, params):
+        video = evaluation_scene(height=SHAPE[0], width=SHAPE[1])
+        reg = MetricsRegistry()
+        pipe = SurveillancePipeline(SHAPE, params, telemetry=reg)
+        pipe.step(video.frame(0))
+        assert reg.counter("stream.frames_total").value == 1
+
+    def test_disabled_telemetry_empty_snapshot(self, params):
+        video = evaluation_scene(height=SHAPE[0], width=SHAPE[1])
+        pipe = SurveillancePipeline(
+            SHAPE, params,
+            telemetry=MetricsRegistry(TelemetryConfig(enabled=False)),
+        )
+        result = pipe.step(video.frame(0))
+        assert result.telemetry == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }

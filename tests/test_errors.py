@@ -9,6 +9,7 @@ def test_all_derive_from_repro_error():
     for name in (
         "ConfigError", "LaunchError", "MemoryModelError",
         "KernelDivergenceError", "VideoError", "MetricError",
+        "WorkerError",
     ):
         assert issubclass(getattr(errors, name), errors.ReproError), name
 

@@ -1,0 +1,246 @@
+"""Fault injection against the supervised parallel path.
+
+These tests SIGKILL real worker processes and assert the supervision
+layer's contract: bounded waits, typed errors, policy-driven recovery,
+and graceful shutdown. Everything runs on tiny frames so even the
+restart paths complete in well under a second of compute.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.config import FaultPolicy, TelemetryConfig
+from repro.errors import ConfigError, WorkerError
+from repro.mog import MoGVectorized
+from repro.parallel import ParallelMoG
+from repro.telemetry import MetricsRegistry
+from repro.video.scenes import evaluation_scene
+
+SHAPE = (16, 24)
+
+HAS_FORK = "fork" in mp.get_all_start_methods()
+needs_fork = pytest.mark.skipif(
+    not HAS_FORK, reason="monkeypatched module state requires fork workers"
+)
+
+
+@pytest.fixture()
+def frames():
+    video = evaluation_scene(height=SHAPE[0], width=SHAPE[1])
+    return [video.frame(t) for t in range(6)]
+
+
+def serial_masks(frames, params):
+    return MoGVectorized(SHAPE, params, variant="nosort").apply_sequence(frames)
+
+
+def kill_stripe(par: ParallelMoG, stripe: int) -> None:
+    pid = par.worker_pids()[stripe]
+    os.kill(pid, signal.SIGKILL)
+    # The kill is asynchronous; wait for the process to actually die so
+    # the next apply() deterministically sees a dead worker.
+    deadline = time.monotonic() + 10.0
+    while par._workers[stripe]._proc.is_alive():
+        assert time.monotonic() < deadline, "worker did not die"
+        time.sleep(0.01)
+
+
+class TestConfig:
+    def test_policy_validated(self):
+        with pytest.raises(ConfigError):
+            FaultPolicy(policy="retry")
+        with pytest.raises(ConfigError):
+            FaultPolicy(timeout_s=0.0)
+        with pytest.raises(ConfigError):
+            FaultPolicy(max_restarts=-1)
+        with pytest.raises(ConfigError):
+            FaultPolicy(stage_error="ignore")
+
+    def test_checkpoint_only_active_off_fail(self):
+        assert not FaultPolicy(policy="fail").wants_checkpoint
+        assert FaultPolicy(policy="restart").wants_checkpoint
+        assert not FaultPolicy(
+            policy="restart", checkpoint=False
+        ).wants_checkpoint
+
+    def test_worker_error_carries_stripe(self):
+        exc = WorkerError("stripe 3 died", stripe=3)
+        assert exc.stripe == 3
+        assert isinstance(exc, Exception)
+
+
+class TestRestartPolicy:
+    def test_sigkill_recovers_with_serial_masks(self, params, frames):
+        """The acceptance scenario: kill a worker mid-sequence; the run
+        completes, masks stay identical to serial (checkpoint restore),
+        exactly one restart is recorded, and nothing blocks past the
+        configured timeout."""
+        expected = serial_masks(frames, params)
+        policy = FaultPolicy(
+            policy="restart", timeout_s=10.0, shutdown_timeout_s=5.0
+        )
+        with ParallelMoG(
+            SHAPE, params, workers=2, fault_policy=policy
+        ) as par:
+            got = [par.apply(f) for f in frames[:3]]
+            kill_stripe(par, 0)
+            t0 = time.monotonic()
+            got.append(par.apply(frames[3]))
+            # One bounded collect + one restart turnaround, not a hang.
+            assert time.monotonic() - t0 < 3 * policy.timeout_s
+            got += [par.apply(f) for f in frames[4:]]
+            snap = par.telemetry.snapshot()
+            status = par.stripe_status()
+        assert np.array_equal(expected, np.stack(got))
+        assert snap["counters"]["parallel.worker_restarts"] == 1
+        assert status[0]["restarts"] == 1
+        assert status[0]["mode"] == "worker"
+        assert snap["counters"]["parallel.frames"] == len(frames)
+
+    def test_restarted_worker_gets_fresh_pid(self, params, frames):
+        policy = FaultPolicy(policy="restart", timeout_s=10.0)
+        with ParallelMoG(
+            SHAPE, params, workers=2, fault_policy=policy
+        ) as par:
+            par.apply(frames[0])
+            old = par.worker_pids()[1]
+            kill_stripe(par, 1)
+            par.apply(frames[1])
+            assert par.worker_pids()[1] not in (None, old)
+
+
+class TestSerialFallbackPolicy:
+    def test_stripe_degrades_in_process(self, params, frames):
+        expected = serial_masks(frames, params)
+        policy = FaultPolicy(policy="serial_fallback", timeout_s=10.0)
+        with ParallelMoG(
+            SHAPE, params, workers=2, fault_policy=policy
+        ) as par:
+            got = [par.apply(f) for f in frames[:3]]
+            kill_stripe(par, 1)
+            got += [par.apply(f) for f in frames[3:]]
+            snap = par.telemetry.snapshot()
+            status = par.stripe_status()
+        # Checkpoint restore keeps even the fallen-back stripe serial.
+        assert np.array_equal(expected, np.stack(got))
+        assert snap["counters"]["parallel.serial_fallbacks"] == 1
+        assert status[1]["mode"] == "fallback"
+        assert status[0]["mode"] == "worker"
+        assert par.worker_pids()[1] is None
+
+
+class TestFailPolicy:
+    def test_dead_worker_raises_typed_error(self, params, frames):
+        policy = FaultPolicy(policy="fail", timeout_s=2.0)
+        par = ParallelMoG(SHAPE, params, workers=2, fault_policy=policy)
+        try:
+            par.apply(frames[0])
+            kill_stripe(par, 0)
+            t0 = time.monotonic()
+            with pytest.raises(WorkerError) as ei:
+                par.apply(frames[1])
+            assert time.monotonic() - t0 < 2 * policy.timeout_s
+            assert ei.value.stripe == 0
+            assert "stripe 0" in str(ei.value)
+        finally:
+            par.close()
+
+    def test_in_worker_exception_surfaces(self, params):
+        """A frame the model itself rejects is reported, not hung on."""
+        policy = FaultPolicy(policy="fail", timeout_s=10.0)
+        with ParallelMoG(
+            SHAPE, params, workers=2, fault_policy=policy
+        ) as par:
+            bad = np.full(SHAPE, np.nan)
+            # NaNs propagate through the mixture without raising, so
+            # inject the failure by violating the stripe contract at
+            # the worker instead: send a malformed message directly.
+            par._workers[0]._conn.send(("apply", bad[:4]))
+            with pytest.raises(WorkerError) as ei:
+                par._workers[0].collect(policy.timeout_s)
+            assert "raised" in str(ei.value)
+
+
+class TestStartupProbe:
+    @needs_fork
+    def test_init_failure_surfaces_at_construction(self, params, monkeypatch):
+        import repro.parallel.frames as frames_mod
+
+        class Exploding:
+            def __init__(self, *a, **k):
+                raise RuntimeError("no memory for stripe state")
+
+        monkeypatch.setattr(frames_mod, "MoGVectorized", Exploding)
+        policy = FaultPolicy(probe_timeout_s=10.0)
+        with pytest.raises(WorkerError) as ei:
+            ParallelMoG(SHAPE, params, workers=2, fault_policy=policy)
+        assert "initialise" in str(ei.value)
+        assert "no memory" in str(ei.value)
+
+
+class TestGracefulClose:
+    def test_workers_exit_cleanly(self, params, frames):
+        par = ParallelMoG(SHAPE, params, workers=2)
+        par.apply(frames[0])
+        procs = [w._proc for w in par._workers]
+        par.close()
+        assert all(p.exitcode == 0 for p in procs)  # not terminated
+        snap = par.telemetry.snapshot()
+        assert "parallel.forced_terminations" not in snap["counters"]
+
+    def test_close_idempotent_and_apply_rejected(self, params, frames):
+        par = ParallelMoG(SHAPE, params, workers=2)
+        par.close()
+        par.close()
+        with pytest.raises(ConfigError):
+            par.apply(frames[0])
+
+    @needs_fork
+    def test_close_escalates_on_hung_worker(self, params, frames, monkeypatch):
+        import repro.parallel.frames as frames_mod
+
+        real = frames_mod.MoGVectorized
+
+        class Sluggish(real):
+            def apply(self, frame):
+                time.sleep(60.0)
+                return super().apply(frame)
+
+        monkeypatch.setattr(frames_mod, "MoGVectorized", Sluggish)
+        policy = FaultPolicy(
+            policy="fail", timeout_s=0.3, shutdown_timeout_s=0.3
+        )
+        par = ParallelMoG(SHAPE, params, workers=2, fault_policy=policy)
+        with pytest.raises(WorkerError):
+            par.apply(frames[0])
+        t0 = time.monotonic()
+        par.close()
+        assert time.monotonic() - t0 < 10.0
+        assert all(w._proc is None for w in par._workers)
+        # fail-policy kill of the timed-out stripe happens in apply();
+        # close() then escalates on the other stripe, which is still
+        # asleep inside its 60 s apply and cannot drain the stop.
+        snap = par.telemetry.snapshot()
+        assert snap["counters"]["parallel.forced_terminations"] >= 1
+
+
+class TestSharedTelemetry:
+    def test_external_registry_is_used(self, params, frames):
+        reg = MetricsRegistry()
+        with ParallelMoG(SHAPE, params, workers=2, telemetry=reg) as par:
+            par.apply(frames[0])
+        assert reg.counter("parallel.frames").value == 1
+        assert reg.histogram("parallel.apply_s").count == 1
+
+    def test_disabled_telemetry(self, params, frames):
+        reg = MetricsRegistry(TelemetryConfig(enabled=False))
+        with ParallelMoG(SHAPE, params, workers=2, telemetry=reg) as par:
+            par.apply(frames[0])
+        assert reg.snapshot()["counters"] == {}

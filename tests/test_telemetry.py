@@ -1,0 +1,137 @@
+"""The metrics registry: counters, gauges, histograms, rendering."""
+
+import json
+
+import pytest
+
+from repro.bench.reporting import format_metrics
+from repro.config import TelemetryConfig
+from repro.errors import ConfigError
+from repro.telemetry import MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert reg.counter("x") is c  # get-or-create
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            MetricsRegistry().counter("x").inc(-1)
+
+    def test_gauge(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+
+    def test_histogram_stats(self):
+        h = MetricsRegistry().histogram("lat")
+        for v in (0.002, 0.002, 0.02, 0.2, 2.0):
+            h.observe(v)
+        d = h.to_dict()
+        assert d["count"] == 5
+        assert d["total_s"] == pytest.approx(2.224)
+        assert d["min_s"] == pytest.approx(0.002)
+        assert d["max_s"] == pytest.approx(2.0)
+        assert d["mean_s"] == pytest.approx(2.224 / 5)
+        assert d["min_s"] <= d["p50_s"] <= d["p95_s"] <= d["max_s"]
+        assert sum(d["buckets"].values()) == 5
+
+    def test_histogram_empty(self):
+        d = MetricsRegistry().histogram("lat").to_dict()
+        assert d["count"] == 0
+        assert d["p95_s"] == 0.0
+
+    def test_quantile_bounds_checked(self):
+        with pytest.raises(ConfigError):
+            MetricsRegistry().histogram("lat").quantile(1.5)
+
+    def test_kind_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ConfigError):
+            reg.gauge("x")
+        with pytest.raises(ConfigError):
+            reg.histogram("x")
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(ConfigError):
+            MetricsRegistry().counter("")
+
+    def test_timer_records(self):
+        reg = MetricsRegistry()
+        with reg.time("op"):
+            pass
+        assert reg.histogram("op").count == 1
+
+    def test_timer_records_on_exception(self):
+        reg = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with reg.time("op"):
+                raise RuntimeError("boom")
+        assert reg.histogram("op").count == 1
+
+
+class TestRegistry:
+    def test_snapshot_shape_and_json(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.gauge("b").set(2.0)
+        reg.histogram("c").observe(0.01)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"a": 1}
+        assert snap["gauges"] == {"b": 2.0}
+        assert snap["histograms"]["c"]["count"] == 1
+        json.dumps(snap)  # JSON-ready
+
+    def test_names_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.gauge("a")
+        assert list(reg.names()) == ["a", "b"]
+
+    def test_disabled_registry_is_noop(self):
+        reg = MetricsRegistry(TelemetryConfig(enabled=False))
+        reg.counter("a").inc(10)
+        reg.gauge("b").set(1.0)
+        reg.histogram("c").observe(5.0)
+        with reg.time("d"):
+            pass
+        assert reg.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+
+class TestTelemetryConfig:
+    def test_defaults_valid(self):
+        cfg = TelemetryConfig()
+        assert cfg.enabled
+        assert cfg.latency_buckets_s == tuple(sorted(cfg.latency_buckets_s))
+
+    @pytest.mark.parametrize("buckets", [
+        (), (0.0, 1.0), (2.0, 1.0), (1.0, 1.0), (-1.0,),
+    ])
+    def test_bad_buckets_rejected(self, buckets):
+        with pytest.raises(ConfigError):
+            TelemetryConfig(latency_buckets_s=buckets)
+
+
+class TestFormatMetrics:
+    def test_renders_all_sections(self):
+        reg = MetricsRegistry()
+        reg.counter("frames").inc(3)
+        reg.gauge("depth").set(2.5)
+        reg.histogram("step_s").observe(0.02)
+        text = format_metrics(reg.snapshot())
+        assert "frames" in text and "3" in text
+        assert "depth" in text and "2.5" in text
+        assert "step_s" in text and "p95 ms" in text
+
+    def test_empty_snapshot(self):
+        text = format_metrics(MetricsRegistry().snapshot())
+        assert "no metrics recorded" in text
