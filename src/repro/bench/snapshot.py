@@ -1,0 +1,123 @@
+"""Machine-readable throughput snapshots (``BENCH_throughput.json``).
+
+One JSON file at the repo root records frames/s for each execution
+path — CPU backend, simulator profiled tier, simulator with sampled
+profiling — so the repo's perf trajectory can be tracked across
+commits and CI runs without parsing benchmark logs.
+
+The file is a merge target: every measurement run updates its own
+entries and leaves the rest in place, so partial runs (e.g. the CI
+smoke job measuring only the sim tiers) never erase other paths'
+numbers. Produce it with ``python tools/bench_snapshot.py`` or the
+benchmark ``benchmarks/test_sim_throughput.py::test_two_tier_speedup``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from ..config import MoGParams
+from ..core.subtractor import BackgroundSubtractor
+
+#: Repo root (this file lives at src/repro/bench/snapshot.py).
+REPO_ROOT = Path(__file__).resolve().parents[3]
+SNAPSHOT_NAME = "BENCH_throughput.json"
+
+#: Frame geometry all snapshot entries share — small enough for CI,
+#: large enough that per-frame work dwarfs per-launch overhead.
+SNAPSHOT_SHAPE = (120, 160)
+
+#: MoG parameters used for every measurement (matches the benchmark
+#: suite's PAPER_BENCH_PARAMS choice of a fast-adapting model).
+SNAPSHOT_PARAMS = MoGParams(learning_rate=0.08, initial_sd=8.0)
+
+
+def _frames(num_frames: int, shape=SNAPSHOT_SHAPE):
+    from ..video.scenes import evaluation_scene
+
+    video = evaluation_scene(height=shape[0], width=shape[1])
+    return [video.frame(t) for t in range(num_frames)]
+
+
+def measure_fps(
+    backend: str,
+    profile_every: int = 1,
+    num_frames: int = 17,
+    level: str = "F",
+    shape=SNAPSHOT_SHAPE,
+) -> dict:
+    """Measure frames/s for one configuration.
+
+    The first frame (model initialisation, pool warm-up) is excluded
+    from the timed region. Returns a snapshot entry dict.
+    """
+    frames = _frames(num_frames, shape)
+    bs = BackgroundSubtractor(
+        shape,
+        params=SNAPSHOT_PARAMS,
+        level=level,
+        backend=backend,
+        profile_every=profile_every if backend == "sim" else None,
+    )
+    bs.apply(frames[0])
+    start = time.perf_counter()
+    for frame in frames[1:]:
+        bs.apply(frame)
+    elapsed = time.perf_counter() - start
+    timed = len(frames) - 1
+    return {
+        "backend": backend,
+        "level": level,
+        "tier": (
+            "cpu" if backend == "cpu"
+            else "profiled" if profile_every == 1
+            else f"sampled_1_in_{profile_every}"
+        ),
+        "profile_every": profile_every if backend == "sim" else None,
+        "frames_per_s": round(timed / elapsed, 2),
+        "frames_timed": timed,
+        "frame_shape": list(shape),
+    }
+
+
+def update_snapshot(entries: dict, path: Path | str | None = None) -> Path:
+    """Merge ``entries`` (name -> entry dict) into the snapshot file.
+
+    Existing entries under other names are preserved; the file is
+    created if absent. Returns the path written.
+    """
+    path = Path(path) if path is not None else REPO_ROOT / SNAPSHOT_NAME
+    data: dict = {"schema": 1, "entries": {}}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+            if isinstance(loaded.get("entries"), dict):
+                data = loaded
+        except (json.JSONDecodeError, OSError):
+            pass  # unreadable snapshot: rewrite from scratch
+    data["schema"] = 1
+    data["entries"].update(entries)
+    data["entries"] = dict(sorted(data["entries"].items()))
+    path.write_text(json.dumps(data, indent=2) + "\n")
+    return path
+
+
+def run_snapshot(
+    quick: bool = False, path: Path | str | None = None
+) -> dict:
+    """Measure every standard configuration and update the snapshot.
+
+    ``quick`` shortens each measurement (CI smoke mode). Returns the
+    measured entries.
+    """
+    num_sim = 9 if quick else 33
+    num_cpu = 33 if quick else 129
+    entries = {
+        "cpu": measure_fps("cpu", num_frames=num_cpu),
+        "sim_profiled": measure_fps("sim", profile_every=1, num_frames=num_sim),
+        "sim_sampled_8": measure_fps("sim", profile_every=8, num_frames=num_sim),
+    }
+    update_snapshot(entries, path)
+    return entries

@@ -65,6 +65,9 @@ def _build_parser() -> argparse.ArgumentParser:
     subx.add_argument("--dtype", choices=("double", "float"), default="double")
     subx.add_argument("--gaussians", type=int, default=3)
     subx.add_argument("--learning-rate", type=float, default=0.01)
+    subx.add_argument("--profile-every", type=int, default=1, metavar="N",
+                      help="sim backend: profile every Nth frame, run the "
+                      "rest on the functional tier (default 1 = all)")
     subx.add_argument("--report", action="store_true",
                       help="print the run report (sim backend)")
     subx.add_argument("--dump-dir", default=None,
@@ -84,6 +87,13 @@ def _build_parser() -> argparse.ArgumentParser:
     tr = sub.add_parser("track", help="run the full pipeline with tracking")
     tr.add_argument("input", help="input .npz sequence")
     tr.add_argument("--level", default="F")
+    tr.add_argument(
+        "--backend", choices=("cpu", "sim"), default="cpu",
+        help="cpu: fastest; sim: simulated C2075",
+    )
+    tr.add_argument("--profile-every", type=int, default=1, metavar="N",
+                    help="sim backend: profile every Nth frame, run the "
+                    "rest on the functional tier (default 1 = all)")
     tr.add_argument("--learning-rate", type=float, default=0.08)
     tr.add_argument("--warmup", type=int, default=15)
     tr.add_argument("--min-area", type=int, default=6)
@@ -139,7 +149,10 @@ def _cmd_subtract(args) -> int:
     params = MoGParams(
         num_gaussians=args.gaussians, learning_rate=args.learning_rate
     )
-    run_config = RunConfig(height=shape[0], width=shape[1], dtype=args.dtype)
+    run_config = RunConfig(
+        height=shape[0], width=shape[1], dtype=args.dtype,
+        profile_every=args.profile_every,
+    )
     bs = BackgroundSubtractor(
         shape, params, level=args.level, backend=args.backend,
         run_config=run_config,
@@ -202,11 +215,13 @@ def _cmd_track(args) -> int:
         source.shape,
         MoGParams(learning_rate=args.learning_rate),
         level=args.level,
+        backend=args.backend,
         cleaner=MaskCleaner(open_radius=0, close_radius=2,
                             min_area=args.min_area),
         tracker_params=TrackerParams(min_area=args.min_area),
         warmup_frames=args.warmup,
         on_error=args.on_error,
+        profile_every=args.profile_every,
     )
     degraded = 0
     for t in range(source.num_frames):

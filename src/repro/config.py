@@ -148,6 +148,10 @@ class RunConfig:
         45 KiB, filling the 48 KiB shared memory of one Fermi SM.
     frame_group:
         Frames per group for level G (the paper sweeps 1..32, best = 8).
+    profile_every:
+        Profile every Nth kernel launch on the simulated backend; the
+        rest run on the functional tier (exact masks, no counters).
+        1 (default) profiles every launch — today's behaviour.
     """
 
     height: int = 240
@@ -156,6 +160,7 @@ class RunConfig:
     threads_per_block: int = 128
     tile_pixels: int = 640
     frame_group: int = 8
+    profile_every: int = 1
 
     def __post_init__(self) -> None:
         if self.height <= 0 or self.width <= 0:
@@ -175,6 +180,10 @@ class RunConfig:
         if self.frame_group <= 0:
             raise ConfigError(
                 f"frame_group must be positive, got {self.frame_group}"
+            )
+        if self.profile_every < 1:
+            raise ConfigError(
+                f"profile_every must be >= 1, got {self.profile_every}"
             )
 
     @property

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..config import MoGParams, RunConfig
+from ..config import MoGParams, RunConfig, TelemetryConfig
 from ..errors import ConfigError
 from ..gpusim.calibration import DEFAULT_CALIBRATION, Calibration
 from ..gpusim.device import TESLA_C2075, DeviceSpec
@@ -28,6 +28,7 @@ from ..kernels.mog_tiled import shared_bytes_for_tile
 from ..layout import AoSLayout, SoALayout
 from ..layout.base import NUM_PARAMS
 from ..mog.params import MixtureState
+from ..telemetry import MetricsRegistry
 from .results import RunReport
 from .variants import OptimizationLevel
 
@@ -57,6 +58,7 @@ class HostPipeline:
         device: DeviceSpec = TESLA_C2075,
         calibration: Calibration = DEFAULT_CALIBRATION,
         registers: str | int = "pinned",
+        telemetry: MetricsRegistry | None = None,
     ) -> None:
         self.shape = tuple(shape)
         self.params = params or MoGParams()
@@ -70,9 +72,17 @@ class HostPipeline:
                 f"{self.run_config.width} != shape {self.shape}"
             )
         self.device = device
-        self.engine = SimtEngine(device)
+        self.engine = SimtEngine(
+            device, profile_every=self.run_config.profile_every
+        )
         self.profiler = Profiler(device, calibration)
         self.registers_mode = registers
+        self.telemetry = telemetry or MetricsRegistry(
+            TelemetryConfig(enabled=False)
+        )
+        self.telemetry.gauge("sim.profile_every").set(
+            self.run_config.profile_every
+        )
 
         spec = self.level.spec
         n = self.run_config.num_pixels
@@ -112,6 +122,12 @@ class HostPipeline:
         self._masks: list[np.ndarray] = []
         self._launch_reports = []
         self.frames_processed = 0
+        # Per-launch kernel times driving the DMA schedule; functional
+        # launches carry forward the last profiled launch's time.
+        self._kernel_times: list[float] = []
+        self._last_kernel_time = 0.0
+        self.frames_profiled = 0
+        self.profiled_frame_indices: list[int] = []
 
     # ------------------------------------------------------------------
     @property
@@ -157,6 +173,23 @@ class HostPipeline:
         )
         self._launch_reports.append(self.profiler.report(launch, regs))
 
+    def _after_launch(self, launch, num_frames: int) -> None:
+        """Record one launch's outcome: profiled launches get a full
+        profiler report; functional launches reuse the last profiled
+        kernel time for the DMA schedule (the workload per launch is
+        identical, only the measurement is sampled)."""
+        if launch.profiled:
+            self._report_for(launch)
+            self._last_kernel_time = self._launch_reports[-1].timing.total
+            self.frames_profiled += num_frames
+            self.profiled_frame_indices.extend(
+                range(self.frames_processed, self.frames_processed + num_frames)
+            )
+            self.telemetry.counter("sim.frames_profiled").inc(num_frames)
+        else:
+            self.telemetry.counter("sim.frames_functional").inc(num_frames)
+        self._kernel_times.append(self._last_kernel_time)
+
     # ------------------------------------------------------------------
     def apply(self, frame: np.ndarray) -> np.ndarray:
         """Process one frame; returns the boolean foreground mask.
@@ -178,7 +211,7 @@ class HostPipeline:
             threads_per_block=self.run_config.threads_per_block,
             name=f"{self._kernel.__name__}[{self.frames_processed}]",
         )
-        self._report_for(launch)
+        self._after_launch(launch, 1)
         self.frames_processed += 1
         mask = (self._fg_bufs[0].data != 0).reshape(self.shape)
         self._masks.append(mask)
@@ -212,7 +245,7 @@ class HostPipeline:
             threads_per_block=self.run_config.tile_pixels,
             name=f"mog_tiled[{self.frames_processed}+{len(flats)}]",
         )
-        self._report_for(launch)
+        self._after_launch(launch, len(flats))
         self.frames_processed += len(flats)
         masks = [
             (buf.data != 0).reshape(self.shape)
@@ -245,7 +278,7 @@ class HostPipeline:
             # One pipeline slot per frame *group*: the group's frames are
             # transferred in, the tiled kernel runs, the group's masks
             # are transferred out.
-            kernel_times = [rep.timing.total for rep in self._launch_reports]
+            kernel_times = list(self._kernel_times)
             group = self.run_config.frame_group
             remaining = self.frames_processed
             sizes = []
@@ -264,10 +297,10 @@ class HostPipeline:
             )
         else:
             pipeline = scheduler.run(
-                [rep.timing.total for rep in self._launch_reports],
+                list(self._kernel_times),
                 bytes_in=n_bytes,
                 bytes_out=n_bytes,
-            ) if self._launch_reports else None
+            ) if self._kernel_times else None
         report = RunReport(
             level=self.level.letter,
             num_frames=self.frames_processed,
@@ -283,6 +316,7 @@ class HostPipeline:
                 if self._launch_reports
                 else self.registers_per_thread
             ),
+            frames_profiled=self.frames_profiled,
         )
         return report
 

@@ -30,6 +30,10 @@ class RunReport:
         DMA volume per frame (input frame, foreground mask).
     registers_per_thread:
         The value used for occupancy (pinned by default).
+    frames_profiled:
+        Frames that ran on the profiled tier (``launches`` holds one
+        report per profiled launch only). 0 means "all frames" — the
+        default for runs without sampling.
     """
 
     level: str
@@ -42,6 +46,7 @@ class RunReport:
     bytes_in_per_frame: int = 0
     bytes_out_per_frame: int = 0
     registers_per_thread: int = 0
+    frames_profiled: int = 0
 
     # ------------------------------------------------------------------
     @property
@@ -54,7 +59,14 @@ class RunReport:
 
     @property
     def counters_per_frame(self) -> KernelCounters:
-        return self.counters.scaled(1.0 / max(self.num_frames, 1))
+        """Counters normalised per *profiled* frame.
+
+        Under sampled profiling only ``frames_profiled`` frames carry
+        counters, so that is the meaningful denominator; without
+        sampling it equals ``num_frames``.
+        """
+        denom = self.frames_profiled or self.num_frames
+        return self.counters.scaled(1.0 / max(denom, 1))
 
     @property
     def kernel_time(self) -> float:
@@ -63,7 +75,8 @@ class RunReport:
 
     @property
     def kernel_time_per_frame(self) -> float:
-        return self.kernel_time / max(self.num_frames, 1)
+        denom = self.frames_profiled or self.num_frames
+        return self.kernel_time / max(denom, 1)
 
     @property
     def total_time(self) -> float:
@@ -119,6 +132,7 @@ class RunReport:
             "num_gaussians": self.num_gaussians,
             "dtype": self.dtype,
             "registers_per_thread": self.registers_per_thread,
+            "frames_profiled": self.frames_profiled or self.num_frames,
             "metrics": {
                 k: v for k, v in self.metrics().items() if k != "level"
             },

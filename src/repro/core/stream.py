@@ -79,6 +79,12 @@ class SurveillancePipeline:
         Optional shared :class:`~repro.telemetry.MetricsRegistry`; one
         is created if omitted (pass
         ``MetricsRegistry(TelemetryConfig(enabled=False))`` to opt out).
+    profile_every:
+        For the simulated backend, profile every Nth kernel launch and
+        run the rest on the functional tier (``sim.frames_profiled`` /
+        ``sim.frames_functional`` land in the telemetry snapshot).
+        ``None`` keeps the run config's value. Ignored by the CPU
+        backend.
     """
 
     def __init__(
@@ -93,6 +99,7 @@ class SurveillancePipeline:
         warmup_frames: int = 15,
         on_error: str = "raise",
         telemetry: MetricsRegistry | None = None,
+        profile_every: int | None = None,
     ) -> None:
         if warmup_frames < 0:
             raise ConfigError(
@@ -103,9 +110,11 @@ class SurveillancePipeline:
                 f"on_error must be one of {STAGE_ERROR_POLICIES}, "
                 f"got {on_error!r}"
             )
+        self.telemetry = telemetry or MetricsRegistry(TelemetryConfig())
         self.subtractor = BackgroundSubtractor(
             shape, params, level=level, backend=backend,
-            run_config=run_config,
+            run_config=run_config, profile_every=profile_every,
+            telemetry=self.telemetry if backend == "sim" else None,
         )
         self.cleaner = cleaner or MaskCleaner(
             open_radius=0, close_radius=2, min_area=6
@@ -113,7 +122,6 @@ class SurveillancePipeline:
         self.tracker = CentroidTracker(tracker_params)
         self.warmup_frames = warmup_frames
         self.on_error = on_error
-        self.telemetry = telemetry or MetricsRegistry(TelemetryConfig())
         self.frame_index = -1
         self._last_good_mask: np.ndarray | None = None
 

@@ -46,6 +46,15 @@ class BackgroundSubtractor:
         ``"cpu"`` (vectorized NumPy) or ``"sim"`` (simulated GPU).
     run_config, device, calibration, registers:
         Simulation knobs, ignored by the CPU backend.
+    profile_every:
+        Override ``run_config.profile_every`` for the simulated
+        backend: profile every Nth launch, run the rest on the
+        functional tier (exact masks, no counters). ``None`` keeps the
+        run config's value.
+    telemetry:
+        Optional :class:`~repro.telemetry.MetricsRegistry` receiving
+        ``sim.frames_profiled`` / ``sim.frames_functional`` counters
+        and the ``sim.profile_every`` gauge.
 
     Examples
     --------
@@ -65,6 +74,8 @@ class BackgroundSubtractor:
         device: DeviceSpec = TESLA_C2075,
         calibration: Calibration = DEFAULT_CALIBRATION,
         registers: str | int = "pinned",
+        profile_every: int | None = None,
+        telemetry=None,
     ) -> None:
         if backend not in ("cpu", "sim"):
             raise ConfigError(f"backend must be 'cpu' or 'sim', got {backend!r}")
@@ -80,10 +91,16 @@ class BackgroundSubtractor:
             )
             self._pipeline = None
         else:
+            if profile_every is not None:
+                base = run_config or RunConfig(
+                    height=self.shape[0], width=self.shape[1]
+                )
+                run_config = base.replace(profile_every=profile_every)
             self._pipeline = HostPipeline(
                 self.shape, self.params, self.level,
                 run_config=run_config, device=device,
                 calibration=calibration, registers=registers,
+                telemetry=telemetry,
             )
             self._impl = None
 

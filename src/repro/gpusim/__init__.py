@@ -19,12 +19,18 @@ enough to measure the architectural quantities the paper reports:
 * a PCIe DMA engine with stream overlap (:mod:`repro.gpusim.dma`);
 * an analytic cycles→seconds model (:mod:`repro.gpusim.timing`) with
   calibrated constants (:mod:`repro.gpusim.calibration`).
+
+Execution is two-tier (:mod:`repro.gpusim.functional`): profiled
+launches measure everything above; functional launches compute
+bit-identical buffer contents with no accounting, for sampled
+profiling via ``SimtEngine(profile_every=N)``.
 """
 
 from .counters import KernelCounters
 from .device import TESLA_C2075, XEON_E5_2620, CpuSpec, DeviceSpec
 from .dsl import KernelContext
 from .engine import LaunchResult, SimtEngine
+from .functional import FunctionalContext, ScratchPool
 from .memory import GlobalBuffer, GlobalMemory
 from .occupancy import OccupancyResult, occupancy
 from .profiler import LaunchReport, Profiler
@@ -36,6 +42,8 @@ __all__ = [
     "TESLA_C2075",
     "XEON_E5_2620",
     "KernelContext",
+    "FunctionalContext",
+    "ScratchPool",
     "SimtEngine",
     "LaunchResult",
     "GlobalBuffer",

@@ -28,6 +28,7 @@ level-D optimization removes.
 
 from __future__ import annotations
 
+import weakref
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Union
 
@@ -66,18 +67,32 @@ def _register_slots(dtype: np.dtype) -> int:
 class Vec:
     """An immutable per-thread value (one virtual register)."""
 
-    __slots__ = ("ctx", "val", "_slots", "__weakref__")
+    __slots__ = ("ctx", "val", "_slots", "_released", "__weakref__")
 
     def __init__(self, ctx: "KernelContext", val: np.ndarray) -> None:
         self.ctx = ctx
         self.val = val
         self._slots = _register_slots(val.dtype)
-        ctx._acquire_registers(self._slots)
+        self._released = False
+        ctx._on_vec_created(self)
 
-    def __del__(self) -> None:
+    def _release(self) -> None:
+        """Hand the value back to the owning context, exactly once.
+
+        Called from ``__del__`` (immediate on refcounting interpreters)
+        and from :meth:`KernelContext.finalize` for anything still
+        alive at kernel end, so register accounting and scratch-buffer
+        recycling do not depend on GC timing.
+        """
+        if getattr(self, "_released", True):
+            return
+        self._released = True
         ctx = getattr(self, "ctx", None)
         if ctx is not None:
-            ctx._release_registers(self._slots)
+            ctx._on_vec_released(self)
+
+    def __del__(self) -> None:
+        self._release()
 
     @property
     def dtype(self) -> np.dtype:
@@ -183,10 +198,7 @@ class MutVar:
 
     def set(self, value: Operand) -> None:
         new = self.ctx._coerce(value, like=self._vec)
-        mask = self.ctx._mask
-        merged = np.where(mask, new, self._vec.val).astype(self._vec.dtype)
-        self.ctx._count_issue(_issue_class(self._vec.dtype, sfu=False))
-        self._vec = Vec(self.ctx, merged)
+        self._vec = self.ctx._masked_assign(self._vec, new)
 
     # Allow MutVar to appear directly in expressions.
     def __add__(self, o): return self.get() + o
@@ -244,6 +256,10 @@ class KernelContext:
         self._pending_else: dict[int, np.ndarray] = {}
         self._live_registers = 0
         self.peak_registers = 0
+        # Values still alive (weakly referenced): finalize() releases
+        # whatever GC has not collected yet, so register accounting is
+        # deterministic on non-refcounting interpreters too.
+        self._live_vecs: "weakref.WeakSet[Vec]" = weakref.WeakSet()
         self._shared_allocs: dict[str, SharedBuffer] = {}
         self.shared_bytes_per_block = 0
         # Per-warp L1 reuse window for loads (cold at launch).
@@ -290,6 +306,20 @@ class KernelContext:
 
     def _release_registers(self, slots: int) -> None:
         self._live_registers -= slots
+
+    # -- value lifecycle (overridden by the functional tier) -----------
+    def _on_vec_created(self, vec: "Vec") -> None:
+        self._live_vecs.add(vec)
+        self._acquire_registers(vec._slots)
+
+    def _on_vec_released(self, vec: "Vec") -> None:
+        self._release_registers(vec._slots)
+
+    def _masked_assign(self, old: "Vec", new: np.ndarray) -> "Vec":
+        """Predicated merge backing :meth:`MutVar.set`."""
+        merged = np.where(self._mask, new, old.val).astype(old.dtype)
+        self._count_issue(_issue_class(old.dtype, sfu=False))
+        return Vec(self, merged)
 
     # ------------------------------------------------------------------
     # Value construction
@@ -546,3 +576,9 @@ class KernelContext:
             raise KernelDivergenceError(
                 f"kernel ended with {self.depth - 1} unclosed if_ blocks"
             )
+        # Deterministic release of anything GC has not collected yet
+        # (on CPython every Vec is already gone by refcount; on PyPy
+        # and friends this is what keeps peak_registers stable).
+        for vec in list(self._live_vecs):
+            vec._release()
+        self._live_vecs.clear()

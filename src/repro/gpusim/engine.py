@@ -6,6 +6,15 @@ One :class:`SimtEngine` owns a device spec and its global memory.
 contents) with the measured counters, the register-pressure estimate
 and the launch geometry — everything the profiler and timing model
 need.
+
+Execution is two-tier: a *profiled* launch runs under the full
+:class:`~repro.gpusim.dsl.KernelContext` (counters, divergence,
+coalescing/L1, register liveness), a *functional* launch under the
+lightweight :class:`~repro.gpusim.functional.FunctionalContext` (exact
+buffer contents, no accounting, pooled scratch arrays). The
+``profile_every`` knob samples: launch ``i`` is profiled iff
+``i % profile_every == 0``; a per-launch ``profile=`` argument
+overrides the sampler.
 """
 
 from __future__ import annotations
@@ -19,12 +28,18 @@ from ..errors import LaunchError
 from .counters import KernelCounters
 from .device import TESLA_C2075, DeviceSpec
 from .dsl import KernelContext
+from .functional import FunctionalContext, ScratchPool
 from .memory import GlobalMemory
 
 
 @dataclass(frozen=True)
 class LaunchResult:
-    """Everything measured about one kernel launch."""
+    """Everything measured about one kernel launch.
+
+    ``profiled=False`` marks a functional-tier launch: the buffer side
+    effects are exact, but ``counters`` is all-zero and
+    ``estimated_registers`` is 0 — nothing was measured.
+    """
 
     name: str
     counters: KernelCounters
@@ -33,6 +48,7 @@ class LaunchResult:
     num_blocks: int
     shared_bytes_per_block: int
     estimated_registers: int
+    profiled: bool = True
 
     @property
     def num_warps(self) -> int:
@@ -41,12 +57,25 @@ class LaunchResult:
 
 
 class SimtEngine:
-    """Simulated GPU: device + global memory + kernel launcher."""
+    """Simulated GPU: device + global memory + kernel launcher.
 
-    def __init__(self, device: DeviceSpec = TESLA_C2075) -> None:
+    ``profile_every=N`` profiles every Nth launch (the first launch is
+    always profiled) and runs the rest on the functional tier.
+    """
+
+    def __init__(
+        self, device: DeviceSpec = TESLA_C2075, profile_every: int = 1
+    ) -> None:
+        if profile_every < 1:
+            raise LaunchError(
+                f"profile_every must be >= 1, got {profile_every}"
+            )
         self.device = device
+        self.profile_every = profile_every
         self.memory = GlobalMemory(device.transaction_bytes)
         self.launches: list[LaunchResult] = []
+        self.scratch_pool = ScratchPool()
+        self._launch_index = 0
 
     def _fresh_counters(self) -> KernelCounters:
         return KernelCounters(transaction_bytes=self.device.transaction_bytes)
@@ -58,6 +87,7 @@ class SimtEngine:
         threads_per_block: int,
         args: tuple = (),
         name: str | None = None,
+        profile: bool | None = None,
     ) -> LaunchResult:
         """Execute ``kernel(ctx, *args)`` over ``grid_threads`` threads.
 
@@ -65,6 +95,9 @@ class SimtEngine:
         inactive from the start (they execute nothing and access
         nothing), matching the standard ``if (tid < n)`` CUDA idiom
         without charging for it.
+
+        ``profile`` forces the tier for this launch; ``None`` (default)
+        follows the engine's ``profile_every`` sampler.
         """
         if grid_threads <= 0:
             raise LaunchError(f"grid must be positive, got {grid_threads}")
@@ -78,8 +111,12 @@ class SimtEngine:
                 f"threads_per_block {threads_per_block} exceeds device "
                 f"limit {self.device.max_threads_per_block}"
             )
+        if profile is None:
+            profile = self._launch_index % self.profile_every == 0
+        self._launch_index += 1
         num_blocks = -(-grid_threads // threads_per_block)
-        ctx = KernelContext(self, grid_threads, threads_per_block, num_blocks)
+        ctx_class = KernelContext if profile else FunctionalContext
+        ctx = ctx_class(self, grid_threads, threads_per_block, num_blocks)
         with np.errstate(all="ignore"):
             kernel(ctx, *args)
         ctx.finalize()
@@ -91,6 +128,7 @@ class SimtEngine:
             num_blocks=num_blocks,
             shared_bytes_per_block=ctx.shared_bytes_per_block,
             estimated_registers=ctx.peak_registers,
+            profiled=profile,
         )
         self.launches.append(result)
         return result

@@ -1,0 +1,255 @@
+"""The functional execution tier: exact masks, no accounting.
+
+:class:`FunctionalContext` subclasses the profiled
+:class:`~repro.gpusim.dsl.KernelContext` and preserves its SIMT mask
+semantics exactly — the active-mask stack, predicated ``MutVar.set``
+merging, NaN-poisoned inactive lanes — while skipping everything that
+exists only to *measure* a launch: issue counters, divergence
+accounting, register-liveness tracking, the coalescing/L1 model and
+bank-conflict detection. Three mechanisms make it fast:
+
+* a dtype-keyed :class:`ScratchPool` of grid-sized arrays, so the
+  thousands of short-lived per-op temporaries reuse freed buffers
+  instead of round-tripping through the allocator every operation;
+* uniform-flow fast paths — while the active mask is all-true (the
+  common case outside ``if_`` bodies) the predicated-merge
+  ``np.where``, the NaN poisoning of inactive lanes, and the masked
+  gather/scatter index fix-ups all reduce to straight copies;
+* result-dtype memoisation per ``(ufunc, input dtypes)``, so pooled
+  outputs can be handed to ufuncs as ``out=`` without changing any
+  value or dtype versus the natural allocation.
+
+Exactness contract: a kernel run under this context writes bit-for-bit
+the same buffer contents as under the profiled context (tests compare
+every optimization level A–G). Counters on a functional launch stay
+zero and the engine marks its :class:`~repro.gpusim.engine.LaunchResult`
+``profiled=False``.
+
+Scratch recycling is safe because every array a :class:`Vec` owns is
+created fresh by the context (ufunc output, gather copy, merge result)
+and never aliased into a second ``Vec``; when the last reference to a
+``Vec`` drops, its array goes back to the pool.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import KernelDivergenceError, MemoryModelError
+from .dsl import KernelContext, Vec
+from .memory import GlobalBuffer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import SimtEngine
+
+#: ``(ufunc, input dtypes) -> output dtype``, learned from the first
+#: un-pooled execution of each signature. A module-level cache: the
+#: mapping is a property of NumPy itself, not of any one launch.
+_RESULT_DTYPES: dict[tuple, np.dtype] = {}
+
+
+class ScratchPool:
+    """A free-list of scratch arrays keyed by ``(dtype, size)``.
+
+    Grid-sized temporaries dominate the functional tier's allocation
+    traffic; recycling them across ops (and across launches — the pool
+    lives on the engine) removes the allocator from the hot loop.
+    """
+
+    def __init__(self, max_arrays_per_key: int = 64) -> None:
+        self.max_arrays_per_key = max_arrays_per_key
+        self._free: dict[tuple[np.dtype, int], list[np.ndarray]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def acquire(self, dtype: np.dtype, size: int) -> np.ndarray:
+        stack = self._free.get((dtype, size))
+        if stack:
+            self.hits += 1
+            return stack.pop()
+        self.misses += 1
+        return np.empty(size, dtype=dtype)
+
+    def release(self, arr: np.ndarray) -> None:
+        stack = self._free.setdefault((arr.dtype, arr.size), [])
+        if len(stack) < self.max_arrays_per_key:
+            stack.append(arr)
+
+    @property
+    def pooled_arrays(self) -> int:
+        """Arrays currently sitting in the free-list."""
+        return sum(len(s) for s in self._free.values())
+
+
+class FunctionalContext(KernelContext):
+    """Kernel context that computes exact results and measures nothing."""
+
+    def __init__(
+        self,
+        engine: "SimtEngine",
+        grid_threads: int,
+        threads_per_block: int,
+        num_blocks: int,
+    ) -> None:
+        self._pool = engine.scratch_pool
+        super().__init__(engine, grid_threads, threads_per_block, num_blocks)
+
+    # ------------------------------------------------------------------
+    # Accounting switched off
+    # ------------------------------------------------------------------
+    def _refresh_mask_cache(self) -> None:
+        # Only the uniformity flag is needed; warp/lane activity counts
+        # exist purely for the counters this tier does not keep.
+        self._uniform = bool(self._mask.all())
+        self._warps_active = 0
+        self._lanes_active = 0
+
+    def _count_issue(self, klass: str, times: int = 1) -> None:
+        pass
+
+    def _on_vec_created(self, vec: Vec) -> None:
+        self._live_vecs.add(vec)
+
+    def _on_vec_released(self, vec: Vec) -> None:
+        val = vec.val
+        if val.shape == (self.padded_threads,):
+            self._pool.release(val)
+
+    # ------------------------------------------------------------------
+    # Pooled arithmetic
+    # ------------------------------------------------------------------
+    def _binary(self, a, b, ufunc, sfu=False, result_class=None) -> Vec:
+        av = self._coerce(a)
+        bv = self._coerce(b)
+        key = (ufunc, av.dtype, bv.dtype)
+        dt = _RESULT_DTYPES.get(key)
+        if dt is None:
+            with np.errstate(all="ignore"):
+                out = ufunc(av, bv)
+            _RESULT_DTYPES[key] = out.dtype
+        else:
+            out = self._pool.acquire(dt, self.padded_threads)
+            with np.errstate(all="ignore"):
+                ufunc(av, bv, out=out)
+        return Vec(self, out)
+
+    def _unary(self, a, ufunc, sfu=False, result_class=None) -> Vec:
+        av = self._coerce(a)
+        key = (ufunc, av.dtype)
+        dt = _RESULT_DTYPES.get(key)
+        if dt is None:
+            with np.errstate(all="ignore"):
+                out = ufunc(av)
+            _RESULT_DTYPES[key] = out.dtype
+        else:
+            out = self._pool.acquire(dt, self.padded_threads)
+            with np.errstate(all="ignore"):
+                ufunc(av, out=out)
+        return Vec(self, out)
+
+    def select(self, cond, a, b) -> Vec:
+        cv = self._coerce(cond)
+        if cv.dtype != np.bool_:
+            cv = cv.astype(bool)
+        out = np.where(cv, self._coerce(a), self._coerce(b))
+        return Vec(self, out)
+
+    def _masked_assign(self, old: Vec, new: np.ndarray) -> Vec:
+        if self._uniform:
+            # All lanes active: the predicated merge is a plain copy
+            # (with the same unsafe cast astype() would apply).
+            out = self._pool.acquire(old.dtype, self.padded_threads)
+            np.copyto(out, new, casting="unsafe")
+            return Vec(self, out)
+        merged = np.where(self._mask, new, old.val).astype(old.dtype)
+        return Vec(self, merged)
+
+    # ------------------------------------------------------------------
+    # Control flow without divergence accounting
+    # ------------------------------------------------------------------
+    @contextmanager
+    def if_(self, cond):
+        cv = self._coerce(cond)
+        if cv.dtype != np.bool_:
+            cv = cv.astype(bool)
+        parent = self._mask
+        depth = self.depth
+        self._push_mask(parent & cv)
+        try:
+            yield
+        finally:
+            self._pop_mask()
+            self._pending_else[depth] = parent & ~cv
+
+    def loop(self, iterations: int):
+        if iterations < 0:
+            raise KernelDivergenceError(
+                f"loop iterations must be non-negative, got {iterations}"
+            )
+        return range(iterations)
+
+    # ------------------------------------------------------------------
+    # Memory without the coalescing / L1 / bank-conflict models
+    # ------------------------------------------------------------------
+    def _bounds_check(self, buf: GlobalBuffer, idx: np.ndarray) -> None:
+        active_idx = idx if self._uniform else idx[self._mask]
+        if active_idx.size == 0:
+            return
+        lo = active_idx.min()
+        hi = active_idx.max()
+        if lo < 0 or hi >= buf.num_elements:
+            raise MemoryModelError(
+                f"out-of-bounds access to buffer {buf.name!r}: indices in "
+                f"[{lo}, {hi}], buffer has {buf.num_elements} elements"
+            )
+
+    def load(self, buf: GlobalBuffer, index) -> Vec:
+        idx = self._coerce(index)
+        if idx.dtype != np.int64:
+            idx = idx.astype(np.int64)
+        self._bounds_check(buf, idx)
+        if self._uniform:
+            out = self._pool.acquire(buf.data.dtype, self.padded_threads)
+            np.take(buf.data, idx, out=out)
+            return Vec(self, out)
+        safe = np.where(self._mask, idx, 0)
+        values = buf.data[safe]
+        if values.dtype.kind == "f":
+            values = np.where(self._mask, values, np.nan)
+        return Vec(self, values)
+
+    def store(self, buf: GlobalBuffer, index, value) -> None:
+        idx = self._coerce(index)
+        if idx.dtype != np.int64:
+            idx = idx.astype(np.int64)
+        self._bounds_check(buf, idx)
+        val = self._coerce(value)
+        if self._uniform:
+            buf.data[idx] = val
+            return
+        safe = np.where(self._mask, idx, 0)
+        cols = safe[self._mask]
+        buf.data[cols] = np.asarray(val, dtype=buf.data.dtype)[self._mask]
+
+    def shared_load(self, buf, local_index) -> Vec:
+        idx = self._coerce(local_index)
+        if idx.dtype != np.int64:
+            idx = idx.astype(np.int64)
+        values = buf.gather(self._block_values, idx, self._mask)
+        if not self._uniform and values.dtype.kind == "f":
+            values = np.where(self._mask, values, np.nan)
+        return Vec(self, values)
+
+    def shared_store(self, buf, local_index, value) -> None:
+        idx = self._coerce(local_index)
+        if idx.dtype != np.int64:
+            idx = idx.astype(np.int64)
+        buf.scatter(
+            self._block_values, idx, np.asarray(self._coerce(value)), self._mask
+        )
+
+    def _account_shared(self, buf, idx) -> None:  # pragma: no cover
+        pass

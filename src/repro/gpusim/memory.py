@@ -61,6 +61,14 @@ class GlobalMemory:
         if name in self._buffers:
             raise MemoryModelError(f"buffer {name!r} already allocated")
         data = np.zeros(shape, dtype=dtype).reshape(-1)
+        if data.size == 0:
+            # A zero-sized buffer has no addressable elements: any
+            # subsequent addresses()/load/store would index out of
+            # bounds silently. cudaMalloc(0) likewise returns no usable
+            # allocation.
+            raise MemoryModelError(
+                f"cannot allocate zero-sized buffer {name!r} (shape {shape!r})"
+            )
         buf = GlobalBuffer(name, data, self._next_base)
         self._next_base += -(-data.nbytes // BASE_ALIGNMENT) * BASE_ALIGNMENT
         self._buffers[name] = buf
@@ -110,9 +118,53 @@ def count_transactions(
         raise MemoryModelError(
             f"grid of {n} threads is not a multiple of warp size {warp_size}"
         )
+    if n and active.all():
+        stride = _affine_stride(addresses)
+        if stride is not None:
+            return _affine_transactions(
+                addresses, warp_size, transaction_bytes, stride
+            )
     return int(_distinct_mask(
         addresses, active, warp_size, transaction_bytes
     )[1].sum())
+
+
+def _affine_stride(addresses: np.ndarray) -> int | None:
+    """The constant stride if ``addresses`` is an arithmetic sequence
+    over the whole grid (``addr[i] = addr[0] + i * stride``), else
+    ``None``. One vectorized comparison — much cheaper than the
+    per-warp sort it replaces."""
+    if addresses.size < 2:
+        return 0
+    stride = int(addresses[1]) - int(addresses[0])
+    expected = int(addresses[0]) + stride * np.arange(
+        addresses.size, dtype=np.int64
+    )
+    return stride if np.array_equal(addresses, expected) else None
+
+
+def _affine_transactions(
+    addresses: np.ndarray,
+    warp_size: int,
+    transaction_bytes: int,
+    stride: int,
+) -> int:
+    """Exact transaction count for an all-active affine access, in
+    O(warps) without sorting.
+
+    Within a warp the segment sequence is monotone: with
+    ``|stride| <= transaction_bytes`` consecutive lanes advance by at
+    most one segment, so the distinct segments are exactly the
+    contiguous range between the first and last lane's segment; with a
+    larger stride every lane lands in its own segment.
+    """
+    num_warps = addresses.size // warp_size
+    if abs(stride) > transaction_bytes:
+        return num_warps * warp_size
+    shift = int(transaction_bytes).bit_length() - 1
+    first = addresses[::warp_size] >> shift
+    last = addresses[warp_size - 1 :: warp_size] >> shift
+    return int(np.abs(last - first).sum()) + num_warps
 
 
 def _distinct_mask(
@@ -128,8 +180,15 @@ def _distinct_mask(
     shift = int(transaction_bytes).bit_length() - 1
     segments = (addresses >> shift).reshape(-1, warp_size)
     lanes = active.reshape(-1, warp_size)
-    segments = np.where(lanes, segments, np.int64(-1))
-    segments = np.sort(segments, axis=1)
+    if lanes.all():
+        # All lanes real: the -1 sentinel is not needed, and when every
+        # warp's segments are already non-decreasing (any non-negative
+        # constant-stride access) the sort is the identity — skip it.
+        if segments.size and not (segments[:, 1:] >= segments[:, :-1]).all():
+            segments = np.sort(segments, axis=1)
+    else:
+        segments = np.where(lanes, segments, np.int64(-1))
+        segments = np.sort(segments, axis=1)
     distinct = np.ones_like(segments, dtype=bool)
     distinct[:, 1:] = segments[:, 1:] != segments[:, :-1]
     distinct &= segments >= 0

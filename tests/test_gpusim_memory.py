@@ -6,7 +6,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import MemoryModelError
-from repro.gpusim.memory import GlobalMemory, count_transactions
+from repro.gpusim.memory import (
+    GlobalMemory,
+    _distinct_mask,
+    count_transactions,
+    count_transactions_with_l1,
+)
 
 WARP = 32
 TX = 128
@@ -96,6 +101,125 @@ class TestCountTransactions:
         assert tx == len({a // TX for a in addr_list})
 
 
+def _brute_force_tx(addresses, active):
+    """Set-based oracle: distinct segments per warp, summed."""
+    total = 0
+    for w in range(0, len(addresses), WARP):
+        segs = {
+            addresses[i] // TX
+            for i in range(w, w + WARP)
+            if active[i]
+        }
+        total += len(segs)
+    return total
+
+
+class TestAffineShortcut:
+    """The O(warps) analytic path must agree with the sort-based model
+    for every affine pattern, and must not trigger for anything else."""
+
+    @pytest.mark.parametrize("stride", [0, 1, 4, 8, 72, 128, 136, 256])
+    @pytest.mark.parametrize("base", [0, 64, 100])
+    @pytest.mark.parametrize("num_warps", [1, 2, 3])
+    def test_matches_brute_force(self, stride, base, num_warps):
+        addrs = base + np.arange(num_warps * WARP, dtype=np.int64) * stride
+        active = np.ones(addrs.size, dtype=bool)
+        assert _tx(addrs) == _brute_force_tx(addrs, active)
+
+    @pytest.mark.parametrize("stride", [4, 72, 136])
+    def test_negative_stride(self, stride):
+        addrs = 100_000 - np.arange(2 * WARP, dtype=np.int64) * stride
+        assert _tx(addrs) == _brute_force_tx(
+            addrs, np.ones(addrs.size, dtype=bool)
+        )
+
+    def test_non_affine_falls_back(self):
+        rng = np.random.default_rng(7)
+        addrs = rng.integers(0, 50_000, size=2 * WARP).astype(np.int64)
+        assert _tx(addrs) == _brute_force_tx(
+            addrs, np.ones(addrs.size, dtype=bool)
+        )
+
+    def test_shuffled_contiguous_counts_like_sorted(self):
+        """Per-warp distinctness is order-independent."""
+        rng = np.random.default_rng(3)
+        addrs = np.arange(WARP, dtype=np.int64) * 8
+        rng.shuffle(addrs)
+        assert _tx(addrs) == 2
+
+    def test_partially_active_never_uses_shortcut(self):
+        """An affine pattern with inactive lanes must count only the
+        active lanes' segments."""
+        addrs = np.arange(WARP, dtype=np.int64) * TX
+        active = np.ones(WARP, dtype=bool)
+        active[::2] = False
+        assert _tx(addrs, active) == WARP // 2
+
+    def test_empty_grid(self):
+        assert _tx(np.zeros(0, dtype=np.int64)) == 0
+
+
+class TestL1EdgeCases:
+    def _l1(self, addresses, active=None, window_cap=4, num_warps=None):
+        addresses = np.asarray(addresses, dtype=np.int64)
+        if active is None:
+            active = np.ones(addresses.shape, dtype=bool)
+        if num_warps is None:
+            num_warps = addresses.size // WARP
+        window = np.full((num_warps, window_cap), -1, dtype=np.int64)
+        tx, hits = count_transactions_with_l1(
+            addresses, np.asarray(active), WARP, TX, window
+        )
+        return tx, hits, window
+
+    def test_fully_inactive_warp(self):
+        """A fully-inactive warp issues nothing and caches nothing."""
+        addrs = np.arange(WARP, dtype=np.int64) * 4
+        tx, hits, window = self._l1(addrs, active=np.zeros(WARP, dtype=bool))
+        assert (tx, hits) == (0, 0)
+        assert (window == -1).all()
+
+    def test_unaligned_base_straddles_segment(self):
+        """A 128 B contiguous access starting at offset 64 touches two
+        segments; both must miss cold and both must be cached."""
+        addrs = 64 + np.arange(WARP, dtype=np.int64) * 4
+        tx, hits, window = self._l1(addrs)
+        assert (tx, hits) == (2, 0)
+        assert set(window[0]) - {-1} == {0, 1}
+
+    def test_window_smaller_than_distinct_segments(self):
+        """An access touching more segments than the window holds keeps
+        only the most recent ones (and never overflows)."""
+        addrs = np.arange(WARP, dtype=np.int64) * TX  # 32 distinct segments
+        tx, hits, window = self._l1(addrs, window_cap=4)
+        assert (tx, hits) == (WARP, 0)
+        assert window.shape == (1, 4)
+        assert (window >= 0).all()
+        # A repeat of the *cached* tail segments hits; the evicted ones
+        # miss again.
+        cached = set(window[0].tolist())
+        tx2, hits2 = count_transactions_with_l1(
+            addrs, np.ones(WARP, dtype=bool), WARP, TX, window
+        )
+        assert hits2 == len(cached)
+        assert tx2 == WARP - len(cached)
+
+    def test_window_warp_count_mismatch_rejected(self):
+        addrs = np.arange(2 * WARP, dtype=np.int64) * 4
+        with pytest.raises(MemoryModelError):
+            self._l1(addrs, num_warps=1)
+
+    def test_distinct_mask_inactive_sentinel(self):
+        """Inactive lanes carry -1 and are never marked distinct."""
+        addrs = np.arange(WARP, dtype=np.int64) * 4
+        active = np.zeros(WARP, dtype=bool)
+        active[5] = True
+        segments, distinct = _distinct_mask(addrs, active, WARP, TX)
+        assert distinct.sum() == 1
+        assert (segments == -1).sum() == WARP - 1
+        assert segments[distinct][0] == (5 * 4) // TX
+
+
 class TestGlobalMemory:
     def test_alloc_and_alignment(self):
         mem = GlobalMemory()
@@ -117,6 +241,18 @@ class TestGlobalMemory:
         mem.alloc("x", 4, np.uint8)
         with pytest.raises(MemoryModelError):
             mem.alloc("x", 4, np.uint8)
+
+    def test_zero_sized_alloc_rejected(self):
+        mem = GlobalMemory()
+        with pytest.raises(MemoryModelError, match="zero-sized"):
+            mem.alloc("x", 0, np.float64)
+        with pytest.raises(MemoryModelError, match="zero-sized"):
+            mem.alloc("y", (4, 0), np.uint8)
+
+    def test_zero_sized_alloc_like_rejected(self):
+        mem = GlobalMemory()
+        with pytest.raises(MemoryModelError, match="zero-sized"):
+            mem.alloc_like("x", np.zeros((0,), dtype=np.float32))
 
     def test_get_and_free(self):
         mem = GlobalMemory()

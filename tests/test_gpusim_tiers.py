@@ -1,0 +1,275 @@
+"""The two execution tiers: functional results must be bit-identical
+to profiled results at every optimization level, profiled counters must
+be unperturbed by sampling, and the supporting machinery (scratch pool,
+deterministic register release) must hold its invariants."""
+
+import numpy as np
+import pytest
+
+from repro.config import MoGParams, RunConfig
+from repro.core.pipeline import HostPipeline
+from repro.core.variants import OptimizationLevel
+from repro.errors import ConfigError, LaunchError
+from repro.gpusim import FunctionalContext, SimtEngine
+from repro.gpusim.counters import KernelCounters
+
+SHAPE = (16, 32)
+PARAMS = MoGParams(learning_rate=0.08, initial_sd=8.0)
+
+
+def _frames(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        rng.integers(0, 256, size=SHAPE, dtype=np.uint8) for _ in range(n)
+    ]
+
+
+def _pipeline(level, profile_every=1):
+    return HostPipeline(
+        SHAPE, PARAMS, level,
+        run_config=RunConfig(
+            height=SHAPE[0], width=SHAPE[1], profile_every=profile_every
+        ),
+    )
+
+
+class TestCrossTierExactness:
+    @pytest.mark.parametrize("level", list(OptimizationLevel))
+    def test_masks_and_state_bit_identical(self, level):
+        """A fully-profiled run and a mostly-functional run must agree
+        on every mask and on the final mixture state, at every level."""
+        frames = _frames(6)
+        full = _pipeline(level, profile_every=1)
+        sampled = _pipeline(level, profile_every=4)
+        masks_full, _ = full.process(frames)
+        masks_sampled, _ = sampled.process(frames)
+        assert np.array_equal(masks_full, masks_sampled)
+        sf, ss = full.state(), sampled.state()
+        for attr in ("w", "m", "sd"):
+            assert np.array_equal(getattr(sf, attr), getattr(ss, attr))
+
+    @pytest.mark.parametrize("level", ["A", "F", "G"])
+    def test_profiled_counters_unperturbed_by_sampling(self, level):
+        """Sampling changes how often launches are measured, never what
+        a measured launch reports: a profiled launch's counters under
+        profile_every=N equal the same launch's under profile_every=1."""
+        frames = _frames(9, seed=1)
+        full = _pipeline(level, profile_every=1)
+        sampled = _pipeline(level, profile_every=2)
+        full.process(frames)
+        sampled.process(frames)
+        full_by_name = {rep.name: rep for rep in full._launch_reports}
+        assert sampled._launch_reports
+        for rep in sampled._launch_reports:
+            twin = full_by_name[rep.name]
+            assert rep.counters == twin.counters
+            assert rep.registers_per_thread == twin.registers_per_thread
+
+    def test_functional_launch_result_shape(self):
+        """Functional launches are marked and carry zeroed measurements."""
+        frames = _frames(3)
+        pipe = _pipeline("F", profile_every=4)
+        for f in frames:
+            pipe.apply(f)
+        launches = pipe.engine.launches
+        assert [l.profiled for l in launches] == [True, False, False]
+        for launch in launches[1:]:
+            assert launch.counters == KernelCounters(
+                transaction_bytes=launch.counters.transaction_bytes
+            )
+            assert launch.estimated_registers == 0
+
+    def test_report_accounting_under_sampling(self):
+        frames = _frames(9)
+        pipe = _pipeline("F", profile_every=4)
+        _, report = pipe.process(frames)
+        assert report.num_frames == 9
+        assert report.frames_profiled == 3  # frames 0, 4, 8
+        assert len(report.launches) == 3
+        assert pipe.profiled_frame_indices == [0, 4, 8]
+        # Per-frame counters are normalised by profiled frames, so they
+        # match an unsampled run's exactly.
+        _, full_report = _pipeline("F", profile_every=1).process(_frames(9))
+        assert (
+            report.counters_per_frame.transactions
+            == full_report.counters_per_frame.transactions
+        )
+        # The DMA schedule still covers all 9 frames (carry-forward).
+        assert abs(report.total_time - full_report.total_time) < 1e-12
+
+
+class TestEngineKnob:
+    def test_profile_every_validated(self):
+        with pytest.raises(LaunchError):
+            SimtEngine(profile_every=0)
+        with pytest.raises(ConfigError):
+            RunConfig(profile_every=0)
+
+    def test_sampling_pattern(self):
+        engine = SimtEngine(profile_every=3)
+        out = engine.memory.alloc("out", 32, np.float64)
+
+        def kern(ctx, out):
+            ctx.store(out, ctx.thread_id(), 1.0)
+
+        flags = [
+            engine.launch(kern, 32, 32, args=(out,)).profiled
+            for _ in range(7)
+        ]
+        assert flags == [True, False, False, True, False, False, True]
+
+    def test_explicit_profile_overrides_sampler(self):
+        engine = SimtEngine(profile_every=1)
+        out = engine.memory.alloc("out", 32, np.float64)
+
+        def kern(ctx, out):
+            ctx.store(out, ctx.thread_id(), 1.0)
+
+        forced = engine.launch(kern, 32, 32, args=(out,), profile=False)
+        assert not forced.profiled
+        assert engine.launch(kern, 32, 32, args=(out,)).profiled
+
+
+class TestScratchPool:
+    def test_functional_launches_recycle_arrays(self):
+        engine = SimtEngine(profile_every=1)
+        out = engine.memory.alloc("out", 256, np.float64)
+
+        def kern(ctx, out):
+            t = ctx.thread_id().astype(np.float64)
+            v = ctx.var(0.0, np.float64)
+            for _ in ctx.loop(4):
+                v.set(v.get() + t * 2.0 + 1.0)
+            ctx.store(out, ctx.thread_id(), v.get())
+
+        engine.launch(kern, 256, 128, args=(out,), profile=False)
+        first = out.data.copy()
+        warm_misses = engine.scratch_pool.misses
+        engine.launch(kern, 256, 128, args=(out,), profile=False)
+        # Steady state: the second launch reuses the first's arrays.
+        assert engine.scratch_pool.hits > 0
+        assert engine.scratch_pool.misses == warm_misses
+        assert np.array_equal(out.data, first)
+
+    def test_pool_never_exceeds_cap(self):
+        from repro.gpusim import ScratchPool
+
+        pool = ScratchPool(max_arrays_per_key=2)
+        arrays = [np.empty(8, dtype=np.float64) for _ in range(5)]
+        for arr in arrays:
+            pool.release(arr)
+        assert pool.pooled_arrays == 2
+
+    def test_profiled_launches_do_not_pool(self):
+        engine = SimtEngine(profile_every=1)
+        out = engine.memory.alloc("out", 64, np.float64)
+
+        def kern(ctx, out):
+            ctx.store(out, ctx.thread_id(), 1.0)
+
+        engine.launch(kern, 64, 32, args=(out,))
+        assert engine.scratch_pool.pooled_arrays == 0
+
+
+class TestDeterministicRegisterRelease:
+    def test_leaked_vecs_released_by_finalize(self):
+        """A Vec kept alive past the kernel body (here: closed over by
+        the caller) must be released by ctx.finalize(), not left to GC
+        timing — peak_registers must not depend on the interpreter."""
+        engine = SimtEngine()
+        out = engine.memory.alloc("out", 32, np.float64)
+        leaked = []
+
+        def kern(ctx, out):
+            v = ctx.thread_id().astype(np.float64)
+            leaked.append(v)
+            ctx.store(out, ctx.thread_id(), v)
+
+        engine.launch(kern, 32, 32, args=(out,))
+        assert leaked[0]._released
+        # Releasing again must be a no-op (idempotent).
+        leaked[0]._release()
+
+    def test_estimated_registers_pinned_for_known_kernel(self):
+        """Regression pin: the register estimate for a fixed kernel is
+        part of the simulator's contract (occupancy depends on it)."""
+        engine = SimtEngine()
+        out = engine.memory.alloc("out", 64, np.float64)
+
+        def kern(ctx, out):
+            t = ctx.thread_id().astype(np.float64)
+            acc = ctx.var(0.0, np.float64)
+            for _ in ctx.loop(3):
+                acc.set(acc.get() + t * 2.0)
+            with ctx.if_(t > 8.0):
+                acc.set(acc.get() - 1.0)
+            ctx.store(out, ctx.thread_id(), acc.get())
+
+        result = engine.launch(kern, 64, 32, args=(out,))
+        assert result.estimated_registers == 9
+
+    def test_level_f_registers_pinned(self):
+        """The real level-F kernel's estimate, end to end."""
+        pipe = _pipeline("F")
+        pipe.apply(_frames(1)[0])
+        assert pipe.engine.launches[0].estimated_registers == 41
+
+    def test_estimate_stable_across_repeats(self):
+        """With deterministic release the estimate cannot drift from
+        launch to launch."""
+        pipe = _pipeline("F")
+        for f in _frames(3):
+            pipe.apply(f)
+        regs = [l.estimated_registers for l in pipe.engine.launches]
+        assert len(set(regs)) == 1
+
+
+class TestFunctionalContextDirect:
+    def test_divergent_kernel_masks_match(self):
+        """Engine-level cross-tier check on a kernel exercising nested
+        divergence, loops, MutVar merging and shared memory."""
+
+        def kern(ctx, out, inp):
+            t = ctx.thread_id()
+            x = ctx.load(inp, t)
+            v = ctx.var(0.0, np.float64)
+            tile = ctx.shared_alloc("tile", 64, np.float64)
+            ctx.shared_store(tile, ctx.lane_id(), x)
+            ctx.syncthreads()
+            y = ctx.shared_load(tile, ctx.lane_id())
+            with ctx.if_(y > 50.0):
+                v.set(y * 2.0)
+                with ctx.if_(y > 100.0):
+                    v.set(v.get() + 1.0)
+            with ctx.else_():
+                for _ in ctx.loop(2):
+                    v.set(v.get() - y)
+            ctx.store(out, t, v.get())
+
+        rng = np.random.default_rng(5)
+        values = rng.uniform(0.0, 150.0, size=128)
+        results = {}
+        for profile in (True, False):
+            engine = SimtEngine()
+            inp = engine.memory.alloc_like("inp", values)
+            out = engine.memory.alloc("out", 128, np.float64)
+            launch = engine.launch(
+                kern, 128, 64, args=(out, inp), profile=profile
+            )
+            assert launch.profiled is profile
+            results[profile] = out.data.copy()
+        assert np.array_equal(results[True], results[False])
+
+    def test_functional_context_is_used(self):
+        engine = SimtEngine(profile_every=2)
+        out = engine.memory.alloc("out", 32, np.float64)
+        seen = []
+
+        def kern(ctx, out):
+            seen.append(type(ctx))
+            ctx.store(out, ctx.thread_id(), 1.0)
+
+        engine.launch(kern, 32, 32, args=(out,))
+        engine.launch(kern, 32, 32, args=(out,))
+        assert not issubclass(seen[0], FunctionalContext)
+        assert seen[1] is FunctionalContext
