@@ -28,7 +28,13 @@ Quickstart::
     print(report.summary())
 """
 
-from .config import FaultPolicy, MoGParams, RunConfig, TelemetryConfig
+from .config import (
+    FaultPolicy,
+    MoGParams,
+    RunConfig,
+    ServeConfig,
+    TelemetryConfig,
+)
 from .core import BackgroundSubtractor, OptimizationLevel, RunReport
 from .errors import ReproError
 
@@ -41,6 +47,7 @@ __all__ = [
     "MoGParams",
     "RunConfig",
     "FaultPolicy",
+    "ServeConfig",
     "TelemetryConfig",
     "ReproError",
     "__version__",

@@ -15,15 +15,53 @@ benchmark ``benchmarks/test_sim_throughput.py::test_two_tier_speedup``.
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
 from ..config import MoGParams
 from ..core.subtractor import BackgroundSubtractor
+from ..errors import ConfigError
 
-#: Repo root (this file lives at src/repro/bench/snapshot.py).
-REPO_ROOT = Path(__file__).resolve().parents[3]
 SNAPSHOT_NAME = "BENCH_throughput.json"
+
+#: Environment override for where the snapshot file lives.
+BENCH_DIR_ENV = "REPRO_BENCH_DIR"
+
+
+def resolve_snapshot_dir() -> Path:
+    """Directory ``BENCH_throughput.json`` is read from / written to.
+
+    Resolution order:
+
+    1. the :data:`BENCH_DIR_ENV` (``REPRO_BENCH_DIR``) environment
+       variable, created if absent — CI and installed-package runs
+       point this wherever they like;
+    2. the first ancestor of the current working directory (itself
+       included) that looks like a repo checkout (has ``pyproject.toml``
+       and ``src/repro``).
+
+    Resolving from ``__file__`` is wrong once the package is installed:
+    that lands the snapshot inside ``site-packages``. With no override
+    and no checkout in sight this raises a clear
+    :class:`~repro.errors.ConfigError` instead.
+    """
+    override = os.environ.get(BENCH_DIR_ENV)
+    if override:
+        path = Path(override).expanduser().resolve()
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+    cwd = Path.cwd().resolve()
+    for candidate in (cwd, *cwd.parents):
+        if (candidate / "pyproject.toml").is_file() and (
+            candidate / "src" / "repro"
+        ).is_dir():
+            return candidate
+    raise ConfigError(
+        f"cannot locate a repo checkout above {cwd} to hold "
+        f"{SNAPSHOT_NAME}; set {BENCH_DIR_ENV} to choose a directory "
+        "explicitly"
+    )
 
 #: Frame geometry all snapshot entries share — small enough for CI,
 #: large enough that per-frame work dwarfs per-launch overhead.
@@ -82,13 +120,67 @@ def measure_fps(
     }
 
 
+def measure_server_fps(
+    num_streams: int = 4,
+    num_frames: int = 17,
+    workers: int = 2,
+    shape=SNAPSHOT_SHAPE,
+) -> dict:
+    """Aggregate frames/s of a :class:`~repro.serve.StreamServer`
+    multiplexing ``num_streams`` synthetic streams over ``workers``
+    worker threads.
+
+    The first frame of every stream (model initialisation) runs before
+    the timed region. The rate is aggregate: frames completed across
+    all streams per wall-clock second.
+    """
+    from ..config import ServeConfig
+    from ..serve import StreamServer
+
+    frames = _frames(num_frames, shape)
+    stream_ids = [f"cam{i}" for i in range(num_streams)]
+    server = StreamServer(
+        shape,
+        params=SNAPSHOT_PARAMS,
+        serve=ServeConfig(workers=workers, queue_capacity=4),
+    )
+    try:
+        for sid in stream_ids:
+            server.add_stream(sid)
+            server.submit(sid, frames[0])
+        server.drain()
+        start = time.perf_counter()
+        for frame in frames[1:]:
+            for sid in stream_ids:
+                server.submit(sid, frame)
+        server.drain()
+        elapsed = time.perf_counter() - start
+    finally:
+        server.close(drain=False)
+    timed = (len(frames) - 1) * num_streams
+    return {
+        "backend": "cpu",
+        "level": "F",
+        "tier": f"server_{num_streams}streams_{workers}workers",
+        "profile_every": None,
+        "frames_per_s": round(timed / elapsed, 2),
+        "frames_timed": timed,
+        "frame_shape": list(shape),
+        "num_streams": num_streams,
+        "workers": workers,
+    }
+
+
 def update_snapshot(entries: dict, path: Path | str | None = None) -> Path:
     """Merge ``entries`` (name -> entry dict) into the snapshot file.
 
     Existing entries under other names are preserved; the file is
     created if absent. Returns the path written.
     """
-    path = Path(path) if path is not None else REPO_ROOT / SNAPSHOT_NAME
+    path = (
+        Path(path) if path is not None
+        else resolve_snapshot_dir() / SNAPSHOT_NAME
+    )
     data: dict = {"schema": 1, "entries": {}}
     if path.exists():
         try:
@@ -114,10 +206,14 @@ def run_snapshot(
     """
     num_sim = 9 if quick else 33
     num_cpu = 33 if quick else 129
+    num_srv = 9 if quick else 33
     entries = {
         "cpu": measure_fps("cpu", num_frames=num_cpu),
         "sim_profiled": measure_fps("sim", profile_every=1, num_frames=num_sim),
         "sim_sampled_8": measure_fps("sim", profile_every=8, num_frames=num_sim),
+        "server_4streams": measure_server_fps(
+            num_streams=4, num_frames=num_srv
+        ),
     }
     update_snapshot(entries, path)
     return entries

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands cover the end-to-end workflow without writing Python:
+The subcommands cover the end-to-end workflow without writing Python:
 
 * ``repro synthesize`` — render a synthetic scene (with ground truth)
   to a compressed ``.npz`` sequence;
@@ -8,6 +8,9 @@ Four subcommands cover the end-to-end workflow without writing Python:
   save the masks (optionally printing the simulated-GPU run report);
 * ``repro evaluate`` — score saved masks against a sequence's ground
   truth;
+* ``repro track`` — run the full subtract/clean/track pipeline;
+* ``repro serve`` — multiplex N streams (synthetic or ``.npz``)
+  through one :class:`~repro.serve.StreamServer`;
 * ``repro experiments`` — print any of the paper's reproduced
   tables/figures.
 
@@ -105,6 +108,44 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="print per-stage telemetry after the run")
     tr.add_argument("--metrics-json", default=None,
                     help="write the telemetry snapshot as JSON")
+
+    sv = sub.add_parser(
+        "serve",
+        help="multiplex N streams through one StreamServer",
+    )
+    sv.add_argument("inputs", nargs="*",
+                    help=".npz sequences, one stream each (default: "
+                    "--streams synthetic streams)")
+    sv.add_argument("--streams", type=int, default=4,
+                    help="synthetic stream count when no inputs are given")
+    sv.add_argument("--frames", type=int, default=40,
+                    help="frames per synthetic stream")
+    sv.add_argument("--scene", choices=sorted(SCENES), default="surveillance")
+    sv.add_argument("--height", type=int, default=120)
+    sv.add_argument("--width", type=int, default=160)
+    sv.add_argument("--level", default="F")
+    sv.add_argument("--backend", choices=("cpu", "sim"), default="cpu")
+    sv.add_argument("--learning-rate", type=float, default=0.08)
+    sv.add_argument("--warmup", type=int, default=15)
+    sv.add_argument("--workers", type=int, default=2,
+                    help="worker threads shared by all streams")
+    sv.add_argument("--queue-capacity", type=int, default=8,
+                    help="bounded input queue depth per stream")
+    sv.add_argument("--backpressure",
+                    choices=("block", "drop_oldest", "reject"),
+                    default="block",
+                    help="full-queue policy (see docs/architecture.md)")
+    sv.add_argument("--max-streams", type=int, default=64,
+                    help="admission limit")
+    sv.add_argument("--batch-frames", type=int, default=1,
+                    help="frames a worker takes per scheduling turn")
+    sv.add_argument("--on-error", choices=("raise", "degrade"),
+                    default="degrade",
+                    help="per-stream stage-failure policy")
+    sv.add_argument("--metrics", action="store_true",
+                    help="print the aggregated telemetry after the run")
+    sv.add_argument("--metrics-json", default=None,
+                    help="write the aggregated telemetry snapshot as JSON")
 
     cu = sub.add_parser(
         "export-cuda",
@@ -248,6 +289,108 @@ def _cmd_track(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import time
+    from pathlib import Path
+
+    from .config import FaultPolicy, ServeConfig
+    from .serve import StreamServer
+
+    sequences: dict[str, list[np.ndarray]] = {}
+    if args.inputs:
+        shape = None
+        for path in args.inputs:
+            source, _, _ = video_io.load_sequence(path)
+            if shape is None:
+                shape = source.shape
+            elif source.shape != shape:
+                print(f"error: {path} has shape {source.shape}, "
+                      f"expected {shape} (all streams must match)",
+                      file=sys.stderr)
+                return 2
+            sid = Path(path).stem.replace(".", "_")
+            if sid in sequences:
+                print(f"error: duplicate stream id {sid!r} (from {path}); "
+                      "stream ids come from file stems", file=sys.stderr)
+                return 2
+            sequences[sid] = [
+                source.frame(t) for t in range(source.num_frames)
+            ]
+    else:
+        shape = (args.height, args.width)
+        for i in range(args.streams):
+            video = SCENES[args.scene](
+                height=args.height, width=args.width, seed=100 + i
+            )
+            sequences[f"cam{i}"] = [
+                video.frame(t) for t in range(args.frames)
+            ]
+
+    server = StreamServer(
+        shape,
+        MoGParams(learning_rate=args.learning_rate),
+        level=args.level,
+        backend=args.backend,
+        serve=ServeConfig(
+            workers=args.workers,
+            max_streams=args.max_streams,
+            queue_capacity=args.queue_capacity,
+            backpressure=args.backpressure,
+            batch_frames=args.batch_frames,
+        ),
+        fault_policy=FaultPolicy(stage_error=args.on_error),
+        warmup_frames=args.warmup,
+    )
+    try:
+        for sid in sequences:
+            server.add_stream(sid)
+        t0 = time.perf_counter()
+        iters = {sid: iter(frames) for sid, frames in sequences.items()}
+        while iters:
+            for sid in list(iters):
+                frame = next(iters[sid], None)
+                if frame is None:
+                    del iters[sid]
+                else:
+                    server.submit(sid, frame)
+        server.drain()
+        elapsed = time.perf_counter() - t0
+        total = 0
+        for status in server.stream_status():
+            sid = status["stream"]
+            results = server.results(sid)
+            total += len(results)
+            degraded = sum(1 for r in results if r.degraded)
+            print(f"{sid}: {len(results)} frames, {degraded} degraded, "
+                  f"{status['frames_dropped']} dropped, "
+                  f"{status['restarts']} restarts"
+                  + (f", FAILED ({status['failed']})"
+                     if status["failed"] else ""))
+        snap = server.snapshot()
+    finally:
+        server.close(drain=False)
+    fps = total / elapsed if elapsed > 0 else float("inf")
+    print(f"served {total} frames across {len(sequences)} streams in "
+          f"{elapsed:.2f}s ({fps:.1f} frames/s aggregate, "
+          f"{args.workers} workers)")
+    if args.metrics:
+        from .bench.reporting import format_metrics
+
+        print()
+        print(format_metrics(snap))
+    if args.metrics_json:
+        import json
+
+        try:
+            with open(args.metrics_json, "w", encoding="utf-8") as fh:
+                json.dump(snap, fh, indent=2)
+        except OSError as exc:
+            print(f"error: cannot write metrics: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote metrics to {args.metrics_json}")
+    return 0
+
+
 def _cmd_export_cuda(args) -> int:
     from .config import MoGParams as _MoGParams
     from .cudagen import generate_project
@@ -292,6 +435,7 @@ def main(argv: list[str] | None = None) -> int:
         "subtract": _cmd_subtract,
         "evaluate": _cmd_evaluate,
         "track": _cmd_track,
+        "serve": _cmd_serve,
         "export-cuda": _cmd_export_cuda,
         "experiments": _cmd_experiments,
     }[args.command]

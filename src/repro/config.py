@@ -303,6 +303,85 @@ class FaultPolicy:
         return dataclasses.replace(self, **kwargs)
 
 
+#: Backpressure policies for a stream's bounded input queue.
+BACKPRESSURE_POLICIES = ("block", "drop_oldest", "reject")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Multi-stream server knobs (:class:`repro.serve.StreamServer`).
+
+    Attributes
+    ----------
+    workers:
+        Threads in the shared worker pool. Each worker processes one
+        stream's batch at a time; streams are strictly serialised, so
+        any ``workers >= 1`` produces per-stream masks identical to a
+        serial run.
+    max_streams:
+        Admission limit: registering more streams raises
+        :class:`~repro.errors.ConfigError`.
+    queue_capacity:
+        Bounded depth of each stream's input queue. A full queue
+        engages ``backpressure``.
+    backpressure:
+        What :meth:`~repro.serve.StreamServer.submit` does when the
+        stream's queue is full:
+
+        * ``"block"`` (default) — wait up to ``submit_timeout_s`` for
+          space, then raise :class:`~repro.errors.BackpressureError`;
+        * ``"drop_oldest"`` — evict the oldest queued frame (counted
+          in ``stream.<id>.frames_dropped``) and admit the new one;
+        * ``"reject"`` — raise
+          :class:`~repro.errors.BackpressureError` immediately.
+    batch_frames:
+        Frames a worker takes from one stream per scheduling turn
+        before the round-robin cursor advances — bounds how long a hot
+        stream can hold a worker.
+    submit_timeout_s:
+        Upper bound on a ``"block"`` submit.
+    drain_timeout_s:
+        Default upper bound on :meth:`~repro.serve.StreamServer.drain`.
+    """
+
+    workers: int = 2
+    max_streams: int = 64
+    queue_capacity: int = 8
+    backpressure: str = "block"
+    batch_frames: int = 1
+    submit_timeout_s: float = 30.0
+    drain_timeout_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.max_streams < 1:
+            raise ConfigError(
+                f"max_streams must be >= 1, got {self.max_streams}"
+            )
+        if self.queue_capacity < 1:
+            raise ConfigError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity}"
+            )
+        if self.backpressure not in BACKPRESSURE_POLICIES:
+            raise ConfigError(
+                f"backpressure must be one of {BACKPRESSURE_POLICIES}, "
+                f"got {self.backpressure!r}"
+            )
+        if self.batch_frames < 1:
+            raise ConfigError(
+                f"batch_frames must be >= 1, got {self.batch_frames}"
+            )
+        for name in ("submit_timeout_s", "drain_timeout_s"):
+            value = getattr(self, name)
+            if not value > 0.0:
+                raise ConfigError(f"{name} must be positive, got {value}")
+
+    def replace(self, **kwargs) -> "ServeConfig":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **kwargs)
+
+
 #: Default latency-histogram bucket upper bounds, in seconds
 #: (1 ms .. 30 s, roughly x3 steps — spans a per-stage frame budget
 #: from real-time HD to a struggling debug run).

@@ -73,8 +73,9 @@ class SurveillancePipeline:
     on_error:
         ``"raise"`` (default) re-raises a stage failure without
         committing the frame index; ``"degrade"`` serves the last good
-        mask instead (the first frames, before any mask succeeded,
-        still raise — there is nothing to degrade to).
+        mask instead (before any mask has succeeded, an all-background
+        mask of the configured shape is served, so consumers never see
+        ``None``).
     telemetry:
         Optional shared :class:`~repro.telemetry.MetricsRegistry`; one
         is created if omitted (pass
@@ -142,11 +143,19 @@ class SurveillancePipeline:
         return frame
 
     def _degraded_result(self, index: int, exc: BaseException) -> StreamResult:
-        """Serve the last good mask for a frame whose stage failed."""
+        """Serve the last good mask for a frame whose stage failed.
+
+        Before any frame has succeeded there is no good mask to fall
+        back on; an all-background mask of the configured shape is
+        served instead — downstream consumers always get a real array,
+        never ``None``.
+        """
         tel = self.telemetry
         tel.counter("stream.frames_degraded").inc()
         self.frame_index = index  # the frame was consumed, count it
         mask = self._last_good_mask
+        if mask is None:
+            mask = np.zeros(self.subtractor.shape, dtype=bool)
         return StreamResult(
             frame_index=index,
             raw_mask=mask,
@@ -175,7 +184,7 @@ class SurveillancePipeline:
                 mask = self.cleaner(raw)
         except Exception as exc:
             tel.counter("stream.stage_errors").inc()
-            if self.on_error == "degrade" and self._last_good_mask is not None:
+            if self.on_error == "degrade":
                 return self._degraded_result(index, exc)
             raise  # frame_index uncommitted: the frame can be retried
         tracks: list[Track] = []

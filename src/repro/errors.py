@@ -42,6 +42,22 @@ class MetricError(ReproError, ValueError):
     for the requested number of scales, ...)."""
 
 
+class BackpressureError(ReproError):
+    """A frame could not be admitted to a stream's bounded input queue:
+    the queue is full under the ``"reject"`` policy, or a ``"block"``
+    submit did not find space within its timeout.
+
+    Attributes
+    ----------
+    stream_id:
+        Id of the stream whose queue rejected the frame.
+    """
+
+    def __init__(self, message: str, stream_id: str | None = None) -> None:
+        super().__init__(message)
+        self.stream_id = stream_id
+
+
 class WorkerError(ReproError):
     """A parallel stripe worker failed: its process died (e.g. was
     OOM-killed), it did not answer within the configured timeout, its

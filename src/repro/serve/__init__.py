@@ -1,0 +1,13 @@
+"""Multi-stream serving layer.
+
+:class:`StreamServer` multiplexes N independent
+:class:`~repro.core.stream.SurveillancePipeline` instances over a
+bounded worker pool — per-stream bounded queues with explicit
+backpressure, admission control, round-robin scheduling and per-stream
+fault isolation. See :mod:`repro.serve.server` and
+docs/architecture.md ("Multi-stream serving").
+"""
+
+from .server import StreamServer, serve_sequences
+
+__all__ = ["StreamServer", "serve_sequences"]

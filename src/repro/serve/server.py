@@ -1,0 +1,573 @@
+"""Multi-stream serving: N pipelines multiplexed over a worker pool.
+
+The ROADMAP's target deployment is many cameras, not one —
+:class:`StreamServer` is the multi-tenant layer above
+:class:`~repro.core.stream.SurveillancePipeline`. Each registered
+stream id owns one pipeline (and therefore its own mixture state,
+cleaner and tracker), a bounded input queue, and a result queue; a
+shared pool of worker threads moves frames through the pipelines.
+
+Design points, in the order they matter:
+
+* **Per-stream serialisation.** A stream is only ever scheduled on one
+  worker at a time and its frames run strictly in submission order, so
+  the masks a stream produces are bit-identical to running its frames
+  through a lone ``SurveillancePipeline`` — regardless of the worker
+  count or how streams interleave.
+* **Round-robin batch scheduling.** A worker takes at most
+  ``batch_frames`` from one stream per turn, then the cursor advances,
+  so a hot stream (deep queue) cannot starve its neighbours.
+* **Admission control.** Registering more than ``max_streams`` streams,
+  a duplicate id, or submitting to an unknown stream raises a clear
+  :class:`~repro.errors.ConfigError`.
+* **Backpressure.** A full input queue engages the configured policy:
+  ``block`` (bounded wait), ``drop_oldest`` (evict + count), or
+  ``reject`` (raise :class:`~repro.errors.BackpressureError`).
+* **Fault isolation.** A stream whose pipeline raises is handled per
+  its :class:`~repro.config.FaultPolicy`: ``restart`` rebuilds the
+  pipeline (fresh model state) and keeps serving; ``fail`` /
+  exhausted restart budget marks only that stream failed — siblings
+  keep serving. Stage-level errors inside a step are already absorbed
+  by the pipeline itself when ``fault_policy.stage_error="degrade"``.
+* **Telemetry.** Each stream records into its own registry; the server
+  snapshot re-keys those as ``stream.<id>.*`` and adds rollups
+  (``server.frames_total``, ``server.streams_active``,
+  ``server.queue_depth``, ``server.step_s``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Iterable
+
+import numpy as np
+
+from ..config import (
+    FaultPolicy,
+    MoGParams,
+    RunConfig,
+    ServeConfig,
+    TelemetryConfig,
+)
+from ..core.stream import StreamResult, SurveillancePipeline
+from ..errors import BackpressureError, ConfigError, WorkerError
+from ..telemetry import MetricsRegistry
+
+
+class _StreamState:
+    """Book-keeping for one registered stream (guarded by the server
+    lock except where noted)."""
+
+    __slots__ = (
+        "stream_id", "pipeline", "factory", "queue", "results",
+        "busy", "failed", "restarts", "frames_in", "frames_done",
+        "frames_dropped", "registry",
+    )
+
+    def __init__(
+        self,
+        stream_id: str,
+        pipeline: SurveillancePipeline,
+        factory: Callable[[], SurveillancePipeline] | None,
+        registry: MetricsRegistry,
+    ) -> None:
+        self.stream_id = stream_id
+        self.pipeline = pipeline
+        self.factory = factory
+        self.registry = registry
+        self.queue: deque[np.ndarray] = deque()
+        self.results: deque[StreamResult] = deque()
+        self.busy = False          # a worker currently owns this stream
+        self.failed: str | None = None  # repr of the fatal error
+        self.restarts = 0
+        self.frames_in = 0
+        self.frames_done = 0
+        self.frames_dropped = 0
+
+
+class StreamServer:
+    """N surveillance streams over a bounded worker pool.
+
+    Parameters
+    ----------
+    shape, params, level, backend, run_config:
+        Defaults for every stream's
+        :class:`~repro.core.stream.SurveillancePipeline`.
+    serve:
+        :class:`~repro.config.ServeConfig` — pool size, admission
+        limits, queue depth and backpressure policy.
+    fault_policy:
+        :class:`~repro.config.FaultPolicy` applied per stream.
+        ``policy="restart"`` rebuilds a crashed stream's pipeline up to
+        ``max_restarts`` times; anything else marks the stream failed on
+        the first unhandled error. ``stage_error`` is forwarded to each
+        pipeline (``"degrade"`` keeps a stream alive through isolated
+        bad frames).
+    telemetry:
+        :class:`~repro.config.TelemetryConfig` for the server registry
+        and every per-stream registry.
+    warmup_frames:
+        Forwarded to each pipeline.
+
+    Use as a context manager, or call :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        params: MoGParams | None = None,
+        level: str = "F",
+        backend: str = "cpu",
+        run_config: RunConfig | None = None,
+        serve: ServeConfig | None = None,
+        fault_policy: FaultPolicy | None = None,
+        telemetry: TelemetryConfig | None = None,
+        warmup_frames: int = 15,
+    ) -> None:
+        self.shape = tuple(shape)
+        self.params = params
+        self.level = level
+        self.backend = backend
+        self.run_config = run_config
+        self.serve_config = serve or ServeConfig()
+        self.fault_policy = fault_policy or FaultPolicy(stage_error="degrade")
+        self.telemetry_config = telemetry or TelemetryConfig()
+        self.warmup_frames = warmup_frames
+        self.registry = MetricsRegistry(self.telemetry_config)
+
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)   # frames queued
+        self._space = threading.Condition(self._lock)  # queue slot freed
+        self._idle = threading.Condition(self._lock)   # a batch finished
+        self._streams: dict[str, _StreamState] = {}
+        self._rr_cursor = 0
+        self._closed = False
+        self._shutdown = False
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-serve-{i}",
+                daemon=True,
+            )
+            for i in range(self.serve_config.workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # -- stream registration -------------------------------------------
+    def _default_factory(
+        self, registry: MetricsRegistry
+    ) -> Callable[[], SurveillancePipeline]:
+        def build() -> SurveillancePipeline:
+            return SurveillancePipeline(
+                self.shape,
+                self.params,
+                level=self.level,
+                backend=self.backend,
+                run_config=self.run_config,
+                warmup_frames=self.warmup_frames,
+                on_error=self.fault_policy.stage_error,
+                telemetry=registry,
+            )
+
+        return build
+
+    def add_stream(
+        self,
+        stream_id: str,
+        pipeline: SurveillancePipeline | None = None,
+        pipeline_factory: Callable[
+            [MetricsRegistry], SurveillancePipeline
+        ] | None = None,
+    ) -> None:
+        """Register a stream; raises on over-admission or duplicates.
+
+        ``pipeline`` injects a prebuilt pipeline (its own telemetry
+        registry is used for the stream's metrics); ``pipeline_factory``
+        is called with the stream's registry, and is also what a
+        ``restart`` fault policy uses to rebuild a crashed stream.
+        """
+        if not stream_id or not isinstance(stream_id, str):
+            raise ConfigError(
+                f"stream id must be a non-empty string, got {stream_id!r}"
+            )
+        if "." in stream_id:
+            raise ConfigError(
+                f"stream id must not contain '.', got {stream_id!r} "
+                "(ids become telemetry label segments)"
+            )
+        if pipeline is not None and pipeline_factory is not None:
+            raise ConfigError("pass pipeline or pipeline_factory, not both")
+        with self._lock:
+            if self._closed:
+                raise ConfigError("StreamServer is closed")
+            if stream_id in self._streams:
+                raise ConfigError(f"stream {stream_id!r} already registered")
+            if len(self._streams) >= self.serve_config.max_streams:
+                raise ConfigError(
+                    f"cannot admit stream {stream_id!r}: server is at its "
+                    f"max_streams limit ({self.serve_config.max_streams})"
+                )
+        # Pipeline construction can be slow (backend warm-up); keep it
+        # outside the lock, then re-validate on insertion.
+        if pipeline is not None:
+            registry = pipeline.telemetry
+            factory = None  # cannot rebuild an injected pipeline
+        else:
+            registry = MetricsRegistry(self.telemetry_config)
+            factory = (
+                (lambda: pipeline_factory(registry))
+                if pipeline_factory is not None
+                else self._default_factory(registry)
+            )
+            pipeline = factory()
+        with self._lock:
+            if self._closed:
+                raise ConfigError("StreamServer is closed")
+            if stream_id in self._streams:
+                raise ConfigError(f"stream {stream_id!r} already registered")
+            if len(self._streams) >= self.serve_config.max_streams:
+                raise ConfigError(
+                    f"cannot admit stream {stream_id!r}: server is at its "
+                    f"max_streams limit ({self.serve_config.max_streams})"
+                )
+            self._streams[stream_id] = _StreamState(
+                stream_id, pipeline, factory, registry
+            )
+            self.registry.gauge("server.streams_active").set(
+                len(self._streams)
+            )
+
+    def remove_stream(self, stream_id: str) -> list[StreamResult]:
+        """Deregister a stream, returning its uncollected results.
+
+        Pending (unprocessed) frames are discarded and counted as
+        dropped.
+        """
+        with self._lock:
+            state = self._require(stream_id)
+            while state.busy:  # let an in-flight batch finish
+                self._idle.wait()
+            dropped = len(state.queue)
+            state.frames_dropped += dropped
+            if dropped:
+                self.registry.counter("server.frames_dropped").inc(dropped)
+            del self._streams[stream_id]
+            self.registry.gauge("server.streams_active").set(
+                len(self._streams)
+            )
+            self._set_queue_depth_locked()
+            self._space.notify_all()
+            return list(state.results)
+
+    def _require(self, stream_id: str) -> _StreamState:
+        state = self._streams.get(stream_id)
+        if state is None:
+            raise ConfigError(f"unknown stream {stream_id!r}")
+        return state
+
+    # -- submission ----------------------------------------------------
+    def submit(
+        self, stream_id: str, frame: np.ndarray,
+        timeout_s: float | None = None,
+    ) -> bool:
+        """Queue one frame for ``stream_id``.
+
+        Returns ``True`` when the frame was admitted without touching
+        any other frame, ``False`` when admission evicted the oldest
+        queued frame (``drop_oldest`` policy). Raises
+        :class:`~repro.errors.BackpressureError` when the queue stays
+        full (``reject``, or ``block`` past its timeout) and
+        :class:`~repro.errors.WorkerError` for a failed stream.
+        """
+        cfg = self.serve_config
+        if timeout_s is None:
+            timeout_s = cfg.submit_timeout_s
+        deadline = time.monotonic() + timeout_s
+        with self._lock:
+            if self._closed:
+                raise ConfigError("StreamServer is closed")
+            state = self._require(stream_id)
+            if state.failed is not None:
+                raise WorkerError(
+                    f"stream {stream_id!r} has failed: {state.failed}"
+                )
+            evicted = False
+            while len(state.queue) >= cfg.queue_capacity:
+                if cfg.backpressure == "reject":
+                    raise BackpressureError(
+                        f"stream {stream_id!r} queue is full "
+                        f"({cfg.queue_capacity} frames)",
+                        stream_id=stream_id,
+                    )
+                if cfg.backpressure == "drop_oldest":
+                    state.queue.popleft()
+                    state.frames_dropped += 1
+                    evicted = True
+                    state.registry.counter("stream.frames_dropped").inc()
+                    self.registry.counter("server.frames_dropped").inc()
+                    break
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._space.wait(remaining):
+                    raise BackpressureError(
+                        f"stream {stream_id!r} queue still full after "
+                        f"{timeout_s:g}s (block policy)",
+                        stream_id=stream_id,
+                    )
+                # Re-check liveness after the wait.
+                state = self._require(stream_id)
+                if state.failed is not None:
+                    raise WorkerError(
+                        f"stream {stream_id!r} has failed: {state.failed}"
+                    )
+            state.queue.append(np.asarray(frame))
+            state.frames_in += 1
+            self._set_queue_depth_locked()
+            self._work.notify()
+            return not evicted
+
+    def results(self, stream_id: str) -> list[StreamResult]:
+        """Pop every completed result for ``stream_id`` (in order)."""
+        with self._lock:
+            state = self._require(stream_id)
+            out = list(state.results)
+            state.results.clear()
+            return out
+
+    # -- scheduling ----------------------------------------------------
+    def _set_queue_depth_locked(self) -> None:
+        self.registry.gauge("server.queue_depth").set(
+            sum(len(s.queue) for s in self._streams.values())
+        )
+
+    def _next_batch_locked(self) -> tuple[_StreamState, list[np.ndarray]] | None:
+        """Round-robin pick: the next non-busy, non-failed stream with
+        queued frames, taking at most ``batch_frames`` from it."""
+        ids = list(self._streams)
+        n = len(ids)
+        for off in range(n):
+            sid = ids[(self._rr_cursor + off) % n]
+            state = self._streams[sid]
+            if state.busy or state.failed is not None or not state.queue:
+                continue
+            self._rr_cursor = (self._rr_cursor + off + 1) % n
+            batch = []
+            for _ in range(
+                min(self.serve_config.batch_frames, len(state.queue))
+            ):
+                batch.append(state.queue.popleft())
+            state.busy = True
+            self._set_queue_depth_locked()
+            self._space.notify_all()
+            return state, batch
+        return None
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._lock:
+                picked = self._next_batch_locked()
+                while picked is None:
+                    if self._shutdown:
+                        return
+                    self._work.wait()
+                    picked = self._next_batch_locked()
+            state, batch = picked
+            for frame in batch:
+                self._process_one(state, frame)
+            with self._lock:
+                state.busy = False
+                if state.queue:
+                    self._work.notify()
+                self._idle.notify_all()
+
+    def _process_one(self, state: _StreamState, frame: np.ndarray) -> None:
+        """Run one frame through the stream's pipeline, applying the
+        fault policy to unhandled errors. Called with ``state.busy``
+        held, so the pipeline is touched by one worker only."""
+        t0 = time.perf_counter()
+        try:
+            result = state.pipeline.step(frame)
+        except Exception as exc:
+            result = self._handle_stream_fault(state, frame, exc)
+        self.registry.histogram("server.step_s").observe(
+            time.perf_counter() - t0
+        )
+        with self._lock:
+            state.frames_done += 1
+            if result is not None:
+                state.results.append(result)
+            self.registry.counter("server.frames_total").inc()
+
+    def _handle_stream_fault(
+        self, state: _StreamState, frame: np.ndarray, exc: Exception,
+    ) -> StreamResult | None:
+        """Restart the stream's pipeline or mark the stream failed.
+        Only this stream is affected either way."""
+        self.registry.counter("server.stream_errors").inc()
+        policy = self.fault_policy
+        while (
+            policy.policy == "restart"
+            and state.factory is not None
+            and state.restarts < policy.max_restarts
+        ):
+            state.restarts += 1
+            self.registry.counter("server.stream_restarts").inc()
+            state.registry.counter("stream.restarts").inc()
+            try:
+                state.pipeline = state.factory()
+                result = state.pipeline.step(frame)
+            except Exception as retry_exc:  # keep consuming the budget
+                exc = retry_exc
+                continue
+            # The rebuilt pipeline starts from fresh model state; its
+            # first masks are warm-up quality, but the stream lives on.
+            return result
+        with self._lock:
+            state.failed = repr(exc)
+            dropped = len(state.queue)
+            state.queue.clear()
+            state.frames_dropped += dropped
+            if dropped:
+                self.registry.counter("server.frames_dropped").inc(dropped)
+            self.registry.counter("server.streams_failed").inc()
+            self._set_queue_depth_locked()
+            self._space.notify_all()
+            self._idle.notify_all()
+        return None
+
+    # -- lifecycle -----------------------------------------------------
+    def drain(self, timeout_s: float | None = None) -> None:
+        """Block until every queue is empty and no batch is in flight.
+
+        Raises :class:`~repro.errors.WorkerError` if the backlog does
+        not clear within ``timeout_s`` (default
+        ``serve.drain_timeout_s``).
+        """
+        if timeout_s is None:
+            timeout_s = self.serve_config.drain_timeout_s
+        deadline = time.monotonic() + timeout_s
+        with self._lock:
+            while any(
+                s.queue or s.busy for s in self._streams.values()
+            ):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._idle.wait(remaining):
+                    backlog = {
+                        s.stream_id: len(s.queue)
+                        for s in self._streams.values() if s.queue or s.busy
+                    }
+                    raise WorkerError(
+                        f"server did not drain within {timeout_s:g}s "
+                        f"(backlog: {backlog})"
+                    )
+
+    def close(self, drain: bool = True, timeout_s: float | None = None) -> None:
+        """Stop accepting frames and shut the worker pool down.
+
+        With ``drain=True`` (default) queued frames are processed
+        first; otherwise they are abandoned.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if drain:
+            self.drain(timeout_s)
+        with self._lock:
+            self._shutdown = True
+            if not drain:
+                for state in self._streams.values():
+                    state.queue.clear()
+                self._set_queue_depth_locked()
+            self._work.notify_all()
+        for t in self._threads:
+            t.join(self.serve_config.drain_timeout_s)
+
+    def __enter__(self) -> "StreamServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close(drain=False)
+
+    # -- introspection -------------------------------------------------
+    @property
+    def stream_ids(self) -> list[str]:
+        with self._lock:
+            return list(self._streams)
+
+    def stream_status(self) -> list[dict]:
+        """Per-stream supervision view (mirrors
+        ``ParallelMoG.stripe_status``)."""
+        with self._lock:
+            return [
+                {
+                    "stream": s.stream_id,
+                    "queued": len(s.queue),
+                    "frames_in": s.frames_in,
+                    "frames_done": s.frames_done,
+                    "frames_dropped": s.frames_dropped,
+                    "restarts": s.restarts,
+                    "failed": s.failed,
+                }
+                for s in self._streams.values()
+            ]
+
+    def snapshot(self) -> dict:
+        """Aggregated telemetry: server rollups plus every stream's
+        metrics re-keyed as ``stream.<id>.<metric>``."""
+        with self._lock:
+            streams = list(self._streams.values())
+            self.registry.gauge("server.streams_active").set(
+                len([s for s in streams if s.failed is None])
+            )
+            self._set_queue_depth_locked()
+        combined = self.registry.snapshot()
+        for state in streams:
+            snap = state.registry.snapshot()
+            for kind in ("counters", "gauges", "histograms"):
+                for name, value in snap.get(kind, {}).items():
+                    if name.startswith("stream."):
+                        name = name[len("stream."):]
+                    combined.setdefault(kind, {})[
+                        f"stream.{state.stream_id}.{name}"
+                    ] = value
+        for kind in ("counters", "gauges", "histograms"):
+            combined[kind] = dict(sorted(combined.get(kind, {}).items()))
+        return combined
+
+
+def serve_sequences(
+    shape: tuple[int, int],
+    sequences: dict[str, Iterable[np.ndarray]],
+    **server_kwargs,
+) -> dict[str, list[StreamResult]]:
+    """Convenience: serve whole sequences through a temporary server.
+
+    Frames are submitted round-robin across streams (frame 0 of every
+    stream, then frame 1, ...) to exercise real multiplexing; the
+    server is drained and closed before returning every stream's
+    results in order.
+    """
+    server = StreamServer(shape, **server_kwargs)
+    try:
+        iters = {}
+        for sid, frames in sequences.items():
+            server.add_stream(sid)
+            iters[sid] = iter(frames)
+        pending = dict(iters)
+        while pending:
+            done = []
+            for sid, it in pending.items():
+                frame = next(it, None)
+                if frame is None:
+                    done.append(sid)
+                    continue
+                server.submit(sid, frame)
+            for sid in done:
+                del pending[sid]
+        server.drain()
+        return {sid: server.results(sid) for sid in sequences}
+    finally:
+        server.close(drain=False)

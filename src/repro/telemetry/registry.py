@@ -56,7 +56,8 @@ class Counter:
 
     @property
     def value(self) -> int:
-        return self._value
+        with self._lock:
+            return self._value
 
 
 class Gauge:
@@ -74,7 +75,8 @@ class Gauge:
 
     @property
     def value(self) -> float:
-        return self._value
+        with self._lock:
+            return self._value
 
 
 class LatencyHistogram:
@@ -112,45 +114,56 @@ class LatencyHistogram:
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+        with self._lock:
+            return self.total / self.count if self.count else 0.0
+
+    def _quantile_locked(self, q: float) -> float:
+        """Quantile estimate; the caller must hold ``self._lock``."""
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        seen = 0.0
+        lo = 0.0
+        for i, bound in enumerate(self._bounds):
+            n = self._buckets[i]
+            if seen + n >= target and n:
+                frac = (target - seen) / n
+                est = lo + frac * (bound - lo)
+                return min(max(est, self._min), self._max)
+            seen += n
+            lo = bound
+        return self._max
 
     def quantile(self, q: float) -> float:
         """Estimated ``q``-quantile (0..1) from the bucket counts."""
         if not 0.0 <= q <= 1.0:
             raise ConfigError(f"quantile must be in [0, 1], got {q}")
         with self._lock:
-            if not self.count:
-                return 0.0
-            target = q * self.count
-            seen = 0.0
-            lo = 0.0
-            for i, bound in enumerate(self._bounds):
-                n = self._buckets[i]
-                if seen + n >= target and n:
-                    frac = (target - seen) / n
-                    est = lo + frac * (bound - lo)
-                    return min(max(est, self._min), self._max)
-                seen += n
-                lo = bound
-            return self._max
+            return self._quantile_locked(q)
 
     def to_dict(self) -> dict:
+        # Everything is read under one lock acquisition: count, sum,
+        # extrema, buckets and the derived quantiles must come from the
+        # same instant, or a snapshot racing a writer tears (count
+        # inconsistent with the bucket sum, mean from a mixed state).
         with self._lock:
             buckets = {
                 f"le_{bound:g}": int(c)
                 for bound, c in zip(self._bounds, self._buckets)
             }
             buckets["le_inf"] = int(self._buckets[-1])
-        return {
-            "count": self.count,
-            "total_s": self.total,
-            "mean_s": self.mean,
-            "min_s": self._min if self.count else 0.0,
-            "max_s": self._max if self.count else 0.0,
-            "p50_s": self.quantile(0.50),
-            "p95_s": self.quantile(0.95),
-            "buckets": buckets,
-        }
+            count = self.count
+            total = self.total
+            return {
+                "count": count,
+                "total_s": total,
+                "mean_s": total / count if count else 0.0,
+                "min_s": self._min if count else 0.0,
+                "max_s": self._max if count else 0.0,
+                "p50_s": self._quantile_locked(0.50),
+                "p95_s": self._quantile_locked(0.95),
+                "buckets": buckets,
+            }
 
 
 class NullCounter:

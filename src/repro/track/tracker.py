@@ -131,10 +131,16 @@ class CentroidTracker:
                 predictions[:, None, :] - centroids[None, :, :], axis=2
             )
             # Greedy: repeatedly take the globally closest pair in gate.
+            # The sort must be stable so equidistant pairs break ties by
+            # flattened index, i.e. (track id, blob order) — the default
+            # introsort reorders ties on larger matrices, which made
+            # associations depend on matrix size and run-to-run layout.
             matched_tracks: set[int] = set()
             matched_blobs: set[int] = set()
             order = np.dstack(
-                np.unravel_index(np.argsort(dist, axis=None), dist.shape)
+                np.unravel_index(
+                    np.argsort(dist, axis=None, kind="stable"), dist.shape
+                )
             )[0]
             for ti, bi in order:
                 if dist[ti, bi] > self.params.max_distance:

@@ -1,0 +1,66 @@
+"""Throughput-snapshot path resolution and merge semantics."""
+
+import json
+
+import pytest
+
+from repro.bench.snapshot import (
+    BENCH_DIR_ENV,
+    SNAPSHOT_NAME,
+    resolve_snapshot_dir,
+    update_snapshot,
+)
+from repro.errors import ConfigError
+
+
+class TestResolveDir:
+    def test_env_override_wins(self, tmp_path, monkeypatch):
+        target = tmp_path / "bench" / "nested"
+        monkeypatch.setenv(BENCH_DIR_ENV, str(target))
+        assert resolve_snapshot_dir() == target.resolve()
+        assert target.is_dir()  # created on demand
+
+    def test_checkout_found_from_cwd(self, tmp_path, monkeypatch):
+        root = tmp_path / "checkout"
+        (root / "src" / "repro").mkdir(parents=True)
+        (root / "pyproject.toml").write_text("[project]\n")
+        inner = root / "docs"
+        inner.mkdir()
+        monkeypatch.delenv(BENCH_DIR_ENV, raising=False)
+        monkeypatch.chdir(inner)
+        assert resolve_snapshot_dir() == root.resolve()
+
+    def test_non_checkout_cwd_raises(self, tmp_path, monkeypatch):
+        """Regression: the snapshot path used to be derived from
+        ``__file__`` (``parents[3]``), which points into site-packages
+        once the package is installed — the file silently landed next
+        to the installed library. A cwd with no checkout in sight must
+        be a clear ConfigError naming the env override instead."""
+        monkeypatch.delenv(BENCH_DIR_ENV, raising=False)
+        monkeypatch.chdir(tmp_path)
+        with pytest.raises(ConfigError, match=BENCH_DIR_ENV):
+            resolve_snapshot_dir()
+
+    def test_update_snapshot_honours_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(BENCH_DIR_ENV, str(tmp_path))
+        path = update_snapshot({"x": {"frames_per_s": 1.0}})
+        assert path == tmp_path / SNAPSHOT_NAME
+        data = json.loads(path.read_text())
+        assert data["entries"]["x"]["frames_per_s"] == 1.0
+
+
+class TestMerge:
+    def test_merge_preserves_other_entries(self, tmp_path):
+        path = tmp_path / SNAPSHOT_NAME
+        update_snapshot({"a": {"v": 1}}, path)
+        update_snapshot({"b": {"v": 2}}, path)
+        data = json.loads(path.read_text())
+        assert set(data["entries"]) == {"a", "b"}
+        assert data["schema"] == 1
+
+    def test_corrupt_snapshot_rewritten(self, tmp_path):
+        path = tmp_path / SNAPSHOT_NAME
+        path.write_text("{not json")
+        update_snapshot({"a": {"v": 1}}, path)
+        data = json.loads(path.read_text())
+        assert data["entries"] == {"a": {"v": 1}}

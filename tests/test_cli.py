@@ -124,6 +124,47 @@ class TestTrack:
         assert "confirmed tracks" in capsys.readouterr().out
 
 
+class TestServe:
+    def test_synthetic_streams(self, capsys, tmp_path):
+        metrics = tmp_path / "metrics.json"
+        code = main([
+            "serve", "--streams", "3", "--frames", "8",
+            "--height", "32", "--width", "48", "--workers", "2",
+            "--warmup", "4", "--metrics-json", str(metrics),
+        ])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "served 24 frames across 3 streams" in text
+        assert "cam0: 8 frames" in text
+        import json
+
+        snap = json.loads(metrics.read_text())
+        assert snap["counters"]["server.frames_total"] == 24
+        assert snap["counters"]["stream.cam2.frames_total"] == 8
+        assert "stream.cam0.step_s" in snap["histograms"]
+
+    def test_npz_inputs(self, clip, capsys):
+        code = main(["serve", str(clip), "--warmup", "4"])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "clip: 12 frames" in text
+        assert "across 1 streams" in text
+
+    def test_npz_inputs_same_file_conflict(self, clip, capsys):
+        # Two streams from the same file share a stem -> duplicate id.
+        code = main(["serve", str(clip), str(clip)])
+        assert code == 2
+        assert "duplicate stream id" in capsys.readouterr().err
+
+    def test_mismatched_shapes_rejected(self, clip, tmp_path, capsys):
+        other = tmp_path / "other.npz"
+        main(["synthesize", str(other), "--frames", "4",
+              "--height", "24", "--width", "24"])
+        code = main(["serve", str(clip), str(other)])
+        assert code == 2
+        assert "all streams must match" in capsys.readouterr().err
+
+
 class TestExportCuda:
     def test_writes_project(self, tmp_path, capsys):
         out = tmp_path / "cuda"

@@ -141,14 +141,48 @@ class TestStepFaultSafety:
         boom.armed = False
         assert pipe.step(video.frame(2)).frame_index == 2
 
-    def test_degrade_without_good_mask_still_raises(self, params):
+    def test_degrade_on_first_frame_serves_all_background(self, params):
+        """Regression: a stage failing before any frame had succeeded
+        used to leave ``degrade`` nothing to fall back on (the old code
+        either raised or, via the serving layer, handed out a ``None``
+        mask). The degraded result must always carry a real
+        all-background mask of the configured shape."""
+        video = evaluation_scene(height=SHAPE[0], width=SHAPE[1])
+        pipe = SurveillancePipeline(
+            SHAPE, params, warmup_frames=0, on_error="degrade"
+        )
+        pipe.cleaner = boom = _Boom(pipe.cleaner)
+        boom.armed = True
+        result = pipe.step(video.frame(0))  # frame 0 fails
+        assert result.degraded
+        assert result.mask is not None and result.raw_mask is not None
+        assert result.mask.shape == SHAPE
+        assert result.mask.dtype == np.bool_
+        assert not result.mask.any()  # all background
+        assert result.frame_index == 0
+        assert result.telemetry["counters"]["stream.frames_degraded"] == 1
+        # The stream recovers the moment the stage heals.
+        boom.armed = False
+        good = pipe.step(video.frame(1))
+        assert not good.degraded
+        assert good.frame_index == 1
+
+    def test_degrade_every_frame_from_start_keeps_serving(self, params):
+        """Fault injection: every frame fails from frame 0 — the stream
+        keeps serving all-background masks instead of crashing the
+        consumer on ``None``."""
         video = evaluation_scene(height=SHAPE[0], width=SHAPE[1])
         pipe = SurveillancePipeline(SHAPE, params, on_error="degrade")
         pipe.cleaner = boom = _Boom(pipe.cleaner)
         boom.armed = True
-        with pytest.raises(RuntimeError):
-            pipe.step(video.frame(0))  # nothing to degrade to yet
-        assert pipe.frame_index == -1
+        for t in range(3):
+            result = pipe.step(video.frame(t))
+            assert result.degraded
+            assert result.mask.shape == SHAPE
+            assert not result.mask.any()
+        assert pipe.frame_index == 2
+        snap = pipe.telemetry.snapshot()
+        assert snap["counters"]["stream.frames_degraded"] == 3
 
     def test_invalid_on_error_rejected(self, params):
         with pytest.raises(ConfigError):

@@ -1,0 +1,487 @@
+"""Multi-stream StreamServer: scheduling, admission, backpressure,
+fault isolation, telemetry aggregation.
+
+The SIGKILL test reuses the supervised parallel path as a stream's
+subtractor, so a real worker process dies mid-run; everything else uses
+tiny frames or stub pipelines to stay deterministic and fast.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import signal
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.config import FaultPolicy, MoGParams, ServeConfig, TelemetryConfig
+from repro.core.stream import StreamResult, SurveillancePipeline
+from repro.errors import BackpressureError, ConfigError, WorkerError
+from repro.mog import MoGVectorized
+from repro.parallel import ParallelMoG
+from repro.serve import StreamServer, serve_sequences
+from repro.telemetry import MetricsRegistry
+from repro.video.scenes import evaluation_scene
+
+SHAPE = (24, 32)
+
+HAS_FORK = "fork" in mp.get_all_start_methods()
+needs_fork = pytest.mark.skipif(
+    not HAS_FORK, reason="worker-process tests prefer fork workers"
+)
+
+
+def scene_frames(seed: int, num_frames: int = 10, shape=SHAPE):
+    video = evaluation_scene(height=shape[0], width=shape[1], seed=seed)
+    return [video.frame(t) for t in range(num_frames)]
+
+
+def tagged_frame(tag: int, shape=SHAPE) -> np.ndarray:
+    """A frame whose identity survives the queue (pixel [0, 0])."""
+    frame = np.zeros(shape, dtype=np.float64)
+    frame[0, 0] = tag
+    return frame
+
+
+class StubPipeline:
+    """Minimal pipeline double: records the frames it steps, can block
+    on a gate, and can raise on chosen step numbers."""
+
+    def __init__(self, gate: threading.Event | None = None,
+                 fail_on: set[int] | None = None):
+        self.telemetry = MetricsRegistry(TelemetryConfig())
+        self.gate = gate
+        self.fail_on = fail_on or set()
+        self.seen: list[int] = []
+        self.calls = 0
+
+    def step(self, frame: np.ndarray) -> StreamResult:
+        call = self.calls
+        self.calls += 1
+        if self.gate is not None:
+            assert self.gate.wait(30.0), "test gate never opened"
+        if call in self.fail_on:
+            raise RuntimeError(f"stub failure at step {call}")
+        self.seen.append(int(frame[0, 0]))
+        mask = np.zeros(frame.shape, dtype=bool)
+        return StreamResult(
+            frame_index=len(self.seen) - 1, raw_mask=mask, mask=mask,
+            tracks=[],
+        )
+
+
+def wait_until(predicate, timeout_s: float = 10.0) -> None:
+    deadline = time.monotonic() + timeout_s
+    while not predicate():
+        assert time.monotonic() < deadline, "condition never became true"
+        time.sleep(0.005)
+
+
+class TestConfig:
+    @pytest.mark.parametrize("kw", [
+        {"workers": 0}, {"max_streams": 0}, {"queue_capacity": 0},
+        {"backpressure": "spill"}, {"batch_frames": 0},
+        {"submit_timeout_s": 0.0}, {"drain_timeout_s": -1.0},
+    ])
+    def test_validation(self, kw):
+        with pytest.raises(ConfigError):
+            ServeConfig(**kw)
+
+    def test_replace(self):
+        cfg = ServeConfig().replace(workers=7)
+        assert cfg.workers == 7
+
+
+class TestAdmission:
+    def test_max_streams_enforced(self):
+        with StreamServer(
+            SHAPE, serve=ServeConfig(max_streams=2)
+        ) as server:
+            server.add_stream("a")
+            server.add_stream("b")
+            with pytest.raises(ConfigError, match="max_streams"):
+                server.add_stream("c")
+
+    def test_duplicate_and_bad_ids_rejected(self):
+        with StreamServer(SHAPE) as server:
+            server.add_stream("a")
+            with pytest.raises(ConfigError, match="already registered"):
+                server.add_stream("a")
+            with pytest.raises(ConfigError):
+                server.add_stream("")
+            with pytest.raises(ConfigError, match=r"'\.'"):
+                server.add_stream("cam.0")
+
+    def test_unknown_stream_rejected(self):
+        with StreamServer(SHAPE) as server:
+            with pytest.raises(ConfigError, match="unknown stream"):
+                server.submit("ghost", tagged_frame(0))
+            with pytest.raises(ConfigError, match="unknown stream"):
+                server.results("ghost")
+
+    def test_closed_server_rejects_everything(self):
+        server = StreamServer(SHAPE)
+        server.add_stream("a")
+        server.close()
+        with pytest.raises(ConfigError, match="closed"):
+            server.submit("a", tagged_frame(0))
+        with pytest.raises(ConfigError, match="closed"):
+            server.add_stream("b")
+
+    def test_remove_stream_frees_a_slot(self):
+        with StreamServer(
+            SHAPE, serve=ServeConfig(max_streams=1)
+        ) as server:
+            stub = StubPipeline()
+            server.add_stream("a", pipeline=stub)
+            server.submit("a", tagged_frame(7))
+            wait_until(lambda: stub.seen == [7])
+            leftovers = server.remove_stream("a")
+            assert [int(r.frame_index) for r in leftovers] == [0]
+            server.add_stream("b")  # slot is free again
+
+
+class TestScheduling:
+    def test_masks_bit_identical_to_serial(self, params):
+        """The acceptance scenario: 8 streams multiplexed over a small
+        pool produce exactly the masks of 8 serial pipeline runs."""
+        sequences = {
+            f"cam{i}": scene_frames(seed=20 + i, num_frames=10)
+            for i in range(8)
+        }
+        served = serve_sequences(
+            SHAPE, sequences, params=params,
+            serve=ServeConfig(workers=3, queue_capacity=4),
+        )
+        for sid, frames in sequences.items():
+            serial = SurveillancePipeline(SHAPE, params).run(frames)
+            assert len(served[sid]) == len(serial)
+            for got, want in zip(served[sid], serial):
+                assert got.frame_index == want.frame_index
+                assert np.array_equal(got.mask, want.mask)
+                assert np.array_equal(got.raw_mask, want.raw_mask)
+
+    def test_per_stream_order_preserved(self):
+        with StreamServer(
+            SHAPE, serve=ServeConfig(workers=4, queue_capacity=32)
+        ) as server:
+            stubs = {sid: StubPipeline() for sid in ("a", "b", "c")}
+            for sid, stub in stubs.items():
+                server.add_stream(sid, pipeline=stub)
+            for t in range(20):
+                for sid in stubs:
+                    server.submit(sid, tagged_frame(t))
+            server.drain()
+            for stub in stubs.values():
+                assert stub.seen == list(range(20))
+
+    def test_round_robin_shares_a_single_worker(self):
+        """A hot stream with a deep queue cannot starve a sibling: with
+        one worker, the sibling's lone frame is served after at most
+        ``batch_frames`` of the hot stream's backlog."""
+        gate = threading.Event()
+        hot = StubPipeline(gate=gate)
+        cold = StubPipeline(gate=gate)
+        with StreamServer(
+            SHAPE,
+            serve=ServeConfig(workers=1, queue_capacity=16, batch_frames=2),
+        ) as server:
+            server.add_stream("hot", pipeline=hot)
+            server.add_stream("cold", pipeline=cold)
+            for t in range(10):
+                server.submit("hot", tagged_frame(t))
+            server.submit("cold", tagged_frame(99))
+            gate.set()
+            server.drain()
+            assert cold.seen == [99]
+            # The cold frame was served before the hot backlog finished:
+            # the worker had at most one batch in flight plus one batch
+            # taken before the cold frame's turn.
+            assert hot.seen == list(range(10))
+
+
+class TestBackpressure:
+    def _gated_server(self, policy: str, capacity: int = 2):
+        gate = threading.Event()
+        stub = StubPipeline(gate=gate)
+        server = StreamServer(
+            SHAPE,
+            serve=ServeConfig(
+                workers=1, queue_capacity=capacity, backpressure=policy,
+                submit_timeout_s=0.2,
+            ),
+        )
+        server.add_stream("s", pipeline=stub)
+        # Occupy the only worker so queued frames stay queued.
+        server.submit("s", tagged_frame(0))
+        wait_until(lambda: stub.calls >= 1)  # worker is inside step()
+        return server, stub, gate
+
+    def test_reject_raises_when_full(self):
+        server, stub, gate = self._gated_server("reject")
+        try:
+            server.submit("s", tagged_frame(1))
+            server.submit("s", tagged_frame(2))
+            with pytest.raises(BackpressureError) as err:
+                server.submit("s", tagged_frame(3))
+            assert err.value.stream_id == "s"
+            gate.set()
+            server.drain()
+            assert stub.seen == [0, 1, 2]
+        finally:
+            gate.set()
+            server.close(drain=False)
+
+    def test_drop_oldest_evicts_and_counts(self):
+        server, stub, gate = self._gated_server("drop_oldest")
+        try:
+            assert server.submit("s", tagged_frame(1))
+            assert server.submit("s", tagged_frame(2))
+            assert not server.submit("s", tagged_frame(3))  # evicts 1
+            gate.set()
+            server.drain()
+            assert stub.seen == [0, 2, 3]
+            snap = server.snapshot()
+            assert snap["counters"]["server.frames_dropped"] == 1
+            assert snap["counters"]["stream.s.frames_dropped"] == 1
+        finally:
+            gate.set()
+            server.close(drain=False)
+
+    def test_block_times_out_under_slow_consumer(self):
+        server, stub, gate = self._gated_server("block")
+        try:
+            server.submit("s", tagged_frame(1))
+            server.submit("s", tagged_frame(2))
+            t0 = time.monotonic()
+            with pytest.raises(BackpressureError, match="still full"):
+                server.submit("s", tagged_frame(3))
+            assert 0.1 < time.monotonic() - t0 < 5.0
+        finally:
+            gate.set()
+            server.close(drain=False)
+
+    def test_block_admits_once_consumer_catches_up(self):
+        server, stub, gate = self._gated_server("block")
+        try:
+            server.submit("s", tagged_frame(1))
+            server.submit("s", tagged_frame(2))
+            threading.Timer(0.05, gate.set).start()
+            # Space frees as the worker drains; the blocked submit lands.
+            server.submit("s", tagged_frame(3), timeout_s=10.0)
+            server.drain()
+            assert stub.seen == [0, 1, 2, 3]
+        finally:
+            gate.set()
+            server.close(drain=False)
+
+
+class TestFaultIsolation:
+    def test_failed_stream_does_not_touch_siblings(self, params):
+        """One stream's pipeline raises mid-run under policy="fail":
+        that stream is marked failed, its backlog is dropped, and the
+        sibling streams' results are complete and correct."""
+        bad = StubPipeline(fail_on={2})
+        with StreamServer(
+            SHAPE, params=params,
+            serve=ServeConfig(workers=2, queue_capacity=16),
+            fault_policy=FaultPolicy(policy="fail", stage_error="degrade"),
+        ) as server:
+            good = StubPipeline()
+            server.add_stream("bad", pipeline=bad)
+            server.add_stream("good", pipeline=good)
+            for t in range(6):
+                server.submit("bad", tagged_frame(t))
+                server.submit("good", tagged_frame(t))
+            server.drain()
+            assert good.seen == list(range(6))
+            status = {s["stream"]: s for s in server.stream_status()}
+            assert status["bad"]["failed"] is not None
+            assert status["good"]["failed"] is None
+            with pytest.raises(WorkerError, match="has failed"):
+                server.submit("bad", tagged_frame(9))
+            server.submit("good", tagged_frame(6))  # sibling still serves
+            server.drain()
+            snap = server.snapshot()
+            assert snap["counters"]["server.streams_failed"] == 1
+            assert snap["counters"]["server.stream_errors"] == 1
+
+    def test_restart_policy_rebuilds_the_pipeline(self):
+        built = []
+
+        def factory(registry):
+            stub = StubPipeline(fail_on={1} if not built else set())
+            built.append(stub)
+            return stub
+
+        with StreamServer(
+            SHAPE,
+            serve=ServeConfig(workers=1, queue_capacity=16),
+            fault_policy=FaultPolicy(policy="restart", max_restarts=2,
+                                     stage_error="degrade"),
+        ) as server:
+            server.add_stream("s", pipeline_factory=factory)
+            for t in range(4):
+                server.submit("s", tagged_frame(t))
+            server.drain()
+            status = server.stream_status()[0]
+            assert status["failed"] is None
+            assert status["restarts"] == 1
+            assert len(built) == 2
+            # Frame 1 crashed the first stub and was replayed on its
+            # replacement; no frame was lost.
+            assert built[0].seen == [0]
+            assert built[1].seen == [1, 2, 3]
+            snap = server.snapshot()
+            assert snap["counters"]["server.stream_restarts"] == 1
+            assert snap["counters"]["stream.s.restarts"] == 1
+
+    @needs_fork
+    def test_sigkill_worker_leaves_siblings_serial_identical(self, params):
+        """One stream runs on the supervised parallel path; its worker
+        process is SIGKILLed mid-run. The stream restarts the worker
+        (checkpoint restore keeps its masks serial-identical) and the
+        sibling streams never notice."""
+        num_frames = 8
+        sequences = {
+            "victim": scene_frames(seed=1, num_frames=num_frames),
+            "calm0": scene_frames(seed=2, num_frames=num_frames),
+            "calm1": scene_frames(seed=3, num_frames=num_frames),
+        }
+        par_policy = FaultPolicy(policy="restart", timeout_s=10.0)
+        par = ParallelMoG(SHAPE, params, workers=2, fault_policy=par_policy)
+
+        class ParallelSubtractor:
+            shape = SHAPE
+
+            def apply(self, frame):
+                return par.apply(frame)
+
+        victim_pipe = SurveillancePipeline(SHAPE, params, warmup_frames=2)
+        victim_pipe.subtractor = ParallelSubtractor()
+
+        try:
+            with StreamServer(
+                SHAPE, params=params,
+                serve=ServeConfig(workers=2, queue_capacity=num_frames),
+                warmup_frames=2,
+            ) as server:
+                server.add_stream("victim", pipeline=victim_pipe)
+                server.add_stream("calm0")
+                server.add_stream("calm1")
+                for t in range(3):
+                    for sid in sequences:
+                        server.submit(sid, sequences[sid][t])
+                server.drain()
+                pid = par.worker_pids()[0]
+                os.kill(pid, signal.SIGKILL)
+                wait_until(lambda: not par._workers[0]._proc.is_alive())
+                for t in range(3, num_frames):
+                    for sid in sequences:
+                        server.submit(sid, sequences[sid][t])
+                server.drain()
+                results = {sid: server.results(sid) for sid in sequences}
+                assert par.telemetry.snapshot()["counters"][
+                    "parallel.worker_restarts"
+                ] == 1
+        finally:
+            par.close()
+
+        # The victim's masks match a serial in-process run of the same
+        # model (checkpoint restore across the SIGKILL).
+        serial = MoGVectorized(SHAPE, params, variant="nosort")
+        for t, result in enumerate(results["victim"]):
+            assert not result.degraded
+            assert np.array_equal(result.raw_mask, serial.apply(
+                sequences["victim"][t]
+            ))
+        # Siblings are untouched: identical to their own serial runs.
+        for sid in ("calm0", "calm1"):
+            want = SurveillancePipeline(
+                SHAPE, params, warmup_frames=2
+            ).run(sequences[sid])
+            assert len(results[sid]) == num_frames
+            for got, exp in zip(results[sid], want):
+                assert np.array_equal(got.mask, exp.mask)
+
+
+class TestTelemetry:
+    def test_snapshot_has_per_stream_and_rollups(self, params):
+        sequences = {
+            "a": scene_frames(seed=5, num_frames=4),
+            "b": scene_frames(seed=6, num_frames=4),
+        }
+        with StreamServer(
+            SHAPE, params=params, serve=ServeConfig(workers=2)
+        ) as server:
+            for sid, frames in sequences.items():
+                server.add_stream(sid)
+                for frame in frames:
+                    server.submit(sid, frame)
+            server.drain()
+            snap = server.snapshot()
+        counters = snap["counters"]
+        assert counters["server.frames_total"] == 8
+        assert counters["stream.a.frames_total"] == 4
+        assert counters["stream.b.frames_total"] == 4
+        assert snap["gauges"]["server.streams_active"] == 2
+        assert snap["gauges"]["server.queue_depth"] == 0
+        hists = snap["histograms"]
+        assert hists["server.step_s"]["count"] == 8
+        assert hists["stream.a.step_s"]["count"] == 4
+        assert hists["stream.b.subtract_s"]["count"] == 4
+
+    def test_disabled_telemetry_is_empty(self, params):
+        with StreamServer(
+            SHAPE, params=params,
+            telemetry=TelemetryConfig(enabled=False),
+        ) as server:
+            server.add_stream("a")
+            server.submit("a", scene_frames(seed=5, num_frames=1)[0])
+            server.drain()
+            snap = server.snapshot()
+        assert snap["counters"] == {}
+        assert snap["histograms"] == {}
+
+
+class TestLifecycle:
+    def test_close_drains_by_default(self):
+        server = StreamServer(SHAPE, serve=ServeConfig(workers=1))
+        stub = StubPipeline()
+        server.add_stream("a", pipeline=stub)
+        for t in range(5):
+            server.submit("a", tagged_frame(t))
+        server.close()
+        assert stub.seen == list(range(5))
+        server.close()  # idempotent
+
+    def test_close_without_drain_abandons_backlog(self):
+        gate = threading.Event()
+        stub = StubPipeline(gate=gate)
+        server = StreamServer(
+            SHAPE, serve=ServeConfig(workers=1, queue_capacity=8)
+        )
+        server.add_stream("a", pipeline=stub)
+        for t in range(5):
+            server.submit("a", tagged_frame(t))
+        gate.set()
+        server.close(drain=False)
+        assert len(stub.seen) <= 5
+
+    def test_drain_timeout_raises(self):
+        gate = threading.Event()
+        stub = StubPipeline(gate=gate)
+        server = StreamServer(
+            SHAPE, serve=ServeConfig(workers=1, queue_capacity=8)
+        )
+        try:
+            server.add_stream("a", pipeline=stub)
+            server.submit("a", tagged_frame(0))
+            with pytest.raises(WorkerError, match="did not drain"):
+                server.drain(timeout_s=0.2)
+        finally:
+            gate.set()
+            server.close(drain=False)

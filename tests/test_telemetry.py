@@ -1,6 +1,8 @@
 """The metrics registry: counters, gauges, histograms, rendering."""
 
 import json
+import sys
+import threading
 
 import pytest
 
@@ -105,6 +107,133 @@ class TestRegistry:
         assert reg.snapshot() == {
             "counters": {}, "gauges": {}, "histograms": {},
         }
+
+
+class TestConcurrency:
+    def test_to_dict_reads_multifield_state_under_the_lock(self):
+        """Regression: ``to_dict()`` held the instrument lock only for
+        the bucket copy and read count/total (and derived the mean and
+        quantiles) after releasing it, so a snapshot racing a writer
+        could pair a bucket state with a later count. The window is a
+        few bytecodes wide — far too narrow to catch reliably by
+        racing threads — so this probes the locking discipline
+        directly: every read of the multi-field state during a
+        snapshot must happen while the instrument lock is held."""
+        from repro.telemetry.registry import LatencyHistogram
+
+        naked_reads = []
+
+        class Probe(LatencyHistogram):
+            @property
+            def count(self):
+                if not self._lock.locked():
+                    naked_reads.append("count")
+                return LatencyHistogram.count.__get__(self)
+
+            @count.setter
+            def count(self, value):
+                LatencyHistogram.count.__set__(self, value)
+
+            @property
+            def total(self):
+                if not self._lock.locked():
+                    naked_reads.append("total")
+                return LatencyHistogram.total.__get__(self)
+
+            @total.setter
+            def total(self, value):
+                LatencyHistogram.total.__set__(self, value)
+
+        hist = Probe(TelemetryConfig().latency_buckets_s)
+        for v in (0.002, 0.02, 0.2):
+            hist.observe(v)
+        naked_reads.clear()  # only the snapshot path is under test
+        d = hist.to_dict()
+        assert d["count"] == 3
+        assert sum(d["buckets"].values()) == 3
+        assert naked_reads == [], (
+            f"snapshot read {sorted(set(naked_reads))} outside the "
+            "instrument lock"
+        )
+
+    def test_histogram_snapshot_never_tears(self):
+        """Regression: ``to_dict()`` held the instrument lock only
+        while copying the buckets, then read count/total and derived
+        the quantiles from post-release state — a snapshot racing
+        writers could report a count inconsistent with its own bucket
+        sum. Every field must come from one lock acquisition."""
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat")
+        stop = threading.Event()
+
+        def writer(k: int) -> None:
+            values = [0.001 * ((i + k) % 40 + 1) for i in range(64)]
+            while not stop.is_set():
+                for v in values:
+                    hist.observe(v)
+
+        threads = [
+            threading.Thread(target=writer, args=(k,), daemon=True)
+            for k in range(4)
+        ]
+        # A tiny switch interval forces thread preemption between
+        # nearly every bytecode, so an unlocked multi-field read tears
+        # within a few hundred snapshots instead of once a blue moon.
+        old_interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-6)
+        self._stress(hist, threads, stop, old_interval)
+
+    def _stress(self, hist, threads, stop, old_interval) -> None:
+        for t in threads:
+            t.start()
+        try:
+            last_count = 0
+            for _ in range(2000):
+                d = hist.to_dict()
+                assert sum(d["buckets"].values()) == d["count"]
+                assert d["mean_s"] * d["count"] == pytest.approx(
+                    d["total_s"]
+                )
+                assert d["count"] >= last_count  # counts only grow
+                if d["count"]:
+                    assert (
+                        d["min_s"] <= d["p50_s"] <= d["p95_s"] <= d["max_s"]
+                    )
+                last_count = d["count"]
+        finally:
+            stop.set()
+            sys.setswitchinterval(old_interval)
+            for t in threads:
+                t.join(10.0)
+
+    def test_registry_snapshot_under_concurrent_writers(self):
+        """A full-registry snapshot taken mid-write is internally
+        consistent and JSON-serialisable."""
+        reg = MetricsRegistry()
+        stop = threading.Event()
+
+        def writer() -> None:
+            while not stop.is_set():
+                reg.counter("frames").inc()
+                reg.histogram("step_s").observe(0.01)
+                reg.gauge("depth").set(1.0)
+
+        threads = [
+            threading.Thread(target=writer, daemon=True) for _ in range(3)
+        ]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(100):
+                snap = reg.snapshot()
+                json.dumps(snap)  # always serialisable
+                hist = snap["histograms"].get("step_s")
+                if hist:
+                    assert sum(hist["buckets"].values()) == hist["count"]
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(10.0)
 
 
 class TestTelemetryConfig:

@@ -92,6 +92,44 @@ class TestAssociation:
         assert len(confirmed) == 1
         assert confirmed[0].length == 5
 
+    def test_equidistant_ties_break_by_track_id_then_blob_order(self):
+        """Regression: with many equidistant track↔blob pairs, the
+        association order came from an unstable sort of the distance
+        matrix, so which track claimed which blob depended on numpy's
+        introsort partitioning (matrix-size dependent) rather than on
+        any documented key. Ties must break by (distance, track id,
+        blob order), which a stable sort of the flattened matrix gives
+        for free."""
+        from repro.track import Track
+
+        tracker = CentroidTracker(
+            TrackerParams(min_hits=1, max_distance=30.0, min_area=4)
+        )
+        # Six tracks, all predicting the same point: every blob is
+        # equidistant from every track (6-way ties per blob).
+        for i in range(6):
+            track = Track(track_id=i + 1)
+            track.positions.append((10.5, 30.5))
+            track.frames.append(0)
+            track.hits = 1
+            track.confirmed = True
+            tracker.tracks.append(track)
+        tracker._next_id = 7
+        tracker.frame_index = 0
+        # Six 2x2 blobs at strictly increasing distances from the
+        # shared prediction (cols 33, 36, ..., 48 -> distances 3..18).
+        cols = [33, 36, 39, 42, 45, 48]
+        mask = np.zeros((48, 64), dtype=bool)
+        for c in cols:
+            mask[10:12, c:c + 2] = True
+        tracker.update(mask, frame_index=1)
+        # Stable tie-break: the closest blob goes to the lowest track
+        # id, the next closest to the next id, and so on.
+        for i, track in enumerate(tracker.tracks[:6]):
+            assert track.misses == 0, f"track {track.track_id} unmatched"
+            assert track.positions[-1][1] == pytest.approx(cols[i] + 0.5)
+        assert len(tracker.tracks) == 6  # no spurious spawns
+
     def test_greedy_prefers_closest(self):
         tracker = CentroidTracker(TrackerParams(min_hits=1))
         tracker.update(mask_with_blob((10, 10)) | mask_with_blob((10, 30)))

@@ -2,8 +2,9 @@
 """Measure frames/s for every execution path and record the result.
 
 Writes (merges into) ``BENCH_throughput.json`` at the repo root — the
-machine-readable perf trajectory: frames/s for the CPU backend and for
-the simulator's profiled and sampled tiers. See CONTRIBUTING.md.
+machine-readable perf trajectory: frames/s for the CPU backend, for
+the simulator's profiled and sampled tiers, and aggregate throughput
+of the multi-stream ``StreamServer``. See CONTRIBUTING.md.
 
 Run:  PYTHONPATH=src python tools/bench_snapshot.py [--quick] [--out PATH]
 """
