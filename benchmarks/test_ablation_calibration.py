@@ -9,7 +9,6 @@ that must be calibration-robust — and documents the ones that are not
 razor-thin 85-vs-86 comparison).
 """
 
-import pytest
 
 from repro.bench.harness import PAPER_SCALE, extrapolate
 from repro.gpusim.calibration import DEFAULT_CALIBRATION
@@ -51,7 +50,7 @@ def test_orderings_robust_to_calibration(benchmark, ctx, publish):
     from repro.bench.experiments import Experiment
 
     rows = [
-        [name] + [f"{sp[l]:.0f}x" for l in "ABCDEF"]
+        [name] + [f"{sp[lv]:.0f}x" for lv in "ABCDEF"]
         for name, sp in results.items()
     ]
     publish(

@@ -12,10 +12,10 @@ from repro.gpusim.counters import KernelCounters
 from repro.gpusim.occupancy import occupancy
 from repro.gpusim.registers import pinned_registers
 from repro.gpusim.timing import TimingModel
-from repro.kernels import KernelConfig
-from repro.kernels.mog_tiled import make_tiled_kernel
-from repro.kernels.mog_tiled_registers import (
+from repro.kernels import (
+    KernelConfig,
     make_register_tiled_kernel,
+    make_tiled_kernel,
     registers_for_group_residency,
 )
 from repro.layout import SoALayout

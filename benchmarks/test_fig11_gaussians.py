@@ -9,8 +9,8 @@ def test_fig11_gaussian_components(benchmark, publish, ctx):
     exp = benchmark.pedantic(fig11, args=(ctx,), rounds=1, iterations=1)
     publish(exp, "fig11")
     rows = {row[0]: row for row in exp.rows}
-    s3 = {l: float(rows[l][1].rstrip("x")) for l in "ABCDEF"}
-    s5 = {l: float(rows[l][2].rstrip("x")) for l in "ABCDEF"}
+    s3 = {lv: float(rows[lv][1].rstrip("x")) for lv in "ABCDEF"}
+    s5 = {lv: float(rows[lv][2].rstrip("x")) for lv in "ABCDEF"}
 
     # Paper: 5-Gaussian speedups are lower than 3-Gaussian. In our
     # model this holds strictly at the kernel-dominated levels; at B

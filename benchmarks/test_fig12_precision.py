@@ -12,8 +12,8 @@ def test_fig12_precision(benchmark, publish, ctx):
     exp = benchmark.pedantic(fig12, args=(ctx,), rounds=1, iterations=1)
     publish(exp, "fig12")
     rows = {row[0]: row for row in exp.rows}
-    sd = {l: float(rows[l][1].rstrip("x")) for l in "ABCDEF"}
-    sf = {l: float(rows[l][2].rstrip("x")) for l in "ABCDEF"}
+    sd = {lv: float(rows[lv][1].rstrip("x")) for lv in "ABCDEF"}
+    sf = {lv: float(rows[lv][2].rstrip("x")) for lv in "ABCDEF"}
 
     # Paper: float tracks double's trend, ending slightly faster
     # (105x vs 97x at the end).

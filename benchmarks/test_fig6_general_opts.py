@@ -22,7 +22,7 @@ def test_fig6_general_optimizations(benchmark, publish, ctx):
 
     # Registers and occupancy as reported by the paper: 30 / 36 / 36,
     # occupancy dropping once coalescing costs extra registers.
-    assert [rows[l][3] for l in "ABC"] == [30, 36, 36]
+    assert [rows[lv][3] for lv in "ABC"] == [30, 36, 36]
     assert rows["A"][4] == "67%" and rows["B"][4] == "58%"
 
 

@@ -11,18 +11,18 @@ def test_fig7_algorithm_specific_optimizations(benchmark, publish, ctx):
 
     # 7a: removing the sort reduces executed branches (paper 6.7M->6.2M)
     # and branch efficiency rises monotonically C -> D -> E.
-    branches = [float(rows[l][1].rstrip("M")) for l in "CDEF"]
+    branches = [float(rows[lv][1].rstrip("M")) for lv in "CDEF"]
     assert branches[0] > branches[1] > branches[2]
-    beff = [float(rows[l][2].rstrip("%")) for l in "CDEF"]
+    beff = [float(rows[lv][2].rstrip("%")) for lv in "CDEF"]
     assert beff[0] < beff[1] < beff[2], beff
     assert beff[2] == beff[3]  # F changes no control flow vs E
 
     # 7b: transactions and memory efficiency are unchanged by the
     # algorithm-specific steps (all SoA, same traffic).
-    tx = {rows[l][4] for l in "CDEF"}
+    tx = {rows[lv][4] for lv in "CDEF"}
     assert len(tx) == 1
 
     # 7c: the paper's register counts and the occupancy staircase they
     # cause (32 regs -> 8 blocks, 33 regs -> 7 blocks at 128 thr/blk).
-    assert [rows[l][5] for l in "CDEF"] == [36, 32, 33, 31]
-    assert [rows[l][6] for l in "CDEF"] == ["58%", "67%", "58%", "67%"]
+    assert [rows[lv][5] for lv in "CDEF"] == [36, 32, 33, 31]
+    assert [rows[lv][6] for lv in "CDEF"] == ["58%", "67%", "58%", "67%"]

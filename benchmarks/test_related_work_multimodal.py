@@ -95,7 +95,7 @@ def test_simulated_kernel_time_erases_the_algorithmic_saving(benchmark, publish)
         gpu = MultimodalMeanGpu(SHAPE)
         gpu.apply_sequence(frames)
         launches = [
-            l for l in gpu.engine.launches if l.name.startswith("mmm[")
+            ln for ln in gpu.engine.launches if ln.name.startswith("mmm[")
         ][24:]
         c_mmm = KernelCounters()
         for launch in launches:

@@ -12,14 +12,14 @@ session does not re-run a level for every figure that references it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..config import MoGParams, RunConfig
 from ..core.pipeline import HostPipeline
 from ..core.variants import OptimizationLevel, table_ii_rows, table_iii_rows
-from ..cpu.model import CpuMode, CpuTimeModel, PAPER_BASELINES
+from ..cpu.model import CpuTimeModel, PAPER_BASELINES
 from ..gpusim.device import hw_config_table
 from ..metrics.ms_ssim import ms_ssim
 from ..mog.vectorized import MoGVectorized
@@ -201,8 +201,8 @@ def table4(ctx: ExperimentContext | None = None) -> Experiment:
         bg = cpu.background_image()
         bg_row.append(f"{ms_ssim(bg, ref_bg, weights=weights) * 100:.0f}%")
         fg_row.append(f"{float(np.mean(fg_scores)) * 100:.0f}%")
-    paper_bg = ["paper"] + [f"{PAPER_TABLE4[l][0]}%" for l in "ABCDEF"]
-    paper_fg = ["paper"] + [f"{PAPER_TABLE4[l][1]}%" for l in "ABCDEF"]
+    paper_bg = ["paper"] + [f"{PAPER_TABLE4[lv][0]}%" for lv in "ABCDEF"]
+    paper_fg = ["paper"] + [f"{PAPER_TABLE4[lv][1]}%" for lv in "ABCDEF"]
     return Experiment(
         "Table IV", "Result Quality for Different Optimizations",
         ["", "A", "B", "C", "D", "E", "F"],

@@ -18,7 +18,7 @@ import numpy as np
 from ..config import FULL_HD, PAPER_NUM_FRAMES, MoGParams, RunConfig
 from ..core.pipeline import HostPipeline
 from ..core.results import RunReport
-from ..core.variants import OptimizationLevel
+from ..core.variants import LevelSpec, OptimizationLevel, resolve_level_spec
 from ..cpu.model import CpuMode, CpuTimeModel
 from ..errors import ConfigError
 from ..gpusim.calibration import DEFAULT_CALIBRATION, Calibration
@@ -109,15 +109,13 @@ def extrapolate(
         raise ConfigError("report contains no launches to extrapolate")
     pixel_ratio = scale.num_pixels / report.num_pixels
     timing_model = TimingModel(device, calibration)
-    scheduler = StreamScheduler(
-        device,
-        overlapped=OptimizationLevel.parse(report.level).spec.overlapped,
-    )
+    level_spec = resolve_level_spec(report.level)
+    scheduler = StreamScheduler(device, overlapped=level_spec.overlapped)
     bytes_per_frame = scale.num_pixels  # uint8 in and out
     counters, occ = steady_state_counters(report, warmup_launches)
     counters = counters.scaled(pixel_ratio)
 
-    if report.level == "G":
+    if level_spec.group_structured:
         group = frame_group or max(
             round(report.num_frames / len(report.launches)), 1
         )
@@ -144,7 +142,7 @@ def extrapolate(
 
 
 def run_level(
-    level: OptimizationLevel | str,
+    level: OptimizationLevel | LevelSpec | str,
     frames,
     shape: tuple[int, int],
     params: MoGParams | None = None,
@@ -161,7 +159,7 @@ def run_level(
     ``warmup_frames`` excludes the mixture-convergence transient from
     the steady-state counters used for timing extrapolation.
     """
-    level = OptimizationLevel.parse(level)
+    level = resolve_level_spec(level)
     params = params or MoGParams()
     run_config = run_config or RunConfig(
         height=shape[0], width=shape[1], dtype=dtype
@@ -171,14 +169,14 @@ def run_level(
         run_config=run_config, device=device, calibration=calibration,
     )
     masks, report = pipeline.process(frames)
-    if level is OptimizationLevel.G:
+    if level.group_structured:
         warmup_launches = warmup_frames // run_config.frame_group
     else:
         warmup_launches = warmup_frames
     warmup_launches = min(warmup_launches, max(len(report.launches) - 1, 0))
     kernel_pf, total = extrapolate(
         report, scale, device, calibration,
-        frame_group=run_config.frame_group if level is OptimizationLevel.G else None,
+        frame_group=run_config.frame_group if level.group_structured else None,
         warmup_launches=warmup_launches,
     )
     cpu_model = cpu_model or CpuTimeModel()

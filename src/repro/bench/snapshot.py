@@ -211,6 +211,13 @@ def run_snapshot(
         "cpu": measure_fps("cpu", num_frames=num_cpu),
         "sim_profiled": measure_fps("sim", profile_every=1, num_frames=num_sim),
         "sim_sampled_8": measure_fps("sim", profile_every=8, num_frames=num_sim),
+        # A novel pass combination the paper never measured: predicated
+        # execution alone on the level-A base (no layout change, no
+        # sort elimination) — exercises the custom-level path end to end.
+        "sim_custom_pred_only": measure_fps(
+            "sim", profile_every=8, num_frames=num_sim,
+            level="A+predication",
+        ),
         "server_4streams": measure_server_fps(
             num_streams=4, num_frames=num_srv
         ),

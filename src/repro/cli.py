@@ -11,8 +11,13 @@ The subcommands cover the end-to-end workflow without writing Python:
 * ``repro track`` — run the full subtract/clean/track pipeline;
 * ``repro serve`` — multiplex N streams (synthetic or ``.npz``)
   through one :class:`~repro.serve.StreamServer`;
+* ``repro levels`` — describe the optimization levels (pass stacks,
+  layout, paper speedups) or a custom pass expression;
 * ``repro experiments`` — print any of the paper's reproduced
   tables/figures.
+
+Everywhere a ``--level`` is accepted, both paper letters (``A``..``G``)
+and pass expressions (``A+predication``, ``B+sort-elimination``) work.
 
 Installed as the ``repro`` console script; also runnable as
 ``python -m repro.cli``.
@@ -60,7 +65,9 @@ def _build_parser() -> argparse.ArgumentParser:
     subx = sub.add_parser("subtract", help="run background subtraction")
     subx.add_argument("input", help="input .npz sequence")
     subx.add_argument("output", help="output .npz masks")
-    subx.add_argument("--level", default="F", help="optimization level A..G")
+    subx.add_argument("--level", default="F",
+                      help="optimization level A..G or a pass expression "
+                      "like A+predication (see `repro levels`)")
     subx.add_argument(
         "--backend", choices=("cpu", "sim"), default="cpu",
         help="cpu: fastest; sim: simulated C2075 with profiling",
@@ -156,6 +163,18 @@ def _build_parser() -> argparse.ArgumentParser:
     cu.add_argument("--width", type=int, default=1920)
     cu.add_argument("--dtype", choices=("double", "float"), default="double")
     cu.add_argument("--gaussians", type=int, default=3)
+
+    lv = sub.add_parser(
+        "levels",
+        help="describe the optimization levels and their pass stacks",
+    )
+    lv.add_argument(
+        "level", nargs="?", default=None,
+        help="a level letter (A..G) or pass expression "
+        "(e.g. A+predication); default: all paper levels",
+    )
+    lv.add_argument("--json", action="store_true",
+                    help="emit machine-readable JSON")
 
     ex = sub.add_parser("experiments", help="print reproduced paper results")
     ex.add_argument(
@@ -409,6 +428,33 @@ def _cmd_export_cuda(args) -> int:
     return 0
 
 
+def _cmd_levels(args) -> int:
+    import json
+
+    from .core.variants import LEVELS, resolve_level_spec
+
+    if args.level is None:
+        specs = [member.spec for member in LEVELS]
+    else:
+        specs = [resolve_level_spec(args.level)]
+    if args.json:
+        print(json.dumps([s.describe() for s in specs], indent=2))
+        return 0
+    for spec in specs:
+        speedup = (
+            f"{spec.paper_speedup:g}x" if spec.paper_speedup else "n/a"
+        )
+        passes = " + ".join(spec.passes) if spec.passes else "(none)"
+        print(f"{spec.letter}: {spec.title} [{spec.group}]")
+        print(f"  passes        : {passes}")
+        print(f"  kernel        : {spec.kernel.name} "
+              f"(layout={spec.layout}, overlapped={spec.overlapped}, "
+              f"group_structured={spec.group_structured})")
+        print(f"  enables       : {', '.join(spec.enables)}")
+        print(f"  paper speedup : {speedup}")
+    return 0
+
+
 def _cmd_experiments(args) -> int:
     from .bench.experiments import ALL_EXPERIMENTS, ExperimentContext
 
@@ -436,6 +482,7 @@ def main(argv: list[str] | None = None) -> int:
         "evaluate": _cmd_evaluate,
         "track": _cmd_track,
         "serve": _cmd_serve,
+        "levels": _cmd_levels,
         "export-cuda": _cmd_export_cuda,
         "experiments": _cmd_experiments,
     }[args.command]

@@ -13,16 +13,27 @@ from .pipeline import HostPipeline
 from .results import RunReport
 from .stream import StreamResult, SurveillancePipeline
 from .subtractor import BackgroundSubtractor
-from .variants import LEVELS, OptimizationLevel, table_ii_rows, table_iii_rows
+from .variants import (
+    LEVELS,
+    LevelSpec,
+    OptimizationLevel,
+    custom_level,
+    resolve_level_spec,
+    table_ii_rows,
+    table_iii_rows,
+)
 
 __all__ = [
     "BackgroundSubtractor",
     "OptimizationLevel",
+    "LevelSpec",
     "LEVELS",
     "RunReport",
     "HostPipeline",
     "SurveillancePipeline",
     "StreamResult",
+    "custom_level",
+    "resolve_level_spec",
     "table_ii_rows",
     "table_iii_rows",
 ]

@@ -23,14 +23,14 @@ from ..gpusim.dma import StreamScheduler
 from ..gpusim.engine import SimtEngine
 from ..gpusim.profiler import Profiler
 from ..gpusim.registers import pinned_registers
-from ..kernels import KernelConfig, make_tiled_kernel
-from ..kernels.mog_tiled import shared_bytes_for_tile
+from ..kernels import KernelConfig
+from ..kernels.build import shared_bytes_for_tile
 from ..layout import AoSLayout, SoALayout
 from ..layout.base import NUM_PARAMS
 from ..mog.params import MixtureState
 from ..telemetry import MetricsRegistry
 from .results import RunReport
-from .variants import OptimizationLevel
+from .variants import LevelSpec, OptimizationLevel, resolve_level_spec
 
 
 def max_tile_pixels(
@@ -53,7 +53,7 @@ class HostPipeline:
         self,
         shape: tuple[int, int],
         params: MoGParams | None = None,
-        level: OptimizationLevel | str = OptimizationLevel.F,
+        level: OptimizationLevel | LevelSpec | str = OptimizationLevel.F,
         run_config: RunConfig | None = None,
         device: DeviceSpec = TESLA_C2075,
         calibration: Calibration = DEFAULT_CALIBRATION,
@@ -62,7 +62,7 @@ class HostPipeline:
     ) -> None:
         self.shape = tuple(shape)
         self.params = params or MoGParams()
-        self.level = OptimizationLevel.parse(level)
+        self.level = resolve_level_spec(level)
         self.run_config = run_config or RunConfig(
             height=self.shape[0], width=self.shape[1]
         )
@@ -84,7 +84,7 @@ class HostPipeline:
             self.run_config.profile_every
         )
 
-        spec = self.level.spec
+        spec = self.level
         n = self.run_config.num_pixels
         dtype = self.run_config.np_dtype
         layout_cls = AoSLayout if spec.layout == "aos" else SoALayout
@@ -92,14 +92,17 @@ class HostPipeline:
         self.layout.allocate(self.engine.memory)
         self.kernel_config = KernelConfig.from_params(self.params, dtype)
 
-        if self.level is OptimizationLevel.G:
-            tile = self.run_config.tile_pixels
-            limit = max_tile_pixels(self.params, self.run_config.dtype, device)
-            if shared_bytes_for_tile(tile, self.kernel_config) > device.shared_mem_per_sm:
-                raise ConfigError(
-                    f"tile_pixels={tile} needs more shared memory than the SM "
-                    f"has; maximum for this configuration is {limit}"
+        if spec.group_structured:
+            if spec.kernel.tiling == "shared":
+                tile = self.run_config.tile_pixels
+                limit = max_tile_pixels(
+                    self.params, self.run_config.dtype, device
                 )
+                if shared_bytes_for_tile(tile, self.kernel_config) > device.shared_mem_per_sm:
+                    raise ConfigError(
+                        f"tile_pixels={tile} needs more shared memory than "
+                        f"the SM has; maximum for this configuration is {limit}"
+                    )
             group = self.run_config.frame_group
             self._frame_bufs = [
                 self.engine.memory.alloc(f"frame_in_{i}", n, np.uint8)
@@ -136,7 +139,7 @@ class HostPipeline:
             return self.registers_mode
         if self.registers_mode == "pinned":
             return pinned_registers(
-                self.level.letter,
+                self.level.register_model,
                 self.params.num_gaussians,
                 self.run_config.dtype,
             )
@@ -198,9 +201,10 @@ class HostPipeline:
         results eagerly — use :meth:`process` (or feed groups manually
         via :meth:`apply_group`).
         """
-        if self.level is OptimizationLevel.G:
+        if self.level.group_structured:
             raise ConfigError(
-                "level G is group-structured; use process() or apply_group()"
+                f"level {self.level.letter} is group-structured; use "
+                "process() or apply_group()"
             )
         flat = self._check_frame(frame)
         self._ensure_state(flat)
@@ -219,8 +223,11 @@ class HostPipeline:
 
     def apply_group(self, frames: list[np.ndarray]) -> list[np.ndarray]:
         """Process one frame group through the tiled kernel (level G)."""
-        if self.level is not OptimizationLevel.G:
-            raise ConfigError("apply_group is only meaningful for level G")
+        if not self.level.group_structured:
+            raise ConfigError(
+                "apply_group is only meaningful for group-structured "
+                "(tiled) levels"
+            )
         if not frames:
             raise ConfigError("empty frame group")
         if len(frames) > self.run_config.frame_group:
@@ -232,7 +239,7 @@ class HostPipeline:
         self._ensure_state(flats[0])
         for buf, flat in zip(self._frame_bufs, flats):
             buf.data[:] = flat
-        kernel = make_tiled_kernel(
+        kernel = self.level.kernel_factory(
             self.layout,
             self.kernel_config,
             self._frame_bufs[: len(flats)],
@@ -243,7 +250,7 @@ class HostPipeline:
             kernel,
             grid_threads=self.run_config.num_pixels,
             threads_per_block=self.run_config.tile_pixels,
-            name=f"mog_tiled[{self.frames_processed}+{len(flats)}]",
+            name=f"{kernel.__name__}[{self.frames_processed}+{len(flats)}]",
         )
         self._after_launch(launch, len(flats))
         self.frames_processed += len(flats)
@@ -259,7 +266,7 @@ class HostPipeline:
         frames = list(frames)
         if not frames:
             raise ConfigError("empty frame sequence")
-        if self.level is OptimizationLevel.G:
+        if self.level.group_structured:
             group = self.run_config.frame_group
             for start in range(0, len(frames), group):
                 self.apply_group(frames[start : start + group])
@@ -272,9 +279,9 @@ class HostPipeline:
     def report(self) -> RunReport:
         """Build the run report (including the DMA pipeline schedule)."""
         n_bytes = self.run_config.num_pixels  # uint8 frame and mask
-        spec = self.level.spec
+        spec = self.level
         scheduler = StreamScheduler(self.device, overlapped=spec.overlapped)
-        if self.level is OptimizationLevel.G:
+        if spec.group_structured:
             # One pipeline slot per frame *group*: the group's frames are
             # transferred in, the tiled kernel runs, the group's masks
             # are transferred out.

@@ -71,7 +71,7 @@ class RunReport:
     @property
     def kernel_time(self) -> float:
         """Total kernel execution time."""
-        return sum(l.timing.total for l in self.launches)
+        return sum(ln.timing.total for ln in self.launches)
 
     @property
     def kernel_time_per_frame(self) -> float:
@@ -93,7 +93,7 @@ class RunReport:
     def occupancy(self) -> float:
         if not self.launches:
             return 0.0
-        return float(np.mean([l.occupancy.occupancy for l in self.launches]))
+        return float(np.mean([ln.occupancy.occupancy for ln in self.launches]))
 
     @property
     def branch_efficiency(self) -> float:
@@ -137,7 +137,7 @@ class RunReport:
                 k: v for k, v in self.metrics().items() if k != "level"
             },
             "launches": [
-                {"name": l.name, **l.metrics()} for l in self.launches
+                {"name": ln.name, **ln.metrics()} for ln in self.launches
             ],
         }
 

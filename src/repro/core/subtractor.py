@@ -24,7 +24,7 @@ from ..gpusim.device import TESLA_C2075, DeviceSpec
 from ..mog.vectorized import MoGVectorized
 from .pipeline import HostPipeline
 from .results import RunReport
-from .variants import OptimizationLevel
+from .variants import LevelSpec, OptimizationLevel, resolve_level_spec
 
 
 class BackgroundSubtractor:
@@ -38,7 +38,9 @@ class BackgroundSubtractor:
         Algorithmic parameters (:class:`~repro.config.MoGParams`).
     level:
         Optimization level ``"A"``..``"G"`` (or an
-        :class:`OptimizationLevel`); selects kernel, layout and
+        :class:`OptimizationLevel`), a custom
+        :class:`~repro.core.variants.LevelSpec`, or a pass expression
+        such as ``"A+predication"``; selects kernel, layout and
         pipeline behaviour. Functionally, A-C produce the ``sorted``
         variant's masks, D/E the same masks, F/G the ``regopt``
         variant's.
@@ -68,7 +70,7 @@ class BackgroundSubtractor:
         self,
         shape: tuple[int, int],
         params: MoGParams | None = None,
-        level: OptimizationLevel | str = OptimizationLevel.F,
+        level: OptimizationLevel | LevelSpec | str = OptimizationLevel.F,
         backend: str = "sim",
         run_config: RunConfig | None = None,
         device: DeviceSpec = TESLA_C2075,
@@ -81,13 +83,20 @@ class BackgroundSubtractor:
             raise ConfigError(f"backend must be 'cpu' or 'sim', got {backend!r}")
         self.shape = tuple(shape)
         self.params = params or MoGParams()
-        self.level = OptimizationLevel.parse(level)
+        self.spec = resolve_level_spec(level)
+        # Paper levels keep the enum identity (``bs.level is
+        # OptimizationLevel.F``); custom pass stacks expose the spec.
+        self.level: OptimizationLevel | LevelSpec = (
+            OptimizationLevel[self.spec.letter]
+            if self.spec.letter in OptimizationLevel.__members__
+            else self.spec
+        )
         self.backend = backend
         if backend == "cpu":
             dtype = (run_config or RunConfig()).dtype if run_config else "double"
             self._impl = MoGVectorized(
                 self.shape, self.params,
-                variant=self.level.spec.mog_variant, dtype=dtype,
+                variant=self.spec.mog_variant, dtype=dtype,
             )
             self._pipeline = None
         else:
@@ -97,7 +106,7 @@ class BackgroundSubtractor:
                 )
                 run_config = base.replace(profile_every=profile_every)
             self._pipeline = HostPipeline(
-                self.shape, self.params, self.level,
+                self.shape, self.params, self.spec,
                 run_config=run_config, device=device,
                 calibration=calibration, registers=registers,
                 telemetry=telemetry,

@@ -1,79 +1,144 @@
-"""The paper's optimization levels A..G and their properties.
+"""The paper's optimization levels A..G, derived from pass stacks.
 
-Tables II and III of the paper define the levels cumulatively; each
-:class:`OptimizationLevel` member records what is enabled, which kernel
-implements it, which memory layout it uses, whether the host pipeline
-overlaps transfers with execution, and which vectorized variant it is
-functionally equivalent to (enforced by tests).
+Tables II and III of the paper define the levels cumulatively.  Each
+:class:`OptimizationLevel` member wraps a :class:`LevelSpec` that is
+*derived* from its kernel-pass stack (:mod:`repro.kernels.ir`): the
+memory layout, host-pipeline overlap, equivalent vectorized variant,
+kernel factory and Table II/III rows all come from the passes, so the
+level registry cannot drift from what the kernels actually do.
+
+Arbitrary pass subsets the paper never measured are first-class too:
+:func:`custom_level` builds a :class:`LevelSpec` from any valid stack
+(e.g. ``A + predication`` without sort elimination), and every consumer
+— :class:`~repro.core.pipeline.HostPipeline`,
+:class:`~repro.core.subtractor.BackgroundSubtractor`, the bench harness
+and the CLI — accepts it wherever a level letter is accepted (the CLI
+spelling is ``"A+predication"``; see :func:`resolve_level_spec`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
+from functools import partial
+from typing import Callable
 
 from ..errors import ConfigError
-from ..kernels import (
-    make_base_kernel,
-    make_coalesced_kernel,
-    make_nosort_kernel,
-    make_predicated_kernel,
-    make_regopt_kernel,
+from ..kernels.build import build_group_kernel, build_kernel
+from ..kernels.ir import (
+    BASE_SPEC,
+    LEVEL_PASSES,
+    PASS_REGISTRY,
+    KernelSpec,
+    apply_passes,
+    mog_variant_for,
+    register_model_for,
+    resolve_pass,
 )
+
+#: A kernel factory: ``factory(layout, cfg, frame_buf, fg_buf)`` for
+#: per-frame kernels, ``factory(layout, cfg, frame_bufs, fg_bufs,
+#: tile_pixels=...)`` for group-structured ones.
+KernelFactory = Callable[..., Callable]
 
 
 @dataclass(frozen=True)
 class LevelSpec:
-    """Static description of one optimization level."""
+    """Static description of one optimization level (paper or custom).
+
+    Only identity and provenance are stored; everything operational —
+    layout, overlap, kernel factory, equivalent vectorized variant —
+    is derived from the pass stack's :class:`KernelSpec`.
+    """
 
     letter: str
     title: str
-    group: str  # "base" | "general" | "algorithm-specific" | "shared-memory"
-    layout: str  # "aos" | "soa"
-    overlapped: bool  # host pipeline overlaps DMA with kernels
-    mog_variant: str  # functionally equivalent repro.mog.vectorized variant
-    kernel_factory: object  # None for the tiled level (group-structured)
-    paper_speedup: float  # the speedup the paper reports (Fig 8a / Fig 10a)
-    enables: tuple[str, ...]  # cumulative optimizations switched on
+    group: str  # "base" | "general" | "algorithm-specific" | "shared-memory" | "custom"
+    passes: tuple[str, ...]  # kernel-pass stack (names, in order)
+    kernel: KernelSpec = field(repr=False)
+    paper_speedup: float | None  # Fig 8a / Fig 10a; None for custom levels
+
+    # -- derived properties -------------------------------------------
+    @property
+    def layout(self) -> str:
+        """Parameter memory layout: ``"aos"`` or ``"soa"``."""
+        return self.kernel.layout
+
+    @property
+    def overlapped(self) -> bool:
+        """Host pipeline overlaps DMA with kernels (level C+)."""
+        return self.kernel.overlapped
+
+    @property
+    def group_structured(self) -> bool:
+        """Kernel processes frame groups per launch (level G)."""
+        return self.kernel.group_structured
+
+    @property
+    def mog_variant(self) -> str:
+        """Functionally equivalent :mod:`repro.mog.vectorized` variant."""
+        return mog_variant_for(self.kernel)
+
+    @property
+    def register_model(self) -> str:
+        """Level letter keying the pinned-registers model."""
+        return register_model_for(self.kernel)
+
+    @property
+    def enables(self) -> tuple[str, ...]:
+        """Cumulative optimizations switched on (pass metadata)."""
+        return ("base",) + tuple(
+            PASS_REGISTRY[name].enables for name in self.passes
+        )
+
+    @property
+    def kernel_factory(self) -> KernelFactory:
+        """Factory building this level's simulated kernel."""
+        if self.kernel.group_structured:
+            return partial(build_group_kernel, self.kernel)
+        return partial(build_kernel, self.kernel)
+
+    def describe(self) -> dict:
+        """JSON-friendly summary (the ``repro levels`` payload)."""
+        return {
+            "letter": self.letter,
+            "title": self.title,
+            "group": self.group,
+            "passes": list(self.passes),
+            "kernel": self.kernel.name,
+            "layout": self.layout,
+            "overlapped": self.overlapped,
+            "group_structured": self.group_structured,
+            "mog_variant": self.mog_variant,
+            "enables": list(self.enables),
+            "paper_speedup": self.paper_speedup,
+        }
+
+
+def _level(
+    letter: str, title: str, group: str, paper_speedup: float
+) -> LevelSpec:
+    passes = LEVEL_PASSES[letter]
+    return LevelSpec(
+        letter=letter,
+        title=title,
+        group=group,
+        passes=passes,
+        kernel=apply_passes(BASE_SPEC, passes),
+        paper_speedup=paper_speedup,
+    )
 
 
 class OptimizationLevel(Enum):
     """Levels A..G; values are :class:`LevelSpec` descriptions."""
 
-    A = LevelSpec(
-        "A", "base implementation", "base", "aos", False, "sorted",
-        make_base_kernel, 13.0, ("base",),
-    )
-    B = LevelSpec(
-        "B", "memory coalescing", "general", "soa", False, "sorted",
-        make_coalesced_kernel, 41.0, ("base", "coalescing"),
-    )
-    C = LevelSpec(
-        "C", "overlapped execution", "general", "soa", True, "sorted",
-        make_coalesced_kernel, 57.0, ("base", "coalescing", "overlap"),
-    )
-    D = LevelSpec(
-        "D", "branch reduction", "algorithm-specific", "soa", True, "nosort",
-        make_nosort_kernel, 85.0,
-        ("base", "coalescing", "overlap", "no-sort"),
-    )
-    E = LevelSpec(
-        "E", "predicated execution", "algorithm-specific", "soa", True,
-        "predicated", make_predicated_kernel, 86.0,
-        ("base", "coalescing", "overlap", "no-sort", "predication"),
-    )
-    F = LevelSpec(
-        "F", "register reduction", "algorithm-specific", "soa", True,
-        "regopt", make_regopt_kernel, 97.0,
-        ("base", "coalescing", "overlap", "no-sort", "predication",
-         "register-reduction"),
-    )
-    G = LevelSpec(
-        "G", "tiled shared memory", "shared-memory", "soa", True, "regopt",
-        None, 101.0,
-        ("base", "coalescing", "overlap", "no-sort", "predication",
-         "register-reduction", "tiling"),
-    )
+    A = _level("A", "base implementation", "base", 13.0)
+    B = _level("B", "memory coalescing", "general", 41.0)
+    C = _level("C", "overlapped execution", "general", 57.0)
+    D = _level("D", "branch reduction", "algorithm-specific", 85.0)
+    E = _level("E", "predicated execution", "algorithm-specific", 86.0)
+    F = _level("F", "register reduction", "algorithm-specific", 97.0)
+    G = _level("G", "tiled shared memory", "shared-memory", 101.0)
 
     @property
     def spec(self) -> LevelSpec:
@@ -102,29 +167,91 @@ class OptimizationLevel(Enum):
 LEVELS = tuple(OptimizationLevel)
 
 
-def table_ii_rows() -> list[tuple[str, list[str]]]:
-    """The paper's Table II: general optimization levels."""
-    cols = [OptimizationLevel.A, OptimizationLevel.B, OptimizationLevel.C]
-    features = [
-        ("Base Implementation", "base"),
-        ("Memory Coalescing", "coalescing"),
-        ("Overlapped Execution", "overlap"),
+def custom_level(
+    passes, name: str | None = None, title: str | None = None
+) -> LevelSpec:
+    """Build a :class:`LevelSpec` from an arbitrary kernel-pass stack.
+
+    ``passes`` is a sequence of pass names (or :class:`KernelPass`
+    instances) applied to the level-A base in order.  If the stack is
+    exactly one of the paper's levels, that level's spec is returned;
+    otherwise a ``group="custom"`` spec without a paper speedup.  Pass
+    prerequisites are enforced (e.g. ``register-reduction`` before
+    ``predication`` raises), so ablation sweeps cannot silently build
+    a kernel the passes do not describe.
+    """
+    names = tuple(resolve_pass(p).name for p in passes)
+    for member in OptimizationLevel:
+        if member.spec.passes == names:
+            return member.spec
+    kernel = apply_passes(BASE_SPEC, names)
+    return LevelSpec(
+        letter=name or ("A+" + "+".join(names) if names else "A"),
+        title=title or "custom pass stack",
+        group="custom",
+        passes=names,
+        kernel=kernel,
+        paper_speedup=None,
+    )
+
+
+def resolve_level_spec(
+    level: "OptimizationLevel | LevelSpec | str",
+) -> LevelSpec:
+    """Normalise any level designator to a :class:`LevelSpec`.
+
+    Accepts an :class:`OptimizationLevel` member, a ready
+    :class:`LevelSpec`, a level letter (``"F"``) or a pass expression
+    ``"<base>+<pass>[+<pass>...]"`` where ``<base>`` is a level letter
+    seeding the stack (empty means A): ``"A+predication"``,
+    ``"B+sort-elimination"``, ``"+soa-layout"``.
+    """
+    if isinstance(level, LevelSpec):
+        return level
+    if isinstance(level, OptimizationLevel):
+        return level.spec
+    text = str(level).strip()
+    if "+" in text:
+        base, *extra = [part.strip() for part in text.split("+")]
+        base_passes = (
+            OptimizationLevel.parse(base).spec.passes if base else ()
+        )
+        return custom_level(base_passes + tuple(extra), name=text)
+    return OptimizationLevel.parse(text).spec
+
+
+# ----------------------------------------------------------------------
+# Paper tables (derived from pass metadata)
+# ----------------------------------------------------------------------
+def _table_rows(
+    cols: list[OptimizationLevel],
+    pass_names: tuple[str, ...],
+    include_base: bool,
+) -> list[tuple[str, list[str]]]:
+    features = [("Base Implementation", "base")] if include_base else []
+    features += [
+        (PASS_REGISTRY[name].table, PASS_REGISTRY[name].enables)
+        for name in pass_names
     ]
     return [
-        (name, ["x" if key in lv.spec.enables else "" for lv in cols])
-        for name, key in features
+        (title, ["x" if key in lv.spec.enables else "" for lv in cols])
+        for title, key in features
     ]
+
+
+def table_ii_rows() -> list[tuple[str, list[str]]]:
+    """The paper's Table II: general optimization levels."""
+    return _table_rows(
+        [OptimizationLevel.A, OptimizationLevel.B, OptimizationLevel.C],
+        ("soa-layout", "overlap"),
+        include_base=True,
+    )
 
 
 def table_iii_rows() -> list[tuple[str, list[str]]]:
     """The paper's Table III: algorithm-specific optimization levels."""
-    cols = [OptimizationLevel.D, OptimizationLevel.E, OptimizationLevel.F]
-    features = [
-        ("Branch Reduction", "no-sort"),
-        ("Predicated Execution", "predication"),
-        ("Register Reduction", "register-reduction"),
-    ]
-    return [
-        (name, ["x" if key in lv.spec.enables else "" for lv in cols])
-        for name, key in features
-    ]
+    return _table_rows(
+        [OptimizationLevel.D, OptimizationLevel.E, OptimizationLevel.F],
+        ("sort-elimination", "predication", "register-reduction"),
+        include_base=False,
+    )

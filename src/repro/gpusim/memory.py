@@ -14,7 +14,6 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import MemoryModelError
-from .counters import KernelCounters
 
 #: Alignment of buffer base addresses (matches cudaMalloc's 256 B).
 BASE_ALIGNMENT = 256

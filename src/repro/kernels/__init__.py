@@ -1,42 +1,113 @@
 """Simulated CUDA kernels for every optimization level of the paper.
 
-Each module holds a kernel *factory*: given a parameter layout, a
-kernel configuration and the device buffers, it returns a DSL kernel
-function for :meth:`repro.gpusim.engine.SimtEngine.launch`.
+There is exactly *one* MoG kernel in this package: the canonical
+Stauffer-Grimson update described by :class:`~repro.kernels.ir.KernelSpec`.
+The paper's levels are composable :class:`~repro.kernels.ir.KernelPass`
+stacks over it (Tables II/III are cumulative), and
+:mod:`repro.kernels.build` emits the DSL program for any spec.  The
+same spec drives :mod:`repro.cudagen`, so the simulator and the real
+CUDA sources cannot drift apart.
 
-=======  ====================  =====================================
-module   paper level           distinguishing property
-=======  ====================  =====================================
-mog_base        A              AoS layout, branchy, rank+sort+break
-mog_coalesced   B (and C)      SoA layout, otherwise identical to A
-mog_nosort      D              sort removed, flat foreground OR
-mog_predicated  E              Algorithm-5 predicated updates
-mog_regopt      F              no persistent diff[] array
-mog_tiled       G              F staged through shared memory,
-                               processing frame groups per tile
-=======  ====================  =====================================
+===================  ===========  =====================================
+factory              paper level  pass stack (over the level-A base)
+===================  ===========  =====================================
+make_base_kernel          A       (none) — AoS, branchy, rank+sort+break
+make_coalesced_kernel     B, C    soa-layout (C adds host-side overlap)
+make_nosort_kernel        D       + sort-elimination
+make_predicated_kernel    E       + predication
+make_regopt_kernel        F       + register-reduction
+make_tiled_kernel         G       + tiling (shared-memory frame groups)
+make_register_tiled_kernel  —     + register-tiling (ablation: group
+                                  parameters resident in registers)
+===================  ===========  =====================================
 
 Level C uses the same kernel as B — overlapping transfers with
 execution is a host-side (pipeline) change, see
-:mod:`repro.core.pipeline`.
+:mod:`repro.core.pipeline`.  The factories below are thin wrappers kept
+for direct use and the benchmarks; new call sites should prefer
+``build_kernel(spec_for_level(...), ...)`` or arbitrary pass stacks via
+:func:`~repro.kernels.ir.apply_passes`.
 """
 
+from .build import (
+    build_group_kernel,
+    build_kernel,
+    registers_for_group_residency,
+    shared_bytes_for_tile,
+)
 from .common import KernelConfig
-from .mog_base import make_base_kernel
-from .mog_coalesced import make_coalesced_kernel
-from .mog_nosort import make_nosort_kernel
-from .mog_predicated import make_predicated_kernel
-from .mog_regopt import make_regopt_kernel
-from .mog_tiled import make_tiled_kernel
-from .mog_tiled_registers import make_register_tiled_kernel
+from .ir import (
+    BASE_SPEC,
+    LEVEL_PASSES,
+    PASS_REGISTRY,
+    KernelPass,
+    KernelSpec,
+    PassError,
+    apply_passes,
+    spec_for_level,
+)
+
+
+def make_base_kernel(layout, cfg, frame_buf, fg_buf):
+    """Level A: direct CUDA translation of Algorithm 1 (AoS, branchy)."""
+    return build_kernel(spec_for_level("A"), layout, cfg, frame_buf, fg_buf)
+
+
+def make_coalesced_kernel(layout, cfg, frame_buf, fg_buf):
+    """Level B: the level-A algorithm over the SoA layout."""
+    return build_kernel(spec_for_level("B"), layout, cfg, frame_buf, fg_buf)
+
+
+def make_nosort_kernel(layout, cfg, frame_buf, fg_buf):
+    """Level D: rank/sort and early-exit branches eliminated."""
+    return build_kernel(spec_for_level("D"), layout, cfg, frame_buf, fg_buf)
+
+
+def make_predicated_kernel(layout, cfg, frame_buf, fg_buf):
+    """Level E: Algorithm-5 predicated updates."""
+    return build_kernel(spec_for_level("E"), layout, cfg, frame_buf, fg_buf)
+
+
+def make_regopt_kernel(layout, cfg, frame_buf, fg_buf):
+    """Level F: no persistent diff[] array (register reduction)."""
+    return build_kernel(spec_for_level("F"), layout, cfg, frame_buf, fg_buf)
+
+
+def make_tiled_kernel(layout, cfg, frame_bufs, fg_bufs, tile_pixels):
+    """Level G: frame groups staged through shared memory."""
+    return build_group_kernel(
+        spec_for_level("G"), layout, cfg, frame_bufs, fg_bufs,
+        tile_pixels=tile_pixels,
+    )
+
+
+def make_register_tiled_kernel(layout, cfg, frame_bufs, fg_bufs):
+    """Ablation: frame-group parameters resident in registers."""
+    return build_group_kernel(
+        apply_passes(spec_for_level("F"), ("register-tiling",)),
+        layout, cfg, frame_bufs, fg_bufs,
+    )
+
 
 __all__ = [
+    "BASE_SPEC",
     "KernelConfig",
+    "KernelPass",
+    "KernelSpec",
+    "LEVEL_PASSES",
+    "PASS_REGISTRY",
+    "PassError",
+    "apply_passes",
+    "build_group_kernel",
+    "build_kernel",
     "make_base_kernel",
     "make_coalesced_kernel",
     "make_nosort_kernel",
     "make_predicated_kernel",
     "make_regopt_kernel",
-    "make_tiled_kernel",
     "make_register_tiled_kernel",
+    "make_tiled_kernel",
+    "registers_for_group_residency",
+    "shared_bytes_for_tile",
+    "spec_for_level",
 ]

@@ -1,0 +1,244 @@
+"""Build simulated DSL kernels from a :class:`~repro.kernels.ir.KernelSpec`.
+
+This is the single emitter behind every optimization level: one
+canonical Stauffer-Grimson kernel body whose shape is steered by the
+spec's axes (update style, sort, scan, tiling).  The emitted programs
+are statement-for-statement the kernels the per-level modules used to
+hand-write, so masks and mixture state stay bit-identical at every
+level in both float32 and float64 (the cross-tier tests are the
+oracle).
+
+Two entry points mirror the two launch structures:
+
+* :func:`build_kernel` — one frame per launch (``tiling == "none"``);
+* :func:`build_group_kernel` — one frame *group* per launch
+  (``tiling`` ``"shared"`` or ``"registers"``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError, LaunchError
+from ..layout.base import NUM_PARAMS, PARAM_M, PARAM_SD, PARAM_W
+from .common import (
+    KernelConfig,
+    branchy_update_match,
+    branchy_virtual_component,
+    foreground_scan_break,
+    foreground_scan_flat,
+    foreground_scan_recompute,
+    load_components,
+    predicated_update,
+    predicated_virtual_component,
+    rank_and_sort,
+    store_components,
+    store_foreground,
+)
+from .ir import KernelSpec
+
+
+def shared_bytes_for_tile(tile_pixels: int, cfg: KernelConfig) -> int:
+    """Shared memory one tile's Gaussian parameters occupy."""
+    return tile_pixels * cfg.num_gaussians * NUM_PARAMS * cfg.dtype.itemsize
+
+
+def registers_for_group_residency(cfg: KernelConfig) -> int:
+    """Pinned registers/thread for the register-resident variant: the
+    level-F working set plus the persistent parameter triple."""
+    from ..gpusim.registers import pinned_registers
+
+    dtype_name = "double" if cfg.dtype == np.dtype(np.float64) else "float"
+    width = 2 if dtype_name == "double" else 1
+    persistent = cfg.num_gaussians * 3 * width
+    return pinned_registers("F", cfg.num_gaussians, dtype_name) + persistent
+
+
+# ----------------------------------------------------------------------
+# The canonical per-frame body (steps 2-6 of repro.mog.update)
+# ----------------------------------------------------------------------
+def _frame_body(ctx, cfg: KernelConfig, spec: KernelSpec, x, w, m, sd):
+    """Match/update loop, virtual component, optional sort, foreground
+    scan.  ``w``/``m``/``sd`` are the pixel's component registers;
+    returns the ``background`` flag (the caller stores state and mask
+    in the level's original order)."""
+    diff = [] if spec.keep_diff else None
+    any_match = ctx.var(False, np.bool_)
+    for k in ctx.loop(cfg.num_gaussians):
+        if spec.update == "branchy":
+            dk = ctx.var(abs(x - m[k].get()))
+            matched = dk < sd[k] * cfg.gamma1
+            with ctx.if_(matched):
+                branchy_update_match(ctx, cfg, x, w[k], m[k], sd[k], dk)
+                any_match.set(True)
+            with ctx.else_():
+                w[k].set(w[k] * cfg.alpha)
+            diff.append(dk)
+        elif spec.keep_diff:
+            dk = ctx.var(abs(x - m[k].get()))
+            matched = dk < sd[k] * cfg.gamma1
+            matchf = matched.astype(cfg.dtype)
+            predicated_update(ctx, cfg, x, w[k], m[k], sd[k], dk.get(), matchf)
+            any_match.set(any_match | matched)
+            diff.append(dk)
+        else:
+            # diff is a loop-local temporary, not a persistent array.
+            dk = abs(x - m[k].get())
+            matched = dk < sd[k] * cfg.gamma1
+            matchf = matched.astype(cfg.dtype)
+            predicated_update(ctx, cfg, x, w[k], m[k], sd[k], dk, matchf)
+            any_match.set(any_match | matched)
+
+    if spec.update == "branchy":
+        branchy_virtual_component(ctx, cfg, x, w, m, sd, diff, any_match)
+    else:
+        predicated_virtual_component(ctx, cfg, x, w, m, sd, diff, any_match)
+
+    if spec.sort:
+        rank_and_sort(ctx, w, m, sd, diff)
+
+    if spec.scan == "break":
+        return foreground_scan_break(ctx, cfg, w, sd, diff)
+    if spec.scan == "flat":
+        return foreground_scan_flat(ctx, cfg, w, sd, diff)
+    return foreground_scan_recompute(ctx, cfg, x, w, m, sd)
+
+
+# ----------------------------------------------------------------------
+# Per-frame kernels (levels A-F and any untiled pass subset)
+# ----------------------------------------------------------------------
+def build_kernel(spec: KernelSpec, layout, cfg: KernelConfig, frame_buf, fg_buf):
+    """Build the one-frame-per-launch kernel ``spec`` describes."""
+    spec.validate()
+    if spec.group_structured:
+        raise ConfigError(
+            f"spec {spec.name!r} is group-structured (tiling="
+            f"{spec.tiling!r}); use build_group_kernel"
+        )
+
+    def kernel(ctx):
+        pixel = ctx.thread_id()
+        x = ctx.load(frame_buf, pixel).astype(cfg.dtype)
+        w, m, sd = load_components(ctx, layout, cfg, pixel)
+        background = _frame_body(ctx, cfg, spec, x, w, m, sd)
+        store_components(ctx, layout, cfg, pixel, w, m, sd)
+        store_foreground(ctx, fg_buf, pixel, background)
+
+    kernel.__name__ = spec.name
+    return kernel
+
+
+# ----------------------------------------------------------------------
+# Frame-group kernels (level G and the register-residency ablation)
+# ----------------------------------------------------------------------
+def _check_group(frame_bufs, fg_bufs) -> None:
+    if len(frame_bufs) != len(fg_bufs):
+        raise LaunchError(
+            f"{len(frame_bufs)} frame buffers vs {len(fg_bufs)} foreground buffers"
+        )
+    if not frame_bufs:
+        raise LaunchError("empty frame group")
+
+
+def build_group_kernel(
+    spec: KernelSpec,
+    layout,
+    cfg: KernelConfig,
+    frame_bufs,
+    fg_bufs,
+    tile_pixels: int | None = None,
+):
+    """Build the frame-group kernel ``spec`` describes.
+
+    ``frame_bufs`` / ``fg_bufs`` are the buffers of one frame group
+    (the group size is their length).  Shared tiling requires
+    ``tile_pixels`` and must be launched with ``threads_per_block ==
+    tile_pixels`` (each block owns one tile); the register-resident
+    variant has no tile/block coupling.
+    """
+    spec.validate()
+    if not spec.group_structured:
+        raise ConfigError(
+            f"spec {spec.name!r} is per-frame (tiling='none'); use build_kernel"
+        )
+    _check_group(frame_bufs, fg_bufs)
+    if spec.tiling == "shared":
+        if tile_pixels is None:
+            raise ConfigError("shared tiling requires tile_pixels")
+        return _build_shared_tiled(spec, layout, cfg, frame_bufs, fg_bufs,
+                                   tile_pixels)
+    return _build_register_tiled(spec, layout, cfg, frame_bufs, fg_bufs)
+
+
+def _build_shared_tiled(spec, layout, cfg, frame_bufs, fg_bufs, tile_pixels):
+    """Parameters staged global -> shared once per group (paper Fig 9)."""
+    k_count = cfg.num_gaussians
+
+    def plane(k: int, param: int) -> int:
+        return (k * NUM_PARAMS + param) * tile_pixels
+
+    def kernel(ctx):
+        if ctx.threads_per_block != tile_pixels:
+            raise LaunchError(
+                f"tiled kernel needs threads_per_block == tile_pixels "
+                f"({tile_pixels}), got {ctx.threads_per_block}"
+            )
+        pixel = ctx.thread_id()
+        lane = ctx.lane_id()
+        sh = ctx.shared_alloc(
+            "gaussians_tile", tile_pixels * k_count * NUM_PARAMS, cfg.dtype
+        )
+
+        # Stage this tile's parameters: global -> shared, once per group.
+        for k in ctx.loop(k_count):
+            for p in (PARAM_W, PARAM_M, PARAM_SD):
+                v = ctx.load(layout.buffer, layout.index(ctx, k, p, pixel))
+                ctx.shared_store(sh, lane + plane(k, p), v)
+        ctx.syncthreads()
+
+        # Process every frame of the group against the staged tile.
+        for f_idx in ctx.loop(len(frame_bufs)):
+            frame_buf, fg_buf = frame_bufs[f_idx], fg_bufs[f_idx]
+            x = ctx.load(frame_buf, pixel).astype(cfg.dtype)
+            w, m, sd = [], [], []
+            for k in ctx.loop(k_count):
+                w.append(ctx.var(ctx.shared_load(sh, lane + plane(k, PARAM_W))))
+                m.append(ctx.var(ctx.shared_load(sh, lane + plane(k, PARAM_M))))
+                sd.append(ctx.var(ctx.shared_load(sh, lane + plane(k, PARAM_SD))))
+
+            background = _frame_body(ctx, cfg, spec, x, w, m, sd)
+
+            for k in ctx.loop(k_count):
+                ctx.shared_store(sh, lane + plane(k, PARAM_W), w[k].get())
+                ctx.shared_store(sh, lane + plane(k, PARAM_M), m[k].get())
+                ctx.shared_store(sh, lane + plane(k, PARAM_SD), sd[k].get())
+            store_foreground(ctx, fg_buf, pixel, background)
+
+        # Write the tile's parameters back: shared -> global, once.
+        ctx.syncthreads()
+        for k in ctx.loop(k_count):
+            for p in (PARAM_W, PARAM_M, PARAM_SD):
+                v = ctx.shared_load(sh, lane + plane(k, p))
+                ctx.store(layout.buffer, layout.index(ctx, k, p, pixel), v)
+
+    kernel.__name__ = spec.name
+    return kernel
+
+
+def _build_register_tiled(spec, layout, cfg, frame_bufs, fg_bufs):
+    """Parameters live in registers for the whole group (ablation)."""
+
+    def kernel(ctx):
+        pixel = ctx.thread_id()
+        w, m, sd = load_components(ctx, layout, cfg, pixel)
+
+        for f_idx in ctx.loop(len(frame_bufs)):
+            frame_buf, fg_buf = frame_bufs[f_idx], fg_bufs[f_idx]
+            x = ctx.load(frame_buf, pixel).astype(cfg.dtype)
+            background = _frame_body(ctx, cfg, spec, x, w, m, sd)
+            store_foreground(ctx, fg_buf, pixel, background)
+
+        store_components(ctx, layout, cfg, pixel, w, m, sd)
+
+    kernel.__name__ = spec.name
+    return kernel

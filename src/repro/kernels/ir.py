@@ -1,0 +1,365 @@
+"""Kernel IR: one canonical MoG kernel spec + composable passes.
+
+The paper's levels A..G are *cumulative transformations* of a single
+Stauffer-Grimson update kernel (Tables II/III).  This module makes that
+structure explicit instead of encoding it as near-duplicate kernel
+modules: a declarative :class:`KernelSpec` describes the canonical
+kernel (match -> rank/sort -> update -> mask) along the axes the paper
+varies, and each optimization is a :class:`KernelPass` — a *pure*
+``KernelSpec -> KernelSpec`` transform with a name, the paper level it
+realizes, and a cost/benefit note.
+
+Two independent backends consume the same spec:
+
+* :mod:`repro.kernels.build` emits the simulated-GPU DSL kernel;
+* :mod:`repro.cudagen` renders real CUDA C source.
+
+Because the spec is data, pass subsets the paper never measured (e.g.
+``A + predication`` without sort elimination) are one
+:func:`apply_passes` call away — see
+:func:`repro.core.variants.custom_level`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+#: Legal values of the spec axes.
+LAYOUTS = ("aos", "soa")
+UPDATES = ("branchy", "predicated")
+SCANS = ("break", "flat", "recompute")
+TILINGS = ("none", "shared", "registers")
+
+
+class PassError(ConfigError):
+    """A pass was applied to a spec that does not satisfy its
+    prerequisites (e.g. register reduction before predication)."""
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Declarative description of one MoG kernel variant.
+
+    The canonical Stauffer-Grimson update is fixed; the fields are the
+    axes along which the paper's optimization levels differ.
+
+    Attributes
+    ----------
+    name:
+        Kernel symbol name (also the simulated kernel's ``__name__``).
+    layout:
+        Gaussian-parameter memory layout: ``"aos"`` (level A) or
+        ``"soa"`` (coalesced, level B+).
+    update:
+        Per-component match/update style: ``"branchy"`` (Algorithm 4,
+        levels A-D) or ``"predicated"`` (Algorithm 5, levels E+).
+    sort:
+        Whether the rank + stable bubble sort runs (levels A-C).
+    scan:
+        Foreground decision: ``"break"`` (early-exit Algorithm 2),
+        ``"flat"`` (unconditional Algorithm 3) or ``"recompute"``
+        (flat scan with ``|x - mean|`` recomputed from the updated
+        means instead of a live ``diff[]`` array — level F).
+    overlapped:
+        Host pipeline overlaps DMA with kernel execution (level C).
+        Purely host-side; does not change the kernel body.
+    tiling:
+        Frame-group parameter residency: ``"none"`` (one frame per
+        launch), ``"shared"`` (parameters staged through shared memory
+        per tile, level G) or ``"registers"`` (parameters pinned in
+        registers across the group — the design-space ablation the
+        paper did not explore).
+    """
+
+    name: str = "mog_base"
+    layout: str = "aos"
+    update: str = "branchy"
+    sort: bool = True
+    scan: str = "break"
+    overlapped: bool = False
+    tiling: str = "none"
+
+    # ------------------------------------------------------------------
+    @property
+    def keep_diff(self) -> bool:
+        """Whether the per-component ``diff[]`` array stays live from
+        the update loop to the foreground scan."""
+        return self.scan != "recompute"
+
+    @property
+    def group_structured(self) -> bool:
+        """Whether the kernel processes frame *groups* per launch."""
+        return self.tiling != "none"
+
+    # ------------------------------------------------------------------
+    def validate(self) -> "KernelSpec":
+        """Check internal consistency; returns ``self`` for chaining."""
+        if self.layout not in LAYOUTS:
+            raise ConfigError(f"layout must be one of {LAYOUTS}, got {self.layout!r}")
+        if self.update not in UPDATES:
+            raise ConfigError(f"update must be one of {UPDATES}, got {self.update!r}")
+        if self.scan not in SCANS:
+            raise ConfigError(f"scan must be one of {SCANS}, got {self.scan!r}")
+        if self.tiling not in TILINGS:
+            raise ConfigError(f"tiling must be one of {TILINGS}, got {self.tiling!r}")
+        if self.sort != (self.scan == "break"):
+            raise ConfigError(
+                "rank/sort exists only to serve the early-exit scan: "
+                f"sort={self.sort} is inconsistent with scan={self.scan!r}"
+            )
+        if self.scan == "recompute" and self.update != "predicated":
+            raise ConfigError(
+                "the recompute scan drops the diff[] array, which the "
+                "branchy update's virtual component still writes; apply "
+                "predication before register reduction"
+            )
+        if self.tiling != "none":
+            if self.layout != "soa":
+                raise ConfigError("tiled kernels require the SoA layout")
+            if self.scan != "recompute":
+                raise ConfigError(
+                    "tiled kernels stage only the parameter triple, not "
+                    "diff[]; apply register reduction before tiling"
+                )
+        return self
+
+    def replace(self, **changes) -> "KernelSpec":
+        """A validated copy with ``changes`` applied."""
+        return dataclasses.replace(self, **changes).validate()
+
+
+#: The canonical level-A kernel every pass stack starts from.
+BASE_SPEC = KernelSpec()
+
+
+# ----------------------------------------------------------------------
+# Passes
+# ----------------------------------------------------------------------
+class KernelPass:
+    """A named, pure ``KernelSpec -> KernelSpec`` transform.
+
+    Class attributes describe the pass; :meth:`apply` performs it.
+    Calling the pass validates the result, so an ill-ordered stack
+    fails loudly instead of emitting a silently wrong kernel.
+    """
+
+    #: Registry name (also the CLI spelling).
+    name: str = ""
+    #: Paper level this pass realizes, or ``None`` for ablation passes.
+    level: str | None = None
+    #: The cumulative-optimizations keyword it contributes
+    #: (``LevelSpec.enables``).
+    enables: str = ""
+    #: Row title in the paper's Table II/III, or ``None``.
+    table: str | None = None
+    #: One-line cost/benefit note (shown by ``repro levels``).
+    note: str = ""
+
+    def __call__(self, spec: KernelSpec) -> KernelSpec:
+        return self.apply(spec).validate()
+
+    def apply(self, spec: KernelSpec) -> KernelSpec:
+        raise NotImplementedError
+
+    def _require(self, cond: bool, spec: KernelSpec, why: str) -> None:
+        if not cond:
+            raise PassError(
+                f"pass {self.name!r} cannot apply to {spec.name!r}: {why}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<KernelPass {self.name}>"
+
+
+class SoALayoutPass(KernelPass):
+    name = "soa-layout"
+    level = "B"
+    enables = "coalescing"
+    table = "Memory Coalescing"
+    note = ("structure-of-arrays parameters: each warp request becomes "
+            "contiguous (18 -> 2 transactions/warp for doubles)")
+
+    def apply(self, spec: KernelSpec) -> KernelSpec:
+        self._require(spec.layout == "aos", spec, "layout is already SoA")
+        return spec.replace(layout="soa", name="mog_coalesced")
+
+
+class TransferOverlapPass(KernelPass):
+    name = "overlap"
+    level = "C"
+    enables = "overlap"
+    table = "Overlapped Execution"
+    note = ("host-side double buffering overlaps frame DMA with kernel "
+            "execution (paper Fig 5b); the kernel body is unchanged")
+
+    def apply(self, spec: KernelSpec) -> KernelSpec:
+        self._require(not spec.overlapped, spec, "overlap is already enabled")
+        return spec.replace(overlapped=True)
+
+
+class SortEliminationPass(KernelPass):
+    name = "sort-elimination"
+    level = "D"
+    enables = "no-sort"
+    table = "Branch Reduction"
+    note = ("the foreground OR is order-independent on a GPU: drop rank, "
+            "bubble sort and the early-exit branches (pure divergence)")
+
+    def apply(self, spec: KernelSpec) -> KernelSpec:
+        self._require(spec.sort, spec, "the sort was already eliminated")
+        return spec.replace(sort=False, scan="flat", name="mog_nosort")
+
+
+class PredicationPass(KernelPass):
+    name = "predication"
+    level = "E"
+    enables = "predication"
+    table = "Predicated Execution"
+    note = ("blend updates with the 0/1 match predicate (Algorithm 5): "
+            "every lane runs the same instructions, branch efficiency "
+            "~99.5%, at the cost of computing unused update values")
+
+    def apply(self, spec: KernelSpec) -> KernelSpec:
+        self._require(spec.update == "branchy", spec,
+                      "updates are already predicated")
+        return spec.replace(update="predicated", name="mog_predicated")
+
+
+class RegisterReductionPass(KernelPass):
+    name = "register-reduction"
+    level = "F"
+    enables = "register-reduction"
+    table = "Register Reduction"
+    note = ("recompute |x - mean| at the scan instead of keeping diff[] "
+            "live: arithmetic is cheaper than occupying a register; the "
+            "freed registers raise occupancy (paper Fig 7c)")
+
+    def apply(self, spec: KernelSpec) -> KernelSpec:
+        self._require(spec.update == "predicated", spec,
+                      "register reduction builds on the predicated update")
+        self._require(spec.scan == "flat", spec,
+                      "register reduction replaces the flat stored-diff scan")
+        return spec.replace(scan="recompute", name="mog_regopt")
+
+
+class TilingPass(KernelPass):
+    name = "tiling"
+    level = "G"
+    enables = "tiling"
+    table = None
+    note = ("stage each tile's parameters in shared memory and process a "
+            "frame group per launch: parameter DRAM traffic divided by "
+            "the group size, at the cost of occupancy and group latency")
+
+    def apply(self, spec: KernelSpec) -> KernelSpec:
+        self._require(spec.tiling == "none", spec, "tiling already applied")
+        return spec.replace(tiling="shared", name="mog_tiled")
+
+
+class RegisterTilingPass(KernelPass):
+    name = "register-tiling"
+    level = None
+    enables = "register-tiling"
+    table = None
+    note = ("ablation: keep the group's parameters in registers instead "
+            "of shared memory — faster at 3 Gaussians, impossible at 5 "
+            "(register ceiling), which justifies the paper's design")
+
+    def apply(self, spec: KernelSpec) -> KernelSpec:
+        self._require(spec.tiling == "none", spec, "tiling already applied")
+        return spec.replace(tiling="registers", name="mog_tiled_regs")
+
+
+#: All passes in canonical (paper) application order.
+PASS_REGISTRY: dict[str, KernelPass] = {
+    p.name: p
+    for p in (
+        SoALayoutPass(),
+        TransferOverlapPass(),
+        SortEliminationPass(),
+        PredicationPass(),
+        RegisterReductionPass(),
+        TilingPass(),
+        RegisterTilingPass(),
+    )
+}
+
+#: Pass stacks realizing the paper's levels (A is the empty stack).
+LEVEL_PASSES: dict[str, tuple[str, ...]] = {
+    "A": (),
+    "B": ("soa-layout",),
+    "C": ("soa-layout", "overlap"),
+    "D": ("soa-layout", "overlap", "sort-elimination"),
+    "E": ("soa-layout", "overlap", "sort-elimination", "predication"),
+    "F": ("soa-layout", "overlap", "sort-elimination", "predication",
+          "register-reduction"),
+    "G": ("soa-layout", "overlap", "sort-elimination", "predication",
+          "register-reduction", "tiling"),
+}
+
+
+def resolve_pass(p: str | KernelPass) -> KernelPass:
+    """Look up a pass by name (pass instances pass through)."""
+    if isinstance(p, KernelPass):
+        return p
+    try:
+        return PASS_REGISTRY[p]
+    except KeyError:
+        raise PassError(
+            f"unknown kernel pass {p!r}; expected one of "
+            f"{sorted(PASS_REGISTRY)}"
+        ) from None
+
+
+def apply_passes(
+    spec: KernelSpec, passes: tuple[str | KernelPass, ...] | list
+) -> KernelSpec:
+    """Fold a pass stack over ``spec`` (each pass validates its output)."""
+    spec.validate()
+    for p in passes:
+        spec = resolve_pass(p)(spec)
+    return spec
+
+
+def spec_for_level(letter: str) -> KernelSpec:
+    """The canonical spec of one paper level, built from its pass stack."""
+    key = str(letter).strip().upper()
+    if key not in LEVEL_PASSES:
+        raise ConfigError(
+            f"unknown optimization level {letter!r}; expected one of "
+            f"{sorted(LEVEL_PASSES)}"
+        )
+    return apply_passes(BASE_SPEC, LEVEL_PASSES[key])
+
+
+# ----------------------------------------------------------------------
+# Derived metadata
+# ----------------------------------------------------------------------
+def mog_variant_for(spec: KernelSpec) -> str:
+    """The functionally equivalent :mod:`repro.mog.vectorized` variant
+    (the CPU backend and the kernels' bit-exactness oracle)."""
+    if spec.scan == "recompute":
+        return "regopt"
+    if spec.sort:
+        return "sorted"
+    return "nosort" if spec.update == "branchy" else "predicated"
+
+
+def register_model_for(spec: KernelSpec) -> str:
+    """The :func:`repro.gpusim.registers.pinned_registers` level whose
+    register model fits this spec (exact for the paper levels; the
+    closest cumulative level for custom pass subsets)."""
+    if spec.tiling != "none":
+        return "G"
+    if spec.scan == "recompute":
+        return "F"
+    if spec.update == "predicated":
+        return "E"
+    if not spec.sort:
+        return "D"
+    if spec.layout == "soa":
+        return "C" if spec.overlapped else "B"
+    return "A"

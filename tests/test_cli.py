@@ -116,6 +116,51 @@ class TestExperiments:
         assert "unknown experiment" in capsys.readouterr().err
 
 
+class TestLevels:
+    def test_all_levels(self, capsys):
+        assert main(["levels"]) == 0
+        out = capsys.readouterr().out
+        for letter in "ABCDEFG":
+            assert f"{letter}: " in out
+        assert "soa-layout" in out
+        assert "paper speedup : 101x" in out
+
+    def test_single_level(self, capsys):
+        assert main(["levels", "F"]) == 0
+        out = capsys.readouterr().out
+        assert "F: register reduction" in out
+        assert "register-reduction" in out
+
+    def test_custom_pass_expression(self, capsys):
+        assert main(["levels", "A+predication"]) == 0
+        out = capsys.readouterr().out
+        assert "custom" in out
+        assert "layout=aos" in out
+        assert "paper speedup : n/a" in out
+
+    def test_json_payload(self, capsys):
+        import json
+
+        assert main(["levels", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert [d["letter"] for d in data] == list("ABCDEFG")
+        assert data[6]["group_structured"] is True
+        assert data[0]["passes"] == []
+
+    def test_unknown_level(self, capsys):
+        assert main(["levels", "Z"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_subtract_accepts_pass_expression(self, clip, tmp_path):
+        out = tmp_path / "masks.npz"
+        code = main(["subtract", str(clip), str(out),
+                     "--level", "A+predication",
+                     "--learning-rate", "0.08"])
+        assert code == 0
+        masks, _, _ = load_sequence(out)
+        assert masks.num_frames == 12
+
+
 class TestTrack:
     def test_prints_track_summary(self, clip, capsys):
         code = main(["track", str(clip), "--warmup", "4",

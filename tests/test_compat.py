@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.compat import BackgroundSubtractorMOG, createBackgroundSubtractorMOG
+from repro.compat import createBackgroundSubtractorMOG
 from repro.errors import ConfigError
 from repro.video.scenes import evaluation_scene
 

@@ -31,7 +31,7 @@ class TestOptimizationLevel:
             OptimizationLevel.parse("Z")
 
     def test_levels_ordered(self):
-        assert [l.letter for l in LEVELS] == list("ABCDEFG")
+        assert [lv.letter for lv in LEVELS] == list("ABCDEFG")
 
     def test_cumulative_enables(self):
         for prev, cur in zip(LEVELS, LEVELS[1:]):

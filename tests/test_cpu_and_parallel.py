@@ -3,8 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.config import FULL_HD, MoGParams, PAPER_NUM_FRAMES
-from repro.cpu import CpuMode, CpuTimeModel, PAPER_BASELINES, run_cpu_reference
+from repro.config import FULL_HD, PAPER_NUM_FRAMES
+from repro.cpu import CpuTimeModel, PAPER_BASELINES, run_cpu_reference
 from repro.errors import ConfigError
 from repro.mog import MoGVectorized
 from repro.parallel import ParallelMoG

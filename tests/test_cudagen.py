@@ -67,6 +67,82 @@ class TestGenerateKernel:
             generate_kernel("Z", cfg())
 
 
+class TestGoldenTokens:
+    """Per-level golden tokens: which constructs each level's source
+    must (and must not) contain, keyed off the shared KernelSpec."""
+
+    @pytest.mark.parametrize("level", list("DEFG"))
+    def test_no_sort_at_d_plus(self, level):
+        src = generate_kernel(level, cfg())
+        assert "bubble sort" not in src and "rank[" not in src
+
+    @pytest.mark.parametrize("level", list("ABC"))
+    def test_sort_below_d(self, level):
+        src = generate_kernel(level, cfg())
+        assert "bubble sort" in src and "break;" in src
+
+    @pytest.mark.parametrize("level", list("ABCDEF"))
+    def test_shared_only_at_g(self, level):
+        assert "__shared__" not in generate_kernel(level, cfg())
+
+    def test_g_has_shared(self):
+        assert "__shared__" in generate_kernel("G", cfg())
+
+    @pytest.mark.parametrize("level", list("ABCD"))
+    def test_branchy_update_below_e(self, level):
+        src = generate_kernel(level, cfg())
+        assert "if (d < GAMMA1 * sd)" in src
+
+    @pytest.mark.parametrize("level", list("EFG"))
+    def test_predicated_at_e_plus(self, level):
+        src = generate_kernel(level, cfg())
+        assert "matched * ONE_MINUS_ALPHA" in src
+        assert "if (d < GAMMA1 * sd)" not in src
+
+    @pytest.mark.parametrize(
+        "level, has_diff", [("A", True), ("E", True), ("F", False)]
+    )
+    def test_diff_array_dropped_at_f(self, level, has_diff):
+        src = generate_kernel(level, cfg())
+        assert ("scalar_t diff[NUM_GAUSSIANS];" in src) is has_diff
+
+
+class TestGenerateFromSpec:
+    """cudagen consumes the same KernelSpec the simulator builds from."""
+
+    def test_spec_matches_letter(self):
+        from repro.kernels.ir import spec_for_level
+
+        for level in "ABCDEF":
+            by_letter = generate_kernel(level, cfg())
+            by_spec = generate_kernel(spec_for_level(level), cfg())
+            # Same body; only the kernel/file name differs.
+            def strip(s):
+                return [
+                    line for line in s.splitlines()
+                    if "mog_kernel" not in line
+                ]
+
+            assert strip(by_spec) == strip(by_letter), level
+
+    def test_custom_pass_stack(self):
+        from repro.kernels.ir import apply_passes, spec_for_level
+
+        spec = apply_passes(spec_for_level("A"), ("predication",))
+        src = generate_kernel(spec, cfg())
+        assert "AOS_IDX" in src                       # still level-A layout
+        assert "matched * ONE_MINUS_ALPHA" in src     # predicated update
+        assert "bubble sort" in src                   # sort not eliminated
+        assert balanced(src)
+
+    def test_register_tiling_has_no_cuda_template(self):
+        from repro.kernels.ir import apply_passes, spec_for_level
+
+        spec = apply_passes(spec_for_level("F"), ("register-tiling",))
+        with pytest.raises(ConfigError):
+            generate_kernel(spec, cfg())
+
+
 class TestParameterPropagation:
     def test_dtype_double(self):
         from repro.cudagen.generator import _header

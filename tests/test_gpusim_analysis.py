@@ -78,8 +78,10 @@ class TestRenderTimeline:
     def test_overlap_shorter_span(self):
         serial = render_timeline(self._pipeline(False))
         overlap = render_timeline(self._pipeline(True))
-        span_of = lambda text: float(
-            [l for l in text.splitlines() if l.startswith("span")][0]
-            .split()[1]
-        )
+        def span_of(text):
+            return float(
+                [line for line in text.splitlines()
+                 if line.startswith("span")][0].split()[1]
+            )
+
         assert span_of(overlap) < span_of(serial)

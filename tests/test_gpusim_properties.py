@@ -3,7 +3,6 @@ branch conditions, the DSL must compute exactly what NumPy computes,
 and its counters must respect structural invariants."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays

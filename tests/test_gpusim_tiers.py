@@ -72,7 +72,7 @@ class TestCrossTierExactness:
         for f in frames:
             pipe.apply(f)
         launches = pipe.engine.launches
-        assert [l.profiled for l in launches] == [True, False, False]
+        assert [ln.profiled for ln in launches] == [True, False, False]
         for launch in launches[1:]:
             assert launch.counters == KernelCounters(
                 transaction_bytes=launch.counters.transaction_bytes
@@ -220,7 +220,7 @@ class TestDeterministicRegisterRelease:
         pipe = _pipeline("F")
         for f in _frames(3):
             pipe.apply(f)
-        regs = [l.estimated_registers for l in pipe.engine.launches]
+        regs = [ln.estimated_registers for ln in pipe.engine.launches]
         assert len(set(regs)) == 1
 
 

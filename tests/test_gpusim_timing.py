@@ -5,7 +5,7 @@ import pytest
 from repro.gpusim.calibration import DEFAULT_CALIBRATION
 from repro.gpusim.counters import KernelCounters
 from repro.gpusim.device import TESLA_C2075
-from repro.gpusim.occupancy import OccupancyResult, occupancy
+from repro.gpusim.occupancy import occupancy
 from repro.gpusim.timing import TimingModel
 
 

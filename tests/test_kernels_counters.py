@@ -1,7 +1,6 @@
 """Architectural counter relationships between the kernel levels —
 the mechanisms behind the paper's figures, at test scale."""
 
-import numpy as np
 import pytest
 
 from repro.config import RunConfig
@@ -59,11 +58,11 @@ class TestBranches:
         )
 
     def test_divergence_falls_monotonically_c_d_e(self, reports):
-        div = [reports[l].counters.branches_divergent for l in "CDE"]
+        div = [reports[lv].counters.branches_divergent for lv in "CDE"]
         assert div[0] > div[1] > div[2]
 
     def test_branch_efficiency_rises(self, reports):
-        beff = [reports[l].branch_efficiency for l in "CDEF"]
+        beff = [reports[lv].branch_efficiency for lv in "CDEF"]
         assert beff[0] < beff[1] < beff[2]
         assert beff[2] == pytest.approx(beff[3])
 
@@ -117,7 +116,7 @@ class TestTimeOrdering:
     def test_kernel_times_improve_along_levels(self, reports):
         """Per-frame kernel time: A is far slower; the algorithm-
         specific levels beat the sorted kernel."""
-        kt = {l: reports[l].kernel_time_per_frame for l in "ABCDEFG"}
+        kt = {lv: reports[lv].kernel_time_per_frame for lv in "ABCDEFG"}
         # At this tiny grid the fixed launch overhead compresses the
         # ratio; at paper scale A/B is ~4x (see benchmarks/).
         assert kt["A"] > 2 * kt["B"]

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.config import MoGParams
 from repro.errors import ConfigError
 from repro.gpusim import SimtEngine
 from repro.layout import AoSLayout, SoALayout

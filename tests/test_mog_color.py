@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.config import MoGParams
 from repro.errors import ConfigError, VideoError
 from repro.mog import MoGVectorized
 from repro.mog.color import ColorMoGVectorized

@@ -4,7 +4,6 @@ relationships."""
 import numpy as np
 import pytest
 
-from repro.config import MoGParams
 from repro.errors import ConfigError
 from repro.mog import MoGReference, MoGVectorized
 from repro.video.scenes import evaluation_scene

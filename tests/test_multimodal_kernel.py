@@ -54,12 +54,12 @@ class TestSimtCosts:
         return gpu
 
     def _frame_launches(self, gpu):
-        return [l for l in gpu.engine.launches if l.name.startswith("mmm[")]
+        return [ln for ln in gpu.engine.launches if ln.name.startswith("mmm[")]
 
     def test_scan_branches_divergent(self, converged_gpu):
         launches = self._frame_launches(converged_gpu)[10:]
-        total = sum(l.counters.branches_total for l in launches)
-        divergent = sum(l.counters.branches_divergent for l in launches)
+        total = sum(ln.counters.branches_total for ln in launches)
+        divergent = sum(ln.counters.branches_divergent for ln in launches)
         beff = 1 - divergent / total
         # Far below the fixed-K predicated kernel's ~99.5%.
         assert beff < 0.95
@@ -67,7 +67,7 @@ class TestSimtCosts:
     def test_masked_loads_hurt_coalescing(self, converged_gpu):
         launches = self._frame_launches(converged_gpu)[10:]
         eff = np.mean(
-            [l.counters.memory_access_efficiency for l in launches]
+            [ln.counters.memory_access_efficiency for ln in launches]
         )
         # Lanes drop out of the scan at different cells, so warp
         # requests are partially filled.
@@ -76,7 +76,7 @@ class TestSimtCosts:
     def test_decay_kernel_is_uniform(self, frames):
         gpu = MultimodalMeanGpu(SHAPE, MultimodalMeanParams(decay_period=6))
         gpu.apply_sequence(frames)
-        decays = [l for l in gpu.engine.launches if l.name == "mmm_decay"]
+        decays = [ln for ln in gpu.engine.launches if ln.name == "mmm_decay"]
         assert decays, "decay kernel never ran"
         for launch in decays:
             assert launch.counters.branches_divergent == 0

@@ -14,7 +14,7 @@ def ctx():
 
 
 def test_speedup_ordering(ctx):
-    speedups = {l: ctx.run(l).speedup for l in "ABCDEF"}
+    speedups = {lv: ctx.run(lv).speedup for lv in "ABCDEF"}
     assert speedups["A"] < speedups["B"] < speedups["C"] < speedups["D"]
     assert speedups["E"] < speedups["F"]
     assert speedups["F"] > 2 * speedups["B"]
@@ -43,7 +43,7 @@ def test_memory_efficiency_shape(ctx):
 
 
 def test_branch_efficiency_shape(ctx):
-    beff = [ctx.run(l).metrics()["branch_efficiency"] for l in "CDE"]
+    beff = [ctx.run(lv).metrics()["branch_efficiency"] for lv in "CDE"]
     assert beff[0] < beff[1] < beff[2]
 
 

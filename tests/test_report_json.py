@@ -2,7 +2,6 @@
 
 import json
 
-import numpy as np
 import pytest
 
 from repro import BackgroundSubtractor
@@ -29,7 +28,7 @@ class TestToDict:
         assert 0 <= payload["metrics"]["branch_efficiency"] <= 1
 
     def test_launch_rows_named(self, report):
-        names = [l["name"] for l in report.to_dict()["launches"]]
+        names = [ln["name"] for ln in report.to_dict()["launches"]]
         assert all(name.startswith("mog_nosort") for name in names)
 
     def test_save_json(self, report, tmp_path):

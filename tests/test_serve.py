@@ -17,7 +17,7 @@ import time
 import numpy as np
 import pytest
 
-from repro.config import FaultPolicy, MoGParams, ServeConfig, TelemetryConfig
+from repro.config import FaultPolicy, ServeConfig, TelemetryConfig
 from repro.core.stream import StreamResult, SurveillancePipeline
 from repro.errors import BackpressureError, ConfigError, WorkerError
 from repro.mog import MoGVectorized

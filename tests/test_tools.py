@@ -3,7 +3,6 @@
 import sys
 from pathlib import Path
 
-import pytest
 
 TOOLS = Path(__file__).parent.parent / "tools"
 sys.path.insert(0, str(TOOLS))
