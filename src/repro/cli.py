@@ -115,6 +115,31 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="print per-stage telemetry after the run")
     tr.add_argument("--metrics-json", default=None,
                     help="write the telemetry snapshot as JSON")
+    tr.add_argument("--integrity", choices=("off", "detect", "repair"),
+                    default="off",
+                    help="mixture-state integrity guard: detect raises "
+                    "(or degrades under --on-error degrade), repair "
+                    "re-initialises corrupted pixels from the frame")
+    tr.add_argument("--checkpoint-dir", default=None,
+                    help="directory for durable pipeline checkpoints")
+    tr.add_argument("--checkpoint-every", type=int, default=25, metavar="N",
+                    help="checkpoint every N frames when --checkpoint-dir "
+                    "is set (default 25)")
+    tr.add_argument("--resume", action="store_true",
+                    help="resume from the checkpoint in --checkpoint-dir "
+                    "if one exists")
+    tr.add_argument("--inject-target", choices=("state", "frame"),
+                    default=None,
+                    help="fault injection (chaos testing): corrupt the "
+                    "mixture state or the input frames")
+    tr.add_argument("--inject-frames", default="",
+                    help="comma-separated frame indices to inject at")
+    tr.add_argument("--inject-flips", type=int, default=8,
+                    help="bit-flips per injection (default 8)")
+    tr.add_argument("--inject-seed", type=int, default=0,
+                    help="seed of the injector's deterministic RNG")
+    tr.add_argument("--inject-ecc", choices=("off", "on"), default="off",
+                    help="simulated ECC: on corrects single-bit flips")
 
     sv = sub.add_parser(
         "serve",
@@ -153,6 +178,18 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="print the aggregated telemetry after the run")
     sv.add_argument("--metrics-json", default=None,
                     help="write the aggregated telemetry snapshot as JSON")
+    sv.add_argument("--integrity", choices=("off", "detect", "repair"),
+                    default="off",
+                    help="per-stream mixture-state integrity guard")
+    sv.add_argument("--checkpoint-dir", default=None,
+                    help="directory for per-stream durable checkpoints "
+                    "(<dir>/<stream>.ckpt)")
+    sv.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                    help="checkpoint each stream every N frames "
+                    "(0 = off; requires --checkpoint-dir)")
+    sv.add_argument("--resume", action="store_true",
+                    help="resume streams from their checkpoints in "
+                    "--checkpoint-dir when present")
 
     cu = sub.add_parser(
         "export-cuda",
@@ -266,11 +303,31 @@ def _cmd_evaluate(args) -> int:
 
 
 def _cmd_track(args) -> int:
+    from pathlib import Path
+
+    from .config import FaultPlan, IntegrityPolicy
     from .core.stream import SurveillancePipeline
     from .post.morphology import MaskCleaner
     from .track.tracker import TrackerParams
+    from .telemetry import MetricsRegistry
 
     source, _, _ = video_io.load_sequence(args.input)
+    telemetry = MetricsRegistry()
+    injector = None
+    if args.inject_target is not None:
+        from .faults import FaultInjector
+
+        frames = tuple(
+            int(f) for f in args.inject_frames.split(",") if f.strip()
+        )
+        injector = FaultInjector(
+            FaultPlan(
+                target=args.inject_target, frames=frames,
+                flips=args.inject_flips, seed=args.inject_seed,
+                ecc=args.inject_ecc,
+            ),
+            telemetry=telemetry,
+        )
     pipe = SurveillancePipeline(
         source.shape,
         MoGParams(learning_rate=args.learning_rate),
@@ -281,12 +338,33 @@ def _cmd_track(args) -> int:
         tracker_params=TrackerParams(min_area=args.min_area),
         warmup_frames=args.warmup,
         on_error=args.on_error,
+        telemetry=telemetry,
         profile_every=args.profile_every,
+        integrity=IntegrityPolicy(mode=args.integrity),
+        fault_injector=injector,
     )
+    ckpt_path = None
+    if args.checkpoint_dir is not None:
+        ckpt_dir = Path(args.checkpoint_dir)
+        ckpt_dir.mkdir(parents=True, exist_ok=True)
+        ckpt_path = ckpt_dir / f"{Path(args.input).stem}.ckpt"
+    elif args.resume:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    start = 0
+    if args.resume and ckpt_path is not None and ckpt_path.exists():
+        start = pipe.restore_checkpoint(ckpt_path) + 1
+        print(f"resumed from {ckpt_path} at frame {start}")
     degraded = 0
-    for t in range(source.num_frames):
+    for t in range(start, source.num_frames):
         if pipe.step(source.frame(t)).degraded:
             degraded += 1
+        if (
+            ckpt_path is not None
+            and args.checkpoint_every > 0
+            and (pipe.frame_index + 1) % args.checkpoint_every == 0
+        ):
+            pipe.save_checkpoint(ckpt_path)
     print(pipe.summary())
     if degraded:
         print(f"({degraded} degraded frames served the last good mask)")
@@ -312,8 +390,13 @@ def _cmd_serve(args) -> int:
     import time
     from pathlib import Path
 
-    from .config import FaultPolicy, ServeConfig
+    from .config import FaultPolicy, IntegrityPolicy, ServeConfig
     from .serve import StreamServer
+
+    if (args.checkpoint_every or args.resume) and not args.checkpoint_dir:
+        print("error: --checkpoint-every/--resume require --checkpoint-dir",
+              file=sys.stderr)
+        return 2
 
     sequences: dict[str, list[np.ndarray]] = {}
     if args.inputs:
@@ -356,9 +439,13 @@ def _cmd_serve(args) -> int:
             queue_capacity=args.queue_capacity,
             backpressure=args.backpressure,
             batch_frames=args.batch_frames,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
         ),
         fault_policy=FaultPolicy(stage_error=args.on_error),
         warmup_frames=args.warmup,
+        integrity=IntegrityPolicy(mode=args.integrity),
     )
     try:
         for sid in sequences:

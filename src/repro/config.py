@@ -303,6 +303,195 @@ class FaultPolicy:
         return dataclasses.replace(self, **kwargs)
 
 
+#: Layers a :class:`FaultPlan` can corrupt.
+FAULT_TARGETS = ("state", "frame", "dma", "serve")
+#: Corruption modes. ``bitflip``/``stuck`` apply to memory targets
+#: (``state``/``frame``/``dma``); ``stall``/``raise`` to ``serve``.
+FAULT_MODES = ("bitflip", "stuck", "stall", "raise")
+#: Simulated ECC modes (the C2075 ships with ECC; the paper measures
+#: with it enabled).
+ECC_MODES = ("off", "on")
+
+#: Modes accepted by a memory target and by the serve target.
+_MEMORY_FAULT_MODES = ("bitflip", "stuck")
+_SERVE_FAULT_MODES = ("stall", "raise")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of injected soft errors.
+
+    Interpreted by :class:`repro.faults.FaultInjector`. Every random
+    choice (which element, which bit) comes from a generator seeded with
+    ``seed`` via :func:`repro.utils.rng.rng_from_seed`, so a plan
+    replays identically — the property every chaos test leans on.
+
+    Attributes
+    ----------
+    target:
+        Layer to corrupt:
+
+        * ``"state"`` — mixture state: the live
+          :class:`~repro.mog.params.MixtureState` arrays on the CPU
+          backend, or the simulated GPU's float global-memory buffers
+          (the Gaussian parameter buffer) on the sim backend;
+        * ``"frame"`` — the input frame at the video layer (the frame
+          is corrupted on a copy; the caller's array is untouched);
+        * ``"dma"`` — the flattened frame bytes of a simulated
+          host->device transfer, after validation but before the
+          kernel sees them;
+        * ``"serve"`` — the serving layer: stall or raise inside a
+          pipeline step (see :class:`repro.faults.FaultyPipeline`).
+    mode:
+        ``"bitflip"`` (flip one random bit per fault) or ``"stuck"``
+        (overwrite the element with ``stuck_value``) for memory
+        targets; ``"stall"`` (sleep ``stall_s``) or ``"raise"`` (raise
+        :class:`~repro.errors.InjectedFault`) for the serve target.
+    frames:
+        Frame indices at which the plan fires (0-based; for sim
+        ``state`` injection these are kernel-launch indices, which
+        coincide with frame indices for the non-grouped levels).
+    flips:
+        Faults injected per firing (memory targets).
+    stuck_value:
+        Value written by ``"stuck"`` mode.
+    stall_s:
+        Sleep duration of a serve-layer ``"stall"``.
+    buffer:
+        Optional substring filter restricting sim-memory injection to
+        matching buffer names (e.g. ``"gaussians"``); ``None`` targets
+        every float (state-carrying) buffer.
+    ecc:
+        ``"off"`` — faults land; ``"on"`` — single-bit flips are
+        corrected (counted in ``faults.corrected``, memory untouched),
+        while ``"stuck"`` elements differ in many bits, which SECDED
+        detects but cannot correct: the injector raises
+        :class:`~repro.errors.IntegrityError`, the simulated analogue
+        of a double-bit-error machine check.
+    seed:
+        Seed for the injector's deterministic RNG.
+    """
+
+    target: str = "state"
+    mode: str = "bitflip"
+    frames: tuple[int, ...] = ()
+    flips: int = 1
+    stuck_value: float = 0.0
+    stall_s: float = 0.05
+    buffer: str | None = None
+    ecc: str = "off"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.target not in FAULT_TARGETS:
+            raise ConfigError(
+                f"target must be one of {FAULT_TARGETS}, got {self.target!r}"
+            )
+        if self.mode not in FAULT_MODES:
+            raise ConfigError(
+                f"mode must be one of {FAULT_MODES}, got {self.mode!r}"
+            )
+        allowed = (
+            _SERVE_FAULT_MODES if self.target == "serve"
+            else _MEMORY_FAULT_MODES
+        )
+        if self.mode not in allowed:
+            raise ConfigError(
+                f"mode {self.mode!r} is not valid for target "
+                f"{self.target!r}; expected one of {allowed}"
+            )
+        if self.ecc not in ECC_MODES:
+            raise ConfigError(
+                f"ecc must be one of {ECC_MODES}, got {self.ecc!r}"
+            )
+        frames = tuple(int(f) for f in self.frames)
+        if any(f < 0 for f in frames):
+            raise ConfigError(f"frames must be non-negative, got {frames}")
+        object.__setattr__(self, "frames", frames)
+        if self.flips < 1:
+            raise ConfigError(f"flips must be >= 1, got {self.flips}")
+        if not self.stall_s > 0.0:
+            raise ConfigError(f"stall_s must be positive, got {self.stall_s}")
+
+    def replace(self, **kwargs) -> "FaultPlan":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **kwargs)
+
+
+#: Integrity-guard modes for the mixture-state validator.
+INTEGRITY_MODES = ("off", "detect", "repair")
+
+
+@dataclass(frozen=True)
+class IntegrityPolicy:
+    """How the mixture-state integrity guard reacts to corruption.
+
+    The guard (:class:`repro.faults.IntegrityGuard`) validates the MoG
+    invariants that hold under the pinned update equations: all fields
+    finite; every weight in ``[0, 1]`` and every pixel's weight sum in
+    ``(0, K]`` (this implementation follows the paper and does not
+    renormalise, so the sum is bounded by the component count rather
+    than pinned to 1); every standard deviation at or above the clamp
+    floor and below ``sd_cap``; every mean within ``mean_cap``. A soft
+    error in an exponent bit violates at least one of these.
+
+    Attributes
+    ----------
+    mode:
+        ``"off"`` — no checking; ``"detect"`` — a violation raises
+        :class:`~repro.errors.IntegrityError` (which a pipeline running
+        ``on_error="degrade"`` absorbs as a degraded frame);
+        ``"repair"`` — corrupted pixels' Gaussians are re-initialised
+        from the current frame (the per-pixel analogue of
+        :meth:`~repro.mog.params.MixtureState.from_first_frame`), so
+        only the flagged pixels lose history and their masks re-converge
+        within the model's warm-up horizon.
+    check_every:
+        Validate every Nth frame (1 = every frame). Corruption landing
+        between checks is caught at the next boundary.
+    weight_tol:
+        Absolute tolerance on the weight-range and weight-sum bounds.
+    sd_cap:
+        Upper plausibility bound on standard deviations (the update
+        equations keep sd near the data scale; an exponent-bit flip
+        lands decades above it).
+    mean_cap:
+        Upper plausibility bound on ``|mean|`` (init spreads unclaimed
+        components down to ``-1000*(K-1)``; keep the cap well above).
+    """
+
+    mode: str = "detect"
+    check_every: int = 1
+    weight_tol: float = 1e-5
+    sd_cap: float = 1e6
+    mean_cap: float = 1e6
+
+    def __post_init__(self) -> None:
+        if self.mode not in INTEGRITY_MODES:
+            raise ConfigError(
+                f"mode must be one of {INTEGRITY_MODES}, got {self.mode!r}"
+            )
+        if self.check_every < 1:
+            raise ConfigError(
+                f"check_every must be >= 1, got {self.check_every}"
+            )
+        if not self.weight_tol > 0.0:
+            raise ConfigError(
+                f"weight_tol must be positive, got {self.weight_tol}"
+            )
+        if not self.sd_cap > 0.0 or not self.mean_cap > 0.0:
+            raise ConfigError("sd_cap and mean_cap must be positive")
+
+    @property
+    def active(self) -> bool:
+        """Whether any checking happens at all."""
+        return self.mode != "off"
+
+    def replace(self, **kwargs) -> "IntegrityPolicy":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **kwargs)
+
+
 #: Backpressure policies for a stream's bounded input queue.
 BACKPRESSURE_POLICIES = ("block", "drop_oldest", "reject")
 
@@ -342,6 +531,19 @@ class ServeConfig:
         Upper bound on a ``"block"`` submit.
     drain_timeout_s:
         Default upper bound on :meth:`~repro.serve.StreamServer.drain`.
+    checkpoint_every:
+        Write a durable checkpoint of each stream's pipeline every N
+        completed frames (0 = disabled). Requires ``checkpoint_dir``.
+        Checkpoints are atomic write-rename files named
+        ``<stream_id>.ckpt``.
+    checkpoint_dir:
+        Directory holding the per-stream checkpoint files (created on
+        demand).
+    resume:
+        When a stream is registered and ``<checkpoint_dir>/<id>.ckpt``
+        exists, restore the pipeline from it before serving; a corrupt
+        or mismatched checkpoint raises
+        :class:`~repro.errors.CheckpointError` at ``add_stream``.
     """
 
     workers: int = 2
@@ -351,6 +553,9 @@ class ServeConfig:
     batch_frames: int = 1
     submit_timeout_s: float = 30.0
     drain_timeout_s: float = 60.0
+    checkpoint_every: int = 0
+    checkpoint_dir: str | None = None
+    resume: bool = False
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -376,6 +581,14 @@ class ServeConfig:
             value = getattr(self, name)
             if not value > 0.0:
                 raise ConfigError(f"{name} must be positive, got {value}")
+        if self.checkpoint_every < 0:
+            raise ConfigError(
+                f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
+            )
+        if (self.checkpoint_every or self.resume) and not self.checkpoint_dir:
+            raise ConfigError(
+                "checkpoint_every/resume require checkpoint_dir to be set"
+            )
 
     def replace(self, **kwargs) -> "ServeConfig":
         """Return a copy with the given fields replaced."""

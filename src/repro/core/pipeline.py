@@ -59,6 +59,8 @@ class HostPipeline:
         calibration: Calibration = DEFAULT_CALIBRATION,
         registers: str | int = "pinned",
         telemetry: MetricsRegistry | None = None,
+        integrity=None,
+        fault_injector=None,
     ) -> None:
         self.shape = tuple(shape)
         self.params = params or MoGParams()
@@ -73,8 +75,17 @@ class HostPipeline:
             )
         self.device = device
         self.engine = SimtEngine(
-            device, profile_every=self.run_config.profile_every
+            device, profile_every=self.run_config.profile_every,
+            fault_injector=fault_injector,
         )
+        self._fault_injector = fault_injector
+        self._guard = None
+        if integrity is not None and integrity.active:
+            from ..faults.integrity import IntegrityGuard
+
+            self._guard = IntegrityGuard(
+                integrity, self.params, telemetry=telemetry
+            )
         self.profiler = Profiler(device, calibration)
         self.registers_mode = registers
         self.telemetry = telemetry or MetricsRegistry(
@@ -125,6 +136,11 @@ class HostPipeline:
         self._masks: list[np.ndarray] = []
         self._launch_reports = []
         self.frames_processed = 0
+        # Frames accounted for by a restored checkpoint. Kept separate
+        # from frames_processed so report()'s per-launch accounting
+        # (which only knows about this instance's launches) stays
+        # consistent after a resume.
+        self.frames_resumed = 0
         # Per-launch kernel times driving the DMA schedule; functional
         # launches carry forward the last profiled launch's time.
         self._kernel_times: list[float] = []
@@ -168,6 +184,23 @@ class HostPipeline:
             self.layout.upload(state)
             self._initialised = True
 
+    def _integrity_check(self, flat: np.ndarray) -> None:
+        """Validate (and in repair mode heal) the device-resident state.
+
+        Runs before the launch, on a downloaded copy; a repaired state
+        is uploaded back, so the kernel only ever sees healed
+        parameters. Detect mode raises out of the guard."""
+        if self._guard is None or not self._initialised:
+            return
+        state = self.layout.download()
+        report = self._guard.check(
+            state,
+            flat.astype(self.run_config.np_dtype),
+            self.frames_processed,
+        )
+        if report is not None and not report.clean:
+            self.layout.upload(state)
+
     def _report_for(self, launch) -> None:
         regs = (
             launch.estimated_registers
@@ -208,6 +241,11 @@ class HostPipeline:
             )
         flat = self._check_frame(frame)
         self._ensure_state(flat)
+        if self._fault_injector is not None:
+            # `flat` is a private copy (astype in _check_frame), so the
+            # simulated DMA corruption never touches the caller's frame.
+            flat = self._fault_injector.on_dma(flat, self.frames_processed)
+        self._integrity_check(flat)
         self._frame_bufs[0].data[:] = flat
         launch = self.engine.launch(
             self._kernel,
@@ -237,6 +275,12 @@ class HostPipeline:
             )
         flats = [self._check_frame(f) for f in frames]
         self._ensure_state(flats[0])
+        if self._fault_injector is not None:
+            flats = [
+                self._fault_injector.on_dma(flat, self.frames_processed + i)
+                for i, flat in enumerate(flats)
+            ]
+        self._integrity_check(flats[0])
         for buf, flat in zip(self._frame_bufs, flats):
             buf.data[:] = flat
         kernel = self.level.kernel_factory(
@@ -338,3 +382,31 @@ class HostPipeline:
         if not self._initialised:
             raise ConfigError("no frame processed yet")
         return self.layout.download()
+
+    # -- checkpoint / restore ------------------------------------------
+    def state_snapshot(self):
+        """Snapshot ``(w, m, sd, frames)`` downloaded from simulated
+        device memory, or ``None`` before the first frame. ``frames``
+        includes frames accounted for by an earlier resume."""
+        if not self._initialised:
+            return None
+        st = self.layout.download()
+        return (st.w, st.m, st.sd, self.frames_resumed + self.frames_processed)
+
+    def restore_state(self, snapshot) -> None:
+        """Upload a :meth:`state_snapshot` into simulated device memory,
+        resuming exactly where it was taken. ``None`` resets to the
+        pre-first-frame state."""
+        if snapshot is None:
+            self._initialised = False
+            self.frames_resumed = 0
+            return
+        w, m, sd, frames = snapshot
+        state = MixtureState(
+            np.array(w, copy=True),
+            np.array(m, copy=True),
+            np.array(sd, copy=True),
+        ).astype(self.run_config.dtype)
+        self.layout.upload(state)  # validates (K, N) against the layout
+        self._initialised = True
+        self.frames_resumed = int(frames)

@@ -30,13 +30,14 @@ The pipeline is written to run unattended (the serving-path regime):
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..config import STAGE_ERROR_POLICIES, MoGParams, RunConfig, TelemetryConfig
-from ..errors import ConfigError
+from ..errors import CheckpointError, ConfigError
 from ..post.morphology import MaskCleaner
 from ..telemetry import MetricsRegistry
 from ..track.tracker import CentroidTracker, Track, TrackerParams
@@ -86,6 +87,16 @@ class SurveillancePipeline:
         ``sim.frames_functional`` land in the telemetry snapshot).
         ``None`` keeps the run config's value. Ignored by the CPU
         backend.
+    integrity:
+        Optional :class:`~repro.config.IntegrityPolicy` guarding the
+        mixture state each frame. In ``"detect"`` mode a violation
+        raises :class:`~repro.errors.IntegrityError` — which under
+        ``on_error="degrade"`` serves the last good mask like any other
+        stage failure; in ``"repair"`` mode corrupted pixels are
+        re-initialised from the current frame and the stream continues.
+    fault_injector:
+        Optional :class:`repro.faults.FaultInjector` corrupting frames
+        / model state / simulated DMA per its plan (testing aid).
     """
 
     def __init__(
@@ -101,6 +112,8 @@ class SurveillancePipeline:
         on_error: str = "raise",
         telemetry: MetricsRegistry | None = None,
         profile_every: int | None = None,
+        integrity=None,
+        fault_injector=None,
     ) -> None:
         if warmup_frames < 0:
             raise ConfigError(
@@ -115,8 +128,10 @@ class SurveillancePipeline:
         self.subtractor = BackgroundSubtractor(
             shape, params, level=level, backend=backend,
             run_config=run_config, profile_every=profile_every,
-            telemetry=self.telemetry if backend == "sim" else None,
+            telemetry=self.telemetry,
+            integrity=integrity, fault_injector=fault_injector,
         )
+        self._fault_injector = fault_injector
         self.cleaner = cleaner or MaskCleaner(
             open_radius=0, close_radius=2, min_area=6
         )
@@ -173,9 +188,22 @@ class SurveillancePipeline:
         unconverged mask would spawn phantom tracks), but masks are
         still produced and returned.
         """
-        frame = self._check_frame(frame)
         tel = self.telemetry
         index = self.frame_index + 1
+        try:
+            frame = self._check_frame(frame)
+        except Exception as exc:
+            # A malformed frame is a stage failure like any other: under
+            # "degrade" the stream serves the last good mask instead of
+            # dying mid-sequence (an npz file with one NaN frame must
+            # not take the whole stream down).
+            tel.counter("stream.frames_invalid").inc()
+            tel.counter("stream.stage_errors").inc()
+            if self.on_error == "degrade":
+                return self._degraded_result(index, exc)
+            raise
+        if self._fault_injector is not None:
+            frame = self._fault_injector.on_frame(frame, index)
         t0 = time.perf_counter()
         try:
             with tel.time("stream.subtract_s"):
@@ -217,6 +245,88 @@ class SurveillancePipeline:
         if not results:
             raise ConfigError("empty frame sequence")
         return results
+
+    # -- durable checkpoints -------------------------------------------
+    def save_checkpoint(self, path) -> None:
+        """Write a durable, crash-safe checkpoint of the pipeline to
+        ``path`` (atomic rename, CRC32, schema-versioned — see
+        :mod:`repro.faults.checkpoint`).
+
+        Captures the mixture state, the frame index and the last good
+        mask; restoring into an identically configured pipeline resumes
+        bit-identically. Raises :class:`~repro.errors.CheckpointError`
+        before the first frame (there is no state to save yet).
+        """
+        from ..faults.checkpoint import write_checkpoint
+
+        snapshot = self.subtractor.state_snapshot()
+        if snapshot is None:
+            raise CheckpointError(
+                "cannot checkpoint before the first frame was processed"
+            )
+        w, m, sd, frames_processed = snapshot
+        arrays = {"w": w, "m": m, "sd": sd}
+        if self._last_good_mask is not None:
+            arrays["last_good_mask"] = self._last_good_mask
+        meta = {
+            "kind": "surveillance_pipeline",
+            "shape": list(self.subtractor.shape),
+            "level": self.subtractor.spec.letter,
+            "backend": self.subtractor.backend,
+            "params": dataclasses.asdict(self.subtractor.params),
+            "frame_index": self.frame_index,
+            "frames_processed": int(frames_processed),
+            "warmup_frames": self.warmup_frames,
+        }
+        with self.telemetry.time("checkpoint.write_s"):
+            write_checkpoint(path, arrays, meta)
+        self.telemetry.counter("checkpoint.written").inc()
+
+    def restore_checkpoint(self, path) -> int:
+        """Restore a :meth:`save_checkpoint` file; returns the restored
+        frame index (the last frame the checkpointed pipeline served).
+
+        The checkpoint's configuration must match this pipeline's
+        (shape, level, MoG parameters) — a mismatch raises
+        :class:`~repro.errors.CheckpointError` rather than silently
+        resuming a different model.
+        """
+        from ..faults.checkpoint import read_checkpoint
+
+        arrays, meta = read_checkpoint(path)
+        if meta.get("kind") != "surveillance_pipeline":
+            raise CheckpointError(
+                f"{path} is not a surveillance-pipeline checkpoint "
+                f"(kind={meta.get('kind')!r})"
+            )
+        expected = {
+            "shape": list(self.subtractor.shape),
+            "level": self.subtractor.spec.letter,
+            "params": dataclasses.asdict(self.subtractor.params),
+        }
+        for key, want in expected.items():
+            if meta.get(key) != want:
+                raise CheckpointError(
+                    f"checkpoint {key} mismatch: file has "
+                    f"{meta.get(key)!r}, pipeline is configured with "
+                    f"{want!r}"
+                )
+        for name in ("w", "m", "sd"):
+            if name not in arrays:
+                raise CheckpointError(
+                    f"checkpoint {path} is missing state array {name!r}"
+                )
+        self.subtractor.restore_state(
+            (arrays["w"], arrays["m"], arrays["sd"],
+             meta["frames_processed"])
+        )
+        self.frame_index = int(meta["frame_index"])
+        mask = arrays.get("last_good_mask")
+        self._last_good_mask = (
+            mask.astype(bool) if mask is not None else None
+        )
+        self.telemetry.counter("checkpoint.restored").inc()
+        return self.frame_index
 
     def summary(self) -> str:
         return self.tracker.summary()

@@ -56,7 +56,16 @@ class BackgroundSubtractor:
     telemetry:
         Optional :class:`~repro.telemetry.MetricsRegistry` receiving
         ``sim.frames_profiled`` / ``sim.frames_functional`` counters
-        and the ``sim.profile_every`` gauge.
+        and the ``sim.profile_every`` gauge (and, when integrity or
+        fault injection is active, their event counters).
+    integrity:
+        Optional :class:`~repro.config.IntegrityPolicy`; when active,
+        mixture-state invariants are checked each frame before
+        classification (see :class:`repro.faults.IntegrityGuard`).
+    fault_injector:
+        Optional :class:`repro.faults.FaultInjector` threaded into the
+        backend (CPU model state / sim memory and DMA hooks). Testing
+        aid; ``None`` in production.
 
     Examples
     --------
@@ -78,6 +87,8 @@ class BackgroundSubtractor:
         registers: str | int = "pinned",
         profile_every: int | None = None,
         telemetry=None,
+        integrity=None,
+        fault_injector=None,
     ) -> None:
         if backend not in ("cpu", "sim"):
             raise ConfigError(f"backend must be 'cpu' or 'sim', got {backend!r}")
@@ -92,11 +103,13 @@ class BackgroundSubtractor:
             else self.spec
         )
         self.backend = backend
+        self._fault_injector = fault_injector
         if backend == "cpu":
             dtype = (run_config or RunConfig()).dtype if run_config else "double"
             self._impl = MoGVectorized(
                 self.shape, self.params,
                 variant=self.spec.mog_variant, dtype=dtype,
+                integrity=integrity, telemetry=telemetry,
             )
             self._pipeline = None
         else:
@@ -109,7 +122,8 @@ class BackgroundSubtractor:
                 self.shape, self.params, self.spec,
                 run_config=run_config, device=device,
                 calibration=calibration, registers=registers,
-                telemetry=telemetry,
+                telemetry=telemetry, integrity=integrity,
+                fault_injector=fault_injector,
             )
             self._impl = None
 
@@ -117,6 +131,10 @@ class BackgroundSubtractor:
     def apply(self, frame: np.ndarray) -> np.ndarray:
         """Process one frame; returns the boolean foreground mask."""
         if self._impl is not None:
+            if self._fault_injector is not None:
+                self._fault_injector.on_model_state(
+                    self._impl.state, self._impl.frames_processed
+                )
             return self._impl.apply(frame)
         return self._pipeline.apply(frame)
 
@@ -141,3 +159,21 @@ class BackgroundSubtractor:
         if self._impl is not None:
             return self._impl.background_image()
         return self._pipeline.background_image()
+
+    # -- checkpoint / restore ------------------------------------------
+    def state_snapshot(self):
+        """Uniform snapshot across backends: ``(w, m, sd, frames)`` or
+        ``None`` before the first frame. The CPU backend returns live
+        references (cheap); the sim backend downloads a copy from the
+        simulated device."""
+        if self._impl is not None:
+            return self._impl.state_snapshot()
+        return self._pipeline.state_snapshot()
+
+    def restore_state(self, snapshot) -> None:
+        """Restore a :meth:`state_snapshot` (either backend's); arrays
+        are always copied into the backend's own storage."""
+        if self._impl is not None:
+            self._impl.restore_state(snapshot)
+        else:
+            self._pipeline.restore_state(snapshot)

@@ -58,6 +58,44 @@ class BackpressureError(ReproError):
         self.stream_id = stream_id
 
 
+class IntegrityError(ReproError):
+    """Mixture-state integrity was violated: the validator found
+    non-finite fields, weights outside their provable bounds, or
+    variances outside the clamp range (a soft error reached the model),
+    or the simulated ECC hit an uncorrectable multi-bit memory error.
+
+    Attributes
+    ----------
+    frame_index:
+        Frame at which the violation was detected, or ``None``.
+    pixels:
+        Number of pixels flagged, or ``None``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        frame_index: int | None = None,
+        pixels: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.frame_index = frame_index
+        self.pixels = pixels
+
+
+class CheckpointError(ReproError):
+    """A durable checkpoint could not be written, or a checkpoint file
+    failed validation on read: bad magic, unsupported schema version,
+    truncation, CRC mismatch, or a configuration mismatch with the
+    model being restored."""
+
+
+class InjectedFault(ReproError):
+    """An error deliberately raised by the fault-injection harness
+    (:class:`repro.faults.FaultInjector` in serve-layer ``"raise"``
+    mode) — lets tests distinguish injected failures from real ones."""
+
+
 class WorkerError(ReproError):
     """A parallel stripe worker failed: its process died (e.g. was
     OOM-killed), it did not answer within the configured timeout, its

@@ -64,7 +64,10 @@ class SimtEngine:
     """
 
     def __init__(
-        self, device: DeviceSpec = TESLA_C2075, profile_every: int = 1
+        self,
+        device: DeviceSpec = TESLA_C2075,
+        profile_every: int = 1,
+        fault_injector=None,
     ) -> None:
         if profile_every < 1:
             raise LaunchError(
@@ -76,6 +79,11 @@ class SimtEngine:
         self.launches: list[LaunchResult] = []
         self.scratch_pool = ScratchPool()
         self._launch_index = 0
+        # Optional repro.faults.FaultInjector: fires against global
+        # memory right before a launch executes (soft errors land while
+        # the state sits in DRAM between kernels, which is where a
+        # long-running model spends almost all of its life).
+        self.fault_injector = fault_injector
 
     def _fresh_counters(self) -> KernelCounters:
         return KernelCounters(transaction_bytes=self.device.transaction_bytes)
@@ -113,6 +121,8 @@ class SimtEngine:
             )
         if profile is None:
             profile = self._launch_index % self.profile_every == 0
+        if self.fault_injector is not None:
+            self.fault_injector.on_launch(self.memory, self._launch_index)
         self._launch_index += 1
         num_blocks = -(-grid_threads // threads_per_block)
         ctx_class = KernelContext if profile else FunctionalContext

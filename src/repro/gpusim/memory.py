@@ -92,6 +92,11 @@ class GlobalMemory:
         except KeyError:
             raise MemoryModelError(f"buffer {name!r} not allocated") from None
 
+    def buffers(self) -> list[GlobalBuffer]:
+        """All live allocations, in allocation order — the enumeration
+        hook used by fault injection and debugging tools."""
+        return list(self._buffers.values())
+
     @property
     def bytes_allocated(self) -> int:
         return sum(b.nbytes for b in self._buffers.values())

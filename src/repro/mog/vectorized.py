@@ -48,6 +48,8 @@ class MoGVectorized:
         params: MoGParams | None = None,
         variant: str = "sorted",
         dtype: str | np.dtype = "double",
+        integrity=None,
+        telemetry=None,
     ) -> None:
         if variant not in VARIANTS:
             raise ConfigError(
@@ -61,18 +63,46 @@ class MoGVectorized:
         self.dtype = resolve_dtype(dtype)
         self.state: MixtureState | None = None
         self.frames_processed = 0
+        self._guard = None
+        if integrity is not None and integrity.active:
+            # Imported lazily: repro.mog.__init__ imports this module,
+            # and repro.faults.integrity imports repro.mog.params.
+            from ..faults.integrity import IntegrityGuard
+
+            self._guard = IntegrityGuard(
+                integrity, self.params, telemetry=telemetry
+            )
 
     @property
     def num_pixels(self) -> int:
         return self.shape[0] * self.shape[1]
 
     def _check_frame(self, frame: np.ndarray) -> np.ndarray:
+        """Validate and flatten a frame to the run dtype.
+
+        Accepted dtypes: any unsigned/signed integer or float kind
+        (``u``/``i``/``f``); typical sources produce ``uint8``. The
+        finiteness check runs *after* the cast to the run dtype, so a
+        finite ``float64`` value that overflows to ``inf`` in a
+        ``float32`` run is rejected too — non-finite values written
+        into the mixture state would persist for the pixel's lifetime.
+        """
         frame = np.asarray(frame)
         if frame.shape != self.shape:
             raise ConfigError(
                 f"frame shape {frame.shape} != configured {self.shape}"
             )
-        return frame.reshape(-1).astype(self.dtype)
+        if frame.dtype.kind not in "uif":
+            raise ConfigError(
+                f"frame dtype must be integer or float, got {frame.dtype}"
+            )
+        flat = frame.reshape(-1).astype(self.dtype)
+        if frame.dtype.kind == "f" and not np.isfinite(flat).all():
+            raise ConfigError(
+                f"frame contains non-finite values after cast to "
+                f"{self.dtype} (NaN/inf would poison the mixture state)"
+            )
+        return flat
 
     def apply(self, frame: np.ndarray) -> np.ndarray:
         """Process one frame; returns the boolean foreground mask."""
@@ -81,6 +111,11 @@ class MoGVectorized:
             self.state = MixtureState.from_first_frame(
                 frame, self.params, self.dtype
             )
+        elif self._guard is not None:
+            # Guard runs before classification: corruption that landed
+            # between frames is caught (and in repair mode healed)
+            # before it can influence this frame's mask.
+            self._guard.check(self.state, x, self.frames_processed)
         st = self.state
         dt = self.dtype.type
         alpha = dt(1.0 - self.params.learning_rate)
@@ -184,15 +219,20 @@ class MoGVectorized:
             self.frames_processed = 0
             return
         w, m, sd, frames_processed = snapshot
+        expected = (self.params.num_gaussians, self.num_pixels)
         for arr in (w, m, sd):
-            if np.asarray(arr).shape[-1] != self.num_pixels:
+            if np.asarray(arr).shape != expected:
                 raise ConfigError(
-                    f"snapshot has {np.asarray(arr).shape[-1]} pixels, "
-                    f"model expects {self.num_pixels}"
+                    f"snapshot array shape {np.asarray(arr).shape} does "
+                    f"not match model state shape {expected}"
                 )
+        # copy=True is load-bearing: a restored model must never alias
+        # the checkpoint's arrays — the checkpoint may be the *live*
+        # state of another model (state_snapshot hands out references),
+        # and a shared buffer would couple the two models' histories.
         self.state = MixtureState(
-            np.array(w, dtype=self.dtype),
-            np.array(m, dtype=self.dtype),
-            np.array(sd, dtype=self.dtype),
+            np.array(w, dtype=self.dtype, copy=True),
+            np.array(m, dtype=self.dtype, copy=True),
+            np.array(sd, dtype=self.dtype, copy=True),
         )
         self.frames_processed = int(frames_processed)

@@ -47,7 +47,10 @@ from ..mog.vectorized import VARIANTS, MoGVectorized
 from ..telemetry import MetricsRegistry
 
 
-def _worker_main(conn, shape, params, variant, dtype, snapshot, want_state):
+def _worker_main(
+    conn, shape, params, variant, dtype, snapshot, want_state,
+    integrity=None,
+):
     """Stripe worker loop: build the model, handshake, serve requests.
 
     Protocol (parent -> worker): ``("apply", stripe)`` or ``("stop",)``.
@@ -56,7 +59,10 @@ def _worker_main(conn, shape, params, variant, dtype, snapshot, want_state):
     ``("error", repr)`` per apply.
     """
     try:
-        mog = MoGVectorized(shape, params, variant=variant, dtype=dtype)
+        mog = MoGVectorized(
+            shape, params, variant=variant, dtype=dtype,
+            integrity=integrity,
+        )
         if snapshot is not None:
             mog.restore_state(snapshot)
     except BaseException as exc:  # surface *any* init failure to the probe
@@ -88,7 +94,8 @@ class _StripeWorker:
     """Parent-side handle supervising one stripe's worker process."""
 
     def __init__(self, ctx, index, bounds, shape, params, variant, dtype,
-                 policy: FaultPolicy, telemetry: MetricsRegistry) -> None:
+                 policy: FaultPolicy, telemetry: MetricsRegistry,
+                 integrity=None) -> None:
         self._ctx = ctx
         self.index = index
         self.bounds = bounds  # (lo, hi) rows of the full frame
@@ -96,6 +103,7 @@ class _StripeWorker:
         self._params = params
         self._variant = variant
         self._dtype = dtype
+        self._integrity = integrity
         self._policy = policy
         self._telemetry = telemetry
         self.pid: int | None = None
@@ -114,7 +122,7 @@ class _StripeWorker:
             target=_worker_main,
             args=(child, self._shape, self._params, self._variant,
                   self._dtype, self.last_state,
-                  self._policy.wants_checkpoint),
+                  self._policy.wants_checkpoint, self._integrity),
             daemon=True,
             name=f"repro-stripe-{self.index}",
         )
@@ -162,7 +170,8 @@ class _StripeWorker:
         self._telemetry.counter("parallel.serial_fallbacks").inc()
         mog = MoGVectorized(
             self._shape, self._params, variant=self._variant,
-            dtype=self._dtype,
+            dtype=self._dtype, integrity=self._integrity,
+            telemetry=self._telemetry,
         )
         mog.restore_state(self.last_state)
         self.fallback = mog
@@ -257,6 +266,10 @@ class ParallelMoG:
     telemetry:
         Optional shared :class:`~repro.telemetry.MetricsRegistry`; one
         is created if omitted. Exposed as :attr:`telemetry`.
+    integrity:
+        Optional :class:`~repro.config.IntegrityPolicy` applied inside
+        every stripe worker (and any serial fallback), so soft errors
+        in a worker's mixture state are detected/repaired per stripe.
 
     Notes
     -----
@@ -275,6 +288,7 @@ class ParallelMoG:
         dtype: str = "double",
         fault_policy: FaultPolicy | None = None,
         telemetry: MetricsRegistry | None = None,
+        integrity=None,
     ) -> None:
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
@@ -305,6 +319,7 @@ class ParallelMoG:
                 self._workers.append(_StripeWorker(
                     ctx, i, (lo, hi), (hi - lo, shape[1]), self.params,
                     variant, dtype, self.fault_policy, self.telemetry,
+                    integrity=integrity,
                 ))
         except BaseException:
             for w in self._workers:

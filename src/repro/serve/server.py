@@ -40,6 +40,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
+from pathlib import Path
 from typing import Callable, Iterable
 
 import numpy as np
@@ -110,6 +111,17 @@ class StreamServer:
         and every per-stream registry.
     warmup_frames:
         Forwarded to each pipeline.
+    integrity:
+        Optional :class:`~repro.config.IntegrityPolicy` forwarded to
+        every default-built pipeline (mixture-state guard per frame).
+
+    Durable checkpoints: when ``serve.checkpoint_every > 0`` each
+    stream's pipeline is checkpointed to
+    ``<serve.checkpoint_dir>/<stream_id>.ckpt`` every N frames (atomic
+    write — a crash mid-write leaves the previous checkpoint intact);
+    with ``serve.resume=True``, :meth:`add_stream` restores a stream
+    from its checkpoint file when one exists, resuming bit-identically
+    from the checkpoint frame.
 
     Use as a context manager, or call :meth:`close`.
     """
@@ -125,6 +137,7 @@ class StreamServer:
         fault_policy: FaultPolicy | None = None,
         telemetry: TelemetryConfig | None = None,
         warmup_frames: int = 15,
+        integrity=None,
     ) -> None:
         self.shape = tuple(shape)
         self.params = params
@@ -135,7 +148,12 @@ class StreamServer:
         self.fault_policy = fault_policy or FaultPolicy(stage_error="degrade")
         self.telemetry_config = telemetry or TelemetryConfig()
         self.warmup_frames = warmup_frames
+        self.integrity = integrity
         self.registry = MetricsRegistry(self.telemetry_config)
+        self._checkpoint_dir: Path | None = None
+        if self.serve_config.checkpoint_dir is not None:
+            self._checkpoint_dir = Path(self.serve_config.checkpoint_dir)
+            self._checkpoint_dir.mkdir(parents=True, exist_ok=True)
 
         self._lock = threading.Lock()
         self._work = threading.Condition(self._lock)   # frames queued
@@ -170,9 +188,15 @@ class StreamServer:
                 warmup_frames=self.warmup_frames,
                 on_error=self.fault_policy.stage_error,
                 telemetry=registry,
+                integrity=self.integrity,
             )
 
         return build
+
+    def _checkpoint_path(self, stream_id: str) -> Path | None:
+        if self._checkpoint_dir is None:
+            return None
+        return self._checkpoint_dir / f"{stream_id}.ckpt"
 
     def add_stream(
         self,
@@ -223,6 +247,13 @@ class StreamServer:
                 else self._default_factory(registry)
             )
             pipeline = factory()
+        if self.serve_config.resume:
+            path = self._checkpoint_path(stream_id)
+            if path is not None and path.exists():
+                # CheckpointError propagates: a corrupt/mismatched file
+                # must fail admission loudly, not resume a wrong model.
+                pipeline.restore_checkpoint(path)
+                self.registry.counter("server.checkpoints_restored").inc()
         with self._lock:
             if self._closed:
                 raise ConfigError("StreamServer is closed")
@@ -394,11 +425,32 @@ class StreamServer:
         self.registry.histogram("server.step_s").observe(
             time.perf_counter() - t0
         )
+        self._maybe_checkpoint(state, result)
         with self._lock:
             state.frames_done += 1
             if result is not None:
                 state.results.append(result)
             self.registry.counter("server.frames_total").inc()
+
+    def _maybe_checkpoint(self, state: _StreamState, result) -> None:
+        """Periodic durable checkpoint after a successful step. A
+        checkpoint failure is counted, never fatal: the stream keeps
+        serving from memory and the previous on-disk checkpoint (atomic
+        rename) stays valid."""
+        every = self.serve_config.checkpoint_every
+        if not every or result is None:
+            return
+        frame_index = getattr(state.pipeline, "frame_index", None)
+        if frame_index is None or (frame_index + 1) % every != 0:
+            return
+        path = self._checkpoint_path(state.stream_id)
+        if path is None:
+            return
+        try:
+            state.pipeline.save_checkpoint(path)
+            self.registry.counter("server.checkpoints_written").inc()
+        except Exception:
+            self.registry.counter("server.checkpoint_errors").inc()
 
     def _handle_stream_fault(
         self, state: _StreamState, frame: np.ndarray, exc: Exception,
@@ -504,6 +556,7 @@ class StreamServer:
             return [
                 {
                     "stream": s.stream_id,
+                    "frame_index": getattr(s.pipeline, "frame_index", None),
                     "queued": len(s.queue),
                     "frames_in": s.frames_in,
                     "frames_done": s.frames_done,

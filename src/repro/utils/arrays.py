@@ -22,6 +22,11 @@ def as_gray_frame(frame: np.ndarray) -> np.ndarray:
     if arr.dtype == np.uint8:
         return arr
     if np.issubdtype(arr.dtype, np.floating):
+        # NaN compares false against any bound, so the range check alone
+        # would let a NaN frame through and the uint8 cast would turn it
+        # into silent garbage pixels.
+        if not np.isfinite(arr).all():
+            raise VideoError("float frame contains non-finite values")
         if arr.min() < 0.0 or arr.max() > 255.0:
             raise VideoError(
                 "float frame values must lie in [0, 255], got "

@@ -89,6 +89,10 @@ def save_sequence(
     frames = np.asarray(frames)
     if frames.ndim != 3:
         raise VideoError(f"expected (T, H, W) frames, got shape {frames.shape}")
+    if frames.dtype.kind == "f" and not np.isfinite(frames).all():
+        # The uint8 cast below would silently turn NaN/inf into garbage
+        # pixels that only surface frames later, far from the cause.
+        raise VideoError("frame sequence contains non-finite values")
     payload: dict[str, np.ndarray] = {"frames": frames.astype(np.uint8)}
     if truth is not None:
         truth = np.asarray(truth)

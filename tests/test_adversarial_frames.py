@@ -1,0 +1,172 @@
+"""Adversarial input frames: the MoG invariants must survive every
+dtype and value range the public API accepts — and the frame validator
+must reject what would silently poison the state.
+
+Covers the numeric edge of the input space: infinities, float64 values
+that overflow the float32 run dtype, denormals, and full-range unsigned
+integers — across every vectorized variant and both precisions, plus
+every optimization level A-G on the simulated backend. The mixture
+integrity validator is the oracle: zero violations on every accepted
+input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import IntegrityPolicy, MoGParams, RunConfig
+from repro.core.subtractor import BackgroundSubtractor
+from repro.errors import ConfigError
+from repro.faults import find_corrupt_pixels
+from repro.kernels import LEVEL_PASSES
+from repro.mog import VARIANTS, MoGVectorized
+from repro.mog.params import MixtureState
+from repro.video.scenes import evaluation_scene
+
+SHAPE = (8, 24)
+POLICY = IntegrityPolicy(mode="detect")
+LEVELS = sorted(LEVEL_PASSES)  # "A".."G"
+DTYPES = ("float", "double")
+
+
+def assert_invariants(state, params, data_max=255.0):
+    """Direct invariant asserts plus the validator as cross-check.
+
+    The default ``sd_cap``/``mean_cap`` are plausibility bounds for
+    image-range intensities; for wider input dtypes (e.g. full-range
+    uint32) the caps scale with the data while the hard invariants
+    (finiteness, weight normalisation, the sd clamp floor) stay fixed.
+    """
+    k = params.num_gaussians
+    tol = POLICY.weight_tol
+    assert np.isfinite(state.w).all()
+    assert np.isfinite(state.m).all()
+    assert np.isfinite(state.sd).all()
+    assert (state.w >= -tol).all() and (state.w <= 1.0 + tol).all()
+    sums = state.w.sum(axis=0)
+    assert (sums > 0.0).all() and (sums <= k * (1.0 + tol)).all()
+    floor = min(params.sd_floor, params.initial_sd) * (1.0 - 1e-6)
+    assert (state.sd >= floor).all()
+    policy = IntegrityPolicy(
+        mode="detect",
+        sd_cap=max(POLICY.sd_cap, 10.0 * data_max),
+        mean_cap=max(POLICY.mean_cap, 10.0 * data_max),
+    )
+    report = find_corrupt_pixels(state, params, policy)
+    assert report.clean, f"validator flagged {report.corrupt.size} pixels"
+
+
+def adversarial_frames(dtype):
+    """Extreme-but-valid frames in the given dtype."""
+    h, w = SHAPE
+    rng = np.random.default_rng(99)
+    if np.issubdtype(dtype, np.integer):
+        info = np.iinfo(dtype)
+        lo = np.full(SHAPE, info.min, dtype=dtype)
+        hi = np.full(SHAPE, info.max, dtype=dtype)
+        checker = np.indices(SHAPE).sum(axis=0) % 2
+        alt = np.where(checker == 0, info.min, info.max).astype(dtype)
+        noise = rng.integers(
+            info.min, int(info.max) + 1, size=SHAPE
+        ).astype(dtype)
+        return [lo, hi, alt, noise, lo]
+    tiny = np.finfo(dtype).tiny
+    return [
+        np.zeros(SHAPE, dtype=dtype),
+        np.full(SHAPE, tiny, dtype=dtype),  # smallest normal
+        np.full(SHAPE, tiny / 4, dtype=dtype),  # denormal
+        np.full(SHAPE, np.finfo(dtype).smallest_subnormal, dtype=dtype),
+        (rng.random(SHAPE) * 255).astype(dtype),
+    ]
+
+
+class TestRejection:
+    @pytest.mark.parametrize("bad", [np.inf, -np.inf, np.nan])
+    def test_nonfinite_float_rejected(self, params, bad):
+        model = MoGVectorized(SHAPE, params)
+        frame = np.full(SHAPE, 10.0)
+        frame[3, 5] = bad
+        with pytest.raises(ConfigError, match="finite"):
+            model.apply(frame)
+
+    # The downcast itself warns before the validator rejects the frame.
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_overflow_hidden_by_downcast_rejected(self, params):
+        """A float64 frame whose values overflow float32 becomes inf
+        only *after* the cast to the run dtype — the check must run on
+        the post-cast values."""
+        model = MoGVectorized(SHAPE, params, dtype="float")
+        frame = np.full(SHAPE, 1e300, dtype=np.float64)  # finite in f64
+        with pytest.raises(ConfigError, match="finite"):
+            model.apply(frame)
+
+    def test_image_range_float64_accepted_in_float32_run(self, params):
+        # Control: an ordinary image-range float64 frame survives the
+        # downcast and must be accepted by the float32 run dtype.
+        model = MoGVectorized(SHAPE, params, dtype="float")
+        model.apply(np.full(SHAPE, 254.75, dtype=np.float64))
+        assert_invariants(model.state, params)
+
+    def test_non_numeric_rejected(self, params):
+        model = MoGVectorized(SHAPE, params)
+        with pytest.raises(ConfigError, match="dtype"):
+            model.apply(np.full(SHAPE, "x", dtype=object))
+
+
+class TestVectorizedSweep:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("variant", VARIANTS)
+    @pytest.mark.parametrize(
+        "frame_dtype", [np.uint8, np.uint16, np.uint32, np.int16]
+    )
+    def test_extreme_integer_ranges(self, params, variant, dtype, frame_dtype):
+        """Full-range unsigned/signed integers: weights stay
+        normalised, variances stay clamped, nothing overflows into the
+        state."""
+        model = MoGVectorized(SHAPE, params, variant=variant, dtype=dtype)
+        for frame in adversarial_frames(frame_dtype):
+            mask = model.apply(frame)
+            assert mask.shape == SHAPE and mask.dtype == np.bool_
+        info = np.iinfo(frame_dtype)
+        assert_invariants(
+            model.state, params, data_max=float(max(abs(info.min), info.max))
+        )
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_denormal_floats(self, params, variant, dtype):
+        model = MoGVectorized(SHAPE, params, variant=variant, dtype=dtype)
+        np_dtype = np.float32 if dtype == "float" else np.float64
+        for frame in adversarial_frames(np_dtype):
+            model.apply(frame)
+        assert_invariants(model.state, params)
+
+
+class TestLevelSweep:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("level", LEVELS)
+    def test_clean_run_zero_violations(self, params, level, dtype):
+        """Every optimization level, both precisions, through the
+        simulated GPU: after a clean run the downloaded state passes
+        the integrity validator with zero violations."""
+        video = evaluation_scene(height=SHAPE[0], width=SHAPE[1])
+        bs = BackgroundSubtractor(
+            SHAPE, params, level=level, backend="sim",
+            run_config=RunConfig(
+                height=SHAPE[0], width=SHAPE[1], dtype=dtype
+            ),
+            profile_every=1000,  # functional tier: fast, same masks
+        )
+        # process() handles both per-frame and group-structured (G)
+        # pipelines.
+        bs.process([video.frame(t) for t in range(8)])
+        w, m, sd, frames = bs.state_snapshot()
+        assert frames == 8
+        state = MixtureState(
+            np.asarray(w), np.asarray(m), np.asarray(sd)
+        )
+        assert state.dtype == np.dtype(
+            np.float32 if dtype == "float" else np.float64
+        )
+        assert_invariants(state, params)

@@ -1,0 +1,200 @@
+"""End-to-end chaos acceptance: seeded bit-flips into live MoG state
+mid-run, through the full surveillance pipeline.
+
+The contract under test (the PR's acceptance scenario):
+
+- with ``IntegrityPolicy(mode="repair")`` the corruption is detected
+  within one frame, only the affected pixels are re-initialised, and
+  the served masks re-converge to the fault-free baseline (MS-SSIM
+  >= 0.98) within 30 frames;
+- with ``mode="off"`` the *same* injection (same plan, same seed)
+  demonstrably degrades the served output;
+- ECC-on absorbs the same plan entirely: masks identical to baseline.
+
+The seed/flip count are pinned: random low-order mantissa flips often
+perturb a value without violating any invariant (physically accurate —
+most soft errors are benign), so the plan is sized to guarantee
+exponent-bit hits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import FaultPlan, IntegrityPolicy, MoGParams
+from repro.core.stream import SurveillancePipeline
+from repro.faults import FaultInjector
+from repro.metrics.ms_ssim import ms_ssim
+from repro.telemetry import MetricsRegistry
+from repro.utils.arrays import to_uint8
+from repro.video.scenes import evaluation_scene
+
+SHAPE = (24, 64)
+NUM_FRAMES = 75
+INJECT_AT = 40
+PLAN = FaultPlan(target="state", frames=(INJECT_AT,), flips=256, seed=7)
+#: Two MS-SSIM scales — SHAPE's short side (24) cannot hold the
+#: default five-scale pyramid.
+WEIGHTS = (0.5, 0.5)
+
+
+@pytest.fixture(scope="module")
+def chaos_params():
+    return MoGParams(learning_rate=0.08, initial_sd=8.0)
+
+
+@pytest.fixture(scope="module")
+def chaos_frames():
+    video = evaluation_scene(height=SHAPE[0], width=SHAPE[1])
+    return [video.frame(t) for t in range(NUM_FRAMES)]
+
+
+@pytest.fixture(scope="module")
+def baseline(chaos_params, chaos_frames):
+    pipe = SurveillancePipeline(SHAPE, chaos_params, warmup_frames=5)
+    return [pipe.step(f) for f in chaos_frames]
+
+
+def chaos_run(params, frames, mode, plan=PLAN):
+    reg = MetricsRegistry()
+    injector = FaultInjector(plan, telemetry=reg)
+    pipe = SurveillancePipeline(
+        SHAPE, params, warmup_frames=5, on_error="raise",
+        integrity=IntegrityPolicy(mode=mode), fault_injector=injector,
+        telemetry=reg,
+    )
+    results = [pipe.step(f) for f in frames]
+    return results, reg.snapshot()
+
+
+def mask_ssim(a, b):
+    return ms_ssim(to_uint8(a), to_uint8(b), weights=WEIGHTS)
+
+
+class TestRepairMode:
+    @pytest.fixture(scope="class")
+    def repaired(self, chaos_params, chaos_frames):
+        return chaos_run(chaos_params, chaos_frames, "repair")
+
+    def test_pre_injection_masks_untouched(self, repaired, baseline):
+        """The harness and the guard are pure observers until the
+        plan fires: every pre-injection mask is bit-identical."""
+        results, _ = repaired
+        for got, want in zip(results[:INJECT_AT], baseline[:INJECT_AT]):
+            assert np.array_equal(got.mask, want.mask)
+            assert np.array_equal(got.raw_mask, want.raw_mask)
+
+    def test_detected_within_one_frame(self, repaired):
+        _, snap = repaired
+        assert snap["counters"]["faults.injected"] == PLAN.flips
+        assert snap["counters"]["integrity.violations"] >= 1
+        latency = snap["histograms"]["integrity.detection_latency_frames"]
+        assert latency["count"] >= 1
+        assert latency["max_s"] <= 1.0
+
+    def test_repairs_only_affected_pixels(self, repaired):
+        """256 flips land on a handful of pixels; the repair must be
+        surgical — a full reset would count every pixel here."""
+        _, snap = repaired
+        repaired_px = snap["counters"]["integrity.pixels_repaired"]
+        num_pixels = SHAPE[0] * SHAPE[1]
+        assert 1 <= repaired_px <= PLAN.flips
+        assert repaired_px < 0.05 * num_pixels
+        assert repaired_px == snap["counters"]["integrity.violations"]
+
+    def test_masks_reconverge(self, repaired, baseline):
+        """Acceptance bound: MS-SSIM >= 0.98 against the fault-free
+        baseline within 30 frames of the injection, and it *stays*
+        converged (not a lucky single frame)."""
+        results, _ = repaired
+        scores = [
+            mask_ssim(results[t].mask, baseline[t].mask)
+            for t in range(INJECT_AT, NUM_FRAMES)
+        ]
+        converged_at = next(
+            (t for t, s in enumerate(scores) if s >= 0.98), None
+        )
+        assert converged_at is not None and converged_at <= 30
+        assert all(s >= 0.98 for s in scores[-5:])
+
+    def test_no_crash_no_degraded_frames(self, repaired):
+        results, _ = repaired
+        assert len(results) == NUM_FRAMES
+        assert not any(r.degraded for r in results)
+
+
+class TestOffMode:
+    # Unguarded NaN/overflow values flowing through the update
+    # arithmetic is exactly the failure mode under test.
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_same_injection_degrades_output(
+        self, chaos_params, chaos_frames, baseline
+    ):
+        """The control arm: identical plan and seed, no guard — the
+        corruption reaches the served masks and nothing notices."""
+        results, snap = chaos_run(chaos_params, chaos_frames, "off")
+        assert snap["counters"]["faults.injected"] == PLAN.flips
+        # No guard ran, so no detection of any kind.
+        assert "integrity.checks" not in snap["counters"]
+        assert "integrity.violations" not in snap["counters"]
+        diff_frames = sum(
+            1
+            for t in range(INJECT_AT, NUM_FRAMES)
+            if (results[t].mask != baseline[t].mask).any()
+        )
+        assert diff_frames >= 3  # served masks demonstrably wrong
+        raw_diff_frames = sum(
+            1
+            for t in range(INJECT_AT, NUM_FRAMES)
+            if (results[t].raw_mask != baseline[t].raw_mask).any()
+        )
+        assert raw_diff_frames >= diff_frames
+
+
+class TestEccOn:
+    def test_ecc_absorbs_the_same_plan(
+        self, chaos_params, chaos_frames, baseline
+    ):
+        """With ECC on, every single-bit flip is corrected in flight:
+        the run is bit-identical to the fault-free baseline and the
+        guard (repair mode, checking every frame) finds nothing."""
+        results, snap = chaos_run(
+            chaos_params, chaos_frames, "repair", plan=PLAN.replace(ecc="on")
+        )
+        assert snap["counters"]["faults.corrected"] == PLAN.flips
+        assert "faults.injected" not in snap["counters"]
+        assert "integrity.violations" not in snap["counters"]
+        for got, want in zip(results, baseline):
+            assert np.array_equal(got.mask, want.mask)
+
+
+class TestSimBackendChaos:
+    def test_sim_state_injection_repaired(self, chaos_params):
+        """The same plan family through the simulated-GPU backend:
+        faults land in the float global-memory buffers before a launch,
+        the guard downloads, repairs, and re-uploads the state."""
+        shape = (16, 24)
+        video = evaluation_scene(height=shape[0], width=shape[1])
+        reg = MetricsRegistry()
+        injector = FaultInjector(
+            FaultPlan(target="state", frames=(6,), flips=96, seed=5),
+            telemetry=reg,
+        )
+        pipe = SurveillancePipeline(
+            shape, chaos_params, backend="sim", level="F",
+            warmup_frames=0, on_error="raise",
+            integrity=IntegrityPolicy(mode="repair"),
+            fault_injector=injector, telemetry=reg,
+        )
+        for t in range(12):
+            pipe.step(video.frame(t))
+        counters = reg.snapshot()["counters"]
+        assert counters["faults.injected"] == 96
+        assert counters["integrity.pixels_repaired"] >= 1
+        # After repair the model keeps serving clean state: the last
+        # guard checks found nothing further to fix.
+        assert (
+            counters["integrity.pixels_repaired"]
+            == counters["integrity.violations"]
+        )

@@ -1,0 +1,300 @@
+"""Crash-safe durable checkpoints: file format, corruption rejection,
+bit-identical pipeline resume, and survival of a real SIGKILL.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import struct
+import subprocess
+import sys
+import time
+import zlib
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.config import MoGParams
+from repro.core.stream import SurveillancePipeline
+from repro.errors import CheckpointError, ReproError
+from repro.faults import (
+    MAGIC,
+    SCHEMA_VERSION,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.video.scenes import evaluation_scene
+
+SHAPE = (16, 24)
+
+
+def sample_arrays():
+    rng = np.random.default_rng(0)
+    return {
+        "w": rng.random((3, 8), dtype=np.float64),
+        "m": rng.random((3, 8), dtype=np.float32),
+        "mask": np.array([[0, 255], [255, 0]], dtype=np.uint8),
+        "flags": np.array([True, False]),
+    }
+
+
+class TestFileFormat:
+    def test_roundtrip_bit_identical(self, tmp_path):
+        arrays = sample_arrays()
+        meta = {"kind": "test", "frame_index": 17, "nested": {"a": [1, 2]}}
+        path = write_checkpoint(tmp_path / "ck.ckpt", arrays, meta)
+        got_arrays, got_meta = read_checkpoint(path)
+        assert got_meta == meta
+        assert set(got_arrays) == set(arrays)
+        for name, arr in arrays.items():
+            assert got_arrays[name].dtype == arr.dtype
+            assert np.array_equal(got_arrays[name], arr)
+
+    def test_no_temporary_left_behind(self, tmp_path):
+        write_checkpoint(tmp_path / "ck.ckpt", sample_arrays(), {})
+        assert os.listdir(tmp_path) == ["ck.ckpt"]
+
+    def test_overwrite_is_atomic_replace(self, tmp_path):
+        path = tmp_path / "ck.ckpt"
+        write_checkpoint(path, {"x": np.zeros(4)}, {"gen": 1})
+        write_checkpoint(path, {"x": np.ones(4)}, {"gen": 2})
+        arrays, meta = read_checkpoint(path)
+        assert meta["gen"] == 2
+        assert np.array_equal(arrays["x"], np.ones(4))
+
+    def test_unserialisable_meta_rejected_before_write(self, tmp_path):
+        path = tmp_path / "ck.ckpt"
+        with pytest.raises(CheckpointError):
+            write_checkpoint(path, {"x": np.zeros(2)}, {"bad": object()})
+        assert not path.exists()
+
+    def test_checkpoint_error_is_repro_error(self):
+        # A corrupt file must surface as the library's typed error, so
+        # CLI/serving layers can catch one base class.
+        assert issubclass(CheckpointError, ReproError)
+
+
+class TestCorruptionRejection:
+    def _write(self, tmp_path):
+        return write_checkpoint(
+            tmp_path / "ck.ckpt", sample_arrays(), {"kind": "test"}
+        )
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            read_checkpoint(tmp_path / "nope.ckpt")
+
+    def test_truncated_header(self, tmp_path):
+        path = self._write(tmp_path)
+        path.write_bytes(path.read_bytes()[:5])
+        with pytest.raises(CheckpointError, match="truncated"):
+            read_checkpoint(path)
+
+    def test_truncated_body_fails_crc(self, tmp_path):
+        """The SIGKILL-mid-write shape: a torn tail must be rejected
+        deterministically, not parsed into garbage state."""
+        path = self._write(tmp_path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(CheckpointError, match="CRC"):
+            read_checkpoint(path)
+
+    def test_single_flipped_byte_fails_crc(self, tmp_path):
+        path = self._write(tmp_path)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0x40  # bit-rot in the npz payload
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointError, match="CRC"):
+            read_checkpoint(path)
+
+    def test_bad_magic(self, tmp_path):
+        path = self._write(tmp_path)
+        raw = bytearray(path.read_bytes())
+        raw[:4] = b"JUNK"
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointError, match="not a repro checkpoint"):
+            read_checkpoint(path)
+
+    def test_future_schema_rejected(self, tmp_path):
+        path = self._write(tmp_path)
+        raw = path.read_bytes()
+        body = raw[12:]
+        header = struct.pack(
+            "<4sII", MAGIC, SCHEMA_VERSION + 1, zlib.crc32(body) & 0xFFFFFFFF
+        )
+        path.write_bytes(header + body)
+        with pytest.raises(CheckpointError, match="schema version"):
+            read_checkpoint(path)
+
+    def test_valid_crc_malformed_payload(self, tmp_path):
+        # CRC intact but the body is not meta+npz: a writer bug, still
+        # a typed error rather than a parser crash.
+        body = struct.pack("<I", 2) + b"{}" + b"this is not an npz"
+        header = struct.pack(
+            "<4sII", MAGIC, SCHEMA_VERSION, zlib.crc32(body) & 0xFFFFFFFF
+        )
+        path = tmp_path / "ck.ckpt"
+        path.write_bytes(header + body)
+        with pytest.raises(CheckpointError, match="malformed"):
+            read_checkpoint(path)
+
+
+def make_pipeline(params, **kw):
+    return SurveillancePipeline(SHAPE, params, warmup_frames=0, **kw)
+
+
+class TestPipelineCheckpoint:
+    def test_save_before_first_frame_rejected(self, params, tmp_path):
+        pipe = make_pipeline(params)
+        with pytest.raises(CheckpointError, match="before the first frame"):
+            pipe.save_checkpoint(tmp_path / "ck.ckpt")
+
+    def test_resume_is_bit_identical(self, params, tmp_path):
+        """The headline contract: restore from a checkpoint taken at
+        frame k, replay k+1..n, and every mask equals the
+        uninterrupted run's bit for bit."""
+        video = evaluation_scene(height=SHAPE[0], width=SHAPE[1])
+        frames = [video.frame(t) for t in range(24)]
+        pipe = make_pipeline(params)
+        baseline = [pipe.step(f).mask for f in frames]
+
+        first = make_pipeline(params)
+        for f in frames[:10]:
+            first.step(f)
+        first.save_checkpoint(tmp_path / "ck.ckpt")
+
+        resumed = make_pipeline(params)
+        at = resumed.restore_checkpoint(tmp_path / "ck.ckpt")
+        assert at == 9  # last served frame index
+        assert resumed.frame_index == 9
+        masks = [resumed.step(f).mask for f in frames[10:]]
+        for got, want in zip(masks, baseline[10:]):
+            assert np.array_equal(got, want)
+        snap = resumed.telemetry.snapshot()["counters"]
+        assert snap["checkpoint.restored"] == 1
+
+    def test_checkpoint_does_not_perturb_the_run(self, params, tmp_path):
+        """Saving must be a pure observer: a run that checkpoints every
+        frame produces the same masks as one that never does."""
+        video = evaluation_scene(height=SHAPE[0], width=SHAPE[1])
+        frames = [video.frame(t) for t in range(8)]
+        quiet = make_pipeline(params)
+        expected = [quiet.step(f).mask for f in frames]
+        noisy = make_pipeline(params)
+        got = []
+        for f in frames:
+            got.append(noisy.step(f).mask)
+            noisy.save_checkpoint(tmp_path / "every.ckpt")
+        for a, b in zip(got, expected):
+            assert np.array_equal(a, b)
+
+    def test_config_mismatch_rejected(self, params, tmp_path):
+        video = evaluation_scene(height=SHAPE[0], width=SHAPE[1])
+        pipe = make_pipeline(params)
+        pipe.step(video.frame(0))
+        pipe.save_checkpoint(tmp_path / "ck.ckpt")
+        other = make_pipeline(MoGParams(learning_rate=0.02))
+        with pytest.raises(CheckpointError, match="params mismatch"):
+            other.restore_checkpoint(tmp_path / "ck.ckpt")
+        wrong_level = SurveillancePipeline(
+            SHAPE, params, level="A", warmup_frames=0
+        )
+        with pytest.raises(CheckpointError, match="level mismatch"):
+            wrong_level.restore_checkpoint(tmp_path / "ck.ckpt")
+
+    def test_missing_state_array_rejected(self, params, tmp_path):
+        video = evaluation_scene(height=SHAPE[0], width=SHAPE[1])
+        pipe = make_pipeline(params)
+        pipe.step(video.frame(0))
+        pipe.save_checkpoint(tmp_path / "ck.ckpt")
+        arrays, meta = read_checkpoint(tmp_path / "ck.ckpt")
+        del arrays["sd"]
+        write_checkpoint(tmp_path / "partial.ckpt", arrays, meta)
+        with pytest.raises(CheckpointError, match="missing state array"):
+            make_pipeline(params).restore_checkpoint(
+                tmp_path / "partial.ckpt"
+            )
+
+    def test_wrong_kind_rejected(self, params, tmp_path):
+        write_checkpoint(
+            tmp_path / "other.ckpt", {"x": np.zeros(3)}, {"kind": "bench"}
+        )
+        with pytest.raises(CheckpointError, match="not a surveillance"):
+            make_pipeline(params).restore_checkpoint(tmp_path / "other.ckpt")
+
+
+_CHILD_SCRIPT = """\
+import sys, time
+sys.path.insert(0, {src!r})
+from repro.config import MoGParams
+from repro.core.stream import SurveillancePipeline
+from repro.video.scenes import evaluation_scene
+
+video = evaluation_scene(height={h}, width={w})
+pipe = SurveillancePipeline(
+    ({h}, {w}),
+    MoGParams(learning_rate=0.08, initial_sd=8.0),
+    warmup_frames=0,
+)
+for t in range(200):
+    pipe.step(video.frame(t))
+    if (pipe.frame_index + 1) % 5 == 0:
+        pipe.save_checkpoint({ckpt!r})
+    time.sleep(0.02)  # stay killable mid-run
+"""
+
+
+class TestCrashResume:
+    def test_sigkill_then_resume_bit_identical(self, params, tmp_path):
+        """End-to-end crash scenario: a stream process checkpointing
+        every 5 frames is SIGKILLed mid-run; a fresh process resumes
+        from the durable file and serves masks bit-identical to an
+        uninterrupted run from the checkpoint frame onward."""
+        ckpt = tmp_path / "stream.ckpt"
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        code = _CHILD_SCRIPT.format(
+            src=src, h=SHAPE[0], w=SHAPE[1], ckpt=str(ckpt)
+        )
+        child = subprocess.Popen(
+            [sys.executable, "-c", code],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+        )
+        try:
+            deadline = time.monotonic() + 30.0
+            while not ckpt.exists():
+                if child.poll() is not None:
+                    pytest.fail(
+                        "child exited before checkpointing: "
+                        + child.stderr.read().decode()
+                    )
+                assert time.monotonic() < deadline, "no checkpoint appeared"
+                time.sleep(0.02)
+            os.kill(child.pid, signal.SIGKILL)
+            child.wait(timeout=10.0)
+        finally:
+            if child.poll() is None:
+                child.kill()
+            child.stderr.close()
+
+        # The same parameters the child used (not the session fixture).
+        child_params = MoGParams(learning_rate=0.08, initial_sd=8.0)
+        resumed = SurveillancePipeline(
+            SHAPE, child_params, warmup_frames=0
+        )
+        at = resumed.restore_checkpoint(ckpt)
+        assert at >= 4  # first checkpoint lands after frame 4
+        assert (at + 1) % 5 == 0
+
+        video = evaluation_scene(height=SHAPE[0], width=SHAPE[1])
+        baseline = SurveillancePipeline(
+            SHAPE, child_params, warmup_frames=0
+        )
+        expected = [baseline.step(video.frame(t)).mask for t in range(at + 11)]
+        got = [
+            resumed.step(video.frame(t)).mask for t in range(at + 1, at + 11)
+        ]
+        for off, mask in enumerate(got):
+            assert np.array_equal(mask, expected[at + 1 + off])

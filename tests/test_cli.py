@@ -169,6 +169,48 @@ class TestTrack:
         assert "confirmed tracks" in capsys.readouterr().out
 
 
+class TestTrackChaos:
+    def test_injection_with_repair_reports_metrics(self, clip, tmp_path,
+                                                   capsys):
+        metrics = tmp_path / "metrics.json"
+        code = main([
+            "track", str(clip), "--warmup", "2",
+            "--integrity", "repair",
+            "--inject-target", "state", "--inject-frames", "5",
+            "--inject-flips", "64", "--inject-seed", "7",
+            "--metrics-json", str(metrics),
+        ])
+        assert code == 0
+        import json
+
+        snap = json.loads(metrics.read_text())
+        assert snap["counters"]["faults.injected"] == 64
+        assert snap["counters"]["integrity.checks"] >= 1
+
+    def test_checkpoint_then_resume(self, clip, tmp_path, capsys):
+        ckpts = tmp_path / "ckpts"
+        code = main([
+            "track", str(clip), "--warmup", "2",
+            "--checkpoint-dir", str(ckpts), "--checkpoint-every", "5",
+        ])
+        assert code == 0
+        assert (ckpts / "clip.ckpt").exists()
+        capsys.readouterr()
+        code = main([
+            "track", str(clip), "--warmup", "2",
+            "--checkpoint-dir", str(ckpts), "--resume",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resumed from" in out
+        assert "at frame 10" in out  # 12 frames, period 5: last at idx 9
+
+    def test_resume_requires_checkpoint_dir(self, clip, capsys):
+        code = main(["track", str(clip), "--resume"])
+        assert code == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+
 class TestServe:
     def test_synthetic_streams(self, capsys, tmp_path):
         metrics = tmp_path / "metrics.json"

@@ -189,6 +189,57 @@ class TestStepFaultSafety:
             SurveillancePipeline(SHAPE, params, on_error="ignore")
 
 
+class TestInvalidFrameDegrade:
+    """A malformed frame from a source (an npz file with one NaN frame,
+    a camera that changed resolution) is a stage failure like any
+    other: under ``degrade`` the stream serves the last good mask and
+    keeps going instead of dying mid-sequence."""
+
+    def test_nan_frame_degrades_and_recovers(self, params):
+        video = evaluation_scene(height=SHAPE[0], width=SHAPE[1])
+        pipe = SurveillancePipeline(
+            SHAPE, params, warmup_frames=0, on_error="degrade"
+        )
+        good = pipe.step(video.frame(0))
+        result = pipe.step(np.full(SHAPE, np.nan))
+        assert result.degraded
+        assert result.frame_index == 1  # the frame was consumed
+        assert np.array_equal(result.mask, good.mask)
+        snap = pipe.telemetry.snapshot()["counters"]
+        assert snap["stream.frames_invalid"] == 1
+        assert snap["stream.stage_errors"] == 1
+        # The stream recovers on the next valid frame.
+        after = pipe.step(video.frame(2))
+        assert not after.degraded
+        assert after.frame_index == 2
+
+    def test_shape_drift_degrades(self, params):
+        video = evaluation_scene(height=SHAPE[0], width=SHAPE[1])
+        pipe = SurveillancePipeline(
+            SHAPE, params, warmup_frames=0, on_error="degrade"
+        )
+        pipe.step(video.frame(0))
+        result = pipe.step(np.zeros((8, 8), dtype=np.uint8))
+        assert result.degraded
+        assert result.mask.shape == SHAPE  # served mask keeps the
+        # configured geometry, never the drifted one
+        assert (
+            pipe.telemetry.snapshot()["counters"]["stream.frames_invalid"]
+            == 1
+        )
+
+    def test_raise_policy_still_raises(self, params):
+        # The default contract is unchanged: invalid input is an error.
+        pipe = SurveillancePipeline(SHAPE, params, on_error="raise")
+        with pytest.raises(ConfigError):
+            pipe.step(np.full(SHAPE, np.inf))
+        assert pipe.frame_index == -1  # uncommitted
+        assert (
+            pipe.telemetry.snapshot()["counters"]["stream.frames_invalid"]
+            == 1
+        )
+
+
 class TestStreamTelemetry:
     def test_counters_and_stage_latencies(self, params):
         video = evaluation_scene(height=SHAPE[0], width=SHAPE[1])

@@ -1,0 +1,288 @@
+"""Fault-injection harness: plan validation, deterministic replay, ECC
+semantics, and the per-layer hooks.
+
+The injector is the *adversary* of the chaos suite, so its own contract
+has to be airtight: a plan must replay bit-identically from its seed,
+hooks must be no-ops off-schedule, and ``ecc="on"`` must model SECDED
+faithfully (single-bit corrected, multi-bit uncorrectable).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import FaultPlan, IntegrityPolicy, MoGParams
+from repro.core.stream import SurveillancePipeline
+from repro.errors import ConfigError, InjectedFault, IntegrityError
+from repro.faults import FaultInjector, FaultyPipeline
+from repro.mog.params import MixtureState
+from repro.telemetry import MetricsRegistry
+from repro.video.scenes import evaluation_scene
+
+SHAPE = (16, 24)
+
+
+def fresh_state(params: MoGParams, dtype="double") -> MixtureState:
+    frame = evaluation_scene(height=SHAPE[0], width=SHAPE[1]).frame(0)
+    return MixtureState.from_first_frame(frame, params, dtype)
+
+
+class TestFaultPlanConfig:
+    def test_defaults_valid(self):
+        plan = FaultPlan()
+        assert plan.target == "state"
+        assert plan.mode == "bitflip"
+        assert plan.frames == ()
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(target="register")
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(mode="gamma_ray")
+
+    def test_mode_target_cross_validation(self):
+        # Memory targets take memory modes, serve takes serve modes.
+        with pytest.raises(ConfigError):
+            FaultPlan(target="state", mode="stall")
+        with pytest.raises(ConfigError):
+            FaultPlan(target="serve", mode="bitflip")
+        FaultPlan(target="serve", mode="stall")  # valid
+        FaultPlan(target="dma", mode="stuck")  # valid
+
+    def test_bad_ecc_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(ecc="secded")
+
+    def test_negative_frames_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(frames=(3, -1))
+
+    def test_flips_floor(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(flips=0)
+
+    def test_replace(self):
+        plan = FaultPlan(frames=(5,), flips=2)
+        other = plan.replace(seed=9)
+        assert other.seed == 9 and other.frames == (5,)
+        assert plan.seed == 0  # original untouched (frozen)
+
+
+class TestDeterministicReplay:
+    def test_same_seed_same_corruption(self, params):
+        """The property every chaos test leans on: a plan replays
+        bit-identically from its seed."""
+        plan = FaultPlan(target="state", frames=(0,), flips=8, seed=42)
+        runs = []
+        for _ in range(2):
+            state = fresh_state(params)
+            FaultInjector(plan).on_model_state(state, 0)
+            runs.append((state.w.copy(), state.m.copy(), state.sd.copy()))
+        for a, b in zip(*runs):
+            assert np.array_equal(a, b, equal_nan=True)
+
+    def test_different_seed_differs(self, params):
+        plan = FaultPlan(target="state", frames=(0,), flips=8, seed=1)
+        s1, s2 = fresh_state(params), fresh_state(params)
+        FaultInjector(plan).on_model_state(s1, 0)
+        FaultInjector(plan.replace(seed=2)).on_model_state(s2, 0)
+        assert not all(
+            np.array_equal(a, b, equal_nan=True)
+            for a, b in ((s1.w, s2.w), (s1.m, s2.m), (s1.sd, s2.sd))
+        )
+
+
+class TestStateTarget:
+    def test_bitflip_lands_on_schedule(self, params):
+        state = fresh_state(params)
+        before = [state.w.copy(), state.m.copy(), state.sd.copy()]
+        inj = FaultInjector(
+            FaultPlan(target="state", frames=(3,), flips=4, seed=0)
+        )
+        assert inj.on_model_state(state, 2) == 0  # off-schedule: no-op
+        for b, a in zip(before, (state.w, state.m, state.sd)):
+            assert np.array_equal(b, a)
+        assert inj.on_model_state(state, 3) == 4
+        # Compare raw bits: a low-mantissa flip is numerically tiny but
+        # must still register as a changed element.
+        changed = sum(
+            int((b.view(np.uint64) != a.view(np.uint64)).sum())
+            for b, a in zip(before, (state.w, state.m, state.sd))
+        )
+        assert 1 <= changed <= 4  # flips can collide on one element
+        assert inj.injected == 4
+
+    def test_stuck_writes_value(self, params):
+        state = fresh_state(params)
+        inj = FaultInjector(
+            FaultPlan(
+                target="state", mode="stuck", frames=(0,), flips=3,
+                stuck_value=1e9, seed=5,
+            )
+        )
+        inj.on_model_state(state, 0)
+        stuck = sum(
+            int((a == 1e9).sum()) for a in (state.w, state.m, state.sd)
+        )
+        assert stuck >= 1
+
+    def test_none_state_is_noop(self):
+        inj = FaultInjector(FaultPlan(target="state", frames=(0,)))
+        assert inj.on_model_state(None, 0) == 0
+
+
+class TestEccSemantics:
+    def test_ecc_corrects_single_bit_flips(self, params):
+        """SECDED corrects every single-bit flip: memory untouched, the
+        event counted in ``faults.corrected``, nothing injected."""
+        reg = MetricsRegistry()
+        state = fresh_state(params)
+        before = [state.w.copy(), state.m.copy(), state.sd.copy()]
+        inj = FaultInjector(
+            FaultPlan(target="state", frames=(0,), flips=6, ecc="on"),
+            telemetry=reg,
+        )
+        assert inj.on_model_state(state, 0) == 0
+        for b, a in zip(before, (state.w, state.m, state.sd)):
+            assert np.array_equal(b, a)
+        assert inj.corrected == 6
+        assert inj.injected == 0
+        assert reg.counter("faults.corrected").value == 6
+        assert "faults.injected" not in reg.snapshot()["counters"]
+
+    def test_ecc_stuck_is_uncorrectable(self, params):
+        """A stuck element differs in many bits — SECDED detects but
+        cannot correct; the simulated machine-check raises."""
+        reg = MetricsRegistry()
+        state = fresh_state(params)
+        inj = FaultInjector(
+            FaultPlan(
+                target="state", mode="stuck", frames=(0,), flips=2,
+                ecc="on",
+            ),
+            telemetry=reg,
+        )
+        with pytest.raises(IntegrityError) as ei:
+            inj.on_model_state(state, 0)
+        assert ei.value.frame_index == 0
+        assert ei.value.pixels == 2
+        assert reg.counter("faults.uncorrectable").value == 2
+
+
+class TestFrameAndDmaTargets:
+    def test_on_frame_corrupts_a_copy(self):
+        inj = FaultInjector(
+            FaultPlan(target="frame", frames=(1,), flips=4, seed=3)
+        )
+        frame = evaluation_scene(height=SHAPE[0], width=SHAPE[1]).frame(1)
+        original = frame.copy()
+        out = inj.on_frame(frame, 1)
+        assert out is not frame
+        assert np.array_equal(frame, original)  # caller's array untouched
+        assert (out != original).any()
+
+    def test_on_frame_off_schedule_passthrough(self):
+        inj = FaultInjector(FaultPlan(target="frame", frames=(1,)))
+        frame = np.zeros(SHAPE, dtype=np.uint8)
+        assert inj.on_frame(frame, 0) is frame
+
+    def test_on_dma_corrupts_in_place(self):
+        inj = FaultInjector(
+            FaultPlan(target="dma", frames=(2,), flips=3, seed=7)
+        )
+        flat = np.zeros(SHAPE[0] * SHAPE[1], dtype=np.float64)
+        out = inj.on_dma(flat, 2)
+        assert out is flat
+        assert (flat != 0).sum() >= 1
+
+
+class _Buf:
+    def __init__(self, name, data):
+        self.name = name
+        self.data = data
+
+
+class _Mem:
+    def __init__(self, bufs):
+        self._bufs = bufs
+
+    def buffers(self):
+        return self._bufs
+
+
+class TestSimMemoryTarget:
+    def test_no_filter_targets_float_buffers_only(self):
+        """Without a name filter, only state-carrying (float) buffers
+        are corrupted — frame/mask buffers are transient uint8."""
+        gauss = _Buf("gaussians", np.zeros(64, dtype=np.float32))
+        frame = _Buf("frame_in", np.zeros(64, dtype=np.uint8))
+        inj = FaultInjector(
+            FaultPlan(target="state", frames=(0,), flips=4, seed=1)
+        )
+        landed = inj.corrupt_memory(_Mem([gauss, frame]), 0)
+        assert landed == 4
+        assert (gauss.data != 0).any()
+        assert not frame.data.any()
+
+    def test_buffer_substring_filter(self):
+        a = _Buf("gaussians_soa", np.zeros(32, dtype=np.float64))
+        b = _Buf("scratch", np.zeros(32, dtype=np.float64))
+        inj = FaultInjector(
+            FaultPlan(
+                target="state", frames=(0,), flips=4, buffer="gauss",
+                seed=1,
+            )
+        )
+        inj.corrupt_memory(_Mem([a, b]), 0)
+        assert (a.data != 0).any()
+        assert not b.data.any()
+
+    def test_on_launch_gated_by_schedule(self):
+        buf = _Buf("gaussians", np.zeros(16, dtype=np.float64))
+        inj = FaultInjector(FaultPlan(target="state", frames=(5,), flips=2))
+        assert inj.on_launch(_Mem([buf]), 4) == 0
+        assert not buf.data.any()
+        assert inj.on_launch(_Mem([buf]), 5) == 2
+
+
+class TestServeTarget:
+    def _pipeline(self, params):
+        return SurveillancePipeline(
+            SHAPE, params, warmup_frames=0, on_error="raise"
+        )
+
+    def test_raise_mode_raises_injected_fault(self, params):
+        video = evaluation_scene(height=SHAPE[0], width=SHAPE[1])
+        inj = FaultInjector(
+            FaultPlan(target="serve", mode="raise", frames=(1,))
+        )
+        faulty = FaultyPipeline(self._pipeline(params), inj)
+        faulty.step(video.frame(0))  # frame 0: passthrough
+        with pytest.raises(InjectedFault):
+            faulty.step(video.frame(1))
+
+    def test_stall_mode_delays_but_serves(self, params):
+        video = evaluation_scene(height=SHAPE[0], width=SHAPE[1])
+        reg = MetricsRegistry()
+        inj = FaultInjector(
+            FaultPlan(
+                target="serve", mode="stall", frames=(0,), stall_s=0.01
+            ),
+            telemetry=reg,
+        )
+        faulty = FaultyPipeline(self._pipeline(params), inj)
+        result = faulty.step(video.frame(0))
+        assert result.frame_index == 0
+        assert not result.degraded
+        assert reg.counter("faults.injected").value == 1
+
+    def test_proxy_passes_attributes_through(self, params):
+        pipe = self._pipeline(params)
+        faulty = FaultyPipeline(
+            pipe, FaultInjector(FaultPlan(target="serve", mode="raise"))
+        )
+        assert faulty.frame_index == pipe.frame_index
+        assert faulty.telemetry is pipe.telemetry

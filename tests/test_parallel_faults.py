@@ -9,8 +9,6 @@ restart paths complete in well under a second of compute.
 from __future__ import annotations
 
 import multiprocessing as mp
-import os
-import signal
 import time
 
 import numpy as np
@@ -18,6 +16,9 @@ import pytest
 
 from repro.config import FaultPolicy, TelemetryConfig
 from repro.errors import ConfigError, WorkerError
+# kill_stripe moved into the faults package (the process-level "hard"
+# fault of the unified injection harness); the tests use it from there.
+from repro.faults import kill_stripe
 from repro.mog import MoGVectorized
 from repro.parallel import ParallelMoG
 from repro.telemetry import MetricsRegistry
@@ -39,17 +40,6 @@ def frames():
 
 def serial_masks(frames, params):
     return MoGVectorized(SHAPE, params, variant="nosort").apply_sequence(frames)
-
-
-def kill_stripe(par: ParallelMoG, stripe: int) -> None:
-    pid = par.worker_pids()[stripe]
-    os.kill(pid, signal.SIGKILL)
-    # The kill is asynchronous; wait for the process to actually die so
-    # the next apply() deterministically sees a dead worker.
-    deadline = time.monotonic() + 10.0
-    while par._workers[stripe]._proc.is_alive():
-        assert time.monotonic() < deadline, "worker did not die"
-        time.sleep(0.01)
 
 
 class TestConfig:
@@ -230,6 +220,55 @@ class TestGracefulClose:
         snap = par.telemetry.snapshot()
         assert snap["counters"]["parallel.forced_terminations"] >= 1
 
+
+class TestCheckpointAliasing:
+    def test_restore_state_copies_snapshot_arrays(self, params, frames):
+        """Regression: ``restore_state`` must deep-copy. A snapshot is
+        the *live* state of the source model (``state_snapshot`` hands
+        out references); a restore that aliased those arrays would
+        couple the two models' histories."""
+        source = MoGVectorized(SHAPE, params)
+        for f in frames[:3]:
+            source.apply(f)
+        snap = source.state_snapshot()
+        w0, m0, sd0 = (np.array(a, copy=True) for a in snap[:3])
+
+        restored = MoGVectorized(SHAPE, params)
+        restored.restore_state(snap)
+        assert restored.frames_processed == 3
+        for ours, theirs in zip(
+            (restored.state.w, restored.state.m, restored.state.sd), snap
+        ):
+            assert ours is not theirs
+            assert not np.shares_memory(ours, theirs)
+        # Mutation after restore: the checkpoint must not move.
+        restored.state.w += 0.25
+        restored.state.sd *= 2.0
+        assert np.array_equal(snap[0], w0)
+        assert np.array_equal(snap[1], m0)
+        assert np.array_equal(snap[2], sd0)
+
+    def test_fallback_mutation_does_not_corrupt_checkpoint(
+        self, params, frames
+    ):
+        """The ParallelMoG restart path: a stripe's checkpointed state
+        seeds the fallback model; mutating the live fallback must leave
+        the stored checkpoint bit-identical (it may be needed again)."""
+        policy = FaultPolicy(policy="serial_fallback", timeout_s=10.0)
+        with ParallelMoG(
+            SHAPE, params, workers=2, fault_policy=policy
+        ) as par:
+            for f in frames[:3]:
+                par.apply(f)
+            kill_stripe(par, 0)
+            par.apply(frames[3])  # degrades stripe 0 to fallback
+            worker = par._workers[0]
+            assert worker.fallback is not None
+            ckpt = worker.last_state
+            saved = [np.array(a, copy=True) for a in ckpt[:3]]
+            worker.fallback.state.w += 0.5  # in-place corruption
+            for kept, want in zip(ckpt, saved):
+                assert np.array_equal(kept, want)
 
 class TestSharedTelemetry:
     def test_external_registry_is_used(self, params, frames):

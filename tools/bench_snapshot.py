@@ -39,6 +39,12 @@ def main(argv: list[str] | None = None) -> int:
     profiled = entries["sim_profiled"]["frames_per_s"]
     sampled = entries["sim_sampled_8"]["frames_per_s"]
     print(f"sim sampled/profiled speedup: {sampled / profiled:.2f}x")
+    plain = entries["cpu"]["frames_per_s"]
+    guarded = entries["cpu_ecc_on"]["frames_per_s"]
+    print(
+        f"integrity-guard (ECC-on) overhead: {plain / guarded:.2f}x "
+        f"({plain:.0f} -> {guarded:.0f} frames/s)"
+    )
     return 0
 
 
