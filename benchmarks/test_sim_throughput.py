@@ -104,6 +104,69 @@ def test_two_tier_speedup(benchmark):
     assert np.array_equal(a, b)
 
 
+def test_fusion_transaction_reduction(benchmark):
+    """The fusion pass must strictly cut global-memory traffic vs the
+    standalone post-kernel chain, eliminating at least one full frame
+    of uint8 read+write (2 bytes/pixel) per fused stage; the fused
+    sim throughput lands in BENCH_throughput.json as ``sim_fused``."""
+    from repro.bench.snapshot import measure_fps, update_snapshot
+    from repro.config import RunConfig
+    from repro.core.pipeline import HostPipeline
+    from repro.core.variants import OptimizationLevel, custom_level
+    from repro.kernels.ir import FusionPass
+
+    shape = (48, 64)
+    num_frames = 4 if QUICK else 8
+    num_pixels = shape[0] * shape[1]
+    video = evaluation_scene(height=shape[0], width=shape[1], seed=11)
+    frames = [video.frame(t) for t in range(num_frames)]
+    run_config = RunConfig(
+        height=shape[0], width=shape[1], profile_every=1
+    )
+    cumulative = [
+        ("threshold",),
+        ("threshold", "shadow"),
+        ("threshold", "shadow", "histogram"),
+    ]
+
+    def bytes_moved(**kw):
+        pipe = HostPipeline(
+            shape, PAPER_BENCH_PARAMS, run_config=run_config, **kw
+        )
+        _, report = pipe.process(frames)
+        return report.counters.bytes_moved
+
+    def run():
+        out = []
+        for stages in cumulative:
+            unfused = bytes_moved(level="F", post_stages=stages)
+            fused_level = custom_level(
+                OptimizationLevel.F.spec.passes + (FusionPass(stages),),
+                name="F+fusion:" + "+".join(stages),
+            )
+            out.append((stages, unfused, bytes_moved(level=fused_level)))
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    frame_rw_bytes = 2 * num_pixels * num_frames  # one uint8 frame r+w
+    prev_delta = 0
+    for stages, unfused, fused in results:
+        assert fused < unfused, stages
+        delta = unfused - fused
+        assert delta - prev_delta >= frame_rw_bytes, (
+            f"{stages}: stage eliminated only {delta - prev_delta} bytes, "
+            f"expected >= {frame_rw_bytes}"
+        )
+        prev_delta = delta
+
+    update_snapshot({
+        "sim_fused": measure_fps(
+            "sim", profile_every=8,
+            num_frames=9 if QUICK else 17, level="F+fusion",
+        ),
+    })
+
+
 def test_backends_agree(benchmark):
     """The two paths must produce identical masks (also benchmarked so
     it participates in --benchmark-only runs)."""

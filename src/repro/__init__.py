@@ -30,6 +30,7 @@ Quickstart::
 
 from .config import (
     FaultPolicy,
+    FusionParams,
     MoGParams,
     RunConfig,
     ServeConfig,
@@ -45,6 +46,7 @@ __all__ = [
     "OptimizationLevel",
     "RunReport",
     "MoGParams",
+    "FusionParams",
     "RunConfig",
     "FaultPolicy",
     "ServeConfig",

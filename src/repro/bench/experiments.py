@@ -528,6 +528,65 @@ def cpu_baselines() -> Experiment:
     )
 
 
+def fusion_counters(ctx: ExperimentContext | None = None) -> Experiment:
+    """Fusion pass before/after: global-memory transactions of the
+    unfused post-kernel chain vs the fused kernel, per cumulative
+    stage set.  Small fixed workload — the point is the counter delta,
+    not throughput."""
+    from ..core.variants import custom_level
+    from ..kernels.ir import FusionPass
+
+    shape = (32, 48)
+    num_frames = 6
+    video = evaluation_scene(height=shape[0], width=shape[1], seed=7)
+    frames = [video.frame(t) for t in range(num_frames)]
+    run_config = RunConfig(
+        height=shape[0], width=shape[1], profile_every=1
+    )
+
+    def tx_per_frame(**kw):
+        pipe = HostPipeline(
+            shape, PAPER_BENCH_PARAMS, run_config=run_config, **kw
+        )
+        _, report = pipe.process(frames)
+        return report.counters_per_frame.transactions
+
+    cumulative = [
+        ("threshold",),
+        ("threshold", "shadow"),
+        ("threshold", "shadow", "histogram"),
+    ]
+    base = OptimizationLevel.F
+    rows = []
+    for stages in cumulative:
+        unfused = tx_per_frame(level=base, post_stages=stages)
+        fused_level = custom_level(
+            base.spec.passes + (FusionPass(stages),),
+            name="F+fusion:" + "+".join(stages),
+        )
+        fused = tx_per_frame(level=fused_level)
+        rows.append(
+            [
+                " + ".join(stages),
+                f"{unfused:.0f}",
+                f"{fused:.0f}",
+                f"{unfused - fused:.0f}",
+            ]
+        )
+    return Experiment(
+        "Fusion",
+        "Global-memory transactions: unfused post chain vs fused kernel",
+        ["fused stages (cumulative)", "unfused tx/frame",
+         "fused tx/frame", "eliminated/frame"],
+        rows,
+        notes=(
+            "every fused stage eliminates at least one full frame of "
+            "global read+write vs the standalone post-kernel chain "
+            f"(level F, {shape[0]}x{shape[1]} px, {num_frames} frames)"
+        ),
+    )
+
+
 #: Every experiment, for the EXPERIMENTS.md generator and smoke tests.
 ALL_EXPERIMENTS = {
     "table1": table1,
@@ -543,4 +602,5 @@ ALL_EXPERIMENTS = {
     "cpu_baselines": cpu_baselines,
     "embedded": embedded_study,
     "jitter": camera_jitter_study,
+    "fusion": fusion_counters,
 }

@@ -238,6 +238,13 @@ def run_snapshot(
             "sim", profile_every=8, num_frames=num_sim,
             level="A+predication",
         ),
+        # The fusion pass: MoG update + threshold/shadow/class-histogram
+        # consumers welded into one kernel, so the downstream analytics
+        # cost no extra frame traffic.
+        "sim_fused": measure_fps(
+            "sim", profile_every=8, num_frames=num_sim,
+            level="F+fusion",
+        ),
         "server_4streams": measure_server_fps(
             num_streams=4, num_frames=num_srv
         ),

@@ -97,6 +97,10 @@ def _build_parser() -> argparse.ArgumentParser:
     tr = sub.add_parser("track", help="run the full pipeline with tracking")
     tr.add_argument("input", help="input .npz sequence")
     tr.add_argument("--level", default="F")
+    tr.add_argument("--fuse", action="store_true",
+                    help="append the fusion pass to --level (threshold, "
+                         "shadow and class-histogram stages fused into the "
+                         "MoG kernel); prints the fused region analytics")
     tr.add_argument(
         "--backend", choices=("cpu", "sim"), default="cpu",
         help="cpu: fastest; sim: simulated C2075",
@@ -328,10 +332,11 @@ def _cmd_track(args) -> int:
             ),
             telemetry=telemetry,
         )
+    level = f"{args.level}+fusion" if args.fuse else args.level
     pipe = SurveillancePipeline(
         source.shape,
         MoGParams(learning_rate=args.learning_rate),
-        level=args.level,
+        level=level,
         backend=args.backend,
         cleaner=MaskCleaner(open_radius=0, close_radius=2,
                             min_area=args.min_area),
@@ -368,6 +373,17 @@ def _cmd_track(args) -> int:
     print(pipe.summary())
     if degraded:
         print(f"({degraded} degraded frames served the last good mask)")
+    if args.fuse:
+        analytics = pipe.subtractor.fused_analytics()
+        print("fused occupancy (foreground fraction per region):")
+        for row in analytics["occupancy"]:
+            print("  " + " ".join(f"{v:5.2f}" for v in row))
+        counts = analytics.get("region_counts")
+        if counts is not None:
+            motion = counts[:, :, 1:].sum(axis=2)
+            print("fused motion counts (shadow+foreground px per region):")
+            for row in motion:
+                print("  " + " ".join(f"{int(v):5d}" for v in row))
     if args.metrics:
         from .bench.reporting import format_metrics
 
@@ -538,6 +554,8 @@ def _cmd_levels(args) -> int:
               f"(layout={spec.layout}, overlapped={spec.overlapped}, "
               f"group_structured={spec.group_structured})")
         print(f"  enables       : {', '.join(spec.enables)}")
+        if spec.kernel.fused:
+            print(f"  fused stages  : {', '.join(spec.kernel.fused)}")
         print(f"  paper speedup : {speedup}")
     return 0
 

@@ -120,6 +120,46 @@ class MoGParams:
         return dataclasses.replace(self, **kwargs)
 
 
+@dataclass(frozen=True)
+class FusionParams:
+    """Thresholds of the fused per-pixel post stages.
+
+    Consumed by the fusion kernel pass (``repro.kernels.fusion``) and
+    its NumPy oracle (``repro.post.analytics``). The shadow bounds
+    follow the grayscale Horprasert-style test: a shadow pixel is a
+    *dimmed* copy of the background estimate, so the brightness ratio
+    must sit in ``[shadow_alpha_low, shadow_alpha_high) ⊂ (0, 1]``.
+
+    Attributes
+    ----------
+    min_contrast:
+        Minimum ``|x - background|`` (gray levels) for a foreground
+        pixel to survive the fused threshold stage.
+    shadow_alpha_low, shadow_alpha_high:
+        Brightness-ratio band classified as shadow.
+    """
+
+    min_contrast: float = 12.0
+    shadow_alpha_low: float = 0.45
+    shadow_alpha_high: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.min_contrast < 0.0:
+            raise ConfigError(
+                f"min_contrast must be non-negative, got {self.min_contrast}"
+            )
+        if not 0.0 < self.shadow_alpha_low < self.shadow_alpha_high <= 1.0:
+            raise ConfigError(
+                "need 0 < shadow_alpha_low < shadow_alpha_high <= 1 "
+                "(a shadow dims the background), got "
+                f"{self.shadow_alpha_low}, {self.shadow_alpha_high}"
+            )
+
+    def replace(self, **kwargs) -> "FusionParams":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **kwargs)
+
+
 #: Geometry of the paper's evaluation video.
 FULL_HD = (1080, 1920)
 #: Frames processed in the paper's timing runs.

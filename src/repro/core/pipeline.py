@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..config import MoGParams, RunConfig, TelemetryConfig
+from ..config import FusionParams, MoGParams, RunConfig, TelemetryConfig
 from ..errors import ConfigError
 from ..gpusim.calibration import DEFAULT_CALIBRATION, Calibration
 from ..gpusim.device import TESLA_C2075, DeviceSpec
@@ -25,7 +25,14 @@ from ..gpusim.profiler import Profiler
 from ..gpusim.registers import pinned_registers
 from ..kernels import KernelConfig
 from ..kernels.build import shared_bytes_for_tile
+from ..kernels.fusion import build_post_kernels
+from ..kernels.ir import canonical_fused_stages
 from ..layout import AoSLayout, SoALayout
+from ..post.analytics import (
+    occupancy_heatmap,
+    record_fused_telemetry,
+    region_counts,
+)
 from ..layout.base import NUM_PARAMS
 from ..mog.params import MixtureState
 from ..telemetry import MetricsRegistry
@@ -61,6 +68,8 @@ class HostPipeline:
         telemetry: MetricsRegistry | None = None,
         integrity=None,
         fault_injector=None,
+        post_stages=(),
+        fusion: FusionParams | None = None,
     ) -> None:
         self.shape = tuple(shape)
         self.params = params or MoGParams()
@@ -101,7 +110,31 @@ class HostPipeline:
         layout_cls = AoSLayout if spec.layout == "aos" else SoALayout
         self.layout = layout_cls(self.params.num_gaussians, n, dtype)
         self.layout.allocate(self.engine.memory)
-        self.kernel_config = KernelConfig.from_params(self.params, dtype)
+        self.kernel_config = KernelConfig.from_params(
+            self.params, dtype, fusion=fusion
+        )
+
+        #: Stages fused into the MoG kernel (from the level's spec) vs
+        #: stages run as the standalone post-kernel chain (the measured
+        #: unfused baseline). Mutually exclusive by construction.
+        self.fused_stages = tuple(spec.kernel.fused)
+        self.post_stages = canonical_fused_stages(post_stages)
+        if self.fused_stages and self.post_stages:
+            raise ConfigError(
+                "post_stages is the unfused baseline of the fusion "
+                "pass; a fused level runs the stages in-kernel already"
+            )
+        if self.post_stages and spec.group_structured:
+            raise ConfigError(
+                "the unfused post-kernel chain needs per-frame state "
+                "in global memory; group-structured (tiled) levels "
+                "only write state back at group end — fuse instead"
+            )
+        self._shadow_bufs: list = []
+        self._class_bufs: list = []
+        self._post_kernels: list = []
+        self._shadow_maps: list[np.ndarray] = []
+        self._class_maps: list[np.ndarray] = []
 
         if spec.group_structured:
             if spec.kernel.tiling == "shared":
@@ -123,13 +156,47 @@ class HostPipeline:
                 self.engine.memory.alloc(f"fg_out_{i}", n, np.uint8)
                 for i in range(group)
             ]
+            if "shadow" in self.fused_stages:
+                self._shadow_bufs = [
+                    self.engine.memory.alloc(f"shadow_out_{i}", n, np.uint8)
+                    for i in range(group)
+                ]
+            if "histogram" in self.fused_stages:
+                self._class_bufs = [
+                    self.engine.memory.alloc(f"class_out_{i}", n, np.uint8)
+                    for i in range(group)
+                ]
             self._kernel = None  # built per group (group tail may be short)
         else:
             self._frame_bufs = [self.engine.memory.alloc("frame_in", n, np.uint8)]
             self._fg_bufs = [self.engine.memory.alloc("fg_out", n, np.uint8)]
+            kwargs = {}
+            if "shadow" in self.fused_stages:
+                self._shadow_bufs = [
+                    self.engine.memory.alloc("shadow_out", n, np.uint8)
+                ]
+                kwargs["shadow_buf"] = self._shadow_bufs[0]
+            if "histogram" in self.fused_stages:
+                self._class_bufs = [
+                    self.engine.memory.alloc("class_out", n, np.uint8)
+                ]
+                kwargs["class_buf"] = self._class_bufs[0]
             self._kernel = spec.kernel_factory(
-                self.layout, self.kernel_config, self._frame_bufs[0], self._fg_bufs[0]
+                self.layout, self.kernel_config, self._frame_bufs[0],
+                self._fg_bufs[0], **kwargs,
             )
+            if self.post_stages:
+                self._post_kernels, post_bufs = build_post_kernels(
+                    self.post_stages, self.layout, self.kernel_config,
+                    self._frame_bufs[0], self._fg_bufs[0],
+                    alloc=lambda name, dt: self.engine.memory.alloc(
+                        name, n, dt
+                    ),
+                )
+                if "shadow" in post_bufs:
+                    self._shadow_bufs = [post_bufs["shadow"]]
+                if "classes" in post_bufs:
+                    self._class_bufs = [post_bufs["classes"]]
 
         self._initialised = False
         self._pending: list[np.ndarray] = []
@@ -209,14 +276,21 @@ class HostPipeline:
         )
         self._launch_reports.append(self.profiler.report(launch, regs))
 
-    def _after_launch(self, launch, num_frames: int) -> None:
-        """Record one launch's outcome: profiled launches get a full
-        profiler report; functional launches reuse the last profiled
-        kernel time for the DMA schedule (the workload per launch is
-        identical, only the measurement is sampled)."""
+    def _after_launch(self, launch, num_frames: int, extra=()) -> None:
+        """Record one frame's (or group's) launch outcome: profiled
+        launches get a full profiler report; functional launches reuse
+        the last profiled kernel time for the DMA schedule (the
+        workload per launch is identical, only the measurement is
+        sampled).  ``extra`` holds the frame's post-kernel launches
+        (unfused baseline); their times fold into the same DMA
+        pipeline slot, so the schedule still sees one entry per frame."""
         if launch.profiled:
             self._report_for(launch)
-            self._last_kernel_time = self._launch_reports[-1].timing.total
+            total = self._launch_reports[-1].timing.total
+            for post_launch in extra:
+                self._report_for(post_launch)
+                total += self._launch_reports[-1].timing.total
+            self._last_kernel_time = total
             self.frames_profiled += num_frames
             self.profiled_frame_indices.extend(
                 range(self.frames_processed, self.frames_processed + num_frames)
@@ -253,10 +327,25 @@ class HostPipeline:
             threads_per_block=self.run_config.threads_per_block,
             name=f"{self._kernel.__name__}[{self.frames_processed}]",
         )
-        self._after_launch(launch, 1)
+        # The unfused post chain runs at the same profiling tier as the
+        # frame's MoG launch, so sampled runs stay comparable and the
+        # engine's sampler cadence is not perturbed by the extra
+        # launches.
+        extra = [
+            self.engine.launch(
+                post_kernel,
+                grid_threads=self.run_config.num_pixels,
+                threads_per_block=self.run_config.threads_per_block,
+                name=f"{post_kernel.__name__}[{self.frames_processed}]",
+                profile=launch.profiled,
+            )
+            for post_kernel in self._post_kernels
+        ]
+        self._after_launch(launch, 1, extra=extra)
         self.frames_processed += 1
         mask = (self._fg_bufs[0].data != 0).reshape(self.shape)
         self._masks.append(mask)
+        self._capture_analytics(0, mask)
         return mask
 
     def apply_group(self, frames: list[np.ndarray]) -> list[np.ndarray]:
@@ -283,12 +372,18 @@ class HostPipeline:
         self._integrity_check(flats[0])
         for buf, flat in zip(self._frame_bufs, flats):
             buf.data[:] = flat
+        kwargs = {}
+        if self._shadow_bufs:
+            kwargs["shadow_bufs"] = self._shadow_bufs[: len(flats)]
+        if self._class_bufs:
+            kwargs["class_bufs"] = self._class_bufs[: len(flats)]
         kernel = self.level.kernel_factory(
             self.layout,
             self.kernel_config,
             self._frame_bufs[: len(flats)],
             self._fg_bufs[: len(flats)],
             tile_pixels=self.run_config.tile_pixels,
+            **kwargs,
         )
         launch = self.engine.launch(
             kernel,
@@ -303,6 +398,8 @@ class HostPipeline:
             for buf in self._fg_bufs[: len(flats)]
         ]
         self._masks.extend(masks)
+        for i, mask in enumerate(masks):
+            self._capture_analytics(i, mask)
         return masks
 
     def process(self, frames) -> tuple[np.ndarray, RunReport]:
@@ -370,6 +467,57 @@ class HostPipeline:
             frames_profiled=self.frames_profiled,
         )
         return report
+
+    # -- fused analytics ----------------------------------------------
+    def _capture_analytics(self, buf_idx: int, mask: np.ndarray) -> None:
+        """Copy one frame's shadow/class buffers out of device memory
+        and record the fused telemetry."""
+        if not (self.fused_stages or self.post_stages):
+            return
+        shadow = None
+        classes = None
+        if self._shadow_bufs:
+            shadow = (
+                self._shadow_bufs[buf_idx].data != 0
+            ).reshape(self.shape)
+            self._shadow_maps.append(shadow)
+        if self._class_bufs:
+            classes = (
+                self._class_bufs[buf_idx].data.reshape(self.shape).copy()
+            )
+            self._class_maps.append(classes)
+        record_fused_telemetry(
+            self.telemetry, mask, shadow=shadow, classes=classes
+        )
+
+    def shadow_map(self) -> np.ndarray:
+        """Last frame's boolean shadow map (``shadow`` stage)."""
+        if not self._shadow_maps:
+            raise ConfigError(
+                "no shadow map: enable the 'shadow' fused (or post) "
+                "stage and process a frame first"
+            )
+        return self._shadow_maps[-1]
+
+    def class_map(self) -> np.ndarray:
+        """Last frame's uint8 class map (``histogram`` stage)."""
+        if not self._class_maps:
+            raise ConfigError(
+                "no class map: enable the 'histogram' fused (or post) "
+                "stage and process a frame first"
+            )
+        return self._class_maps[-1]
+
+    def fused_analytics(self, grid: tuple[int, int] = (4, 4)) -> dict:
+        """Region analytics of the last frame: the occupancy heatmap
+        (always available) and, with the ``histogram`` stage active,
+        the per-region class counts from the integral histogram."""
+        if not self._masks:
+            raise ConfigError("no frame processed yet")
+        out = {"occupancy": occupancy_heatmap(self._masks[-1], grid)}
+        if self._class_maps:
+            out["region_counts"] = region_counts(self._class_maps[-1], grid)
+        return out
 
     def background_image(self) -> np.ndarray:
         """Most-probable background estimate from device state."""

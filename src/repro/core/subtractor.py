@@ -17,11 +17,18 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..config import MoGParams, RunConfig
+from ..config import FusionParams, MoGParams, RunConfig
 from ..errors import ConfigError
 from ..gpusim.calibration import DEFAULT_CALIBRATION, Calibration
 from ..gpusim.device import TESLA_C2075, DeviceSpec
+from ..kernels import KernelConfig
 from ..mog.vectorized import MoGVectorized
+from ..post.analytics import (
+    occupancy_heatmap,
+    record_fused_telemetry,
+    region_counts,
+    run_fused_stages,
+)
 from .pipeline import HostPipeline
 from .results import RunReport
 from .variants import LevelSpec, OptimizationLevel, resolve_level_spec
@@ -89,6 +96,8 @@ class BackgroundSubtractor:
         telemetry=None,
         integrity=None,
         fault_injector=None,
+        post_stages=(),
+        fusion: FusionParams | None = None,
     ) -> None:
         if backend not in ("cpu", "sim"):
             raise ConfigError(f"backend must be 'cpu' or 'sim', got {backend!r}")
@@ -104,13 +113,30 @@ class BackgroundSubtractor:
         )
         self.backend = backend
         self._fault_injector = fault_injector
+        self._telemetry = telemetry
+        self._fusion_cfg = None
+        self._last_mask = None
+        self._last_shadow = None
+        self._last_classes = None
         if backend == "cpu":
+            if post_stages:
+                raise ConfigError(
+                    "post_stages (the unfused post-kernel baseline) is "
+                    "a simulator feature; the CPU backend fuses via a "
+                    "fused level spec"
+                )
             dtype = (run_config or RunConfig()).dtype if run_config else "double"
             self._impl = MoGVectorized(
                 self.shape, self.params,
                 variant=self.spec.mog_variant, dtype=dtype,
                 integrity=integrity, telemetry=telemetry,
             )
+            if self.spec.kernel.fused:
+                # The CPU mirror of the fused tail: same expressions,
+                # same run dtype, applied right after the MoG update.
+                self._fusion_cfg = KernelConfig.from_params(
+                    self.params, dtype, fusion=fusion
+                )
             self._pipeline = None
         else:
             if profile_every is not None:
@@ -124,6 +150,7 @@ class BackgroundSubtractor:
                 calibration=calibration, registers=registers,
                 telemetry=telemetry, integrity=integrity,
                 fault_injector=fault_injector,
+                post_stages=post_stages, fusion=fusion,
             )
             self._impl = None
 
@@ -135,8 +162,27 @@ class BackgroundSubtractor:
                 self._fault_injector.on_model_state(
                     self._impl.state, self._impl.frames_processed
                 )
-            return self._impl.apply(frame)
+            mask = self._impl.apply(frame)
+            if self._fusion_cfg is not None:
+                mask = self._apply_fused_post(frame, mask)
+            return mask
         return self._pipeline.apply(frame)
+
+    def _apply_fused_post(self, frame, mask) -> np.ndarray:
+        """CPU mirror of the fused kernel tail (NumPy oracle)."""
+        st = self._impl.state
+        result = run_fused_stages(
+            np.asarray(frame), st.w, st.m, mask,
+            self.spec.kernel.fused, self._fusion_cfg,
+        )
+        self._last_mask = result.mask
+        self._last_shadow = result.shadow
+        self._last_classes = result.classes
+        record_fused_telemetry(
+            self._telemetry, result.mask,
+            shadow=result.shadow, classes=result.classes,
+        )
+        return result.mask
 
     def process(self, frames) -> tuple[np.ndarray, RunReport | None]:
         """Process an iterable of frames.
@@ -145,8 +191,50 @@ class BackgroundSubtractor:
         backend.
         """
         if self._impl is not None:
+            if self._fusion_cfg is not None:
+                # apply_sequence bypasses the per-frame wrapper, so the
+                # fused tail must run frame by frame here.
+                return np.stack([self.apply(f) for f in list(frames)]), None
             return self._impl.apply_sequence(frames), None
         return self._pipeline.process(frames)
+
+    # -- fused analytics ----------------------------------------------
+    def shadow_map(self) -> np.ndarray:
+        """Last frame's boolean shadow map (``shadow`` fused stage)."""
+        if self._impl is not None:
+            if self._last_shadow is None:
+                raise ConfigError(
+                    "no shadow map: use a level with the 'shadow' fused "
+                    "stage and process a frame first"
+                )
+            return self._last_shadow
+        return self._pipeline.shadow_map()
+
+    def class_map(self) -> np.ndarray:
+        """Last frame's uint8 class map (``histogram`` fused stage)."""
+        if self._impl is not None:
+            if self._last_classes is None:
+                raise ConfigError(
+                    "no class map: use a level with the 'histogram' "
+                    "fused stage and process a frame first"
+                )
+            return self._last_classes
+        return self._pipeline.class_map()
+
+    def fused_analytics(self, grid: tuple[int, int] = (4, 4)) -> dict:
+        """Region analytics of the last frame (occupancy heatmap and,
+        with the ``histogram`` stage, per-region class counts)."""
+        if self._impl is not None:
+            if self._last_mask is None:
+                raise ConfigError(
+                    "no fused frame yet: use a fused level and process "
+                    "a frame first"
+                )
+            out = {"occupancy": occupancy_heatmap(self._last_mask, grid)}
+            if self._last_classes is not None:
+                out["region_counts"] = region_counts(self._last_classes, grid)
+            return out
+        return self._pipeline.fused_analytics(grid)
 
     def report(self) -> RunReport:
         """The run report so far (simulated backend only)."""

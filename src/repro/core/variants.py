@@ -109,6 +109,7 @@ class LevelSpec:
             "layout": self.layout,
             "overlapped": self.overlapped,
             "group_structured": self.group_structured,
+            "fused": list(self.kernel.fused),
             "mog_variant": self.mog_variant,
             "enables": list(self.enables),
             "paper_speedup": self.paper_speedup,
@@ -180,11 +181,15 @@ def custom_level(
     ``predication`` raises), so ablation sweeps cannot silently build
     a kernel the passes do not describe.
     """
-    names = tuple(resolve_pass(p).name for p in passes)
+    resolved = tuple(resolve_pass(p) for p in passes)
+    names = tuple(p.name for p in resolved)
     for member in OptimizationLevel:
         if member.spec.passes == names:
             return member.spec
-    kernel = apply_passes(BASE_SPEC, names)
+    # Apply the *resolved instances*, not the names: a parameterised
+    # pass instance (e.g. FusionPass with a stage subset) must keep its
+    # configuration.
+    kernel = apply_passes(BASE_SPEC, resolved)
     return LevelSpec(
         letter=name or ("A+" + "+".join(names) if names else "A"),
         title=title or "custom pass stack",

@@ -36,14 +36,23 @@ from .build import (
     shared_bytes_for_tile,
 )
 from .common import KernelConfig
+from .fusion import (
+    CLASS_BACKGROUND,
+    CLASS_FOREGROUND,
+    CLASS_SHADOW,
+    build_post_kernels,
+)
 from .ir import (
     BASE_SPEC,
+    FUSED_STAGES,
     LEVEL_PASSES,
     PASS_REGISTRY,
+    FusionPass,
     KernelPass,
     KernelSpec,
     PassError,
     apply_passes,
+    canonical_fused_stages,
     spec_for_level,
 )
 
@@ -91,6 +100,11 @@ def make_register_tiled_kernel(layout, cfg, frame_bufs, fg_bufs):
 
 __all__ = [
     "BASE_SPEC",
+    "CLASS_BACKGROUND",
+    "CLASS_FOREGROUND",
+    "CLASS_SHADOW",
+    "FUSED_STAGES",
+    "FusionPass",
     "KernelConfig",
     "KernelPass",
     "KernelSpec",
@@ -100,6 +114,8 @@ __all__ = [
     "apply_passes",
     "build_group_kernel",
     "build_kernel",
+    "build_post_kernels",
+    "canonical_fused_stages",
     "make_base_kernel",
     "make_coalesced_kernel",
     "make_nosort_kernel",

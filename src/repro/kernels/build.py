@@ -35,6 +35,7 @@ from .common import (
     store_components,
     store_foreground,
 )
+from .fusion import check_fused_buffers, fused_tail
 from .ir import KernelSpec
 
 
@@ -107,20 +108,39 @@ def _frame_body(ctx, cfg: KernelConfig, spec: KernelSpec, x, w, m, sd):
 # ----------------------------------------------------------------------
 # Per-frame kernels (levels A-F and any untiled pass subset)
 # ----------------------------------------------------------------------
-def build_kernel(spec: KernelSpec, layout, cfg: KernelConfig, frame_buf, fg_buf):
-    """Build the one-frame-per-launch kernel ``spec`` describes."""
+def build_kernel(
+    spec: KernelSpec,
+    layout,
+    cfg: KernelConfig,
+    frame_buf,
+    fg_buf,
+    shadow_buf=None,
+    class_buf=None,
+):
+    """Build the one-frame-per-launch kernel ``spec`` describes.
+
+    Fused specs (``spec.fused``) additionally write the shadow map /
+    class map into ``shadow_buf`` / ``class_buf`` from the same frame
+    body, with the background estimate still in registers.
+    """
     spec.validate()
     if spec.group_structured:
         raise ConfigError(
             f"spec {spec.name!r} is group-structured (tiling="
             f"{spec.tiling!r}); use build_group_kernel"
         )
+    check_fused_buffers(spec, shadow_buf, class_buf)
 
     def kernel(ctx):
         pixel = ctx.thread_id()
         x = ctx.load(frame_buf, pixel).astype(cfg.dtype)
         w, m, sd = load_components(ctx, layout, cfg, pixel)
         background = _frame_body(ctx, cfg, spec, x, w, m, sd)
+        if spec.fused:
+            background = fused_tail(
+                ctx, cfg, spec, x, w, m, pixel, background,
+                shadow_buf, class_buf,
+            )
         store_components(ctx, layout, cfg, pixel, w, m, sd)
         store_foreground(ctx, fg_buf, pixel, background)
 
@@ -131,13 +151,27 @@ def build_kernel(spec: KernelSpec, layout, cfg: KernelConfig, frame_buf, fg_buf)
 # ----------------------------------------------------------------------
 # Frame-group kernels (level G and the register-residency ablation)
 # ----------------------------------------------------------------------
-def _check_group(frame_bufs, fg_bufs) -> None:
+def _check_group(spec, frame_bufs, fg_bufs, shadow_bufs, class_bufs) -> None:
     if len(frame_bufs) != len(fg_bufs):
         raise LaunchError(
             f"{len(frame_bufs)} frame buffers vs {len(fg_bufs)} foreground buffers"
         )
     if not frame_bufs:
         raise LaunchError("empty frame group")
+    for name, stage, bufs in (
+        ("shadow_bufs", "shadow", shadow_bufs),
+        ("class_bufs", "histogram", class_bufs),
+    ):
+        if stage in spec.fused:
+            if bufs is None or len(bufs) != len(frame_bufs):
+                raise LaunchError(
+                    f"spec {spec.name!r} fuses the {stage} stage; {name} "
+                    f"must match the frame group size {len(frame_bufs)}"
+                )
+
+
+def _group_buf(bufs, f_idx):
+    return None if bufs is None else bufs[f_idx]
 
 
 def build_group_kernel(
@@ -147,6 +181,8 @@ def build_group_kernel(
     frame_bufs,
     fg_bufs,
     tile_pixels: int | None = None,
+    shadow_bufs=None,
+    class_bufs=None,
 ):
     """Build the frame-group kernel ``spec`` describes.
 
@@ -154,23 +190,26 @@ def build_group_kernel(
     (the group size is their length).  Shared tiling requires
     ``tile_pixels`` and must be launched with ``threads_per_block ==
     tile_pixels`` (each block owns one tile); the register-resident
-    variant has no tile/block coupling.
+    variant has no tile/block coupling.  Fused specs take per-frame
+    ``shadow_bufs`` / ``class_bufs`` lists of the same length.
     """
     spec.validate()
     if not spec.group_structured:
         raise ConfigError(
             f"spec {spec.name!r} is per-frame (tiling='none'); use build_kernel"
         )
-    _check_group(frame_bufs, fg_bufs)
+    _check_group(spec, frame_bufs, fg_bufs, shadow_bufs, class_bufs)
     if spec.tiling == "shared":
         if tile_pixels is None:
             raise ConfigError("shared tiling requires tile_pixels")
         return _build_shared_tiled(spec, layout, cfg, frame_bufs, fg_bufs,
-                                   tile_pixels)
-    return _build_register_tiled(spec, layout, cfg, frame_bufs, fg_bufs)
+                                   tile_pixels, shadow_bufs, class_bufs)
+    return _build_register_tiled(spec, layout, cfg, frame_bufs, fg_bufs,
+                                 shadow_bufs, class_bufs)
 
 
-def _build_shared_tiled(spec, layout, cfg, frame_bufs, fg_bufs, tile_pixels):
+def _build_shared_tiled(spec, layout, cfg, frame_bufs, fg_bufs, tile_pixels,
+                        shadow_bufs=None, class_bufs=None):
     """Parameters staged global -> shared once per group (paper Fig 9)."""
     k_count = cfg.num_gaussians
 
@@ -207,6 +246,12 @@ def _build_shared_tiled(spec, layout, cfg, frame_bufs, fg_bufs, tile_pixels):
                 sd.append(ctx.var(ctx.shared_load(sh, lane + plane(k, PARAM_SD))))
 
             background = _frame_body(ctx, cfg, spec, x, w, m, sd)
+            if spec.fused:
+                background = fused_tail(
+                    ctx, cfg, spec, x, w, m, pixel, background,
+                    _group_buf(shadow_bufs, f_idx),
+                    _group_buf(class_bufs, f_idx),
+                )
 
             for k in ctx.loop(k_count):
                 ctx.shared_store(sh, lane + plane(k, PARAM_W), w[k].get())
@@ -225,7 +270,8 @@ def _build_shared_tiled(spec, layout, cfg, frame_bufs, fg_bufs, tile_pixels):
     return kernel
 
 
-def _build_register_tiled(spec, layout, cfg, frame_bufs, fg_bufs):
+def _build_register_tiled(spec, layout, cfg, frame_bufs, fg_bufs,
+                          shadow_bufs=None, class_bufs=None):
     """Parameters live in registers for the whole group (ablation)."""
 
     def kernel(ctx):
@@ -236,6 +282,12 @@ def _build_register_tiled(spec, layout, cfg, frame_bufs, fg_bufs):
             frame_buf, fg_buf = frame_bufs[f_idx], fg_bufs[f_idx]
             x = ctx.load(frame_buf, pixel).astype(cfg.dtype)
             background = _frame_body(ctx, cfg, spec, x, w, m, sd)
+            if spec.fused:
+                background = fused_tail(
+                    ctx, cfg, spec, x, w, m, pixel, background,
+                    _group_buf(shadow_bufs, f_idx),
+                    _group_buf(class_bufs, f_idx),
+                )
             store_foreground(ctx, fg_buf, pixel, background)
 
         store_components(ctx, layout, cfg, pixel, w, m, sd)

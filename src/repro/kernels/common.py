@@ -17,13 +17,19 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..config import MoGParams, resolve_dtype
+from ..config import FusionParams, MoGParams, resolve_dtype
 from ..gpusim.dsl import KernelContext, MutVar, Vec
 
 
 @dataclass(frozen=True)
 class KernelConfig:
-    """Immutable numeric configuration of a MoG kernel."""
+    """Immutable numeric configuration of a MoG kernel.
+
+    The trailing fields are the fused post-stage thresholds
+    (:class:`~repro.config.FusionParams`), also pre-cast to the run
+    dtype; per-frame kernels without fused stages simply never read
+    them.
+    """
 
     num_gaussians: int
     dtype: np.dtype
@@ -34,15 +40,22 @@ class KernelConfig:
     initial_weight: float
     initial_sd: float
     sd_floor: float
+    min_contrast: float = 12.0
+    shadow_alpha_low: float = 0.45
+    shadow_alpha_high: float = 0.95
 
     @classmethod
     def from_params(
-        cls, params: MoGParams, dtype: str | np.dtype = "double"
+        cls,
+        params: MoGParams,
+        dtype: str | np.dtype = "double",
+        fusion: FusionParams | None = None,
     ) -> "KernelConfig":
         dt = resolve_dtype(dtype)
         t = dt.type
         alpha = t(1.0 - params.learning_rate)
         oma = t(1.0) - alpha  # computed in the run dtype (see module doc)
+        fusion = fusion or FusionParams()
         return cls(
             num_gaussians=params.num_gaussians,
             dtype=dt,
@@ -53,6 +66,9 @@ class KernelConfig:
             initial_weight=float(t(params.initial_weight)),
             initial_sd=float(t(params.initial_sd)),
             sd_floor=float(t(params.sd_floor)),
+            min_contrast=float(t(fusion.min_contrast)),
+            shadow_alpha_low=float(t(fusion.shadow_alpha_low)),
+            shadow_alpha_high=float(t(fusion.shadow_alpha_high)),
         )
 
 

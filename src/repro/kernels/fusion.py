@@ -1,0 +1,284 @@
+"""Fused per-pixel post stages and their standalone (unfused) kernels.
+
+The fusion pass (:class:`repro.kernels.ir.FusionPass`) welds up to
+three downstream consumers onto the canonical MoG frame body:
+
+* ``threshold`` — foreground contrast threshold against the per-pixel
+  background estimate,
+* ``shadow`` — grayscale Horprasert-style shadow test (brightness
+  ratio against the same background estimate),
+* ``histogram`` — per-pixel class write (background / shadow /
+  foreground) feeding the host-side integral-histogram analytics.
+
+All three need the background estimate and the foreground flag, which
+are *already live in registers* when the frame body finishes.  Fused,
+they cost a handful of arithmetic instructions and at most two extra
+byte stores; unfused, each stage is a standalone kernel that re-reads
+the frame, the parameter planes and the mask from global memory — the
+exact traffic the paper's thesis says dominates.  The standalone
+builders in this module exist as the *measured* baseline: the host
+pipeline can run them as a post-kernel chain so the simulator's
+transaction counters show precisely what fusion eliminates.
+
+Bit-exactness discipline (same as :mod:`repro.kernels.common`): every
+constant entering run-dtype arithmetic is materialised *in the run
+dtype* (``ctx.full``), because the DSL promotes bare Python floats to
+float64 and the fused tail has no ``MutVar`` rounding station to bring
+the result back.  The NumPy oracle (:mod:`repro.post.analytics`)
+mirrors these expressions one for one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..layout.base import PARAM_M, PARAM_W
+from .common import KernelConfig
+from .ir import KernelSpec, canonical_fused_stages
+
+__all__ = [
+    "CLASS_BACKGROUND",
+    "CLASS_SHADOW",
+    "CLASS_FOREGROUND",
+    "check_fused_buffers",
+    "fused_tail",
+    "build_background_estimate_kernel",
+    "build_threshold_kernel",
+    "build_shadow_kernel",
+    "build_classify_kernel",
+    "build_post_kernels",
+]
+
+#: Per-pixel class codes written by the ``histogram`` stage.
+CLASS_BACKGROUND = 0
+CLASS_SHADOW = 1
+CLASS_FOREGROUND = 2
+
+
+def check_fused_buffers(spec: KernelSpec, shadow_buf, class_buf) -> None:
+    """Validate the output buffers a fused spec needs (per frame)."""
+    if "shadow" in spec.fused and shadow_buf is None:
+        raise ConfigError(
+            f"spec {spec.name!r} fuses the shadow stage; pass shadow_buf"
+        )
+    if "histogram" in spec.fused and class_buf is None:
+        raise ConfigError(
+            f"spec {spec.name!r} fuses the histogram stage; pass class_buf"
+        )
+
+
+# ----------------------------------------------------------------------
+# The fused tail (runs inside the MoG kernel, registers still live)
+# ----------------------------------------------------------------------
+def _background_estimate(ctx, cfg: KernelConfig, w, m):
+    """Per-pixel background estimate from the component registers: the
+    max-weight component's mean (first maximum wins, matching
+    ``np.argmax`` in ``MixtureState.background_image``), clipped to
+    the 8-bit pixel range.  Pure selects — no divergence."""
+    best_w = ctx.var(w[0].get())
+    best_m = ctx.var(m[0].get())
+    for k in ctx.loop(cfg.num_gaussians - 1):
+        k = k + 1
+        better = w[k] > best_w
+        best_w.set(ctx.select(better, w[k].get(), best_w.get()))
+        best_m.set(ctx.select(better, m[k].get(), best_m.get()))
+    zero = ctx.full(0.0, cfg.dtype)
+    hi = ctx.full(255.0, cfg.dtype)
+    return ctx.minimum(ctx.maximum(best_m.get(), zero), hi)
+
+
+def fused_tail(
+    ctx,
+    cfg: KernelConfig,
+    spec: KernelSpec,
+    x,
+    w,
+    m,
+    pixel,
+    background,
+    shadow_buf=None,
+    class_buf=None,
+):
+    """Emit the fused post stages after the frame body.
+
+    ``x`` is the pixel in the run dtype, ``w``/``m`` the *updated*
+    component registers, ``background`` the frame body's decision.
+    Returns the refined background flag (a :class:`MutVar`) the caller
+    stores as the foreground mask.
+    """
+    stages = spec.fused
+    bg_est = _background_estimate(ctx, cfg, w, m)
+    fg = ctx.var(~background.get(), np.bool_)
+    shadow = ctx.var(False, np.bool_)
+    if "threshold" in stages:
+        d = abs(x - bg_est)
+        fg.set(fg & (d >= cfg.min_contrast))
+    if "shadow" in stages:
+        one = ctx.full(1.0, cfg.dtype)
+        ratio = x / ctx.maximum(bg_est, one)
+        sh = (
+            fg
+            & (ratio >= cfg.shadow_alpha_low)
+            & (ratio < cfg.shadow_alpha_high)
+        )
+        shadow.set(sh)
+        ctx.store(
+            shadow_buf, pixel,
+            ctx.select(shadow.get(), np.uint8(255), np.uint8(0)),
+        )
+        fg.set(fg & ~shadow.get())
+    if "histogram" in stages:
+        cls = ctx.select(
+            fg.get(),
+            np.uint8(CLASS_FOREGROUND),
+            ctx.select(
+                shadow.get(), np.uint8(CLASS_SHADOW),
+                np.uint8(CLASS_BACKGROUND),
+            ),
+        )
+        ctx.store(class_buf, pixel, cls)
+    return ctx.var(~fg.get(), np.bool_)
+
+
+# ----------------------------------------------------------------------
+# Standalone post kernels (the measured unfused baseline)
+# ----------------------------------------------------------------------
+def build_background_estimate_kernel(layout, cfg: KernelConfig, bg_buf):
+    """Re-derive the background estimate the fused tail gets for free:
+    re-reads the w/m planes the MoG kernel just wrote back."""
+
+    def kernel(ctx):
+        pixel = ctx.thread_id()
+        best_w = ctx.var(
+            ctx.load(layout.buffer, layout.index(ctx, 0, PARAM_W, pixel))
+        )
+        best_m = ctx.var(
+            ctx.load(layout.buffer, layout.index(ctx, 0, PARAM_M, pixel))
+        )
+        for k in ctx.loop(cfg.num_gaussians - 1):
+            k = k + 1
+            wk = ctx.load(layout.buffer, layout.index(ctx, k, PARAM_W, pixel))
+            mk = ctx.load(layout.buffer, layout.index(ctx, k, PARAM_M, pixel))
+            better = wk > best_w
+            best_w.set(ctx.select(better, wk, best_w.get()))
+            best_m.set(ctx.select(better, mk, best_m.get()))
+        zero = ctx.full(0.0, cfg.dtype)
+        hi = ctx.full(255.0, cfg.dtype)
+        ctx.store(
+            bg_buf, pixel, ctx.minimum(ctx.maximum(best_m.get(), zero), hi)
+        )
+
+    kernel.__name__ = "post_background_estimate"
+    return kernel
+
+
+def _load_flag(ctx, buf, pixel):
+    """Load a 0/255 byte buffer as a boolean vector."""
+    return ctx.load(buf, pixel).ne(np.uint8(0))
+
+
+def build_threshold_kernel(cfg: KernelConfig, frame_buf, bg_buf, fg_buf):
+    """Contrast-threshold the mask: re-reads frame, estimate and mask."""
+
+    def kernel(ctx):
+        pixel = ctx.thread_id()
+        x = ctx.load(frame_buf, pixel).astype(cfg.dtype)
+        bg_est = ctx.load(bg_buf, pixel)
+        fg = _load_flag(ctx, fg_buf, pixel)
+        d = abs(x - bg_est)
+        keep = fg & (d >= cfg.min_contrast)
+        ctx.store(
+            fg_buf, pixel, ctx.select(keep, np.uint8(255), np.uint8(0))
+        )
+
+    kernel.__name__ = "post_threshold"
+    return kernel
+
+
+def build_shadow_kernel(
+    cfg: KernelConfig, frame_buf, bg_buf, fg_buf, shadow_buf
+):
+    """Shadow test: re-reads frame, estimate and mask; writes both the
+    shadow map and the shadow-suppressed mask."""
+
+    def kernel(ctx):
+        pixel = ctx.thread_id()
+        x = ctx.load(frame_buf, pixel).astype(cfg.dtype)
+        bg_est = ctx.load(bg_buf, pixel)
+        fg = _load_flag(ctx, fg_buf, pixel)
+        one = ctx.full(1.0, cfg.dtype)
+        ratio = x / ctx.maximum(bg_est, one)
+        sh = (
+            fg
+            & (ratio >= cfg.shadow_alpha_low)
+            & (ratio < cfg.shadow_alpha_high)
+        )
+        ctx.store(shadow_buf, pixel, ctx.select(sh, np.uint8(255), np.uint8(0)))
+        ctx.store(
+            fg_buf, pixel, ctx.select(fg & ~sh, np.uint8(255), np.uint8(0))
+        )
+
+    kernel.__name__ = "post_shadow"
+    return kernel
+
+
+def build_classify_kernel(cfg: KernelConfig, fg_buf, shadow_buf, class_buf):
+    """Class write: re-reads the mask (and shadow map if present)."""
+
+    def kernel(ctx):
+        pixel = ctx.thread_id()
+        fg = _load_flag(ctx, fg_buf, pixel)
+        if shadow_buf is not None:
+            sh = _load_flag(ctx, shadow_buf, pixel)
+        else:
+            sh = ctx.full(False, np.bool_)
+        cls = ctx.select(
+            fg,
+            np.uint8(CLASS_FOREGROUND),
+            ctx.select(
+                sh, np.uint8(CLASS_SHADOW), np.uint8(CLASS_BACKGROUND)
+            ),
+        )
+        ctx.store(class_buf, pixel, cls)
+
+    kernel.__name__ = "post_classify"
+    return kernel
+
+
+def build_post_kernels(stages, layout, cfg: KernelConfig, frame_buf, fg_buf, alloc):
+    """Assemble the unfused post-kernel chain for ``stages``.
+
+    ``alloc(name, dtype)`` allocates one per-pixel device buffer.
+    Returns ``(kernels, buffers)`` where ``buffers`` maps ``"bg_est"``
+    / ``"shadow"`` / ``"classes"`` to the allocated device buffers.
+    """
+    stages = canonical_fused_stages(stages)
+    if not stages:
+        raise ConfigError("empty post-stage selection")
+    kernels = []
+    bufs: dict = {}
+    if "threshold" in stages or "shadow" in stages:
+        bufs["bg_est"] = alloc("post_bg_est", cfg.dtype)
+        kernels.append(
+            build_background_estimate_kernel(layout, cfg, bufs["bg_est"])
+        )
+    if "threshold" in stages:
+        kernels.append(
+            build_threshold_kernel(cfg, frame_buf, bufs["bg_est"], fg_buf)
+        )
+    if "shadow" in stages:
+        bufs["shadow"] = alloc("shadow_out", np.uint8)
+        kernels.append(
+            build_shadow_kernel(
+                cfg, frame_buf, bufs["bg_est"], fg_buf, bufs["shadow"]
+            )
+        )
+    if "histogram" in stages:
+        bufs["classes"] = alloc("class_out", np.uint8)
+        kernels.append(
+            build_classify_kernel(
+                cfg, fg_buf, bufs.get("shadow"), bufs["classes"]
+            )
+        )
+    return kernels, bufs

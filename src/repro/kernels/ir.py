@@ -33,6 +33,26 @@ UPDATES = ("branchy", "predicated")
 SCANS = ("break", "flat", "recompute")
 TILINGS = ("none", "shared", "registers")
 
+#: Downstream per-pixel stages the fusion pass can weld onto the frame
+#: body, in canonical dataflow order: the foreground threshold needs
+#: the background estimate, the shadow test refines the thresholded
+#: mask, and the class write consumes both.
+FUSED_STAGES = ("threshold", "shadow", "histogram")
+
+
+def canonical_fused_stages(stages) -> tuple[str, ...]:
+    """Normalise a fused-stage selection to canonical dataflow order."""
+    seq = tuple(str(s) for s in stages)
+    unknown = sorted(set(seq) - set(FUSED_STAGES))
+    if unknown:
+        raise ConfigError(
+            f"unknown fused stage(s) {unknown}; expected a subset of "
+            f"{FUSED_STAGES}"
+        )
+    if len(set(seq)) != len(seq):
+        raise ConfigError(f"duplicate fused stages in {seq}")
+    return tuple(s for s in FUSED_STAGES if s in seq)
+
 
 class PassError(ConfigError):
     """A pass was applied to a spec that does not satisfy its
@@ -72,6 +92,13 @@ class KernelSpec:
         per tile, level G) or ``"registers"`` (parameters pinned in
         registers across the group — the design-space ablation the
         paper did not explore).
+    fused:
+        Downstream per-pixel stages welded onto the frame body by the
+        fusion pass (a subset of :data:`FUSED_STAGES` in canonical
+        order). Each fused stage consumes the background estimate and
+        mask *while they are still live in registers*, eliminating the
+        full-frame global-memory round trip a standalone post kernel
+        would pay.
     """
 
     name: str = "mog_base"
@@ -81,6 +108,7 @@ class KernelSpec:
     scan: str = "break"
     overlapped: bool = False
     tiling: str = "none"
+    fused: tuple[str, ...] = ()
 
     # ------------------------------------------------------------------
     @property
@@ -124,6 +152,11 @@ class KernelSpec:
                     "tiled kernels stage only the parameter triple, not "
                     "diff[]; apply register reduction before tiling"
                 )
+        if tuple(self.fused) != canonical_fused_stages(self.fused):
+            raise ConfigError(
+                f"fused stages {self.fused} must be a subset of "
+                f"{FUSED_STAGES} in canonical order"
+            )
         return self
 
     def replace(self, **changes) -> "KernelSpec":
@@ -273,6 +306,26 @@ class RegisterTilingPass(KernelPass):
         return spec.replace(tiling="registers", name="mog_tiled_regs")
 
 
+class FusionPass(KernelPass):
+    name = "fusion"
+    level = None
+    enables = "fusion"
+    table = None
+    note = ("weld the per-pixel consumers (foreground threshold, shadow "
+            "test, class-histogram write) onto the frame body: each "
+            "fused stage drops one full-frame global read+write")
+
+    def __init__(self, stages=FUSED_STAGES) -> None:
+        #: The stages to fuse; the registry instance fuses all of them,
+        #: ablation sweeps construct instances with subsets.
+        self.stages = canonical_fused_stages(stages)
+
+    def apply(self, spec: KernelSpec) -> KernelSpec:
+        self._require(not spec.fused, spec, "fusion already applied")
+        self._require(bool(self.stages), spec, "no stages to fuse")
+        return spec.replace(fused=self.stages, name=spec.name + "_fused")
+
+
 #: All passes in canonical (paper) application order.
 PASS_REGISTRY: dict[str, KernelPass] = {
     p.name: p
@@ -284,6 +337,7 @@ PASS_REGISTRY: dict[str, KernelPass] = {
         RegisterReductionPass(),
         TilingPass(),
         RegisterTilingPass(),
+        FusionPass(),
     )
 }
 

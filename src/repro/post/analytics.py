@@ -1,0 +1,210 @@
+"""Fused-analytics oracle and host-side integral-histogram analytics.
+
+:func:`run_fused_stages` is the NumPy oracle of the fused kernel tail
+(:mod:`repro.kernels.fusion`): it mirrors the emitted expressions one
+for one *in the run dtype*, so fused masks, shadow maps and class maps
+are pinned bit-identical against it at every optimization level in
+both float32 and float64 (tests enforce this).  It also serves the CPU
+backend, which runs the same stages after the vectorized MoG update.
+
+The remaining functions are the host-side consumers of the fused
+``histogram`` stage: a per-class integral histogram (summed-area
+table), O(1) per-region class counts derived from it, and the
+occupancy heatmap surfaced by ``repro track --fuse``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..kernels.common import KernelConfig
+from ..kernels.fusion import CLASS_BACKGROUND, CLASS_FOREGROUND, CLASS_SHADOW
+from ..kernels.ir import canonical_fused_stages
+
+__all__ = [
+    "FusedFrame",
+    "background_estimate",
+    "run_fused_stages",
+    "integral_histogram",
+    "region_counts",
+    "occupancy_heatmap",
+    "record_fused_telemetry",
+]
+
+NUM_CLASSES = 3
+
+
+@dataclass(frozen=True)
+class FusedFrame:
+    """Per-frame outputs of the fused post stages."""
+
+    mask: np.ndarray            # refined boolean foreground mask
+    shadow: np.ndarray | None   # boolean shadow map ("shadow" stage)
+    classes: np.ndarray | None  # uint8 class map ("histogram" stage)
+
+
+def background_estimate(w, m, dtype) -> np.ndarray:
+    """Max-weight component's mean, clipped to the 8-bit pixel range.
+
+    First maximum wins on weight ties, matching both ``np.argmax`` in
+    ``MixtureState.background_image`` and the select chain in the
+    fused kernel tail.  ``w``/``m`` are ``(K, ...)`` arrays in the run
+    dtype; the clip constants are cast to it so float32 stays float32.
+    """
+    w = np.asarray(w)
+    m = np.asarray(m)
+    t = np.dtype(dtype).type
+    best_w = w[0]
+    best_m = m[0]
+    for k in range(1, w.shape[0]):
+        better = w[k] > best_w
+        best_w = np.where(better, w[k], best_w)
+        best_m = np.where(better, m[k], best_m)
+    return np.minimum(np.maximum(best_m, t(0.0)), t(255.0))
+
+
+def run_fused_stages(frame, w, m, mask, stages, cfg: KernelConfig) -> FusedFrame:
+    """NumPy oracle of the fused kernel tail.
+
+    ``frame`` is the uint8 frame, ``w``/``m`` the *updated* mixture
+    state (``(K, ...)`` with trailing dims matching the frame), and
+    ``mask`` the raw MoG foreground decision for the same frame.
+    ``cfg`` carries the run dtype and the pre-cast stage thresholds.
+    """
+    stages = canonical_fused_stages(stages)
+    frame = np.asarray(frame)
+    shape = frame.shape
+    t = cfg.dtype.type
+    x = frame.reshape(-1).astype(cfg.dtype)
+    k_count = int(np.asarray(w).shape[0])
+    bg = background_estimate(
+        np.asarray(w).reshape(k_count, -1),
+        np.asarray(m).reshape(k_count, -1),
+        cfg.dtype,
+    )
+    fg = (np.asarray(mask).reshape(-1) != 0).copy()
+    shadow_flat = None
+    classes = None
+    if "threshold" in stages:
+        d = np.abs(x - bg)
+        fg &= d >= t(cfg.min_contrast)
+    if "shadow" in stages:
+        ratio = x / np.maximum(bg, t(1.0))
+        shadow_flat = (
+            fg
+            & (ratio >= t(cfg.shadow_alpha_low))
+            & (ratio < t(cfg.shadow_alpha_high))
+        )
+        fg &= ~shadow_flat
+    if "histogram" in stages:
+        classes = np.full(x.shape, CLASS_BACKGROUND, np.uint8)
+        if shadow_flat is not None:
+            classes[shadow_flat] = CLASS_SHADOW
+        classes[fg] = CLASS_FOREGROUND
+        classes = classes.reshape(shape)
+    return FusedFrame(
+        mask=fg.reshape(shape),
+        shadow=None if shadow_flat is None else shadow_flat.reshape(shape),
+        classes=classes,
+    )
+
+
+# ----------------------------------------------------------------------
+# Integral-histogram analytics (consumers of the class map)
+# ----------------------------------------------------------------------
+def integral_histogram(
+    classes: np.ndarray, num_classes: int = NUM_CLASSES
+) -> np.ndarray:
+    """Per-class summed-area tables.
+
+    ``ii[c, y, x]`` is the number of pixels of class ``c`` in the
+    inclusive rectangle ``[0..y, 0..x]`` — any axis-aligned region's
+    class histogram is then four lookups (see :func:`region_counts`).
+    """
+    classes = np.asarray(classes)
+    if classes.ndim != 2:
+        raise ConfigError(
+            f"expected a 2-D class map, got shape {classes.shape}"
+        )
+    planes = np.stack(
+        [(classes == c).astype(np.int64) for c in range(num_classes)]
+    )
+    return planes.cumsum(axis=1).cumsum(axis=2)
+
+
+def _grid_edges(size: int, cells: int) -> list[int]:
+    if cells < 1 or cells > size:
+        raise ConfigError(
+            f"grid of {cells} cells does not fit a dimension of {size}"
+        )
+    return [round(i * size / cells) for i in range(cells + 1)]
+
+
+def region_counts(
+    classes: np.ndarray,
+    grid: tuple[int, int] = (4, 4),
+    num_classes: int = NUM_CLASSES,
+) -> np.ndarray:
+    """Per-region class counts from the integral histogram.
+
+    Returns ``(grid_h, grid_w, num_classes)`` int64 counts; each region
+    query is O(1) in the summed-area tables.
+    """
+    classes = np.asarray(classes)
+    ii = integral_histogram(classes, num_classes)
+    h, w = classes.shape
+    padded = np.zeros((num_classes, h + 1, w + 1), np.int64)
+    padded[:, 1:, 1:] = ii
+    ys = _grid_edges(h, grid[0])
+    xs = _grid_edges(w, grid[1])
+    counts = np.zeros((grid[0], grid[1], num_classes), np.int64)
+    for i in range(grid[0]):
+        for j in range(grid[1]):
+            y0, y1, x0, x1 = ys[i], ys[i + 1], xs[j], xs[j + 1]
+            counts[i, j] = (
+                padded[:, y1, x1]
+                - padded[:, y0, x1]
+                - padded[:, y1, x0]
+                + padded[:, y0, x0]
+            )
+    return counts
+
+
+def occupancy_heatmap(
+    mask: np.ndarray, grid: tuple[int, int] = (4, 4)
+) -> np.ndarray:
+    """Fraction of foreground pixels per grid region (float64)."""
+    mask = (np.asarray(mask) != 0).astype(np.uint8)
+    counts = region_counts(mask, grid, num_classes=2)
+    totals = counts.sum(axis=2)
+    return counts[:, :, 1] / np.maximum(totals, 1)
+
+
+def record_fused_telemetry(
+    telemetry,
+    mask: np.ndarray,
+    shadow: np.ndarray | None = None,
+    classes: np.ndarray | None = None,
+    grid: tuple[int, int] = (4, 4),
+) -> None:
+    """Record one fused frame's analytics into a metrics registry.
+
+    Keys: ``fusion.frames``, ``fusion.motion_pixels``,
+    ``fusion.shadow_pixels`` (counters) and per-region
+    ``fusion.occupancy.r<i>c<j>`` gauges.
+    """
+    if telemetry is None or not telemetry.enabled:
+        return
+    telemetry.counter("fusion.frames").inc()
+    telemetry.counter("fusion.motion_pixels").inc(int(np.sum(mask != 0)))
+    if shadow is not None:
+        telemetry.counter("fusion.shadow_pixels").inc(int(np.sum(shadow != 0)))
+    occ = occupancy_heatmap(mask, grid)
+    for i in range(grid[0]):
+        for j in range(grid[1]):
+            telemetry.gauge(f"fusion.occupancy.r{i}c{j}").set(float(occ[i, j]))
+    if classes is not None:
+        telemetry.counter("fusion.class_frames").inc()

@@ -33,14 +33,13 @@ class ShadowParams:
     max_distortion: float = 18.0
 
     def __post_init__(self) -> None:
-        if not 0.0 < self.alpha_low < self.alpha_high:
+        # A shadow is a *dimmed* copy of the background, so the whole
+        # brightness-ratio band must sit at or below 1: alpha_high > 1
+        # would classify brightened pixels (highlights) as shadow.
+        if not 0.0 < self.alpha_low < self.alpha_high <= 1.0:
             raise ConfigError(
-                f"need 0 < alpha_low < alpha_high, got "
-                f"{self.alpha_low}, {self.alpha_high}"
-            )
-        if self.alpha_high > 1.5:
-            raise ConfigError(
-                f"alpha_high {self.alpha_high} is not a shadow (must dim)"
+                f"need 0 < alpha_low < alpha_high <= 1 (a shadow dims "
+                f"the background), got {self.alpha_low}, {self.alpha_high}"
             )
         if self.max_distortion <= 0:
             raise ConfigError("max_distortion must be positive")

@@ -101,6 +101,15 @@ class LatencyHistogram:
 
     def observe(self, seconds: float) -> None:
         seconds = float(seconds)
+        # Reject bad durations *before* touching any state: a NaN that
+        # got as far as count/_min/_max would land in no bucket and
+        # permanently break the bucket-sum == count invariant that
+        # to_dict documents (and poison every quantile thereafter).
+        if not math.isfinite(seconds) or seconds < 0.0:
+            raise ConfigError(
+                f"latency observation must be a finite non-negative "
+                f"duration in seconds, got {seconds!r}"
+            )
         with self._lock:
             self.count += 1
             self.total += seconds
@@ -132,6 +141,16 @@ class LatencyHistogram:
                 return min(max(est, self._min), self._max)
             seen += n
             lo = bound
+        # The target quantile sits in the overflow (le_inf) bucket.
+        # Interpolate within [last_bound, _max] over its mass rather
+        # than collapsing every quantile to the maximum — with most
+        # observations past the last bound, p50 == p99 == max
+        # otherwise.
+        n = self._buckets[-1]
+        if n:
+            frac = (target - seen) / n
+            est = lo + frac * (self._max - lo)
+            return min(max(est, self._min), self._max)
         return self._max
 
     def quantile(self, q: float) -> float:

@@ -58,7 +58,7 @@ class TestExperimentFormatting:
         expected = {
             "table1", "table2", "table3", "table4", "fig6", "fig7",
             "fig8", "fig10", "fig11", "fig12", "cpu_baselines",
-            "embedded", "jitter",
+            "embedded", "jitter", "fusion",
         }
         assert set(ALL_EXPERIMENTS) == expected
 
@@ -91,3 +91,17 @@ class TestDynamicExperimentsFastScale:
         exp = camera_jitter_study(fast_ctx)
         rates = [float(r[1].rstrip("%")) for r in exp.rows]
         assert rates[0] <= rates[-1]
+
+    def test_fusion_counters(self):
+        from repro.bench.experiments import fusion_counters
+
+        exp = fusion_counters()
+        assert len(exp.rows) == 3
+        eliminated = []
+        for row in exp.rows:
+            unfused, fused, delta = (float(c) for c in row[1:])
+            assert fused < unfused
+            assert delta == pytest.approx(unfused - fused)
+            eliminated.append(delta)
+        # Each additional fused stage eliminates strictly more traffic.
+        assert eliminated == sorted(eliminated) and len(set(eliminated)) == 3

@@ -143,6 +143,73 @@ class TestGenerateFromSpec:
             generate_kernel(spec, cfg())
 
 
+class TestFusedKernel:
+    """Golden tokens of the fusion pass's CUDA artifact."""
+
+    @staticmethod
+    def fused_spec(base="F", stages=None):
+        from repro.kernels.ir import FusionPass, apply_passes, spec_for_level
+
+        passes = ("fusion",) if stages is None else (FusionPass(stages),)
+        return apply_passes(spec_for_level(base), passes)
+
+    def test_fused_f_has_tail_and_params(self):
+        src = generate_kernel(self.fused_spec(), cfg())
+        assert balanced(src)
+        assert "Fused post stages" in src
+        assert "scalar_t bg_est" in src
+        assert "MIN_CONTRAST" in src
+        assert "SHADOW_ALPHA_LOW" in src and "SHADOW_ALPHA_HIGH" in src
+        assert "unsigned char* __restrict__ shadow" in src
+        assert "unsigned char* __restrict__ classes" in src
+        assert "shadow[pix]" in src and "classes[pix]" in src
+
+    @pytest.mark.parametrize("level", list("ABCDEFG"))
+    def test_unfused_levels_have_no_tail(self, level):
+        src = generate_kernel(level, cfg())
+        assert "Fused post stages" not in src
+        assert "MIN_CONTRAST" not in src
+        assert "shadow" not in src and "classes" not in src
+
+    def test_threshold_only_subset_drops_outputs(self):
+        src = generate_kernel(self.fused_spec(stages=("threshold",)), cfg())
+        assert balanced(src)
+        assert "MIN_CONTRAST" in src
+        assert "shadow[pix]" not in src and "classes[pix]" not in src
+        assert "__restrict__ shadow" not in src
+        assert "__restrict__ classes" not in src
+
+    def test_fused_tiled_reads_the_tile(self):
+        src = generate_kernel(self.fused_spec(base="G"), cfg())
+        assert balanced(src)
+        assert "Fused post stages" in src
+        assert "tile[SH_IDX(k, P_W, lane)]" in src
+        assert "shadows[f][pix]" in src and "classes[f][pix]" in src
+        assert "unsigned char* const* __restrict__ shadows" in src
+
+    def test_header_has_fusion_constants(self):
+        from repro.cudagen.generator import _header
+        from repro.config import FusionParams
+
+        header = _header(
+            CudaGenConfig(
+                MoGParams(), RunConfig(),
+                fusion=FusionParams(min_contrast=7.0),
+            )
+        )
+        assert "#define MIN_CONTRAST 7.0" in header
+        assert "#define SHADOW_ALPHA_LOW" in header
+        assert "#define SHADOW_ALPHA_HIGH" in header
+
+    def test_project_ships_fused_f(self, tmp_path):
+        generate_project(tmp_path / "cuda")
+        src = (tmp_path / "cuda" / "mog_kernel_F_fused.cu").read_text()
+        assert "mog_kernel_F_fused" in src
+        assert "Fused post stages" in src
+        mk = (tmp_path / "cuda" / "Makefile").read_text()
+        assert "mog_kernel_F_fused.cu" in mk
+
+
 class TestParameterPropagation:
     def test_dtype_double(self):
         from repro.cudagen.generator import _header
@@ -181,7 +248,8 @@ class TestGenerateProject:
         assert names == {
             "mog_common.cuh", "mog_kernel_A.cu", "mog_kernel_B.cu",
             "mog_kernel_D.cu", "mog_kernel_E.cu", "mog_kernel_F.cu",
-            "mog_kernel_G.cu", "main.cu", "Makefile",
+            "mog_kernel_F_fused.cu", "mog_kernel_G.cu", "main.cu",
+            "Makefile",
         }
         for path in written:
             assert path.exists() and path.stat().st_size > 0

@@ -1,0 +1,343 @@
+"""The fusion pass: bit-identity against the unfused oracles, counter
+deltas, fused analytics, and stage/pass validation."""
+
+import numpy as np
+import pytest
+
+from repro.config import FusionParams, RunConfig
+from repro.core.pipeline import HostPipeline
+from repro.core.subtractor import BackgroundSubtractor
+from repro.core.variants import (
+    OptimizationLevel,
+    custom_level,
+    resolve_level_spec,
+)
+from repro.errors import ConfigError
+from repro.kernels.fusion import (
+    CLASS_BACKGROUND,
+    CLASS_FOREGROUND,
+    CLASS_SHADOW,
+    check_fused_buffers,
+)
+from repro.kernels.ir import (
+    FUSED_STAGES,
+    FusionPass,
+    apply_passes,
+    canonical_fused_stages,
+    spec_for_level,
+)
+from repro.post.analytics import (
+    integral_histogram,
+    occupancy_heatmap,
+    region_counts,
+)
+from repro.telemetry import MetricsRegistry
+from repro.video.scenes import evaluation_scene
+
+SHAPE = (24, 48)
+
+
+def scene_frames(n, seed=5):
+    video = evaluation_scene(height=SHAPE[0], width=SHAPE[1], seed=seed)
+    return [video.frame(t) for t in range(n)]
+
+
+def run_config(dtype="double", **kw):
+    return RunConfig(height=SHAPE[0], width=SHAPE[1], dtype=dtype, **kw)
+
+
+# ----------------------------------------------------------------------
+# Bit-identity: fused sim kernels vs the CPU (NumPy) oracle
+# ----------------------------------------------------------------------
+class TestBitIdentity:
+    @pytest.mark.parametrize("dtype", ["double", "float"])
+    @pytest.mark.parametrize("level", list("ABCDEFG"))
+    def test_sim_matches_cpu_oracle(self, level, dtype, params):
+        frames = scene_frames(9)
+        sim = BackgroundSubtractor(
+            SHAPE, params, level=f"{level}+fusion", backend="sim",
+            run_config=run_config(dtype), profile_every=8,
+        )
+        cpu = BackgroundSubtractor(
+            SHAPE, params, level=f"{level}+fusion", backend="cpu",
+            run_config=run_config(dtype),
+        )
+        sim_masks, _ = sim.process(frames)
+        cpu_masks, _ = cpu.process(frames)
+        assert np.array_equal(sim_masks, cpu_masks), (level, dtype)
+        assert np.array_equal(sim.shadow_map(), cpu.shadow_map())
+        assert np.array_equal(sim.class_map(), cpu.class_map())
+        # Histogram totals: the integral histogram's far corner is the
+        # whole-frame class count.
+        hist = integral_histogram(sim.class_map())
+        counts = np.bincount(sim.class_map().ravel(), minlength=3)
+        assert np.array_equal(hist[:, -1, -1], counts)
+
+    @pytest.mark.parametrize("dtype", ["double", "float"])
+    def test_fused_matches_unfused_post_chain(self, dtype, params):
+        """The fused kernel and the standalone post-kernel chain must
+        agree bit for bit — and the fused run must move strictly fewer
+        global-memory transactions."""
+        frames = scene_frames(8)
+        rc = run_config(dtype, profile_every=1)
+        unfused = HostPipeline(
+            SHAPE, params, level="F", run_config=rc,
+            post_stages=FUSED_STAGES,
+        )
+        fused = HostPipeline(
+            SHAPE, params, level=resolve_level_spec("F+fusion"),
+            run_config=rc,
+        )
+        masks_u, rep_u = unfused.process(frames)
+        masks_f, rep_f = fused.process(frames)
+        assert np.array_equal(masks_u, masks_f)
+        assert np.array_equal(unfused.shadow_map(), fused.shadow_map())
+        assert np.array_equal(unfused.class_map(), fused.class_map())
+        assert rep_f.counters.transactions < rep_u.counters.transactions
+
+    @pytest.mark.parametrize("stages", [
+        ("threshold",),
+        ("shadow",),
+        ("threshold", "histogram"),
+    ])
+    def test_stage_subsets_agree(self, stages, params):
+        """Partial fusions (ablation subsets) also match the chain."""
+        frames = scene_frames(7)
+        rc = run_config(profile_every=1)
+        unfused = HostPipeline(
+            SHAPE, params, level="F", run_config=rc, post_stages=stages,
+        )
+        fused = HostPipeline(
+            SHAPE, params,
+            level=custom_level(
+                OptimizationLevel.F.spec.passes + (FusionPass(stages),),
+                name="F+" + "+".join(stages),
+            ),
+            run_config=rc,
+        )
+        masks_u, rep_u = unfused.process(frames)
+        masks_f, rep_f = fused.process(frames)
+        assert np.array_equal(masks_u, masks_f)
+        if "shadow" in stages:
+            assert np.array_equal(unfused.shadow_map(), fused.shadow_map())
+        if "histogram" in stages:
+            assert np.array_equal(unfused.class_map(), fused.class_map())
+        assert rep_f.counters.transactions < rep_u.counters.transactions
+
+
+# ----------------------------------------------------------------------
+# Edge-case scenes
+# ----------------------------------------------------------------------
+class TestEdgeCases:
+    def test_all_background_frame(self, params):
+        flat = np.full(SHAPE, 100, np.uint8)
+        bs = BackgroundSubtractor(
+            SHAPE, params, level="F+fusion", backend="sim",
+        )
+        for _ in range(6):
+            mask = bs.apply(flat)
+        assert not mask.any()
+        assert not bs.shadow_map().any()
+        assert (bs.class_map() == CLASS_BACKGROUND).all()
+        assert (bs.fused_analytics()["occupancy"] == 0.0).all()
+
+    def test_all_foreground_frame(self, params):
+        flat = np.full(SHAPE, 40, np.uint8)
+        bs = BackgroundSubtractor(
+            SHAPE, params, level="F+fusion", backend="sim",
+        )
+        for _ in range(6):
+            bs.apply(flat)
+        mask = bs.apply(np.full(SHAPE, 255, np.uint8))
+        assert mask.all()
+        assert not bs.shadow_map().any()  # 255/40 is no dimming
+        assert (bs.class_map() == CLASS_FOREGROUND).all()
+        assert (bs.fused_analytics()["occupancy"] == 1.0).all()
+
+    def test_empty_post_cleanup_mask(self, params):
+        """A cleaner that wipes the mask must leave the analytics
+        well-defined (all-zero occupancy), not crash them."""
+        from repro.post.morphology import MaskCleaner
+
+        bs = BackgroundSubtractor(
+            SHAPE, params, level="F+fusion", backend="cpu",
+        )
+        for frame in scene_frames(8):
+            mask = bs.apply(frame)
+        cleaned = MaskCleaner(min_area=SHAPE[0] * SHAPE[1] + 1)(mask)
+        assert not cleaned.any()
+        assert (occupancy_heatmap(cleaned) == 0.0).all()
+
+    @pytest.mark.parametrize("backend", ["sim", "cpu"])
+    def test_shadow_heavy_scene(self, backend, params):
+        """A dimmed copy of the background is shadow (removed from the
+        mask); a bright object stays foreground."""
+        base = np.full(SHAPE, 120, np.uint8)
+        bs = BackgroundSubtractor(
+            SHAPE, params, level="F+fusion", backend=backend,
+        )
+        for _ in range(20):
+            bs.apply(base)
+        test = base.copy()
+        test[8:16, 8:24] = 84    # ratio 0.7: inside the shadow band
+        test[4:8, 30:40] = 250   # brightened: genuine foreground
+        mask = bs.apply(test)
+        shadow = bs.shadow_map()
+        classes = bs.class_map()
+        assert shadow[8:16, 8:24].all()
+        assert not mask[8:16, 8:24].any()  # suppressed from the mask
+        assert mask[4:8, 30:40].all()
+        assert not shadow[4:8, 30:40].any()
+        assert (classes[8:16, 8:24] == CLASS_SHADOW).all()
+        assert (classes[4:8, 30:40] == CLASS_FOREGROUND).all()
+        counts = bs.fused_analytics()["region_counts"]
+        assert counts.sum() == SHAPE[0] * SHAPE[1]
+        assert counts[:, :, CLASS_SHADOW].sum() == int(shadow.sum())
+
+
+# ----------------------------------------------------------------------
+# Fused analytics and telemetry
+# ----------------------------------------------------------------------
+class TestAnalytics:
+    def test_region_counts_partition_the_frame(self):
+        rng = np.random.default_rng(0)
+        classes = rng.integers(0, 3, size=SHAPE).astype(np.uint8)
+        counts = region_counts(classes, grid=(3, 5))
+        assert counts.shape == (3, 5, 3)
+        assert counts.sum() == SHAPE[0] * SHAPE[1]
+        totals = np.bincount(classes.ravel(), minlength=3)
+        assert np.array_equal(counts.sum(axis=(0, 1)), totals)
+
+    def test_occupancy_bounds_and_values(self):
+        mask = np.zeros(SHAPE, bool)
+        mask[: SHAPE[0] // 2] = True  # top half foreground
+        occ = occupancy_heatmap(mask, grid=(2, 2))
+        assert occ.shape == (2, 2)
+        assert np.allclose(occ[0], 1.0) and np.allclose(occ[1], 0.0)
+
+    def test_grid_must_fit_the_frame(self):
+        mask = np.zeros(SHAPE, bool)
+        with pytest.raises(ConfigError):
+            occupancy_heatmap(mask, grid=(SHAPE[0] + 1, 2))
+        with pytest.raises(ConfigError):
+            occupancy_heatmap(mask, grid=(0, 2))
+
+    def test_telemetry_keys(self, params):
+        telemetry = MetricsRegistry()
+        bs = BackgroundSubtractor(
+            SHAPE, params, level="F+fusion", backend="cpu",
+            telemetry=telemetry,
+        )
+        for frame in scene_frames(4):
+            bs.apply(frame)
+        snap = telemetry.snapshot()
+        assert snap["counters"]["fusion.frames"] == 4
+        assert "fusion.motion_pixels" in snap["counters"]
+        assert "fusion.shadow_pixels" in snap["counters"]
+        assert snap["counters"]["fusion.class_frames"] == 4
+        assert any(
+            name.startswith("fusion.occupancy.") for name in snap["gauges"]
+        )
+
+
+# ----------------------------------------------------------------------
+# Pass and parameter validation
+# ----------------------------------------------------------------------
+class TestFusionPassValidation:
+    def test_canonical_order_is_dataflow_order(self):
+        assert canonical_fused_stages(("histogram", "threshold")) == (
+            "threshold", "histogram",
+        )
+        assert canonical_fused_stages(FUSED_STAGES) == FUSED_STAGES
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ConfigError):
+            canonical_fused_stages(("threshold", "blur"))
+
+    def test_duplicate_stage_rejected(self):
+        with pytest.raises(ConfigError):
+            canonical_fused_stages(("shadow", "shadow"))
+
+    def test_fusing_twice_raises(self):
+        spec = apply_passes(spec_for_level("F"), ("fusion",))
+        with pytest.raises(ConfigError):
+            FusionPass().apply(spec)
+
+    def test_empty_stage_selection_raises(self):
+        with pytest.raises(ConfigError):
+            FusionPass(stages=()).apply(spec_for_level("F"))
+
+    def test_spec_requires_canonical_fused_order(self):
+        with pytest.raises(ConfigError):
+            spec_for_level("F").replace(fused=("shadow", "threshold"))
+
+    def test_missing_output_buffers_rejected(self):
+        spec = apply_passes(spec_for_level("F"), ("fusion",))
+        with pytest.raises(ConfigError):
+            check_fused_buffers(spec, None, object())
+        with pytest.raises(ConfigError):
+            check_fused_buffers(spec, object(), None)
+
+    def test_custom_level_keeps_pass_configuration(self):
+        spec = custom_level(
+            OptimizationLevel.F.spec.passes
+            + (FusionPass(("threshold",)),),
+        )
+        assert spec.kernel.fused == ("threshold",)
+
+    def test_post_stages_exclusive_with_fused_level(self, params):
+        with pytest.raises(ConfigError):
+            HostPipeline(
+                SHAPE, params, level=resolve_level_spec("F+fusion"),
+                post_stages=("threshold",),
+            )
+
+    def test_post_stages_rejected_for_tiled_level(self, params):
+        with pytest.raises(ConfigError):
+            HostPipeline(
+                SHAPE, params, level="G", post_stages=("threshold",),
+            )
+
+    def test_cpu_backend_rejects_post_stages(self, params):
+        with pytest.raises(ConfigError):
+            BackgroundSubtractor(
+                SHAPE, params, level="F", backend="cpu",
+                post_stages=("threshold",),
+            )
+
+
+class TestFusionParams:
+    def test_defaults_valid(self):
+        p = FusionParams()
+        assert 0.0 < p.shadow_alpha_low < p.shadow_alpha_high <= 1.0
+
+    def test_negative_contrast_rejected(self):
+        with pytest.raises(ConfigError):
+            FusionParams(min_contrast=-1.0)
+
+    def test_alpha_band_must_be_ordered_and_dimming(self):
+        with pytest.raises(ConfigError):
+            FusionParams(shadow_alpha_low=0.9, shadow_alpha_high=0.5)
+        with pytest.raises(ConfigError):
+            FusionParams(shadow_alpha_high=1.2)
+        FusionParams(shadow_alpha_high=1.0)  # boundary allowed
+
+    def test_replace(self):
+        p = FusionParams().replace(min_contrast=5.0)
+        assert p.min_contrast == 5.0
+
+    def test_params_reach_the_kernel(self, params):
+        """A custom threshold changes the fused mask the way the oracle
+        says it should."""
+        frames = scene_frames(8)
+        loose = BackgroundSubtractor(
+            SHAPE, params, level="F+fusion", backend="sim",
+            fusion=FusionParams(min_contrast=0.0),
+        )
+        strict = BackgroundSubtractor(
+            SHAPE, params, level="F+fusion", backend="sim",
+            fusion=FusionParams(min_contrast=60.0),
+        )
+        masks_loose, _ = loose.process(frames)
+        masks_strict, _ = strict.process(frames)
+        assert masks_strict.sum() <= masks_loose.sum()

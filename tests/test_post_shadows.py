@@ -112,3 +112,26 @@ class TestSuppressShadows:
         )
         assert shadow[5:11, 5:11].all()
         assert not cleaned[5:11, 5:11].any()
+
+
+class TestShadowParamsBand:
+    """Pinned fix: the alpha band must satisfy 0 < low < high <= 1 — a
+    'shadow' can only dim the background, so high > 1 (which silently
+    classified *brightened* pixels as shadow) is rejected."""
+
+    @pytest.mark.parametrize("high", [1.2, 1.5, 1.0000001])
+    def test_brightening_band_rejected(self, high):
+        with pytest.raises(ConfigError):
+            ShadowParams(alpha_high=high)
+
+    def test_boundary_high_of_one_accepted(self):
+        assert ShadowParams(alpha_high=1.0).alpha_high == 1.0
+
+    @pytest.mark.parametrize("low", [0.0, -0.1])
+    def test_nonpositive_low_rejected(self, low):
+        with pytest.raises(ConfigError):
+            ShadowParams(alpha_low=low)
+
+    def test_degenerate_band_rejected(self):
+        with pytest.raises(ConfigError):
+            ShadowParams(alpha_low=0.9, alpha_high=0.9)

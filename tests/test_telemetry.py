@@ -264,3 +264,46 @@ class TestFormatMetrics:
     def test_empty_snapshot(self):
         text = format_metrics(MetricsRegistry().snapshot())
         assert "no metrics recorded" in text
+
+
+class TestHistogramRegressions:
+    """Pinned fixes: overflow-bucket quantiles and bad observations."""
+
+    def test_overflow_heavy_quantiles_interpolate(self):
+        """With most observations past the last bound, p50 and p99 must
+        spread across [last_bound, max], not both collapse to max."""
+        from repro.telemetry.registry import LatencyHistogram
+
+        h = LatencyHistogram(bounds=(0.01, 0.1))
+        h.observe(0.005)
+        for v in (0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 90.0):
+            h.observe(v)  # 9 of 10 in the overflow bucket
+        p50 = h.quantile(0.50)
+        p99 = h.quantile(0.99)
+        assert p50 != p99
+        assert 0.1 <= p50 <= 90.0
+        assert 0.1 <= p99 <= 90.0
+        assert p50 < p99
+
+    def test_all_overflow_quantiles_bounded(self):
+        from repro.telemetry.registry import LatencyHistogram
+
+        h = LatencyHistogram(bounds=(0.001,))
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert 0.001 <= h.quantile(0.25) <= 4.0
+        assert h.quantile(0.25) < h.quantile(0.75)
+        assert h.quantile(1.0) == 4.0
+
+    @pytest.mark.parametrize("bad", [
+        float("nan"), float("inf"), float("-inf"), -1.0, -0.001,
+    ])
+    def test_bad_observation_rejected_without_state_change(self, bad):
+        h = MetricsRegistry().histogram("lat")
+        h.observe(0.02)
+        before = h.to_dict()
+        with pytest.raises(ConfigError):
+            h.observe(bad)
+        after = h.to_dict()
+        assert after == before  # rejection left no trace
+        assert sum(after["buckets"].values()) == after["count"] == 1
