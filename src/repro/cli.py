@@ -14,7 +14,9 @@ The subcommands cover the end-to-end workflow without writing Python:
 * ``repro levels`` — describe the optimization levels (pass stacks,
   layout, paper speedups) or a custom pass expression;
 * ``repro experiments`` — print any of the paper's reproduced
-  tables/figures.
+  tables/figures;
+* ``repro bench`` — measure one backend's steady-state throughput
+  (warmup excluded, JIT compile time reported separately).
 
 Everywhere a ``--level`` is accepted, both paper letters (``A``..``G``)
 and pass expressions (``A+predication``, ``B+sort-elimination``) work.
@@ -69,8 +71,10 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="optimization level A..G or a pass expression "
                       "like A+predication (see `repro levels`)")
     subx.add_argument(
-        "--backend", choices=("cpu", "sim"), default="cpu",
-        help="cpu: fastest; sim: simulated C2075 with profiling",
+        "--backend", choices=("cpu", "sim", "jit"), default="cpu",
+        help="cpu: vectorized NumPy; jit: numba-compiled kernels "
+        "(falls back to cpu when numba is missing); sim: simulated "
+        "C2075 with profiling",
     )
     subx.add_argument("--dtype", choices=("double", "float"), default="double")
     subx.add_argument("--gaussians", type=int, default=3)
@@ -102,8 +106,9 @@ def _build_parser() -> argparse.ArgumentParser:
                          "shadow and class-histogram stages fused into the "
                          "MoG kernel); prints the fused region analytics")
     tr.add_argument(
-        "--backend", choices=("cpu", "sim"), default="cpu",
-        help="cpu: fastest; sim: simulated C2075",
+        "--backend", choices=("cpu", "sim", "jit"), default="cpu",
+        help="cpu: vectorized NumPy; jit: numba-compiled kernels "
+        "(cpu fallback without numba); sim: simulated C2075",
     )
     tr.add_argument("--profile-every", type=int, default=1, metavar="N",
                     help="sim backend: profile every Nth frame, run the "
@@ -160,7 +165,9 @@ def _build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--height", type=int, default=120)
     sv.add_argument("--width", type=int, default=160)
     sv.add_argument("--level", default="F")
-    sv.add_argument("--backend", choices=("cpu", "sim"), default="cpu")
+    sv.add_argument("--backend", choices=("cpu", "sim", "jit"), default="cpu",
+                    help="per-stream pipeline backend (jit falls back "
+                    "to cpu without numba)")
     sv.add_argument("--learning-rate", type=float, default=0.08)
     sv.add_argument("--warmup", type=int, default=15)
     sv.add_argument("--workers", type=int, default=2,
@@ -221,8 +228,28 @@ def _build_parser() -> argparse.ArgumentParser:
     ex.add_argument(
         "names", nargs="*", default=["fig8"],
         help="experiment ids (table1..4, fig6..12, cpu_baselines, "
-        "embedded); default fig8",
+        "embedded, fusion, jit); default fig8",
     )
+
+    bn = sub.add_parser(
+        "bench",
+        help="measure one backend's steady-state throughput",
+    )
+    bn.add_argument("--backend", choices=("cpu", "sim", "jit"),
+                    default="cpu")
+    bn.add_argument("--level", default="F",
+                    help="optimization level or pass expression")
+    bn.add_argument("--height", type=int, default=120)
+    bn.add_argument("--width", type=int, default=160)
+    bn.add_argument("--frames", type=int, default=33,
+                    help="timed frames (after warmup)")
+    bn.add_argument("--warmup", type=int, default=None, metavar="N",
+                    help="warmup frames excluded from timing (default: "
+                    "backend-specific; covers JIT compilation)")
+    bn.add_argument("--dtype", choices=("double", "float"),
+                    default="double")
+    bn.add_argument("--json", action="store_true",
+                    help="emit the snapshot-format entry as JSON")
     return parser
 
 
@@ -556,6 +583,14 @@ def _cmd_levels(args) -> int:
         print(f"  enables       : {', '.join(spec.enables)}")
         if spec.kernel.fused:
             print(f"  fused stages  : {', '.join(spec.kernel.fused)}")
+        backends = spec.describe()["backends"]
+        parts = []
+        for name in sorted(backends):
+            info = backends[name]
+            parts.append(
+                name if info["available"] else f"{name} (unavailable)"
+            )
+        print(f"  backends      : {', '.join(parts)}")
         print(f"  paper speedup : {speedup}")
     return 0
 
@@ -579,6 +614,35 @@ def _cmd_experiments(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    import json
+
+    from .bench.snapshot import measure_fps
+
+    entry = measure_fps(
+        args.backend,
+        num_frames=args.frames,
+        level=args.level,
+        shape=(args.height, args.width),
+        warmup_frames=args.warmup,
+        dtype=args.dtype,
+    )
+    if args.json:
+        print(json.dumps(entry, indent=2))
+        return 0
+    print(
+        f"{entry['backend']}: {entry['frames_per_s']:.2f} frames/s "
+        f"({args.height}x{args.width}, level {args.level}, "
+        f"{entry['frames_timed']} frames timed, "
+        f"{entry['warmup_frames']} warmup, "
+        f"warmup {entry['warmup_s']:.3f}s, "
+        f"compile {entry['compile_s']:.3f}s)"
+    )
+    if entry.get("numba") is False:
+        print("(numba unavailable: jit degraded to the cpu fallback)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handler = {
@@ -590,6 +654,7 @@ def main(argv: list[str] | None = None) -> int:
         "levels": _cmd_levels,
         "export-cuda": _cmd_export_cuda,
         "experiments": _cmd_experiments,
+        "bench": _cmd_bench,
     }[args.command]
     try:
         return handler(args)

@@ -160,6 +160,12 @@ class FusionParams:
         return dataclasses.replace(self, **kwargs)
 
 
+#: Execution backends a subtractor can run on. ``"cpu"`` is the
+#: vectorized NumPy path, ``"sim"`` the simulated GPU, ``"jit"`` the
+#: numba-compiled per-pixel kernels (falls back to ``"cpu"`` with a
+#: warning when numba is not installed).
+BACKENDS = ("cpu", "sim", "jit")
+
 #: Geometry of the paper's evaluation video.
 FULL_HD = (1080, 1920)
 #: Frames processed in the paper's timing runs.
@@ -192,6 +198,11 @@ class RunConfig:
         Profile every Nth kernel launch on the simulated backend; the
         rest run on the functional tier (exact masks, no counters).
         1 (default) profiles every launch — today's behaviour.
+    backend:
+        Optional default execution backend (one of :data:`BACKENDS`)
+        for consumers that accept a run config but no explicit
+        ``backend=`` argument; ``None`` keeps each consumer's own
+        default.
     """
 
     height: int = 240
@@ -201,11 +212,16 @@ class RunConfig:
     tile_pixels: int = 640
     frame_group: int = 8
     profile_every: int = 1
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.height <= 0 or self.width <= 0:
             raise ConfigError(
                 f"frame geometry must be positive, got {self.height}x{self.width}"
+            )
+        if self.backend is not None and self.backend not in BACKENDS:
+            raise ConfigError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
             )
         resolve_dtype(self.dtype)  # validates
         if self.threads_per_block <= 0 or self.threads_per_block % 32:
@@ -584,6 +600,11 @@ class ServeConfig:
         exists, restore the pipeline from it before serving; a corrupt
         or mismatched checkpoint raises
         :class:`~repro.errors.CheckpointError` at ``add_stream``.
+    backend:
+        Default execution backend for the per-stream pipelines (one of
+        :data:`BACKENDS`); ``None`` keeps the server's default
+        (``"cpu"``). ``"jit"`` degrades per the subtractor's fallback
+        semantics when numba is unavailable, so masks stay identical.
     """
 
     workers: int = 2
@@ -596,8 +617,13 @@ class ServeConfig:
     checkpoint_every: int = 0
     checkpoint_dir: str | None = None
     resume: bool = False
+    backend: str | None = None
 
     def __post_init__(self) -> None:
+        if self.backend is not None and self.backend not in BACKENDS:
+            raise ConfigError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
         if self.workers < 1:
             raise ConfigError(f"workers must be >= 1, got {self.workers}")
         if self.max_streams < 1:

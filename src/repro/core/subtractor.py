@@ -1,27 +1,37 @@
 """The top-level :class:`BackgroundSubtractor` facade.
 
-Two backends:
+Three backends:
 
-* ``backend="cpu"`` — the practical path: vectorized NumPy MoG, no
-  simulation, fastest wall-clock. ``report()`` is not available.
+* ``backend="cpu"`` — the practical interpreted path: vectorized NumPy
+  MoG, no simulation. ``report()`` is not available.
+* ``backend="jit"`` — the compiled hot path: per-pixel kernels emitted
+  from the level's :class:`~repro.kernels.ir.KernelSpec` and compiled
+  with numba (:mod:`repro.kernels.jit`). Masks, mixture state and
+  fused shadow/class maps are bit-identical to ``cpu``. When numba is
+  not installed the subtractor degrades to ``cpu`` with a
+  ``RuntimeWarning`` and a ``jit.fallbacks`` counter —
+  :attr:`BackgroundSubtractor.active_backend` says what actually ran.
 * ``backend="sim"`` — the paper-reproduction path: the chosen
   optimization level runs on the simulated Tesla C2075 and every frame
   is profiled (counters, occupancy, modelled time).
 
-Both backends produce identical foreground masks for the same
+All backends produce identical foreground masks for the same
 optimization level (enforced by tests), because the kernels and the
 vectorized variants implement the same pinned semantics.
 """
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
-from ..config import FusionParams, MoGParams, RunConfig
-from ..errors import ConfigError
+from ..config import BACKENDS, FusionParams, MoGParams, RunConfig
+from ..errors import ConfigError, JitUnavailableError
 from ..gpusim.calibration import DEFAULT_CALIBRATION, Calibration
 from ..gpusim.device import TESLA_C2075, DeviceSpec
 from ..kernels import KernelConfig
+from ..mog.jit import MoGJit
 from ..mog.vectorized import MoGVectorized
 from ..post.analytics import (
     occupancy_heatmap,
@@ -52,9 +62,13 @@ class BackgroundSubtractor:
         variant's masks, D/E the same masks, F/G the ``regopt``
         variant's.
     backend:
-        ``"cpu"`` (vectorized NumPy) or ``"sim"`` (simulated GPU).
+        ``"cpu"`` (vectorized NumPy), ``"jit"`` (numba-compiled
+        kernels, cpu fallback when numba is missing) or ``"sim"``
+        (simulated GPU). ``None`` (default) takes
+        ``run_config.backend`` when set, else ``"sim"``.
     run_config, device, calibration, registers:
-        Simulation knobs, ignored by the CPU backend.
+        Simulation knobs; the CPU/JIT backends read only
+        ``run_config.dtype`` (and ``run_config.backend``).
     profile_every:
         Override ``run_config.profile_every`` for the simulated
         backend: profile every Nth launch, run the rest on the
@@ -87,7 +101,7 @@ class BackgroundSubtractor:
         shape: tuple[int, int],
         params: MoGParams | None = None,
         level: OptimizationLevel | LevelSpec | str = OptimizationLevel.F,
-        backend: str = "sim",
+        backend: str | None = None,
         run_config: RunConfig | None = None,
         device: DeviceSpec = TESLA_C2075,
         calibration: Calibration = DEFAULT_CALIBRATION,
@@ -99,8 +113,16 @@ class BackgroundSubtractor:
         post_stages=(),
         fusion: FusionParams | None = None,
     ) -> None:
-        if backend not in ("cpu", "sim"):
-            raise ConfigError(f"backend must be 'cpu' or 'sim', got {backend!r}")
+        if backend is None:
+            backend = (
+                run_config.backend
+                if run_config is not None and run_config.backend
+                else "sim"
+            )
+        if backend not in BACKENDS:
+            raise ConfigError(
+                f"backend must be one of {BACKENDS}, got {backend!r}"
+            )
         self.shape = tuple(shape)
         self.params = params or MoGParams()
         self.spec = resolve_level_spec(level)
@@ -112,31 +134,60 @@ class BackgroundSubtractor:
             else self.spec
         )
         self.backend = backend
+        #: What actually runs: equals ``backend`` except when a
+        #: ``"jit"`` request degraded to ``"cpu"`` (numba missing).
+        self.active_backend = backend
         self._fault_injector = fault_injector
         self._telemetry = telemetry
+        #: Seconds spent compiling kernels at construction (jit backend
+        #: only; 0.0 elsewhere and on warm-cache hits).
+        self.compile_s = 0.0
         self._fusion_cfg = None
+        self._jit_fused = False
         self._last_mask = None
         self._last_shadow = None
         self._last_classes = None
-        if backend == "cpu":
+        if backend in ("cpu", "jit"):
             if post_stages:
                 raise ConfigError(
                     "post_stages (the unfused post-kernel baseline) is "
-                    "a simulator feature; the CPU backend fuses via a "
-                    "fused level spec"
+                    "a simulator feature; the CPU and JIT backends fuse "
+                    "via a fused level spec"
                 )
-            dtype = (run_config or RunConfig()).dtype if run_config else "double"
-            self._impl = MoGVectorized(
-                self.shape, self.params,
-                variant=self.spec.mog_variant, dtype=dtype,
-                integrity=integrity, telemetry=telemetry,
-            )
-            if self.spec.kernel.fused:
-                # The CPU mirror of the fused tail: same expressions,
-                # same run dtype, applied right after the MoG update.
-                self._fusion_cfg = KernelConfig.from_params(
-                    self.params, dtype, fusion=fusion
+            dtype = run_config.dtype if run_config is not None else "double"
+            self._impl = None
+            if backend == "jit":
+                try:
+                    self._impl = MoGJit(
+                        self.shape, self.params,
+                        spec=self.spec.kernel, dtype=dtype, fusion=fusion,
+                        integrity=integrity, telemetry=telemetry,
+                    )
+                    self._jit_fused = bool(self.spec.kernel.fused)
+                    self.compile_s = self._impl.compile_s
+                except JitUnavailableError as exc:
+                    warnings.warn(
+                        f"backend='jit' requested but unavailable ({exc}); "
+                        "falling back to the cpu backend (masks are "
+                        "identical, throughput is not)",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    if telemetry is not None:
+                        telemetry.counter("jit.fallbacks").inc()
+                    self.active_backend = "cpu"
+            if self._impl is None:
+                self._impl = MoGVectorized(
+                    self.shape, self.params,
+                    variant=self.spec.mog_variant, dtype=dtype,
+                    integrity=integrity, telemetry=telemetry,
                 )
+                if self.spec.kernel.fused:
+                    # The CPU mirror of the fused tail: same expressions,
+                    # same run dtype, applied right after the MoG update.
+                    self._fusion_cfg = KernelConfig.from_params(
+                        self.params, dtype, fusion=fusion
+                    )
             self._pipeline = None
         else:
             if profile_every is not None:
@@ -165,8 +216,26 @@ class BackgroundSubtractor:
             mask = self._impl.apply(frame)
             if self._fusion_cfg is not None:
                 mask = self._apply_fused_post(frame, mask)
+            elif self._jit_fused:
+                self._record_jit_fused(mask)
             return mask
         return self._pipeline.apply(frame)
+
+    def _record_jit_fused(self, mask) -> None:
+        """Collect the fused outputs the compiled kernel produced
+        in-register (no host-side post pass needed)."""
+        stages = self.spec.kernel.fused
+        self._last_mask = mask
+        self._last_shadow = (
+            (self._impl.last_shadow != 0) if "shadow" in stages else None
+        )
+        self._last_classes = (
+            self._impl.last_classes if "histogram" in stages else None
+        )
+        record_fused_telemetry(
+            self._telemetry, mask,
+            shadow=self._last_shadow, classes=self._last_classes,
+        )
 
     def _apply_fused_post(self, frame, mask) -> np.ndarray:
         """CPU mirror of the fused kernel tail (NumPy oracle)."""
@@ -191,9 +260,9 @@ class BackgroundSubtractor:
         backend.
         """
         if self._impl is not None:
-            if self._fusion_cfg is not None:
+            if self._fusion_cfg is not None or self._jit_fused:
                 # apply_sequence bypasses the per-frame wrapper, so the
-                # fused tail must run frame by frame here.
+                # fused bookkeeping must run frame by frame here.
                 return np.stack([self.apply(f) for f in list(frames)]), None
             return self._impl.apply_sequence(frames), None
         return self._pipeline.process(frames)
@@ -239,7 +308,10 @@ class BackgroundSubtractor:
     def report(self) -> RunReport:
         """The run report so far (simulated backend only)."""
         if self._pipeline is None:
-            raise ConfigError("the CPU backend does not produce run reports")
+            raise ConfigError(
+                f"the {self.active_backend!r} backend does not produce "
+                "run reports; use backend='sim'"
+            )
         return self._pipeline.report()
 
     def background_image(self) -> np.ndarray:
@@ -252,7 +324,8 @@ class BackgroundSubtractor:
     def state_snapshot(self):
         """Uniform snapshot across backends: ``(w, m, sd, frames)`` or
         ``None`` before the first frame. The CPU backend returns live
-        references (cheap); the sim backend downloads a copy from the
+        references (cheap); the JIT backend copies (its kernels mutate
+        state in place); the sim backend downloads a copy from the
         simulated device."""
         if self._impl is not None:
             return self._impl.state_snapshot()

@@ -113,6 +113,7 @@ class LevelSpec:
             "mog_variant": self.mog_variant,
             "enables": list(self.enables),
             "paper_speedup": self.paper_speedup,
+            "backends": backend_availability(self),
         }
 
 
@@ -223,6 +224,51 @@ def resolve_level_spec(
         )
         return custom_level(base_passes + tuple(extra), name=text)
     return OptimizationLevel.parse(text).spec
+
+
+# ----------------------------------------------------------------------
+# Backend availability
+# ----------------------------------------------------------------------
+def backend_availability(level) -> dict:
+    """Per-backend availability of a level spec, for discovery.
+
+    Callers (``repro levels --json``, admission checks) use this to
+    learn *before the first frame* that e.g. ``jit`` is requested but
+    numba is missing, or that a spec has no CUDA rendering. Each entry
+    is ``{"available": bool}`` plus a ``"reason"`` when unavailable.
+
+    * ``cpu`` / ``sim`` — always available (every valid spec has a
+      vectorized variant and a simulator kernel).
+    * ``jit`` — available iff numba imports in this process; the probe
+      reason is surfaced verbatim.
+    * ``cuda-text`` — whether :mod:`repro.cudagen` can render the spec
+      (register-resident tiling is a simulator-only ablation).
+    """
+    from ..kernels.jit import numba_available, numba_unavailable_reason
+
+    spec = resolve_level_spec(level).kernel
+    out = {
+        "cpu": {"available": True},
+        "sim": {"available": True},
+    }
+    if numba_available():
+        out["jit"] = {"available": True}
+    else:
+        out["jit"] = {
+            "available": False,
+            "reason": numba_unavailable_reason() or "numba is not available",
+        }
+    if spec.tiling == "registers":
+        out["cuda-text"] = {
+            "available": False,
+            "reason": (
+                "register-resident tiling is a simulator-only ablation; "
+                "no CUDA template"
+            ),
+        }
+    else:
+        out["cuda-text"] = {"available": True}
+    return out
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,559 @@
+"""Numba JIT emitter: compile a :class:`KernelSpec` to native code.
+
+This is the third emitter fed by the kernel IR (after the simulator DSL
+in :mod:`repro.kernels.build` and the CUDA text in
+:mod:`repro.cudagen.generator`): it renders any spec — every paper
+level A..G, custom pass stacks like ``"A+predication"``, and
+:class:`~repro.kernels.ir.FusionPass` fused tails — into Python source
+for a *scalar per-pixel* kernel and compiles it with
+``@numba.njit(parallel=True, cache=True)``, ``prange`` over pixels.
+
+The emitted body mirrors :func:`repro.kernels.build._frame_body`
+expression for expression (branchy vs predicated updates, kept vs
+recomputed diffs, the stable descending bubble sort, the first-min
+virtual component, and the register-resident fused
+threshold/shadow/histogram tail), with every numeric constant passed in
+pre-cast to the run dtype, so masks, mixture state and shadow/class
+maps are bit-identical to the ``cpu`` and ``sim`` backends in both
+float32 and float64 (the oracle tests in ``tests/test_jit.py`` pin
+this).
+
+Numba is an **optional** dependency (the ``[jit]`` extra) and is never
+imported at module import time.  Two engines exist:
+
+* ``"numba"`` — the production path: the generated source is written
+  to a small on-disk cache directory (numba's ``cache=True`` needs a
+  real file to key its disk cache on), imported, decorated and warmed
+  eagerly so compilation happens once at model construction;
+* ``"python"`` — the same generated source executed interpreted
+  (``prange`` degrades to ``range``).  Slow, but it runs the *exact*
+  kernel text, which is what lets the bit-identity oracle tests run in
+  environments without numba.
+
+Compiled kernels are memoised in a process-wide :class:`KernelCache`
+keyed by ``(spec fingerprint, dtype, shape)`` per engine; the heavier
+numba dispatcher underneath is shared across shapes, so a new shape
+only pays a type-specialisation warm-up, not a fresh parse.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import os
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..config import resolve_dtype
+from ..errors import ConfigError, JitUnavailableError
+from .ir import KernelSpec
+
+__all__ = [
+    "numba_available",
+    "numba_unavailable_reason",
+    "spec_fingerprint",
+    "emit_kernel_source",
+    "CompiledKernel",
+    "KernelCache",
+    "get_kernel",
+    "clear_cache",
+    "jit_cache_dir",
+]
+
+#: Engines :func:`get_kernel` accepts.
+ENGINES = ("numba", "python")
+
+#: Environment override for the generated-source / numba disk cache.
+JIT_CACHE_DIR_ENV = "REPRO_JIT_CACHE_DIR"
+
+
+# ----------------------------------------------------------------------
+# Numba availability probe (never a hard import)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class NumbaStatus:
+    """Result of the one-time numba import probe."""
+
+    available: bool
+    reason: str | None = None
+
+
+_NUMBA_STATUS: NumbaStatus | None = None
+_PROBE_LOCK = threading.Lock()
+
+
+def _probe_numba() -> NumbaStatus:
+    global _NUMBA_STATUS
+    if _NUMBA_STATUS is None:
+        with _PROBE_LOCK:
+            if _NUMBA_STATUS is None:
+                try:
+                    import numba  # noqa: F401
+                except Exception as exc:  # ImportError, broken install…
+                    _NUMBA_STATUS = NumbaStatus(
+                        False, f"numba import failed: {exc}"
+                    )
+                else:
+                    _NUMBA_STATUS = NumbaStatus(True, None)
+    return _NUMBA_STATUS
+
+
+def numba_available() -> bool:
+    """Whether the numba engine can be used in this process."""
+    return _probe_numba().available
+
+
+def numba_unavailable_reason() -> str | None:
+    """Why numba is unavailable (``None`` when it is available)."""
+    return _probe_numba().reason
+
+
+def _reset_numba_probe() -> None:
+    """Testing hook: forget the probe result (monkeypatch target)."""
+    global _NUMBA_STATUS
+    _NUMBA_STATUS = None
+
+
+# ----------------------------------------------------------------------
+# Spec fingerprint and source cache directory
+# ----------------------------------------------------------------------
+def spec_fingerprint(spec: KernelSpec, num_gaussians: int) -> str:
+    """Stable content hash of everything the emitted source depends on.
+
+    The dtype is *not* part of the fingerprint — the source is
+    dtype-agnostic (constants arrive pre-cast as arguments) — but the
+    component count is, because the per-component registers are
+    unrolled into the source text.
+    """
+    spec.validate()
+    payload = "|".join(
+        str(part)
+        for part in (
+            "v1",
+            spec.update,
+            spec.sort,
+            spec.scan,
+            ",".join(spec.fused),
+            int(num_gaussians),
+        )
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def jit_cache_dir() -> Path:
+    """Directory holding generated kernel sources (and numba's disk
+    cache next to them).  Override with ``REPRO_JIT_CACHE_DIR``."""
+    override = os.environ.get(JIT_CACHE_DIR_ENV)
+    if override:
+        path = Path(override).expanduser()
+    else:
+        path = Path(tempfile.gettempdir()) / "repro-jit-cache"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+# ----------------------------------------------------------------------
+# Source emission
+# ----------------------------------------------------------------------
+#: Positional constant arguments every emitted kernel takes, in order,
+#: pre-cast to the run dtype (see :func:`const_args`).
+CONST_ARGS = (
+    "alpha", "oma", "gamma1", "gamma2", "init_w", "init_sd", "sd_floor",
+    "min_contrast", "sh_lo", "sh_hi", "v255", "zero", "one",
+)
+
+
+def const_args(cfg) -> tuple:
+    """The emitted kernel's constant arguments from a
+    :class:`~repro.kernels.common.KernelConfig`, as run-dtype scalars
+    (the pre-cast discipline that keeps float32 bit-identical)."""
+    t = cfg.dtype.type
+    return (
+        t(cfg.alpha), t(cfg.one_minus_alpha), t(cfg.gamma1), t(cfg.gamma2),
+        t(cfg.initial_weight), t(cfg.initial_sd), t(cfg.sd_floor),
+        t(cfg.min_contrast), t(cfg.shadow_alpha_low), t(cfg.shadow_alpha_high),
+        t(255.0), t(0.0), t(1.0),
+    )
+
+
+def _emit_update(lines, spec: KernelSpec, k: int) -> None:
+    """Steps 2-4 for component ``k`` (mirrors ``_frame_body``)."""
+    e = lines.append
+    if spec.update == "branchy":
+        # Algorithm 4: branch per component.
+        e(f"d{k} = abs(x - m{k})")
+        e(f"if d{k} < gamma1 * sd{k}:")
+        e(f"    w{k} = w{k} * alpha + oma")
+        e(f"    rho = oma / w{k}")
+        e("    if rho > one:")
+        e("        rho = one")
+        e(f"    m{k} = (one - rho) * m{k} + rho * x")
+        e(f"    var = (one - rho) * (sd{k} * sd{k}) + rho * (d{k} * d{k})")
+        e("    sdn = np.sqrt(var)")
+        e("    if sdn < sd_floor:")
+        e("        sdn = sd_floor")
+        e(f"    sd{k} = sdn")
+        e("    any_match = True")
+        e("else:")
+        e(f"    w{k} = w{k} * alpha")
+        return
+    # Algorithm 5: unconditional arithmetic, blended assignments.
+    diff = f"d{k}" if spec.keep_diff else "dk"
+    e(f"{diff} = abs(x - m{k})")
+    e(f"matched = {diff} < gamma1 * sd{k}")
+    e("matchf = one if matched else zero")
+    e(f"w{k} = w{k} * alpha + matchf * oma")
+    e(f"rho = oma / w{k}")
+    e("if rho > one:")
+    e("    rho = one")
+    e(f"m_upd = (one - rho) * m{k} + rho * x")
+    e(f"var = (one - rho) * (sd{k} * sd{k}) + rho * ({diff} * {diff})")
+    e("sd_upd = np.sqrt(var)")
+    e("if sd_upd < sd_floor:")
+    e("    sd_upd = sd_floor")
+    e(f"m{k} = (one - matchf) * m{k} + matchf * m_upd")
+    e(f"sd{k} = (one - matchf) * sd{k} + matchf * sd_upd")
+    e("any_match = any_match or matched")
+
+
+def _emit_virtual(lines, spec: KernelSpec, k_count: int) -> None:
+    """Step 5: replace the weakest component on a total miss
+    (first minimum wins, matching ``np.argmin``)."""
+    e = lines.append
+    e("if not any_match:")
+    e("    min_w = w0")
+    e("    min_k = 0")
+    for k in range(1, k_count):
+        e(f"    if w{k} < min_w:")
+        e(f"        min_w = w{k}")
+        e(f"        min_k = {k}")
+    for k in range(k_count):
+        e(f"    if min_k == {k}:")
+        e(f"        w{k} = init_w")
+        e(f"        m{k} = x")
+        e(f"        sd{k} = init_sd")
+        if spec.keep_diff:
+            e(f"        d{k} = zero")
+
+
+def _emit_sort(lines, k_count: int) -> None:
+    """Step 7: stable descending bubble sort by rank = w/sd, fully
+    unrolled (mirrors ``rank_and_sort``; diffs travel with their
+    component)."""
+    e = lines.append
+    for k in range(k_count):
+        e(f"r{k} = w{k} / sd{k}")
+    for end in range(k_count - 1, 0, -1):
+        for j in range(end):
+            a, b = j, j + 1
+            e(f"if r{a} < r{b}:")
+            for name in ("r", "w", "m", "sd", "d"):
+                e(f"    tmp = {name}{a}")
+                e(f"    {name}{a} = {name}{b}")
+                e(f"    {name}{b} = tmp")
+
+
+def _emit_scan(lines, spec: KernelSpec, k_count: int) -> None:
+    """Step 6: foreground decision.  The break scan's early exit and
+    the flat scan compute the same OR; the recompute scan re-derives
+    the diff from the *updated* means (level F)."""
+    e = lines.append
+    if spec.scan == "recompute":
+        terms = [
+            f"(w{k} >= gamma2 and abs(x - m{k}) < gamma1 * sd{k})"
+            for k in range(k_count)
+        ]
+    else:
+        terms = [
+            f"(w{k} >= gamma2 and d{k} < gamma1 * sd{k})"
+            for k in range(k_count)
+        ]
+    e("bg = " + terms[0])
+    for term in terms[1:]:
+        e("bg = bg or " + term)
+
+
+def _emit_fused_tail(lines, spec: KernelSpec, k_count: int) -> None:
+    """The fused threshold/shadow/histogram tail, register-resident
+    (mirrors :func:`repro.kernels.fusion.fused_tail`)."""
+    e = lines.append
+    stages = spec.fused
+    e("best_w = w0")
+    e("best_m = m0")
+    for k in range(1, k_count):
+        e(f"if w{k} > best_w:")
+        e(f"    best_w = w{k}")
+        e(f"    best_m = m{k}")
+    e("bg_est = best_m")
+    e("if bg_est < zero:")
+    e("    bg_est = zero")
+    e("if bg_est > v255:")
+    e("    bg_est = v255")
+    e("fgf = not bg")
+    e("shf = False")
+    if "threshold" in stages:
+        e("dd = abs(x - bg_est)")
+        e("fgf = fgf and (dd >= min_contrast)")
+    if "shadow" in stages:
+        e("den = bg_est")
+        e("if den < one:")
+        e("    den = one")
+        e("ratio = x / den")
+        e("shf = fgf and (ratio >= sh_lo) and (ratio < sh_hi)")
+        e("shadow[i] = 255 if shf else 0")
+        e("fgf = fgf and not shf")
+    if "histogram" in stages:
+        e("classes[i] = 2 if fgf else (1 if shf else 0)")
+    e("bg = not fgf")
+
+
+def emit_kernel_source(spec: KernelSpec, num_gaussians: int) -> str:
+    """Render ``spec`` to the Python source of one per-pixel kernel.
+
+    The function is named ``kernel`` and takes
+    ``(frame, w, m, sd, fg, shadow, classes, *CONST_ARGS)`` where
+    ``frame`` is the flat frame already cast to the run dtype,
+    ``w``/``m``/``sd`` are the ``(K, N)`` mixture planes (updated in
+    place), ``fg``/``shadow``/``classes`` are flat uint8 outputs, and
+    the constants are run-dtype scalars (:func:`const_args`).  The
+    per-component state is fully unrolled into scalar locals — the
+    CPU analogue of the paper's register residency.
+
+    Group-structured specs (level G tiling) are emitted as the same
+    per-frame kernel: tiling is a GPU memory-residency axis and does
+    not change the per-pixel arithmetic, so masks stay bit-identical
+    to the grouped simulator kernel.
+    """
+    spec.validate()
+    k_count = int(num_gaussians)
+    if not 1 <= k_count <= 8:
+        raise ConfigError(
+            f"num_gaussians must be in [1, 8], got {num_gaussians}"
+        )
+    fp = spec_fingerprint(spec, k_count)
+
+    body: list[str] = []
+    e = body.append
+    e("x = frame[i]")
+    for k in range(k_count):
+        e(f"w{k} = w[{k}, i]")
+        e(f"m{k} = m[{k}, i]")
+        e(f"sd{k} = sd[{k}, i]")
+    e("any_match = False")
+    for k in range(k_count):
+        _emit_update(body, spec, k)
+    _emit_virtual(body, spec, k_count)
+    if spec.sort:
+        _emit_sort(body, k_count)
+    _emit_scan(body, spec, k_count)
+    if spec.fused:
+        _emit_fused_tail(body, spec, k_count)
+    for k in range(k_count):
+        e(f"w[{k}, i] = w{k}")
+        e(f"m[{k}, i] = m{k}")
+        e(f"sd[{k}, i] = sd{k}")
+    e("fg[i] = 0 if bg else 255")
+
+    indented = "\n".join("        " + line for line in body)
+    header = (
+        f'"""Generated by repro.kernels.jit — do not edit.\n\n'
+        f"spec: {spec.name} (update={spec.update}, sort={spec.sort}, "
+        f"scan={spec.scan}, fused={list(spec.fused)}), K={k_count}, "
+        f"fingerprint={fp}\n"
+        f'"""\n'
+        "import numpy as np\n\n"
+        "try:\n"
+        "    from numba import prange\n"
+        "except ImportError:  # interpreted engine\n"
+        "    prange = range\n\n"
+    )
+    signature = (
+        "def kernel(frame, w, m, sd, fg, shadow, classes,\n"
+        "           " + ", ".join(CONST_ARGS) + "):\n"
+    )
+    return (
+        header
+        + signature
+        + "    n = frame.shape[0]\n"
+        + "    for i in prange(n):\n"
+        + indented
+        + "\n"
+    )
+
+
+# ----------------------------------------------------------------------
+# Compilation + process-wide warm cache
+# ----------------------------------------------------------------------
+@dataclass
+class CompiledKernel:
+    """A ready-to-call kernel plus its provenance."""
+
+    fn: object            # kernel(frame, w, m, sd, fg, shadow, classes, *consts)
+    engine: str           # "numba" | "python"
+    fingerprint: str
+    dtype: np.dtype
+    shape: tuple[int, int]
+    source_path: Path
+    compile_s: float      # wall-clock spent compiling/warming this entry
+
+    def __call__(self, *args):
+        return self.fn(*args)
+
+
+def _write_source(path: Path, source: str) -> None:
+    """Create the generated module file once (atomic via rename)."""
+    if path.exists() and path.read_text() == source:
+        return
+    tmp = path.with_suffix(f".tmp{os.getpid()}")
+    tmp.write_text(source)
+    os.replace(tmp, path)
+
+
+def _load_module(path: Path, fingerprint: str):
+    name = f"repro_jit_{fingerprint}"
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class KernelCache:
+    """Compile-once warm cache keyed by (fingerprint, dtype, shape).
+
+    Two tiers: the per-key :class:`CompiledKernel` entries the callers
+    see, and the underlying callables memoised per (fingerprint,
+    engine) — a numba dispatcher is expensive to build but serves every
+    shape and dtype, so a new key usually only pays the warm-up call
+    that triggers (or reuses) a type specialisation.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: dict[tuple, CompiledKernel] = {}
+        self._dispatchers: dict[tuple, tuple[object, Path]] = {}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._dispatchers.clear()
+
+    # -- internals -----------------------------------------------------
+    def _dispatcher(self, spec: KernelSpec, k_count: int, engine: str):
+        fp = spec_fingerprint(spec, k_count)
+        key = (fp, engine)
+        with self._lock:
+            hit = self._dispatchers.get(key)
+        if hit is not None:
+            return fp, hit[0], hit[1]
+        source = emit_kernel_source(spec, k_count)
+        path = jit_cache_dir() / f"mog_jit_{fp}.py"
+        _write_source(path, source)
+        module = _load_module(path, fp)
+        fn = module.kernel
+        if engine == "numba":
+            if not numba_available():
+                raise JitUnavailableError(
+                    numba_unavailable_reason() or "numba is not available"
+                )
+            from numba import njit
+
+            # error_model="numpy" is load-bearing: unclaimed components
+            # carry weight 0, so the predicated rho = oma/w divides by
+            # zero by design; IEEE inf (clamped to 1 next line) is the
+            # pinned semantics, not an exception.
+            fn = njit(parallel=True, cache=True, error_model="numpy")(fn)
+        return fp, fn, path
+
+    def _warm(self, fn, dtype: np.dtype, k_count: int) -> None:
+        """Trigger (or reuse) the type specialisation for ``dtype`` on
+        a one-pixel dummy so compilation cost lands here, not on the
+        first real frame."""
+        t = dtype.type
+        consts = (
+            t(0.99), t(0.01), t(2.5), t(0.15), t(0.05), t(30.0), t(4.0),
+            t(12.0), t(0.45), t(0.95), t(255.0), t(0.0), t(1.0),
+        )
+        frame = np.zeros(1, dtype=dtype)
+        w = np.zeros((k_count, 1), dtype=dtype)
+        w[0] = 1.0
+        m = np.zeros((k_count, 1), dtype=dtype)
+        sd = np.full((k_count, 1), 4.0, dtype=dtype)
+        byte = np.zeros(1, dtype=np.uint8)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            fn(frame, w, m, sd, byte, byte.copy(), byte.copy(), *consts)
+
+    # -- public --------------------------------------------------------
+    def get(
+        self,
+        spec: KernelSpec,
+        num_gaussians: int,
+        dtype,
+        shape: tuple[int, int],
+        engine: str = "numba",
+    ) -> CompiledKernel:
+        """The compiled kernel for ``(spec, dtype, shape)``; compiles
+        and warms on first use, returns the cached entry afterwards
+        (``compile_s == 0.0`` on a cache hit)."""
+        if engine not in ENGINES:
+            raise ConfigError(
+                f"engine must be one of {ENGINES}, got {engine!r}"
+            )
+        dt = resolve_dtype(dtype)
+        k_count = int(num_gaussians)
+        fp = spec_fingerprint(spec, k_count)
+        key = (fp, dt.str, tuple(shape), engine)
+        with self._lock:
+            entry = self._entries.get(key)
+        if entry is not None:
+            return CompiledKernel(
+                fn=entry.fn, engine=entry.engine, fingerprint=fp,
+                dtype=dt, shape=tuple(shape),
+                source_path=entry.source_path, compile_s=0.0,
+            )
+        start = time.perf_counter()
+        fp, fn, path = self._dispatcher(spec, k_count, engine)
+        if engine == "numba":
+            self._warm(fn, dt, k_count)
+        compile_s = time.perf_counter() - start
+        entry = CompiledKernel(
+            fn=fn, engine=engine, fingerprint=fp, dtype=dt,
+            shape=tuple(shape), source_path=path, compile_s=compile_s,
+        )
+        with self._lock:
+            self._dispatchers.setdefault((fp, engine), (fn, path))
+            self._entries.setdefault(key, entry)
+        return entry
+
+
+#: The process-wide cache every model shares ("compile once").
+_GLOBAL_CACHE = KernelCache()
+
+
+def get_kernel(
+    spec: KernelSpec,
+    num_gaussians: int,
+    dtype,
+    shape: tuple[int, int],
+    engine: str = "numba",
+) -> CompiledKernel:
+    """Fetch (compiling if needed) from the process-wide cache."""
+    return _GLOBAL_CACHE.get(spec, num_gaussians, dtype, shape, engine)
+
+
+def cached_kernel_count() -> int:
+    """Entries currently in the process-wide cache (telemetry)."""
+    return len(_GLOBAL_CACHE)
+
+
+def clear_cache() -> None:
+    """Drop every cached kernel (testing hook)."""
+    _GLOBAL_CACHE.clear()

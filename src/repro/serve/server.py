@@ -96,6 +96,9 @@ class StreamServer:
     shape, params, level, backend, run_config:
         Defaults for every stream's
         :class:`~repro.core.stream.SurveillancePipeline`.
+        ``backend=None`` resolves to ``serve.backend`` when that is
+        set, else ``"cpu"``; ``"jit"`` serves compiled kernels and
+        degrades to ``"cpu"`` (bit-identical masks) without numba.
     serve:
         :class:`~repro.config.ServeConfig` — pool size, admission
         limits, queue depth and backpressure policy.
@@ -131,7 +134,7 @@ class StreamServer:
         shape: tuple[int, int],
         params: MoGParams | None = None,
         level: str = "F",
-        backend: str = "cpu",
+        backend: str | None = None,
         run_config: RunConfig | None = None,
         serve: ServeConfig | None = None,
         fault_policy: FaultPolicy | None = None,
@@ -142,9 +145,11 @@ class StreamServer:
         self.shape = tuple(shape)
         self.params = params
         self.level = level
-        self.backend = backend
-        self.run_config = run_config
         self.serve_config = serve or ServeConfig()
+        # Explicit argument wins, then the serve config's default, then
+        # the interpreted cpu path.
+        self.backend = backend or self.serve_config.backend or "cpu"
+        self.run_config = run_config
         self.fault_policy = fault_policy or FaultPolicy(stage_error="degrade")
         self.telemetry_config = telemetry or TelemetryConfig()
         self.warmup_frames = warmup_frames

@@ -151,6 +151,39 @@ class TestLevels:
         assert main(["levels", "Z"]) == 1
         assert "error" in capsys.readouterr().err
 
+    def test_text_output_lists_backends(self, capsys):
+        assert main(["levels", "F"]) == 0
+        out = capsys.readouterr().out
+        assert "backends" in out
+        assert "cpu" in out and "sim" in out and "jit" in out
+
+    def test_json_backend_availability(self, capsys, monkeypatch):
+        import json
+
+        import repro.kernels.jit as jitmod
+        from repro.kernels.jit import NumbaStatus
+
+        monkeypatch.setattr(
+            jitmod, "_NUMBA_STATUS", NumbaStatus(False, "forced off")
+        )
+        assert main(["levels", "F", "--json"]) == 0
+        (data,) = json.loads(capsys.readouterr().out)
+        backends = data["backends"]
+        assert backends["cpu"] == {"available": True}
+        assert backends["sim"] == {"available": True}
+        assert backends["jit"]["available"] is False
+        assert "forced off" in backends["jit"]["reason"]
+        assert backends["cuda-text"] == {"available": True}
+
+    def test_register_tiling_has_no_cuda_rendering(self, capsys):
+        import json
+
+        assert main(["levels", "F+register-tiling", "--json"]) == 0
+        (data,) = json.loads(capsys.readouterr().out)
+        cuda = data["backends"]["cuda-text"]
+        assert cuda["available"] is False
+        assert "simulator-only" in cuda["reason"]
+
     def test_subtract_accepts_pass_expression(self, clip, tmp_path):
         out = tmp_path / "masks.npz"
         code = main(["subtract", str(clip), str(out),
@@ -159,6 +192,39 @@ class TestLevels:
         assert code == 0
         masks, _, _ = load_sequence(out)
         assert masks.num_frames == 12
+
+
+class TestBench:
+    def test_cpu_smoke(self, capsys):
+        code = main(["bench", "--backend", "cpu", "--frames", "4",
+                     "--height", "16", "--width", "20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "frames/s" in out
+        assert "warmup" in out
+
+    def test_jit_reports_fallback(self, capsys, monkeypatch, recwarn):
+        import repro.kernels.jit as jitmod
+        from repro.kernels.jit import NumbaStatus
+
+        monkeypatch.setattr(
+            jitmod, "_NUMBA_STATUS", NumbaStatus(False, "forced off")
+        )
+        code = main(["bench", "--backend", "jit", "--frames", "6",
+                     "--height", "16", "--width", "20"])
+        assert code == 0
+        assert "numba unavailable" in capsys.readouterr().out
+
+    def test_json_payload(self, capsys):
+        import json
+
+        code = main(["bench", "--backend", "cpu", "--frames", "4",
+                     "--height", "16", "--width", "20", "--json"])
+        assert code == 0
+        entry = json.loads(capsys.readouterr().out)
+        assert entry["backend"] == "cpu"
+        assert entry["frames_timed"] == 3
+        assert "warmup_s" in entry and "compile_s" in entry
 
 
 class TestTrack:

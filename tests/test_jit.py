@@ -1,0 +1,305 @@
+"""The JIT emitter and :class:`MoGJit`: bit-identity oracle vs the cpu
+and sim backends, the compile cache, and checkpoint interop.
+
+Everything here runs with ``engine="python"`` (the emitted source
+interpreted), so the *exact* kernel text is exercised even when numba
+is not installed; the numba engine compiles the same text.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import IntegrityPolicy, MoGParams
+from repro.core.subtractor import BackgroundSubtractor
+from repro.core.variants import resolve_level_spec
+from repro.errors import ConfigError
+from repro.kernels.ir import BASE_SPEC
+from repro.kernels.jit import (
+    CONST_ARGS,
+    KernelCache,
+    emit_kernel_source,
+    get_kernel,
+    jit_cache_dir,
+    spec_fingerprint,
+)
+from repro.mog.jit import MoGJit
+from repro.mog.vectorized import MoGVectorized
+from repro.telemetry import MetricsRegistry
+from repro.video.scenes import evaluation_scene
+
+SHAPE = (8, 10)
+PARAMS = MoGParams(learning_rate=0.08, initial_sd=8.0)
+LEVELS = list("ABCDEFG") + ["A+predication"]
+DTYPES = ("double", "float")
+
+
+def _frames(n, shape=SHAPE, seed=3):
+    video = evaluation_scene(height=shape[0], width=shape[1], seed=seed)
+    return [video.frame(t) for t in range(n)]
+
+
+def _jit(level, dtype="double", **kw):
+    spec = resolve_level_spec(level).kernel
+    return MoGJit(SHAPE, PARAMS, spec=spec, dtype=dtype,
+                  engine="python", **kw)
+
+
+# ----------------------------------------------------------------------
+# Emitter / cache unit tests
+# ----------------------------------------------------------------------
+class TestEmitter:
+    def test_fingerprint_stable_and_discriminating(self):
+        a = spec_fingerprint(BASE_SPEC, 4)
+        assert a == spec_fingerprint(BASE_SPEC, 4)
+        assert a != spec_fingerprint(BASE_SPEC, 5)
+        spec_f = resolve_level_spec("F").kernel
+        assert a != spec_fingerprint(spec_f, 4)
+
+    def test_layout_axes_do_not_change_fingerprint(self):
+        # Layout/overlap/tiling are GPU residency axes the emitted
+        # per-pixel arithmetic does not depend on.
+        spec_f = resolve_level_spec("F").kernel
+        spec_g = resolve_level_spec("G").kernel
+        assert spec_fingerprint(spec_f, 4) == spec_fingerprint(spec_g, 4)
+
+    def test_source_shape(self):
+        src = emit_kernel_source(BASE_SPEC, 3)
+        assert "def kernel(frame, w, m, sd, fg, shadow, classes," in src
+        assert "w2 = w[2, i]" in src and "w3" not in src
+        assert "prange" in src
+        for name in CONST_ARGS:
+            assert name in src
+
+    def test_k_validation(self):
+        for bad in (0, 9):
+            with pytest.raises(ConfigError):
+                emit_kernel_source(BASE_SPEC, bad)
+
+    def test_engine_validation(self):
+        with pytest.raises(ConfigError):
+            get_kernel(BASE_SPEC, 4, "double", SHAPE, engine="rust")
+        with pytest.raises(ConfigError):
+            MoGJit(SHAPE, PARAMS, engine="rust")
+
+    def test_cache_hit_costs_nothing(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_JIT_CACHE_DIR", str(tmp_path))
+        cache = KernelCache()
+        first = cache.get(BASE_SPEC, 4, "double", SHAPE, engine="python")
+        assert len(cache) == 1
+        assert first.source_path.exists()
+        assert first.source_path.parent == jit_cache_dir()
+        again = cache.get(BASE_SPEC, 4, "double", SHAPE, engine="python")
+        assert again.compile_s == 0.0
+        assert again.fn is first.fn
+        # A new shape reuses the dispatcher but gets its own entry.
+        other = cache.get(BASE_SPEC, 4, "double", (4, 4), engine="python")
+        assert other.fn is first.fn
+        assert len(cache) == 2
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_source_file_not_rewritten_when_identical(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_JIT_CACHE_DIR", str(tmp_path))
+        cache = KernelCache()
+        entry = cache.get(BASE_SPEC, 4, "double", SHAPE, engine="python")
+        mtime = entry.source_path.stat().st_mtime_ns
+        KernelCache().get(BASE_SPEC, 4, "float", SHAPE, engine="python")
+        assert entry.source_path.stat().st_mtime_ns == mtime
+
+
+# ----------------------------------------------------------------------
+# Bit-identity oracle vs the cpu backend
+# ----------------------------------------------------------------------
+class TestOracle:
+    @pytest.mark.parametrize("level", LEVELS)
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_masks_and_state_match_cpu(self, level, dtype):
+        spec = resolve_level_spec(level)
+        frames = _frames(7)
+        jit = _jit(level, dtype)
+        cpu = MoGVectorized(SHAPE, PARAMS, variant=spec.mog_variant,
+                            dtype=dtype)
+        for frame in frames:
+            assert np.array_equal(jit.apply(frame), cpu.apply(frame)), level
+        for name in ("w", "m", "sd"):
+            assert np.array_equal(
+                getattr(jit.state, name), getattr(cpu.state, name)
+            ), (level, dtype, name)
+
+    @pytest.mark.parametrize("level", ["F+fusion", "A+fusion"])
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_fused_outputs_match_cpu(self, level, dtype):
+        from repro.config import RunConfig
+
+        frames = _frames(7)
+        jit = _jit(level, dtype)
+        cpu = BackgroundSubtractor(
+            SHAPE, PARAMS, level=level, backend="cpu",
+            run_config=RunConfig(
+                height=SHAPE[0], width=SHAPE[1], dtype=dtype
+            ),
+        )
+        for frame in frames:
+            assert np.array_equal(jit.apply(frame), cpu.apply(frame))
+        assert np.array_equal(jit.last_shadow != 0, cpu.shadow_map())
+        assert np.array_equal(jit.last_classes, cpu.class_map())
+
+    def test_masks_match_sim(self):
+        frames = _frames(6)
+        jit = _jit("F")
+        sim = BackgroundSubtractor(SHAPE, PARAMS, level="F", backend="sim")
+        for frame in frames:
+            assert np.array_equal(jit.apply(frame), sim.apply(frame))
+
+    def test_background_image_matches_cpu(self):
+        frames = _frames(6)
+        jit = _jit("F")
+        cpu = MoGVectorized(SHAPE, PARAMS, variant="regopt")
+        jit.apply_sequence(frames)
+        cpu.apply_sequence(frames)
+        assert np.array_equal(jit.background_image(), cpu.background_image())
+
+    def test_num_gaussians_sweep(self):
+        frames = _frames(5)
+        for k in (1, 2, 5):
+            params = PARAMS.replace(num_gaussians=k)
+            jit = MoGJit(SHAPE, params, engine="python")
+            cpu = MoGVectorized(SHAPE, params, variant="sorted")
+            for frame in frames:
+                assert np.array_equal(jit.apply(frame), cpu.apply(frame)), k
+
+
+# ----------------------------------------------------------------------
+# Model behaviour
+# ----------------------------------------------------------------------
+class TestMoGJit:
+    def test_returned_mask_is_not_a_live_buffer(self):
+        frames = _frames(3)
+        jit = _jit("F")
+        first = jit.apply(frames[0])
+        kept = first.copy()
+        jit.apply(frames[1])
+        assert np.array_equal(first, kept)
+
+    def test_snapshot_is_a_copy(self):
+        frames = _frames(4)
+        jit = _jit("F")
+        jit.apply(frames[0])
+        w, m, sd, n = jit.state_snapshot()
+        w0 = w.copy()
+        jit.apply(frames[1])
+        assert np.array_equal(w, w0)  # kernel mutated state, not the copy
+
+    def test_snapshot_roundtrip_resumes_bit_identically(self):
+        frames = _frames(8)
+        a = _jit("F")
+        for f in frames[:4]:
+            a.apply(f)
+        snap = a.state_snapshot()
+        b = _jit("F")
+        b.restore_state(snap)
+        tail_a = [a.apply(f) for f in frames[4:]]
+        tail_b = [b.apply(f) for f in frames[4:]]
+        assert all(np.array_equal(x, y) for x, y in zip(tail_a, tail_b))
+
+    def test_cross_backend_snapshot_interop(self):
+        # cpu -> jit and jit -> cpu: the snapshot tuple is the same
+        # format, so checkpoints interoperate across backends.
+        frames = _frames(8)
+        cpu = MoGVectorized(SHAPE, PARAMS, variant="regopt")
+        for f in frames[:4]:
+            cpu.apply(f)
+        jit = _jit("F")
+        jit.restore_state(cpu.state_snapshot())
+        for f in frames[4:]:
+            assert np.array_equal(jit.apply(f), cpu.apply(f))
+        cpu2 = MoGVectorized(SHAPE, PARAMS, variant="regopt")
+        cpu2.restore_state(jit.state_snapshot())
+        assert np.array_equal(cpu2.state.w, jit.state.w)
+
+    def test_restore_none_resets(self):
+        jit = _jit("F")
+        jit.apply(_frames(1)[0])
+        jit.restore_state(None)
+        assert jit.state is None and jit.frames_processed == 0
+
+    def test_restore_rejects_wrong_shape(self):
+        jit = _jit("F")
+        bad = np.zeros((2, 3))
+        with pytest.raises(ConfigError):
+            jit.restore_state((bad, bad, bad, 1))
+
+    def test_integrity_repair_parity_with_cpu(self):
+        frames = _frames(6)
+        policy = IntegrityPolicy(mode="repair")
+        jit = _jit("F", integrity=policy)
+        cpu = MoGVectorized(SHAPE, PARAMS, variant="regopt",
+                            integrity=policy)
+        for i, frame in enumerate(frames):
+            if i == 3:  # corrupt both models identically mid-stream
+                jit.state.sd[0, 5] = np.nan
+                cpu.state.sd[0, 5] = np.nan
+            assert np.array_equal(jit.apply(frame), cpu.apply(frame)), i
+        assert np.array_equal(jit.state.sd, cpu.state.sd)
+
+    def test_frame_validation(self):
+        jit = _jit("F")
+        with pytest.raises(ConfigError):
+            jit.apply(np.zeros((4, 4)))
+        with pytest.raises(ConfigError):
+            jit.apply(np.full(SHAPE, np.nan))
+        with pytest.raises(ConfigError):
+            jit.apply(np.zeros(SHAPE, dtype=complex))
+        with pytest.raises(ConfigError):
+            jit.apply_sequence([])
+
+    def test_telemetry_counters(self):
+        tel = MetricsRegistry()
+        jit = MoGJit(SHAPE, PARAMS, engine="python", telemetry=tel)
+        for f in _frames(3):
+            jit.apply(f)
+        snap = tel.snapshot()
+        assert snap["counters"]["jit.frames"] == 3
+        assert "jit.compile_s" in snap["gauges"]
+        assert snap["gauges"]["jit.kernels_cached"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Checkpoint files across backends
+# ----------------------------------------------------------------------
+class TestCheckpointInterop:
+    def test_cpu_checkpoint_restores_into_jit_pipeline(self, tmp_path):
+        from repro.core.stream import SurveillancePipeline
+
+        frames = _frames(10, shape=(16, 20))
+        ckpt = tmp_path / "p.ckpt"
+        a = SurveillancePipeline((16, 20), PARAMS, backend="cpu",
+                                 warmup_frames=2)
+        for f in frames[:5]:
+            a.step(f)
+        a.save_checkpoint(ckpt)
+        # backend="jit" degrades to cpu here when numba is absent; the
+        # restore path is backend-agnostic either way.
+        with (
+            _nullcontext() if _numba()
+            else pytest.warns(RuntimeWarning)
+        ):
+            b = SurveillancePipeline((16, 20), PARAMS, backend="jit",
+                                     warmup_frames=2)
+        assert b.restore_checkpoint(ckpt) == 4
+        for f, r in zip(frames[5:], [a.step(x) for x in frames[5:]]):
+            assert np.array_equal(b.step(f).mask, r.mask)
+
+
+def _numba() -> bool:
+    from repro.kernels.jit import numba_available
+
+    return numba_available()
+
+
+def _nullcontext():
+    import contextlib
+
+    return contextlib.nullcontext()
