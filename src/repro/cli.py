@@ -200,7 +200,29 @@ def _build_parser() -> argparse.ArgumentParser:
                     "(0 = off; requires --checkpoint-dir)")
     sv.add_argument("--resume", action="store_true",
                     help="resume streams from their checkpoints in "
-                    "--checkpoint-dir when present")
+                    "--checkpoint-dir when present (streams without a "
+                    "usable checkpoint start fresh with a note)")
+    sv.add_argument("--resume-mismatch", choices=("fail", "fresh"),
+                    default="fresh",
+                    help="what --resume does with a corrupt/mismatched "
+                    "checkpoint: fail admission or start fresh "
+                    "(default fresh)")
+    sv.add_argument("--shards", type=int, default=0, metavar="N",
+                    help="shard the server over N processes "
+                    "(0 = in-process thread server)")
+    sv.add_argument("--shard-backend", choices=("cpu", "sim", "jit"),
+                    default=None,
+                    help="backend override inside shard processes")
+    sv.add_argument("--placement", choices=("hash", "round_robin"),
+                    default="hash",
+                    help="stream->shard placement (sharded mode)")
+    sv.add_argument("--shed-inflight", type=int, default=0, metavar="N",
+                    help="shed load past N in-flight frames per stream "
+                    "(sharded mode; 0 = off)")
+    sv.add_argument("--shed-policy", choices=("reject", "drop"),
+                    default="reject",
+                    help="over --shed-inflight: reject the submit or "
+                    "drop the frame")
 
     cu = sub.add_parser(
         "export-cuda",
@@ -434,12 +456,16 @@ def _cmd_serve(args) -> int:
     from pathlib import Path
 
     from .config import FaultPolicy, IntegrityPolicy, ServeConfig
-    from .serve import StreamServer
+    from .serve import ShardedStreamServer, StreamServer
 
     if (args.checkpoint_every or args.resume) and not args.checkpoint_dir:
         print("error: --checkpoint-every/--resume require --checkpoint-dir",
               file=sys.stderr)
         return 2
+    if args.checkpoint_dir is not None:
+        # A missing directory is not an error even with --resume: every
+        # stream just starts fresh (and says so).
+        Path(args.checkpoint_dir).mkdir(parents=True, exist_ok=True)
 
     sequences: dict[str, list[np.ndarray]] = {}
     if args.inputs:
@@ -471,21 +497,29 @@ def _cmd_serve(args) -> int:
                 video.frame(t) for t in range(args.frames)
             ]
 
-    server = StreamServer(
+    serve_config = ServeConfig(
+        workers=args.workers,
+        max_streams=args.max_streams,
+        queue_capacity=args.queue_capacity,
+        backpressure=args.backpressure,
+        batch_frames=args.batch_frames,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        resume_mismatch=args.resume_mismatch,
+        shards=args.shards,
+        shard_backend=args.shard_backend,
+        placement=args.placement,
+        shed_inflight=args.shed_inflight,
+        shed_policy=args.shed_policy,
+    )
+    server_cls = ShardedStreamServer if args.shards > 0 else StreamServer
+    server = server_cls(
         shape,
         MoGParams(learning_rate=args.learning_rate),
         level=args.level,
         backend=args.backend,
-        serve=ServeConfig(
-            workers=args.workers,
-            max_streams=args.max_streams,
-            queue_capacity=args.queue_capacity,
-            backpressure=args.backpressure,
-            batch_frames=args.batch_frames,
-            checkpoint_every=args.checkpoint_every,
-            checkpoint_dir=args.checkpoint_dir,
-            resume=args.resume,
-        ),
+        serve=serve_config,
         fault_policy=FaultPolicy(stage_error=args.on_error),
         warmup_frames=args.warmup,
         integrity=IntegrityPolicy(mode=args.integrity),
@@ -493,8 +527,22 @@ def _cmd_serve(args) -> int:
     try:
         for sid in sequences:
             server.add_stream(sid)
+        starts = {}
+        if args.resume:
+            for status in server.stream_status():
+                sid = status["stream"]
+                note = status.get("resume_note")
+                if note:
+                    print(f"{sid}: {note}")
+                start = status.get("resumed_source_seq", -1) + 1
+                if start > 0:
+                    print(f"{sid}: resumed at source frame {start}")
+                starts[sid] = start
         t0 = time.perf_counter()
-        iters = {sid: iter(frames) for sid, frames in sequences.items()}
+        iters = {
+            sid: iter(frames[starts.get(sid, 0):])
+            for sid, frames in sequences.items()
+        }
         while iters:
             for sid in list(iters):
                 frame = next(iters[sid], None)
@@ -510,7 +558,10 @@ def _cmd_serve(args) -> int:
             results = server.results(sid)
             total += len(results)
             degraded = sum(1 for r in results if r.degraded)
-            print(f"{sid}: {len(results)} frames, {degraded} degraded, "
+            shard = (f" [shard {status['shard']}]"
+                     if "shard" in status else "")
+            print(f"{sid}{shard}: {len(results)} frames, "
+                  f"{degraded} degraded, "
                   f"{status['frames_dropped']} dropped, "
                   f"{status['restarts']} restarts"
                   + (f", FAILED ({status['failed']})"
@@ -519,9 +570,20 @@ def _cmd_serve(args) -> int:
     finally:
         server.close(drain=False)
     fps = total / elapsed if elapsed > 0 else float("inf")
+    tier = (f"{args.shards} shards x {args.workers} workers"
+            if args.shards > 0 else f"{args.workers} workers")
     print(f"served {total} frames across {len(sequences)} streams in "
-          f"{elapsed:.2f}s ({fps:.1f} frames/s aggregate, "
-          f"{args.workers} workers)")
+          f"{elapsed:.2f}s ({fps:.1f} frames/s aggregate, {tier})")
+    if args.shards > 0:
+        latency = snap.get("histograms", {}).get("server.latency_s")
+        if latency:
+            print(f"latency p50 {latency.get('p50_s', 0) * 1e3:.1f} ms, "
+                  f"p95 {latency.get('p95_s', 0) * 1e3:.1f} ms "
+                  f"({latency.get('count', 0)} samples)")
+        rebalanced = snap.get("counters", {}).get("server.rebalanced", 0)
+        shed = snap.get("counters", {}).get("server.frames_shed", 0)
+        if rebalanced or shed:
+            print(f"rebalanced {rebalanced} streams, shed {shed} frames")
     if args.metrics:
         from .bench.reporting import format_metrics
 

@@ -551,6 +551,18 @@ class IntegrityPolicy:
 #: Backpressure policies for a stream's bounded input queue.
 BACKPRESSURE_POLICIES = ("block", "drop_oldest", "reject")
 
+#: Stream -> shard placement strategies for the sharded server.
+PLACEMENT_POLICIES = ("hash", "round_robin")
+
+#: Load-shedding policies applied at the sharded ingest gateway when a
+#: stream's in-flight depth exceeds ``shed_inflight``.
+SHED_POLICIES = ("reject", "drop")
+
+#: What admission does when ``resume=True`` finds a checkpoint it
+#: cannot restore (corrupt, truncated, or written by a differently
+#: configured model).
+RESUME_MISMATCH_POLICIES = ("fail", "fresh")
+
 
 @dataclass(frozen=True)
 class ServeConfig:
@@ -605,6 +617,35 @@ class ServeConfig:
         :data:`BACKENDS`); ``None`` keeps the server's default
         (``"cpu"``). ``"jit"`` degrades per the subtractor's fallback
         semantics when numba is unavailable, so masks stay identical.
+    resume_mismatch:
+        What admission does when ``resume=True`` finds a checkpoint it
+        cannot restore: ``"fail"`` (default) raises
+        :class:`~repro.errors.CheckpointError`; ``"fresh"`` starts the
+        stream from scratch and records the reason in stream status
+        and the ``server.resume_fallbacks`` counter.
+    shards:
+        Shard *processes* for :class:`repro.serve.ShardedStreamServer`
+        (0 = the in-process thread server). Each shard hosts one
+        thread-pool ``StreamServer``; streams are placed on shards by
+        ``placement`` and frames travel over shared-memory rings.
+    shard_backend:
+        Backend override for pipelines inside shard processes;
+        ``None`` falls back to ``backend``.
+    placement:
+        Stream->shard placement: ``"hash"`` (consistent hashing with
+        virtual nodes; minimal movement when a shard dies) or
+        ``"round_robin"``.
+    shed_inflight:
+        Gateway admission control: maximum frames in flight (submitted
+        but not yet emitted) per stream before ``shed_policy`` engages
+        (0 = unlimited).
+    shed_policy:
+        ``"reject"`` raises :class:`~repro.errors.BackpressureError`
+        when a stream is over ``shed_inflight``; ``"drop"`` discards
+        the new frame (counted in ``server.frames_shed``).
+    ring_slots:
+        Capacity, in frames, of each shard's shared-memory ingest
+        ring.
     """
 
     workers: int = 2
@@ -618,6 +659,13 @@ class ServeConfig:
     checkpoint_dir: str | None = None
     resume: bool = False
     backend: str | None = None
+    resume_mismatch: str = "fail"
+    shards: int = 0
+    shard_backend: str | None = None
+    placement: str = "hash"
+    shed_inflight: int = 0
+    shed_policy: str = "reject"
+    ring_slots: int = 32
 
     def __post_init__(self) -> None:
         if self.backend is not None and self.backend not in BACKENDS:
@@ -654,6 +702,36 @@ class ServeConfig:
         if (self.checkpoint_every or self.resume) and not self.checkpoint_dir:
             raise ConfigError(
                 "checkpoint_every/resume require checkpoint_dir to be set"
+            )
+        if self.resume_mismatch not in RESUME_MISMATCH_POLICIES:
+            raise ConfigError(
+                f"resume_mismatch must be one of {RESUME_MISMATCH_POLICIES}, "
+                f"got {self.resume_mismatch!r}"
+            )
+        if self.shards < 0:
+            raise ConfigError(f"shards must be >= 0, got {self.shards}")
+        if self.shard_backend is not None and self.shard_backend not in BACKENDS:
+            raise ConfigError(
+                f"shard_backend must be one of {BACKENDS}, "
+                f"got {self.shard_backend!r}"
+            )
+        if self.placement not in PLACEMENT_POLICIES:
+            raise ConfigError(
+                f"placement must be one of {PLACEMENT_POLICIES}, "
+                f"got {self.placement!r}"
+            )
+        if self.shed_inflight < 0:
+            raise ConfigError(
+                f"shed_inflight must be >= 0, got {self.shed_inflight}"
+            )
+        if self.shed_policy not in SHED_POLICIES:
+            raise ConfigError(
+                f"shed_policy must be one of {SHED_POLICIES}, "
+                f"got {self.shed_policy!r}"
+            )
+        if self.ring_slots < 2:
+            raise ConfigError(
+                f"ring_slots must be >= 2, got {self.ring_slots}"
             )
 
     def replace(self, **kwargs) -> "ServeConfig":

@@ -247,7 +247,7 @@ class SurveillancePipeline:
         return results
 
     # -- durable checkpoints -------------------------------------------
-    def save_checkpoint(self, path) -> None:
+    def save_checkpoint(self, path, extra_meta: dict | None = None) -> None:
         """Write a durable, crash-safe checkpoint of the pipeline to
         ``path`` (atomic rename, CRC32, schema-versioned — see
         :mod:`repro.faults.checkpoint`).
@@ -256,6 +256,11 @@ class SurveillancePipeline:
         mask; restoring into an identically configured pipeline resumes
         bit-identically. Raises :class:`~repro.errors.CheckpointError`
         before the first frame (there is no state to save yet).
+
+        ``extra_meta`` lets a caller ride additional JSON-serialisable
+        keys along in the checkpoint metadata (the serving tier records
+        its submission cursor as ``source_seq``); it cannot override
+        the pipeline's own keys.
         """
         from ..faults.checkpoint import write_checkpoint
 
@@ -268,7 +273,8 @@ class SurveillancePipeline:
         arrays = {"w": w, "m": m, "sd": sd}
         if self._last_good_mask is not None:
             arrays["last_good_mask"] = self._last_good_mask
-        meta = {
+        meta = dict(extra_meta or {})
+        meta.update({
             "kind": "surveillance_pipeline",
             "shape": list(self.subtractor.shape),
             "level": self.subtractor.spec.letter,
@@ -277,7 +283,7 @@ class SurveillancePipeline:
             "frame_index": self.frame_index,
             "frames_processed": int(frames_processed),
             "warmup_frames": self.warmup_frames,
-        }
+        })
         with self.telemetry.time("checkpoint.write_s"):
             write_checkpoint(path, arrays, meta)
         self.telemetry.counter("checkpoint.written").inc()
@@ -325,6 +331,9 @@ class SurveillancePipeline:
         self._last_good_mask = (
             mask.astype(bool) if mask is not None else None
         )
+        # Callers (the serving tier) read ride-along keys such as
+        # ``source_seq`` from here after a successful restore.
+        self.last_restore_meta = dict(meta)
         self.telemetry.counter("checkpoint.restored").inc()
         return self.frame_index
 

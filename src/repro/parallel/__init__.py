@@ -1,5 +1,5 @@
 """Process-parallel CPU execution (the paper's 8-thread OpenMP stand-in)."""
 
-from .frames import ParallelMoG, parallel_speedup_probe
+from .frames import FrameRing, ParallelMoG, parallel_speedup_probe
 
-__all__ = ["ParallelMoG", "parallel_speedup_probe"]
+__all__ = ["FrameRing", "ParallelMoG", "parallel_speedup_probe"]

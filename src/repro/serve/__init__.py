@@ -4,10 +4,20 @@
 :class:`~repro.core.stream.SurveillancePipeline` instances over a
 bounded worker pool — per-stream bounded queues with explicit
 backpressure, admission control, round-robin scheduling and per-stream
-fault isolation. See :mod:`repro.serve.server` and
-docs/architecture.md ("Multi-stream serving").
+fault isolation. :class:`ShardedStreamServer` scales that engine past
+the GIL: N shard processes (each one thread-pool ``StreamServer``)
+behind a shared-memory ingest gateway with consistent-hash placement,
+checkpoint-based rebalancing and load shedding. See
+:mod:`repro.serve.server`, :mod:`repro.serve.sharded`,
+docs/architecture.md ("Multi-stream serving") and docs/sharding.md.
 """
 
 from .server import StreamServer, serve_sequences
+from .sharded import ConsistentHashRing, ShardedStreamServer
 
-__all__ = ["StreamServer", "serve_sequences"]
+__all__ = [
+    "ConsistentHashRing",
+    "ShardedStreamServer",
+    "StreamServer",
+    "serve_sequences",
+]

@@ -53,7 +53,7 @@ from ..config import (
     TelemetryConfig,
 )
 from ..core.stream import StreamResult, SurveillancePipeline
-from ..errors import BackpressureError, ConfigError, WorkerError
+from ..errors import BackpressureError, CheckpointError, ConfigError, WorkerError
 from ..telemetry import MetricsRegistry
 
 
@@ -64,7 +64,8 @@ class _StreamState:
     __slots__ = (
         "stream_id", "pipeline", "factory", "queue", "results",
         "busy", "failed", "restarts", "frames_in", "frames_done",
-        "frames_dropped", "registry",
+        "frames_dropped", "registry", "seq_next", "last_seq",
+        "resumed_source_seq", "resume_note",
     )
 
     def __init__(
@@ -78,7 +79,7 @@ class _StreamState:
         self.pipeline = pipeline
         self.factory = factory
         self.registry = registry
-        self.queue: deque[np.ndarray] = deque()
+        self.queue: deque[tuple[int, np.ndarray]] = deque()
         self.results: deque[StreamResult] = deque()
         self.busy = False          # a worker currently owns this stream
         self.failed: str | None = None  # repr of the fatal error
@@ -86,6 +87,17 @@ class _StreamState:
         self.frames_in = 0
         self.frames_done = 0
         self.frames_dropped = 0
+        # Submission-sequence cursor. ``seq_next`` numbers every
+        # *submitted* frame (dropped ones included), ``last_seq`` is the
+        # sequence number of the last frame the pipeline consumed —
+        # under ``drop_oldest`` this runs ahead of ``frame_index``, and
+        # it is what checkpoints record so a resume replays the source
+        # from the right position (not a frame an eviction already
+        # skipped past).
+        self.seq_next = 0
+        self.last_seq = -1
+        self.resumed_source_seq = -1   # -1 = started fresh
+        self.resume_note: str | None = None
 
 
 class StreamServer:
@@ -165,6 +177,13 @@ class StreamServer:
         self._space = threading.Condition(self._lock)  # queue slot freed
         self._idle = threading.Condition(self._lock)   # a batch finished
         self._streams: dict[str, _StreamState] = {}
+        # Admissions in flight: ids whose pipeline is still being built
+        # (outside the lock) but whose capacity slot is already claimed.
+        self._reserved: set[str] = set()
+        #: Optional hook, called as ``(stream_id, frame_index,
+        #: source_seq)`` after every successful durable checkpoint
+        #: write (the sharded gateway uses it to trim replay buffers).
+        self.on_checkpoint: Callable[[str, int, int], None] | None = None
         self._rr_cursor = 0
         self._closed = False
         self._shutdown = False
@@ -217,6 +236,19 @@ class StreamServer:
         registry is used for the stream's metrics); ``pipeline_factory``
         is called with the stream's registry, and is also what a
         ``restart`` fault policy uses to rebuild a crashed stream.
+
+        Admission is atomic: the capacity/duplicate check *reserves*
+        the slot under one lock acquisition before the (slow, unlocked)
+        pipeline build, so concurrent calls can neither overshoot
+        ``max_streams`` nor double-restore a checkpoint; a build or
+        resume failure releases the reservation.
+
+        With ``serve.resume=True``: a missing checkpoint file admits
+        the stream fresh (counted in ``server.resume_fresh``, noted in
+        stream status); an unusable one raises
+        :class:`~repro.errors.CheckpointError` under the default
+        ``resume_mismatch="fail"``, or admits fresh with a note under
+        ``"fresh"`` (counted in ``server.resume_fallbacks``).
         """
         if not stream_id or not isinstance(stream_id, str):
             raise ConfigError(
@@ -232,49 +264,89 @@ class StreamServer:
         with self._lock:
             if self._closed:
                 raise ConfigError("StreamServer is closed")
-            if stream_id in self._streams:
+            if stream_id in self._streams or stream_id in self._reserved:
                 raise ConfigError(f"stream {stream_id!r} already registered")
-            if len(self._streams) >= self.serve_config.max_streams:
+            if (
+                len(self._streams) + len(self._reserved)
+                >= self.serve_config.max_streams
+            ):
                 raise ConfigError(
                     f"cannot admit stream {stream_id!r}: server is at its "
                     f"max_streams limit ({self.serve_config.max_streams})"
                 )
-        # Pipeline construction can be slow (backend warm-up); keep it
-        # outside the lock, then re-validate on insertion.
-        if pipeline is not None:
-            registry = pipeline.telemetry
-            factory = None  # cannot rebuild an injected pipeline
-        else:
-            registry = MetricsRegistry(self.telemetry_config)
-            factory = (
-                (lambda: pipeline_factory(registry))
-                if pipeline_factory is not None
-                else self._default_factory(registry)
+            # Claim the slot now: concurrent admissions see it and fail
+            # fast instead of racing the build below (TOCTOU).
+            self._reserved.add(stream_id)
+        try:
+            # Pipeline construction can be slow (backend warm-up); keep
+            # it outside the lock. The reservation holds the slot.
+            if pipeline is not None:
+                registry = pipeline.telemetry
+                factory = None  # cannot rebuild an injected pipeline
+            else:
+                registry = MetricsRegistry(self.telemetry_config)
+                factory = (
+                    (lambda: pipeline_factory(registry))
+                    if pipeline_factory is not None
+                    else self._default_factory(registry)
+                )
+                pipeline = factory()
+            pipeline, resumed_seq, resume_note = self._maybe_resume(
+                stream_id, pipeline, factory
             )
-            pipeline = factory()
-        if self.serve_config.resume:
-            path = self._checkpoint_path(stream_id)
-            if path is not None and path.exists():
-                # CheckpointError propagates: a corrupt/mismatched file
-                # must fail admission loudly, not resume a wrong model.
-                pipeline.restore_checkpoint(path)
-                self.registry.counter("server.checkpoints_restored").inc()
+        except BaseException:
+            with self._lock:
+                self._reserved.discard(stream_id)
+            raise
         with self._lock:
+            self._reserved.discard(stream_id)
             if self._closed:
                 raise ConfigError("StreamServer is closed")
-            if stream_id in self._streams:
-                raise ConfigError(f"stream {stream_id!r} already registered")
-            if len(self._streams) >= self.serve_config.max_streams:
-                raise ConfigError(
-                    f"cannot admit stream {stream_id!r}: server is at its "
-                    f"max_streams limit ({self.serve_config.max_streams})"
-                )
-            self._streams[stream_id] = _StreamState(
-                stream_id, pipeline, factory, registry
-            )
+            state = _StreamState(stream_id, pipeline, factory, registry)
+            state.resumed_source_seq = resumed_seq
+            state.resume_note = resume_note
+            if resumed_seq >= 0:
+                # Continue the submission-sequence space where the
+                # checkpoint left off, so replayed source frames line
+                # up with the cursor the checkpoint recorded.
+                state.seq_next = resumed_seq + 1
+                state.last_seq = resumed_seq
+            self._streams[stream_id] = state
             self.registry.gauge("server.streams_active").set(
                 len(self._streams)
             )
+
+    def _maybe_resume(
+        self,
+        stream_id: str,
+        pipeline: SurveillancePipeline,
+        factory: Callable[[], SurveillancePipeline] | None,
+    ) -> tuple[SurveillancePipeline, int, str | None]:
+        """Restore ``pipeline`` from its checkpoint per the resume
+        policy. Returns ``(pipeline, resumed_source_seq, note)`` with
+        ``resumed_source_seq=-1`` when the stream starts fresh."""
+        if not self.serve_config.resume:
+            return pipeline, -1, None
+        path = self._checkpoint_path(stream_id)
+        if path is None or not path.exists():
+            note = f"no checkpoint for {stream_id!r}; started fresh"
+            self.registry.counter("server.resume_fresh").inc()
+            return pipeline, -1, note
+        try:
+            pipeline.restore_checkpoint(path)
+        except CheckpointError as exc:
+            if self.serve_config.resume_mismatch != "fresh":
+                # Default: a corrupt/mismatched file fails admission
+                # loudly rather than resuming a wrong model.
+                raise
+            self.registry.counter("server.resume_fallbacks").inc()
+            if factory is not None:
+                pipeline = factory()  # discard any partial restore
+            return pipeline, -1, f"checkpoint unusable, started fresh: {exc}"
+        meta = getattr(pipeline, "last_restore_meta", None) or {}
+        resumed_seq = int(meta.get("source_seq", pipeline.frame_index))
+        self.registry.counter("server.checkpoints_restored").inc()
+        return pipeline, resumed_seq, None
 
     def remove_stream(self, stream_id: str) -> list[StreamResult]:
         """Deregister a stream, returning its uncollected results.
@@ -339,6 +411,9 @@ class StreamServer:
                         stream_id=stream_id,
                     )
                 if cfg.backpressure == "drop_oldest":
+                    # The evicted frame keeps its sequence number: the
+                    # stream's cursor advances past it, so a checkpoint
+                    # written later records the true source position.
                     state.queue.popleft()
                     state.frames_dropped += 1
                     evicted = True
@@ -358,7 +433,9 @@ class StreamServer:
                     raise WorkerError(
                         f"stream {stream_id!r} has failed: {state.failed}"
                     )
-            state.queue.append(np.asarray(frame))
+            seq = state.seq_next
+            state.seq_next += 1
+            state.queue.append((seq, np.asarray(frame)))
             state.frames_in += 1
             self._set_queue_depth_locked()
             self._work.notify()
@@ -378,7 +455,9 @@ class StreamServer:
             sum(len(s.queue) for s in self._streams.values())
         )
 
-    def _next_batch_locked(self) -> tuple[_StreamState, list[np.ndarray]] | None:
+    def _next_batch_locked(
+        self,
+    ) -> tuple[_StreamState, list[tuple[int, np.ndarray]]] | None:
         """Round-robin pick: the next non-busy, non-failed stream with
         queued frames, taking at most ``batch_frames`` from it."""
         ids = list(self._streams)
@@ -410,15 +489,17 @@ class StreamServer:
                     self._work.wait()
                     picked = self._next_batch_locked()
             state, batch = picked
-            for frame in batch:
-                self._process_one(state, frame)
+            for seq, frame in batch:
+                self._process_one(state, seq, frame)
             with self._lock:
                 state.busy = False
                 if state.queue:
                     self._work.notify()
                 self._idle.notify_all()
 
-    def _process_one(self, state: _StreamState, frame: np.ndarray) -> None:
+    def _process_one(
+        self, state: _StreamState, seq: int, frame: np.ndarray
+    ) -> None:
         """Run one frame through the stream's pipeline, applying the
         fault policy to unhandled errors. Called with ``state.busy``
         held, so the pipeline is touched by one worker only."""
@@ -427,6 +508,7 @@ class StreamServer:
             result = state.pipeline.step(frame)
         except Exception as exc:
             result = self._handle_stream_fault(state, frame, exc)
+        state.last_seq = seq  # this submission cursor is now consumed
         self.registry.histogram("server.step_s").observe(
             time.perf_counter() - t0
         )
@@ -452,10 +534,19 @@ class StreamServer:
         if path is None:
             return
         try:
-            state.pipeline.save_checkpoint(path)
+            state.pipeline.save_checkpoint(
+                path, extra_meta={"source_seq": state.last_seq}
+            )
             self.registry.counter("server.checkpoints_written").inc()
         except Exception:
             self.registry.counter("server.checkpoint_errors").inc()
+            return
+        hook = self.on_checkpoint
+        if hook is not None:
+            try:
+                hook(state.stream_id, frame_index, state.last_seq)
+            except Exception:
+                pass
 
     def _handle_stream_fault(
         self, state: _StreamState, frame: np.ndarray, exc: Exception,
@@ -568,6 +659,9 @@ class StreamServer:
                     "frames_dropped": s.frames_dropped,
                     "restarts": s.restarts,
                     "failed": s.failed,
+                    "source_seq": s.last_seq,
+                    "resumed_source_seq": s.resumed_source_seq,
+                    "resume_note": s.resume_note,
                 }
                 for s in self._streams.values()
             ]

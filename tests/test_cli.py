@@ -317,6 +317,82 @@ class TestServe:
         assert code == 2
         assert "all streams must match" in capsys.readouterr().err
 
+    def test_sharded_smoke(self, capsys):
+        code = main([
+            "serve", "--streams", "4", "--frames", "6",
+            "--height", "24", "--width", "32", "--workers", "1",
+            "--warmup", "4", "--shards", "2",
+        ])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "served 24 frames across 4 streams" in text
+        assert "2 shards x 1 workers" in text
+        assert "latency p50" in text
+
+
+class TestServeResume:
+    """`repro serve --resume` against missing, partial, and mismatched
+    checkpoint state."""
+
+    def _serve(self, *extra):
+        return main([
+            "serve", "--streams", "1", "--frames", "6",
+            "--height", "24", "--width", "32", "--workers", "1",
+            "--warmup", "4", "--checkpoint-every", "2",
+            *extra,
+        ])
+
+    def test_missing_checkpoint_dir_starts_fresh(self, tmp_path, capsys):
+        ckpts = tmp_path / "never_written"
+        code = self._serve("--checkpoint-dir", str(ckpts), "--resume")
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "no checkpoint for 'cam0'; started fresh" in text
+        assert "cam0: 6 frames" in text
+
+    def test_missing_stream_checkpoint_in_partial_dir(
+        self, tmp_path, capsys
+    ):
+        ckpts = tmp_path / "ckpts"
+        assert self._serve("--checkpoint-dir", str(ckpts)) == 0
+        capsys.readouterr()
+        # Second run adds a stream the first never checkpointed.
+        code = main([
+            "serve", "--streams", "2", "--frames", "6",
+            "--height", "24", "--width", "32", "--workers", "1",
+            "--warmup", "4", "--checkpoint-every", "2",
+            "--checkpoint-dir", str(ckpts), "--resume",
+        ])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "cam0: resumed at source frame 6" in text
+        assert "no checkpoint for 'cam1'; started fresh" in text
+
+    def test_wrong_model_params_fresh_by_default(self, tmp_path, capsys):
+        ckpts = tmp_path / "ckpts"
+        assert self._serve(
+            "--checkpoint-dir", str(ckpts), "--learning-rate", "0.2"
+        ) == 0
+        capsys.readouterr()
+        code = self._serve("--checkpoint-dir", str(ckpts), "--resume")
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "checkpoint unusable, started fresh" in text
+        assert "cam0: 6 frames" in text
+
+    def test_wrong_model_params_fail_policy(self, tmp_path, capsys):
+        ckpts = tmp_path / "ckpts"
+        assert self._serve(
+            "--checkpoint-dir", str(ckpts), "--learning-rate", "0.2"
+        ) == 0
+        capsys.readouterr()
+        code = self._serve(
+            "--checkpoint-dir", str(ckpts), "--resume",
+            "--resume-mismatch", "fail",
+        )
+        assert code == 1
+        assert "mismatch" in capsys.readouterr().err
+
 
 class TestExportCuda:
     def test_writes_project(self, tmp_path, capsys):

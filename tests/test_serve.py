@@ -579,3 +579,160 @@ class TestLifecycle:
         finally:
             gate.set()
             server.close(drain=False)
+
+
+class TestAdmissionAtomicity:
+    """Regression tests for the add_stream TOCTOU race: the capacity /
+    duplicate check and the registration used to happen under separate
+    lock acquisitions with the (slow) pipeline build in between."""
+
+    def test_concurrent_admissions_cannot_overshoot(self):
+        """Two adds racing for the last slot: exactly one wins, and the
+        loser fails fast instead of both passing the pre-build check."""
+        with StreamServer(
+            SHAPE, serve=ServeConfig(max_streams=2)
+        ) as server:
+            server.add_stream("a")
+            errors: list[str] = []
+            admitted: list[str] = []
+
+            def slow_factory(registry):
+                time.sleep(0.25)  # keep both builds overlapped
+                return StubPipeline()
+
+            def admit(sid: str) -> None:
+                try:
+                    server.add_stream(sid, pipeline_factory=slow_factory)
+                    admitted.append(sid)
+                except ConfigError as exc:
+                    errors.append(str(exc))
+
+            threads = [
+                threading.Thread(target=admit, args=(sid,))
+                for sid in ("b", "c")
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert len(admitted) == 1
+            assert len(errors) == 1 and "max_streams" in errors[0]
+            assert len(server.stream_status()) == 2
+
+    def test_concurrent_duplicate_admission_single_winner(self):
+        """The same id admitted from two threads: one registration, one
+        'already registered' error — never two pipelines built into the
+        same slot."""
+        with StreamServer(SHAPE) as server:
+            outcomes: list[str] = []
+
+            def admit() -> None:
+                try:
+                    server.add_stream(
+                        "cam",
+                        pipeline_factory=lambda reg: (
+                            time.sleep(0.25), StubPipeline()
+                        )[1],
+                    )
+                    outcomes.append("ok")
+                except ConfigError:
+                    outcomes.append("dup")
+
+            threads = [
+                threading.Thread(target=admit) for _ in range(2)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert sorted(outcomes) == ["dup", "ok"]
+            assert len(server.stream_status()) == 1
+
+    def test_failed_resume_releases_the_slot(self, params, tmp_path):
+        """A resume failure must not leak the reserved admission slot."""
+        from repro.errors import CheckpointError
+
+        (tmp_path / "cam.ckpt").write_bytes(b"JUNKJUNKJUNK")
+        cfg = ServeConfig(
+            workers=1, max_streams=1,
+            checkpoint_dir=str(tmp_path), resume=True,
+        )
+        with StreamServer(SHAPE, params=params, serve=cfg) as server:
+            with pytest.raises(CheckpointError):
+                server.add_stream("cam")
+            server.add_stream("other")  # slot was released
+
+
+class TestDropCheckpointCursor:
+    """Regression tests for drop_oldest vs checkpoint replay: the
+    checkpoint must record the *submission cursor* (the sequence number
+    of the last frame actually consumed), not the processed-frame
+    count, or a resume after drops replays frames the live run never
+    saw twice."""
+
+    def test_drop_then_crash_then_resume_bit_identical(
+        self, params, tmp_path
+    ):
+        frames = scene_frames(seed=9, num_frames=8)
+        cfg = ServeConfig(
+            workers=1, queue_capacity=2, backpressure="drop_oldest",
+            checkpoint_every=1, checkpoint_dir=str(tmp_path),
+        )
+        gate = threading.Event()
+        stub = StubPipeline(gate=gate)
+        with StreamServer(SHAPE, params=params, serve=cfg) as server:
+            server.add_stream("cam")
+            server.add_stream("gate", pipeline=stub)
+            # Phase 1: two frames flow through normally.
+            server.submit("cam", frames[0])
+            server.submit("cam", frames[1])
+            wait_until(lambda: next(
+                s for s in server.stream_status() if s["stream"] == "cam"
+            )["frames_done"] == 2)
+            # Phase 2: park the single worker on the gated stream, then
+            # overflow cam's 2-deep queue so drops are deterministic.
+            server.submit("gate", tagged_frame(1))
+            wait_until(lambda: stub.calls == 1)
+            for f in frames[2:6]:          # seqs 2..5; 2 and 3 evicted
+                server.submit("cam", f)
+            gate.set()
+            server.drain()
+            live = server.results("cam")
+            status = {
+                s["stream"]: s for s in server.stream_status()
+            }["cam"]
+            assert status["frames_dropped"] == 2
+            # The cursor is the *source* sequence (5), not the number
+            # of frames processed (4).
+            assert status["source_seq"] == 5
+
+        # The frames the live run actually consumed, serially.
+        consumed = [frames[0], frames[1], frames[4], frames[5]]
+        tail = frames[6:]
+        pipe = SurveillancePipeline(
+            SHAPE, params=params, backend="cpu", level="F"
+        )
+        reference = [pipe.step(f) for f in consumed + tail]
+        for got, want in zip(live, reference[: len(live)]):
+            assert np.array_equal(got.mask, want.mask)
+
+        # Crash + resume: the new server must continue at source frame
+        # source_seq + 1 = 6, not at frame_index + 1 = 4.
+        resumed_cfg = ServeConfig(
+            workers=1, checkpoint_dir=str(tmp_path), resume=True,
+        )
+        with StreamServer(
+            SHAPE, params=params, serve=resumed_cfg
+        ) as server:
+            server.add_stream("cam")
+            status = {
+                s["stream"]: s for s in server.stream_status()
+            }["cam"]
+            assert status["resumed_source_seq"] == 5
+            for f in frames[status["resumed_source_seq"] + 1:]:
+                server.submit("cam", f)
+            server.drain()
+            resumed = server.results("cam")
+        assert len(resumed) == len(tail)
+        for got, want in zip(resumed, reference[len(consumed):]):
+            assert np.array_equal(got.mask, want.mask)

@@ -1,0 +1,489 @@
+"""Sharded multi-process StreamServer: placement, cross-shard oracle,
+SIGKILL chaos + rebalancing, gateway admission/shedding, telemetry
+rollups, rolling-restart resume.
+
+The oracle tests pin the tentpole guarantee: masks from the sharded
+tier are bit-identical to a serial SurveillancePipeline run feeding the
+same frames — including across a SIGKILLed shard and the checkpoint
+restore + replay that follows.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.config import FaultPolicy, ServeConfig
+from repro.core.stream import SurveillancePipeline
+from repro.errors import BackpressureError, ConfigError, WorkerError
+from repro.serve.sharded import (
+    ConsistentHashRing,
+    ShardedStreamServer,
+    _RoundRobinPlacement,
+)
+from repro.video.scenes import evaluation_scene
+
+SHAPE = (24, 32)
+
+HAS_FORK = "fork" in mp.get_all_start_methods()
+needs_fork = pytest.mark.skipif(
+    not HAS_FORK, reason="shard-process tests prefer fork workers"
+)
+
+
+def scene_frames(seed: int, num_frames: int = 10, shape=SHAPE):
+    video = evaluation_scene(height=shape[0], width=shape[1], seed=seed)
+    return [video.frame(t) for t in range(num_frames)]
+
+
+def serial_masks(frames, params, stage_error="degrade"):
+    """The oracle: one uninterrupted SurveillancePipeline run."""
+    pipe = SurveillancePipeline(SHAPE, params, on_error=stage_error)
+    out = [pipe.step(f) for f in frames]
+    return [(r.mask.copy(), r.raw_mask.copy()) for r in out]
+
+
+def wait_until(predicate, timeout_s: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout_s
+    while not predicate():
+        assert time.monotonic() < deadline, "condition never became true"
+        time.sleep(0.01)
+
+
+class TestPlacement:
+    def test_hash_ring_deterministic(self):
+        a = ConsistentHashRing(range(4))
+        b = ConsistentHashRing(range(4))
+        keys = [f"cam{i}" for i in range(50)]
+        assert [a.place(k) for k in keys] == [b.place(k) for k in keys]
+
+    def test_hash_ring_spreads_load(self):
+        ring = ConsistentHashRing(range(4))
+        keys = [f"stream-{i}" for i in range(400)]
+        counts = {n: 0 for n in range(4)}
+        for k in keys:
+            counts[ring.place(k)] += 1
+        # Virtual nodes keep the split loose but never degenerate.
+        assert all(c >= 40 for c in counts.values()), counts
+
+    def test_hash_ring_minimal_movement_on_removal(self):
+        ring = ConsistentHashRing(range(4))
+        keys = [f"stream-{i}" for i in range(200)]
+        before = {k: ring.place(k) for k in keys}
+        ring.remove(2)
+        assert ring.nodes == [0, 1, 3]
+        moved = [k for k in keys if ring.place(k) != before[k]]
+        # Only streams that lived on the removed shard may move ...
+        assert all(before[k] == 2 for k in moved)
+        # ... and all of them must (their shard is gone).
+        assert len(moved) == sum(v == 2 for v in before.values())
+
+    def test_hash_ring_empty_raises(self):
+        ring = ConsistentHashRing([])
+        with pytest.raises(WorkerError, match="no shards alive"):
+            ring.place("cam")
+
+    def test_round_robin_cycles_and_shrinks(self):
+        rr = _RoundRobinPlacement(range(3))
+        assert [rr.place(f"s{i}") for i in range(6)] == [0, 1, 2, 0, 1, 2]
+        rr.remove(1)
+        placed = {rr.place(f"t{i}") for i in range(4)}
+        assert placed <= {0, 2}
+
+
+@needs_fork
+class TestShardedOracle:
+    def test_masks_bit_identical_to_serial(self, params):
+        """6 streams spread over 3 shards: every stream's mask and
+        raw-mask sequence matches an uninterrupted serial run."""
+        streams = {f"cam{i}": scene_frames(seed=20 + i, num_frames=8)
+                   for i in range(6)}
+        with ShardedStreamServer(
+            SHAPE, params=params,
+            serve=ServeConfig(shards=3, workers=1, queue_capacity=8),
+            frame_dtype=np.uint8,
+        ) as server:
+            for sid in streams:
+                server.add_stream(sid)
+            placed = {row["stream"]: row["shard"]
+                      for row in server.stream_status()}
+            assert len(set(placed.values())) >= 2, placed
+            for sid, frames in streams.items():
+                for f in frames:
+                    server.submit(sid, f)
+            server.drain()
+            for sid, frames in streams.items():
+                got = server.results(sid)
+                ref = serial_masks(frames, params)
+                assert [r.frame_index for r in got] == list(
+                    range(len(frames))
+                )
+                for r, (mask, raw) in zip(got, ref):
+                    assert np.array_equal(r.mask, mask), sid
+                    assert np.array_equal(r.raw_mask, raw), sid
+
+    def test_single_shard_degenerate_case(self, params):
+        frames = scene_frames(seed=3, num_frames=5)
+        with ShardedStreamServer(
+            SHAPE, params=params,
+            serve=ServeConfig(shards=1, workers=1),
+            frame_dtype=np.uint8,
+        ) as server:
+            server.add_stream("solo")
+            for f in frames:
+                server.submit("solo", f)
+            server.drain()
+            got = server.results("solo")
+            ref = serial_masks(frames, params)
+            assert len(got) == len(ref)
+            for r, (mask, _) in zip(got, ref):
+                assert np.array_equal(r.mask, mask)
+
+
+@needs_fork
+class TestShardChaos:
+    def _kill_a_hosting_shard(self, server) -> tuple[int, list[str]]:
+        """SIGKILL the shard that actually hosts streams (consistent
+        hashing may leave a shard empty), returning (shard, victims)."""
+        by_shard: dict[int, list[str]] = {}
+        for row in server.stream_status():
+            by_shard.setdefault(row["shard"], []).append(row["stream"])
+        victim_shard = max(by_shard, key=lambda k: len(by_shard[k]))
+        victims = sorted(by_shard[victim_shard])
+        pid = server.shard_pids()[victim_shard]
+        assert pid is not None
+        os.kill(pid, signal.SIGKILL)
+        wait_until(lambda: server.shard_pids()[victim_shard] is None)
+        return victim_shard, victims
+
+    def test_sigkill_rebalances_bit_identical(self, params, tmp_path):
+        """Kill one shard mid-stream: its streams restore from their
+        checkpoints on survivors, the gateway replays the gap, and
+        every stream's full mask sequence still matches serial."""
+        streams = {f"cam{i}": scene_frames(seed=40 + i, num_frames=10)
+                   for i in range(4)}
+        with ShardedStreamServer(
+            SHAPE, params=params,
+            serve=ServeConfig(
+                shards=2, workers=1, queue_capacity=8,
+                checkpoint_every=1, checkpoint_dir=str(tmp_path),
+            ),
+            fault_policy=FaultPolicy(
+                policy="restart", stage_error="degrade"
+            ),
+            frame_dtype=np.uint8,
+        ) as server:
+            for sid in streams:
+                server.add_stream(sid)
+            for sid, frames in streams.items():
+                for f in frames[:5]:
+                    server.submit(sid, f)
+            server.drain()
+
+            victim_shard, victims = self._kill_a_hosting_shard(server)
+            wait_until(lambda: all(
+                r["restarts"] == 1 and r["failed"] is None
+                for r in (
+                    row for row in server.stream_status()
+                    if row["stream"] in victims
+                )
+            ))
+            for sid, frames in streams.items():
+                for f in frames[5:]:
+                    server.submit(sid, f)
+            server.drain()
+
+            for sid, frames in streams.items():
+                got = server.results(sid)
+                ref = serial_masks(frames, params)
+                assert [r.frame_index for r in got] == list(
+                    range(len(frames))
+                ), sid
+                for r, (mask, raw) in zip(got, ref):
+                    assert np.array_equal(r.mask, mask), sid
+                    assert np.array_equal(r.raw_mask, raw), sid
+
+            status = {r["stream"]: r for r in server.stream_status()}
+            for sid in victims:
+                assert status[sid]["shard"] != victim_shard
+            snap = server.snapshot()
+            assert snap["counters"].get("server.shard_deaths") == 1
+            assert snap["counters"].get("server.rebalanced") == len(victims)
+            assert "server.rebalanced_fresh" not in snap["counters"]
+
+    def test_sigkill_without_checkpoints_fails_cleanly(self, params):
+        """Default fault policy ("fail") + no durable checkpoints:
+        victim streams fail cleanly, survivors keep serving with
+        bit-identical masks."""
+        streams = {f"cam{i}": scene_frames(seed=60 + i, num_frames=8)
+                   for i in range(4)}
+        with ShardedStreamServer(
+            SHAPE, params=params,
+            serve=ServeConfig(shards=2, workers=1, queue_capacity=8),
+            frame_dtype=np.uint8,
+        ) as server:
+            for sid in streams:
+                server.add_stream(sid)
+            for sid, frames in streams.items():
+                for f in frames[:4]:
+                    server.submit(sid, f)
+            server.drain()
+            early = {sid: server.results(sid) for sid in streams}
+
+            victim_shard, victims = self._kill_a_hosting_shard(server)
+            survivors = sorted(set(streams) - set(victims))
+            wait_until(lambda: all(
+                r["failed"] is not None
+                for r in server.stream_status()
+                if r["stream"] in victims
+            ))
+            for sid in victims:
+                with pytest.raises(WorkerError, match="failed"):
+                    server.submit(sid, streams[sid][4])
+            for sid in survivors:
+                for f in streams[sid][4:]:
+                    server.submit(sid, f)
+            server.drain()
+
+            for sid in survivors:
+                got = early[sid] + server.results(sid)
+                ref = serial_masks(streams[sid], params)
+                assert len(got) == len(ref), sid
+                for r, (mask, _) in zip(got, ref):
+                    assert np.array_equal(r.mask, mask), sid
+            snap = server.snapshot()
+            assert snap["counters"].get("server.shard_deaths") == 1
+            assert "server.rebalanced" not in snap["counters"]
+            assert (
+                snap["counters"].get("server.streams_failed")
+                == len(victims)
+            )
+
+    def test_sigkill_restart_policy_rebalances_fresh(self, params):
+        """policy="restart" without checkpoints: victims re-admit fresh
+        on survivors (model state reset, counted separately)."""
+        streams = {f"cam{i}": scene_frames(seed=80 + i, num_frames=6)
+                   for i in range(4)}
+        with ShardedStreamServer(
+            SHAPE, params=params,
+            serve=ServeConfig(shards=2, workers=1, queue_capacity=8),
+            fault_policy=FaultPolicy(
+                policy="restart", stage_error="degrade"
+            ),
+            frame_dtype=np.uint8,
+        ) as server:
+            for sid in streams:
+                server.add_stream(sid)
+            for sid, frames in streams.items():
+                for f in frames[:3]:
+                    server.submit(sid, f)
+            server.drain()
+            for sid in streams:
+                server.results(sid)
+
+            victim_shard, victims = self._kill_a_hosting_shard(server)
+            wait_until(lambda: all(
+                r["restarts"] == 1 and r["failed"] is None
+                for r in server.stream_status()
+                if r["stream"] in victims
+            ))
+            for sid in victims:
+                for f in streams[sid][:3]:
+                    server.submit(sid, f)
+            server.drain()
+
+            for sid in victims:
+                got = server.results(sid)
+                ref = serial_masks(streams[sid][:3], params)
+                # Fresh restart: frame_index starts over from 0.
+                assert [r.frame_index for r in got] == [0, 1, 2], sid
+                for r, (mask, _) in zip(got, ref):
+                    assert np.array_equal(r.mask, mask), sid
+            status = {r["stream"]: r for r in server.stream_status()}
+            for sid in victims:
+                assert status[sid]["resume_note"] == (
+                    "rebalanced fresh (no checkpoint)"
+                )
+            snap = server.snapshot()
+            assert (
+                snap["counters"].get("server.rebalanced_fresh")
+                == len(victims)
+            )
+            assert snap["counters"].get("server.rebalanced") == len(victims)
+
+
+@needs_fork
+class TestGatewayAdmission:
+    def test_max_streams_gateway_wide(self, params):
+        with ShardedStreamServer(
+            SHAPE, params=params,
+            serve=ServeConfig(shards=2, workers=1, max_streams=2),
+        ) as server:
+            server.add_stream("a")
+            server.add_stream("b")
+            with pytest.raises(ConfigError, match="max_streams"):
+                server.add_stream("c")
+
+    def test_duplicate_and_bad_ids_rejected(self, params):
+        with ShardedStreamServer(
+            SHAPE, params=params, serve=ServeConfig(shards=1, workers=1),
+        ) as server:
+            server.add_stream("a")
+            with pytest.raises(ConfigError, match="already registered"):
+                server.add_stream("a")
+            with pytest.raises(ConfigError):
+                server.add_stream("")
+            with pytest.raises(ConfigError, match=r"'\.'"):
+                server.add_stream("a.b")
+
+    def test_unknown_stream_and_shape_guards(self, params):
+        with ShardedStreamServer(
+            SHAPE, params=params, serve=ServeConfig(shards=1, workers=1),
+        ) as server:
+            with pytest.raises(ConfigError, match="unknown stream"):
+                server.submit("ghost", np.zeros(SHAPE))
+            server.add_stream("a")
+            with pytest.raises(ConfigError, match="shape"):
+                server.submit("a", np.zeros((8, 8)))
+
+    def test_lossy_frame_dtype_rejected(self, params):
+        """A float frame cannot ride a uint8 ring silently."""
+        with ShardedStreamServer(
+            SHAPE, params=params, serve=ServeConfig(shards=1, workers=1),
+            frame_dtype=np.uint8,
+        ) as server:
+            server.add_stream("a")
+            with pytest.raises(ConfigError, match="losslessly"):
+                server.submit("a", np.zeros(SHAPE, dtype=np.float64))
+            # The widening direction is lossless and allowed.
+            server.submit("a", np.zeros(SHAPE, dtype=np.uint8))
+            server.drain()
+
+
+@needs_fork
+class TestLoadShedding:
+    def test_shed_drop_bounds_inflight(self, params):
+        """shed_policy="drop": a burst past shed_inflight is shed at
+        the gateway (submit returns False) and counted."""
+        frames = scene_frames(seed=5, num_frames=12)
+        with ShardedStreamServer(
+            SHAPE, params=params,
+            serve=ServeConfig(
+                shards=1, workers=1, queue_capacity=16,
+                shed_inflight=2, shed_policy="drop",
+            ),
+            frame_dtype=np.uint8,
+        ) as server:
+            server.add_stream("cam")
+            admitted = sum(server.submit("cam", f) for f in frames)
+            # The burst outruns real MoG processing by orders of
+            # magnitude, so most of it must shed.
+            assert admitted < len(frames)
+            server.drain()
+            assert len(server.results("cam")) == admitted
+            status = server.stream_status()[0]
+            assert status["frames_dropped"] == len(frames) - admitted
+            snap = server.snapshot()
+            assert (
+                snap["counters"].get("server.frames_shed")
+                == len(frames) - admitted
+            )
+
+    def test_shed_reject_raises(self, params):
+        frames = scene_frames(seed=6, num_frames=12)
+        with ShardedStreamServer(
+            SHAPE, params=params,
+            serve=ServeConfig(
+                shards=1, workers=1, queue_capacity=16,
+                shed_inflight=2, shed_policy="reject",
+            ),
+            frame_dtype=np.uint8,
+        ) as server:
+            server.add_stream("cam")
+            rejected = 0
+            for f in frames:
+                try:
+                    server.submit("cam", f)
+                except BackpressureError:
+                    rejected += 1
+            assert rejected > 0
+            server.drain()
+            assert len(server.results("cam")) == len(frames) - rejected
+
+
+@needs_fork
+class TestShardedTelemetry:
+    def test_snapshot_rolls_up_per_shard(self, params):
+        frames = scene_frames(seed=9, num_frames=4)
+        with ShardedStreamServer(
+            SHAPE, params=params,
+            serve=ServeConfig(shards=2, workers=1, placement="round_robin"),
+            frame_dtype=np.uint8,
+        ) as server:
+            server.add_stream("a")
+            server.add_stream("b")
+            for f in frames:
+                server.submit("a", f)
+                server.submit("b", f)
+            server.drain()
+            snap = server.snapshot()
+            assert snap["gauges"]["server.shards_active"] == 2
+            assert snap["gauges"]["server.streams_active"] == 2
+            # Both shards' own server metrics appear re-keyed; with
+            # round-robin placement each hosts exactly one stream.
+            for k in (0, 1):
+                assert snap["gauges"][
+                    f"server.shard.{k}.streams_active"
+                ] == 1
+            assert any(
+                name.startswith("stream.a.") for name in snap["counters"]
+            )
+            # Gateway latency histogram saw every submitted frame.
+            lat = snap["histograms"]["server.latency_s"]
+            assert lat["count"] == 2 * len(frames)
+            assert lat["p50_s"] > 0
+
+
+@needs_fork
+class TestRollingRestartResume:
+    def test_close_then_resume_continues_bit_identical(
+        self, params, tmp_path
+    ):
+        """The rolling-restart path: stop the whole sharded tier, start
+        a new one over the same checkpoint dir with resume=True, and
+        the mask sequence continues exactly where it left off."""
+        frames = scene_frames(seed=13, num_frames=10)
+        serve = ServeConfig(
+            shards=2, workers=1, checkpoint_every=1,
+            checkpoint_dir=str(tmp_path),
+        )
+        with ShardedStreamServer(
+            SHAPE, params=params, serve=serve, frame_dtype=np.uint8,
+        ) as server:
+            server.add_stream("cam")
+            for f in frames[:6]:
+                server.submit("cam", f)
+            server.drain()
+            first = server.results("cam")
+        with ShardedStreamServer(
+            SHAPE, params=params, serve=serve.replace(resume=True),
+            frame_dtype=np.uint8,
+        ) as server:
+            server.add_stream("cam")
+            status = server.stream_status()[0]
+            assert status["resumed_source_seq"] == 5
+            for f in frames[6:]:
+                server.submit("cam", f)
+            server.drain()
+            second = server.results("cam")
+        got = first + second
+        ref = serial_masks(frames, params)
+        assert [r.frame_index for r in got] == list(range(len(frames)))
+        for r, (mask, raw) in zip(got, ref):
+            assert np.array_equal(r.mask, mask)
+            assert np.array_equal(r.raw_mask, raw)
