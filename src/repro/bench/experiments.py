@@ -646,6 +646,43 @@ def jit_speedup(ctx: ExperimentContext | None = None) -> Experiment:
     )
 
 
+def models_matrix(ctx: ExperimentContext | None = None) -> Experiment:
+    """Extension: model family x level x scenario quality matrix.
+
+    Scores both background-model families (MoG and the dual-mode
+    single Gaussian) on the stressor scenes against exact ground
+    truth; see :mod:`repro.bench.quality` for the cell definition.
+    """
+    from .quality import MATRIX_LEVELS, quality_matrix
+
+    matrix = quality_matrix()
+    by_key = {
+        (c["model"], c["scenario"], c["level"]): c
+        for c in matrix["cells"]
+    }
+    rows = []
+    for model in matrix["models"]:
+        for scenario in matrix["scenarios"]:
+            row: list[object] = [model, scenario]
+            for level in matrix["levels"]:
+                c = by_key[(model, scenario, level)]
+                row.append(f"{c['f1']:.3f} / {c['ms_ssim']:.3f}")
+            rows.append(row)
+    return Experiment(
+        "Model matrix (extension)",
+        "F1 / MS-SSIM vs ground truth per model family, level, scenario",
+        ["model", "scenario", *(f"level {lv}" for lv in MATRIX_LEVELS)],
+        rows,
+        notes=(
+            f"{matrix['shape'][0]}x{matrix['shape'][1]} px, "
+            f"{matrix['num_frames']} frames, first {matrix['warmup']} "
+            "excluded as warmup; raw masks (no post-processing). Level "
+            "columns agree within a family because every pass stack is "
+            "decision-preserving; scenario rows separate the families."
+        ),
+    )
+
+
 #: Every experiment, for the EXPERIMENTS.md generator and smoke tests.
 ALL_EXPERIMENTS = {
     "table1": table1,
@@ -663,4 +700,5 @@ ALL_EXPERIMENTS = {
     "jitter": camera_jitter_study,
     "fusion": fusion_counters,
     "jit": jit_speedup,
+    "models": models_matrix,
 }

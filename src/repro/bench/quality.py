@@ -1,0 +1,184 @@
+"""Model-quality matrix: model family x optimization level x scenario.
+
+The kernel IR made the background model a first-class axis; this module
+answers the question that axis raises — *which family should a
+deployment run?* Every cell runs one ``(model, level, scenario)``
+combination over a stressor scene from :mod:`repro.video.scenes` and
+scores the raw masks against the scene's exact ground truth:
+
+* **F1** (plus precision/recall/IoU) — the detection quality a
+  downstream consumer sees;
+* **MS-SSIM** of the mask against the truth mask — the structural
+  measure the paper's Table IV uses, here against real ground truth
+  instead of the CPU reference.
+
+Two readings fall out of the matrix by construction:
+
+* Within one family, every level column scores identically — the pass
+  stacks are decision-preserving (the cross-backend bit-identity suite
+  enforces it), so the matrix doubles as an end-to-end check of that
+  claim against ground truth rather than against a reference run.
+* Across families, the scenario rows separate: the families differ in
+  how they model multi-modal backgrounds (K Gaussians vs one mode plus
+  a candidate), so flicker-heavy and disturbance-heavy scenes pull the
+  rows apart while the static control stays close.
+
+``repro experiments models`` prints the matrix;
+:func:`write_matrix_json` is what CI and the committed
+``QUALITY_MATRIX.json`` use.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..config import MoGParams
+from ..core.subtractor import BackgroundSubtractor
+from ..errors import ConfigError
+from ..metrics.foreground import score_sequence
+from ..metrics.ms_ssim import DEFAULT_WEIGHTS, ms_ssim
+from ..video.scenes import (
+    illumination_scene,
+    jitter_scene,
+    rain_scene,
+    shadow_scene,
+    static_scene,
+)
+
+__all__ = [
+    "MATRIX_LEVELS",
+    "MATRIX_MODELS",
+    "MATRIX_SCENARIOS",
+    "quality_cell",
+    "quality_matrix",
+    "write_matrix_json",
+]
+
+#: Default matrix axes: both model families, one level per pass-stack
+#: regime (baseline / restructured / register-optimized), every
+#: stressor scenario plus the static control.
+MATRIX_MODELS = ("mog", "dmsg")
+MATRIX_LEVELS = ("A", "D", "F")
+MATRIX_SCENARIOS = {
+    "static": static_scene,
+    "jitter": jitter_scene,
+    "illumination": illumination_scene,
+    "rain": rain_scene,
+    "shadows": shadow_scene,
+}
+
+
+def _mask_weights(shape: tuple[int, int]) -> list[float]:
+    """MS-SSIM scale weights that fit the frame (each scale halves the
+    image; a side must keep >= 11 px at the coarsest scale)."""
+    side = min(shape)
+    scales = 5
+    while scales > 1 and side < 11 * 2 ** (scales - 1):
+        scales -= 1
+    return DEFAULT_WEIGHTS[:scales]
+
+
+def quality_cell(
+    model: str,
+    level: str,
+    scenario: str,
+    shape: tuple[int, int] = (120, 160),
+    num_frames: int = 60,
+    warmup: int = 20,
+    params: MoGParams | None = None,
+) -> dict:
+    """Run one matrix cell on the CPU oracle; returns a flat dict of
+    scores (F1, precision, recall, IoU, MS-SSIM) over the post-warmup
+    frames."""
+    builder = MATRIX_SCENARIOS.get(scenario)
+    if builder is None:
+        raise ConfigError(
+            f"unknown scenario {scenario!r}; expected one of "
+            f"{sorted(MATRIX_SCENARIOS)}"
+        )
+    if warmup >= num_frames:
+        raise ConfigError(
+            f"warmup ({warmup}) must leave frames to score "
+            f"(num_frames={num_frames})"
+        )
+    video = builder(height=shape[0], width=shape[1], num_frames=num_frames)
+    sub = BackgroundSubtractor(
+        shape, params, level=level, backend="cpu", model=model
+    )
+    weights = _mask_weights(shape)
+    preds: list[np.ndarray] = []
+    truths: list[np.ndarray] = []
+    ssims: list[float] = []
+    for t in range(num_frames):
+        frame, truth = video.frame_with_truth(t)
+        mask = sub.apply(frame)
+        if t < warmup:
+            continue
+        preds.append(mask)
+        truths.append(truth)
+        ssims.append(
+            ms_ssim(
+                mask.astype(np.uint8) * 255,
+                truth.astype(np.uint8) * 255,
+                weights=weights,
+            )
+        )
+    score = score_sequence(preds, truths)
+    return {
+        "model": sub.model.name,
+        "level": sub.spec.letter,
+        "scenario": scenario,
+        "f1": round(score.f1, 4),
+        "precision": round(score.precision, 4),
+        "recall": round(score.recall, 4),
+        "iou": round(score.iou, 4),
+        "ms_ssim": round(float(np.mean(ssims)), 4),
+        "frames_scored": len(preds),
+    }
+
+
+def quality_matrix(
+    models: tuple[str, ...] = MATRIX_MODELS,
+    levels: tuple[str, ...] = MATRIX_LEVELS,
+    scenarios: tuple[str, ...] | None = None,
+    shape: tuple[int, int] = (120, 160),
+    num_frames: int = 60,
+    warmup: int = 20,
+    params: MoGParams | None = None,
+) -> dict:
+    """The full matrix as a JSON-serialisable dict (``cells`` holds one
+    :func:`quality_cell` result per combination, in axis order)."""
+    scenario_names = (
+        tuple(scenarios) if scenarios is not None
+        else tuple(MATRIX_SCENARIOS)
+    )
+    cells = [
+        quality_cell(
+            model, level, scenario,
+            shape=shape, num_frames=num_frames, warmup=warmup,
+            params=params,
+        )
+        for model in models
+        for level in levels
+        for scenario in scenario_names
+    ]
+    return {
+        "kind": "model_quality_matrix",
+        "shape": list(shape),
+        "num_frames": num_frames,
+        "warmup": warmup,
+        "models": list(models),
+        "levels": list(levels),
+        "scenarios": list(scenario_names),
+        "cells": cells,
+    }
+
+
+def write_matrix_json(path: str | Path, matrix: dict) -> Path:
+    """Write a :func:`quality_matrix` result as pretty-printed JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(matrix, indent=2) + "\n")
+    return path

@@ -97,6 +97,7 @@ def measure_fps(
     integrity=None,
     warmup_frames: int | None = None,
     dtype: str = "double",
+    model: str | None = None,
 ) -> dict:
     """Measure frames/s for one configuration.
 
@@ -108,7 +109,8 @@ def measure_fps(
     compilation as ``compile_s``. ``integrity`` is an optional
     :class:`~repro.config.IntegrityPolicy` enabling the mixture-state
     guard — the "ECC-on" software analogue, whose per-frame validation
-    cost the snapshot tracks against the unguarded path. Returns a
+    cost the snapshot tracks against the unguarded path. ``model``
+    picks the background-model family (default MoG). Returns a
     snapshot entry dict.
     """
     if warmup_frames is None:
@@ -128,6 +130,7 @@ def measure_fps(
         run_config=run_config,
         profile_every=profile_every if backend == "sim" else None,
         integrity=integrity,
+        model=model,
     )
     warm_start = time.perf_counter()
     for frame in frames[:warmup_frames]:
@@ -149,6 +152,7 @@ def measure_fps(
     entry = {
         "backend": backend,
         "level": level,
+        "model": bs.model.name,
         "tier": tier,
         "profile_every": profile_every if backend == "sim" else None,
         "integrity": integrity_mode,
@@ -368,6 +372,10 @@ def run_snapshot(
             num_streams=64, num_frames=num_srv,
             attempts=2 if quick else 3,
         ),
+        # The second model family, measured in the same container run
+        # as "cpu" so the dmsg-vs-mog frames/s ratio compares like with
+        # like (one mode + one candidate per pixel vs K Gaussians).
+        "dmsg": measure_fps("cpu", num_frames=num_cpu, model="dmsg"),
         # The compiled hot path. Entries carry ``"numba": false`` when
         # the measurement actually ran the cpu fallback (numba absent),
         # so stale speedup claims cannot hide in the snapshot.
@@ -379,6 +387,9 @@ def run_snapshot(
         ),
         "jit_fullhd": measure_fps(
             "jit", num_frames=num_jit_hd, shape=FULL_HD,
+        ),
+        "dmsg_fullhd": measure_fps(
+            "cpu", num_frames=num_hd, shape=FULL_HD, model="dmsg",
         ),
     }
     update_snapshot(entries, path)

@@ -19,7 +19,10 @@ The subcommands cover the end-to-end workflow without writing Python:
   (warmup excluded, JIT compile time reported separately).
 
 Everywhere a ``--level`` is accepted, both paper letters (``A``..``G``)
-and pass expressions (``A+predication``, ``B+sort-elimination``) work.
+and pass expressions (``A+predication``, ``B+sort-elimination``) work,
+optionally carrying a model-family prefix (``dmsg:F``,
+``dmsg:A+predication``). Commands that build a pipeline also take
+``--model`` to pick the background-model family directly.
 
 Installed as the ``repro`` console script; also runnable as
 ``python -m repro.cli``.
@@ -33,7 +36,7 @@ import sys
 import numpy as np
 
 from . import __version__
-from .config import MoGParams, RunConfig
+from .config import MODELS, MoGParams, RunConfig
 from .core.subtractor import BackgroundSubtractor
 from .errors import ReproError
 from .metrics.foreground import score_sequence
@@ -45,6 +48,11 @@ SCENES = {
     "surveillance": scenes.surveillance_scene,
     "traffic": scenes.traffic_scene,
     "patient-room": scenes.patient_room_scene,
+    "static": scenes.static_scene,
+    "jitter": scenes.jitter_scene,
+    "illumination": scenes.illumination_scene,
+    "rain": scenes.rain_scene,
+    "shadows": scenes.shadow_scene,
 }
 
 
@@ -69,7 +77,11 @@ def _build_parser() -> argparse.ArgumentParser:
     subx.add_argument("output", help="output .npz masks")
     subx.add_argument("--level", default="F",
                       help="optimization level A..G or a pass expression "
-                      "like A+predication (see `repro levels`)")
+                      "like A+predication, optionally model-prefixed "
+                      "(dmsg:F); see `repro levels`")
+    subx.add_argument("--model", choices=MODELS, default=None,
+                      help="background-model family (default mog, or "
+                      "whatever the --level prefix names)")
     subx.add_argument(
         "--backend", choices=("cpu", "sim", "jit"), default="cpu",
         help="cpu: vectorized NumPy; jit: numba-compiled kernels "
@@ -101,6 +113,8 @@ def _build_parser() -> argparse.ArgumentParser:
     tr = sub.add_parser("track", help="run the full pipeline with tracking")
     tr.add_argument("input", help="input .npz sequence")
     tr.add_argument("--level", default="F")
+    tr.add_argument("--model", choices=MODELS, default=None,
+                    help="background-model family (default mog)")
     tr.add_argument("--fuse", action="store_true",
                     help="append the fusion pass to --level (threshold, "
                          "shadow and class-histogram stages fused into the "
@@ -165,6 +179,9 @@ def _build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--height", type=int, default=120)
     sv.add_argument("--width", type=int, default=160)
     sv.add_argument("--level", default="F")
+    sv.add_argument("--model", choices=MODELS, default=None,
+                    help="background-model family for every stream "
+                    "(default mog)")
     sv.add_argument("--backend", choices=("cpu", "sim", "jit"), default="cpu",
                     help="per-stream pipeline backend (jit falls back "
                     "to cpu without numba)")
@@ -240,9 +257,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     lv.add_argument(
         "level", nargs="?", default=None,
-        help="a level letter (A..G) or pass expression "
-        "(e.g. A+predication); default: all paper levels",
+        help="a level letter (A..G) or pass expression, optionally "
+        "model-prefixed (e.g. A+predication, dmsg:F); default: all "
+        "paper levels",
     )
+    lv.add_argument("--model", choices=MODELS, default=None,
+                    help="list the levels of this model family "
+                    "(default mog)")
     lv.add_argument("--json", action="store_true",
                     help="emit machine-readable JSON")
 
@@ -261,6 +282,8 @@ def _build_parser() -> argparse.ArgumentParser:
                     default="cpu")
     bn.add_argument("--level", default="F",
                     help="optimization level or pass expression")
+    bn.add_argument("--model", choices=MODELS, default=None,
+                    help="background-model family (default mog)")
     bn.add_argument("--height", type=int, default=120)
     bn.add_argument("--width", type=int, default=160)
     bn.add_argument("--frames", type=int, default=33,
@@ -305,7 +328,7 @@ def _cmd_subtract(args) -> int:
     )
     bs = BackgroundSubtractor(
         shape, params, level=args.level, backend=args.backend,
-        run_config=run_config,
+        run_config=run_config, model=args.model,
     )
     frames = [source.frame(t) for t in range(source.num_frames)]
     masks, report = bs.process(frames)
@@ -387,6 +410,7 @@ def _cmd_track(args) -> int:
         MoGParams(learning_rate=args.learning_rate),
         level=level,
         backend=args.backend,
+        model=args.model,
         cleaner=MaskCleaner(open_radius=0, close_radius=2,
                             min_area=args.min_area),
         tracker_params=TrackerParams(min_area=args.min_area),
@@ -519,6 +543,7 @@ def _cmd_serve(args) -> int:
         MoGParams(learning_rate=args.learning_rate),
         level=args.level,
         backend=args.backend,
+        model=args.model,
         serve=serve_config,
         fault_policy=FaultPolicy(stage_error=args.on_error),
         warmup_frames=args.warmup,
@@ -623,12 +648,18 @@ def _cmd_export_cuda(args) -> int:
 def _cmd_levels(args) -> int:
     import json
 
-    from .core.variants import LEVELS, resolve_level_spec
+    from .core.variants import LEVELS, level_spec_for, resolve_level_spec
 
     if args.level is None:
-        specs = [member.spec for member in LEVELS]
+        if args.model is None or args.model == "mog":
+            specs = [member.spec for member in LEVELS]
+        else:
+            specs = [
+                level_spec_for(member.spec.letter, args.model)
+                for member in LEVELS
+            ]
     else:
-        specs = [resolve_level_spec(args.level)]
+        specs = [resolve_level_spec(args.level, model=args.model)]
     if args.json:
         print(json.dumps([s.describe() for s in specs], indent=2))
         return 0
@@ -638,6 +669,7 @@ def _cmd_levels(args) -> int:
         )
         passes = " + ".join(spec.passes) if spec.passes else "(none)"
         print(f"{spec.letter}: {spec.title} [{spec.group}]")
+        print(f"  model         : {spec.model.name}")
         print(f"  passes        : {passes}")
         print(f"  kernel        : {spec.kernel.name} "
               f"(layout={spec.layout}, overlapped={spec.overlapped}, "
@@ -688,13 +720,15 @@ def _cmd_bench(args) -> int:
         shape=(args.height, args.width),
         warmup_frames=args.warmup,
         dtype=args.dtype,
+        model=args.model,
     )
     if args.json:
         print(json.dumps(entry, indent=2))
         return 0
     print(
         f"{entry['backend']}: {entry['frames_per_s']:.2f} frames/s "
-        f"({args.height}x{args.width}, level {args.level}, "
+        f"({args.height}x{args.width}, model {entry['model']}, "
+        f"level {args.level}, "
         f"{entry['frames_timed']} frames timed, "
         f"{entry['warmup_frames']} warmup, "
         f"warmup {entry['warmup_s']:.3f}s, "

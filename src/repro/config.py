@@ -166,6 +166,20 @@ class FusionParams:
 #: warning when numba is not installed).
 BACKENDS = ("cpu", "sim", "jit")
 
+#: Background-model families the kernel stack can run. ``"mog"`` is
+#: the paper's Stauffer-Grimson mixture; ``"dmsg"`` the dual-mode
+#: single Gaussian (one background mode plus an age-gated candidate
+#: that swaps in on scene change) — far cheaper per pixel, the serving
+#: tier's low-cost degrade target. See :mod:`repro.kernels.ir` for the
+#: :class:`~repro.kernels.ir.ModelFamily` definitions.
+MODELS = ("mog", "dmsg")
+
+#: Age ceiling of the DMSG running averages. Caps the effective
+#: learning rate at ``1/DMSG_AGE_CAP`` so an old background mode can
+#: still adapt to slow drift. Fixed (not a :class:`MoGParams` field)
+#: so DMSG checkpoints stay schema-compatible with MoG ones.
+DMSG_AGE_CAP = 128.0
+
 #: Geometry of the paper's evaluation video.
 FULL_HD = (1080, 1920)
 #: Frames processed in the paper's timing runs.
@@ -203,6 +217,11 @@ class RunConfig:
         for consumers that accept a run config but no explicit
         ``backend=`` argument; ``None`` keeps each consumer's own
         default.
+    model:
+        Optional default background-model family (one of
+        :data:`MODELS`) for consumers that accept a run config but no
+        explicit ``model=`` argument; ``None`` keeps each consumer's
+        own default (``"mog"``).
     """
 
     height: int = 240
@@ -213,6 +232,7 @@ class RunConfig:
     frame_group: int = 8
     profile_every: int = 1
     backend: str | None = None
+    model: str | None = None
 
     def __post_init__(self) -> None:
         if self.height <= 0 or self.width <= 0:
@@ -222,6 +242,10 @@ class RunConfig:
         if self.backend is not None and self.backend not in BACKENDS:
             raise ConfigError(
                 f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.model is not None and self.model not in MODELS:
+            raise ConfigError(
+                f"model must be one of {MODELS}, got {self.model!r}"
             )
         resolve_dtype(self.dtype)  # validates
         if self.threads_per_block <= 0 or self.threads_per_block % 32:
@@ -617,6 +641,12 @@ class ServeConfig:
         :data:`BACKENDS`); ``None`` keeps the server's default
         (``"cpu"``). ``"jit"`` degrades per the subtractor's fallback
         semantics when numba is unavailable, so masks stay identical.
+    model:
+        Default background-model family for the per-stream pipelines
+        (one of :data:`MODELS`); ``None`` keeps the server's default
+        (``"mog"``). Individual streams can override it at
+        ``add_stream(model=...)`` so one server (or shard) serves
+        mixed quality tiers.
     resume_mismatch:
         What admission does when ``resume=True`` finds a checkpoint it
         cannot restore: ``"fail"`` (default) raises
@@ -659,6 +689,7 @@ class ServeConfig:
     checkpoint_dir: str | None = None
     resume: bool = False
     backend: str | None = None
+    model: str | None = None
     resume_mismatch: str = "fail"
     shards: int = 0
     shard_backend: str | None = None
@@ -671,6 +702,10 @@ class ServeConfig:
         if self.backend is not None and self.backend not in BACKENDS:
             raise ConfigError(
                 f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.model is not None and self.model not in MODELS:
+            raise ConfigError(
+                f"model must be one of {MODELS}, got {self.model!r}"
             )
         if self.workers < 1:
             raise ConfigError(f"workers must be >= 1, got {self.workers}")

@@ -41,13 +41,17 @@ from .variants import LevelSpec, OptimizationLevel, resolve_level_spec
 
 
 def max_tile_pixels(
-    params: MoGParams, dtype, device: DeviceSpec = TESLA_C2075
+    params: MoGParams, dtype, device: DeviceSpec = TESLA_C2075,
+    model=None,
 ) -> int:
     """Largest warp-multiple tile whose parameters fit shared memory
     (and whose threads fit one block). 640 for the paper's 3-Gaussian
-    double-precision configuration on the C2075."""
+    double-precision configuration on the C2075.  ``model`` (a
+    :class:`~repro.kernels.ir.ModelFamily`) overrides the per-pixel
+    component count; ``None`` keeps the MoG reading of ``params``."""
     itemsize = np.dtype(np.float64).itemsize if str(dtype) in ("double", "float64") else 4
-    per_pixel = params.num_gaussians * NUM_PARAMS * itemsize
+    k = model.component_count(params) if model is not None else params.num_gaussians
+    per_pixel = k * NUM_PARAMS * itemsize
     tile = device.shared_mem_per_sm // per_pixel
     tile = min(tile, device.max_threads_per_block)
     return max((tile // device.warp_size) * device.warp_size, device.warp_size)
@@ -93,7 +97,8 @@ class HostPipeline:
             from ..faults.integrity import IntegrityGuard
 
             self._guard = IntegrityGuard(
-                integrity, self.params, telemetry=telemetry
+                integrity, self.params, telemetry=telemetry,
+                model=self.level.model.name,
             )
         self.profiler = Profiler(device, calibration)
         self.registers_mode = registers
@@ -108,13 +113,18 @@ class HostPipeline:
         n = self.run_config.num_pixels
         dtype = self.run_config.np_dtype
         layout_cls = AoSLayout if spec.layout == "aos" else SoALayout
-        self.layout = layout_cls(self.params.num_gaussians, n, dtype)
+        # The per-pixel component count comes from the level's model
+        # family (K Gaussians for MoG, 2 modes for DMSG); everything
+        # downstream — layouts, loop trip counts, shared-tile sizing —
+        # reads it from the layout / kernel config.
+        k_count = spec.model.component_count(self.params)
+        self.layout = layout_cls(k_count, n, dtype)
         self.layout.allocate(self.engine.memory)
         self.kernel_config = KernelConfig.from_params(
-            self.params, dtype, fusion=fusion
+            self.params, dtype, fusion=fusion, model=spec.model
         )
 
-        #: Stages fused into the MoG kernel (from the level's spec) vs
+        #: Stages fused into the model kernel (from the level's spec) vs
         #: stages run as the standalone post-kernel chain (the measured
         #: unfused baseline). Mutually exclusive by construction.
         self.fused_stages = tuple(spec.kernel.fused)
@@ -140,7 +150,8 @@ class HostPipeline:
             if spec.kernel.tiling == "shared":
                 tile = self.run_config.tile_pixels
                 limit = max_tile_pixels(
-                    self.params, self.run_config.dtype, device
+                    self.params, self.run_config.dtype, device,
+                    model=spec.model,
                 )
                 if shared_bytes_for_tile(tile, self.kernel_config) > device.shared_mem_per_sm:
                     raise ConfigError(
@@ -223,7 +234,7 @@ class HostPipeline:
         if self.registers_mode == "pinned":
             return pinned_registers(
                 self.level.register_model,
-                self.params.num_gaussians,
+                self.level.model.component_count(self.params),
                 self.run_config.dtype,
             )
         if self.registers_mode == "estimated":
@@ -245,9 +256,18 @@ class HostPipeline:
 
     def _ensure_state(self, frame: np.ndarray) -> None:
         if not self._initialised:
-            state = MixtureState.from_first_frame(
-                frame.reshape(self.shape), self.params, self.run_config.dtype
-            )
+            if self.level.model.name == "dmsg":
+                from ..dmsg import dmsg_state_from_first_frame
+
+                state = dmsg_state_from_first_frame(
+                    frame.reshape(self.shape), self.params,
+                    self.run_config.dtype,
+                )
+            else:
+                state = MixtureState.from_first_frame(
+                    frame.reshape(self.shape), self.params,
+                    self.run_config.dtype,
+                )
             self.layout.upload(state)
             self._initialised = True
 
@@ -328,7 +348,7 @@ class HostPipeline:
             name=f"{self._kernel.__name__}[{self.frames_processed}]",
         )
         # The unfused post chain runs at the same profiling tier as the
-        # frame's MoG launch, so sampled runs stay comparable and the
+        # frame's model launch, so sampled runs stay comparable and the
         # engine's sampler cadence is not perturbed by the extra
         # launches.
         extra = [
@@ -453,7 +473,7 @@ class HostPipeline:
             level=self.level.letter,
             num_frames=self.frames_processed,
             num_pixels=self.run_config.num_pixels,
-            num_gaussians=self.params.num_gaussians,
+            num_gaussians=self.level.model.component_count(self.params),
             dtype=self.run_config.dtype,
             launches=list(self._launch_reports),
             pipeline=pipeline,

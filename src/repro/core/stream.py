@@ -105,6 +105,7 @@ class SurveillancePipeline:
         params: MoGParams | None = None,
         level: str = "F",
         backend: str = "cpu",
+        model: str | None = None,
         run_config: RunConfig | None = None,
         cleaner: MaskCleaner | None = None,
         tracker_params: TrackerParams | None = None,
@@ -126,7 +127,7 @@ class SurveillancePipeline:
             )
         self.telemetry = telemetry or MetricsRegistry(TelemetryConfig())
         self.subtractor = BackgroundSubtractor(
-            shape, params, level=level, backend=backend,
+            shape, params, level=level, backend=backend, model=model,
             run_config=run_config, profile_every=profile_every,
             telemetry=self.telemetry,
             integrity=integrity, fault_injector=fault_injector,
@@ -278,6 +279,7 @@ class SurveillancePipeline:
             "kind": "surveillance_pipeline",
             "shape": list(self.subtractor.shape),
             "level": self.subtractor.spec.letter,
+            "model": self.subtractor.model.name,
             "backend": self.subtractor.backend,
             "params": dataclasses.asdict(self.subtractor.params),
             "frame_index": self.frame_index,
@@ -293,9 +295,9 @@ class SurveillancePipeline:
         frame index (the last frame the checkpointed pipeline served).
 
         The checkpoint's configuration must match this pipeline's
-        (shape, level, MoG parameters) — a mismatch raises
-        :class:`~repro.errors.CheckpointError` rather than silently
-        resuming a different model.
+        (shape, level, model family, model parameters) — a mismatch
+        raises :class:`~repro.errors.CheckpointError` rather than
+        silently resuming a different model.
         """
         from ..faults.checkpoint import read_checkpoint
 
@@ -304,6 +306,17 @@ class SurveillancePipeline:
             raise CheckpointError(
                 f"{path} is not a surveillance-pipeline checkpoint "
                 f"(kind={meta.get('kind')!r})"
+            )
+        # Checkpoints written before model families existed carry no
+        # "model" key; they are MoG by construction.
+        file_model = meta.get("model", "mog")
+        want_model = self.subtractor.model.name
+        if file_model != want_model:
+            raise CheckpointError(
+                f"checkpoint model-family mismatch: file holds "
+                f"{file_model!r} state, pipeline is configured with "
+                f"{want_model!r} — restoring one family's planes into "
+                f"another would corrupt the model"
             )
         expected = {
             "shape": list(self.subtractor.shape),

@@ -2,8 +2,9 @@
 
 Three backends:
 
-* ``backend="cpu"`` — the practical interpreted path: vectorized NumPy
-  MoG, no simulation. ``report()`` is not available.
+* ``backend="cpu"`` — the practical interpreted path: the vectorized
+  NumPy oracle of the selected model family, no simulation.
+  ``report()`` is not available.
 * ``backend="jit"`` — the compiled hot path: per-pixel kernels emitted
   from the level's :class:`~repro.kernels.ir.KernelSpec` and compiled
   with numba (:mod:`repro.kernels.jit`). Masks, mixture state and
@@ -31,6 +32,7 @@ from ..errors import ConfigError, JitUnavailableError
 from ..gpusim.calibration import DEFAULT_CALIBRATION, Calibration
 from ..gpusim.device import TESLA_C2075, DeviceSpec
 from ..kernels import KernelConfig
+from ..kernels.ir import MOG_FAMILY
 from ..mog.jit import MoGJit
 from ..mog.vectorized import MoGVectorized
 from ..post.analytics import (
@@ -45,7 +47,8 @@ from .variants import LevelSpec, OptimizationLevel, resolve_level_spec
 
 
 class BackgroundSubtractor:
-    """MoG background subtraction with selectable optimization level.
+    """Background subtraction with selectable model family and
+    optimization level.
 
     Parameters
     ----------
@@ -60,7 +63,15 @@ class BackgroundSubtractor:
         such as ``"A+predication"``; selects kernel, layout and
         pipeline behaviour. Functionally, A-C produce the ``sorted``
         variant's masks, D/E the same masks, F/G the ``regopt``
-        variant's.
+        variant's.  A string level may carry a model prefix
+        (``"dmsg:F"``).
+    model:
+        Background-model family: ``"mog"`` (default; the paper's
+        mixture of Gaussians) or ``"dmsg"`` (dual-mode single
+        Gaussian — one background mode plus an age-gated candidate;
+        cheaper per pixel). ``None`` takes ``run_config.model`` when
+        set, else the level designator's prefix, else ``"mog"``. An
+        explicit ``model`` must agree with the level's prefix.
     backend:
         ``"cpu"`` (vectorized NumPy), ``"jit"`` (numba-compiled
         kernels, cpu fallback when numba is missing) or ``"sim"``
@@ -101,6 +112,7 @@ class BackgroundSubtractor:
         shape: tuple[int, int],
         params: MoGParams | None = None,
         level: OptimizationLevel | LevelSpec | str = OptimizationLevel.F,
+        model: str | None = None,
         backend: str | None = None,
         run_config: RunConfig | None = None,
         device: DeviceSpec = TESLA_C2075,
@@ -125,12 +137,17 @@ class BackgroundSubtractor:
             )
         self.shape = tuple(shape)
         self.params = params or MoGParams()
-        self.spec = resolve_level_spec(level)
+        if model is None and run_config is not None:
+            model = run_config.model
+        self.spec = resolve_level_spec(level, model=model)
+        self.model = self.spec.model
         # Paper levels keep the enum identity (``bs.level is
-        # OptimizationLevel.F``); custom pass stacks expose the spec.
+        # OptimizationLevel.F``) for the default MoG family; custom
+        # pass stacks and non-MoG families expose the spec.
         self.level: OptimizationLevel | LevelSpec = (
             OptimizationLevel[self.spec.letter]
             if self.spec.letter in OptimizationLevel.__members__
+            and self.spec.model is MOG_FAMILY
             else self.spec
         )
         self.backend = backend
@@ -177,16 +194,26 @@ class BackgroundSubtractor:
                         telemetry.counter("jit.fallbacks").inc()
                     self.active_backend = "cpu"
             if self._impl is None:
-                self._impl = MoGVectorized(
-                    self.shape, self.params,
-                    variant=self.spec.mog_variant, dtype=dtype,
-                    integrity=integrity, telemetry=telemetry,
-                )
+                if self.model.name == "dmsg":
+                    from ..dmsg import DmsgVectorized
+
+                    self._impl = DmsgVectorized(
+                        self.shape, self.params,
+                        variant=self.spec.oracle_variant, dtype=dtype,
+                        integrity=integrity, telemetry=telemetry,
+                    )
+                else:
+                    self._impl = MoGVectorized(
+                        self.shape, self.params,
+                        variant=self.spec.oracle_variant, dtype=dtype,
+                        integrity=integrity, telemetry=telemetry,
+                    )
                 if self.spec.kernel.fused:
                     # The CPU mirror of the fused tail: same expressions,
-                    # same run dtype, applied right after the MoG update.
+                    # same run dtype, applied right after the model update.
                     self._fusion_cfg = KernelConfig.from_params(
-                        self.params, dtype, fusion=fusion
+                        self.params, dtype, fusion=fusion,
+                        model=self.model,
                     )
             self._pipeline = None
         else:

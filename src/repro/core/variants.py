@@ -14,6 +14,13 @@ Arbitrary pass subsets the paper never measured are first-class too:
 :class:`~repro.core.subtractor.BackgroundSubtractor`, the bench harness
 and the CLI — accepts it wherever a level letter is accepted (the CLI
 spelling is ``"A+predication"``; see :func:`resolve_level_spec`).
+
+The background-model family is a level axis too: ``"dmsg:F"`` resolves
+level F's pass stack against the dual-mode single Gaussian family
+(passes with no meaning for the family — sort elimination — are
+skipped), and ``"dmsg:A+predication"`` builds a custom DMSG stack.
+A bare designator means MoG, so every pre-existing spelling is
+unchanged.
 """
 
 from __future__ import annotations
@@ -28,11 +35,16 @@ from ..kernels.build import build_group_kernel, build_kernel
 from ..kernels.ir import (
     BASE_SPEC,
     LEVEL_PASSES,
+    MOG_FAMILY,
     PASS_REGISTRY,
     KernelSpec,
+    ModelFamily,
+    applicable_passes,
     apply_passes,
-    mog_variant_for,
+    base_spec_for,
+    oracle_variant_for,
     register_model_for,
+    resolve_model,
     resolve_pass,
 )
 
@@ -60,6 +72,11 @@ class LevelSpec:
 
     # -- derived properties -------------------------------------------
     @property
+    def model(self) -> ModelFamily:
+        """Background-model family this level's kernel implements."""
+        return self.kernel.model
+
+    @property
     def layout(self) -> str:
         """Parameter memory layout: ``"aos"`` or ``"soa"``."""
         return self.kernel.layout
@@ -75,9 +92,17 @@ class LevelSpec:
         return self.kernel.group_structured
 
     @property
+    def oracle_variant(self) -> str:
+        """Functionally equivalent vectorized-oracle variant (a
+        :mod:`repro.mog.vectorized` variant for MoG, ``"dual"`` for
+        DMSG)."""
+        return oracle_variant_for(self.kernel)
+
+    @property
     def mog_variant(self) -> str:
-        """Functionally equivalent :mod:`repro.mog.vectorized` variant."""
-        return mog_variant_for(self.kernel)
+        """Deprecated alias of :attr:`oracle_variant` (predates model
+        families)."""
+        return oracle_variant_for(self.kernel)
 
     @property
     def register_model(self) -> str:
@@ -104,12 +129,14 @@ class LevelSpec:
             "letter": self.letter,
             "title": self.title,
             "group": self.group,
+            "model": self.model.name,
             "passes": list(self.passes),
             "kernel": self.kernel.name,
             "layout": self.layout,
             "overlapped": self.overlapped,
             "group_structured": self.group_structured,
             "fused": list(self.kernel.fused),
+            "oracle_variant": self.oracle_variant,
             "mog_variant": self.mog_variant,
             "enables": list(self.enables),
             "paper_speedup": self.paper_speedup,
@@ -169,30 +196,71 @@ class OptimizationLevel(Enum):
 LEVELS = tuple(OptimizationLevel)
 
 
+def level_spec_for(
+    letter: str, model: "ModelFamily | str" = MOG_FAMILY
+) -> LevelSpec:
+    """The :class:`LevelSpec` of one paper level for a model family.
+
+    For MoG this is the :class:`OptimizationLevel` member's spec.  For
+    other families the level's cumulative pass stack is filtered to the
+    passes that apply (e.g. DMSG has no sort to eliminate), the family
+    base spec seeds the fold, and the result keeps the bare letter —
+    ``repro levels`` distinguishes rows by the ``model`` column, not by
+    mangled letters.  Paper speedups are MoG measurements, so other
+    families carry ``paper_speedup=None``.
+    """
+    fam = resolve_model(model)
+    member = OptimizationLevel.parse(letter)
+    if fam is MOG_FAMILY:
+        return member.spec
+    base = member.spec
+    passes = applicable_passes(base.passes, fam)
+    return LevelSpec(
+        letter=base.letter,
+        title=base.title,
+        group=base.group,
+        passes=passes,
+        kernel=apply_passes(base_spec_for(fam), passes),
+        paper_speedup=None,
+    )
+
+
 def custom_level(
-    passes, name: str | None = None, title: str | None = None
+    passes,
+    name: str | None = None,
+    title: str | None = None,
+    model: "ModelFamily | str" = MOG_FAMILY,
 ) -> LevelSpec:
     """Build a :class:`LevelSpec` from an arbitrary kernel-pass stack.
 
     ``passes`` is a sequence of pass names (or :class:`KernelPass`
-    instances) applied to the level-A base in order.  If the stack is
-    exactly one of the paper's levels, that level's spec is returned;
-    otherwise a ``group="custom"`` spec without a paper speedup.  Pass
+    instances) applied to the family's level-A base in order.  If the
+    stack is exactly one of the paper's levels (for the default MoG
+    family), that level's spec is returned; otherwise a
+    ``group="custom"`` spec without a paper speedup.  Pass
     prerequisites are enforced (e.g. ``register-reduction`` before
     ``predication`` raises), so ablation sweeps cannot silently build
-    a kernel the passes do not describe.
+    a kernel the passes do not describe.  A pass that does not apply
+    to the family (``sort-elimination`` on DMSG) is a no-op with a
+    :class:`RuntimeWarning` — here the stack is an explicit request,
+    unlike the cumulative level definitions, which filter silently.
     """
+    fam = resolve_model(model)
     resolved = tuple(resolve_pass(p) for p in passes)
     names = tuple(p.name for p in resolved)
-    for member in OptimizationLevel:
-        if member.spec.passes == names:
-            return member.spec
+    if fam is MOG_FAMILY:
+        for member in OptimizationLevel:
+            if member.spec.passes == names:
+                return member.spec
     # Apply the *resolved instances*, not the names: a parameterised
     # pass instance (e.g. FusionPass with a stage subset) must keep its
     # configuration.
-    kernel = apply_passes(BASE_SPEC, resolved)
+    kernel = apply_passes(base_spec_for(fam), resolved)
+    default_name = "A+" + "+".join(names) if names else "A"
+    if fam is not MOG_FAMILY:
+        default_name = f"{fam.name}:{default_name}"
     return LevelSpec(
-        letter=name or ("A+" + "+".join(names) if names else "A"),
+        letter=name or default_name,
         title=title or "custom pass stack",
         group="custom",
         passes=names,
@@ -203,6 +271,7 @@ def custom_level(
 
 def resolve_level_spec(
     level: "OptimizationLevel | LevelSpec | str",
+    model: "ModelFamily | str | None" = None,
 ) -> LevelSpec:
     """Normalise any level designator to a :class:`LevelSpec`.
 
@@ -211,19 +280,48 @@ def resolve_level_spec(
     ``"<base>+<pass>[+<pass>...]"`` where ``<base>`` is a level letter
     seeding the stack (empty means A): ``"A+predication"``,
     ``"B+sort-elimination"``, ``"+soa-layout"``.
+
+    A string designator may carry a ``model:`` prefix selecting the
+    background-model family (``"dmsg:F"``, ``"dmsg:A+predication"``);
+    without one the family defaults to ``model`` (or MoG).  When both
+    the prefix and ``model`` are given they must agree — a silent
+    override would hide a config mistake.
     """
+    fam = None if model is None else resolve_model(model)
     if isinstance(level, LevelSpec):
+        if fam is not None and level.model is not fam:
+            raise ConfigError(
+                f"level spec {level.letter!r} is a {level.model.name!r} "
+                f"spec but model={fam.name!r} was requested"
+            )
         return level
     if isinstance(level, OptimizationLevel):
+        if fam is not None and fam is not MOG_FAMILY:
+            return level_spec_for(level.letter, fam)
         return level.spec
     text = str(level).strip()
+    if ":" in text:
+        prefix, _, text = text.partition(":")
+        prefix_fam = resolve_model(prefix)
+        if fam is not None and prefix_fam is not fam:
+            raise ConfigError(
+                f"level designator {level!r} names model family "
+                f"{prefix_fam.name!r} but model={fam.name!r} was requested"
+            )
+        fam = prefix_fam
+        text = text.strip()
+    if fam is None:
+        fam = MOG_FAMILY
     if "+" in text:
         base, *extra = [part.strip() for part in text.split("+")]
         base_passes = (
-            OptimizationLevel.parse(base).spec.passes if base else ()
+            level_spec_for(base, fam).passes if base else ()
         )
-        return custom_level(base_passes + tuple(extra), name=text)
-    return OptimizationLevel.parse(text).spec
+        name = text if fam is MOG_FAMILY else f"{fam.name}:{text}"
+        return custom_level(
+            base_passes + tuple(extra), name=name, model=fam
+        )
+    return level_spec_for(text, fam)
 
 
 # ----------------------------------------------------------------------
@@ -264,6 +362,14 @@ def backend_availability(level) -> dict:
             "reason": (
                 "register-resident tiling is a simulator-only ablation; "
                 "no CUDA template"
+            ),
+        }
+    elif spec.tiling != "none" and spec.model.name != "mog":
+        out["cuda-text"] = {
+            "available": False,
+            "reason": (
+                f"no tiled CUDA template for the {spec.model.name!r} "
+                "family (shared-memory staging is rendered for MoG only)"
             ),
         }
     else:

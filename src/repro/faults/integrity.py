@@ -26,6 +26,13 @@ Invariants checked per pixel (``tol`` = ``IntegrityPolicy.weight_tol``):
 - ``|m| <= mean_cap`` — means blend toward pixel intensities
   ``[0, 255]``; the unclaimed-component sentinels sit at
   ``-1000*(K-1)`` at worst, far below the default cap.
+
+The guard is family-aware (``model="mog"`` or ``"dmsg"``): DMSG state
+stores mode *ages* in the weight plane, so its weight-plane invariant
+is ``age in [0, DMSG_AGE_CAP]`` with a positive per-pixel age sum (the
+background mode's age never drops below 1), and repair re-initialises
+flagged pixels the way :func:`repro.dmsg.dmsg_state_from_first_frame`
+initialises a fresh model.
 """
 
 from __future__ import annotations
@@ -34,8 +41,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..config import IntegrityPolicy, MoGParams
-from ..errors import IntegrityError
+from ..config import DMSG_AGE_CAP, MODELS, IntegrityPolicy, MoGParams
+from ..errors import ConfigError, IntegrityError
 from ..mog.params import MixtureState
 
 __all__ = [
@@ -82,9 +89,12 @@ def find_corrupt_pixels(
     params: MoGParams,
     policy: IntegrityPolicy,
     frame_index: int = 0,
+    model: str = "mog",
 ) -> IntegrityReport:
     """Check every invariant; returns an :class:`IntegrityReport` with
     the flat pixel indices that violate at least one of them."""
+    if model not in MODELS:
+        raise ConfigError(f"model must be one of {MODELS}, got {model!r}")
     w, m, sd = state.w, state.m, state.sd
     tol = policy.weight_tol
     k = state.num_gaussians
@@ -101,9 +111,16 @@ def find_corrupt_pixels(
     sd_f = np.where(np.isfinite(sd), sd, 1.0)
     m_f = np.where(np.isfinite(m), m, 0.0)
 
-    bad_w = ((w_f < -tol) | (w_f > 1.0 + tol)).any(axis=0)
-    w_sum = w_f.sum(axis=0)
-    bad_w |= (w_sum <= 0.0) | (w_sum > k * (1.0 + tol))
+    if model == "dmsg":
+        # The weight plane holds mode ages: non-negative, capped at
+        # DMSG_AGE_CAP, and the background mode keeps age >= 1 so the
+        # per-pixel sum stays positive.
+        bad_w = ((w_f < -tol) | (w_f > DMSG_AGE_CAP + tol)).any(axis=0)
+        bad_w |= w_f.sum(axis=0) <= 0.0
+    else:
+        bad_w = ((w_f < -tol) | (w_f > 1.0 + tol)).any(axis=0)
+        w_sum = w_f.sum(axis=0)
+        bad_w |= (w_sum <= 0.0) | (w_sum > k * (1.0 + tol))
 
     sd_low = min(float(params.sd_floor), float(params.initial_sd)) * (1.0 - 1e-6)
     bad_sd = ((sd_f < sd_low) | (sd_f > policy.sd_cap)).any(axis=0)
@@ -127,16 +144,20 @@ def repair_pixels(
     frame_flat: np.ndarray,
     cols: np.ndarray,
     params: MoGParams,
+    model: str = "mog",
 ) -> None:
     """Re-initialise the Gaussians of the pixels in ``cols`` from the
-    current frame, exactly as :meth:`MixtureState.from_first_frame`
-    initialises a fresh model — component 0 centred on the observed
-    intensity with full weight, the rest unclaimed.
+    current frame, exactly as the family's first-frame initialiser
+    would — for MoG, component 0 centred on the observed intensity with
+    full weight and the rest unclaimed; for DMSG, a background mode of
+    age 1 on the observed intensity with an empty (age-0) candidate.
 
     The state arrays are copied and rebound, never mutated in place:
     ``state_snapshot`` hands out live references, so an in-place repair
     would silently rewrite history inside checkpoints taken earlier.
     """
+    if model not in MODELS:
+        raise ConfigError(f"model must be one of {MODELS}, got {model!r}")
     dt = state.dtype
     w = state.w.copy()
     m = state.m.copy()
@@ -144,8 +165,12 @@ def repair_pixels(
     w[:, cols] = dt.type(0.0)
     w[0, cols] = dt.type(1.0)
     m[0, cols] = np.asarray(frame_flat, dtype=dt)[cols]
-    for j in range(1, state.num_gaussians):
-        m[j, cols] = dt.type(-1000.0 * j)
+    if model == "dmsg":
+        for j in range(1, state.num_gaussians):
+            m[j, cols] = np.asarray(frame_flat, dtype=dt)[cols]
+    else:
+        for j in range(1, state.num_gaussians):
+            m[j, cols] = dt.type(-1000.0 * j)
     sd[:, cols] = dt.type(params.initial_sd)
     state.w, state.m, state.sd = w, m, sd
 
@@ -176,11 +201,15 @@ class IntegrityGuard:
         params: MoGParams,
         telemetry=None,
         metric_prefix: str = "integrity",
+        model: str = "mog",
     ) -> None:
+        if model not in MODELS:
+            raise ConfigError(f"model must be one of {MODELS}, got {model!r}")
         self.policy = policy
         self.params = params
         self.telemetry = telemetry
         self.metric_prefix = metric_prefix
+        self.model = model
         self.last_report: IntegrityReport | None = None
 
     def _counter(self, name: str):
@@ -201,7 +230,7 @@ class IntegrityGuard:
         if frame_index % self.policy.check_every != 0:
             return None
         report = find_corrupt_pixels(
-            state, self.params, self.policy, frame_index
+            state, self.params, self.policy, frame_index, model=self.model
         )
         self.last_report = report
         if (c := self._counter("checks")) is not None:
@@ -212,7 +241,10 @@ class IntegrityGuard:
             c.inc(int(report.corrupt.size))
         self._observe_detection_latency(frame_index)
         if self.policy.mode == "repair":
-            repair_pixels(state, frame_flat, report.corrupt, self.params)
+            repair_pixels(
+                state, frame_flat, report.corrupt, self.params,
+                model=self.model,
+            )
             if (c := self._counter("pixels_repaired")) is not None:
                 c.inc(int(report.corrupt.size))
             return report

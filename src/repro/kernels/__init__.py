@@ -1,9 +1,13 @@
 """Simulated CUDA kernels for every optimization level of the paper.
 
-There is exactly *one* MoG kernel in this package: the canonical
-Stauffer-Grimson update described by :class:`~repro.kernels.ir.KernelSpec`.
-The paper's levels are composable :class:`~repro.kernels.ir.KernelPass`
-stacks over it (Tables II/III are cumulative), and
+There is exactly *one* kernel per background-model family in this
+package: the canonical per-pixel update described by
+:class:`~repro.kernels.ir.KernelSpec`, whose ``model`` field selects
+the family (:data:`~repro.kernels.ir.MOG_FAMILY` Stauffer-Grimson by
+default, :data:`~repro.kernels.ir.DMSG_FAMILY` dual-mode single
+Gaussian — see ``docs/models.md``).  The paper's levels are composable
+:class:`~repro.kernels.ir.KernelPass` stacks over it (Tables II/III
+are cumulative; each pass declares which families it applies to), and
 :mod:`repro.kernels.build` emits the DSL program for any spec.  The
 same spec drives :mod:`repro.cudagen`, so the simulator and the real
 CUDA sources cannot drift apart.
@@ -44,15 +48,22 @@ from .fusion import (
 )
 from .ir import (
     BASE_SPEC,
+    DMSG_FAMILY,
     FUSED_STAGES,
     LEVEL_PASSES,
+    MODEL_FAMILIES,
+    MOG_FAMILY,
     PASS_REGISTRY,
     FusionPass,
     KernelPass,
     KernelSpec,
+    ModelFamily,
     PassError,
     apply_passes,
+    applicable_passes,
+    base_spec_for,
     canonical_fused_stages,
+    resolve_model,
     spec_for_level,
 )
 

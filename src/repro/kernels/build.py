@@ -25,6 +25,8 @@ from .common import (
     KernelConfig,
     branchy_update_match,
     branchy_virtual_component,
+    dmsg_branchy_body,
+    dmsg_predicated_body,
     foreground_scan_break,
     foreground_scan_flat,
     foreground_scan_recompute,
@@ -56,13 +58,31 @@ def registers_for_group_residency(cfg: KernelConfig) -> int:
 
 
 # ----------------------------------------------------------------------
-# The canonical per-frame body (steps 2-6 of repro.mog.update)
+# The canonical per-frame body, dispatched on the spec's model family
 # ----------------------------------------------------------------------
 def _frame_body(ctx, cfg: KernelConfig, spec: KernelSpec, x, w, m, sd):
+    """One frame's per-pixel model update.  ``w``/``m``/``sd`` are the
+    pixel's component registers; returns the ``background`` flag (the
+    caller stores state and mask in the level's original order).
+
+    MoG runs the match/update loop, virtual component, optional sort
+    and foreground scan (steps 2-6 of :mod:`repro.mog.update`).  DMSG
+    runs the dual-mode body (:mod:`repro.dmsg.vectorized` semantics);
+    its classification is the pre-update background-mode test by
+    definition, so the ``sort``/``scan`` axes that reshape MoG's
+    decision code have nothing to act on and only the ``update`` axis
+    (branchy vs predicated) changes the emitted instructions.
+    """
+    if spec.model.name == "dmsg":
+        if spec.update == "branchy":
+            return dmsg_branchy_body(ctx, cfg, x, w, m, sd)
+        return dmsg_predicated_body(ctx, cfg, x, w, m, sd)
+    return _frame_body_mog(ctx, cfg, spec, x, w, m, sd)
+
+
+def _frame_body_mog(ctx, cfg: KernelConfig, spec: KernelSpec, x, w, m, sd):
     """Match/update loop, virtual component, optional sort, foreground
-    scan.  ``w``/``m``/``sd`` are the pixel's component registers;
-    returns the ``background`` flag (the caller stores state and mask
-    in the level's original order)."""
+    scan (steps 2-6 of repro.mog.update)."""
     diff = [] if spec.keep_diff else None
     any_match = ctx.var(False, np.bool_)
     for k in ctx.loop(cfg.num_gaussians):

@@ -17,18 +17,25 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..config import FusionParams, MoGParams, resolve_dtype
+from ..config import DMSG_AGE_CAP, FusionParams, MoGParams, resolve_dtype
 from ..gpusim.dsl import KernelContext, MutVar, Vec
 
 
 @dataclass(frozen=True)
 class KernelConfig:
-    """Immutable numeric configuration of a MoG kernel.
+    """Immutable numeric configuration of one per-pixel kernel.
 
-    The trailing fields are the fused post-stage thresholds
-    (:class:`~repro.config.FusionParams`), also pre-cast to the run
-    dtype; per-frame kernels without fused stages simply never read
-    them.
+    ``num_gaussians`` is the per-pixel component count of the *model
+    family* being emitted (``params.num_gaussians`` for MoG, the fixed
+    mode count 2 for DMSG) — pass the spec's family to
+    :meth:`from_params` so kernels, layouts and shared-tile sizing all
+    agree.  ``age_cap`` is the DMSG running-average ceiling
+    (:data:`~repro.config.DMSG_AGE_CAP`); MoG kernels never read it.
+
+    The ``min_contrast``/``shadow_*`` fields are the fused post-stage
+    thresholds (:class:`~repro.config.FusionParams`), also pre-cast to
+    the run dtype; per-frame kernels without fused stages simply never
+    read them.
     """
 
     num_gaussians: int
@@ -43,6 +50,7 @@ class KernelConfig:
     min_contrast: float = 12.0
     shadow_alpha_low: float = 0.45
     shadow_alpha_high: float = 0.95
+    age_cap: float = float(DMSG_AGE_CAP)
 
     @classmethod
     def from_params(
@@ -50,14 +58,19 @@ class KernelConfig:
         params: MoGParams,
         dtype: str | np.dtype = "double",
         fusion: FusionParams | None = None,
+        model=None,
     ) -> "KernelConfig":
         dt = resolve_dtype(dtype)
         t = dt.type
         alpha = t(1.0 - params.learning_rate)
         oma = t(1.0) - alpha  # computed in the run dtype (see module doc)
         fusion = fusion or FusionParams()
+        k_count = (
+            model.component_count(params)
+            if model is not None else params.num_gaussians
+        )
         return cls(
-            num_gaussians=params.num_gaussians,
+            num_gaussians=k_count,
             dtype=dt,
             alpha=float(alpha),
             one_minus_alpha=float(oma),
@@ -69,6 +82,7 @@ class KernelConfig:
             min_contrast=float(t(fusion.min_contrast)),
             shadow_alpha_low=float(t(fusion.shadow_alpha_low)),
             shadow_alpha_high=float(t(fusion.shadow_alpha_high)),
+            age_cap=float(t(DMSG_AGE_CAP)),
         )
 
 
@@ -274,6 +288,144 @@ def store_foreground(ctx: KernelContext, fg_buf, pixel, background: MutVar) -> N
     """Write the 0/255 foreground byte."""
     value = ctx.select(background.get(), np.uint8(0), np.uint8(255))
     ctx.store(fg_buf, pixel, value)
+
+
+# ----------------------------------------------------------------------
+# Dual-mode single Gaussian bodies (the "dmsg" model family)
+# ----------------------------------------------------------------------
+# Register roles: index 0 is the background mode, index 1 the candidate;
+# the w plane holds the mode *age*. Semantics are pinned by the NumPy
+# oracle (repro.dmsg.vectorized); both bodies mirror it expression for
+# expression, and the predicated body's 0/1 blends are exactly equal to
+# the branchy selection for finite operands, so the two forms produce
+# bit-identical state and masks.
+
+def _dmsg_consts(ctx: KernelContext, cfg: KernelConfig) -> dict:
+    """DMSG constants as run-dtype register values.
+
+    Unlike the MoG bodies (which pass Python floats and let the
+    assignment round), the DMSG bodies keep *every* intermediate in the
+    run dtype — the exact op-for-op arithmetic of the NumPy oracle — so
+    DMSG state (not just masks) is bit-identical across backends in
+    float32 as well as float64.
+    """
+    full = lambda v: ctx.full(v, cfg.dtype)  # noqa: E731
+    return {
+        "one": full(1.0),
+        "zero": full(0.0),
+        "gamma1": full(cfg.gamma1),
+        "age_cap": full(cfg.age_cap),
+        "sd_floor": full(cfg.sd_floor),
+        "initial_sd": full(cfg.initial_sd),
+    }
+
+
+def dmsg_branchy_body(
+    ctx: KernelContext,
+    cfg: KernelConfig,
+    x: Vec,
+    w: list[MutVar],
+    m: list[MutVar],
+    sd: list[MutVar],
+) -> MutVar:
+    """Branch-per-path DMSG update (levels A-D shapes)."""
+    c = _dmsg_consts(ctx, cfg)
+    one, gamma1 = c["one"], c["gamma1"]
+    background = ctx.var(False, np.bool_)
+    d0 = ctx.var(abs(x - m[0].get()))
+    with ctx.if_(d0 < gamma1 * sd[0].get()):
+        background.set(True)
+        age = ctx.minimum(w[0] + one, c["age_cap"])
+        rho = one / age
+        w[0].set(age)
+        m[0].set((one - rho) * m[0].get() + rho * x)
+        var = (one - rho) * (sd[0].get() * sd[0].get()) + rho * (d0.get() * d0.get())
+        sd[0].set(ctx.maximum(ctx.sqrt(var), c["sd_floor"]))
+    with ctx.else_():
+        d1 = ctx.var(abs(x - m[1].get()))
+        with ctx.if_((w[1] > c["zero"]) & (d1 < gamma1 * sd[1].get())):
+            age = ctx.minimum(w[1] + one, c["age_cap"])
+            rho = one / age
+            w[1].set(age)
+            m[1].set((one - rho) * m[1].get() + rho * x)
+            var = (one - rho) * (sd[1].get() * sd[1].get()) + rho * (d1.get() * d1.get())
+            sd[1].set(ctx.maximum(ctx.sqrt(var), c["sd_floor"]))
+        with ctx.else_():
+            w[1].set(one)
+            m[1].set(x)
+            sd[1].set(c["initial_sd"])
+    # Age-gated swap: the candidate becomes the background; the demoted
+    # background becomes an empty (age-0) candidate. Runs after *every*
+    # update, preserving the age[1] <= age[0] invariant the background
+    # estimate relies on.
+    with ctx.if_(w[1] > w[0]):
+        tm = m[0].get()
+        ts = sd[0].get()
+        w[0].set(w[1].get())
+        m[0].set(m[1].get())
+        sd[0].set(sd[1].get())
+        w[1].set(c["zero"])
+        m[1].set(tm)
+        sd[1].set(ts)
+    return background
+
+
+def dmsg_predicated_body(
+    ctx: KernelContext,
+    cfg: KernelConfig,
+    x: Vec,
+    w: list[MutVar],
+    m: list[MutVar],
+    sd: list[MutVar],
+) -> MutVar:
+    """Predicated DMSG update (levels E+ shapes): unconditional
+    arithmetic, 0/1-blended assignments, select-based swap — every lane
+    runs the same instructions."""
+    c = _dmsg_consts(ctx, cfg)
+    one, gamma1 = c["one"], c["gamma1"]
+    background = ctx.var(False, np.bool_)
+    d0 = abs(x - m[0].get())
+    matched_b = d0 < gamma1 * sd[0].get()
+    background.set(background | matched_b)
+    mb = matched_b.astype(cfg.dtype)
+
+    age0 = ctx.minimum(w[0] + one, c["age_cap"])
+    rho0 = one / age0
+    m0u = (one - rho0) * m[0].get() + rho0 * x
+    var0 = (one - rho0) * (sd[0].get() * sd[0].get()) + rho0 * (d0 * d0)
+    s0u = ctx.maximum(ctx.sqrt(var0), c["sd_floor"])
+    w[0].set((one - mb) * w[0].get() + mb * age0)
+    m[0].set((one - mb) * m[0].get() + mb * m0u)
+    sd[0].set((one - mb) * sd[0].get() + mb * s0u)
+
+    d1 = abs(x - m[1].get())
+    matched_c = (w[1] > c["zero"]) & (d1 < gamma1 * sd[1].get())
+    mc = matched_c.astype(cfg.dtype)
+    age1 = ctx.minimum(w[1] + one, c["age_cap"])
+    rho1 = one / age1
+    m1u = (one - rho1) * m[1].get() + rho1 * x
+    var1 = (one - rho1) * (sd[1].get() * sd[1].get()) + rho1 * (d1 * d1)
+    s1u = ctx.maximum(ctx.sqrt(var1), c["sd_floor"])
+    # On a background miss the candidate either absorbs the sample
+    # (matched) or is re-seeded from it; on a match it is untouched.
+    a1_miss = (one - mc) * one + mc * age1
+    m1_miss = (one - mc) * x + mc * m1u
+    s1_miss = (one - mc) * c["initial_sd"] + mc * s1u
+    w[1].set((one - mb) * a1_miss + mb * w[1].get())
+    m[1].set((one - mb) * m1_miss + mb * m[1].get())
+    sd[1].set((one - mb) * s1_miss + mb * sd[1].get())
+
+    # Select-based age-gated swap (see dmsg_branchy_body).
+    swap = w[1] > w[0]
+    a0n, m0n, s0n = w[0].get(), m[0].get(), sd[0].get()
+    a1n, m1n, s1n = w[1].get(), m[1].get(), sd[1].get()
+    w[0].set(ctx.select(swap, a1n, a0n))
+    m[0].set(ctx.select(swap, m1n, m0n))
+    sd[0].set(ctx.select(swap, s1n, s0n))
+    w[1].set(ctx.select(swap, c["zero"], a1n))
+    m[1].set(ctx.select(swap, m0n, m1n))
+    sd[1].set(ctx.select(swap, s0n, s1n))
+    return background
 
 
 # ----------------------------------------------------------------------

@@ -1,28 +1,44 @@
-"""Kernel IR: one canonical MoG kernel spec + composable passes.
+"""Kernel IR: one canonical kernel spec + composable passes.
 
 The paper's levels A..G are *cumulative transformations* of a single
-Stauffer-Grimson update kernel (Tables II/III).  This module makes that
-structure explicit instead of encoding it as near-duplicate kernel
-modules: a declarative :class:`KernelSpec` describes the canonical
-kernel (match -> rank/sort -> update -> mask) along the axes the paper
-varies, and each optimization is a :class:`KernelPass` — a *pure*
-``KernelSpec -> KernelSpec`` transform with a name, the paper level it
-realizes, and a cost/benefit note.
+per-pixel background-subtraction kernel (Tables II/III).  This module
+makes that structure explicit instead of encoding it as near-duplicate
+kernel modules: a declarative :class:`KernelSpec` describes the
+canonical kernel along the axes the paper varies, and each optimization
+is a :class:`KernelPass` — a *pure* ``KernelSpec -> KernelSpec``
+transform with a name, the paper level it realizes, and a cost/benefit
+note.
 
-Two independent backends consume the same spec:
+The background model itself is an IR axis too: :class:`ModelFamily`
+describes a per-pixel model (state schema, match/update semantics,
+classify rule) and every spec carries one as ``spec.model``.  Two
+families are registered:
+
+* ``"mog"`` — the paper's Stauffer-Grimson mixture of Gaussians
+  (K weighted components per pixel; the default, so every pre-existing
+  caller is unchanged);
+* ``"dmsg"`` — the dual-mode single Gaussian (one running mean/variance
+  background mode plus an age-gated candidate mode that swaps in on
+  scene change) — far cheaper per pixel, the serving tier's low-cost
+  degrade target.
+
+Three independent backends consume the same spec:
 
 * :mod:`repro.kernels.build` emits the simulated-GPU DSL kernel;
-* :mod:`repro.cudagen` renders real CUDA C source.
+* :mod:`repro.cudagen` renders real CUDA C source;
+* :mod:`repro.kernels.jit` renders numba-compilable Python source.
 
 Because the spec is data, pass subsets the paper never measured (e.g.
 ``A + predication`` without sort elimination) are one
 :func:`apply_passes` call away — see
-:func:`repro.core.variants.custom_level`.
+:func:`repro.core.variants.custom_level` — and so are cross-family
+stacks like ``dmsg:A+predication``.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from dataclasses import dataclass
 
 from ..errors import ConfigError
@@ -59,25 +75,152 @@ class PassError(ConfigError):
     prerequisites (e.g. register reduction before predication)."""
 
 
+# ----------------------------------------------------------------------
+# Model families
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ModelFamily:
+    """One per-pixel background-model family the kernel IR can emit.
+
+    A family fixes what the three per-pixel state planes *mean*, how a
+    pixel is matched against and folded into the model, and how the
+    foreground decision is made.  The optimization passes are layout /
+    control-flow / residency transforms and are (mostly) orthogonal to
+    the family; each :class:`KernelPass` declares which families it
+    applies to.
+
+    Attributes
+    ----------
+    name:
+        Registry key, CLI spelling and kernel-name prefix
+        (``{name}_coalesced`` …).
+    title:
+        Human-readable family name.
+    state_planes:
+        Semantic role of the three ``(K, N)`` per-pixel state planes.
+        Both families use the same physical triple (so layouts,
+        checkpoints and the jit kernel signature are shared); only the
+        interpretation differs.
+    num_components:
+        Fixed per-pixel component count, or ``None`` to use
+        ``params.num_gaussians`` (the MoG case).
+    supports_sort:
+        Whether rank/sort semantics exist for this family (MoG's
+        ``w/sd`` rank; DMSG has nothing to sort).
+    match_rule, update_rule, classify_rule:
+        One-line semantics, shown by ``repro levels`` and the docs.
+    """
+
+    name: str
+    title: str
+    state_planes: tuple[str, str, str]
+    num_components: int | None
+    supports_sort: bool
+    match_rule: str
+    update_rule: str
+    classify_rule: str
+
+    def component_count(self, params) -> int:
+        """Per-pixel components for ``params`` (a
+        :class:`~repro.config.MoGParams`)."""
+        if self.num_components is not None:
+            return self.num_components
+        return params.num_gaussians
+
+    def default_params(self):
+        """Family-tuned default :class:`~repro.config.MoGParams`."""
+        from ..config import MoGParams
+
+        if self.name == "dmsg":
+            # DMSG adapts via its age-based learning rate; the shared
+            # learning_rate field is unused.  A slightly tighter match
+            # band suits the single-mode model.
+            return MoGParams()
+        return MoGParams()
+
+
+MOG_FAMILY = ModelFamily(
+    name="mog",
+    title="mixture of Gaussians (Stauffer-Grimson)",
+    state_planes=("weight", "mean", "sd"),
+    num_components=None,
+    supports_sort=True,
+    match_rule="|x - mean_k| < gamma1 * sd_k for any component k",
+    update_rule=(
+        "matched components blend toward x with rho = min(oma/w, 1); "
+        "all weights decay by alpha; a total miss replaces the "
+        "weakest component"
+    ),
+    classify_rule=(
+        "background iff any component with w >= gamma2 matches "
+        "(OR over k)"
+    ),
+)
+
+DMSG_FAMILY = ModelFamily(
+    name="dmsg",
+    title="dual-mode single Gaussian",
+    state_planes=("age", "mean", "sd"),
+    num_components=2,
+    supports_sort=False,
+    match_rule="|x - mean_bg| < gamma1 * sd_bg against the background mode",
+    update_rule=(
+        "the matched mode blends with the age-based rate rho = "
+        "1/min(age+1, age_cap); a background miss feeds (or resets) the "
+        "candidate mode, which swaps in once its age exceeds the "
+        "background's (scene-change adaptation)"
+    ),
+    classify_rule="foreground iff the pixel missed the background mode",
+)
+
+#: Registered model families by name.
+MODEL_FAMILIES: dict[str, ModelFamily] = {
+    f.name: f for f in (MOG_FAMILY, DMSG_FAMILY)
+}
+
+
+def resolve_model(model) -> ModelFamily:
+    """Normalise a family designator (name or instance) to a
+    :class:`ModelFamily`."""
+    if isinstance(model, ModelFamily):
+        return model
+    key = str(model).strip().lower()
+    try:
+        return MODEL_FAMILIES[key]
+    except KeyError:
+        raise ConfigError(
+            f"unknown model family {model!r}; expected one of "
+            f"{sorted(MODEL_FAMILIES)}"
+        ) from None
+
+
 @dataclass(frozen=True)
 class KernelSpec:
-    """Declarative description of one MoG kernel variant.
+    """Declarative description of one background-subtraction kernel
+    variant.
 
-    The canonical Stauffer-Grimson update is fixed; the fields are the
-    axes along which the paper's optimization levels differ.
+    The per-pixel semantics come from ``model`` (a
+    :class:`ModelFamily`); the remaining fields are the axes along
+    which the paper's optimization levels differ.
 
     Attributes
     ----------
     name:
         Kernel symbol name (also the simulated kernel's ``__name__``).
+        Passes derive new names from ``model.name``, so family-neutral
+        code never sees a hard-coded ``mog_*`` prefix.
+    model:
+        The background-model family (default: MoG, so existing callers
+        and serialized level expressions are unchanged).
     layout:
-        Gaussian-parameter memory layout: ``"aos"`` (level A) or
+        Per-pixel parameter memory layout: ``"aos"`` (level A) or
         ``"soa"`` (coalesced, level B+).
     update:
-        Per-component match/update style: ``"branchy"`` (Algorithm 4,
-        levels A-D) or ``"predicated"`` (Algorithm 5, levels E+).
+        Match/update style: ``"branchy"`` (Algorithm 4, levels A-D) or
+        ``"predicated"`` (Algorithm 5, levels E+).
     sort:
         Whether the rank + stable bubble sort runs (levels A-C).
+        Only meaningful for families with ``supports_sort``.
     scan:
         Foreground decision: ``"break"`` (early-exit Algorithm 2),
         ``"flat"`` (unconditional Algorithm 3) or ``"recompute"``
@@ -102,6 +245,7 @@ class KernelSpec:
     """
 
     name: str = "mog_base"
+    model: ModelFamily = MOG_FAMILY
     layout: str = "aos"
     update: str = "branchy"
     sort: bool = True
@@ -125,6 +269,11 @@ class KernelSpec:
     # ------------------------------------------------------------------
     def validate(self) -> "KernelSpec":
         """Check internal consistency; returns ``self`` for chaining."""
+        if not isinstance(self.model, ModelFamily):
+            raise ConfigError(
+                f"model must be a ModelFamily, got {self.model!r} "
+                "(use resolve_model)"
+            )
         if self.layout not in LAYOUTS:
             raise ConfigError(f"layout must be one of {LAYOUTS}, got {self.layout!r}")
         if self.update not in UPDATES:
@@ -133,7 +282,12 @@ class KernelSpec:
             raise ConfigError(f"scan must be one of {SCANS}, got {self.scan!r}")
         if self.tiling not in TILINGS:
             raise ConfigError(f"tiling must be one of {TILINGS}, got {self.tiling!r}")
-        if self.sort != (self.scan == "break"):
+        if self.sort and not self.model.supports_sort:
+            raise ConfigError(
+                f"model family {self.model.name!r} has no rank/sort "
+                "semantics; sort=True is invalid"
+            )
+        if self.model.supports_sort and self.sort != (self.scan == "break"):
             raise ConfigError(
                 "rank/sort exists only to serve the early-exit scan: "
                 f"sort={self.sort} is inconsistent with scan={self.scan!r}"
@@ -164,8 +318,26 @@ class KernelSpec:
         return dataclasses.replace(self, **changes).validate()
 
 
-#: The canonical level-A kernel every pass stack starts from.
+#: The canonical level-A MoG kernel every default pass stack starts
+#: from (kept for the many existing callers; family-aware code should
+#: use :func:`base_spec_for`).
 BASE_SPEC = KernelSpec()
+
+
+def base_spec_for(model) -> KernelSpec:
+    """The canonical level-A base spec of one model family.
+
+    MoG starts from the paper's sorted early-exit kernel; DMSG has no
+    rank/sort, so its base is an unsorted flat-scan kernel (the
+    equivalent control-flow shape after the family's semantics are
+    substituted).
+    """
+    fam = resolve_model(model)
+    if fam.supports_sort:
+        return KernelSpec(name=f"{fam.name}_base", model=fam)
+    return KernelSpec(
+        name=f"{fam.name}_base", model=fam, sort=False, scan="flat"
+    )
 
 
 # ----------------------------------------------------------------------
@@ -177,6 +349,12 @@ class KernelPass:
     Class attributes describe the pass; :meth:`apply` performs it.
     Calling the pass validates the result, so an ill-ordered stack
     fails loudly instead of emitting a silently wrong kernel.
+
+    ``families`` declares which model families the pass applies to.
+    Applying a pass to a spec of a family it does not cover is a
+    **no-op with a warning** (not an error): cumulative level stacks
+    like ``dmsg:F`` fold over the full paper stack, and a family
+    simply skips the transforms that have no meaning for it.
     """
 
     #: Registry name (also the CLI spelling).
@@ -190,8 +368,19 @@ class KernelPass:
     table: str | None = None
     #: One-line cost/benefit note (shown by ``repro levels``).
     note: str = ""
+    #: Model families the pass applies to (all registered ones unless
+    #: narrowed by the subclass).
+    families: tuple[str, ...] = ("mog", "dmsg")
 
     def __call__(self, spec: KernelSpec) -> KernelSpec:
+        if spec.model.name not in self.families:
+            warnings.warn(
+                f"kernel pass {self.name!r} does not apply to model "
+                f"family {spec.model.name!r}; skipping (no-op)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return spec
         return self.apply(spec).validate()
 
     def apply(self, spec: KernelSpec) -> KernelSpec:
@@ -217,7 +406,7 @@ class SoALayoutPass(KernelPass):
 
     def apply(self, spec: KernelSpec) -> KernelSpec:
         self._require(spec.layout == "aos", spec, "layout is already SoA")
-        return spec.replace(layout="soa", name="mog_coalesced")
+        return spec.replace(layout="soa", name=f"{spec.model.name}_coalesced")
 
 
 class TransferOverlapPass(KernelPass):
@@ -240,10 +429,15 @@ class SortEliminationPass(KernelPass):
     table = "Branch Reduction"
     note = ("the foreground OR is order-independent on a GPU: drop rank, "
             "bubble sort and the early-exit branches (pure divergence)")
+    #: MoG-only: DMSG has no rank/sort to eliminate (its base spec is
+    #: already unsorted), so on DMSG this pass is a no-op with warning.
+    families = ("mog",)
 
     def apply(self, spec: KernelSpec) -> KernelSpec:
         self._require(spec.sort, spec, "the sort was already eliminated")
-        return spec.replace(sort=False, scan="flat", name="mog_nosort")
+        return spec.replace(
+            sort=False, scan="flat", name=f"{spec.model.name}_nosort"
+        )
 
 
 class PredicationPass(KernelPass):
@@ -258,7 +452,9 @@ class PredicationPass(KernelPass):
     def apply(self, spec: KernelSpec) -> KernelSpec:
         self._require(spec.update == "branchy", spec,
                       "updates are already predicated")
-        return spec.replace(update="predicated", name="mog_predicated")
+        return spec.replace(
+            update="predicated", name=f"{spec.model.name}_predicated"
+        )
 
 
 class RegisterReductionPass(KernelPass):
@@ -275,7 +471,9 @@ class RegisterReductionPass(KernelPass):
                       "register reduction builds on the predicated update")
         self._require(spec.scan == "flat", spec,
                       "register reduction replaces the flat stored-diff scan")
-        return spec.replace(scan="recompute", name="mog_regopt")
+        return spec.replace(
+            scan="recompute", name=f"{spec.model.name}_regopt"
+        )
 
 
 class TilingPass(KernelPass):
@@ -289,7 +487,7 @@ class TilingPass(KernelPass):
 
     def apply(self, spec: KernelSpec) -> KernelSpec:
         self._require(spec.tiling == "none", spec, "tiling already applied")
-        return spec.replace(tiling="shared", name="mog_tiled")
+        return spec.replace(tiling="shared", name=f"{spec.model.name}_tiled")
 
 
 class RegisterTilingPass(KernelPass):
@@ -303,7 +501,9 @@ class RegisterTilingPass(KernelPass):
 
     def apply(self, spec: KernelSpec) -> KernelSpec:
         self._require(spec.tiling == "none", spec, "tiling already applied")
-        return spec.replace(tiling="registers", name="mog_tiled_regs")
+        return spec.replace(
+            tiling="registers", name=f"{spec.model.name}_tiled_regs"
+        )
 
 
 class FusionPass(KernelPass):
@@ -368,6 +568,18 @@ def resolve_pass(p: str | KernelPass) -> KernelPass:
         ) from None
 
 
+def applicable_passes(
+    passes, model
+) -> tuple[str, ...]:
+    """Filter a pass-name stack down to the passes that apply to
+    ``model`` (level registries use this to build family-accurate
+    descriptions without triggering the no-op warning)."""
+    fam = resolve_model(model)
+    return tuple(
+        p for p in passes if fam.name in resolve_pass(p).families
+    )
+
+
 def apply_passes(
     spec: KernelSpec, passes: tuple[str | KernelPass, ...] | list
 ) -> KernelSpec:
@@ -378,28 +590,52 @@ def apply_passes(
     return spec
 
 
-def spec_for_level(letter: str) -> KernelSpec:
-    """The canonical spec of one paper level, built from its pass stack."""
+def spec_for_level(letter: str, model=MOG_FAMILY) -> KernelSpec:
+    """The canonical spec of one paper level, built from its pass stack.
+
+    ``model`` selects the family; the default is MoG so every existing
+    caller keeps its behavior (the pre-family signature
+    ``spec_for_level(letter)`` is the compatibility shim — new code
+    should pass the family explicitly).  Passes that do not apply to
+    the family are skipped silently (they are cumulative-stack
+    definitions, not explicit requests).
+    """
+    fam = resolve_model(model)
     key = str(letter).strip().upper()
     if key not in LEVEL_PASSES:
         raise ConfigError(
             f"unknown optimization level {letter!r}; expected one of "
             f"{sorted(LEVEL_PASSES)}"
         )
-    return apply_passes(BASE_SPEC, LEVEL_PASSES[key])
+    stack = applicable_passes(LEVEL_PASSES[key], fam)
+    return apply_passes(base_spec_for(fam), stack)
 
 
 # ----------------------------------------------------------------------
 # Derived metadata
 # ----------------------------------------------------------------------
-def mog_variant_for(spec: KernelSpec) -> str:
-    """The functionally equivalent :mod:`repro.mog.vectorized` variant
-    (the CPU backend and the kernels' bit-exactness oracle)."""
+def oracle_variant_for(spec: KernelSpec) -> str:
+    """The functionally equivalent vectorized-oracle variant (the CPU
+    backend and the kernels' bit-exactness oracle).
+
+    MoG maps to a :mod:`repro.mog.vectorized` variant; DMSG's branchy
+    and predicated forms are state-identical by construction, so the
+    single :mod:`repro.dmsg.vectorized` implementation (``"dual"``)
+    covers every DMSG spec.
+    """
+    if spec.model.name == "dmsg":
+        return "dual"
     if spec.scan == "recompute":
         return "regopt"
     if spec.sort:
         return "sorted"
     return "nosort" if spec.update == "branchy" else "predicated"
+
+
+def mog_variant_for(spec: KernelSpec) -> str:
+    """Deprecated alias of :func:`oracle_variant_for` (predates model
+    families; kept for existing callers)."""
+    return oracle_variant_for(spec)
 
 
 def register_model_for(spec: KernelSpec) -> str:
@@ -412,7 +648,7 @@ def register_model_for(spec: KernelSpec) -> str:
         return "F"
     if spec.update == "predicated":
         return "E"
-    if not spec.sort:
+    if not spec.sort and spec.model.supports_sort:
         return "D"
     if spec.layout == "soa":
         return "C" if spec.overlapped else "B"

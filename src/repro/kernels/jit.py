@@ -128,13 +128,15 @@ def spec_fingerprint(spec: KernelSpec, num_gaussians: int) -> str:
     The dtype is *not* part of the fingerprint — the source is
     dtype-agnostic (constants arrive pre-cast as arguments) — but the
     component count is, because the per-component registers are
-    unrolled into the source text.
+    unrolled into the source text, and so is the model family, whose
+    match/update semantics select the emitted body.
     """
     spec.validate()
     payload = "|".join(
         str(part)
         for part in (
-            "v1",
+            "v2",
+            spec.model.name,
             spec.update,
             spec.sort,
             spec.scan,
@@ -164,20 +166,23 @@ def jit_cache_dir() -> Path:
 #: pre-cast to the run dtype (see :func:`const_args`).
 CONST_ARGS = (
     "alpha", "oma", "gamma1", "gamma2", "init_w", "init_sd", "sd_floor",
-    "min_contrast", "sh_lo", "sh_hi", "v255", "zero", "one",
+    "min_contrast", "sh_lo", "sh_hi", "v255", "zero", "one", "age_cap",
 )
 
 
 def const_args(cfg) -> tuple:
     """The emitted kernel's constant arguments from a
     :class:`~repro.kernels.common.KernelConfig`, as run-dtype scalars
-    (the pre-cast discipline that keeps float32 bit-identical)."""
+    (the pre-cast discipline that keeps float32 bit-identical).  Every
+    kernel takes the full tuple regardless of family; a family simply
+    ignores the constants it has no use for (MoG ignores ``age_cap``,
+    DMSG ignores the decay and weight constants)."""
     t = cfg.dtype.type
     return (
         t(cfg.alpha), t(cfg.one_minus_alpha), t(cfg.gamma1), t(cfg.gamma2),
         t(cfg.initial_weight), t(cfg.initial_sd), t(cfg.sd_floor),
         t(cfg.min_contrast), t(cfg.shadow_alpha_low), t(cfg.shadow_alpha_high),
-        t(255.0), t(0.0), t(1.0),
+        t(255.0), t(0.0), t(1.0), t(cfg.age_cap),
     )
 
 
@@ -312,6 +317,111 @@ def _emit_fused_tail(lines, spec: KernelSpec, k_count: int) -> None:
     e("bg = not fgf")
 
 
+def _emit_dmsg_branchy(lines) -> None:
+    """DMSG match/update/swap, branchy form (mirrors
+    :func:`repro.kernels.common.dmsg_branchy_body` and the
+    :class:`repro.dmsg.DmsgVectorized` oracle expression for
+    expression)."""
+    e = lines.append
+    e("bg = False")
+    e("d0 = abs(x - m0)")
+    e("if d0 < gamma1 * sd0:")
+    e("    bg = True")
+    e("    agen = w0 + one")
+    e("    if agen > age_cap:")
+    e("        agen = age_cap")
+    e("    w0 = agen")
+    e("    rho = one / agen")
+    e("    m0 = (one - rho) * m0 + rho * x")
+    e("    var = (one - rho) * (sd0 * sd0) + rho * (d0 * d0)")
+    e("    sdn = np.sqrt(var)")
+    e("    if sdn < sd_floor:")
+    e("        sdn = sd_floor")
+    e("    sd0 = sdn")
+    e("else:")
+    e("    d1 = abs(x - m1)")
+    e("    if w1 > zero and d1 < gamma1 * sd1:")
+    e("        agen = w1 + one")
+    e("        if agen > age_cap:")
+    e("            agen = age_cap")
+    e("        w1 = agen")
+    e("        rho = one / agen")
+    e("        m1 = (one - rho) * m1 + rho * x")
+    e("        var = (one - rho) * (sd1 * sd1) + rho * (d1 * d1)")
+    e("        sdn = np.sqrt(var)")
+    e("        if sdn < sd_floor:")
+    e("            sdn = sd_floor")
+    e("        sd1 = sdn")
+    e("    else:")
+    e("        w1 = one")
+    e("        m1 = x")
+    e("        sd1 = init_sd")
+    _emit_dmsg_swap(lines)
+
+
+def _emit_dmsg_predicated(lines) -> None:
+    """DMSG with 0/1-blended updates — same instructions every lane
+    (mirrors :func:`repro.kernels.common.dmsg_predicated_body`).  The
+    blends are exactly equal to the branchy selection for the finite,
+    non-negative operands the update maintains, so branchy and
+    predicated DMSG kernels are bit-identical."""
+    e = lines.append
+    e("d0 = abs(x - m0)")
+    e("matched_b = d0 < gamma1 * sd0")
+    e("bg = matched_b")
+    e("mb = one if matched_b else zero")
+    e("agen0 = w0 + one")
+    e("if agen0 > age_cap:")
+    e("    agen0 = age_cap")
+    e("rho = one / agen0")
+    e("m0u = (one - rho) * m0 + rho * x")
+    e("var = (one - rho) * (sd0 * sd0) + rho * (d0 * d0)")
+    e("s0u = np.sqrt(var)")
+    e("if s0u < sd_floor:")
+    e("    s0u = sd_floor")
+    e("w0 = (one - mb) * w0 + mb * agen0")
+    e("m0 = (one - mb) * m0 + mb * m0u")
+    e("sd0 = (one - mb) * sd0 + mb * s0u")
+    e("d1 = abs(x - m1)")
+    e("matched_c = w1 > zero and d1 < gamma1 * sd1")
+    e("mc = one if matched_c else zero")
+    e("agen1 = w1 + one")
+    e("if agen1 > age_cap:")
+    e("    agen1 = age_cap")
+    e("rho = one / agen1")
+    e("m1u = (one - rho) * m1 + rho * x")
+    e("var = (one - rho) * (sd1 * sd1) + rho * (d1 * d1)")
+    e("s1u = np.sqrt(var)")
+    e("if s1u < sd_floor:")
+    e("    s1u = sd_floor")
+    # The miss path three-way blend: absorb into the candidate when it
+    # matched, re-seed it otherwise; a background match keeps it as-is.
+    e("a1_miss = (one - mc) * one + mc * agen1")
+    e("m1_miss = (one - mc) * x + mc * m1u")
+    e("s1_miss = (one - mc) * init_sd + mc * s1u")
+    e("w1 = (one - mb) * a1_miss + mb * w1")
+    e("m1 = (one - mb) * m1_miss + mb * m1")
+    e("sd1 = (one - mb) * s1_miss + mb * sd1")
+    _emit_dmsg_swap(lines)
+
+
+def _emit_dmsg_swap(lines) -> None:
+    """The age-gated mode swap shared by both DMSG update forms: the
+    candidate becomes the background, the demoted background becomes an
+    *empty* candidate (age 0) — preserving the ``a1 <= a0`` invariant
+    the max-weight background estimate relies on."""
+    e = lines.append
+    e("if w1 > w0:")
+    e("    tm = m0")
+    e("    ts = sd0")
+    e("    w0 = w1")
+    e("    m0 = m1")
+    e("    sd0 = sd1")
+    e("    w1 = zero")
+    e("    m1 = tm")
+    e("    sd1 = ts")
+
+
 def emit_kernel_source(spec: KernelSpec, num_gaussians: int) -> str:
     """Render ``spec`` to the Python source of one per-pixel kernel.
 
@@ -344,13 +454,27 @@ def emit_kernel_source(spec: KernelSpec, num_gaussians: int) -> str:
         e(f"w{k} = w[{k}, i]")
         e(f"m{k} = m[{k}, i]")
         e(f"sd{k} = sd[{k}, i]")
-    e("any_match = False")
-    for k in range(k_count):
-        _emit_update(body, spec, k)
-    _emit_virtual(body, spec, k_count)
-    if spec.sort:
-        _emit_sort(body, k_count)
-    _emit_scan(body, spec, k_count)
+    if spec.model.name == "dmsg":
+        # DMSG has exactly two modes, classifies against the pre-update
+        # background mode, and has no sort/scan axes to emit — the
+        # branchy/predicated distinction is the only spec axis the
+        # instruction stream depends on.
+        if k_count != 2:
+            raise ConfigError(
+                f"DMSG kernels have exactly 2 modes, got K={k_count}"
+            )
+        if spec.update == "branchy":
+            _emit_dmsg_branchy(body)
+        else:
+            _emit_dmsg_predicated(body)
+    else:
+        e("any_match = False")
+        for k in range(k_count):
+            _emit_update(body, spec, k)
+        _emit_virtual(body, spec, k_count)
+        if spec.sort:
+            _emit_sort(body, k_count)
+        _emit_scan(body, spec, k_count)
     if spec.fused:
         _emit_fused_tail(body, spec, k_count)
     for k in range(k_count):
@@ -362,7 +486,8 @@ def emit_kernel_source(spec: KernelSpec, num_gaussians: int) -> str:
     indented = "\n".join("        " + line for line in body)
     header = (
         f'"""Generated by repro.kernels.jit — do not edit.\n\n'
-        f"spec: {spec.name} (update={spec.update}, sort={spec.sort}, "
+        f"spec: {spec.name} (model={spec.model.name}, "
+        f"update={spec.update}, sort={spec.sort}, "
         f"scan={spec.scan}, fused={list(spec.fused)}), K={k_count}, "
         f"fingerprint={fp}\n"
         f'"""\n'
@@ -455,7 +580,7 @@ class KernelCache:
         if hit is not None:
             return fp, hit[0], hit[1]
         source = emit_kernel_source(spec, k_count)
-        path = jit_cache_dir() / f"mog_jit_{fp}.py"
+        path = jit_cache_dir() / f"{spec.model.name}_jit_{fp}.py"
         _write_source(path, source)
         module = _load_module(path, fp)
         fn = module.kernel
@@ -480,7 +605,7 @@ class KernelCache:
         t = dtype.type
         consts = (
             t(0.99), t(0.01), t(2.5), t(0.15), t(0.05), t(30.0), t(4.0),
-            t(12.0), t(0.45), t(0.95), t(255.0), t(0.0), t(1.0),
+            t(12.0), t(0.45), t(0.95), t(255.0), t(0.0), t(1.0), t(128.0),
         )
         frame = np.zeros(1, dtype=dtype)
         w = np.zeros((k_count, 1), dtype=dtype)

@@ -1,4 +1,4 @@
-"""Compiled MoG model: runs :mod:`repro.kernels.jit` kernels.
+"""Compiled background model: runs :mod:`repro.kernels.jit` kernels.
 
 :class:`MoGJit` is interface-compatible with
 :class:`~repro.mog.vectorized.MoGVectorized` (``apply`` /
@@ -8,6 +8,11 @@ kernel the JIT emitter renders from a :class:`~repro.kernels.ir.KernelSpec`
 — so it speaks the same pass-stack vocabulary as the simulator and the
 CUDA generator, including fused threshold/shadow/histogram tails
 (exposed as :attr:`last_shadow` / :attr:`last_classes`).
+
+The model family comes from the spec (``spec.model``): a DMSG spec
+compiles the dual-mode single Gaussian kernel and initialises DMSG
+state; the class name predates model families and is kept for the many
+existing callers.
 
 One behavioural difference from the vectorized model, by design: the
 compiled kernel updates the mixture planes **in place** (that is the
@@ -42,7 +47,8 @@ JIT_ENGINES = ("auto", "numba", "python")
 
 
 class MoGJit:
-    """MoG processor running an emitter-compiled per-pixel kernel.
+    """Background-model processor running an emitter-compiled per-pixel
+    kernel (the family — MoG or DMSG — comes from ``spec.model``).
 
     Parameters
     ----------
@@ -91,6 +97,8 @@ class MoGJit:
             raise ConfigError(f"invalid frame shape {shape}")
         self.params = params or MoGParams()
         self.spec = (spec or BASE_SPEC).validate()
+        self.model = self.spec.model
+        self._k_count = self.model.component_count(self.params)
         self.dtype = resolve_dtype(dtype)
         self.state: MixtureState | None = None
         self.frames_processed = 0
@@ -100,7 +108,8 @@ class MoGJit:
             from ..faults.integrity import IntegrityGuard
 
             self._guard = IntegrityGuard(
-                integrity, self.params, telemetry=telemetry
+                integrity, self.params, telemetry=telemetry,
+                model=self.model.name,
             )
 
         if engine == "auto":
@@ -111,18 +120,20 @@ class MoGJit:
             engine = "numba"
         self.engine = engine
 
-        cfg = KernelConfig.from_params(self.params, self.dtype, fusion)
+        cfg = KernelConfig.from_params(
+            self.params, self.dtype, fusion, model=self.model
+        )
         self._consts = const_args(cfg)
         # Compile (or fetch) eagerly so the cost lands at construction,
         # not on the first frame — measure_fps excludes warmup.
         if cache is not None:
             self._kernel = cache.get(
-                self.spec, self.params.num_gaussians, self.dtype,
+                self.spec, self._k_count, self.dtype,
                 self.shape, engine=engine,
             )
         else:
             self._kernel = get_kernel(
-                self.spec, self.params.num_gaussians, self.dtype,
+                self.spec, self._k_count, self.dtype,
                 self.shape, engine=engine,
             )
         self.compile_s = self._kernel.compile_s
@@ -173,9 +184,16 @@ class MoGJit:
         """
         x = self._check_frame(frame)
         if self.state is None:
-            self.state = MixtureState.from_first_frame(
-                frame, self.params, self.dtype
-            )
+            if self.model.name == "dmsg":
+                from ..dmsg import dmsg_state_from_first_frame
+
+                self.state = dmsg_state_from_first_frame(
+                    frame, self.params, self.dtype
+                )
+            else:
+                self.state = MixtureState.from_first_frame(
+                    frame, self.params, self.dtype
+                )
         elif self._guard is not None:
             self._guard.check(self.state, x, self.frames_processed)
         st = self.state
@@ -247,7 +265,7 @@ class MoGJit:
             self.frames_processed = 0
             return
         w, m, sd, frames_processed = snapshot
-        expected = (self.params.num_gaussians, self.num_pixels)
+        expected = (self._k_count, self.num_pixels)
         for arr in (w, m, sd):
             if np.asarray(arr).shape != expected:
                 raise ConfigError(

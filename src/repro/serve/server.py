@@ -105,12 +105,15 @@ class StreamServer:
 
     Parameters
     ----------
-    shape, params, level, backend, run_config:
+    shape, params, level, backend, model, run_config:
         Defaults for every stream's
         :class:`~repro.core.stream.SurveillancePipeline`.
         ``backend=None`` resolves to ``serve.backend`` when that is
         set, else ``"cpu"``; ``"jit"`` serves compiled kernels and
         degrades to ``"cpu"`` (bit-identical masks) without numba.
+        ``model=None`` resolves to ``serve.model`` when that is set,
+        else the level's model family (MoG for bare letters); streams
+        can override it per-stream via :meth:`add_stream`.
     serve:
         :class:`~repro.config.ServeConfig` — pool size, admission
         limits, queue depth and backpressure policy.
@@ -147,6 +150,7 @@ class StreamServer:
         params: MoGParams | None = None,
         level: str = "F",
         backend: str | None = None,
+        model: str | None = None,
         run_config: RunConfig | None = None,
         serve: ServeConfig | None = None,
         fault_policy: FaultPolicy | None = None,
@@ -161,6 +165,9 @@ class StreamServer:
         # Explicit argument wins, then the serve config's default, then
         # the interpreted cpu path.
         self.backend = backend or self.serve_config.backend or "cpu"
+        # Explicit argument wins, then the serve config's default, then
+        # whatever the level expression implies (MoG for bare letters).
+        self.model = model or self.serve_config.model
         self.run_config = run_config
         self.fault_policy = fault_policy or FaultPolicy(stage_error="degrade")
         self.telemetry_config = telemetry or TelemetryConfig()
@@ -200,14 +207,17 @@ class StreamServer:
 
     # -- stream registration -------------------------------------------
     def _default_factory(
-        self, registry: MetricsRegistry
+        self, registry: MetricsRegistry, model: str | None = None,
     ) -> Callable[[], SurveillancePipeline]:
+        model = model or self.model
+
         def build() -> SurveillancePipeline:
             return SurveillancePipeline(
                 self.shape,
                 self.params,
                 level=self.level,
                 backend=self.backend,
+                model=model,
                 run_config=self.run_config,
                 warmup_frames=self.warmup_frames,
                 on_error=self.fault_policy.stage_error,
@@ -229,6 +239,7 @@ class StreamServer:
         pipeline_factory: Callable[
             [MetricsRegistry], SurveillancePipeline
         ] | None = None,
+        model: str | None = None,
     ) -> None:
         """Register a stream; raises on over-admission or duplicates.
 
@@ -236,6 +247,10 @@ class StreamServer:
         registry is used for the stream's metrics); ``pipeline_factory``
         is called with the stream's registry, and is also what a
         ``restart`` fault policy uses to rebuild a crashed stream.
+        ``model`` overrides the server's default background-model
+        family for this stream's default-built pipeline (a fleet can
+        mix MoG and DMSG cameras on one server); it cannot be combined
+        with an injected pipeline or factory, which carry their own.
 
         Admission is atomic: the capacity/duplicate check *reserves*
         the slot under one lock acquisition before the (slow, unlocked)
@@ -261,6 +276,13 @@ class StreamServer:
             )
         if pipeline is not None and pipeline_factory is not None:
             raise ConfigError("pass pipeline or pipeline_factory, not both")
+        if model is not None and (
+            pipeline is not None or pipeline_factory is not None
+        ):
+            raise ConfigError(
+                "model= applies to default-built pipelines only; an "
+                "injected pipeline/factory already fixes its own model"
+            )
         with self._lock:
             if self._closed:
                 raise ConfigError("StreamServer is closed")
@@ -288,7 +310,7 @@ class StreamServer:
                 factory = (
                     (lambda: pipeline_factory(registry))
                     if pipeline_factory is not None
-                    else self._default_factory(registry)
+                    else self._default_factory(registry, model=model)
                 )
                 pipeline = factory()
             pipeline, resumed_seq, resume_note = self._maybe_resume(
@@ -652,6 +674,10 @@ class StreamServer:
             return [
                 {
                     "stream": s.stream_id,
+                    "model": getattr(
+                        getattr(s.pipeline, "subtractor", None), "model", None
+                    )
+                    and s.pipeline.subtractor.model.name,
                     "frame_index": getattr(s.pipeline, "frame_index", None),
                     "queued": len(s.queue),
                     "frames_in": s.frames_in,

@@ -167,7 +167,7 @@ def _shard_main(index, ctrl, events, ring_name, shape, dtype_str,
 
     Protocol (gateway -> shard, over ``ctrl``; every request gets one
     ``("ok", payload)`` / ``("err", type_name, message)`` reply):
-    ``("add_stream", sid, uid)``, ``("remove_stream", sid)``,
+    ``("add_stream", sid, uid, model)``, ``("remove_stream", sid)``,
     ``("snapshot",)``, ``("status",)``, ``("drain", timeout_s)``,
     ``("close",)``. Shard -> gateway, over ``events``:
     ``("res", [(sid, seq, frame_index, packed_mask, packed_raw,
@@ -289,9 +289,9 @@ def _shard_main(index, ctrl, events, ring_name, shape, dtype_str,
                 progress += 1
                 op = msg[0]
                 if op == "add_stream":
-                    _, sid, uid = msg
+                    _, sid, uid, model = msg
                     try:
-                        server.add_stream(sid)
+                        server.add_stream(sid, model=model)
                         uid_to_sid[uid] = sid
                         pending.setdefault(sid, deque())
                         known_failed.discard(sid)
@@ -300,6 +300,7 @@ def _shard_main(index, ctrl, events, ring_name, shape, dtype_str,
                         }[sid]
                         ctrl.send(("ok", {
                             "frame_index": status["frame_index"],
+                            "model": status["model"],
                             "resumed_source_seq":
                                 status["resumed_source_seq"],
                             "resume_note": status["resume_note"],
@@ -435,13 +436,19 @@ class _GatewayStream:
         "stream_id", "uid", "shard", "seq_next", "inflight", "replay",
         "emitted_fi", "emitted", "results", "failed", "moving", "shed",
         "rebalances", "resumed_source_seq", "resume_note",
+        "model", "model_override",
     )
 
     def __init__(self, stream_id: str, uid: int, shard: int,
-                 replay_enabled: bool) -> None:
+                 replay_enabled: bool,
+                 model_override: str | None = None) -> None:
         self.stream_id = stream_id
         self.uid = uid
         self.shard = shard
+        # The model= argument passed at add_stream (re-sent verbatim on
+        # rebalance) and the family the shard resolved it to.
+        self.model_override = model_override
+        self.model: str | None = None
         self.seq_next = 0
         self.inflight: deque[tuple[int, float]] = deque()
         # seq -> frame, every frame since the last durable checkpoint
@@ -479,6 +486,7 @@ class ShardedStreamServer:
         params: MoGParams | None = None,
         level: str = "F",
         backend: str | None = None,
+        model: str | None = None,
         run_config: RunConfig | None = None,
         serve: ServeConfig | None = None,
         fault_policy: FaultPolicy | None = None,
@@ -495,6 +503,7 @@ class ShardedStreamServer:
                 f"(got {self.serve_config.shards})"
             )
         self.backend = backend or self.serve_config.backend or "cpu"
+        self.model = model or self.serve_config.model
         self.fault_policy = fault_policy or FaultPolicy(stage_error="degrade")
         self.telemetry_config = telemetry or TelemetryConfig()
         self.registry = MetricsRegistry(self.telemetry_config)
@@ -529,6 +538,7 @@ class ShardedStreamServer:
             shape=self.shape,
             params=params,
             level=level,
+            model=self.model,
             run_config=run_config,
             serve=shard_serve,
             fault_policy=self.fault_policy,
@@ -766,7 +776,8 @@ class ShardedStreamServer:
         if handle is None:
             raise WorkerError(f"placement chose dead shard {new_k}")
         reply = self._rpc(
-            handle, ("add_stream", st.stream_id, st.uid),
+            handle,
+            ("add_stream", st.stream_id, st.uid, st.model_override),
             timeout_s=self.serve_config.drain_timeout_s,
         )
         restored_seq = int(reply["resumed_source_seq"])
@@ -813,11 +824,13 @@ class ShardedStreamServer:
         self.registry.counter("server.rebalanced").inc()
 
     # -- stream registration -------------------------------------------
-    def add_stream(self, stream_id: str) -> None:
+    def add_stream(self, stream_id: str, model: str | None = None) -> None:
         """Register a stream on its placed shard; raises on duplicates
         or over-admission (gateway-wide ``max_streams``). Injected
         pipelines are not supported across process boundaries — shards
-        always build their own."""
+        always build their own. ``model`` overrides the server's
+        default background-model family for this stream (re-sent
+        verbatim when the stream is rebalanced to another shard)."""
         if not stream_id or not isinstance(stream_id, str):
             raise ConfigError(
                 f"stream id must be a non-empty string, got {stream_id!r}"
@@ -862,7 +875,7 @@ class ShardedStreamServer:
             if handle is None:
                 raise WorkerError(f"placement chose dead shard {shard}")
             reply = self._rpc(
-                handle, ("add_stream", stream_id, uid),
+                handle, ("add_stream", stream_id, uid, model),
                 timeout_s=self.serve_config.drain_timeout_s,
             )
         except BaseException:
@@ -874,8 +887,10 @@ class ShardedStreamServer:
             if self._closed:
                 raise ConfigError("ShardedStreamServer is closed")
             st = _GatewayStream(
-                stream_id, uid, shard, replay_enabled=self._ckpt_enabled
+                stream_id, uid, shard, replay_enabled=self._ckpt_enabled,
+                model_override=model,
             )
+            st.model = reply.get("model")
             if self.serve_config.resume:
                 st.resumed_source_seq = int(reply["resumed_source_seq"])
                 st.resume_note = reply["resume_note"]
@@ -1104,6 +1119,7 @@ class ShardedStreamServer:
                 {
                     "stream": st.stream_id,
                     "shard": st.shard,
+                    "model": st.model,
                     "frame_index": st.emitted_fi,
                     "queued": len(st.inflight),
                     "frames_in": st.seq_next,

@@ -27,12 +27,22 @@ from .io import ArraySource, FrameSource, load_sequence, record, save_sequence
 from .objects import Sprite, SpriteTrack
 from .scenes import (
     evaluation_scene,
+    illumination_scene,
+    jitter_scene,
     patient_room_scene,
+    rain_scene,
+    shadow_scene,
+    static_scene,
     surveillance_scene,
     traffic_scene,
 )
 from .stats import SceneStats, estimate_modality, scene_stats
-from .synthetic import SceneConfig, SyntheticVideo
+from .synthetic import (
+    IlluminationStep,
+    RainLayer,
+    SceneConfig,
+    SyntheticVideo,
+)
 
 __all__ = [
     "ArraySource",
@@ -51,8 +61,15 @@ __all__ = [
     "scene_stats",
     "estimate_modality",
     "SyntheticVideo",
+    "IlluminationStep",
+    "RainLayer",
     "evaluation_scene",
     "surveillance_scene",
     "traffic_scene",
     "patient_room_scene",
+    "static_scene",
+    "jitter_scene",
+    "illumination_scene",
+    "rain_scene",
+    "shadow_scene",
 ]

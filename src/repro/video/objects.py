@@ -133,12 +133,22 @@ def stationary_path(pos: tuple[float, float]) -> PathFn:
 
 @dataclass
 class SpriteTrack:
-    """A sprite bound to a path, active over a frame interval."""
+    """A sprite bound to a path, active over a frame interval.
+
+    ``shadow_offset`` makes the sprite cast a hard shadow: the sprite's
+    footprint, shifted by ``(rows, cols)``, darkens the scene by the
+    multiplicative ``shadow_gain`` before sprites are composited. The
+    shadow is *not* part of the ground-truth mask — it is background
+    that merely changed intensity, exactly the case the fused shadow
+    stage suppresses and naive thresholding mislabels.
+    """
 
     sprite: Sprite
     path: PathFn
     start_frame: int = 0
     end_frame: int | None = None  # exclusive; None = forever
+    shadow_offset: tuple[int, int] | None = None
+    shadow_gain: float = 0.55
     _id: int = field(default=0, compare=False)
 
     def active(self, t: int) -> bool:
@@ -164,6 +174,25 @@ def render_tracks(
     frame = background.astype(np.float64, copy=True)
     truth = np.zeros(background.shape, dtype=bool)
     hh, ww = background.shape
+    # Shadows first: every shadow darkens the clean background, then
+    # sprites composite on top (an object is never darkened by its own
+    # shadow). Shadows stay out of the truth mask by design.
+    for track in tracks:
+        if not track.active(t) or track.shadow_offset is None:
+            continue
+        r, c = track.position(t)
+        r += track.shadow_offset[0]
+        c += track.shadow_offset[1]
+        sh, sw = track.sprite.shape
+        fr0, fc0 = max(r, 0), max(c, 0)
+        fr1, fc1 = min(r + sh, hh), min(c + sw, ww)
+        if fr0 >= fr1 or fc0 >= fc1:
+            continue
+        sr0, sc0 = fr0 - r, fc0 - c
+        sr1, sc1 = sr0 + (fr1 - fr0), sc0 + (fc1 - fc0)
+        sup = track.sprite.support[sr0:sr1, sc0:sc1]
+        region = frame[fr0:fr1, fc0:fc1]
+        region[sup] = region[sup] * track.shadow_gain
     for track in tracks:
         if not track.active(t):
             continue

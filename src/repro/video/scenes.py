@@ -11,12 +11,31 @@ statistics stress a different aspect of MoG:
   high object density, slow illumination drift (passing clouds).
 * :func:`patient_room_scene` — one slow-moving subject, a monitor with
   periodic flicker, very low noise (indoor camera).
+
+The *stressor* scenes drive the model-quality matrix
+(``repro experiments models``): each violates one assumption a
+background model makes, with unchanged ground truth, so the matrix
+shows where each family's accuracy collapses:
+
+* :func:`static_scene` — the control cell: clean static background.
+* :func:`jitter_scene` — camera shake (the fixed-camera assumption).
+* :func:`illumination_scene` — a sudden global illumination step.
+* :func:`rain_scene` — rain/snow streaks (unlearnable dynamic texture).
+* :func:`shadow_scene` — objects casting hard shadows that are
+  ground-truth background.
 """
 
 from __future__ import annotations
 
 from .objects import Sprite, SpriteTrack, bounce_path, linear_path
-from .synthetic import DriftRegion, FlickerRegion, SceneConfig, SyntheticVideo
+from .synthetic import (
+    DriftRegion,
+    FlickerRegion,
+    IlluminationStep,
+    RainLayer,
+    SceneConfig,
+    SyntheticVideo,
+)
 
 
 def evaluation_scene(
@@ -54,6 +73,136 @@ def evaluation_scene(
             start_frame=5,
         ),
     ]
+    return SyntheticVideo(cfg, tracks=tracks, num_frames=num_frames)
+
+
+def _stressor_tracks(
+    height: int, width: int, seed: int,
+    shadow: bool = False,
+) -> list[SpriteTrack]:
+    """The shared pair of moving objects every stressor scene uses, so
+    matrix cells differ only in their disturbance, not their targets."""
+    walker = Sprite.textured(height // 6, width // 22, base=215.0, seed=seed)
+    box = Sprite.rectangle(
+        max(height // 12, 4), max(width // 9, 6), intensity=25.0
+    )
+    shadow_kw = (
+        {"shadow_offset": (max(height // 10, 3), max(width // 30, 2))}
+        if shadow
+        else {}
+    )
+    return [
+        SpriteTrack(
+            walker,
+            bounce_path(
+                (height * 0.5, 0.0), (height / 650.0, width / 85.0),
+                (height, width), walker.shape,
+            ),
+            **shadow_kw,
+        ),
+        SpriteTrack(
+            box,
+            bounce_path(
+                (height * 0.7, width * 0.85), (0.0, -width / 45.0),
+                (height, width), box.shape,
+            ),
+            start_frame=4,
+            **shadow_kw,
+        ),
+    ]
+
+
+def static_scene(
+    height: int = 240, width: int = 320, seed: int = 41, num_frames: int | None = None
+) -> SyntheticVideo:
+    """Control cell of the quality matrix: clean static background,
+    moderate noise, the shared stressor targets, no disturbance."""
+    cfg = SceneConfig(
+        height=height, width=width, noise_sd=3.0, seed=seed,
+        background_low=55.0, background_high=185.0,
+    )
+    tracks = _stressor_tracks(height, width, seed)
+    return SyntheticVideo(cfg, tracks=tracks, num_frames=num_frames)
+
+
+def jitter_scene(
+    height: int = 240, width: int = 320, seed: int = 43, num_frames: int | None = None
+) -> SyntheticVideo:
+    """Camera shake: the whole frame shifts +/-2 px each frame.
+
+    Violates the fixed-camera assumption both families share — every
+    high-contrast background edge becomes a strip of misclassified
+    pixels whose width tracks the shake amplitude.
+    """
+    cfg = SceneConfig(
+        height=height, width=width, noise_sd=3.0, seed=seed,
+        background_low=55.0, background_high=185.0,
+        jitter_px=2,
+    )
+    tracks = _stressor_tracks(height, width, seed)
+    return SyntheticVideo(cfg, tracks=tracks, num_frames=num_frames)
+
+
+def illumination_scene(
+    height: int = 240, width: int = 320, seed: int = 47, num_frames: int | None = None
+) -> SyntheticVideo:
+    """Global illumination step: at frame 40 the lights change
+    (gain 1.3, offset +18) and stay changed.
+
+    The first post-step frames flag nearly everything foreground; the
+    score then tracks how fast each family re-converges — MoG by
+    spawning fresh components, DMSG through its candidate mode.
+    """
+    cfg = SceneConfig(
+        height=height, width=width, noise_sd=3.0, seed=seed,
+        background_low=45.0, background_high=160.0,
+    )
+    tracks = _stressor_tracks(height, width, seed)
+    steps = [IlluminationStep(frame=40, gain=1.3, offset=18.0)]
+    return SyntheticVideo(
+        cfg, tracks=tracks, illumination=steps, num_frames=num_frames
+    )
+
+
+def rain_scene(
+    height: int = 240, width: int = 320, seed: int = 53, num_frames: int | None = None
+) -> SyntheticVideo:
+    """Rain/snow dynamic texture: bright transient streaks every frame.
+
+    Streaks never repeat a location, so no model can converge to them;
+    the score measures clutter rejection (and how much a multi-modal
+    background budget actually buys here).
+    """
+    cfg = SceneConfig(
+        height=height, width=width, noise_sd=3.0, seed=seed,
+        background_low=50.0, background_high=150.0,
+    )
+    tracks = _stressor_tracks(height, width, seed)
+    rain = RainLayer(
+        rate=max(1.0, height * width / 900.0),
+        length=max(height // 40, 4),
+        slant=1,
+        brightness=235.0,
+        opacity=0.7,
+    )
+    return SyntheticVideo(cfg, tracks=tracks, rain=rain, num_frames=num_frames)
+
+
+def shadow_scene(
+    height: int = 240, width: int = 320, seed: int = 59, num_frames: int | None = None
+) -> SyntheticVideo:
+    """Hard shadows: both objects cast offset dark copies of their
+    footprints that are ground-truth background.
+
+    Raw masks mark the shadow foreground (intensity halves under it),
+    so precision drops unless a shadow-aware post stage — the fused
+    shadow consumer — rescues the cell.
+    """
+    cfg = SceneConfig(
+        height=height, width=width, noise_sd=3.0, seed=seed,
+        background_low=80.0, background_high=200.0,
+    )
+    tracks = _stressor_tracks(height, width, seed, shadow=True)
     return SyntheticVideo(cfg, tracks=tracks, num_frames=num_frames)
 
 

@@ -10,7 +10,11 @@ generator produces exactly the statistics that algorithm consumes:
   scenes" MoG is famous for handling),
 * optional *dynamic-texture regions* with a slow sinusoidal intensity
   drift (tests the adaptive learning rate),
-* moving foreground sprites with exact ground-truth masks.
+* optional *global illumination steps*, *rain/snow streaks* and camera
+  jitter — background disturbances with unchanged ground truth, the
+  stressors the model-quality matrix scores the families on,
+* moving foreground sprites with exact ground-truth masks (optionally
+  casting hard shadows that are ground-truth background).
 
 Frames are produced lazily; the generator is deterministic given its
 seed, and two generators with equal configs produce identical
@@ -75,6 +79,81 @@ class DriftRegion:
 
     def offset(self, t: int) -> float:
         return self.amplitude * np.sin(2.0 * np.pi * t / self.period)
+
+
+@dataclass(frozen=True)
+class IlluminationStep:
+    """A global illumination change switched on at ``frame``.
+
+    From frame ``frame`` onward the whole background becomes
+    ``clip(bg * gain + offset)`` — lights switched on, sudden cloud
+    cover, auto-exposure kicking in. Ground truth is unaffected: the
+    change is background, and a background model must re-converge to
+    it rather than flag the whole frame foreground.
+    """
+
+    frame: int
+    gain: float = 1.0
+    offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.frame < 0:
+            raise VideoError("illumination step frame must be non-negative")
+        if self.gain <= 0.0:
+            raise VideoError("illumination gain must be positive")
+
+
+@dataclass(frozen=True)
+class RainLayer:
+    """Rain/snow: transient bright streaks drawn over every frame.
+
+    ``rate`` streaks per frame (in expectation), each ``length`` pixels
+    long falling with ``slant`` horizontal drift, blended toward
+    ``brightness`` with weight ``opacity``. The streaks are dynamic
+    texture — ground truth marks them background, so a model scores on
+    how quickly it absorbs clutter it can never converge to (every
+    streak lands somewhere new).
+    """
+
+    rate: float = 40.0
+    length: int = 6
+    slant: int = 1
+    brightness: float = 230.0
+    opacity: float = 0.7
+
+    def __post_init__(self) -> None:
+        if self.rate < 0.0:
+            raise VideoError("rain rate must be non-negative")
+        if self.length <= 0:
+            raise VideoError("rain streak length must be positive")
+        if not 0.0 < self.opacity <= 1.0:
+            raise VideoError("rain opacity must be in (0, 1]")
+
+    def draw(
+        self, frame: np.ndarray, t: int, seed: int
+    ) -> np.ndarray:
+        """Blend this frame's streaks into ``frame`` (float, mutated)."""
+        rng = np.random.default_rng(
+            np.random.SeedSequence([seed, 104729, t])
+        )
+        hh, ww = frame.shape
+        count = rng.poisson(self.rate)
+        if count == 0:
+            return frame
+        r0 = rng.integers(0, hh, count)
+        c0 = rng.integers(0, ww, count)
+        for i in range(count):
+            rows = r0[i] + np.arange(self.length)
+            cols = c0[i] + np.round(
+                np.linspace(0.0, self.slant, self.length)
+            ).astype(int)
+            keep = (rows < hh) & (cols >= 0) & (cols < ww)
+            rr, cc = rows[keep], cols[keep]
+            frame[rr, cc] = (
+                (1.0 - self.opacity) * frame[rr, cc]
+                + self.opacity * self.brightness
+            )
+        return frame
 
 
 @dataclass(frozen=True)
@@ -199,12 +278,16 @@ class SyntheticVideo:
         tracks: list[SpriteTrack] | None = None,
         flicker: list[FlickerRegion] | None = None,
         drift: list[DriftRegion] | None = None,
+        illumination: list[IlluminationStep] | None = None,
+        rain: RainLayer | None = None,
         num_frames: int | None = None,
     ) -> None:
         self.config = config or SceneConfig()
         self.tracks = list(tracks or [])
         self.flicker = list(flicker or [])
         self.drift = list(drift or [])
+        self.illumination = list(illumination or [])
+        self.rain = rain
         self.num_frames = num_frames
         cfg = self.config
         rng = rng_from_seed(cfg.seed)
@@ -260,6 +343,9 @@ class SyntheticVideo:
                 slice(region.left, region.left + region.width),
             )
             bg[sl] = np.clip(bg[sl] + region.offset(t), 0.0, 255.0)
+        for step in self.illumination:
+            if t >= step.frame:
+                bg = np.clip(bg * step.gain + step.offset, 0.0, 255.0)
         return bg
 
     def frame_with_truth(self, t: int) -> tuple[np.ndarray, np.ndarray]:
@@ -284,6 +370,8 @@ class SyntheticVideo:
             )
             frame = _shift_replicate(frame, int(dy), int(dx))
             truth = _shift_replicate(truth, int(dy), int(dx))
+        if self.rain is not None:
+            frame = self.rain.draw(frame, t, cfg.seed)
         if cfg.noise_sd > 0.0:
             frame += noise_rng.normal(0.0, cfg.noise_sd, size=frame.shape)
         return np.clip(np.rint(frame), 0, 255).astype(np.uint8), truth

@@ -58,7 +58,7 @@ class TestExperimentFormatting:
         expected = {
             "table1", "table2", "table3", "table4", "fig6", "fig7",
             "fig8", "fig10", "fig11", "fig12", "cpu_baselines",
-            "embedded", "jitter", "fusion", "jit",
+            "embedded", "jitter", "fusion", "jit", "models",
         }
         assert set(ALL_EXPERIMENTS) == expected
 

@@ -405,3 +405,58 @@ class TestExportCuda:
         assert "typedef float scalar_t;" in header
         assert "#define NUM_PIXELS 76800" in header
         assert "Makefile" in capsys.readouterr().out
+
+
+class TestModelFlag:
+    def test_levels_model_column(self, capsys):
+        assert main(["levels", "F"]) == 0
+        assert "model         : mog" in capsys.readouterr().out
+        assert main(["levels", "--model", "dmsg"]) == 0
+        out = capsys.readouterr().out
+        assert "model         : dmsg" in out
+        assert "dmsg_regopt" in out
+
+    def test_levels_json_model_key(self, capsys):
+        import json
+
+        assert main(["levels", "dmsg:A+predication", "--json"]) == 0
+        (spec,) = json.loads(capsys.readouterr().out)
+        assert spec["model"] == "dmsg"
+        assert spec["kernel"] == "dmsg_predicated"
+
+    def test_subtract_model_flag(self, clip, tmp_path):
+        out_flag = tmp_path / "flag.npz"
+        out_prefix = tmp_path / "prefix.npz"
+        assert main(["subtract", str(clip), str(out_flag),
+                     "--model", "dmsg"]) == 0
+        assert main(["subtract", str(clip), str(out_prefix),
+                     "--level", "dmsg:F"]) == 0
+        flag = np.load(out_flag)["frames"]
+        prefix = np.load(out_prefix)["frames"]
+        assert np.array_equal(flag, prefix)
+
+    def test_bench_model_flag(self, capsys):
+        code = main(["bench", "--backend", "cpu", "--frames", "4",
+                     "--warmup", "2", "--height", "16", "--width", "16",
+                     "--model", "dmsg", "--json"])
+        assert code == 0
+        import json
+
+        entry = json.loads(capsys.readouterr().out)
+        assert entry["model"] == "dmsg"
+
+    def test_serve_model_flag(self, capsys):
+        code = main([
+            "serve", "--streams", "2", "--frames", "4",
+            "--height", "16", "--width", "16", "--model", "dmsg",
+        ])
+        assert code == 0
+
+    def test_stressor_scenes_synthesize(self, tmp_path):
+        for scene in ("static", "jitter", "illumination", "rain",
+                      "shadows"):
+            path = tmp_path / f"{scene}.npz"
+            assert main([
+                "synthesize", str(path), "--scene", scene,
+                "--frames", "2", "--height", "24", "--width", "24",
+            ]) == 0

@@ -272,3 +272,58 @@ class TestGenerateProject:
         mk = (tmp_path / "cuda" / "Makefile").read_text()
         for level in "ABDEFG":
             assert f"mog_kernel_{level}.cu" in mk
+
+
+class TestDmsgKernel:
+    def _src(self, level="F", dtype="double"):
+        from repro.core.variants import resolve_level_spec
+
+        spec = resolve_level_spec(level, model="dmsg").kernel
+        return generate_kernel(spec, cfg(dtype=dtype))
+
+    @pytest.mark.parametrize("level", ["A", "F", "A+predication"])
+    def test_braces_balanced(self, level):
+        assert balanced(self._src(level))
+
+    def test_family_prefixed_name_and_macros(self):
+        src = self._src("F")
+        assert "__global__ void dmsg_kernel_regopt(" in src
+        assert "DMSG_SOA_IDX" in src
+        assert "NUM_GAUSSIANS" not in src  # family-neutral header stays
+
+    def test_level_a_uses_aos_macro(self):
+        assert "DMSG_AOS_IDX" in self._src("A")
+
+    def test_no_sort_tokens(self):
+        # DMSG has nothing to rank: the sort-elimination pass is a
+        # no-op and the rendered kernel never sorts.
+        for level in ("A", "D", "F"):
+            src = self._src(level)
+            assert "sort" not in src.lower()
+
+    def test_update_style_tracks_level(self):
+        assert "if (mb)" in self._src("A") or "else" in self._src("A")
+        predicated = self._src("F")
+        assert "mb *" in predicated or "(1.0 - mb)" in predicated \
+            or "* mb" in predicated
+
+    def test_swap_precedes_fused_tail(self):
+        src = self._src("F+fusion")
+        assert balanced(src)
+        swap = src.index("a1 > a0")
+        tail = src.index("bg_est")
+        assert swap < tail
+        assert "shadow[pix]" in src and "classes[pix]" in src
+
+    def test_tiled_dmsg_rejected(self):
+        from repro.core.variants import resolve_level_spec
+
+        spec = resolve_level_spec("G", model="dmsg").kernel
+        with pytest.raises(ConfigError, match="no tiled CUDA template"):
+            generate_kernel(spec, cfg())
+
+    def test_header_carries_dmsg_constants(self, tmp_path):
+        generate_project(tmp_path)
+        header = (tmp_path / "mog_common.cuh").read_text()
+        assert "#define DMSG_MODES 2" in header
+        assert "DMSG_AGE_CAP" in header

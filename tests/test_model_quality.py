@@ -1,0 +1,160 @@
+"""The stressor scenario suite and the model-quality matrix.
+
+The scenarios are the quality side of the model-family axis: each
+scene violates one background-model assumption while keeping exact
+ground truth, and :mod:`repro.bench.quality` scores every
+``(model, level, scenario)`` cell with F1 and MS-SSIM. CI runs a
+reduced-resolution matrix and pins the DMSG static-scene F1 floor.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench.quality import (
+    MATRIX_LEVELS,
+    MATRIX_MODELS,
+    MATRIX_SCENARIOS,
+    quality_cell,
+    quality_matrix,
+    write_matrix_json,
+)
+from repro.errors import ConfigError
+from repro.video.scenes import (
+    illumination_scene,
+    jitter_scene,
+    rain_scene,
+    shadow_scene,
+    static_scene,
+)
+
+SHAPE = (48, 64)
+BUILDERS = {
+    "static": static_scene,
+    "jitter": jitter_scene,
+    "illumination": illumination_scene,
+    "rain": rain_scene,
+    "shadows": shadow_scene,
+}
+
+
+# ----------------------------------------------------------------------
+# Scenario builders
+# ----------------------------------------------------------------------
+class TestStressorScenes:
+    @pytest.mark.parametrize("name", sorted(BUILDERS))
+    def test_frames_and_truth_shape(self, name):
+        video = BUILDERS[name](height=SHAPE[0], width=SHAPE[1])
+        frame, truth = video.frame_with_truth(10)
+        assert frame.shape == SHAPE and frame.dtype == np.uint8
+        assert truth.shape == SHAPE and truth.dtype == np.bool_
+        assert truth.any()  # the stressor targets are on screen
+
+    @pytest.mark.parametrize("name", sorted(BUILDERS))
+    def test_deterministic(self, name):
+        a = BUILDERS[name](height=SHAPE[0], width=SHAPE[1])
+        b = BUILDERS[name](height=SHAPE[0], width=SHAPE[1])
+        for t in (0, 7, 23):
+            fa, ta = a.frame_with_truth(t)
+            fb, tb = b.frame_with_truth(t)
+            assert np.array_equal(fa, fb), (name, t)
+            assert np.array_equal(ta, tb), (name, t)
+
+    def test_illumination_step_brightens_background(self):
+        video = illumination_scene(height=SHAPE[0], width=SHAPE[1])
+        before = float(video.background(39).mean())
+        after = float(video.background(41).mean())
+        assert after > before * 1.15
+
+    def test_illumination_step_not_in_truth(self):
+        video = illumination_scene(height=SHAPE[0], width=SHAPE[1])
+        _, t39 = video.frame_with_truth(39)
+        _, t41 = video.frame_with_truth(41)
+        # Truth tracks the sprites only; the global step adds nothing.
+        assert abs(int(t41.sum()) - int(t39.sum())) < t39.size // 4
+
+    def test_rain_streaks_are_transient(self):
+        rainy = rain_scene(height=SHAPE[0], width=SHAPE[1])
+        calm = static_scene(height=SHAPE[0], width=SHAPE[1])
+        # Rain brightens pixels that are background in both scenes and
+        # never repeats: consecutive rain fields differ.
+        f1, truth1 = rainy.frame_with_truth(5)
+        f2, _ = rainy.frame_with_truth(6)
+        assert not np.array_equal(f1, f2)
+        assert truth1.mean() < 0.5  # streaks are not ground truth
+
+    def test_shadows_darken_but_are_background(self):
+        shadowed = shadow_scene(height=SHAPE[0], width=SHAPE[1])
+        frame, truth = shadowed.frame_with_truth(12)
+        # Shadow pixels are darker than the clean background but the
+        # truth stays sprite-only, so raw-mask precision must pay.
+        clean = shadowed.background(12)
+        dark = (frame.astype(float) < clean - 20) & ~truth
+        assert dark.any()
+
+
+# ----------------------------------------------------------------------
+# Quality matrix
+# ----------------------------------------------------------------------
+class TestQualityMatrix:
+    def test_axes(self):
+        assert MATRIX_MODELS == ("mog", "dmsg")
+        assert MATRIX_LEVELS == ("A", "D", "F")
+        assert set(MATRIX_SCENARIOS) == set(BUILDERS)
+
+    def test_cell_scores(self):
+        cell = quality_cell(
+            "dmsg", "F", "static",
+            shape=(32, 40), num_frames=10, warmup=4,
+        )
+        assert cell["model"] == "dmsg" and cell["level"] == "F"
+        assert cell["frames_scored"] == 6
+        for key in ("f1", "precision", "recall", "iou", "ms_ssim"):
+            assert 0.0 <= cell[key] <= 1.0, key
+
+    def test_cell_validation(self):
+        with pytest.raises(ConfigError, match="unknown scenario"):
+            quality_cell("mog", "F", "ptz")
+        with pytest.raises(ConfigError, match="warmup"):
+            quality_cell("mog", "F", "static", num_frames=5, warmup=5)
+
+    def test_matrix_structure_and_json(self, tmp_path):
+        matrix = quality_matrix(
+            models=("dmsg",), levels=("F",), scenarios=("static",),
+            shape=(32, 40), num_frames=10, warmup=4,
+        )
+        assert matrix["kind"] == "model_quality_matrix"
+        assert len(matrix["cells"]) == 1
+        path = write_matrix_json(tmp_path / "m.json", matrix)
+        assert json.loads(path.read_text()) == matrix
+
+    def test_models_experiment_registered(self):
+        from repro.bench.experiments import ALL_EXPERIMENTS
+
+        assert "models" in ALL_EXPERIMENTS
+
+
+# ----------------------------------------------------------------------
+# The committed artifact
+# ----------------------------------------------------------------------
+class TestCommittedMatrix:
+    def test_committed_matrix_covers_acceptance_grid(self):
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parents[1] / "QUALITY_MATRIX.json"
+        matrix = json.loads(path.read_text())
+        assert matrix["kind"] == "model_quality_matrix"
+        assert len(matrix["models"]) >= 2
+        assert len(matrix["levels"]) >= 3
+        assert len(matrix["scenarios"]) >= 4
+        expected = (
+            len(matrix["models"]) * len(matrix["levels"])
+            * len(matrix["scenarios"])
+        )
+        assert len(matrix["cells"]) == expected
+        for cell in matrix["cells"]:
+            assert 0.0 <= cell["f1"] <= 1.0
+            assert 0.0 <= cell["ms_ssim"] <= 1.0

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Run the model x level x scenario quality matrix and write it as JSON.
+
+Full-size (the committed artifact):
+
+    PYTHONPATH=src python tools/quality_matrix.py
+
+CI smoke (reduced resolution, with the DMSG static-scene F1 floor):
+
+    PYTHONPATH=src python tools/quality_matrix.py --quick \\
+        --out quality-matrix.json --floor 0.9
+
+Any cell that raises fails the run; ``--floor`` additionally fails it
+when the best DMSG static-scene F1 falls below the pinned value — the
+regression guard for the cheap family (see docs/models.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.bench.quality import quality_matrix, write_matrix_json  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced resolution and frame count (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="output path (default: QUALITY_MATRIX.json at repo root)",
+    )
+    parser.add_argument(
+        "--floor", type=float, default=None,
+        help="fail unless the best DMSG static-scene F1 >= this value",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        matrix = quality_matrix(shape=(48, 64), num_frames=24, warmup=10)
+    else:
+        matrix = quality_matrix()
+
+    out = Path(args.out) if args.out else (
+        Path(__file__).resolve().parents[1] / "QUALITY_MATRIX.json"
+    )
+    write_matrix_json(out, matrix)
+
+    width = max(len(c["scenario"]) for c in matrix["cells"])
+    for cell in matrix["cells"]:
+        print(
+            f"{cell['model']:<5} {cell['level']} "
+            f"{cell['scenario']:<{width}}  "
+            f"F1 {cell['f1']:.4f}  MS-SSIM {cell['ms_ssim']:.4f}"
+        )
+    print(f"wrote {out}")
+
+    if args.floor is not None:
+        static_f1 = max(
+            c["f1"] for c in matrix["cells"]
+            if c["model"] == "dmsg" and c["scenario"] == "static"
+        )
+        if static_f1 < args.floor:
+            print(
+                f"FAIL: dmsg static F1 {static_f1:.4f} is below the "
+                f"pinned floor {args.floor}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"dmsg static F1 {static_f1:.4f} >= floor {args.floor}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
