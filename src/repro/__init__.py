@@ -29,6 +29,7 @@ Quickstart::
 """
 
 from .config import (
+    ControllerConfig,
     FaultPolicy,
     FusionParams,
     MoGParams,
@@ -49,6 +50,7 @@ __all__ = [
     "FusionParams",
     "RunConfig",
     "FaultPolicy",
+    "ControllerConfig",
     "ServeConfig",
     "TelemetryConfig",
     "ReproError",

@@ -43,6 +43,7 @@ from ..metrics.ms_ssim import DEFAULT_WEIGHTS, ms_ssim
 from ..video.scenes import (
     illumination_scene,
     jitter_scene,
+    ptz_scene,
     rain_scene,
     shadow_scene,
     static_scene,
@@ -68,6 +69,7 @@ MATRIX_SCENARIOS = {
     "illumination": illumination_scene,
     "rain": rain_scene,
     "shadows": shadow_scene,
+    "ptz": ptz_scene,
 }
 
 

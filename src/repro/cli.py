@@ -53,6 +53,7 @@ SCENES = {
     "illumination": scenes.illumination_scene,
     "rain": scenes.rain_scene,
     "shadows": scenes.shadow_scene,
+    "ptz": scenes.ptz_scene,
 }
 
 
@@ -138,6 +139,11 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="print per-stage telemetry after the run")
     tr.add_argument("--metrics-json", default=None,
                     help="write the telemetry snapshot as JSON")
+    tr.add_argument("--window-frames", type=int, default=0, metavar="N",
+                    help="with --metrics-json: also record windowed "
+                    "per-counter deltas and per-frame rates every N "
+                    "frames (the controller's input primitive; "
+                    "0 = cumulative totals only)")
     tr.add_argument("--integrity", choices=("off", "detect", "repair"),
                     default="off",
                     help="mixture-state integrity guard: detect raises "
@@ -240,6 +246,18 @@ def _build_parser() -> argparse.ArgumentParser:
                     default="reject",
                     help="over --shed-inflight: reject the submit or "
                     "drop the frame")
+    sv.add_argument("--controller", action="store_true",
+                    help="enable the closed-loop runtime controller: "
+                    "degrade (guards -> level -> model -> shed) under "
+                    "overload, recover with hysteresis; see "
+                    "docs/operations.md")
+    sv.add_argument("--controller-policy", default=None, metavar="JSON",
+                    help="JSON file of ControllerConfig overrides "
+                    "(window_frames, queue_high, level_ladder, ...); "
+                    "implies --controller")
+    sv.add_argument("--controller-log", default=None, metavar="PATH",
+                    help="write the controller transition log as JSON "
+                    "after the run; implies --controller")
 
     cu = sub.add_parser(
         "export-cuda",
@@ -434,9 +452,20 @@ def _cmd_track(args) -> int:
         start = pipe.restore_checkpoint(ckpt_path) + 1
         print(f"resumed from {ckpt_path} at frame {start}")
     degraded = 0
+    windows = []
+    window_base = None
+    frames_in_window = 0
     for t in range(start, source.num_frames):
         if pipe.step(source.frame(t)).degraded:
             degraded += 1
+        if args.window_frames > 0:
+            frames_in_window += 1
+            if frames_in_window == args.window_frames:
+                delta = telemetry.delta(window_base, frames=frames_in_window)
+                window_base = delta.pop("end")
+                delta["frame_index"] = pipe.frame_index
+                windows.append(delta)
+                frames_in_window = 0
         if (
             ckpt_path is not None
             and args.checkpoint_every > 0
@@ -465,9 +494,14 @@ def _cmd_track(args) -> int:
     if args.metrics_json:
         import json
 
+        snap = pipe.telemetry.snapshot()
+        if windows:
+            # Cumulative totals stay at the top level (backward
+            # compatible); the windowed deltas ride along.
+            snap["windows"] = windows
         try:
             with open(args.metrics_json, "w", encoding="utf-8") as fh:
-                json.dump(pipe.telemetry.snapshot(), fh, indent=2)
+                json.dump(snap, fh, indent=2)
         except OSError as exc:
             print(f"error: cannot write metrics: {exc}", file=sys.stderr)
             return 2
@@ -479,7 +513,13 @@ def _cmd_serve(args) -> int:
     import time
     from pathlib import Path
 
-    from .config import FaultPolicy, IntegrityPolicy, ServeConfig
+    from .config import (
+        ControllerConfig,
+        FaultPolicy,
+        IntegrityPolicy,
+        ServeConfig,
+    )
+    from .errors import ConfigError
     from .serve import ShardedStreamServer, StreamServer
 
     if (args.checkpoint_every or args.resume) and not args.checkpoint_dir:
@@ -521,6 +561,36 @@ def _cmd_serve(args) -> int:
                 video.frame(t) for t in range(args.frames)
             ]
 
+    controller_on = (
+        args.controller
+        or args.controller_policy is not None
+        or args.controller_log is not None
+    )
+    controller_config = None
+    if controller_on:
+        overrides = {}
+        if args.controller_policy is not None:
+            import json
+
+            try:
+                with open(args.controller_policy, encoding="utf-8") as fh:
+                    overrides = json.load(fh)
+            except (OSError, ValueError) as exc:
+                print(f"error: cannot read --controller-policy: {exc}",
+                      file=sys.stderr)
+                return 2
+            if not isinstance(overrides, dict):
+                print("error: --controller-policy must hold a JSON object "
+                      "of ControllerConfig fields", file=sys.stderr)
+                return 2
+            if "level_ladder" in overrides:
+                overrides["level_ladder"] = tuple(overrides["level_ladder"])
+        try:
+            controller_config = ControllerConfig(**overrides)
+        except (TypeError, ConfigError) as exc:
+            print(f"error: bad controller policy: {exc}", file=sys.stderr)
+            return 2
+
     serve_config = ServeConfig(
         workers=args.workers,
         max_streams=args.max_streams,
@@ -536,6 +606,7 @@ def _cmd_serve(args) -> int:
         placement=args.placement,
         shed_inflight=args.shed_inflight,
         shed_policy=args.shed_policy,
+        controller=controller_config,
     )
     server_cls = ShardedStreamServer if args.shards > 0 else StreamServer
     server = server_cls(
@@ -549,9 +620,14 @@ def _cmd_serve(args) -> int:
         warmup_frames=args.warmup,
         integrity=IntegrityPolicy(mode=args.integrity),
     )
+    # Synthetic streams carry their scene name as the controller's
+    # scenario tag (quality-gated model switches need it); file-backed
+    # streams have unknown content, which the controller treats
+    # conservatively (no model rung).
+    scenario = args.scene if not args.inputs else None
     try:
         for sid in sequences:
-            server.add_stream(sid)
+            server.add_stream(sid, scenario=scenario)
         starts = {}
         if args.resume:
             for status in server.stream_status():
@@ -592,6 +668,8 @@ def _cmd_serve(args) -> int:
                   + (f", FAILED ({status['failed']})"
                      if status["failed"] else ""))
         snap = server.snapshot()
+        # Shards only answer while alive: collect the log before close.
+        transitions = server.controller_log() if controller_on else []
     finally:
         server.close(drain=False)
     fps = total / elapsed if elapsed > 0 else float("inf")
@@ -609,6 +687,33 @@ def _cmd_serve(args) -> int:
         shed = snap.get("counters", {}).get("server.frames_shed", 0)
         if rebalanced or shed:
             print(f"rebalanced {rebalanced} streams, shed {shed} frames")
+    if controller_on:
+        downshifts = sum(
+            1 for e in transitions if e["action"] == "downshift"
+        )
+        upshifts = len(transitions) - downshifts
+        shed = snap.get("counters", {}).get("server.frames_shed", 0)
+        print(f"controller: {len(transitions)} transitions "
+              f"({downshifts} down, {upshifts} up), {shed} frames shed")
+        for entry in transitions:
+            shard = (f"[shard {entry['shard']}] "
+                     if "shard" in entry else "")
+            print(f"  {shard}{entry['stream']} w{entry['window']}: "
+                  f"{entry['action']} ({entry['reason']}) "
+                  f"rung {entry['from_rung']}->{entry['to_rung']} "
+                  f"[{entry['to']['kind']}: level {entry['to']['level']}, "
+                  f"model {entry['to']['model']}]")
+        if args.controller_log:
+            import json
+
+            try:
+                with open(args.controller_log, "w", encoding="utf-8") as fh:
+                    json.dump(transitions, fh, indent=2)
+            except OSError as exc:
+                print(f"error: cannot write controller log: {exc}",
+                      file=sys.stderr)
+                return 2
+            print(f"wrote controller log to {args.controller_log}")
     if args.metrics:
         from .bench.reporting import format_metrics
 

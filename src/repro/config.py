@@ -589,6 +589,136 @@ RESUME_MISMATCH_POLICIES = ("fail", "fresh")
 
 
 @dataclass(frozen=True)
+class ControllerConfig:
+    """Closed-loop degradation/recovery governor for the serving tier.
+
+    The controller (:class:`repro.serve.controller.ServerController`)
+    evaluates each stream at frame-count window boundaries and walks a
+    per-stream *rung ladder* — baseline, relaxed integrity/profiling
+    guards, pass-stack downshifts along ``level_ladder``, a model
+    switch to ``model_fallback`` where the stream's scenario tolerates
+    it per the committed quality matrix, and finally load shedding —
+    one rung per decision, with hysteresis on the way back up. The
+    policy is a pure function of windowed telemetry deltas: no
+    wall-clock, no randomness, so chaos tests can pin exact transition
+    sequences.
+
+    Attributes
+    ----------
+    window_frames:
+        Evaluate a stream every N completed frames (the telemetry
+        window size; all deltas and rates are per this many frames).
+    queue_high:
+        Hot-watermark fraction of ``queue_capacity``: a window whose
+        boundary queue depth is at or above ``ceil(queue_high *
+        capacity)`` counts toward degradation.
+    queue_low:
+        Cool-watermark fraction: recovery requires depth at or below
+        ``floor(queue_low * capacity)``. Must be strictly below
+        ``queue_high`` — the gap is the hysteresis band.
+    degrade_after:
+        Consecutive hot windows before moving one rung down.
+    recover_after:
+        Consecutive cool windows before moving one rung back up
+        (usually larger than ``degrade_after`` so recovery is the
+        cautious direction).
+    level_ladder:
+        Pass-stack downshift sequence, best-first. A stream whose base
+        level appears in the ladder only descends to the entries after
+        it (base ``"F"`` with the default ladder downshifts to ``"D"``
+        then ``"A"``); a base level outside the ladder descends through
+        the whole ladder.
+    model_fallback:
+        Cheap model family to switch to under sustained overload
+        (``None`` disables the rung). The switch is offered only to
+        streams tagged with a ``scenario`` whose quality-matrix row
+        shows the fallback holding F1 within ``model_margin`` of the
+        base model; untagged streams and unknown scenarios never
+        switch.
+    model_margin:
+        Maximum F1 the fallback may lose versus the base model before
+        the scenario is deemed intolerant.
+    quality_matrix:
+        Path to ``QUALITY_MATRIX.json``; ``None`` auto-locates the
+        committed matrix next to the bench snapshot. A missing or
+        unreadable matrix conservatively disables model switches.
+    guard_relax:
+        Multiplier applied to ``check_every``/``profile_every`` on the
+        guard-relax rung (0 or 1 disables the rung). Integrity signals
+        (``integrity.violations``/``faults.corrected`` deltas) force
+        this rung back to baseline regardless of load.
+    allow_shed:
+        Whether the last rung may shed: overflow frames on a full
+        queue are dropped and counted (``frames_shed``) instead of
+        engaging backpressure, so the stream keeps emitting.
+    max_log:
+        Upper bound on retained transition-log entries (the log is a
+        ring; counters are unaffected).
+    """
+
+    window_frames: int = 32
+    queue_high: float = 0.75
+    queue_low: float = 0.25
+    degrade_after: int = 1
+    recover_after: int = 2
+    level_ladder: tuple[str, ...] = ("F", "D", "A")
+    model_fallback: str | None = "dmsg"
+    model_margin: float = 0.05
+    quality_matrix: str | None = None
+    guard_relax: int = 4
+    allow_shed: bool = True
+    max_log: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.window_frames < 1:
+            raise ConfigError(
+                f"window_frames must be >= 1, got {self.window_frames}"
+            )
+        if not 0.0 <= self.queue_low < self.queue_high <= 1.0:
+            raise ConfigError(
+                "need 0 <= queue_low < queue_high <= 1, got "
+                f"queue_low={self.queue_low}, queue_high={self.queue_high}"
+            )
+        if self.degrade_after < 1:
+            raise ConfigError(
+                f"degrade_after must be >= 1, got {self.degrade_after}"
+            )
+        if self.recover_after < 1:
+            raise ConfigError(
+                f"recover_after must be >= 1, got {self.recover_after}"
+            )
+        ladder = tuple(str(entry) for entry in self.level_ladder)
+        if not ladder:
+            raise ConfigError("level_ladder must not be empty")
+        if len(set(ladder)) != len(ladder):
+            raise ConfigError(
+                f"level_ladder entries must be unique, got {ladder}"
+            )
+        if any(not entry for entry in ladder):
+            raise ConfigError("level_ladder entries must be non-empty")
+        object.__setattr__(self, "level_ladder", ladder)
+        if self.model_fallback is not None and self.model_fallback not in MODELS:
+            raise ConfigError(
+                f"model_fallback must be one of {MODELS}, "
+                f"got {self.model_fallback!r}"
+            )
+        if self.model_margin < 0.0:
+            raise ConfigError(
+                f"model_margin must be >= 0, got {self.model_margin}"
+            )
+        if self.guard_relax < 1:
+            raise ConfigError(
+                f"guard_relax must be >= 1, got {self.guard_relax}"
+            )
+        if self.max_log < 1:
+            raise ConfigError(f"max_log must be >= 1, got {self.max_log}")
+
+    def replace(self, **kwargs) -> "ControllerConfig":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
 class ServeConfig:
     """Multi-stream server knobs (:class:`repro.serve.StreamServer`).
 
@@ -676,6 +806,11 @@ class ServeConfig:
     ring_slots:
         Capacity, in frames, of each shard's shared-memory ingest
         ring.
+    controller:
+        Optional :class:`ControllerConfig` enabling the closed-loop
+        degradation/recovery governor on each server (in sharded mode
+        the config rides into every shard, so each shard governs its
+        own streams).
     """
 
     workers: int = 2
@@ -697,6 +832,7 @@ class ServeConfig:
     shed_inflight: int = 0
     shed_policy: str = "reject"
     ring_slots: int = 32
+    controller: "ControllerConfig | None" = None
 
     def __post_init__(self) -> None:
         if self.backend is not None and self.backend not in BACKENDS:
@@ -767,6 +903,13 @@ class ServeConfig:
         if self.ring_slots < 2:
             raise ConfigError(
                 f"ring_slots must be >= 2, got {self.ring_slots}"
+            )
+        if self.controller is not None and not isinstance(
+            self.controller, ControllerConfig
+        ):
+            raise ConfigError(
+                "controller must be a ControllerConfig or None, "
+                f"got {type(self.controller).__name__}"
             )
 
     def replace(self, **kwargs) -> "ServeConfig":

@@ -33,6 +33,12 @@ Design points, in the order they matter:
   snapshot re-keys those as ``stream.<id>.*`` and adds rollups
   (``server.frames_total``, ``server.streams_active``,
   ``server.queue_depth``, ``server.step_s``).
+* **Closed-loop control.** With ``serve.controller`` set, a
+  :class:`~repro.serve.controller.ServerController` evaluates each
+  stream at frame-count window boundaries and walks its degradation
+  ladder (relax guards -> downshift level -> switch model -> shed)
+  with hysteresis, recording every move in a deterministic transition
+  log (:meth:`StreamServer.controller_log`).
 """
 
 from __future__ import annotations
@@ -55,6 +61,7 @@ from ..config import (
 from ..core.stream import StreamResult, SurveillancePipeline
 from ..errors import BackpressureError, CheckpointError, ConfigError, WorkerError
 from ..telemetry import MetricsRegistry
+from .controller import Rung, ServerController, Transition, ensure_same_family
 
 
 class _StreamState:
@@ -65,7 +72,8 @@ class _StreamState:
         "stream_id", "pipeline", "factory", "queue", "results",
         "busy", "failed", "restarts", "frames_in", "frames_done",
         "frames_dropped", "registry", "seq_next", "last_seq",
-        "resumed_source_seq", "resume_note",
+        "resumed_source_seq", "resume_note", "scenario", "shedding",
+        "frames_shed", "reconfigurable",
     )
 
     def __init__(
@@ -98,6 +106,14 @@ class _StreamState:
         self.last_seq = -1
         self.resumed_source_seq = -1   # -1 = started fresh
         self.resume_note: str | None = None
+        # Controller-facing fields. ``scenario`` gates quality-aware
+        # model switches; ``shedding`` flips submit's full-queue policy
+        # to drop-and-count; ``reconfigurable`` marks a default-built
+        # pipeline the server may rebuild at a different rung.
+        self.scenario: str | None = None
+        self.shedding = False
+        self.frames_shed = 0
+        self.reconfigurable = False
 
 
 class StreamServer:
@@ -174,6 +190,13 @@ class StreamServer:
         self.warmup_frames = warmup_frames
         self.integrity = integrity
         self.registry = MetricsRegistry(self.telemetry_config)
+        self.controller: ServerController | None = None
+        if self.serve_config.controller is not None:
+            self.controller = ServerController(
+                self.serve_config.controller,
+                queue_capacity=self.serve_config.queue_capacity,
+                registry=self.registry,
+            )
         self._checkpoint_dir: Path | None = None
         if self.serve_config.checkpoint_dir is not None:
             self._checkpoint_dir = Path(self.serve_config.checkpoint_dir)
@@ -240,6 +263,7 @@ class StreamServer:
             [MetricsRegistry], SurveillancePipeline
         ] | None = None,
         model: str | None = None,
+        scenario: str | None = None,
     ) -> None:
         """Register a stream; raises on over-admission or duplicates.
 
@@ -251,6 +275,11 @@ class StreamServer:
         family for this stream's default-built pipeline (a fleet can
         mix MoG and DMSG cameras on one server); it cannot be combined
         with an injected pipeline or factory, which carry their own.
+        ``scenario`` tags the stream's content class (one of the
+        quality-matrix scenarios, e.g. ``"static"``/``"ptz"``) so the
+        runtime controller can offer the cheap-model rung only where
+        the committed matrix shows the fallback holds quality; untagged
+        streams never switch model.
 
         Admission is atomic: the capacity/duplicate check *reserves*
         the slot under one lock acquisition before the (slow, unlocked)
@@ -283,6 +312,14 @@ class StreamServer:
                 "model= applies to default-built pipelines only; an "
                 "injected pipeline/factory already fixes its own model"
             )
+        if scenario is not None and not isinstance(scenario, str):
+            raise ConfigError(
+                f"scenario must be a string or None, got {scenario!r}"
+            )
+        # Default-built pipelines are the only ones the controller may
+        # rebuild at a different rung; injected ones keep their owner's
+        # configuration and only ever gain the shed rung.
+        reconfigurable = pipeline is None and pipeline_factory is None
         with self._lock:
             if self._closed:
                 raise ConfigError("StreamServer is closed")
@@ -327,6 +364,8 @@ class StreamServer:
             state = _StreamState(stream_id, pipeline, factory, registry)
             state.resumed_source_seq = resumed_seq
             state.resume_note = resume_note
+            state.scenario = scenario
+            state.reconfigurable = reconfigurable
             if resumed_seq >= 0:
                 # Continue the submission-sequence space where the
                 # checkpoint left off, so replayed source frames line
@@ -334,6 +373,28 @@ class StreamServer:
                 state.seq_next = resumed_seq + 1
                 state.last_seq = resumed_seq
             self._streams[stream_id] = state
+            if self.controller is not None:
+                # Injected pipeline doubles may lack a subtractor; they
+                # are non-reconfigurable, so the labels are cosmetic.
+                sub = getattr(pipeline, "subtractor", None)
+                self.controller.register(
+                    stream_id,
+                    base_level=(
+                        sub.spec.letter if sub is not None else self.level
+                    ),
+                    base_model=(
+                        sub.model.name if sub is not None else self.model
+                    ),
+                    scenario=scenario,
+                    reconfigurable=reconfigurable,
+                    # The guards rung only exists where there is
+                    # something to relax: an active integrity guard or
+                    # a profiled (sim) backend.
+                    guards_apply=(
+                        (self.integrity is not None and self.integrity.active)
+                        or self.backend == "sim"
+                    ),
+                )
             self.registry.gauge("server.streams_active").set(
                 len(self._streams)
             )
@@ -357,6 +418,9 @@ class StreamServer:
         try:
             pipeline.restore_checkpoint(path)
         except CheckpointError as exc:
+            salvaged = self._salvage_degraded_checkpoint(pipeline, path)
+            if salvaged is not None:
+                return salvaged
             if self.serve_config.resume_mismatch != "fresh":
                 # Default: a corrupt/mismatched file fails admission
                 # loudly rather than resuming a wrong model.
@@ -369,6 +433,74 @@ class StreamServer:
         resumed_seq = int(meta.get("source_seq", pipeline.frame_index))
         self.registry.counter("server.checkpoints_restored").inc()
         return pipeline, resumed_seq, None
+
+    def _salvage_degraded_checkpoint(
+        self, pipeline: SurveillancePipeline, path
+    ) -> tuple[SurveillancePipeline, int, str] | None:
+        """Resume a checkpoint written while the controller held the
+        stream on a degraded rung.
+
+        The pass-stack levels are decision-preserving within a model
+        family, so a checkpoint written at a cheaper level carries
+        exactly the state a baseline run would have — it restores into
+        the baseline pipeline directly. A cross-family checkpoint hits
+        the same contract as any cross-family restore: fresh model
+        state, continuity of the frame index and last good mask. Only
+        applies on a controller-governed server; any other mismatch
+        (shape, params, corruption) returns ``None`` and the normal
+        resume policy decides.
+        """
+        if self.controller is None:
+            return None
+        from ..faults.checkpoint import read_checkpoint
+
+        try:
+            arrays, meta = read_checkpoint(path)
+        except Exception:
+            return None
+        import dataclasses as _dc
+
+        sub = pipeline.subtractor
+        if (
+            meta.get("kind") != "surveillance_pipeline"
+            or meta.get("shape") != list(sub.shape)
+            or meta.get("params") != _dc.asdict(sub.params)
+            or not all(k in arrays for k in ("w", "m", "sd"))
+        ):
+            return None
+        file_model = meta.get("model", "mog")
+        file_level = meta.get("level")
+        if file_model == sub.model.name:
+            pipeline.subtractor.restore_state(
+                (arrays["w"], arrays["m"], arrays["sd"],
+                 int(meta["frames_processed"]))
+            )
+            note = (
+                f"checkpoint written at degraded level {file_level!r}; "
+                "state restored at baseline (levels are "
+                "decision-preserving)"
+            )
+        else:
+            # Cross-family rung: the planes stay behind, the cursor
+            # moves forward — same answer admission gives a foreign
+            # checkpoint under the durable-checkpoint contract.
+            pipeline.telemetry.counter(
+                "controller.model_fresh_starts"
+            ).inc()
+            note = (
+                f"checkpoint holds {file_model!r} state from a "
+                f"controller model rung; {sub.model.name!r} restarted "
+                "fresh at the checkpoint's cursor"
+            )
+        pipeline.frame_index = int(meta["frame_index"])
+        mask = arrays.get("last_good_mask")
+        pipeline._last_good_mask = (
+            mask.astype(bool) if mask is not None else None
+        )
+        resumed_seq = int(meta.get("source_seq", pipeline.frame_index))
+        self.registry.counter("server.checkpoints_restored").inc()
+        self.registry.counter("server.resume_degraded_salvaged").inc()
+        return pipeline, resumed_seq, note
 
     def remove_stream(self, stream_id: str) -> list[StreamResult]:
         """Deregister a stream, returning its uncollected results.
@@ -385,6 +517,8 @@ class StreamServer:
             if dropped:
                 self.registry.counter("server.frames_dropped").inc(dropped)
             del self._streams[stream_id]
+            if self.controller is not None:
+                self.controller.forget(stream_id)
             self.registry.gauge("server.streams_active").set(
                 len(self._streams)
             )
@@ -407,7 +541,10 @@ class StreamServer:
 
         Returns ``True`` when the frame was admitted without touching
         any other frame, ``False`` when admission evicted the oldest
-        queued frame (``drop_oldest`` policy). Raises
+        queued frame (``drop_oldest`` policy) or the frame was shed
+        outright (a stream the controller moved onto its shed rung
+        drops overflow frames, counted in ``frames_shed``, instead of
+        engaging backpressure). Raises
         :class:`~repro.errors.BackpressureError` when the queue stays
         full (``reject``, or ``block`` past its timeout) and
         :class:`~repro.errors.WorkerError` for a failed stream.
@@ -426,6 +563,19 @@ class StreamServer:
                 )
             evicted = False
             while len(state.queue) >= cfg.queue_capacity:
+                if state.shedding:
+                    # Controller shed rung: the overflow frame is
+                    # dropped and counted instead of engaging the
+                    # backpressure policy — the stream keeps emitting
+                    # for the frames that do fit, and no caller ever
+                    # sees a BackpressureError. The shed frame still
+                    # consumes a sequence number: the source moved on,
+                    # and a checkpoint cursor must record that.
+                    state.seq_next += 1
+                    state.frames_shed += 1
+                    state.registry.counter("stream.frames_shed").inc()
+                    self.registry.counter("server.frames_shed").inc()
+                    return False
                 if cfg.backpressure == "reject":
                     raise BackpressureError(
                         f"stream {stream_id!r} queue is full "
@@ -540,6 +690,118 @@ class StreamServer:
             if result is not None:
                 state.results.append(result)
             self.registry.counter("server.frames_total").inc()
+            transition = None
+            if (
+                self.controller is not None
+                and state.failed is None
+                and state.frames_done
+                    % self.controller.config.window_frames == 0
+            ):
+                # Window boundary: evaluate under the lock (queue depth
+                # and the log order are consistent and deterministic),
+                # apply outside it (this worker still owns the stream
+                # via ``state.busy``, so the pipeline swap is safe).
+                transition = self.controller.observe_locked(
+                    state.stream_id,
+                    state.registry,
+                    queue_depth=len(state.queue),
+                    frames_done=state.frames_done,
+                )
+        if transition is not None:
+            self._apply_transition(state, transition)
+
+    # -- controller reconfiguration ------------------------------------
+    def _apply_transition(
+        self, state: _StreamState, transition: Transition
+    ) -> None:
+        """Apply a committed controller transition to one stream.
+
+        Called from the worker that just finished the stream's frame,
+        with ``state.busy`` still held — the pipeline is owned by this
+        thread, so a swap needs no lock. A reconfiguration failure is
+        counted, never fatal: the stream keeps serving on its previous
+        pipeline and the shed flag still tracks the target rung.
+        """
+        rung = transition.target
+        if transition.pipeline_changed and state.reconfigurable:
+            try:
+                self._reconfigure_pipeline(state, rung)
+            except Exception:
+                self.registry.counter(
+                    "server.controller.reconfigure_errors"
+                ).inc()
+        with self._lock:
+            state.shedding = rung.shed
+
+    def _build_rung_pipeline(
+        self, state: _StreamState, rung: Rung
+    ) -> SurveillancePipeline:
+        """A default-built pipeline at the rung's effective config,
+        reusing the stream's registry so its metrics stay continuous."""
+        integrity = self.integrity
+        if integrity is not None and rung.guard_relax > 1:
+            integrity = integrity.replace(
+                check_every=integrity.check_every * rung.guard_relax
+            )
+        profile_every = None
+        if rung.guard_relax > 1:
+            base = self.run_config.profile_every if self.run_config else 1
+            profile_every = max(base, 1) * rung.guard_relax
+        return SurveillancePipeline(
+            self.shape,
+            self.params,
+            level=rung.level,
+            backend=self.backend,
+            model=rung.model,
+            run_config=self.run_config,
+            warmup_frames=self.warmup_frames,
+            on_error=self.fault_policy.stage_error,
+            telemetry=state.registry,
+            profile_every=profile_every,
+            integrity=integrity,
+        )
+
+    def _reconfigure_pipeline(self, state: _StreamState, rung: Rung) -> None:
+        """Swap the stream onto a pipeline built for ``rung``.
+
+        Within a model family the warm mixture state transfers
+        (``state_snapshot``/``restore_state``; the pass stacks are
+        decision-preserving, so masks are bit-identical across the
+        swap). Across families the durable-checkpoint contract applies
+        (:func:`~repro.serve.controller.ensure_same_family` raises the
+        same typed :class:`~repro.errors.CheckpointError` admission
+        sees): the new family starts from fresh state, keeping the
+        frame index and last good mask so downstream consumers always
+        see well-defined masks — warm-up quality while the new model
+        converges.
+        """
+        old = state.pipeline
+        new = self._build_rung_pipeline(state, rung)
+        try:
+            ensure_same_family(
+                old.subtractor.model.name, new.subtractor.model.name
+            )
+            snapshot = old.subtractor.state_snapshot()
+            if snapshot is not None:
+                new.subtractor.restore_state(snapshot)
+        except CheckpointError:
+            state.registry.counter("controller.model_fresh_starts").inc()
+        new.frame_index = old.frame_index
+        new._last_good_mask = old._last_good_mask
+        new.tracker = old.tracker  # track ids survive the swap
+        state.pipeline = new
+        # Fault restarts must rebuild at the *current* rung, not the
+        # admission-time one.
+        state.factory = lambda: self._build_rung_pipeline(state, rung)
+
+    def controller_log(self) -> list[dict]:
+        """The controller's transition log (empty without a
+        controller). Deterministic for a deterministic stream schedule;
+        see :mod:`repro.serve.controller`."""
+        if self.controller is None:
+            return []
+        with self._lock:
+            return self.controller.log()
 
     def _maybe_checkpoint(self, state: _StreamState, result) -> None:
         """Periodic durable checkpoint after a successful step. A
@@ -678,16 +940,26 @@ class StreamServer:
                         getattr(s.pipeline, "subtractor", None), "model", None
                     )
                     and s.pipeline.subtractor.model.name,
+                    "level": getattr(
+                        getattr(s.pipeline, "subtractor", None), "spec", None
+                    )
+                    and s.pipeline.subtractor.spec.letter,
                     "frame_index": getattr(s.pipeline, "frame_index", None),
                     "queued": len(s.queue),
                     "frames_in": s.frames_in,
                     "frames_done": s.frames_done,
                     "frames_dropped": s.frames_dropped,
+                    "frames_shed": s.frames_shed,
                     "restarts": s.restarts,
                     "failed": s.failed,
                     "source_seq": s.last_seq,
                     "resumed_source_seq": s.resumed_source_seq,
                     "resume_note": s.resume_note,
+                    "scenario": s.scenario,
+                    "controller_rung": (
+                        self.controller.rung_of(s.stream_id)
+                        if self.controller is not None else None
+                    ),
                 }
                 for s in self._streams.values()
             ]

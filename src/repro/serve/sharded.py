@@ -167,12 +167,15 @@ def _shard_main(index, ctrl, events, ring_name, shape, dtype_str,
 
     Protocol (gateway -> shard, over ``ctrl``; every request gets one
     ``("ok", payload)`` / ``("err", type_name, message)`` reply):
-    ``("add_stream", sid, uid, model)``, ``("remove_stream", sid)``,
-    ``("snapshot",)``, ``("status",)``, ``("drain", timeout_s)``,
-    ``("close",)``. Shard -> gateway, over ``events``:
+    ``("add_stream", sid, uid, model, scenario)``,
+    ``("remove_stream", sid)``, ``("snapshot",)``, ``("status",)``,
+    ``("controller_log",)``, ``("drain", timeout_s)``, ``("close",)``.
+    Shard -> gateway, over ``events``:
     ``("res", [(sid, seq, frame_index, packed_mask, packed_raw,
     degraded, error, tracks), ...])`` (one message per pump pass),
     ``("ckpt", sid, frame_index, source_seq)``,
+    ``("shed", sid, seq)`` (the shard's runtime controller shed the
+    frame: consumed, no result coming),
     ``("failed", sid, error)``.
     """
     from .server import StreamServer
@@ -221,12 +224,20 @@ def _shard_main(index, ctrl, events, ring_name, shape, dtype_str,
     def _try_submit(sid: str, seq: int, frame) -> bool:
         """Submit one frame; False means the queue is full (retry)."""
         try:
-            server.submit(sid, frame)
+            admitted = server.submit(sid, frame)
         except BackpressureError:
             return False
         except Exception:
             check_failures()
             return True  # stream is gone/failed: the frame is consumed
+        if not admitted:
+            # Shards run backpressure="reject", so a False return can
+            # only mean the runtime controller's shed rung dropped the
+            # frame: consumed, no result coming. Tell the gateway so it
+            # trims the frame from the stream's in-flight window
+            # (otherwise drain would wait on it forever).
+            _send(("shed", sid, seq))
+            return True
         pending[sid].append(seq)
         return True
 
@@ -289,9 +300,9 @@ def _shard_main(index, ctrl, events, ring_name, shape, dtype_str,
                 progress += 1
                 op = msg[0]
                 if op == "add_stream":
-                    _, sid, uid, model = msg
+                    _, sid, uid, model, scenario = msg
                     try:
-                        server.add_stream(sid, model=model)
+                        server.add_stream(sid, model=model, scenario=scenario)
                         uid_to_sid[uid] = sid
                         pending.setdefault(sid, deque())
                         known_failed.discard(sid)
@@ -324,6 +335,8 @@ def _shard_main(index, ctrl, events, ring_name, shape, dtype_str,
                     ctrl.send(("ok", server.snapshot()))
                 elif op == "status":
                     ctrl.send(("ok", server.stream_status()))
+                elif op == "controller_log":
+                    ctrl.send(("ok", server.controller_log()))
                 elif op == "drain":
                     _, timeout_s = msg
                     try:
@@ -436,12 +449,13 @@ class _GatewayStream:
         "stream_id", "uid", "shard", "seq_next", "inflight", "replay",
         "emitted_fi", "emitted", "results", "failed", "moving", "shed",
         "rebalances", "resumed_source_seq", "resume_note",
-        "model", "model_override",
+        "model", "model_override", "scenario",
     )
 
     def __init__(self, stream_id: str, uid: int, shard: int,
                  replay_enabled: bool,
-                 model_override: str | None = None) -> None:
+                 model_override: str | None = None,
+                 scenario: str | None = None) -> None:
         self.stream_id = stream_id
         self.uid = uid
         self.shard = shard
@@ -449,6 +463,9 @@ class _GatewayStream:
         # rebalance) and the family the shard resolved it to.
         self.model_override = model_override
         self.model: str | None = None
+        # Scenario tag for the shard's runtime controller (re-sent
+        # verbatim on rebalance, like the model override).
+        self.scenario = scenario
         self.seq_next = 0
         self.inflight: deque[tuple[int, float]] = deque()
         # seq -> frame, every frame since the last durable checkpoint
@@ -669,6 +686,15 @@ class ShardedStreamServer:
         if kind == "res":
             for item in msg[1]:
                 self._on_result(item)
+        elif kind == "shed":
+            _, sid, seq = msg
+            with self._lock:
+                st = self._streams.get(sid)
+                if st is not None:
+                    st.inflight = deque(
+                        (s, t) for s, t in st.inflight if s != seq
+                    )
+            self.registry.counter("server.frames_shed").inc()
         elif kind == "ckpt":
             _, sid, _fi, source_seq = msg
             with self._lock:
@@ -777,7 +803,8 @@ class ShardedStreamServer:
             raise WorkerError(f"placement chose dead shard {new_k}")
         reply = self._rpc(
             handle,
-            ("add_stream", st.stream_id, st.uid, st.model_override),
+            ("add_stream", st.stream_id, st.uid, st.model_override,
+             st.scenario),
             timeout_s=self.serve_config.drain_timeout_s,
         )
         restored_seq = int(reply["resumed_source_seq"])
@@ -824,13 +851,16 @@ class ShardedStreamServer:
         self.registry.counter("server.rebalanced").inc()
 
     # -- stream registration -------------------------------------------
-    def add_stream(self, stream_id: str, model: str | None = None) -> None:
+    def add_stream(self, stream_id: str, model: str | None = None,
+                   scenario: str | None = None) -> None:
         """Register a stream on its placed shard; raises on duplicates
         or over-admission (gateway-wide ``max_streams``). Injected
         pipelines are not supported across process boundaries — shards
         always build their own. ``model`` overrides the server's
-        default background-model family for this stream (re-sent
-        verbatim when the stream is rebalanced to another shard)."""
+        default background-model family for this stream; ``scenario``
+        tags its content class for the shard's runtime controller
+        (both re-sent verbatim when the stream is rebalanced to
+        another shard)."""
         if not stream_id or not isinstance(stream_id, str):
             raise ConfigError(
                 f"stream id must be a non-empty string, got {stream_id!r}"
@@ -875,7 +905,7 @@ class ShardedStreamServer:
             if handle is None:
                 raise WorkerError(f"placement chose dead shard {shard}")
             reply = self._rpc(
-                handle, ("add_stream", stream_id, uid, model),
+                handle, ("add_stream", stream_id, uid, model, scenario),
                 timeout_s=self.serve_config.drain_timeout_s,
             )
         except BaseException:
@@ -888,7 +918,7 @@ class ShardedStreamServer:
                 raise ConfigError("ShardedStreamServer is closed")
             st = _GatewayStream(
                 stream_id, uid, shard, replay_enabled=self._ckpt_enabled,
-                model_override=model,
+                model_override=model, scenario=scenario,
             )
             st.model = reply.get("model")
             if self.serve_config.resume:
@@ -1133,6 +1163,29 @@ class ShardedStreamServer:
                 }
                 for st in self._streams.values()
             ]
+
+    def controller_log(self) -> list[dict]:
+        """Every live shard's controller transition log, each entry
+        annotated with its shard index. Entries keep their per-shard
+        order (each shard's log is deterministic on its own schedule);
+        dead shards contribute nothing — a rebalanced stream's new
+        shard starts it back at its baseline rung."""
+        with self._lock:
+            handles = [h for h in self._shards if h is not None]
+        merged: list[dict] = []
+        for handle in handles:
+            try:
+                entries = self._rpc(
+                    handle, ("controller_log",),
+                    self.serve_config.drain_timeout_s,
+                )
+            except WorkerError:
+                continue  # died under us; the collector will rebalance
+            for entry in entries:
+                entry = dict(entry)
+                entry["shard"] = handle.index
+                merged.append(entry)
+        return merged
 
     def snapshot(self) -> dict:
         """Gateway rollups plus every live shard's snapshot, with

@@ -328,6 +328,64 @@ class MetricsRegistry:
             },
         }
 
+    def delta(self, since: dict | None = None, frames: int | None = None) -> dict:
+        """Windowed view: per-instrument change since a prior snapshot.
+
+        ``since`` is a dict previously returned by :meth:`snapshot` (or
+        :meth:`delta` itself, whose ``"end"`` key is a snapshot);
+        ``None`` means "since the registry was created", making the
+        deltas equal to the cumulative totals. Counters registered
+        after ``since`` delta from zero.
+
+        Returns a JSON-ready dict::
+
+            {
+              "counters":   {name: increment, ...},
+              "gauges":     {name: current_value, ...},   # point-in-time
+              "histograms": {name: {"count": dc, "total_s": dt,
+                                    "mean_s": dt/dc or 0.0}, ...},
+              "frames":     N,            # only when frames= is given
+              "rates_per_frame": {name: increment / N, ...},  # ditto
+              "end":        <full snapshot>,   # baseline for the next call
+            }
+
+        This is the controller's input primitive: policy decisions are
+        pure functions of these deltas, never of cumulative totals, so
+        a long-lived stream behaves identically to a fresh one.
+        """
+        end = self.snapshot()
+        base = since or {}
+        base_counters = base.get("counters", {})
+        counters = {
+            name: value - base_counters.get(name, 0)
+            for name, value in end["counters"].items()
+        }
+        base_hists = base.get("histograms", {})
+        histograms = {}
+        for name, cur in end["histograms"].items():
+            prev = base_hists.get(name, {})
+            dcount = cur["count"] - prev.get("count", 0)
+            dtotal = cur["total_s"] - prev.get("total_s", 0.0)
+            histograms[name] = {
+                "count": dcount,
+                "total_s": dtotal,
+                "mean_s": dtotal / dcount if dcount > 0 else 0.0,
+            }
+        out = {
+            "counters": counters,
+            "gauges": dict(end["gauges"]),
+            "histograms": histograms,
+            "end": end,
+        }
+        if frames is not None:
+            if frames < 1:
+                raise ConfigError(f"frames must be >= 1, got {frames}")
+            out["frames"] = frames
+            out["rates_per_frame"] = {
+                name: value / frames for name, value in counters.items()
+            }
+        return out
+
 
 _NULL_COUNTER = NullCounter()
 _NULL_GAUGE = NullGauge()

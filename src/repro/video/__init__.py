@@ -30,6 +30,7 @@ from .scenes import (
     illumination_scene,
     jitter_scene,
     patient_room_scene,
+    ptz_scene,
     rain_scene,
     shadow_scene,
     static_scene,
@@ -39,6 +40,7 @@ from .scenes import (
 from .stats import SceneStats, estimate_modality, scene_stats
 from .synthetic import (
     IlluminationStep,
+    PanningVideo,
     RainLayer,
     SceneConfig,
     SyntheticVideo,
@@ -61,6 +63,7 @@ __all__ = [
     "scene_stats",
     "estimate_modality",
     "SyntheticVideo",
+    "PanningVideo",
     "IlluminationStep",
     "RainLayer",
     "evaluation_scene",
@@ -72,4 +75,5 @@ __all__ = [
     "illumination_scene",
     "rain_scene",
     "shadow_scene",
+    "ptz_scene",
 ]

@@ -23,6 +23,8 @@ shows where each family's accuracy collapses:
 * :func:`rain_scene` — rain/snow streaks (unlearnable dynamic texture).
 * :func:`shadow_scene` — objects casting hard shadows that are
   ground-truth background.
+* :func:`ptz_scene` — a panning PTZ viewport over a wider panorama
+  (pure apparent motion; per-pixel distributions never converge).
 """
 
 from __future__ import annotations
@@ -32,6 +34,7 @@ from .synthetic import (
     DriftRegion,
     FlickerRegion,
     IlluminationStep,
+    PanningVideo,
     RainLayer,
     SceneConfig,
     SyntheticVideo,
@@ -204,6 +207,34 @@ def shadow_scene(
     )
     tracks = _stressor_tracks(height, width, seed, shadow=True)
     return SyntheticVideo(cfg, tracks=tracks, num_frames=num_frames)
+
+
+def ptz_scene(
+    height: int = 240, width: int = 320, seed: int = 61, num_frames: int | None = None
+) -> PanningVideo:
+    """PTZ pan: the viewport sweeps over a wider static panorama.
+
+    The panorama itself is the clean static-scene world (same noise and
+    contrast, the shared stressor targets roaming the full panoramic
+    width); what breaks the models is pure apparent motion — every
+    background pixel sees a sliding window of world content, so
+    per-pixel distributions never converge. Ground truth stays exact:
+    frame and mask are cropped from the same panorama columns.
+    """
+    pan_span = max(width // 4, 8)
+    pan_width = width + pan_span
+    cfg = SceneConfig(
+        height=height, width=pan_width, noise_sd=3.0, seed=seed,
+        background_low=55.0, background_high=185.0,
+    )
+    tracks = _stressor_tracks(height, pan_width, seed)
+    panorama = SyntheticVideo(cfg, tracks=tracks)
+    return PanningVideo(
+        panorama,
+        view_width=width,
+        pan_step=max(width // 160, 1),
+        num_frames=num_frames,
+    )
 
 
 def surveillance_scene(

@@ -396,3 +396,89 @@ class SyntheticVideo:
         if self.num_frames is None:
             raise VideoError("unbounded SyntheticVideo has no length")
         return self.num_frames
+
+
+class PanningVideo:
+    """A panning (PTZ) viewport cropped out of a wider panoramic scene.
+
+    Models a pan-tilt-zoom camera sweeping over a static world: the
+    wrapped :class:`SyntheticVideo` renders a panorama ``pan_span``
+    columns wider than the viewport, and each output frame crops the
+    viewport at a deterministic triangle-wave horizontal offset
+    (``pan_step`` px/frame, bouncing between ``0`` and ``pan_span``).
+    Both the frame and the ground-truth mask are cropped from the same
+    columns, so truth stays exact while every background pixel sees a
+    sliding window of world content — the apparent-motion stress that
+    defeats per-pixel background models without camera-motion
+    compensation.
+
+    Duck-typed like :class:`SyntheticVideo`: ``frame_with_truth`` /
+    ``frame`` / ``frames`` / ``shape`` / ``num_frames`` / iteration.
+    Frames remain pure functions of ``(inner, view_width, pan_step, t)``.
+    """
+
+    def __init__(
+        self,
+        inner: SyntheticVideo,
+        view_width: int,
+        pan_step: int = 2,
+        num_frames: int | None = None,
+    ) -> None:
+        pan_span = inner.config.width - view_width
+        if view_width < 1 or pan_span < 1:
+            raise VideoError(
+                f"view_width must be in [1, {inner.config.width - 1}] to "
+                f"leave room to pan, got {view_width}"
+            )
+        if pan_step < 1 or pan_step > pan_span:
+            raise VideoError(
+                f"pan_step must be in [1, {pan_span}], got {pan_step}"
+            )
+        self.inner = inner
+        self.view_width = view_width
+        self.pan_span = pan_span
+        self.pan_step = pan_step
+        self.num_frames = num_frames if num_frames is not None else inner.num_frames
+
+    def pan_offset(self, t: int) -> int:
+        """Leftmost panorama column of the viewport at frame ``t``
+        (triangle wave over ``[0, pan_span]``)."""
+        phase = (t * self.pan_step) % (2 * self.pan_span)
+        return phase if phase <= self.pan_span else 2 * self.pan_span - phase
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Viewport geometry ``(height, width)``."""
+        return (self.inner.config.height, self.view_width)
+
+    def frame_with_truth(self, t: int) -> tuple[np.ndarray, np.ndarray]:
+        """Frame ``t`` as ``(uint8 frame, bool ground-truth mask)``."""
+        if self.num_frames is not None and 0 <= self.num_frames <= t:
+            raise VideoError(
+                f"frame index {t} out of range (num_frames={self.num_frames})"
+            )
+        frame, truth = self.inner.frame_with_truth(t)
+        off = self.pan_offset(t)
+        sl = slice(off, off + self.view_width)
+        return frame[:, sl].copy(), truth[:, sl].copy()
+
+    def frame(self, t: int) -> np.ndarray:
+        """Frame ``t`` as a ``uint8`` array."""
+        return self.frame_with_truth(t)[0]
+
+    def frames(self, count: int, start: int = 0):
+        """Yield ``count`` frames starting at ``start``."""
+        for t in range(start, start + count):
+            yield self.frame(t)
+
+    def __iter__(self):
+        if self.num_frames is None:
+            raise VideoError(
+                "cannot iterate an unbounded PanningVideo; set num_frames"
+            )
+        return (self.frame(t) for t in range(self.num_frames))
+
+    def __len__(self) -> int:
+        if self.num_frames is None:
+            raise VideoError("unbounded PanningVideo has no length")
+        return self.num_frames

@@ -26,6 +26,7 @@ from repro.errors import ConfigError
 from repro.video.scenes import (
     illumination_scene,
     jitter_scene,
+    ptz_scene,
     rain_scene,
     shadow_scene,
     static_scene,
@@ -38,6 +39,7 @@ BUILDERS = {
     "illumination": illumination_scene,
     "rain": rain_scene,
     "shadows": shadow_scene,
+    "ptz": ptz_scene,
 }
 
 
@@ -117,7 +119,7 @@ class TestQualityMatrix:
 
     def test_cell_validation(self):
         with pytest.raises(ConfigError, match="unknown scenario"):
-            quality_cell("mog", "F", "ptz")
+            quality_cell("mog", "F", "underwater")
         with pytest.raises(ConfigError, match="warmup"):
             quality_cell("mog", "F", "static", num_frames=5, warmup=5)
 

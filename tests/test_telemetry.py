@@ -109,6 +109,60 @@ class TestRegistry:
         }
 
 
+class TestDelta:
+    def test_delta_since_none_equals_totals(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(3)
+        reg.histogram("h").observe(0.5)
+        d = reg.delta()
+        assert d["counters"]["a"] == 3
+        assert d["histograms"]["h"]["count"] == 1
+        assert d["histograms"]["h"]["mean_s"] == pytest.approx(0.5)
+
+    def test_delta_chains_via_end(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(3)
+        first = reg.delta()
+        reg.counter("a").inc(4)
+        reg.counter("fresh").inc()  # registered after the baseline
+        second = reg.delta(first["end"])
+        assert second["counters"]["a"] == 4
+        assert second["counters"]["fresh"] == 1
+        assert second["end"]["counters"]["a"] == 7
+
+    def test_gauges_are_point_in_time(self):
+        reg = MetricsRegistry()
+        reg.gauge("depth").set(5.0)
+        base = reg.delta()
+        reg.gauge("depth").set(2.0)
+        assert reg.delta(base["end"])["gauges"]["depth"] == 2.0
+
+    def test_histogram_window_stats(self):
+        reg = MetricsRegistry()
+        reg.histogram("h").observe(1.0)
+        base = reg.delta()
+        reg.histogram("h").observe(3.0)
+        reg.histogram("h").observe(5.0)
+        win = reg.delta(base["end"])["histograms"]["h"]
+        assert win["count"] == 2
+        assert win["total_s"] == pytest.approx(8.0)
+        assert win["mean_s"] == pytest.approx(4.0)
+
+    def test_rates_per_frame(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(6)
+        d = reg.delta(frames=3)
+        assert d["frames"] == 3
+        assert d["rates_per_frame"]["a"] == pytest.approx(2.0)
+        with pytest.raises(ConfigError):
+            reg.delta(frames=0)
+
+    def test_delta_is_json_ready(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        json.dumps(reg.delta(frames=1))
+
+
 class TestConcurrency:
     def test_to_dict_reads_multifield_state_under_the_lock(self):
         """Regression: ``to_dict()`` held the instrument lock only for
